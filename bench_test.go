@@ -1,0 +1,262 @@
+package switchml
+
+// Benchmark harness: one testing.B benchmark per paper artifact
+// (Table 1, Figures 2-8 and 10, plus the design ablations), each
+// regenerating its table at a reduced scale through internal/bench,
+// and micro-benchmarks of the protocol hot paths. Run the full-size
+// experiments with cmd/switchml-bench -scale 1.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"switchml/internal/bench"
+	"switchml/internal/core"
+	"switchml/internal/p4sim"
+	"switchml/internal/packet"
+	"switchml/internal/quant"
+	"switchml/internal/rack"
+)
+
+// benchExperiment runs one experiment id per iteration at a fast
+// scale.
+func benchExperiment(b *testing.B, id string, scale int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.Run(id, bench.Options{Scale: scale, Seed: 1, Log: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Table 1: training throughput, 8 workers @ 10 Gbps.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", 100) }
+
+// Figure 2: pool size vs TAT and RTT.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2", 500) }
+
+// Figure 3: training speedup for nine models at 10 and 100 Gbps.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3", 200) }
+
+// Figure 4: ATE/s vs worker count for five strategies.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4", 200) }
+
+// Figure 5: TAT inflation under packet loss.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5", 200) }
+
+// Figure 6: packets-per-10ms timeline under loss.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6", 200) }
+
+// Figure 7: TAT vs tensor size with MTU-sized packets.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7", 500) }
+
+// Figure 8: TAT by data type (int32 / float32 / float16).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8", 500) }
+
+// Figure 10: accuracy vs quantization scaling factor.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", 100) }
+
+// Ablations called out in DESIGN.md.
+func BenchmarkAblationAlgorithm(b *testing.B) { benchExperiment(b, "ablation-algorithm", 200) }
+func BenchmarkAblationRTO(b *testing.B)       { benchExperiment(b, "ablation-rto", 200) }
+func BenchmarkAblationPool(b *testing.B)      { benchExperiment(b, "ablation-pool", 200) }
+
+// Extension experiments covering the §5.4/§6 discussion points.
+func BenchmarkMultiTenant(b *testing.B) { benchExperiment(b, "multitenant", 200) }
+func BenchmarkStraggler(b *testing.B)   { benchExperiment(b, "straggler", 200) }
+func BenchmarkRDMA(b *testing.B)        { benchExperiment(b, "rdma", 200) }
+func BenchmarkScaling(b *testing.B)     { benchExperiment(b, "scaling", 500) }
+
+// BenchmarkPipelineHandle measures the executable P4-style pipeline
+// (per-stage register RMWs) against BenchmarkSwitchHandle's plain
+// state machine.
+func BenchmarkPipelineHandle(b *testing.B) {
+	const n = 8
+	ps, err := p4sim.NewPipelineSwitch(p4sim.Tofino64x100G(), n, 64, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]int32, 32)
+	pkts := make([]*packet.Packet, n)
+	for w := range pkts {
+		pkts[w] = packet.NewUpdate(uint16(w), 0, 0, 0, 0, vec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%n]
+		p.Ver = uint8(i / n % 2)
+		p.Off = uint64(i / n * 32)
+		ps.Handle(p)
+	}
+}
+
+// BenchmarkSwitchHandle measures the software dataplane: one update
+// packet through Algorithm 3.
+func BenchmarkSwitchHandle(b *testing.B) {
+	const n = 8
+	sw, err := core.NewSwitch(core.SwitchConfig{Workers: n, PoolSize: 64, SlotElems: 32, LossRecovery: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]int32, 32)
+	pkts := make([]*packet.Packet, n)
+	for w := range pkts {
+		pkts[w] = packet.NewUpdate(uint16(w), 0, 0, 0, 0, vec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%n]
+		p.Ver = uint8(i / n % 2)
+		p.Off = uint64(i / n * 32)
+		sw.Handle(p)
+	}
+	b.ReportMetric(float64(32), "elems/op")
+}
+
+// BenchmarkWorkerPipeline measures the worker state machine: start,
+// results, follow-ups for a full small tensor.
+func BenchmarkWorkerPipeline(b *testing.B) {
+	u := make([]int32, 32*64)
+	w, err := core.NewWorker(core.WorkerConfig{ID: 0, Workers: 1, PoolSize: 16, SlotElems: 32, LossRecovery: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queue := w.Start(u)
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			r := p.Clone()
+			r.Kind = packet.KindResult
+			next, _ := w.HandleResult(r)
+			if next != nil {
+				queue = append(queue, next)
+			}
+		}
+	}
+}
+
+// BenchmarkQuantize measures the float32 -> int32 conversion path
+// (the workers' SSE/AVX loop in the paper, §4).
+func BenchmarkQuantize(b *testing.B) {
+	q, err := quant.NewFixedPoint(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]float32, 1<<16)
+	dst := make([]int32, len(src))
+	for i := range src {
+		src[i] = float32(i%997) * 0.01
+	}
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Quantize(dst, src)
+	}
+}
+
+// BenchmarkDequantize measures the int32 -> float32 path.
+func BenchmarkDequantize(b *testing.B) {
+	q, err := quant.NewFixedPoint(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]int32, 1<<16)
+	dst := make([]float32, len(src))
+	for i := range src {
+		src[i] = int32(i)
+	}
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Dequantize(dst, src)
+	}
+}
+
+// BenchmarkFloat16Convert measures the half-precision codec used by
+// the float16 pipeline (Figure 8).
+func BenchmarkFloat16Convert(b *testing.B) {
+	vals := make([]float32, 1<<14)
+	for i := range vals {
+		vals[i] = float32(i%2048)*0.25 - 128
+	}
+	b.SetBytes(int64(len(vals) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vals {
+			_ = quant.Float16FromFloat32(v).Float32()
+		}
+	}
+}
+
+// BenchmarkPacketMarshal measures the UDP wire codec.
+func BenchmarkPacketMarshal(b *testing.B) {
+	p := packet.NewUpdate(3, 0, 1, 42, 4096, make([]int32, 32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := p.Marshal()
+		if _, err := packet.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterAllReduce measures the in-process public API end to
+// end: 4 workers, 64K elements.
+func BenchmarkClusterAllReduce(b *testing.B) {
+	const n, d = 4, 1 << 16
+	c, err := NewCluster(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	updates := make([][]int32, n)
+	for i := range updates {
+		updates[i] = make([]int32, d)
+	}
+	b.SetBytes(int64(d * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := c.Worker(w).AllReduceInt32(updates[w]); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkRackSimulation measures simulator throughput: events per
+// second aggregating 1M elements on 8 workers.
+func BenchmarkRackSimulation(b *testing.B) {
+	u := make([]int32, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := rack.NewRack(rack.Config{Workers: 8, LossRecovery: true, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.AllReduceShared(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Sim().Processed()), "events/op")
+		_ = res
+	}
+}

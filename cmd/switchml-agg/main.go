@@ -1,0 +1,100 @@
+// Command switchml-agg runs a software SwitchML aggregator — the §6
+// "parameter aggregator" deployment model — on a UDP port.
+//
+// Usage:
+//
+//	switchml-agg -listen :5555 -workers 4 [-pool 64] [-elems 32]
+//	    [-jobs 1] [-job-base 0] [-metrics :9100]
+//
+// With -jobs 1 it serves a single pool (switchml.ListenAggregator);
+// with -jobs N it serves N pools with job ids job-base..job-base+N-1,
+// which multi-tenant deployments and sharded multi-core workers
+// (switchml.DialSharded) both use. Workers connect with matching
+// parameters; the aggregator learns their addresses from their first
+// packets, so no registration is needed.
+//
+// -metrics exposes the switch counters as JSON over HTTP at /stats.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"switchml"
+)
+
+func main() {
+	listen := flag.String("listen", ":5555", "UDP listen address")
+	workers := flag.Int("workers", 2, "number of workers per aggregation (n)")
+	pool := flag.Int("pool", 64, "aggregator pool size (s)")
+	elems := flag.Int("elems", 32, "elements per packet (k)")
+	jobs := flag.Int("jobs", 1, "number of pools to serve (tenants or worker shards)")
+	jobBase := flag.Uint("job-base", 0, "first job id")
+	metrics := flag.String("metrics", "", "optional HTTP address exposing /stats")
+	flag.Parse()
+
+	params := switchml.AggregatorParams{
+		Workers:   *workers,
+		PoolSize:  *pool,
+		SlotElems: *elems,
+	}
+
+	var statsFn func() any
+	var addr string
+	if *jobs <= 1 {
+		params.JobID = uint16(*jobBase)
+		agg, err := switchml.ListenAggregator(*listen, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agg.Close()
+		addr = agg.Addr()
+		statsFn = func() any { return agg.Stats() }
+	} else {
+		m, err := switchml.ListenMultiAggregator(*listen, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.Close()
+		if err := m.AdmitShardedJob(uint16(*jobBase), *jobs, params); err != nil {
+			log.Fatal(err)
+		}
+		addr = m.Addr()
+		statsFn = func() any {
+			out := map[string]any{}
+			for j := 0; j < *jobs; j++ {
+				id := uint16(*jobBase) + uint16(j)
+				if st, ok := m.JobStats(id); ok {
+					out[fmt.Sprintf("job%d", id)] = st
+				}
+			}
+			return out
+		}
+	}
+	fmt.Printf("switchml-agg: serving %d pool(s) for %d-worker jobs on %s (pool %d, k=%d)\n",
+		*jobs, *workers, addr, *pool, *elems)
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(statsFn())
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("switchml-agg: metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("switchml-agg: stats at http://%s/stats\n", *metrics)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("switchml-agg: shutting down")
+}

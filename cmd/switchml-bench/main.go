@@ -1,0 +1,55 @@
+// Command switchml-bench regenerates the paper's evaluation tables
+// and figures from the simulated reproduction.
+//
+// Usage:
+//
+//	switchml-bench [-scale N] [-seed S] [-v] [experiment ...]
+//
+// With no arguments it runs every experiment. Experiment ids follow
+// the paper: table1, fig2..fig8, fig10, plus the ablations
+// (ablation-algorithm, ablation-rto, ablation-pool). -scale divides
+// the paper's tensor sizes (default 10) — rates and ratios are
+// size-independent, so shapes are preserved; use -scale 1 for
+// full-size runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"switchml/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "divide the paper's tensor sizes by this factor")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.IDs(), "\n"))
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = bench.IDs()
+	}
+	var log io.Writer = io.Discard
+	if *verbose {
+		log = os.Stderr
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Log: log}
+	for _, id := range ids {
+		tb, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tb.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,71 @@
+// Command switchml-worker joins a SwitchML aggregation served by
+// switchml-agg and all-reduces synthetic tensors, reporting goodput.
+// It exists to exercise a real deployment across machines.
+//
+// Usage:
+//
+//	switchml-worker -agg host:5555 -id 0 -workers 4 [-pool 64]
+//	    [-elems-per-tensor 1000000] [-iters 10] [-job 0]
+//
+// Every participating worker must use a distinct -id in [0,workers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"switchml"
+)
+
+func main() {
+	aggAddr := flag.String("agg", "127.0.0.1:5555", "aggregator UDP address")
+	id := flag.Int("id", 0, "this worker's id")
+	workers := flag.Int("workers", 2, "number of workers (n)")
+	pool := flag.Int("pool", 64, "pool size (s); must match the aggregator")
+	elems := flag.Int("elems-per-tensor", 1_000_000, "tensor length per iteration")
+	iters := flag.Int("iters", 10, "number of all-reduce iterations")
+	job := flag.Uint("job", 0, "job id")
+	rto := flag.Duration("rto", 50*time.Millisecond, "retransmission timeout")
+	flag.Parse()
+
+	peer, err := switchml.DialAggregator(*aggAddr, switchml.PeerParams{
+		ID:       *id,
+		Workers:  *workers,
+		PoolSize: *pool,
+		JobID:    uint16(*job),
+		RTO:      *rto,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer peer.Close()
+
+	tensor := make([]int32, *elems)
+	for i := range tensor {
+		tensor[i] = int32(*id + i)
+	}
+	fmt.Printf("switchml-worker %d/%d: aggregating %d x %d elements via %s\n",
+		*id, *workers, *iters, *elems, *aggAddr)
+
+	var total time.Duration
+	for it := 0; it < *iters; it++ {
+		start := time.Now()
+		out, err := peer.AllReduceInt32(tensor)
+		if err != nil {
+			log.Fatalf("iteration %d: %v", it, err)
+		}
+		elapsed := time.Since(start)
+		total += elapsed
+		// Verify the first element: sum over w of (w + i) at i=0.
+		want := int32(*workers * (*workers - 1) / 2)
+		if out[0] != want {
+			log.Fatalf("iteration %d: aggregate[0] = %d, want %d", it, out[0], want)
+		}
+		fmt.Printf("  iter %2d: %8s  %6.1fM elems/s\n",
+			it, elapsed.Round(time.Millisecond), float64(*elems)/elapsed.Seconds()/1e6)
+	}
+	fmt.Printf("done: mean %6.1fM elems/s\n",
+		float64(*elems)*float64(*iters)/total.Seconds()/1e6)
+}

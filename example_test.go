@@ -1,0 +1,89 @@
+package switchml_test
+
+import (
+	"fmt"
+	"sync"
+
+	"switchml"
+)
+
+// ExampleNewCluster shows the minimal in-process all-reduce: two
+// workers sum integer tensors through the software switch.
+func ExampleNewCluster() {
+	cluster, err := switchml.NewCluster(2)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	results := make([][]int32, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], _ = cluster.Worker(i).AllReduceInt32([]int32{int32(i + 1), 10})
+		}()
+	}
+	wg.Wait()
+	fmt.Println(results[0], results[1])
+	// Output: [3 20] [3 20]
+}
+
+// ExampleMaxSafeScale derives the largest overflow-safe quantization
+// factor for a job (Theorem 2 of the paper's Appendix C).
+func ExampleMaxSafeScale() {
+	scale, err := switchml.MaxSafeScale(8, 29.24)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.3g\n", scale)
+	// Output: 9.18e+06
+}
+
+// ExampleNewSession shows the streaming integration layer: gradient
+// tensors submitted per layer, aggregated in order while later layers
+// are still being produced.
+func ExampleNewSession() {
+	cluster, err := switchml.NewCluster(2, switchml.WithScale(1e6))
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	sums := make([]float32, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, _ := switchml.NewSession(cluster.Worker(i), 4)
+			defer sess.Close()
+			f1, _ := sess.SubmitFloat32([]float32{1.5})
+			f2, _ := sess.SubmitFloat32([]float32{0.25})
+			out1, _ := f1.Wait()
+			out2, _ := f2.Wait()
+			sums[i] = out1[0] + out2[0]
+		}()
+	}
+	wg.Wait()
+	fmt.Println(sums[0], sums[1])
+	// Output: 3.5 3.5
+}
+
+// ExampleSimulateRack runs a deterministic rack simulation, the
+// entry point for reproducing the paper's measurements.
+func ExampleSimulateRack() {
+	tensor := make([]int32, 320000)
+	for i := range tensor {
+		tensor[i] = 2
+	}
+	res, err := switchml.SimulateRack(switchml.SimParams{Workers: 8, Seed: 1}, tensor)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Aggregate[0], res.PoolSize, res.Retransmissions)
+	// Output: 16 128 0
+}

@@ -1,0 +1,3 @@
+module switchml
+
+go 1.22

@@ -1,0 +1,295 @@
+package allreduce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"switchml/internal/netsim"
+)
+
+func randUpdates(rng *rand.Rand, n, d int) ([][]int32, []int32) {
+	us := make([][]int32, n)
+	want := make([]int32, d)
+	for i := range us {
+		us[i] = make([]int32, d)
+		for j := range us[i] {
+			us[i][j] = int32(rng.Intn(2001) - 1000)
+			want[j] += us[i][j]
+		}
+	}
+	return us, want
+}
+
+func checkAll(t *testing.T, us [][]int32, want []int32) {
+	t.Helper()
+	for i, u := range us {
+		for j := range want {
+			if u[j] != want[j] {
+				t.Fatalf("worker %d elem %d: got %d want %d", i, j, u[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRingCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, d int }{
+		{2, 100}, {3, 1000}, {4, 7}, {8, 4096}, {5, 3}, {7, 12345},
+	} {
+		us, want := randUpdates(rng, tc.n, tc.d)
+		res, err := RunRing(Config{Workers: tc.n}, us)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		if res.Elems != tc.d {
+			t.Errorf("Elems = %d, want %d", res.Elems, tc.d)
+		}
+		checkAll(t, us, want)
+	}
+}
+
+func TestRingSingleWorker(t *testing.T) {
+	us := [][]int32{{1, 2, 3}}
+	res, err := RunRing(Config{Workers: 1}, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 0 {
+		t.Errorf("single-worker Time = %v, want 0", res.Time)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := RunRing(Config{Workers: 0}, nil); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := RunRing(Config{Workers: 2}, [][]int32{{1}}); err == nil {
+		t.Error("wrong update count accepted")
+	}
+	if _, err := RunRing(Config{Workers: 2}, [][]int32{{1}, {1, 2}}); err == nil {
+		t.Error("ragged updates accepted")
+	}
+	if _, err := RunRing(Config{Workers: 2, Efficiency: 1.5}, [][]int32{{1}, {2}}); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+}
+
+func TestRingNearLineRate(t *testing.T) {
+	// With full efficiency the ring must approach its analytic bound:
+	// time >= 2(n-1)/n * |U| / goodput.
+	const n, d = 8, 1 << 20
+	us, _ := randUpdates(rand.New(rand.NewSource(2)), n, d)
+	res, err := RunRing(Config{Workers: n}, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := float64(d) / RingLineRateATE(10e9, n)
+	got := float64(res.Time) / 1e9
+	if got < ideal {
+		t.Fatalf("ring time %.6fs below bound %.6fs", got, ideal)
+	}
+	if got > 1.15*ideal {
+		t.Errorf("ring time %.6fs more than 15%% above bound %.6fs", got, ideal)
+	}
+}
+
+func TestRingEfficiencyScales(t *testing.T) {
+	const n, d = 4, 1 << 18
+	us1, _ := randUpdates(rand.New(rand.NewSource(3)), n, d)
+	us2, _ := randUpdates(rand.New(rand.NewSource(3)), n, d)
+	full, err := RunRing(Config{Workers: n, Efficiency: 1}, us1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := RunRing(Config{Workers: n, Efficiency: 0.5}, us2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(half.Time) / float64(full.Time)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("half-efficiency slowdown = %.2f, want ~2", ratio)
+	}
+}
+
+func TestHalvingDoublingCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct{ n, d int }{
+		{2, 64}, {4, 1000}, {8, 4096}, {16, 333}, {4, 5},
+	} {
+		us, want := randUpdates(rng, tc.n, tc.d)
+		_, err := RunHalvingDoubling(Config{Workers: tc.n}, us)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		checkAll(t, us, want)
+	}
+}
+
+func TestHalvingDoublingRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := RunHalvingDoubling(Config{Workers: 3}, make([][]int32, 3)); err == nil {
+		t.Error("n=3 accepted")
+	}
+}
+
+func TestPSDedicatedCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, d int }{
+		{2, 100}, {4, 4096}, {8, 999}, {3, 7},
+	} {
+		us, want := randUpdates(rng, tc.n, tc.d)
+		_, err := RunPS(Config{Workers: tc.n, PerPacketCost: 110 * netsim.Nanosecond}, us, false)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		checkAll(t, us, want)
+	}
+}
+
+func TestPSColocatedCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	us, want := randUpdates(rng, 4, 10000)
+	_, err := RunPS(Config{Workers: 4, PerPacketCost: 110 * netsim.Nanosecond}, us, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, us, want)
+}
+
+func TestPSColocatedHalfOfDedicated(t *testing.T) {
+	// §5.3: "the Colocated PS approach reaches only half of
+	// [dedicated] performance" because every NIC carries both worker
+	// and PS traffic.
+	const n, d = 8, 1 << 19
+	rng := rand.New(rand.NewSource(7))
+	us1, _ := randUpdates(rng, n, d)
+	us2, _ := randUpdates(rng, n, d)
+	ded, err := RunPS(Config{Workers: n, PerPacketCost: 110 * netsim.Nanosecond}, us1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := RunPS(Config{Workers: n, PerPacketCost: 110 * netsim.Nanosecond}, us2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ded.ATEPerSec() / col.ATEPerSec()
+	// The exact factor is 2(n-1)/n -> 2 for large n; at n=8 the
+	// colocated links carry 1.75x the dedicated volume.
+	if ratio < 1.35 || ratio > 2.4 {
+		t.Errorf("dedicated/colocated = %.2f, want ~1.75-2 (ded %.0f, col %.0f ATE/s)",
+			ratio, ded.ATEPerSec(), col.ATEPerSec())
+	}
+	// The gap must widen with n (toward the paper's "half").
+	us3, _ := randUpdates(rng, 16, d)
+	us4, _ := randUpdates(rng, 16, d)
+	ded16, err := RunPS(Config{Workers: 16, PerPacketCost: 110 * netsim.Nanosecond}, us3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col16, err := RunPS(Config{Workers: 16, PerPacketCost: 110 * netsim.Nanosecond}, us4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16 := ded16.ATEPerSec() / col16.ATEPerSec(); r16 < 1.35 || r16 > 2.4 {
+		t.Errorf("ratio at n=16 = %.2f, want 1.35-2.4", r16)
+	}
+}
+
+func TestPSDedicatedNearLineRate(t *testing.T) {
+	const n, d = 8, 1 << 19
+	us, _ := randUpdates(rand.New(rand.NewSource(8)), n, d)
+	res, err := RunPS(Config{Workers: n, PerPacketCost: 110 * netsim.Nanosecond}, us, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(d) / PSLineRateATE(10e9, 0)
+	got := float64(res.Time) / 1e9
+	if got < bound {
+		t.Fatalf("PS time %.6f below bound %.6f", got, bound)
+	}
+	if got > 1.25*bound {
+		t.Errorf("PS time %.6f more than 25%% above bound %.6f", got, bound)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	// SwitchML at 10 Gbps with k=32: 10e9/8 * (128/180) / 4 = 222.2M.
+	if got := SwitchMLLineRateATE(10e9, 32); math.Abs(got-222.2e6) > 1e6 {
+		t.Errorf("SwitchML bound = %.3gM, want ~222M", got/1e6)
+	}
+	// Ring at 10 Gbps, n=8: goodput 1.204 GB/s / 7 B/elem = 172M.
+	if got := RingLineRateATE(10e9, 8); math.Abs(got-172e6) > 2e6 {
+		t.Errorf("ring bound = %.3gM, want ~172M", got/1e6)
+	}
+	// Larger n lowers the ring bound toward goodput/8.
+	if RingLineRateATE(10e9, 16) >= RingLineRateATE(10e9, 8) {
+		t.Error("ring bound should decrease with n")
+	}
+	if RingLineRateATE(10e9, 1) != 0 {
+		t.Error("ring bound for n=1 should be 0")
+	}
+	// PS dedicated bound is above ring but below SwitchML (MTU
+	// framing beats 52B-per-180B headers; both send 2|U|).
+	// With the SwitchML packet format the PS bound equals SwitchML's
+	// and exceeds the ring bound; MTU packets raise it further.
+	ps := PSLineRateATE(10e9, 0)
+	if math.Abs(ps-SwitchMLLineRateATE(10e9, 32)) > 1 {
+		t.Errorf("PS bound %v != SwitchML bound", ps)
+	}
+	if ps <= RingLineRateATE(10e9, 8) {
+		t.Error("PS bound should exceed ring bound")
+	}
+	if PSLineRateATE(10e9, 1460) <= ps {
+		t.Error("MTU PS bound should exceed small-packet bound")
+	}
+	// SwitchML TAT bound for 100 MB at 10 Gbps is ~118 ms.
+	tat := SwitchMLLineRateTAT(10e9, 32, 25*1000*1000)
+	if tat < 0.10 || tat > 0.13 {
+		t.Errorf("TAT bound = %.4f s, want ~0.113", tat)
+	}
+}
+
+func TestRingFasterAtHigherBandwidth(t *testing.T) {
+	const n, d = 4, 1 << 18
+	us1, _ := randUpdates(rand.New(rand.NewSource(9)), n, d)
+	us2, _ := randUpdates(rand.New(rand.NewSource(9)), n, d)
+	slow, err := RunRing(Config{Workers: n, LinkBitsPerSec: 10e9}, us1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunRing(Config{Workers: n, LinkBitsPerSec: 100e9}, us2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(slow.Time) / float64(fast.Time)
+	if speedup < 8 || speedup > 11 {
+		t.Errorf("100G/10G ring speedup = %.2f, want ~10", speedup)
+	}
+}
+
+func TestHalvingDoublingVsRingVolume(t *testing.T) {
+	// Both are bandwidth-optimal; completion times should be within
+	// 2x of each other for large tensors (HD has fewer, larger
+	// steps).
+	const n, d = 8, 1 << 19
+	us1, _ := randUpdates(rand.New(rand.NewSource(10)), n, d)
+	us2, _ := randUpdates(rand.New(rand.NewSource(10)), n, d)
+	ring, err := RunRing(Config{Workers: n}, us1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := RunHalvingDoubling(Config{Workers: n}, us2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(hd.Time) / float64(ring.Time)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("hd/ring time ratio = %.2f", ratio)
+	}
+}
+
+func TestATEPerSecZeroTime(t *testing.T) {
+	if got := (Result{Elems: 10}).ATEPerSec(); got != 0 {
+		t.Errorf("ATEPerSec with zero time = %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package allreduce
+
+import "switchml/internal/packet"
+
+// Analytic line-rate bounds, the dashed reference lines of Figures 2,
+// 4, 6 and 7. All take the physical link rate in bits per second and
+// return aggregated tensor elements per second (or times derived from
+// them).
+
+// SwitchMLLineRateATE returns the peak ATE/s of in-network
+// aggregation: every element crosses each worker's link once per
+// direction, in packets of k elements plus the 52-byte header
+// (§2.3's 2|U| communication cost).
+func SwitchMLLineRateATE(bitsPerSec float64, slotElems int) float64 {
+	if slotElems <= 0 {
+		slotElems = packet.DefaultElems
+	}
+	pktBytes := float64(packet.HeaderBytes + packet.ElemBytes*slotElems)
+	goodput := bitsPerSec / 8 * float64(packet.ElemBytes*slotElems) / pktBytes
+	return goodput / packet.ElemBytes
+}
+
+// RingLineRateATE returns the peak ATE/s of bandwidth-optimal ring
+// all-reduce over MTU frames: each worker sends (and receives)
+// 4(n−1)|U|/n bytes per |U| bytes aggregated, i.e. 2(n−1)/n elements
+// sent per element aggregated (§2.3).
+func RingLineRateATE(bitsPerSec float64, workers int) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	n := float64(workers)
+	goodput := bitsPerSec / 8 * mtuPayload / (mtuPayload + mtuOverhead)
+	bytesPerElem := 2 * (n - 1) / n * packet.ElemBytes
+	return goodput / bytesPerElem
+}
+
+// PSLineRateATE returns the peak ATE/s of the dedicated
+// parameter-server design: each worker sends and receives |U| bytes
+// (§2.3's 2|U| cost) in aggregation packets of packetBytes payload
+// plus the 52-byte header budget. With the default 128-byte payload
+// the bound equals SwitchML's; Figure 7's MTU variant passes 1460.
+func PSLineRateATE(bitsPerSec float64, packetBytes int) float64 {
+	if packetBytes <= 0 {
+		packetBytes = 128
+	}
+	goodput := bitsPerSec / 8 * float64(packetBytes) / float64(packetBytes+52)
+	return goodput / packet.ElemBytes
+}
+
+// SwitchMLLineRateTAT returns the wire-limited tensor aggregation
+// time for a tensor of elems elements.
+func SwitchMLLineRateTAT(bitsPerSec float64, slotElems, elems int) float64 {
+	return float64(elems) / SwitchMLLineRateATE(bitsPerSec, slotElems)
+}

@@ -1,0 +1,194 @@
+package allreduce
+
+import (
+	"fmt"
+
+	"switchml/internal/netsim"
+)
+
+// RunHalvingDoubling executes the recursive halving-and-doubling
+// all-reduce (§2.1, [57]): log2(n) reduce-scatter steps exchanging
+// |U|/2, |U|/4, ... with partners at distance 1, 2, 4, ..., followed
+// by the mirrored all-gather. The worker count must be a power of
+// two. On return every row of updates holds the elementwise sum.
+func RunHalvingDoubling(cfg Config, updates [][]int32) (Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.Workers
+	if n&(n-1) != 0 {
+		return Result{}, fmt.Errorf("allreduce: halving-doubling needs a power-of-two worker count, got %d", n)
+	}
+	if len(updates) != n {
+		return Result{}, fmt.Errorf("allreduce: got %d updates for %d workers", len(updates), n)
+	}
+	d := len(updates[0])
+	for i, u := range updates {
+		if len(u) != d {
+			return Result{}, fmt.Errorf("allreduce: update %d has %d elems, want %d", i, len(u), d)
+		}
+	}
+	if n == 1 || d == 0 {
+		return Result{Elems: d}, nil
+	}
+
+	steps := 0
+	for 1<<steps < n {
+		steps++
+	}
+	workers := make([]*hdWorker, n)
+	nodes := make([]netsim.Node, n)
+	for i := range workers {
+		workers[i] = &hdWorker{cfg: &cfg, rank: i, n: n, steps: steps, buf: updates[i]}
+		workers[i].lo, workers[i].hi = 0, d
+		nodes[i] = workers[i]
+	}
+	tp := newTopo(&cfg, nodes)
+	for _, w := range workers {
+		w.tp = tp
+	}
+	for _, w := range workers {
+		w.sendStep()
+	}
+	for _, w := range workers {
+		// Kick workers whose first inbound range is empty (d < n).
+		w.advance()
+	}
+	tp.sim.Run()
+
+	res := Result{Elems: d}
+	for i, w := range workers {
+		if !w.finished {
+			return Result{}, fmt.Errorf("allreduce: hd worker %d did not finish", i)
+		}
+		if w.doneAt > res.Time {
+			res.Time = w.doneAt
+		}
+	}
+	return res, nil
+}
+
+// hdWorker is one rank of the halving-doubling exchange. During
+// reduce-scatter its responsibility window [lo,hi) halves each step;
+// during all-gather it doubles back.
+type hdWorker struct {
+	cfg   *Config
+	tp    *topo
+	rank  int
+	n     int
+	steps int
+	buf   []int32
+	// lo,hi is the window this worker is currently responsible for.
+	lo, hi int
+	// step runs 0..2*steps-1.
+	step          int
+	recvd, expect int
+	// windows[s] records [lo,hi) before reduce-scatter step s, so the
+	// all-gather can mirror it.
+	windows  [][2]int
+	deferred []*burst
+	finished bool
+	doneAt   netsim.Time
+}
+
+// plan returns, for the current step, the partner rank, the range to
+// send, and the range to receive.
+func (w *hdWorker) plan() (partner, sendLo, sendHi, recvLo, recvHi int) {
+	if w.step < w.steps {
+		// Reduce-scatter step s: partner at distance 2^s; the pair
+		// splits the current window, lower rank keeps the lower half.
+		s := w.step
+		partner = w.rank ^ (1 << s)
+		mid := (w.lo + w.hi) / 2
+		if w.rank < partner {
+			return partner, mid, w.hi, w.lo, mid
+		}
+		return partner, w.lo, mid, mid, w.hi
+	}
+	// All-gather step s: mirror reduce-scatter step (steps-1-s).
+	s := 2*w.steps - 1 - w.step // s counts down steps-1 .. 0
+	partner = w.rank ^ (1 << s)
+	win := w.windows[s]
+	mid := (win[0] + win[1]) / 2
+	if w.rank < partner {
+		// We own the lower half; send it, receive the upper half.
+		return partner, win[0], mid, mid, win[1]
+	}
+	return partner, mid, win[1], win[0], mid
+}
+
+func (w *hdWorker) sendStep() {
+	if w.step < w.steps {
+		w.windows = append(w.windows, [2]int{w.lo, w.hi})
+	}
+	partner, sLo, sHi, rLo, rHi := w.plan()
+	burstElems := w.cfg.BurstBytes / 4
+	seq := 0
+	for off := sLo; off < sHi; off += burstElems {
+		end := off + burstElems
+		if end > sHi {
+			end = sHi
+		}
+		data := make([]int32, end-off)
+		copy(data, w.buf[off:end])
+		w.tp.send(&burst{
+			src: w.rank, dst: partner,
+			data: data, step: w.step, seq: seq,
+			wire: wireBytes((end - off) * 4),
+		})
+		seq++
+	}
+	w.recvd, w.expect = 0, totalBursts(rHi-rLo, burstElems)
+}
+
+func (w *hdWorker) Deliver(msg netsim.Message) {
+	b := msg.(*burst)
+	if w.finished {
+		return
+	}
+	if b.step != w.step {
+		w.deferred = append(w.deferred, b)
+		return
+	}
+	w.apply(b)
+	w.advance()
+}
+
+func (w *hdWorker) apply(b *burst) {
+	_, _, _, rLo, _ := w.plan()
+	off := rLo + b.seq*(w.cfg.BurstBytes/4)
+	if b.step < w.steps {
+		for i, v := range b.data {
+			w.buf[off+i] += v
+		}
+	} else {
+		copy(w.buf[off:off+len(b.data)], b.data)
+	}
+	w.recvd++
+}
+
+func (w *hdWorker) advance() {
+	for w.recvd == w.expect {
+		if w.step < w.steps {
+			// Shrink the window to the received half.
+			_, _, _, rLo, rHi := w.plan()
+			w.lo, w.hi = rLo, rHi
+		}
+		w.step++
+		if w.step == 2*w.steps {
+			w.finished = true
+			w.doneAt = w.tp.sim.Now()
+			return
+		}
+		w.sendStep()
+		var rest []*burst
+		for _, b := range w.deferred {
+			if b.step == w.step {
+				w.apply(b)
+			} else {
+				rest = append(rest, b)
+			}
+		}
+		w.deferred = rest
+	}
+}

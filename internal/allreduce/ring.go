@@ -1,0 +1,198 @@
+package allreduce
+
+import (
+	"fmt"
+
+	"switchml/internal/netsim"
+)
+
+// RunRing executes a bandwidth-optimal ring all-reduce (§2.1): a
+// reduce-scatter of n−1 steps followed by an all-gather of n−1 steps,
+// each worker exchanging 4(n−1)|U|/n bytes in total. updates[i] is
+// worker i's contribution; on return every row of updates has been
+// replaced by the elementwise sum, as Gloo's in-place all-reduce
+// does.
+func RunRing(cfg Config, updates [][]int32) (Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Result{}, err
+	}
+	if len(updates) != cfg.Workers {
+		return Result{}, fmt.Errorf("allreduce: got %d updates for %d workers", len(updates), cfg.Workers)
+	}
+	n := cfg.Workers
+	d := len(updates[0])
+	for i, u := range updates {
+		if len(u) != d {
+			return Result{}, fmt.Errorf("allreduce: update %d has %d elems, want %d", i, len(u), d)
+		}
+	}
+	if n == 1 || d == 0 {
+		return Result{Elems: d}, nil
+	}
+
+	workers := make([]*ringWorker, n)
+	nodes := make([]netsim.Node, n)
+	for i := range workers {
+		workers[i] = &ringWorker{cfg: &cfg, rank: i, n: n, buf: updates[i]}
+		nodes[i] = workers[i]
+	}
+	tp := newTopo(&cfg, nodes)
+	for _, w := range workers {
+		w.tp = tp
+	}
+	for _, w := range workers {
+		w.sendStep()
+	}
+	for _, w := range workers {
+		// Kick workers whose first inbound chunk is empty (d < n).
+		w.advance()
+	}
+	tp.sim.Run()
+
+	res := Result{Elems: d}
+	for i, w := range workers {
+		if !w.finished {
+			return Result{}, fmt.Errorf("allreduce: ring worker %d did not finish", i)
+		}
+		if w.doneAt > res.Time {
+			res.Time = w.doneAt
+		}
+	}
+	return res, nil
+}
+
+// ringWorker is one rank of the ring; chunk c of the buffer is the
+// range [c·d/n, (c+1)·d/n).
+type ringWorker struct {
+	cfg  *Config
+	tp   *topo
+	rank int
+	n    int
+	buf  []int32
+	// step runs 0..2(n-1)-1: the first n−1 steps are the
+	// reduce-scatter, the rest the all-gather.
+	step int
+	// recvd/expect count bursts of the current step's inbound chunk.
+	recvd, expect int
+	// deferred holds bursts that arrived for a future step (possible
+	// only transiently; links are FIFO per sender).
+	deferred []*burst
+	finished bool
+	doneAt   netsim.Time
+}
+
+// chunkRange returns the element range of chunk c.
+func (w *ringWorker) chunkRange(c int) (lo, hi int) {
+	d := len(w.buf)
+	return c * d / w.n, (c + 1) * d / w.n
+}
+
+// sendChunk returns the chunk index this worker transmits at a step.
+func (w *ringWorker) sendChunk(step int) int {
+	if step < w.n-1 { // reduce-scatter
+		return ((w.rank-step)%w.n + w.n) % w.n
+	}
+	t := step - (w.n - 1) // all-gather
+	return ((w.rank+1-t)%w.n + w.n) % w.n
+}
+
+// recvChunk returns the chunk index this worker receives at a step —
+// always its predecessor's sendChunk.
+func (w *ringWorker) recvChunk(step int) int {
+	if step < w.n-1 {
+		return ((w.rank-step-1)%w.n + w.n) % w.n
+	}
+	t := step - (w.n - 1)
+	return ((w.rank-t)%w.n + w.n) % w.n
+}
+
+// sendStep enqueues the current step's chunk to the next neighbour.
+func (w *ringWorker) sendStep() {
+	lo, hi := w.chunkRange(w.sendChunk(w.step))
+	next := (w.rank + 1) % w.n
+	burstElems := w.cfg.BurstBytes / 4
+	seq := 0
+	for off := lo; off < hi; off += burstElems {
+		end := off + burstElems
+		if end > hi {
+			end = hi
+		}
+		data := make([]int32, end-off)
+		copy(data, w.buf[off:end])
+		w.tp.send(&burst{
+			src: w.rank, dst: next,
+			data: data,
+			step: w.step, seq: seq,
+			wire: wireBytes((end - off) * 4),
+		})
+		seq++
+	}
+	w.recvd, w.expect = 0, totalBursts(w.chunkLen(w.recvChunk(w.step)), burstElems)
+}
+
+func (w *ringWorker) chunkLen(c int) int {
+	lo, hi := w.chunkRange(c)
+	return hi - lo
+}
+
+func totalBursts(elems, burstElems int) int {
+	if elems == 0 {
+		return 0
+	}
+	return (elems + burstElems - 1) / burstElems
+}
+
+// Deliver consumes a burst from the predecessor.
+func (w *ringWorker) Deliver(msg netsim.Message) {
+	b := msg.(*burst)
+	if w.finished {
+		return
+	}
+	if b.step != w.step {
+		// A future-step burst raced ahead of our step transition;
+		// hold it.
+		w.deferred = append(w.deferred, b)
+		return
+	}
+	w.apply(b)
+	w.advance()
+}
+
+// apply folds a burst into the buffer: accumulate during
+// reduce-scatter, overwrite during all-gather.
+func (w *ringWorker) apply(b *burst) {
+	lo, _ := w.chunkRange(w.recvChunk(b.step))
+	off := lo + b.seq*(w.cfg.BurstBytes/4)
+	if b.step < w.n-1 {
+		for i, v := range b.data {
+			w.buf[off+i] += v
+		}
+	} else {
+		copy(w.buf[off:off+len(b.data)], b.data)
+	}
+	w.recvd++
+}
+
+// advance moves to the next step when the current chunk is complete,
+// draining any deferred bursts.
+func (w *ringWorker) advance() {
+	for w.recvd == w.expect {
+		w.step++
+		if w.step == 2*(w.n-1) {
+			w.finished = true
+			w.doneAt = w.tp.sim.Now()
+			return
+		}
+		w.sendStep()
+		// Replay deferred bursts that belong to the new step.
+		var rest []*burst
+		for _, b := range w.deferred {
+			if b.step == w.step {
+				w.apply(b)
+			} else {
+				rest = append(rest, b)
+			}
+		}
+		w.deferred = rest
+	}
+}

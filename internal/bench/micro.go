@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"switchml/internal/allreduce"
+	"switchml/internal/netsim"
+	"switchml/internal/packet"
+	"switchml/internal/rack"
+)
+
+// RunFig2 reproduces Figure 2: the effect of the pool size s on
+// tensor aggregation time and per-packet RTT, 8 workers at 10 Gbps,
+// 100 MB tensors.
+func RunFig2(o Options) (*Table, error) {
+	o.fill()
+	elems := o.mb100()
+	t := &Table{
+		ID:     "fig2",
+		Title:  fmt.Sprintf("Pool size vs TAT and RTT (8 workers @ 10G, %d MB tensor)", elems*4/1000/1000),
+		Header: []string{"pool size", "TAT (ms)", "RTT med (us)", "RTT max (us)"},
+	}
+	wire := netsim.Time(allreduce.SwitchMLLineRateTAT(10e9, packet.DefaultElems, elems) * 1e9)
+	for _, s := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+		fmt.Fprintf(o.Log, "fig2: pool size %d...\n", s)
+		r, err := rack.NewRack(rack.Config{
+			Workers: 8, PoolSize: s, LossRecovery: true, Seed: o.Seed, SampleRTT: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.AllReduceShared(make([]int32, elems))
+		if err != nil {
+			return nil, err
+		}
+		rtt := summarize(res.RTTs)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", s), fmtMs(res.TAT), fmtUs(rtt.median), fmtUs(rtt.max),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"line rate", fmtMs(wire), "-", "-"})
+	t.Notes = append(t.Notes,
+		"paper: TAT flat near line rate once s covers the BDP (s=128 at 10G), RTT grows with s;",
+		"very large pools exceed the 1 ms RTO via self-queueing and inflate TAT")
+	return t, nil
+}
+
+// RunFig4 reproduces Figure 4: aggregated tensor elements per second
+// as the worker count grows, for SwitchML, Gloo, NCCL, Dedicated PS
+// and Colocated PS at 10 and 100 Gbps, with the analytic line-rate
+// bounds.
+func RunFig4(o Options) (*Table, error) {
+	o.fill()
+	t := &Table{
+		ID:    "fig4",
+		Title: "Microbenchmark: ATE/s (x10^6) vs workers",
+		Header: []string{"gbps", "workers", "switchml", "gloo", "nccl",
+			"dedicated-ps", "colocated-ps", "line(sml)", "line(ring)"},
+	}
+	for _, bw := range []float64{10e9, 100e9} {
+		for _, n := range []int{4, 8, 16} {
+			fmt.Fprintf(o.Log, "fig4: %dG n=%d...\n", int(bw/1e9), n)
+			sml, err := measureSwitchML(o, n, bw, 0)
+			if err != nil {
+				return nil, err
+			}
+			gloo, err := measureRing(o, n, bw, glooEff(bw))
+			if err != nil {
+				return nil, err
+			}
+			nccl, err := measureRing(o, n, bw, ncclEff(bw))
+			if err != nil {
+				return nil, err
+			}
+			ded, err := measurePS(o, n, bw, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			col, err := measurePS(o, n, bw, true, 0)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f", bw/1e9), fmt.Sprintf("%d", n),
+				fmtATE(sml), fmtATE(gloo), fmtATE(nccl), fmtATE(ded), fmtATE(col),
+				fmtATE(allreduce.SwitchMLLineRateATE(bw, packet.DefaultElems)),
+				fmtATE(allreduce.RingLineRateATE(bw, n)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: SwitchML tracks its line rate independent of n; Dedicated PS matches SwitchML",
+		"using twice the machines; Colocated PS reaches about half; NCCL > Gloo, both below ring line rate")
+	return t, nil
+}
+
+// RunFig7 reproduces Figure 7: TAT across tensor sizes comparing
+// k=32 SwitchML, the MTU-capable enhanced SwitchML, and the
+// Dedicated PS with MTU packets.
+func RunFig7(o Options) (*Table, error) {
+	o.fill()
+	t := &Table{
+		ID:    "fig7",
+		Title: "TAT (ms) vs tensor size: 32-element packets vs MTU",
+		Header: []string{"size", "switchml", "switchml(MTU)", "dedicated-ps(MTU)",
+			"line", "line(MTU)"},
+	}
+	for _, mb := range []int{50, 100, 250, 500} {
+		elems := mb * 1000 * 1000 / 4 / o.Scale
+		fmt.Fprintf(o.Log, "fig7: %d MB (scaled to %d elems)...\n", mb, elems)
+		run := func(k int) (netsim.Time, error) {
+			r, err := rack.NewRack(rack.Config{
+				Workers: 8, SlotElems: k, LossRecovery: true, Seed: o.Seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			res, err := r.AllReduceShared(make([]int32, elems))
+			if err != nil {
+				return 0, err
+			}
+			return res.TAT, nil
+		}
+		small, err := run(packet.DefaultElems)
+		if err != nil {
+			return nil, err
+		}
+		big, err := run(packet.MTUElems)
+		if err != nil {
+			return nil, err
+		}
+		us := make([][]int32, 8)
+		for i := range us {
+			us[i] = make([]int32, elems)
+		}
+		ps, err := allreduce.RunPS(allreduce.Config{
+			Workers: 8, PerPacketCost: 110 * netsim.Nanosecond, PacketBytes: 1460, Seed: o.Seed,
+		}, us, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dMB/%d", mb, o.Scale),
+			fmtMs(small), fmtMs(big), fmtMs(netsim.Time(ps.Time)),
+			fmtMs(netsim.Time(allreduce.SwitchMLLineRateTAT(10e9, packet.DefaultElems, elems) * 1e9)),
+			fmtMs(netsim.Time(allreduce.SwitchMLLineRateTAT(10e9, packet.MTUElems, elems) * 1e9)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: MTU packets would cut header overhead from 28.9% to 3.4% and improve TAT ~31.6%;",
+		"SwitchML with k=32 pays only that modest cost versus the MTU upper bound")
+	return t, nil
+}

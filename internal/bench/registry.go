@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment artifact.
+type Runner func(Options) (*Table, error)
+
+// Experiments maps experiment ids to their runners, the per-
+// experiment index of DESIGN.md.
+var Experiments = map[string]Runner{
+	"table1":             RunTable1,
+	"fig2":               RunFig2,
+	"fig3":               RunFig3,
+	"fig4":               RunFig4,
+	"fig5":               RunFig5,
+	"fig6":               RunFig6,
+	"fig7":               RunFig7,
+	"fig8":               RunFig8,
+	"fig10":              RunFig10,
+	"ablation-algorithm": RunAblationAlgorithm,
+	"ablation-rto":       RunAblationRTO,
+	"ablation-pool":      RunAblationPoolTuning,
+	"multitenant":        RunMultiTenant,
+	"straggler":          RunStraggler,
+	"rdma":               RunRDMA,
+	"scaling":            RunScaling,
+}
+
+// IDs returns the experiment ids in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Table, error) {
+	r, ok := Experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o)
+}

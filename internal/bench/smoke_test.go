@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func opts() Options { return Options{Scale: 100, Seed: 1, Log: io.Discard} }
+
+func TestSmokeAll(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "fig2" || id == "fig3" || id == "fig10" {
+			continue // slower; separate tests
+		}
+		tb, err := Run(id, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows", id)
+		}
+		tb.Render(io.Discard)
+	}
+}
+
+func TestSmokeFig2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := opts()
+	o.Scale = 200
+	tb, err := Run("fig2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 11 {
+		t.Errorf("fig2 rows = %d, want 11", len(tb.Rows))
+	}
+}
+
+func TestSmokeFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb, err := Run("fig3", opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Errorf("fig3 rows = %d, want 9", len(tb.Rows))
+	}
+}
+
+func TestSmokeFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb, err := Run("fig10", opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Errorf("fig10 rows = %d, want 12", len(tb.Rows))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", opts()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

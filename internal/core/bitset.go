@@ -1,0 +1,22 @@
+package core
+
+// bitset tracks which workers have contributed to a slot, the "seen"
+// bitmap of Algorithm 3. It supports any worker count (the paper's
+// deployment caps at 64-256 ports, but the protocol does not).
+type bitset []uint64
+
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+func (b bitset) get(i int) bool {
+	return b[i/64]&(1<<(i%64)) != 0
+}
+
+func (b bitset) set(i int) {
+	b[i/64] |= 1 << (i % 64)
+}
+
+func (b bitset) clear(i int) {
+	b[i/64] &^= 1 << (i % 64)
+}

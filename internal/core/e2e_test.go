@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchml/internal/packet"
+)
+
+// harness wires n workers to a switch through an in-memory network
+// with controllable packet drops, driving retransmissions whenever
+// the network drains without progress. It is a lockstep test double
+// for the timing-accurate netsim rack.
+type harness struct {
+	t       *testing.T
+	sw      *Switch
+	workers []*Worker
+	// queue holds packets in flight, in order.
+	queue []queued
+	// dropUp/dropDown decide per packet whether to drop it.
+	dropUp   func(p *packet.Packet) bool
+	dropDown func(wid int, p *packet.Packet) bool
+	done     []bool
+}
+
+type queued struct {
+	toSwitch bool
+	wid      int // destination worker when !toSwitch
+	pkt      *packet.Packet
+}
+
+func newHarness(t *testing.T, n, s, k int, recovery bool) *harness {
+	t.Helper()
+	sw, err := NewSwitch(SwitchConfig{Workers: n, PoolSize: s, SlotElems: k, LossRecovery: recovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{
+		t:        t,
+		sw:       sw,
+		done:     make([]bool, n),
+		dropUp:   func(*packet.Packet) bool { return false },
+		dropDown: func(int, *packet.Packet) bool { return false },
+	}
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID: uint16(i), Workers: n, PoolSize: s, SlotElems: k, LossRecovery: recovery,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.workers = append(h.workers, w)
+	}
+	return h
+}
+
+// aggregate runs one full tensor aggregation and returns worker 0's
+// result; it checks all workers converge to identical aggregates.
+func (h *harness) aggregate(updates [][]int32) []int32 {
+	for i := range h.done {
+		h.done[i] = false
+	}
+	for i, w := range h.workers {
+		for _, p := range w.Start(updates[i]) {
+			h.queue = append(h.queue, queued{toSwitch: true, pkt: p})
+		}
+	}
+	const maxRounds = 1 << 22
+	for rounds := 0; ; rounds++ {
+		if rounds > maxRounds {
+			h.t.Fatal("harness did not converge")
+		}
+		if len(h.queue) == 0 {
+			if h.allDone() {
+				break
+			}
+			// Liveness: every pending slot retransmits, standing in
+			// for the workers' timeout handlers.
+			progress := false
+			for _, w := range h.workers {
+				for idx := 0; idx < w.Config().PoolSize; idx++ {
+					if p := w.Retransmit(uint32(idx)); p != nil {
+						h.queue = append(h.queue, queued{toSwitch: true, pkt: p})
+						progress = true
+					}
+				}
+			}
+			if !progress {
+				h.t.Fatal("deadlock: no pending slots but not all workers done")
+			}
+			continue
+		}
+		q := h.queue[0]
+		h.queue = h.queue[1:]
+		if q.toSwitch {
+			if h.dropUp(q.pkt) {
+				continue
+			}
+			r := h.sw.Handle(q.pkt)
+			if r.Pkt == nil {
+				continue
+			}
+			if r.Multicast {
+				for wid := range h.workers {
+					h.queue = append(h.queue, queued{wid: wid, pkt: r.Pkt.Clone()})
+				}
+			} else {
+				h.queue = append(h.queue, queued{wid: int(r.Pkt.WorkerID), pkt: r.Pkt})
+			}
+		} else {
+			if h.dropDown(q.wid, q.pkt) {
+				continue
+			}
+			next, done := h.workers[q.wid].HandleResult(q.pkt)
+			if next != nil {
+				h.queue = append(h.queue, queued{toSwitch: true, pkt: next})
+			}
+			if done {
+				h.done[q.wid] = true
+			}
+		}
+	}
+	ref := h.workers[0].Aggregate()
+	for wid, w := range h.workers {
+		got := w.Aggregate()
+		if len(got) != len(ref) {
+			h.t.Fatalf("worker %d aggregate length %d != %d", wid, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				h.t.Fatalf("worker %d aggregate[%d] = %d, worker 0 has %d", wid, i, got[i], ref[i])
+			}
+		}
+	}
+	return ref
+}
+
+func (h *harness) allDone() bool {
+	for _, d := range h.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenSum computes the reference aggregation.
+func goldenSum(updates [][]int32) []int32 {
+	out := make([]int32, len(updates[0]))
+	for _, u := range updates {
+		for i, v := range u {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func randUpdates(rng *rand.Rand, n, d int) [][]int32 {
+	us := make([][]int32, n)
+	for i := range us {
+		us[i] = make([]int32, d)
+		for j := range us[i] {
+			us[i][j] = int32(rng.Intn(2001) - 1000)
+		}
+	}
+	return us
+}
+
+func checkEqual(t *testing.T, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestE2ELossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, s, k, d int }{
+		{2, 4, 8, 1024},
+		{3, 2, 2, 7}, // non-multiple of k
+		{8, 16, 32, 4096},
+		{5, 1, 3, 10},     // single-slot pool
+		{2, 128, 32, 100}, // tensor smaller than s*k
+	} {
+		h := newHarness(t, tc.n, tc.s, tc.k, true)
+		us := randUpdates(rng, tc.n, tc.d)
+		checkEqual(t, h.aggregate(us), goldenSum(us))
+	}
+}
+
+func TestE2EAlgorithm1Lossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := newHarness(t, 4, 8, 16, false)
+	us := randUpdates(rng, 4, 500)
+	checkEqual(t, h.aggregate(us), goldenSum(us))
+}
+
+func TestE2EConsecutiveTensors(t *testing.T) {
+	// Multiple tensors through the same switch/workers exercise the
+	// continuous-stream version alternation.
+	rng := rand.New(rand.NewSource(3))
+	h := newHarness(t, 3, 4, 8, true)
+	for iter := 0; iter < 5; iter++ {
+		d := 33 + rng.Intn(200)
+		us := randUpdates(rng, 3, d)
+		checkEqual(t, h.aggregate(us), goldenSum(us))
+	}
+}
+
+func TestE2ERandomLoss(t *testing.T) {
+	// The headline correctness claim (§3.5): aggregation remains
+	// exact under arbitrary loss on both paths.
+	for _, lossRate := range []float64{0.01, 0.1, 0.4} {
+		rng := rand.New(rand.NewSource(int64(lossRate * 1000)))
+		h := newHarness(t, 4, 4, 8, true)
+		h.dropUp = func(*packet.Packet) bool { return rng.Float64() < lossRate }
+		h.dropDown = func(int, *packet.Packet) bool { return rng.Float64() < lossRate }
+		for iter := 0; iter < 3; iter++ {
+			us := randUpdates(rng, 4, 512)
+			checkEqual(t, h.aggregate(us), goldenSum(us))
+		}
+		if h.sw.Stats().IgnoredDuplicates == 0 && lossRate >= 0.1 {
+			t.Errorf("loss %v: expected duplicate suppression activity", lossRate)
+		}
+	}
+}
+
+func TestE2ETargetedResultLoss(t *testing.T) {
+	// Drop every first multicast result to worker 0: each slot's
+	// result must be recovered via the shadow copy + unicast path.
+	h := newHarness(t, 2, 2, 4, true)
+	seen := map[uint64]bool{}
+	h.dropDown = func(wid int, p *packet.Packet) bool {
+		if wid == 0 && p.Kind == packet.KindResult && !seen[p.Off] {
+			seen[p.Off] = true
+			return true
+		}
+		return false
+	}
+	us := randUpdates(rand.New(rand.NewSource(4)), 2, 64)
+	checkEqual(t, h.aggregate(us), goldenSum(us))
+	if h.sw.Stats().ResultRetransmissions == 0 {
+		t.Error("expected unicast result retransmissions")
+	}
+}
+
+func TestE2ETargetedUpdateLoss(t *testing.T) {
+	// Drop every first update from worker 1: recovered by worker-side
+	// retransmission.
+	h := newHarness(t, 2, 2, 4, true)
+	seen := map[uint64]bool{}
+	h.dropUp = func(p *packet.Packet) bool {
+		if p.WorkerID == 1 && !seen[p.Off] {
+			seen[p.Off] = true
+			return true
+		}
+		return false
+	}
+	us := randUpdates(rand.New(rand.NewSource(5)), 2, 64)
+	checkEqual(t, h.aggregate(us), goldenSum(us))
+}
+
+func TestE2EAppendixAScenario(t *testing.T) {
+	// The exact event sequence of Appendix A with three workers and
+	// one slot: w3's update lost upstream, spurious timeouts from w1
+	// and w2, w1's result lost downstream, recovery via unicast, and
+	// the phase flip confirming shadow-copy release.
+	n, k := 3, 1
+	sw, _ := NewSwitch(SwitchConfig{Workers: n, PoolSize: 1, SlotElems: k, LossRecovery: true})
+	ws := make([]*Worker, n)
+	var first [3]*packet.Packet
+	for i := range ws {
+		ws[i], _ = NewWorker(WorkerConfig{ID: uint16(i), Workers: n, PoolSize: 1, SlotElems: k, LossRecovery: true})
+		// Each worker has a 2-chunk tensor so slot 0 is reused once.
+		pkts := ws[i].Start([]int32{int32(i + 1), int32(10 * (i + 1))})
+		first[i] = pkts[0]
+	}
+	// t0, t1: w1 and w2's updates arrive.
+	if r := sw.Handle(first[0]); r.Pkt != nil {
+		t.Fatal("t0: unexpected response")
+	}
+	if r := sw.Handle(first[1]); r.Pkt != nil {
+		t.Fatal("t1: unexpected response")
+	}
+	// t2-t3: w3's update is lost upstream (never delivered).
+	// t4, t5: w1 and w2 time out and retransmit; both ignored.
+	if r := sw.Handle(ws[0].Retransmit(0)); r.Pkt != nil {
+		t.Fatal("t4: retransmission not ignored")
+	}
+	if r := sw.Handle(ws[1].Retransmit(0)); r.Pkt != nil {
+		t.Fatal("t5: retransmission not ignored")
+	}
+	// t6: w3 times out, retransmits; aggregation completes.
+	r := sw.Handle(ws[2].Retransmit(0))
+	if r.Pkt == nil || !r.Multicast {
+		t.Fatal("t6: no multicast")
+	}
+	if r.Pkt.Vector[0] != 1+2+3 {
+		t.Fatalf("t6: aggregate = %d, want 6", r.Pkt.Vector[0])
+	}
+	// t7: the copy to w1 is lost. t9, t10: w2 and w3 receive theirs
+	// and send phase-1 updates (t12, t13).
+	n2, _ := ws[1].HandleResult(r.Pkt.Clone())
+	n3, _ := ws[2].HandleResult(r.Pkt.Clone())
+	if n2 == nil || n2.Ver != 1 || n3 == nil || n3.Ver != 1 {
+		t.Fatal("phase-1 updates missing or wrong version")
+	}
+	if rr := sw.Handle(n2); rr.Pkt != nil {
+		t.Fatal("t12: unexpected response")
+	}
+	if rr := sw.Handle(n3); rr.Pkt != nil {
+		t.Fatal("t13: unexpected response")
+	}
+	// t8: w1 retransmits phase-0; switch replies with unicast result.
+	rt := ws[0].Retransmit(0)
+	ur := sw.Handle(rt)
+	if ur.Pkt == nil || ur.Multicast || ur.Pkt.Kind != packet.KindResultUnicast {
+		t.Fatal("t8: no unicast result")
+	}
+	if ur.Pkt.Vector[0] != 6 {
+		t.Fatalf("t8: unicast result = %d, want 6", ur.Pkt.Vector[0])
+	}
+	// t11/t14: w1 consumes the unicast result and sends its phase-1
+	// update; t15: the slot completes and flips again.
+	n1, _ := ws[0].HandleResult(ur.Pkt)
+	if n1 == nil || n1.Ver != 1 {
+		t.Fatal("t14: w1 phase-1 update missing")
+	}
+	fin := sw.Handle(n1)
+	if fin.Pkt == nil || !fin.Multicast || fin.Pkt.Vector[0] != 10+20+30 {
+		t.Fatalf("t15: final aggregate = %v, want 60", fin.Pkt)
+	}
+	for i, w := range ws {
+		if _, done := w.HandleResult(fin.Pkt.Clone()); !done {
+			t.Fatalf("worker %d not done", i)
+		}
+		checkEqual(t, w.Aggregate(), []int32{6, 60})
+	}
+}
+
+func TestE2ERandomLossManyConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		s := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(16)
+		d := 1 + rng.Intn(700)
+		loss := rng.Float64() * 0.3
+		h := newHarness(t, n, s, k, true)
+		h.dropUp = func(*packet.Packet) bool { return rng.Float64() < loss }
+		h.dropDown = func(int, *packet.Packet) bool { return rng.Float64() < loss }
+		us := randUpdates(rng, n, d)
+		checkEqual(t, h.aggregate(us), goldenSum(us))
+	}
+}

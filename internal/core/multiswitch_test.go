@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"switchml/internal/packet"
+)
+
+func TestMultiSwitchRouting(t *testing.T) {
+	m := NewMultiSwitch(0)
+	for _, job := range []uint16{1, 2} {
+		if _, err := m.AdmitJob(SwitchConfig{
+			Workers: 2, PoolSize: 2, SlotElems: 2, LossRecovery: true, JobID: job,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Job 1 aggregates [1,1]+[2,2]; job 2 aggregates [10,10]+[20,20];
+	// interleaved deliveries must not mix.
+	m.Handle(packet.NewUpdate(0, 1, 0, 0, 0, []int32{1, 1}))
+	m.Handle(packet.NewUpdate(0, 2, 0, 0, 0, []int32{10, 10}))
+	r1 := m.Handle(packet.NewUpdate(1, 1, 0, 0, 0, []int32{2, 2}))
+	r2 := m.Handle(packet.NewUpdate(1, 2, 0, 0, 0, []int32{20, 20}))
+	if r1.Pkt == nil || r1.Pkt.Vector[0] != 3 || r1.Pkt.JobID != 1 {
+		t.Errorf("job 1 result = %v", r1.Pkt)
+	}
+	if r2.Pkt == nil || r2.Pkt.Vector[0] != 30 || r2.Pkt.JobID != 2 {
+		t.Errorf("job 2 result = %v", r2.Pkt)
+	}
+	// Unknown job: dropped.
+	if r := m.Handle(packet.NewUpdate(0, 9, 0, 0, 0, []int32{1})); r.Pkt != nil {
+		t.Error("unknown job produced a response")
+	}
+}
+
+func TestMultiSwitchAdmissionBudget(t *testing.T) {
+	cfg := SwitchConfig{Workers: 4, PoolSize: 64, SlotElems: 32, LossRecovery: true, JobID: 1}
+	ref, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := ref.MemoryBytes()
+
+	m := NewMultiSwitch(2*per + per/2) // Room for exactly two jobs.
+	for job := uint16(1); job <= 2; job++ {
+		cfg.JobID = job
+		if _, err := m.AdmitJob(cfg); err != nil {
+			t.Fatalf("job %d rejected: %v", job, err)
+		}
+	}
+	cfg.JobID = 3
+	if _, err := m.AdmitJob(cfg); err == nil {
+		t.Fatal("third job admitted beyond budget")
+	}
+	if got := m.MemoryBytes(); got != 2*per {
+		t.Errorf("MemoryBytes = %d, want %d", got, 2*per)
+	}
+	if got := m.Jobs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Jobs = %v", got)
+	}
+	if m.Job(1) == nil || m.Job(3) != nil {
+		t.Error("Job lookup wrong")
+	}
+	if err := m.ReleaseJob(1); err != nil {
+		t.Fatal(err)
+	}
+	cfg.JobID = 3
+	if _, err := m.AdmitJob(cfg); err != nil {
+		t.Errorf("job 3 rejected after release: %v", err)
+	}
+	if err := m.ReleaseJob(42); err == nil {
+		t.Error("releasing unknown job succeeded")
+	}
+}
+
+func TestMultiSwitchDuplicateAndInvalidJobs(t *testing.T) {
+	m := NewMultiSwitch(0)
+	cfg := SwitchConfig{Workers: 1, PoolSize: 1, SlotElems: 1, LossRecovery: true, JobID: 7}
+	if _, err := m.AdmitJob(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AdmitJob(cfg); err == nil {
+		t.Error("duplicate job admitted")
+	}
+	if _, err := m.AdmitJob(SwitchConfig{JobID: 8}); err == nil {
+		t.Error("invalid config admitted")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchml/internal/packet"
+)
+
+// These tests cover same-worker packet reordering, a hazard the
+// paper's protocol does not address (it assumes each worker's packets
+// reach the switch in order, which DPDK run-to-completion loops and
+// single-path L2 provide). Our switch hardens the count==0 overwrite
+// path with a monotonic-offset check so that a stale duplicate
+// overtaking later updates cannot hijack a slot.
+
+func TestStaleDuplicateAfterPhaseAdvanceIsDropped(t *testing.T) {
+	// Two workers, one slot, k=1. Phases: (v0,off0), (v1,off1),
+	// (v0,off2), ...
+	sw := newTestSwitch(t, 2, 1, 1, true)
+	// Phase 0 completes.
+	sw.Handle(upd(0, 0, 0, 0, 1))
+	r := sw.Handle(upd(1, 0, 0, 0, 2))
+	if r.Pkt == nil {
+		t.Fatal("phase 0 did not complete")
+	}
+	// Phase 1 completes.
+	sw.Handle(upd(0, 1, 0, 1, 10))
+	r = sw.Handle(upd(1, 1, 0, 1, 20))
+	if r.Pkt == nil {
+		t.Fatal("phase 1 did not complete")
+	}
+	// A stale duplicate of worker 0's phase-0 update arrives now
+	// (reordered past its phase-1 traffic). Without the hardening it
+	// would overwrite slot[0] (count==0, seen cleared) and poison the
+	// upcoming phase 2.
+	if resp := sw.Handle(upd(0, 0, 0, 0, 1)); resp.Pkt != nil {
+		// Off equals slot[0]'s completed aggregation, so the switch
+		// may serve the retained result; it must be that result, not
+		// a fresh aggregation.
+		if resp.Multicast || resp.Pkt.Vector[0] != 3 {
+			t.Fatalf("stale duplicate produced %v", resp.Pkt)
+		}
+	}
+	// Phase 2 must aggregate cleanly.
+	sw.Handle(upd(0, 0, 0, 2, 100))
+	r = sw.Handle(upd(1, 0, 0, 2, 200))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 300 {
+		t.Fatalf("phase 2 aggregate = %v, want 300", r.Pkt)
+	}
+}
+
+func TestStaleTwoPhasesOldIsDropped(t *testing.T) {
+	// A duplicate two phases old matches neither pool's offset and
+	// must be dropped outright.
+	sw := newTestSwitch(t, 2, 1, 1, true)
+	for phase := 0; phase < 4; phase++ {
+		sw.Handle(upd(0, uint8(phase%2), 0, uint64(phase), 1))
+		if r := sw.Handle(upd(1, uint8(phase%2), 0, uint64(phase), 1)); r.Pkt == nil {
+			t.Fatalf("phase %d did not complete", phase)
+		}
+	}
+	// Pools hold off=2 (ver0, seen bits cleared by phase 3) and off=3
+	// (ver1). A stale (ver0, off0) duplicate matches neither pool's
+	// offset and its seen bit is clear: it must be dropped, not open
+	// a new aggregation.
+	if r := sw.Handle(upd(0, 0, 0, 0, 99)); r.Pkt != nil {
+		t.Fatalf("four-phase-old duplicate produced %v", r.Pkt)
+	}
+	if sw.Stats().StaleUpdates != 1 {
+		t.Errorf("StaleUpdates = %d, want 1", sw.Stats().StaleUpdates)
+	}
+	// The slot still works.
+	sw.Handle(upd(0, 0, 0, 4, 5))
+	if r := sw.Handle(upd(1, 0, 0, 4, 5)); r.Pkt == nil || r.Pkt.Vector[0] != 10 {
+		t.Fatalf("post-stale aggregation broken: %v", r.Pkt)
+	}
+}
+
+func TestE2EWithRandomReordering(t *testing.T) {
+	// The lockstep harness with a reordering network: each queued
+	// packet may be delayed behind later traffic. Aggregation must
+	// remain exact.
+	rng := rand.New(rand.NewSource(17))
+	h := newHarness(t, 3, 2, 4, true)
+	// Swap random adjacent queue entries by dropping-and-requeueing:
+	// implemented via the drop hooks re-injecting packets later is
+	// complex, so instead shuffle via the harness queue directly
+	// before each step using dropUp as a tap.
+	// Simpler: run with duplication—every update is delivered twice,
+	// the second copy after a delay (modelled by requeueing).
+	h.dropUp = func(p *packet.Packet) bool {
+		if rng.Float64() < 0.05 {
+			// Duplicate: requeue a clone at the tail so it arrives
+			// after later packets (reordering + duplication).
+			h.queue = append(h.queue, queued{toSwitch: true, pkt: p.Clone()})
+		}
+		return false
+	}
+	us := randUpdates(rng, 3, 300)
+	checkEqual(t, h.aggregate(us), goldenSum(us))
+}

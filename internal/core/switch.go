@@ -1,0 +1,387 @@
+// Package core implements the SwitchML aggregation protocol: the
+// switch-side logic of Algorithms 1 and 3 and the worker-side logic
+// of Algorithms 2 and 4, as pure deterministic state machines.
+//
+// The state machines are transport-agnostic: they consume and produce
+// packets without performing I/O or keeping timers. Hosts — the
+// discrete-event simulator, the in-process loopback transport, and
+// the real UDP transport — drive them and own retransmission timers,
+// exactly as the paper keeps "protocol complexity at the end hosts"
+// (§3.2).
+package core
+
+import (
+	"fmt"
+
+	"switchml/internal/packet"
+)
+
+// SwitchConfig describes one job's aggregation pool on a switch.
+type SwitchConfig struct {
+	// Workers is n, the number of workers that must contribute to
+	// each slot before it completes.
+	Workers int
+	// PoolSize is s, the number of aggregator slots per pool. With
+	// loss recovery enabled the switch holds two pools of this size
+	// (the active copy and the shadow copy).
+	PoolSize int
+	// SlotElems is k, the maximum number of 32-bit elements a slot
+	// (and hence a packet) can hold.
+	SlotElems int
+	// LossRecovery selects Algorithm 3 (shadow copies + seen bitmaps)
+	// when true, and the simpler Algorithm 1 (single pool, counter
+	// only) when false. Algorithm 1 is only correct on lossless
+	// fabrics; it exists for the paper's Infiniband/lossless-RoCE
+	// scenario and for ablation.
+	LossRecovery bool
+	// JobID is stamped on sanity checks of incoming packets.
+	JobID uint16
+	// Codec converts between wire elements and accumulator values;
+	// nil selects the identity (32-bit fixed point on the wire). The
+	// float16 mode of §3.7 passes a PackedHalfCodec.
+	Codec Codec
+}
+
+func (c *SwitchConfig) validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("core: switch needs at least 1 worker, got %d", c.Workers)
+	}
+	if c.PoolSize <= 0 {
+		return fmt.Errorf("core: pool size must be positive, got %d", c.PoolSize)
+	}
+	if c.SlotElems <= 0 {
+		return fmt.Errorf("core: slot elements must be positive, got %d", c.SlotElems)
+	}
+	return nil
+}
+
+// slot is one aggregator: a vector accumulator plus completion
+// tracking, in one version of the pool.
+type slot struct {
+	vector []int32
+	// elems is the length of the aggregation in progress; the final
+	// chunk of a tensor may be shorter than k.
+	elems int
+	// off is the stream offset of the aggregation in progress, kept
+	// so retransmitted results carry the right offset.
+	off int64
+	// count counts contributions modulo n, exactly as Algorithm 3
+	// line 8: count==0 right after an increment means "complete".
+	count int
+	// seen marks which workers contributed (Algorithm 3's bitmap).
+	seen bitset
+}
+
+// SwitchStats counts protocol events on the switch.
+type SwitchStats struct {
+	// Updates is the number of update packets processed.
+	Updates uint64
+	// Completions is the number of slot aggregations finished (each
+	// produces one multicast result).
+	Completions uint64
+	// IgnoredDuplicates counts retransmitted updates for slots still
+	// aggregating (seen bit already set, Algorithm 3 line 23).
+	IgnoredDuplicates uint64
+	// ResultRetransmissions counts unicast result replies to
+	// retransmitted updates for already-complete slots (line 21).
+	ResultRetransmissions uint64
+	// StaleUpdates counts old-phase packets that overtook a worker's
+	// later updates and were dropped to protect the slot (a hardening
+	// beyond the paper, which assumes per-worker FIFO delivery).
+	StaleUpdates uint64
+	// Rejected counts malformed packets dropped by sanity checks.
+	Rejected uint64
+}
+
+// Response is the switch's reaction to one update packet.
+type Response struct {
+	// Pkt is the result packet, nil if the update was absorbed or
+	// dropped.
+	Pkt *packet.Packet
+	// Multicast is true when Pkt must be delivered to every worker;
+	// false means unicast to Pkt.WorkerID.
+	Multicast bool
+}
+
+// Switch is the dataplane aggregation state machine for a single job.
+// It is not safe for concurrent use; hosts serialize packet delivery,
+// which models the switch pipeline processing one packet at a time.
+type Switch struct {
+	cfg   SwitchConfig
+	pools [2][]slot
+	stats SwitchStats
+	// scratch holds one packet's ingress-expanded values.
+	scratch []int32
+}
+
+// ratio is the accumulator-values-per-wire-element factor.
+func (sw *Switch) ratio() int {
+	if sw.cfg.Codec == nil {
+		return 1
+	}
+	return sw.cfg.Codec.Ratio()
+}
+
+// ingressOverwrite decodes p's vector into the slot accumulator,
+// replacing its contents.
+func (sw *Switch) ingressOverwrite(sl *slot, p *packet.Packet) {
+	sl.elems = len(p.Vector)
+	sl.off = int64(p.Off)
+	if sw.cfg.Codec == nil {
+		copy(sl.vector[:sl.elems], p.Vector)
+		return
+	}
+	sw.cfg.Codec.Ingress(sl.vector[:sw.ratio()*sl.elems], p.Vector)
+}
+
+// egress encodes the slot accumulator into a result vector.
+func (sw *Switch) egress(sl *slot) []int32 {
+	out := make([]int32, sl.elems)
+	if sw.cfg.Codec == nil {
+		copy(out, sl.vector[:sl.elems])
+		return out
+	}
+	sw.cfg.Codec.Egress(out, sl.vector[:sw.ratio()*sl.elems])
+	return out
+}
+
+// NewSwitch allocates the pools for one job.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sw := &Switch{cfg: cfg}
+	versions := 2
+	if !cfg.LossRecovery {
+		versions = 1
+	}
+	for v := 0; v < versions; v++ {
+		sw.pools[v] = make([]slot, cfg.PoolSize)
+		for i := range sw.pools[v] {
+			sw.pools[v][i] = slot{
+				vector: make([]int32, sw.ratio()*cfg.SlotElems),
+				off:    -1,
+				seen:   newBitset(cfg.Workers),
+			}
+		}
+	}
+	sw.scratch = make([]int32, sw.ratio()*cfg.SlotElems)
+	return sw, nil
+}
+
+// Config returns the switch's configuration.
+func (sw *Switch) Config() SwitchConfig { return sw.cfg }
+
+// Stats returns a snapshot of the switch's counters.
+func (sw *Switch) Stats() SwitchStats { return sw.stats }
+
+// MemoryBytes returns the register memory this job's pools occupy,
+// for resource accounting against the p4sim SRAM model: vectors plus
+// the seen bitmaps and counters.
+func (sw *Switch) MemoryBytes() int {
+	versions := 2
+	if !sw.cfg.LossRecovery {
+		versions = 1
+	}
+	perSlot := sw.ratio()*sw.cfg.SlotElems*4 + // vector registers
+		(sw.cfg.Workers+7)/8 + // seen bitmap
+		4 // count register
+	return versions * sw.cfg.PoolSize * perSlot
+}
+
+// Handle processes one update packet per Algorithm 3 (or Algorithm 1
+// when loss recovery is off) and returns the switch's response.
+// Malformed packets are counted and dropped, never panicking: a
+// dataplane must survive garbage.
+func (sw *Switch) Handle(p *packet.Packet) Response {
+	if !sw.admit(p) {
+		sw.stats.Rejected++
+		return Response{}
+	}
+	sw.stats.Updates++
+	if !sw.cfg.LossRecovery {
+		return sw.handleSimple(p)
+	}
+	return sw.handleRecovering(p)
+}
+
+// admit performs the dataplane sanity checks.
+func (sw *Switch) admit(p *packet.Packet) bool {
+	if p.Kind != packet.KindUpdate {
+		return false
+	}
+	if int(p.WorkerID) >= sw.cfg.Workers {
+		return false
+	}
+	if p.JobID != sw.cfg.JobID {
+		return false
+	}
+	if int(p.Idx) >= sw.cfg.PoolSize {
+		return false
+	}
+	if len(p.Vector) == 0 || len(p.Vector) > sw.cfg.SlotElems {
+		return false
+	}
+	if p.Ver > 1 || (!sw.cfg.LossRecovery && p.Ver != 0) {
+		return false
+	}
+	return true
+}
+
+// handleSimple is Algorithm 1: no duplicate suppression, no shadow
+// copy. Correct only when the network never drops or duplicates.
+func (sw *Switch) handleSimple(p *packet.Packet) Response {
+	sl := &sw.pools[0][p.Idx]
+	if sl.count == 0 {
+		sw.ingressOverwrite(sl, p)
+	} else {
+		if !sw.accumulate(sl, p) {
+			return Response{}
+		}
+	}
+	sl.count++
+	if sl.count < sw.cfg.Workers {
+		return Response{}
+	}
+	// Complete: emit the aggregate and release the slot (Algorithm 1
+	// lines 8-10).
+	out := p.Clone()
+	out.Kind = packet.KindResult
+	out.Vector = sw.egress(sl)
+	sl.count = 0
+	sl.off = -1
+	sw.stats.Completions++
+	return Response{Pkt: out, Multicast: true}
+}
+
+// handleRecovering is Algorithm 3.
+func (sw *Switch) handleRecovering(p *packet.Packet) Response {
+	sl := &sw.pools[p.Ver][p.Idx]
+	other := &sw.pools[1-p.Ver][p.Idx]
+	wid := int(p.WorkerID)
+
+	if !sl.seen.get(wid) {
+		// First contribution from this worker for this slot+version
+		// (Algorithm 3 lines 5-17).
+		if sl.count == 0 {
+			// This packet would open a new aggregation phase and
+			// overwrite the slot. Stream offsets grow strictly
+			// monotonically per slot, so a packet not beyond both
+			// pools' last offsets is a stale duplicate that overtook
+			// the worker's later updates (same-worker reordering,
+			// which the single version bit cannot otherwise
+			// distinguish). Serve the retained result if it matches
+			// this pool's completed aggregation; otherwise drop it
+			// rather than corrupt the slot.
+			if int64(p.Off) <= sl.off || int64(p.Off) <= other.off {
+				if int64(p.Off) == sl.off {
+					sw.stats.ResultRetransmissions++
+					out := p.Clone()
+					out.Kind = packet.KindResultUnicast
+					out.Off = uint64(sl.off)
+					out.Vector = sw.egress(sl)
+					return Response{Pkt: out}
+				}
+				sw.stats.StaleUpdates++
+				return Response{}
+			}
+		}
+		otherHad := other.seen.get(wid)
+		sl.seen.set(wid)
+		other.seen.clear(wid)
+		if sl.count == 0 {
+			// First contribution overall: overwrite, which doubles as
+			// the slot reset (line 10).
+			sw.ingressOverwrite(sl, p)
+		} else {
+			if !sw.accumulate(sl, p) {
+				// Inconsistent chunk from a misbehaving worker: undo
+				// the seen-bit changes and drop.
+				sl.seen.clear(wid)
+				if otherHad {
+					other.seen.set(wid)
+				}
+				return Response{}
+			}
+		}
+		sl.count = (sl.count + 1) % sw.cfg.Workers
+		if sl.count != 0 {
+			return Response{}
+		}
+		// Aggregation complete (lines 13-15): the slot becomes the
+		// shadow copy, retaining its value for retransmissions.
+		out := p.Clone()
+		out.Kind = packet.KindResult
+		out.Vector = sw.egress(sl)
+		sw.stats.Completions++
+		return Response{Pkt: out, Multicast: true}
+	}
+
+	// Retransmission (lines 18-23).
+	if sl.count == 0 {
+		// The slot already completed; reply to just this worker with
+		// the retained result (lines 19-21).
+		sw.stats.ResultRetransmissions++
+		out := p.Clone()
+		out.Kind = packet.KindResultUnicast
+		out.Off = uint64(sl.off)
+		out.Vector = sw.egress(sl)
+		return Response{Pkt: out}
+	}
+	// Still aggregating: the update was already applied, ignore.
+	sw.stats.IgnoredDuplicates++
+	return Response{}
+}
+
+// accumulate adds p's vector into the slot, verifying the chunk is
+// consistent with the aggregation in progress.
+func (sw *Switch) accumulate(sl *slot, p *packet.Packet) bool {
+	if len(p.Vector) != sl.elems || int64(p.Off) != sl.off {
+		// The packet passed admission but does not belong to the
+		// aggregation in progress: a stale or inconsistent chunk.
+		sw.stats.StaleUpdates++
+		return false
+	}
+	if sw.cfg.Codec == nil {
+		for i, v := range p.Vector {
+			sl.vector[i] += v
+		}
+		return true
+	}
+	vals := sw.scratch[:sw.ratio()*sl.elems]
+	sw.cfg.Codec.Ingress(vals, p.Vector)
+	for i, v := range vals {
+		sl.vector[i] += v
+	}
+	return true
+}
+
+// DebugSlot reports a slot's internal state for diagnostics: the
+// contribution count, the offset of the aggregation in progress, and
+// the seen bitmap's first word.
+func (sw *Switch) DebugSlot(ver uint8, idx uint32) (count int, off int64, elems int, seen uint64) {
+	sl := &sw.pools[ver][idx]
+	return sl.count, sl.off, sl.elems, uint64(sl.seen[0])
+}
+
+// Reset clears all pool state, preparing the switch for a restarted
+// job. The paper assumes worker failures are handled by the ML
+// framework restarting the job (§3.2); on restart the new workers
+// begin the stream at offset zero, which the monotonic-offset
+// hardening would otherwise reject against the dead job's residue.
+func (sw *Switch) Reset() {
+	for v := range sw.pools {
+		for i := range sw.pools[v] {
+			sl := &sw.pools[v][i]
+			for j := range sl.vector {
+				sl.vector[j] = 0
+			}
+			sl.count = 0
+			sl.elems = 0
+			sl.off = -1
+			for w := 0; w < sw.cfg.Workers; w++ {
+				sl.seen.clear(w)
+			}
+		}
+	}
+}

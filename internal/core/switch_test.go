@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"switchml/internal/packet"
+)
+
+func newTestSwitch(t *testing.T, n, s, k int, recovery bool) *Switch {
+	t.Helper()
+	sw, err := NewSwitch(SwitchConfig{Workers: n, PoolSize: s, SlotElems: k, LossRecovery: recovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func upd(wid uint16, ver uint8, idx uint32, off uint64, vec ...int32) *packet.Packet {
+	return packet.NewUpdate(wid, 0, ver, idx, off, vec)
+}
+
+func TestSwitchConfigValidation(t *testing.T) {
+	bad := []SwitchConfig{
+		{Workers: 0, PoolSize: 1, SlotElems: 1},
+		{Workers: 1, PoolSize: 0, SlotElems: 1},
+		{Workers: 1, PoolSize: 1, SlotElems: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewSwitch(cfg); err == nil {
+			t.Errorf("NewSwitch(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestAlgorithm1BasicAggregation(t *testing.T) {
+	// Algorithm 1: three workers aggregate one slot.
+	sw := newTestSwitch(t, 3, 4, 2, false)
+	if r := sw.Handle(upd(0, 0, 1, 2, 10, 20)); r.Pkt != nil {
+		t.Fatal("premature response after first update")
+	}
+	if r := sw.Handle(upd(1, 0, 1, 2, 1, 2)); r.Pkt != nil {
+		t.Fatal("premature response after second update")
+	}
+	r := sw.Handle(upd(2, 0, 1, 2, 100, 200))
+	if r.Pkt == nil || !r.Multicast {
+		t.Fatal("no multicast after final update")
+	}
+	if r.Pkt.Kind != packet.KindResult || r.Pkt.Idx != 1 || r.Pkt.Off != 2 {
+		t.Errorf("result header = %v", r.Pkt)
+	}
+	if r.Pkt.Vector[0] != 111 || r.Pkt.Vector[1] != 222 {
+		t.Errorf("aggregate = %v, want [111 222]", r.Pkt.Vector)
+	}
+	// The slot must be immediately reusable.
+	sw.Handle(upd(0, 0, 1, 10, 5, 5))
+	sw.Handle(upd(1, 0, 1, 10, 5, 5))
+	r = sw.Handle(upd(2, 0, 1, 10, 5, 5))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 15 {
+		t.Errorf("slot reuse failed: %v", r.Pkt)
+	}
+	if got := sw.Stats().Completions; got != 2 {
+		t.Errorf("Completions = %d, want 2", got)
+	}
+}
+
+func TestAlgorithm1RejectsVersion1(t *testing.T) {
+	sw := newTestSwitch(t, 2, 1, 1, false)
+	sw.Handle(upd(0, 1, 0, 0, 1))
+	if sw.Stats().Rejected != 1 || sw.Stats().Updates != 0 {
+		t.Errorf("stats = %+v, want ver=1 rejected", sw.Stats())
+	}
+}
+
+func TestSwitchSanityChecks(t *testing.T) {
+	sw := newTestSwitch(t, 2, 2, 4, true)
+	cases := []*packet.Packet{
+		{Kind: packet.KindResult, Vector: []int32{1}}, // wrong kind
+		upd(7, 0, 0, 0, 1),                            // wid out of range
+		upd(0, 0, 9, 0, 1),                            // idx out of range
+		upd(0, 3, 0, 0, 1),                            // bad version
+		upd(0, 0, 0, 0),                               // empty vector
+		upd(0, 0, 0, 0, 1, 2, 3, 4, 5),                // oversized vector
+		packet.NewUpdate(0, 9, 0, 0, 0, []int32{1}),   // wrong job
+	}
+	for i, p := range cases {
+		if r := sw.Handle(p); r.Pkt != nil {
+			t.Errorf("case %d: malformed packet produced a response", i)
+		}
+	}
+	if got := sw.Stats().Rejected; got != uint64(len(cases)) {
+		t.Errorf("Rejected = %d, want %d", got, len(cases))
+	}
+}
+
+func TestAlgorithm3DuplicateUpdateIgnored(t *testing.T) {
+	sw := newTestSwitch(t, 2, 2, 2, true)
+	sw.Handle(upd(0, 0, 0, 0, 5, 5))
+	// Worker 0 retransmits before the slot completes: must be ignored,
+	// not double-applied (the t4/t5 events of Appendix A).
+	if r := sw.Handle(upd(0, 0, 0, 0, 5, 5)); r.Pkt != nil {
+		t.Fatal("duplicate produced a response while aggregating")
+	}
+	if sw.Stats().IgnoredDuplicates != 1 {
+		t.Errorf("IgnoredDuplicates = %d, want 1", sw.Stats().IgnoredDuplicates)
+	}
+	r := sw.Handle(upd(1, 0, 0, 0, 3, 3))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 8 || r.Pkt.Vector[1] != 8 {
+		t.Fatalf("aggregate = %v, want [8 8] (duplicate not applied twice)", r.Pkt)
+	}
+}
+
+func TestAlgorithm3ResultRetransmission(t *testing.T) {
+	// After completion, a retransmitted update gets a unicast copy of
+	// the retained result (Appendix A, t8).
+	sw := newTestSwitch(t, 2, 2, 2, true)
+	sw.Handle(upd(0, 0, 1, 4, 1, 2))
+	r := sw.Handle(upd(1, 0, 1, 4, 10, 20))
+	if r.Pkt == nil || !r.Multicast {
+		t.Fatal("no completion")
+	}
+	rr := sw.Handle(upd(0, 0, 1, 4, 1, 2))
+	if rr.Pkt == nil || rr.Multicast {
+		t.Fatal("retransmission after completion did not yield unicast")
+	}
+	if rr.Pkt.Kind != packet.KindResultUnicast || rr.Pkt.WorkerID != 0 {
+		t.Errorf("unicast header = %v", rr.Pkt)
+	}
+	if rr.Pkt.Off != 4 || rr.Pkt.Vector[0] != 11 || rr.Pkt.Vector[1] != 22 {
+		t.Errorf("unicast result = %v, want off=4 [11 22]", rr.Pkt)
+	}
+	if sw.Stats().ResultRetransmissions != 1 {
+		t.Errorf("ResultRetransmissions = %d, want 1", sw.Stats().ResultRetransmissions)
+	}
+}
+
+func TestAlgorithm3ShadowCopySurvivesNextPhase(t *testing.T) {
+	// The completed ver-0 result must remain retrievable while the
+	// slot aggregates ver 1, the core shadow-copy property (§3.5).
+	sw := newTestSwitch(t, 2, 1, 1, true)
+	sw.Handle(upd(0, 0, 0, 0, 1))
+	sw.Handle(upd(1, 0, 0, 0, 2)) // ver 0 completes: aggregate 3.
+	// Worker 1 moves on to ver 1; worker 0's result was lost.
+	sw.Handle(upd(1, 1, 0, 1, 20))
+	// Worker 0 retransmits ver 0 and must get the old result back.
+	r := sw.Handle(upd(0, 0, 0, 0, 1))
+	if r.Pkt == nil || r.Multicast || r.Pkt.Vector[0] != 3 || r.Pkt.Off != 0 {
+		t.Fatalf("shadow copy lost: %v", r.Pkt)
+	}
+	// Now worker 0 advances to ver 1 and the slot completes normally.
+	out := sw.Handle(upd(0, 1, 0, 1, 10))
+	if out.Pkt == nil || !out.Multicast || out.Pkt.Vector[0] != 30 {
+		t.Fatalf("phase 1 aggregate = %v, want 30", out.Pkt)
+	}
+}
+
+func TestAlgorithm3SeenBitsFlipAcrossPhases(t *testing.T) {
+	// Contributing to version v clears the worker's seen bit in
+	// version 1-v (Algorithm 3 line 7), so a third phase reusing
+	// version 0 starts clean.
+	sw := newTestSwitch(t, 2, 1, 1, true)
+	for phase := 0; phase < 6; phase++ {
+		ver := uint8(phase % 2)
+		off := uint64(phase)
+		sw.Handle(upd(0, ver, 0, off, 1))
+		r := sw.Handle(upd(1, ver, 0, off, 1))
+		if r.Pkt == nil || r.Pkt.Vector[0] != 2 {
+			t.Fatalf("phase %d aggregate = %v, want 2", phase, r.Pkt)
+		}
+	}
+}
+
+func TestSwitchInconsistentChunkRejected(t *testing.T) {
+	sw := newTestSwitch(t, 2, 1, 4, true)
+	sw.Handle(upd(0, 0, 0, 0, 1, 2, 3))
+	// Worker 1 sends a different length for the same slot: dropped.
+	if r := sw.Handle(upd(1, 0, 0, 0, 9)); r.Pkt != nil {
+		t.Fatal("inconsistent chunk length accepted")
+	}
+	// And a mismatched offset: dropped.
+	if r := sw.Handle(upd(1, 0, 0, 77, 9, 9, 9)); r.Pkt != nil {
+		t.Fatal("inconsistent offset accepted")
+	}
+	// A consistent chunk still completes and the bad ones left no
+	// trace.
+	r := sw.Handle(upd(1, 0, 0, 0, 10, 10, 10))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 11 || r.Pkt.Vector[2] != 13 {
+		t.Fatalf("aggregate = %v", r.Pkt)
+	}
+	// The rejected worker must be able to contribute to the next
+	// phase (its seen bit was restored correctly).
+	sw.Handle(upd(0, 1, 0, 4, 1, 1, 1))
+	r = sw.Handle(upd(1, 1, 0, 4, 2, 2, 2))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 3 {
+		t.Fatalf("next phase aggregate = %v", r.Pkt)
+	}
+}
+
+func TestSwitchMemoryBytes(t *testing.T) {
+	// The paper's 10 Gbps deployment: s=128, k=32 occupies 32 KB of
+	// vector register space per pool version (§3.6).
+	sw := newTestSwitch(t, 8, 128, 32, true)
+	vectors := 2 * 128 * 32 * 4
+	if got := sw.MemoryBytes(); got < vectors {
+		t.Errorf("MemoryBytes = %d, want >= %d", got, vectors)
+	}
+	// And within 20% of the vector-only accounting (bitmaps and
+	// counters are small).
+	if got := sw.MemoryBytes(); float64(got) > 1.2*float64(vectors) {
+		t.Errorf("MemoryBytes = %d, overhead too large vs %d", got, vectors)
+	}
+	// Algorithm 1 needs half the vector memory.
+	sw1 := newTestSwitch(t, 8, 128, 32, false)
+	if sw1.MemoryBytes() >= sw.MemoryBytes() {
+		t.Error("Algorithm 1 should use less memory than Algorithm 3")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.get(i) {
+			t.Errorf("bit %d set initially", i)
+		}
+		b.set(i)
+		if !b.get(i) {
+			t.Errorf("bit %d not set after set", i)
+		}
+	}
+	b.clear(64)
+	if b.get(64) || !b.get(63) || !b.get(129) {
+		t.Error("clear(64) affected wrong bits")
+	}
+}
+
+func TestSwitchResetEnablesJobRestart(t *testing.T) {
+	// A job dies mid-stream after several phases; without Reset, a
+	// restarted job's offset-0 packets are (correctly) rejected as
+	// stale by the monotonic-offset hardening. Reset clears the way.
+	sw := newTestSwitch(t, 2, 1, 1, true)
+	for phase := 0; phase < 4; phase++ {
+		sw.Handle(upd(0, uint8(phase%2), 0, uint64(phase*100), 1))
+		sw.Handle(upd(1, uint8(phase%2), 0, uint64(phase*100), 1))
+	}
+	// Restart without reset: rejected.
+	if r := sw.Handle(upd(0, 0, 0, 0, 5)); r.Pkt != nil {
+		t.Fatal("restart packet produced a response against stale state")
+	}
+	if sw.Stats().StaleUpdates == 0 {
+		t.Fatal("stale rejection not recorded")
+	}
+	sw.Reset()
+	sw.Handle(upd(0, 0, 0, 0, 5))
+	r := sw.Handle(upd(1, 0, 0, 0, 7))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 12 {
+		t.Fatalf("post-reset aggregate = %v, want 12", r.Pkt)
+	}
+}
+
+func TestSwitchConfigAccessorAndDebugSlot(t *testing.T) {
+	sw := newTestSwitch(t, 3, 4, 2, true)
+	if got := sw.Config(); got.Workers != 3 || got.PoolSize != 4 {
+		t.Errorf("Config = %+v", got)
+	}
+	sw.Handle(upd(1, 0, 2, 8, 5, 6))
+	count, off, elems, seen := sw.DebugSlot(0, 2)
+	if count != 1 || off != 8 || elems != 2 || seen != 1<<1 {
+		t.Errorf("DebugSlot = (%d,%d,%d,%b)", count, off, elems, seen)
+	}
+}
+
+func TestAlgorithm1InconsistentChunk(t *testing.T) {
+	sw := newTestSwitch(t, 2, 1, 4, false)
+	sw.Handle(upd(0, 0, 0, 0, 1, 2))
+	if r := sw.Handle(upd(1, 0, 0, 99, 1, 2)); r.Pkt != nil {
+		t.Error("mismatched offset accepted by Algorithm 1")
+	}
+	r := sw.Handle(upd(1, 0, 0, 0, 10, 20))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 11 {
+		t.Fatalf("aggregate = %v", r.Pkt)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"switchml/internal/packet"
+)
+
+// WorkerConfig describes one worker's view of the aggregation job.
+type WorkerConfig struct {
+	// ID is this worker's id in [0, Workers).
+	ID uint16
+	// Workers is n, the job's worker count.
+	Workers int
+	// PoolSize is s, the number of aggregator slots; it bounds the
+	// worker's in-flight window (§3.6).
+	PoolSize int
+	// SlotElems is k, the elements per packet.
+	SlotElems int
+	// JobID is stamped on every packet.
+	JobID uint16
+	// LossRecovery must match the switch's setting; when false the
+	// worker always sends version 0 (Algorithm 2).
+	LossRecovery bool
+}
+
+func (c *WorkerConfig) validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("core: worker count must be positive, got %d", c.Workers)
+	}
+	if int(c.ID) >= c.Workers {
+		return fmt.Errorf("core: worker id %d out of range [0,%d)", c.ID, c.Workers)
+	}
+	if c.PoolSize <= 0 {
+		return fmt.Errorf("core: pool size must be positive, got %d", c.PoolSize)
+	}
+	if c.SlotElems <= 0 {
+		return fmt.Errorf("core: slot elements must be positive, got %d", c.SlotElems)
+	}
+	return nil
+}
+
+// pendingSlot tracks one in-flight aggregation on a worker.
+type pendingSlot struct {
+	active bool
+	// off is the stream offset of the in-flight chunk.
+	off uint64
+	// elems is the in-flight chunk length.
+	elems int
+	// ver is the pool version the chunk was sent with.
+	ver uint8
+}
+
+// WorkerStats counts protocol events on a worker.
+type WorkerStats struct {
+	// Sent counts update packets produced (excluding retransmissions).
+	Sent uint64
+	// Retransmissions counts packets re-produced by Retransmit.
+	Retransmissions uint64
+	// Results counts accepted result packets.
+	Results uint64
+	// StaleResults counts ignored results (duplicates from a multicast
+	// racing a unicast retransmission, or leftovers from an earlier
+	// tensor).
+	StaleResults uint64
+}
+
+// Worker is the end-host aggregation state machine of Algorithms 2
+// and 4. One Worker aggregates a stream of tensors; per the paper's
+// implementation (Appendix B), consecutive tensors form one
+// continuous stream so pool-version alternation carries across tensor
+// boundaries — resetting versions between tensors would break the
+// shadow-copy invariant.
+//
+// The Worker performs no I/O and keeps no timers. Hosts call Start to
+// get the initial window, feed results to HandleResult (sending the
+// returned follow-up packet, if any), and call Retransmit for slots
+// whose timers expire.
+type Worker struct {
+	cfg WorkerConfig
+	// u is the tensor being aggregated (the local model update).
+	u []int32
+	// a receives the aggregated values.
+	a []int32
+	// base is the stream offset of u[0]; offsets carried in packets
+	// are stream-global so stale packets can never alias.
+	base uint64
+	// remaining counts elements of a not yet received.
+	remaining int
+	// pend tracks the in-flight chunk per slot.
+	pend []pendingSlot
+	// ver is the next pool version to use per slot, persisting across
+	// tensors.
+	ver   []uint8
+	stats WorkerStats
+}
+
+// NewWorker returns a worker ready for its first Start call.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Worker{
+		cfg:  cfg,
+		pend: make([]pendingSlot, cfg.PoolSize),
+		ver:  make([]uint8, cfg.PoolSize),
+	}, nil
+}
+
+// Config returns the worker's configuration.
+func (w *Worker) Config() WorkerConfig { return w.cfg }
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() WorkerStats { return w.stats }
+
+// Busy reports whether an aggregation is in progress.
+func (w *Worker) Busy() bool { return w.remaining > 0 }
+
+// Aggregate returns the output buffer of the last completed (or
+// in-progress) aggregation.
+func (w *Worker) Aggregate() []int32 { return w.a }
+
+// Start begins aggregating the tensor u and returns the initial
+// window of update packets (Algorithm 4 lines 1-8): one packet per
+// slot, or fewer if the tensor is smaller than s·k elements. The
+// caller must arm a retransmission timer per returned packet. Start
+// panics if an aggregation is already in progress, which indicates a
+// host sequencing bug.
+func (w *Worker) Start(u []int32) []*packet.Packet {
+	if w.remaining > 0 {
+		panic("core: Start called while an aggregation is in progress")
+	}
+	if len(u) == 0 {
+		return nil
+	}
+	w.u = u
+	if cap(w.a) >= len(u) {
+		w.a = w.a[:len(u)]
+	} else {
+		w.a = make([]int32, len(u))
+	}
+	w.remaining = len(u)
+
+	window := w.cfg.PoolSize
+	chunks := (len(u) + w.cfg.SlotElems - 1) / w.cfg.SlotElems
+	if chunks < window {
+		window = chunks
+	}
+	pkts := make([]*packet.Packet, 0, window)
+	for i := 0; i < window; i++ {
+		// Slot i deterministically owns chunks i, i+s, i+2s, ... — the
+		// implicit coordination of §3.4: every worker maps the same
+		// piece of the update to the same slot with no explicit
+		// agreement.
+		pkts = append(pkts, w.sendChunk(uint32(i), i*w.cfg.SlotElems))
+	}
+	return pkts
+}
+
+// sendChunk builds the update packet for the chunk at local element
+// offset local, assigns it to slot idx, and records it as pending.
+func (w *Worker) sendChunk(idx uint32, local int) *packet.Packet {
+	elems := len(w.u) - local
+	if elems > w.cfg.SlotElems {
+		elems = w.cfg.SlotElems
+	}
+
+	ver := uint8(0)
+	if w.cfg.LossRecovery {
+		ver = w.ver[idx]
+		w.ver[idx] = 1 - ver
+	}
+	w.pend[idx] = pendingSlot{active: true, off: w.base + uint64(local), elems: elems, ver: ver}
+	w.stats.Sent++
+	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, ver, idx, w.base+uint64(local), w.u[local:local+elems])
+}
+
+// HandleResult consumes a result packet from the switch (Algorithm 4
+// lines 9-19). It returns the follow-up update packet reusing the
+// freed slot (nil when the tensor has no unsent chunks left) and
+// whether the whole aggregation just completed. Stale or alien
+// results are ignored with (nil, false).
+func (w *Worker) HandleResult(p *packet.Packet) (next *packet.Packet, done bool) {
+	if p.Kind != packet.KindResult && p.Kind != packet.KindResultUnicast {
+		w.stats.StaleResults++
+		return nil, false
+	}
+	if p.JobID != w.cfg.JobID || int(p.Idx) >= w.cfg.PoolSize {
+		w.stats.StaleResults++
+		return nil, false
+	}
+	pd := &w.pend[p.Idx]
+	if !pd.active || pd.off != p.Off || pd.ver != p.Ver || pd.elems != len(p.Vector) {
+		// Duplicate (multicast racing a unicast reply), a leftover
+		// from a previous tensor, or garbage.
+		w.stats.StaleResults++
+		return nil, false
+	}
+	w.stats.Results++
+	local := int(p.Off - w.base)
+	copy(w.a[local:local+pd.elems], p.Vector)
+	w.remaining -= pd.elems
+	pd.active = false
+
+	// Algorithm 4 line 13: the slot's next chunk is k·s elements
+	// further into the stream.
+	nextLocal := local + w.cfg.SlotElems*w.cfg.PoolSize
+	if nextLocal < len(w.u) {
+		next = w.sendChunk(p.Idx, nextLocal)
+	}
+	if w.remaining == 0 {
+		// Stream advances only once the tensor is fully aggregated.
+		w.base += uint64(len(w.u))
+		return next, true
+	}
+	return next, false
+}
+
+// Retransmit rebuilds the in-flight packet for a slot whose
+// retransmission timer expired (Algorithm 4 lines 20-23). It returns
+// nil if the slot has no in-flight chunk (the result arrived between
+// the timeout firing and this call).
+func (w *Worker) Retransmit(idx uint32) *packet.Packet {
+	if int(idx) >= len(w.pend) {
+		return nil
+	}
+	pd := &w.pend[idx]
+	if !pd.active {
+		return nil
+	}
+	w.stats.Retransmissions++
+	local := int(pd.off - w.base)
+	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, pd.ver, idx, pd.off, w.u[local:local+pd.elems])
+}
+
+// Pending reports whether slot idx has an in-flight chunk; hosts use
+// it to decide whether to re-arm timers.
+func (w *Worker) Pending(idx uint32) bool {
+	return int(idx) < len(w.pend) && w.pend[idx].active
+}
+
+// PendingCount returns the number of in-flight chunks.
+func (w *Worker) PendingCount() int {
+	c := 0
+	for i := range w.pend {
+		if w.pend[i].active {
+			c++
+		}
+	}
+	return c
+}

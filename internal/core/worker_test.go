@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+
+	"switchml/internal/packet"
+)
+
+func newTestWorker(t *testing.T, id uint16, n, s, k int) *Worker {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{ID: id, Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkerConfigValidation(t *testing.T) {
+	bad := []WorkerConfig{
+		{ID: 0, Workers: 0, PoolSize: 1, SlotElems: 1},
+		{ID: 2, Workers: 2, PoolSize: 1, SlotElems: 1},
+		{ID: 0, Workers: 1, PoolSize: 0, SlotElems: 1},
+		{ID: 0, Workers: 1, PoolSize: 1, SlotElems: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewWorker(cfg); err == nil {
+			t.Errorf("NewWorker(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestWorkerInitialWindow(t *testing.T) {
+	// Algorithm 4 lines 1-8: s initial packets covering offsets
+	// 0, k, 2k, ...
+	w := newTestWorker(t, 0, 2, 4, 2)
+	u := []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	pkts := w.Start(u)
+	if len(pkts) != 4 {
+		t.Fatalf("initial window = %d packets, want 4", len(pkts))
+	}
+	for i, p := range pkts {
+		if p.Idx != uint32(i) || p.Off != uint64(2*i) || p.Ver != 0 {
+			t.Errorf("packet %d header = %v", i, p)
+		}
+		if p.Vector[0] != int32(2*i) || p.Vector[1] != int32(2*i+1) {
+			t.Errorf("packet %d vector = %v", i, p.Vector)
+		}
+	}
+	if w.PendingCount() != 4 {
+		t.Errorf("PendingCount = %d, want 4", w.PendingCount())
+	}
+}
+
+func TestWorkerSmallTensorWindow(t *testing.T) {
+	// A tensor smaller than s*k uses fewer slots.
+	w := newTestWorker(t, 0, 2, 8, 4)
+	pkts := w.Start([]int32{1, 2, 3, 4, 5})
+	if len(pkts) != 2 {
+		t.Fatalf("window = %d, want 2", len(pkts))
+	}
+	if len(pkts[1].Vector) != 1 {
+		t.Errorf("final chunk has %d elems, want 1", len(pkts[1].Vector))
+	}
+}
+
+func TestWorkerStartEmptyTensor(t *testing.T) {
+	w := newTestWorker(t, 0, 2, 2, 2)
+	if pkts := w.Start(nil); pkts != nil {
+		t.Errorf("Start(nil) = %v, want nil", pkts)
+	}
+	if w.Busy() {
+		t.Error("worker busy after empty Start")
+	}
+}
+
+func TestWorkerStartWhileBusyPanics(t *testing.T) {
+	w := newTestWorker(t, 0, 2, 2, 2)
+	w.Start([]int32{1, 2, 3, 4})
+	defer func() {
+		if recover() == nil {
+			t.Error("Start while busy did not panic")
+		}
+	}()
+	w.Start([]int32{1})
+}
+
+// result fabricates the switch's multicast result for an update.
+func result(p *packet.Packet, agg []int32) *packet.Packet {
+	r := p.Clone()
+	r.Kind = packet.KindResult
+	copy(r.Vector, agg)
+	return r
+}
+
+func TestWorkerSelfClockingAndCompletion(t *testing.T) {
+	// Algorithm 4 lines 9-19: a result frees the slot, which is
+	// immediately reused for offset off + k*s with flipped version.
+	w := newTestWorker(t, 0, 1, 2, 2)
+	u := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	pkts := w.Start(u)
+	if len(pkts) != 2 {
+		t.Fatal("window != 2")
+	}
+	next, done := w.HandleResult(result(pkts[0], []int32{10, 20}))
+	if done {
+		t.Fatal("done too early")
+	}
+	if next == nil || next.Idx != 0 || next.Off != 4 || next.Ver != 1 {
+		t.Fatalf("follow-up = %v, want idx0 off4 ver1", next)
+	}
+	if w.Aggregate()[0] != 10 || w.Aggregate()[1] != 20 {
+		t.Errorf("aggregate prefix = %v", w.Aggregate()[:2])
+	}
+	next2, _ := w.HandleResult(result(pkts[1], []int32{30, 40}))
+	if next2 == nil || next2.Idx != 1 || next2.Off != 6 || next2.Ver != 1 {
+		t.Fatalf("follow-up 2 = %v", next2)
+	}
+	if n3, done := w.HandleResult(result(next, []int32{50, 60})); n3 != nil || done {
+		t.Fatalf("slot 0 exhausted but got next=%v done=%v", n3, done)
+	}
+	n4, done := w.HandleResult(result(next2, []int32{70, 80}))
+	if n4 != nil || !done {
+		t.Fatalf("final result: next=%v done=%v, want nil,true", n4, done)
+	}
+	want := []int32{10, 20, 30, 40, 50, 60, 70, 80}
+	for i, v := range w.Aggregate() {
+		if v != want[i] {
+			t.Errorf("aggregate[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+	if w.Busy() {
+		t.Error("still busy after completion")
+	}
+}
+
+func TestWorkerIgnoresStaleResults(t *testing.T) {
+	w := newTestWorker(t, 0, 1, 2, 2)
+	pkts := w.Start([]int32{1, 2, 3, 4})
+	// Wrong version.
+	bad := result(pkts[0], []int32{9, 9})
+	bad.Ver = 1
+	if n, _ := w.HandleResult(bad); n != nil {
+		t.Error("wrong-version result accepted")
+	}
+	// Wrong offset.
+	bad = result(pkts[0], []int32{9, 9})
+	bad.Off = 99
+	if n, _ := w.HandleResult(bad); n != nil {
+		t.Error("wrong-offset result accepted")
+	}
+	// Wrong job.
+	bad = result(pkts[0], []int32{9, 9})
+	bad.JobID = 3
+	if n, _ := w.HandleResult(bad); n != nil {
+		t.Error("wrong-job result accepted")
+	}
+	// Out-of-range slot.
+	bad = result(pkts[0], []int32{9, 9})
+	bad.Idx = 40
+	if n, _ := w.HandleResult(bad); n != nil {
+		t.Error("out-of-range slot accepted")
+	}
+	// Update kind.
+	if n, _ := w.HandleResult(pkts[0]); n != nil {
+		t.Error("update kind accepted as result")
+	}
+	if got := w.Stats().StaleResults; got != 5 {
+		t.Errorf("StaleResults = %d, want 5", got)
+	}
+	// Duplicate of an accepted result: the first is accepted, the
+	// second ignored.
+	w.HandleResult(result(pkts[0], []int32{1, 1}))
+	if n, _ := w.HandleResult(result(pkts[0], []int32{1, 1})); n != nil {
+		t.Error("duplicate result accepted twice")
+	}
+}
+
+func TestWorkerRetransmit(t *testing.T) {
+	w := newTestWorker(t, 3, 4, 2, 2)
+	pkts := w.Start([]int32{1, 2, 3, 4})
+	rt := w.Retransmit(0)
+	if rt == nil {
+		t.Fatal("Retransmit(0) = nil for pending slot")
+	}
+	if rt.Idx != pkts[0].Idx || rt.Off != pkts[0].Off || rt.Ver != pkts[0].Ver ||
+		rt.WorkerID != 3 || rt.Vector[0] != pkts[0].Vector[0] {
+		t.Errorf("retransmission %v differs from original %v", rt, pkts[0])
+	}
+	if w.Stats().Retransmissions != 1 {
+		t.Errorf("Retransmissions = %d", w.Stats().Retransmissions)
+	}
+	// After the result arrives the slot is no longer pending.
+	w.HandleResult(result(pkts[0], []int32{0, 0}))
+	if w.Retransmit(0) != nil {
+		t.Error("Retransmit after result should return nil")
+	}
+	if w.Retransmit(99) != nil {
+		t.Error("Retransmit out of range should return nil")
+	}
+}
+
+func TestWorkerVersionAlternatesAcrossTensors(t *testing.T) {
+	// The stream property (Appendix B): versions continue alternating
+	// across tensor boundaries, and offsets are stream-global.
+	w := newTestWorker(t, 0, 1, 1, 2)
+	// Tensor 1: 2 chunks -> slot 0 used at ver 0 then ver 1.
+	pkts := w.Start([]int32{1, 2, 3, 4})
+	n1, _ := w.HandleResult(result(pkts[0], []int32{1, 2}))
+	if n1.Ver != 1 {
+		t.Fatalf("second chunk ver = %d, want 1", n1.Ver)
+	}
+	if _, done := w.HandleResult(result(n1, []int32{3, 4})); !done {
+		t.Fatal("tensor 1 not done")
+	}
+	// Tensor 2 must start at ver 0 again (two uses happened) and
+	// stream offset 4.
+	pkts2 := w.Start([]int32{5, 6})
+	if pkts2[0].Ver != 0 || pkts2[0].Off != 4 {
+		t.Fatalf("tensor 2 first packet = %v, want ver0 off4", pkts2[0])
+	}
+	if _, done := w.HandleResult(result(pkts2[0], []int32{5, 6})); !done {
+		t.Fatal("tensor 2 not done")
+	}
+	// Tensor 3: slot 0 has been used 3 times, so ver must be 1.
+	pkts3 := w.Start([]int32{7, 8})
+	if pkts3[0].Ver != 1 || pkts3[0].Off != 6 {
+		t.Fatalf("tensor 3 first packet = %v, want ver1 off6", pkts3[0])
+	}
+}
+
+func TestWorkerAggregateBufferReuse(t *testing.T) {
+	w := newTestWorker(t, 0, 1, 1, 4)
+	p1 := w.Start([]int32{1, 2, 3, 4})
+	w.HandleResult(result(p1[0], []int32{4, 3, 2, 1}))
+	first := &w.Aggregate()[0]
+	p2 := w.Start([]int32{5, 6})
+	w.HandleResult(result(p2[0], []int32{6, 5}))
+	if &w.Aggregate()[0] != first {
+		t.Error("aggregate buffer was reallocated for a smaller tensor")
+	}
+	if len(w.Aggregate()) != 2 {
+		t.Errorf("aggregate length = %d, want 2", len(w.Aggregate()))
+	}
+}
+
+func TestWorkerPendingAccessor(t *testing.T) {
+	w := newTestWorker(t, 0, 1, 2, 2)
+	if w.Pending(0) || w.Pending(99) {
+		t.Error("pending before Start")
+	}
+	pkts := w.Start([]int32{1, 2, 3, 4})
+	if !w.Pending(0) || !w.Pending(1) {
+		t.Error("slots not pending after Start")
+	}
+	w.HandleResult(result(pkts[0], []int32{1, 2}))
+	if w.Pending(0) {
+		t.Error("slot 0 still pending after final result")
+	}
+}

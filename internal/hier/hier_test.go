@@ -1,0 +1,269 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchml/internal/netsim"
+)
+
+func checkTree(t *testing.T, tr *Tree, want []int32) {
+	t.Helper()
+	for i := 0; i < tr.Workers(); i++ {
+		got := tr.Aggregate(i)
+		if len(got) != len(want) {
+			t.Fatalf("worker %d: length %d != %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("worker %d elem %d: got %d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTreeLosslessCorrectness(t *testing.T) {
+	tr, err := NewTree(Config{Racks: 2, WorkersPerRack: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const d = 5000
+	us := make([][]int32, tr.Workers())
+	want := make([]int32, d)
+	for i := range us {
+		us[i] = make([]int32, d)
+		for j := range us[i] {
+			us[i][j] = int32(rng.Intn(201) - 100)
+			want[j] += us[i][j]
+		}
+	}
+	res, err := tr.AllReduce(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TAT <= 0 {
+		t.Error("TAT not positive")
+	}
+	checkTree(t, tr, want)
+}
+
+func TestTreeThreeRacks(t *testing.T) {
+	tr, err := NewTree(Config{Racks: 3, WorkersPerRack: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, 3000)
+	for j := range u {
+		u[j] = int32(j%17 - 8)
+	}
+	if _, err := tr.AllReduceShared(u); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, len(u))
+	for j := range want {
+		want[j] = 6 * u[j]
+	}
+	checkTree(t, tr, want)
+}
+
+func TestTreeLossyCorrectness(t *testing.T) {
+	// Loss on every link of the tree, including rack-root links: the
+	// §6 composed recovery must still deliver exact results.
+	for _, loss := range []float64{0.005, 0.02} {
+		tr, err := NewTree(Config{
+			Racks: 2, WorkersPerRack: 3, LossRate: loss, Seed: 11,
+			RTO: 150 * netsim.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]int32, 20000)
+		for j := range u {
+			u[j] = int32(j % 23)
+		}
+		res, err := tr.AllReduceShared(u)
+		if err != nil {
+			t.Fatalf("loss %v: %v", loss, err)
+		}
+		want := make([]int32, len(u))
+		for j := range want {
+			want[j] = 6 * u[j]
+		}
+		checkTree(t, tr, want)
+		if loss >= 0.02 && res.Retransmissions == 0 {
+			t.Error("expected retransmissions at 2% loss")
+		}
+	}
+}
+
+func TestTreeConsecutiveTensors(t *testing.T) {
+	tr, err := NewTree(Config{Racks: 2, WorkersPerRack: 2, LossRate: 0.01, Seed: 5,
+		RTO: 150 * netsim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 3; iter++ {
+		u := make([]int32, 2000+iter*500)
+		for j := range u {
+			u[j] = int32(iter*j%19 + 1)
+		}
+		if _, err := tr.AllReduceShared(u); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want := make([]int32, len(u))
+		for j := range want {
+			want[j] = 4 * u[j]
+		}
+		checkTree(t, tr, want)
+	}
+}
+
+func TestTreeBandwidthOptimal(t *testing.T) {
+	// §6: hierarchical composition is bandwidth-optimal — TAT should
+	// stay close to the single-rack wire bound since rack uplinks
+	// carry only one aggregated stream.
+	tr, err := NewTree(Config{Racks: 4, WorkersPerRack: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 1 << 17
+	u := make([]int32, elems)
+	res, err := tr.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := (elems + 31) / 32
+	wire := netsim.Time(float64(pkts*180*8) / 10e9 * 1e9)
+	if res.TAT < wire {
+		t.Fatalf("TAT %v below wire bound %v", res.TAT, wire)
+	}
+	if float64(res.TAT) > 1.10*float64(wire) {
+		t.Errorf("TAT %v more than 10%% above wire bound %v (16 workers, 2 levels)", res.TAT, wire)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := NewTree(Config{Racks: 0, WorkersPerRack: 2}); err == nil {
+		t.Error("zero racks accepted")
+	}
+	tr, _ := NewTree(Config{Racks: 2, WorkersPerRack: 2, Seed: 1})
+	if _, err := tr.AllReduce([][]int32{{1}}); err == nil {
+		t.Error("wrong update count accepted")
+	}
+}
+
+func TestTreeDeterminism(t *testing.T) {
+	run := func() netsim.Time {
+		tr, err := NewTree(Config{Racks: 2, WorkersPerRack: 2, LossRate: 0.02, Seed: 9,
+			RTO: 150 * netsim.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]int32, 10000)
+		res, err := tr.AllReduceShared(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TAT
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestThreeLevelTree(t *testing.T) {
+	// §6's layer-i composition with H=3: 4 workers per leaf switch, 2
+	// leaf switches per mid switch, 2 mid switches under the root —
+	// 16 workers through 3 switch layers.
+	tr, err := NewTree(Config{Levels: []int{4, 2, 2}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Workers() != 16 {
+		t.Fatalf("Workers = %d, want 16", tr.Workers())
+	}
+	u := make([]int32, 4000)
+	for j := range u {
+		u[j] = int32(j%13 - 6)
+	}
+	if _, err := tr.AllReduceShared(u); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, len(u))
+	for j := range want {
+		want[j] = 16 * u[j]
+	}
+	checkTree(t, tr, want)
+}
+
+func TestThreeLevelTreeLossy(t *testing.T) {
+	// Loss on all links of a depth-3 tree: composed recovery across
+	// two intermediate layers.
+	tr, err := NewTree(Config{Levels: []int{2, 2, 2}, LossRate: 0.01, Seed: 13,
+		RTO: 200 * netsim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, 8000)
+	for j := range u {
+		u[j] = int32(j % 7)
+	}
+	res, err := tr.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, len(u))
+	for j := range want {
+		want[j] = 8 * u[j]
+	}
+	checkTree(t, tr, want)
+	if res.Retransmissions == 0 {
+		t.Error("expected retransmissions")
+	}
+}
+
+func TestFourLevelDistinctUpdates(t *testing.T) {
+	tr, err := NewTree(Config{Levels: []int{2, 2, 2, 2}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Workers() != 16 {
+		t.Fatalf("Workers = %d, want 16", tr.Workers())
+	}
+	us := make([][]int32, 16)
+	want := make([]int32, 500)
+	for i := range us {
+		us[i] = make([]int32, 500)
+		for j := range us[i] {
+			us[i][j] = int32(i*j%11 - 5)
+			want[j] += us[i][j]
+		}
+	}
+	if _, err := tr.AllReduce(us); err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr, want)
+}
+
+func TestTreeLevelValidation(t *testing.T) {
+	if _, err := NewTree(Config{Levels: []int{4, 0}}); err == nil {
+		t.Error("zero fanout accepted")
+	}
+}
+
+func TestTreeSimAccessor(t *testing.T) {
+	tr, err := NewTree(Config{Racks: 1, WorkersPerRack: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sim() == nil {
+		t.Fatal("Sim() nil")
+	}
+	if _, err := tr.AllReduceShared([]int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sim().Processed() == 0 {
+		t.Error("no events processed")
+	}
+}

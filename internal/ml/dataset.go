@@ -1,0 +1,100 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a labelled classification dataset held in memory.
+type Dataset struct {
+	// X holds one row of Features values per example.
+	X [][]float32
+	// Y holds the class label of each example.
+	Y []int
+	// Classes is the number of distinct labels.
+	Classes int
+	// Features is the dimensionality of each example.
+	Features int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Split partitions the dataset into train and validation parts; frac
+// is the training fraction.
+func (d *Dataset) Split(frac float64) (train, valid *Dataset) {
+	cut := int(float64(d.Len()) * frac)
+	train = &Dataset{X: d.X[:cut], Y: d.Y[:cut], Classes: d.Classes, Features: d.Features}
+	valid = &Dataset{X: d.X[cut:], Y: d.Y[cut:], Classes: d.Classes, Features: d.Features}
+	return train, valid
+}
+
+// Shard returns worker i's slice of the dataset under a round-robin
+// partition, the data-parallel split of §2.1.
+func (d *Dataset) Shard(i, n int) *Dataset {
+	s := &Dataset{Classes: d.Classes, Features: d.Features}
+	for j := i; j < d.Len(); j += n {
+		s.X = append(s.X, d.X[j])
+		s.Y = append(s.Y, d.Y[j])
+	}
+	return s
+}
+
+// GaussianMixture synthesizes a classification problem: classes are
+// isotropic Gaussian clusters placed on a scaled hypercube, shuffled
+// deterministically. It stands in for the paper's image datasets in
+// the quantization study (Appendix C): what matters there is a real
+// iterative SGD process whose gradients span a realistic dynamic
+// range, not the vision task itself.
+func GaussianMixture(seed int64, examples, features, classes int, noise float64) (*Dataset, error) {
+	if examples <= 0 || features <= 0 || classes < 2 {
+		return nil, fmt.Errorf("ml: bad mixture shape (%d examples, %d features, %d classes)",
+			examples, features, classes)
+	}
+	if classes > 1<<features {
+		return nil, fmt.Errorf("ml: %d classes need more than %d features", classes, features)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Class centers: distinct hypercube corners scaled to radius 2.
+	centers := make([][]float32, classes)
+	for c := range centers {
+		centers[c] = make([]float32, features)
+		for f := 0; f < features; f++ {
+			if c>>(f%30)&1 == 1 {
+				centers[c][f] = 2
+			} else {
+				centers[c][f] = -2
+			}
+		}
+		// Random rotation-ish jitter so corners are not axis-aligned.
+		for f := range centers[c] {
+			centers[c][f] += float32(rng.NormFloat64() * 0.5)
+		}
+	}
+	d := &Dataset{Classes: classes, Features: features}
+	for i := 0; i < examples; i++ {
+		c := rng.Intn(classes)
+		x := make([]float32, features)
+		for f := range x {
+			x[f] = centers[c][f] + float32(rng.NormFloat64()*noise)
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	return d, nil
+}
+
+// Accuracy evaluates a classifier function on the dataset.
+func (d *Dataset) Accuracy(predict func(x []float32) int) float64 {
+	if d.Len() == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i, x := range d.X {
+		if predict(x) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

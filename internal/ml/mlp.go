@@ -1,0 +1,223 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a small multi-layer perceptron with one ReLU hidden layer
+// (or, with Hidden == 0, a softmax linear classifier), trained with
+// cross-entropy loss. It is deliberately simple: the quantization
+// study needs a genuine SGD process whose gradients flow through the
+// integer aggregation path, not a state-of-the-art vision model.
+type MLP struct {
+	in, hidden, out int
+	// params holds all weights and biases flattened into one vector,
+	// the "model x ∈ R^d" of §2.1: [W1 (in*h) | b1 (h) | W2 (h*out) |
+	// b2 (out)], or [W (in*out) | b (out)] when hidden == 0.
+	params []float32
+}
+
+// NewMLP builds a model with Xavier-style initialization from the
+// given seed.
+func NewMLP(seed int64, in, hidden, out int) (*MLP, error) {
+	if in <= 0 || out < 2 || hidden < 0 {
+		return nil, fmt.Errorf("ml: bad MLP shape (%d, %d, %d)", in, hidden, out)
+	}
+	m := &MLP{in: in, hidden: hidden, out: out}
+	m.params = make([]float32, m.ParamCount())
+	rng := rand.New(rand.NewSource(seed))
+	if hidden > 0 {
+		scale1 := float32(math.Sqrt(2 / float64(in)))
+		for i := 0; i < in*hidden; i++ {
+			m.params[i] = float32(rng.NormFloat64()) * scale1
+		}
+		scale2 := float32(math.Sqrt(2 / float64(hidden)))
+		w2 := m.w2Off()
+		for i := 0; i < hidden*out; i++ {
+			m.params[w2+i] = float32(rng.NormFloat64()) * scale2
+		}
+	} else {
+		scale := float32(math.Sqrt(1 / float64(in)))
+		for i := 0; i < in*out; i++ {
+			m.params[i] = float32(rng.NormFloat64()) * scale
+		}
+	}
+	return m, nil
+}
+
+// ParamCount returns d, the dimensionality of the model vector.
+func (m *MLP) ParamCount() int {
+	if m.hidden == 0 {
+		return m.in*m.out + m.out
+	}
+	return m.in*m.hidden + m.hidden + m.hidden*m.out + m.out
+}
+
+// Params exposes the flattened parameter vector; the trainer adds
+// aggregated updates to it in place.
+func (m *MLP) Params() []float32 { return m.params }
+
+// Clone returns an independent copy of the model.
+func (m *MLP) Clone() *MLP {
+	c := *m
+	c.params = append([]float32(nil), m.params...)
+	return &c
+}
+
+func (m *MLP) b1Off() int { return m.in * m.hidden }
+func (m *MLP) w2Off() int { return m.in*m.hidden + m.hidden }
+func (m *MLP) b2Off() int { return m.in*m.hidden + m.hidden + m.hidden*m.out }
+
+// forward computes the logits for one example and, if h is non-nil,
+// stores hidden activations into it.
+func (m *MLP) forward(x []float32, h []float32) []float32 {
+	logits := make([]float32, m.out)
+	if m.hidden == 0 {
+		b := m.in * m.out
+		for o := 0; o < m.out; o++ {
+			sum := m.params[b+o]
+			row := o * m.in
+			for i, xi := range x {
+				sum += m.params[row+i] * xi
+			}
+			logits[o] = sum
+		}
+		return logits
+	}
+	b1, w2, b2 := m.b1Off(), m.w2Off(), m.b2Off()
+	for j := 0; j < m.hidden; j++ {
+		sum := m.params[b1+j]
+		row := j * m.in
+		for i, xi := range x {
+			sum += m.params[row+i] * xi
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		h[j] = sum
+	}
+	for o := 0; o < m.out; o++ {
+		sum := m.params[b2+o]
+		row := w2 + o*m.hidden
+		for j := 0; j < m.hidden; j++ {
+			sum += m.params[row+j] * h[j]
+		}
+		logits[o] = sum
+	}
+	return logits
+}
+
+// Predict returns the argmax class for an example.
+func (m *MLP) Predict(x []float32) int {
+	var h []float32
+	if m.hidden > 0 {
+		h = make([]float32, m.hidden)
+	}
+	logits := m.forward(x, h)
+	best := 0
+	for o := 1; o < len(logits); o++ {
+		if logits[o] > logits[best] {
+			best = o
+		}
+	}
+	return best
+}
+
+// softmax converts logits to probabilities in place, numerically
+// stably.
+func softmax(logits []float32) {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - max))
+		logits[i] = float32(e)
+		sum += e
+	}
+	for i := range logits {
+		logits[i] = float32(float64(logits[i]) / sum)
+	}
+}
+
+// Gradient computes the average negative cross-entropy gradient over
+// a mini-batch, writing it into grad (length ParamCount). It returns
+// the mean loss. The returned direction is the *descent* update
+// direction scaled by -1 (i.e. grad holds dL/dθ; the trainer applies
+// θ ← θ − lr·grad).
+func (m *MLP) Gradient(grad []float32, xs [][]float32, ys []int) (loss float64) {
+	if len(grad) != m.ParamCount() {
+		panic(fmt.Sprintf("ml: gradient buffer %d != param count %d", len(grad), m.ParamCount()))
+	}
+	for i := range grad {
+		grad[i] = 0
+	}
+	var h []float32
+	if m.hidden > 0 {
+		h = make([]float32, m.hidden)
+	}
+	inv := float32(1) / float32(len(xs))
+	for e, x := range xs {
+		logits := m.forward(x, h)
+		softmax(logits)
+		p := float64(logits[ys[e]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		// dL/dlogit = p - onehot(y).
+		logits[ys[e]] -= 1
+		if m.hidden == 0 {
+			b := m.in * m.out
+			for o := 0; o < m.out; o++ {
+				g := logits[o] * inv
+				row := o * m.in
+				for i, xi := range x {
+					grad[row+i] += g * xi
+				}
+				grad[b+o] += g
+			}
+			continue
+		}
+		b1, w2, b2 := m.b1Off(), m.w2Off(), m.b2Off()
+		// Output layer.
+		for o := 0; o < m.out; o++ {
+			g := logits[o] * inv
+			row := w2 + o*m.hidden
+			for j := 0; j < m.hidden; j++ {
+				grad[row+j] += g * h[j]
+			}
+			grad[b2+o] += g
+		}
+		// Hidden layer: dL/dh_j = sum_o dlogit_o * W2[o,j], gated by
+		// ReLU.
+		for j := 0; j < m.hidden; j++ {
+			if h[j] <= 0 {
+				continue
+			}
+			var dh float32
+			for o := 0; o < m.out; o++ {
+				dh += logits[o] * m.params[w2+o*m.hidden+j]
+			}
+			dh *= inv
+			row := j * m.in
+			for i, xi := range x {
+				grad[row+i] += dh * xi
+			}
+			grad[b1+j] += dh
+		}
+	}
+	return loss / float64(len(xs))
+}
+
+// ApplyUpdate performs θ ← θ − lr·update.
+func (m *MLP) ApplyUpdate(update []float32, lr float32) {
+	for i, g := range update {
+		m.params[i] -= lr * g
+	}
+}

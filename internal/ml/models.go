@@ -1,0 +1,166 @@
+// Package ml provides the machine-learning substrate of the
+// reproduction: the DNN model zoo with per-layer gradient schedules
+// used by the training-throughput experiments (Table 1, Figure 3),
+// and a real data-parallel SGD trainer on synthetic data used by the
+// quantization study (Figure 10 / Appendix C).
+package ml
+
+import "fmt"
+
+// ModelSpec describes one benchmark DNN as the communication layer
+// sees it: the gradient tensors back-propagation emits (in emission
+// order, output layer first) and the single-GPU training throughput
+// that sets the compute timeline.
+type ModelSpec struct {
+	// Name is the benchmark name used in the paper's figures.
+	Name string
+	// GradTensors lists per-layer gradient tensor sizes in elements,
+	// in back-propagation emission order (output side first). Most
+	// frameworks emit one tensor per weight/bias pair; biases are
+	// folded into their layer.
+	GradTensors []int
+	// SingleGPUImagesPerSec is the measured one-GPU training
+	// throughput (NVidia P100, per the paper's testbed, at Batch).
+	SingleGPUImagesPerSec float64
+	// Batch is the per-GPU mini-batch size used in the evaluation
+	// (§5.1: 128 by default, 64 for Table 1 models, 512 for AlexNet).
+	Batch int
+}
+
+// Params returns the total parameter (= gradient element) count.
+func (m ModelSpec) Params() int {
+	total := 0
+	for _, t := range m.GradTensors {
+		total += t
+	}
+	return total
+}
+
+// ByName returns the spec for one of the nine benchmark models of
+// Figure 3.
+func ByName(name string) (ModelSpec, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return ModelSpec{}, fmt.Errorf("ml: unknown model %q", name)
+}
+
+// Zoo returns the nine models of Figure 3 in the paper's order.
+// Parameter totals match the published architectures to within ~2%;
+// single-GPU throughputs are the P100 numbers implied by Table 1
+// (ideal = 8x single GPU) and the public TensorFlow benchmark results
+// the paper cross-references [55].
+func Zoo() []ModelSpec {
+	return []ModelSpec{
+		alexnet(), googlenet(), inception3(), inception4(),
+		resnet50(), resnet101(), vgg("vgg11"), vgg("vgg16"), vgg("vgg19"),
+	}
+}
+
+func alexnet() ModelSpec {
+	return ModelSpec{
+		Name: "alexnet",
+		GradTensors: []int{
+			// fc8, fc7, fc6 dominate; then conv5..conv1.
+			4_097_000, 16_781_312, 37_752_832,
+			442_624, 663_936, 885_120, 307_456, 34_944,
+		},
+		SingleGPUImagesPerSec: 2800, // synthetic data, batch 512 [55]
+		Batch:                 512,
+	}
+}
+
+func googlenet() ModelSpec {
+	// GoogLeNet: ~7.0M params across 1 fc + 9 inception modules + stem.
+	t := []int{1_024_000} // classifier fc
+	inception := []int{1_444_080, 1_072_384, 840_032, 584_816, 510_400, 437_104, 389_376, 380_160, 364_416}
+	t = append(t, inception...)
+	t = append(t, 114_944, 2_432) // stem convs
+	return ModelSpec{Name: "googlenet", GradTensors: t, SingleGPUImagesPerSec: 440, Batch: 128}
+}
+
+func inception3() ModelSpec {
+	// Inception-v3: 23.85M params; 96 gradient tensors in the real
+	// model, grouped here into the 11 inception blocks + stem + fc.
+	t := []int{2_049_000} // fc
+	blocks := []int{5_160_000, 3_480_000, 2_520_000, 1_820_000, 1_530_000,
+		1_310_000, 1_230_000, 1_130_000, 1_050_000, 980_000, 860_000}
+	t = append(t, blocks...)
+	t = append(t, 640_000, 91_200) // stem
+	return ModelSpec{Name: "inception3", GradTensors: t, SingleGPUImagesPerSec: 141.5, Batch: 64}
+}
+
+func inception4() ModelSpec {
+	// Inception-v4: 42.68M params.
+	t := []int{1_537_000} // fc
+	blocks := []int{8_850_000, 6_460_000, 4_830_000, 3_680_000, 2_960_000,
+		2_450_000, 2_210_000, 1_990_000, 1_780_000, 1_640_000, 1_530_000}
+	t = append(t, blocks...)
+	t = append(t, 2_650_000, 113_000) // stem
+	return ModelSpec{Name: "inception4", GradTensors: t, SingleGPUImagesPerSec: 65, Batch: 128}
+}
+
+func resnet50() ModelSpec {
+	// ResNet-50: 25.56M params; fc + 16 bottleneck blocks + stem,
+	// emitted output-side first (stage 4 blocks carry most params).
+	t := []int{2_049_000} // fc
+	stage4 := []int{4_720_000, 4_460_000, 5_850_000}
+	stage3 := []int{1_180_000, 1_120_000, 1_120_000, 1_120_000, 1_120_000, 1_470_000}
+	stage2 := []int{296_000, 280_000, 280_000, 379_000}
+	stage1 := []int{75_000, 70_000, 96_000}
+	t = append(t, stage4...)
+	t = append(t, stage3...)
+	t = append(t, stage2...)
+	t = append(t, stage1...)
+	t = append(t, 9_472) // conv1
+	return ModelSpec{Name: "resnet50", GradTensors: t, SingleGPUImagesPerSec: 229.75, Batch: 64}
+}
+
+func resnet101() ModelSpec {
+	// ResNet-101: 44.55M params; stage 3 grows to 23 blocks.
+	t := []int{2_049_000}
+	stage4 := []int{4_720_000, 4_460_000, 5_850_000}
+	t = append(t, stage4...)
+	for i := 0; i < 22; i++ {
+		t = append(t, 1_120_000)
+	}
+	t = append(t, 1_470_000) // stage3 entry block
+	stage2 := []int{296_000, 280_000, 280_000, 379_000}
+	stage1 := []int{75_000, 70_000, 96_000}
+	t = append(t, stage2...)
+	t = append(t, stage1...)
+	t = append(t, 9_472)
+	return ModelSpec{Name: "resnet101", GradTensors: t, SingleGPUImagesPerSec: 132, Batch: 64}
+}
+
+// vgg returns VGG-11/16/19. All share the 123.6M-parameter classifier
+// (fc6 is the single largest tensor in the whole zoo at 102.8M); the
+// conv stacks differ.
+func vgg(name string) ModelSpec {
+	fc := []int{4_097_000, 16_781_312, 102_764_544}
+	var convs []int
+	var imgs float64
+	switch name {
+	case "vgg11":
+		convs = []int{2_359_808, 2_359_808, 2_359_808, 1_180_160, 590_080, 295_168, 73_856, 1_792}
+		imgs = 180
+	case "vgg16":
+		convs = []int{2_359_808, 2_359_808, 2_359_808, 2_359_808, 2_359_808, 1_180_160,
+			590_080, 590_080, 295_168, 147_584, 73_856, 36_928, 1_792}
+		imgs = 147.5
+	case "vgg19":
+		convs = []int{2_359_808, 2_359_808, 2_359_808, 2_359_808, 2_359_808, 2_359_808,
+			2_359_808, 1_180_160, 590_080, 590_080, 590_080, 295_168, 147_584, 73_856, 36_928, 1_792}
+		imgs = 125
+	default:
+		panic("ml: unknown vgg variant " + name)
+	}
+	return ModelSpec{
+		Name:                  name,
+		GradTensors:           append(append([]int{}, fc...), convs...),
+		SingleGPUImagesPerSec: imgs,
+		Batch:                 64,
+	}
+}

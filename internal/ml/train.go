@@ -1,0 +1,202 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchml/internal/quant"
+)
+
+// Aggregator combines per-worker gradient vectors into one summed
+// vector, the Σ of §2.1. Implementations range from exact float
+// addition (the reference) to the full quantize → integer-aggregate →
+// dequantize path through the switch state machines.
+type Aggregator interface {
+	// Aggregate sums grads[0..n-1] elementwise into out. All slices
+	// have equal length.
+	Aggregate(out []float32, grads [][]float32) error
+}
+
+// ExactAggregator sums gradients in float64 and is the reference the
+// quantized paths are compared against.
+type ExactAggregator struct{}
+
+// Aggregate implements Aggregator.
+func (ExactAggregator) Aggregate(out []float32, grads [][]float32) error {
+	for i := range out {
+		var s float64
+		for _, g := range grads {
+			s += float64(g[i])
+		}
+		out[i] = float32(s)
+	}
+	return nil
+}
+
+// FixedPointAggregator runs the paper's quantization scheme
+// (Appendix C) over plain integer addition: each worker's gradient is
+// scaled by f and rounded to int32, the integers are summed exactly
+// (as the switch does), and the sum is scaled back. The IntSum hook
+// lets callers route the integer addition through the real switch
+// code path.
+type FixedPointAggregator struct {
+	Fixed *quant.FixedPoint
+	// IntSum, when non-nil, performs the integer aggregation (e.g.
+	// through core.Switch); nil selects in-process addition.
+	IntSum func(out []int32, ints [][]int32) error
+	// Saturations accumulates how many elements clamped during
+	// quantization, a diagnostic for an over-large scaling factor.
+	Saturations int
+}
+
+// Aggregate implements Aggregator.
+func (a *FixedPointAggregator) Aggregate(out []float32, grads [][]float32) error {
+	d := len(out)
+	ints := make([][]int32, len(grads))
+	for w, g := range grads {
+		ints[w] = make([]int32, d)
+		a.Saturations += a.Fixed.Quantize(ints[w], g)
+	}
+	sum := make([]int32, d)
+	if a.IntSum != nil {
+		if err := a.IntSum(sum, ints); err != nil {
+			return err
+		}
+	} else {
+		for _, iv := range ints {
+			for i, v := range iv {
+				sum[i] += v
+			}
+		}
+	}
+	a.Fixed.Dequantize(out, sum)
+	return nil
+}
+
+// TrainerConfig describes a distributed synchronous-SGD run on
+// synthetic data, the Appendix C experimental setup scaled to
+// laptop size.
+type TrainerConfig struct {
+	// Workers is n.
+	Workers int
+	// Model shape.
+	Features, Hidden, Classes int
+	// BatchPerWorker is each worker's mini-batch size per iteration.
+	BatchPerWorker int
+	// LR is the learning rate applied to the averaged update.
+	LR float32
+	// Seed drives initialization and batch sampling.
+	Seed int64
+}
+
+func (c *TrainerConfig) fillDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Features == 0 {
+		c.Features = 16
+	}
+	if c.Classes == 0 {
+		c.Classes = 4
+	}
+	if c.BatchPerWorker == 0 {
+		c.BatchPerWorker = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+}
+
+// Trainer runs data-parallel synchronous SGD: per iteration every
+// worker computes a gradient on its shard, the Aggregator sums them,
+// and each (replicated) model applies the averaged update — the
+// x_{t+1} = x_t + Σ Δ(x_t, D_i) loop of §2.1.
+type Trainer struct {
+	cfg    TrainerConfig
+	model  *MLP
+	shards []*Dataset
+	rngs   []*rand.Rand
+	grads  [][]float32
+	sum    []float32
+	agg    Aggregator
+	// MaxAbsGrad tracks the largest gradient magnitude seen, the
+	// profiling input for scaling-factor selection (Appendix C).
+	MaxAbsGrad float64
+	iterations int
+}
+
+// NewTrainer shards train across the workers and prepares the
+// replicated model.
+func NewTrainer(cfg TrainerConfig, train *Dataset, agg Aggregator) (*Trainer, error) {
+	cfg.fillDefaults()
+	if agg == nil {
+		return nil, fmt.Errorf("ml: nil aggregator")
+	}
+	if train.Features != cfg.Features || train.Classes != cfg.Classes {
+		return nil, fmt.Errorf("ml: dataset shape (%d feat, %d cls) mismatches config (%d, %d)",
+			train.Features, train.Classes, cfg.Features, cfg.Classes)
+	}
+	model, err := NewMLP(cfg.Seed, cfg.Features, cfg.Hidden, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{cfg: cfg, model: model, agg: agg, sum: make([]float32, model.ParamCount())}
+	for i := 0; i < cfg.Workers; i++ {
+		sh := train.Shard(i, cfg.Workers)
+		if sh.Len() < cfg.BatchPerWorker {
+			return nil, fmt.Errorf("ml: worker %d shard has %d examples < batch %d", i, sh.Len(), cfg.BatchPerWorker)
+		}
+		t.shards = append(t.shards, sh)
+		t.rngs = append(t.rngs, rand.New(rand.NewSource(cfg.Seed+int64(i)+1)))
+		t.grads = append(t.grads, make([]float32, model.ParamCount()))
+	}
+	return t, nil
+}
+
+// Model returns the (replicated) model.
+func (t *Trainer) Model() *MLP { return t.model }
+
+// Iterations returns how many synchronous steps have run.
+func (t *Trainer) Iterations() int { return t.iterations }
+
+// Step runs one synchronous iteration and returns the mean training
+// loss across workers.
+func (t *Trainer) Step() (float64, error) {
+	var loss float64
+	for w, shard := range t.shards {
+		xs := make([][]float32, t.cfg.BatchPerWorker)
+		ys := make([]int, t.cfg.BatchPerWorker)
+		for b := range xs {
+			j := t.rngs[w].Intn(shard.Len())
+			xs[b], ys[b] = shard.X[j], shard.Y[j]
+		}
+		loss += t.model.Gradient(t.grads[w], xs, ys)
+		for _, g := range t.grads[w] {
+			a := float64(g)
+			if a < 0 {
+				a = -a
+			}
+			if a > t.MaxAbsGrad {
+				t.MaxAbsGrad = a
+			}
+		}
+	}
+	if err := t.agg.Aggregate(t.sum, t.grads); err != nil {
+		return 0, err
+	}
+	// Average: the switch sums; the division by n happens at end
+	// hosts (§3.3).
+	t.model.ApplyUpdate(t.sum, t.cfg.LR/float32(t.cfg.Workers))
+	t.iterations++
+	return loss / float64(t.cfg.Workers), nil
+}
+
+// Run performs iters steps and returns the final validation accuracy.
+func (t *Trainer) Run(iters int, valid *Dataset) (float64, error) {
+	for i := 0; i < iters; i++ {
+		if _, err := t.Step(); err != nil {
+			return 0, err
+		}
+	}
+	return valid.Accuracy(t.model.Predict), nil
+}

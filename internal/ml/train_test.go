@@ -1,0 +1,281 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"switchml/internal/quant"
+)
+
+func mixture(t *testing.T) (train, valid *Dataset) {
+	t.Helper()
+	ds, err := GaussianMixture(42, 4000, 16, 4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Split(0.8)
+}
+
+func TestGaussianMixtureShape(t *testing.T) {
+	ds, err := GaussianMixture(1, 100, 8, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 100 || ds.Features != 8 || ds.Classes != 3 {
+		t.Errorf("shape = (%d, %d, %d)", ds.Len(), ds.Features, ds.Classes)
+	}
+	for i, y := range ds.Y {
+		if y < 0 || y >= 3 {
+			t.Fatalf("label %d out of range at %d", y, i)
+		}
+	}
+	if _, err := GaussianMixture(1, 0, 8, 3, 0.5); err == nil {
+		t.Error("zero examples accepted")
+	}
+	if _, err := GaussianMixture(1, 10, 2, 100, 0.5); err == nil {
+		t.Error("too many classes accepted")
+	}
+}
+
+func TestDatasetShardRoundRobin(t *testing.T) {
+	ds, _ := GaussianMixture(2, 10, 4, 2, 0.5)
+	a, b := ds.Shard(0, 2), ds.Shard(1, 2)
+	if a.Len() != 5 || b.Len() != 5 {
+		t.Fatalf("shard sizes %d, %d", a.Len(), b.Len())
+	}
+	if &a.X[0][0] != &ds.X[0][0] || &b.X[0][0] != &ds.X[1][0] {
+		t.Error("shards don't alias original data round-robin")
+	}
+}
+
+func TestMLPGradientDescentConverges(t *testing.T) {
+	// Exact aggregation: a linear classifier must learn the mixture
+	// to high accuracy.
+	train, valid := mixture(t)
+	tr, err := NewTrainer(TrainerConfig{Workers: 4, Features: 16, Classes: 4, Seed: 1},
+		train, ExactAggregator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Run(300, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("exact-aggregation accuracy = %.3f, want >= 0.95", acc)
+	}
+	if tr.MaxAbsGrad <= 0 {
+		t.Error("gradient profiling recorded nothing")
+	}
+}
+
+func TestMLPHiddenLayerConverges(t *testing.T) {
+	train, valid := mixture(t)
+	tr, err := NewTrainer(TrainerConfig{Workers: 2, Features: 16, Hidden: 32, Classes: 4, Seed: 2, LR: 0.05},
+		train, ExactAggregator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Run(400, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("MLP accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestMLPGradientNumerical(t *testing.T) {
+	// Finite-difference check of the analytic gradient.
+	m, err := NewMLP(3, 5, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float32{{0.5, -1, 2, 0.1, -0.3}, {1, 1, -1, 0.2, 0}}
+	ys := []int{0, 2}
+	grad := make([]float32, m.ParamCount())
+	m.Gradient(grad, xs, ys)
+	loss := func(mm *MLP) float64 {
+		g := make([]float32, mm.ParamCount())
+		return mm.Gradient(g, xs, ys)
+	}
+	const eps = 1e-3
+	for _, i := range []int{0, 7, 20, m.ParamCount() - 1, m.ParamCount() - 5} {
+		up := m.Clone()
+		up.Params()[i] += eps
+		down := m.Clone()
+		down.Params()[i] -= eps
+		numeric := (loss(up) - loss(down)) / (2 * eps)
+		if diff := math.Abs(numeric - float64(grad[i])); diff > 2e-2*(1+math.Abs(numeric)) {
+			t.Errorf("param %d: analytic %v vs numeric %v", i, grad[i], numeric)
+		}
+	}
+}
+
+func TestQuantizedTrainingMatchesExact(t *testing.T) {
+	// Appendix C's claim: with a well-chosen f, quantized training
+	// reaches the same accuracy as exact training.
+	train, valid := mixture(t)
+	exact, err := NewTrainer(TrainerConfig{Workers: 4, Features: 16, Classes: 4, Seed: 3},
+		train, ExactAggregator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactAcc, err := exact.Run(300, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := quant.NewFixedPoint(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := &FixedPointAggregator{Fixed: fx}
+	quantized, err := NewTrainer(TrainerConfig{Workers: 4, Features: 16, Classes: 4, Seed: 3},
+		train, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAcc, err := quantized.Run(300, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Saturations != 0 {
+		t.Errorf("unexpected saturations: %d", agg.Saturations)
+	}
+	if math.Abs(qAcc-exactAcc) > 0.02 {
+		t.Errorf("quantized acc %.3f vs exact %.3f, want within 0.02", qAcc, exactAcc)
+	}
+}
+
+func TestTinyScalingFactorStallsTraining(t *testing.T) {
+	// Appendix C / Figure 10 left side: a far-too-small f rounds all
+	// gradients to zero and training never improves on chance.
+	train, valid := mixture(t)
+	fx, _ := quant.NewFixedPoint(1e-6)
+	tr, err := NewTrainer(TrainerConfig{Workers: 4, Features: 16, Classes: 4, Seed: 4},
+		train, &FixedPointAggregator{Fixed: fx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Run(200, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 0.45 {
+		t.Errorf("f=1e-6 accuracy = %.3f, expected near chance (0.25)", acc)
+	}
+}
+
+func TestHugeScalingFactorDegradesTraining(t *testing.T) {
+	// Figure 10 right side: an f that overflows int32 clamps
+	// gradients and harms training versus exact aggregation.
+	train, valid := mixture(t)
+	fx, _ := quant.NewFixedPoint(1e12)
+	agg := &FixedPointAggregator{Fixed: fx}
+	tr, err := NewTrainer(TrainerConfig{Workers: 4, Features: 16, Classes: 4, Seed: 5},
+		train, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Run(300, valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Saturations == 0 {
+		t.Fatal("f=1e12 never saturated; test premise broken")
+	}
+	if acc > 0.90 {
+		t.Errorf("f=1e12 accuracy = %.3f, expected degradation (< 0.90)", acc)
+	}
+}
+
+func TestFixedPointAggregatorIntSumHook(t *testing.T) {
+	fx, _ := quant.NewFixedPoint(100)
+	called := false
+	agg := &FixedPointAggregator{
+		Fixed: fx,
+		IntSum: func(out []int32, ints [][]int32) error {
+			called = true
+			for _, iv := range ints {
+				for i, v := range iv {
+					out[i] += v
+				}
+			}
+			return nil
+		},
+	}
+	out := make([]float32, 2)
+	if err := agg.Aggregate(out, [][]float32{{1.5, 2}, {0.5, -1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("IntSum hook not called")
+	}
+	if out[0] != 2 || out[1] != 1 {
+		t.Errorf("aggregate = %v, want [2 1]", out)
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	train, _ := mixture(t)
+	if _, err := NewTrainer(TrainerConfig{Workers: 4, Features: 16, Classes: 4}, train, nil); err == nil {
+		t.Error("nil aggregator accepted")
+	}
+	if _, err := NewTrainer(TrainerConfig{Workers: 4, Features: 9, Classes: 4}, train, ExactAggregator{}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := NewTrainer(TrainerConfig{Workers: 4000, Features: 16, Classes: 4}, train, ExactAggregator{}); err == nil {
+		t.Error("shard smaller than batch accepted")
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	d := &Dataset{Classes: 2, Features: 1}
+	if acc := d.Accuracy(func([]float32) int { return 0 }); !math.IsNaN(acc) {
+		t.Errorf("empty accuracy = %v, want NaN", acc)
+	}
+}
+
+func TestTrainerAccessorsAndDefaults(t *testing.T) {
+	train, valid := mixture(t)
+	tr, err := NewTrainer(TrainerConfig{Features: 16, Classes: 4, Seed: 1}, train, ExactAggregator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model() == nil {
+		t.Error("Model() nil")
+	}
+	if tr.Iterations() != 0 {
+		t.Error("Iterations before Run")
+	}
+	if _, err := tr.Run(3, valid); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Iterations() != 3 {
+		t.Errorf("Iterations = %d, want 3", tr.Iterations())
+	}
+	// Run propagates aggregator errors.
+	bad := &FixedPointAggregator{Fixed: mustFixed(t), IntSum: func([]int32, [][]int32) error {
+		return errStop{}
+	}}
+	tr2, err := NewTrainer(TrainerConfig{Features: 16, Classes: 4, Seed: 2}, train, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.Run(1, valid); err == nil {
+		t.Error("aggregator error not propagated")
+	}
+}
+
+type errStop struct{}
+
+func (errStop) Error() string { return "stop" }
+
+func mustFixed(t *testing.T) *quant.FixedPoint {
+	t.Helper()
+	fx, err := quant.NewFixedPoint(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import "fmt"
+
+// Message is anything that can travel over a link. WireSize is the
+// size in bytes used for serialization-delay and statistics
+// accounting; it should include all header overheads.
+type Message interface {
+	WireSize() int
+}
+
+// Node receives messages delivered by links.
+type Node interface {
+	// Deliver is invoked inside the simulation loop when a message
+	// arrives. Implementations may send on other links and schedule
+	// events but must not block.
+	Deliver(msg Message)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(msg Message)
+
+// Deliver implements Node.
+func (f NodeFunc) Deliver(msg Message) { f(msg) }
+
+// LinkStats counts traffic over one unidirectional link.
+type LinkStats struct {
+	// Sent is the number of messages handed to the link.
+	Sent uint64
+	// Dropped is the number of messages lost to the configured loss
+	// probability.
+	Dropped uint64
+	// Delivered is the number of messages handed to the destination.
+	Delivered uint64
+	// Bytes is the total wire bytes of sent messages, including
+	// dropped ones (they occupied the wire before being lost).
+	Bytes uint64
+	// MaxQueue is the maximum serialization backlog observed, as a
+	// virtual-time span.
+	MaxQueue Time
+}
+
+// Link is a unidirectional point-to-point link with a given bandwidth
+// and propagation delay. Messages are serialized FIFO: a message
+// handed to a busy link waits until the previous one finishes
+// transmitting. Loss is applied independently per message, modelling
+// the uniform random loss probability the paper injects per link in
+// §5.5.
+type Link struct {
+	sim *Sim
+	// name appears in debugging output.
+	name string
+	// bitsPerSec is the link bandwidth.
+	bitsPerSec float64
+	// prop is the one-way propagation delay.
+	prop Time
+	// lossRate is the probability in [0,1) that a message is dropped.
+	lossRate float64
+	// dst receives delivered messages.
+	dst Node
+	// nextFree is the virtual time at which the transmitter becomes
+	// idle.
+	nextFree Time
+	stats    LinkStats
+}
+
+// LinkConfig describes a link to be created.
+type LinkConfig struct {
+	// Name identifies the link in diagnostics.
+	Name string
+	// BitsPerSec is the bandwidth, e.g. 10e9 for 10 Gbps.
+	BitsPerSec float64
+	// Propagation is the one-way propagation delay.
+	Propagation Time
+	// LossRate is the per-message drop probability in [0,1).
+	LossRate float64
+}
+
+// NewLink creates a link inside sim delivering to dst.
+func NewLink(sim *Sim, cfg LinkConfig, dst Node) *Link {
+	if cfg.BitsPerSec <= 0 {
+		panic(fmt.Sprintf("netsim: link %q bandwidth must be positive", cfg.Name))
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		panic(fmt.Sprintf("netsim: link %q loss rate %v out of [0,1)", cfg.Name, cfg.LossRate))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("netsim: link %q has no destination", cfg.Name))
+	}
+	return &Link{
+		sim:        sim,
+		name:       cfg.Name,
+		bitsPerSec: cfg.BitsPerSec,
+		prop:       cfg.Propagation,
+		lossRate:   cfg.LossRate,
+		dst:        dst,
+	}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetLossRate changes the drop probability; experiments use this to
+// inject loss mid-run.
+func (l *Link) SetLossRate(rate float64) {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("netsim: loss rate %v out of [0,1)", rate))
+	}
+	l.lossRate = rate
+}
+
+// SerializationDelay returns how long a message of the given size
+// occupies the transmitter.
+func (l *Link) SerializationDelay(bytes int) Time {
+	return Time(float64(bytes*8) / l.bitsPerSec * 1e9)
+}
+
+// Send enqueues msg for transmission. It returns the virtual time at
+// which the message will finish serializing (even if it is then
+// dropped), which callers can use for back-to-back pacing.
+func (l *Link) Send(msg Message) Time {
+	now := l.sim.Now()
+	start := l.nextFree
+	if start < now {
+		start = now
+	}
+	if backlog := start - now; backlog > l.stats.MaxQueue {
+		l.stats.MaxQueue = backlog
+	}
+	size := msg.WireSize()
+	txDone := start + l.SerializationDelay(size)
+	l.nextFree = txDone
+	l.stats.Sent++
+	l.stats.Bytes += uint64(size)
+
+	if l.lossRate > 0 && l.sim.Rand().Float64() < l.lossRate {
+		l.stats.Dropped++
+		return txDone
+	}
+	arrival := txDone + l.prop
+	l.sim.At(arrival, func() {
+		l.stats.Delivered++
+		l.dst.Deliver(msg)
+	})
+	return txDone
+}
+
+// Busy reports whether the transmitter has queued work beyond the
+// current time.
+func (l *Link) Busy() bool { return l.nextFree > l.sim.Now() }
+
+// NextFree returns when the transmitter becomes idle.
+func (l *Link) NextFree() Time { return l.nextFree }

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// collector records delivery times.
+type collector struct {
+	sim   *Sim
+	times []Time
+	msgs  []Message
+}
+
+func (c *collector) Deliver(m Message) {
+	c.times = append(c.times, c.sim.Now())
+	c.msgs = append(c.msgs, m)
+}
+
+func TestLinkSerializationAndPropagation(t *testing.T) {
+	s := NewSim(1)
+	c := &collector{sim: s}
+	// 1 Gbps, 1us propagation: a 125-byte message serializes in 1us.
+	l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 1e9, Propagation: Microsecond}, c)
+	s.At(0, func() { l.Send(fixedSize(125)) })
+	s.Run()
+	if len(c.times) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(c.times))
+	}
+	if c.times[0] != 2*Microsecond {
+		t.Errorf("delivery at %v, want 2us (1us tx + 1us prop)", c.times[0])
+	}
+}
+
+func TestLinkFIFOQueueing(t *testing.T) {
+	s := NewSim(1)
+	c := &collector{sim: s}
+	l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 1e9, Propagation: 0}, c)
+	// Two back-to-back messages: the second waits for the first.
+	s.At(0, func() {
+		first := l.Send(fixedSize(125))
+		if first != Microsecond {
+			t.Errorf("first txDone = %v, want 1us", first)
+		}
+		second := l.Send(fixedSize(125))
+		if second != 2*Microsecond {
+			t.Errorf("second txDone = %v, want 2us", second)
+		}
+		if !l.Busy() {
+			t.Error("link should be busy")
+		}
+	})
+	s.Run()
+	if len(c.times) != 2 || c.times[0] != Microsecond || c.times[1] != 2*Microsecond {
+		t.Errorf("deliveries at %v, want [1us 2us]", c.times)
+	}
+	st := l.Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.Bytes != 250 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxQueue != Microsecond {
+		t.Errorf("MaxQueue = %v, want 1us", st.MaxQueue)
+	}
+}
+
+func TestLinkIdleGap(t *testing.T) {
+	s := NewSim(1)
+	c := &collector{sim: s}
+	l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 1e9, Propagation: 0}, c)
+	s.At(0, func() { l.Send(fixedSize(125)) })
+	// After an idle gap, serialization restarts from now.
+	s.At(10*Microsecond, func() { l.Send(fixedSize(125)) })
+	s.Run()
+	if c.times[1] != 11*Microsecond {
+		t.Errorf("second delivery at %v, want 11us", c.times[1])
+	}
+}
+
+func TestLinkLossRateStatistics(t *testing.T) {
+	s := NewSim(99)
+	c := &collector{sim: s}
+	l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 1e12, Propagation: 0, LossRate: 0.1}, c)
+	const n = 20000
+	s.At(0, func() {
+		for i := 0; i < n; i++ {
+			l.Send(fixedSize(100))
+		}
+	})
+	s.Run()
+	st := l.Stats()
+	if st.Sent != n || st.Dropped+st.Delivered != n {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+	got := float64(st.Dropped) / n
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("empirical loss %v, want ~0.1", got)
+	}
+}
+
+func TestLinkSetLossRate(t *testing.T) {
+	s := NewSim(1)
+	c := &collector{sim: s}
+	l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 1e9}, c)
+	l.SetLossRate(0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLossRate(1.5) did not panic")
+		}
+	}()
+	l.SetLossRate(1.5)
+}
+
+func TestLinkConfigValidation(t *testing.T) {
+	s := NewSim(1)
+	c := &collector{sim: s}
+	for name, fn := range map[string]func(){
+		"zero bandwidth": func() { NewLink(s, LinkConfig{BitsPerSec: 0}, c) },
+		"bad loss":       func() { NewLink(s, LinkConfig{BitsPerSec: 1, LossRate: 1}, c) },
+		"nil dst":        func() { NewLink(s, LinkConfig{BitsPerSec: 1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLineRateThroughput(t *testing.T) {
+	// A saturated 10 Gbps link delivers exactly line rate: 180-byte
+	// packets at 10 Gbps = 6.944 Mpps.
+	s := NewSim(1)
+	delivered := 0
+	var last Time
+	sink := NodeFunc(func(Message) { delivered++; last = s.Now() })
+	l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 10e9}, sink)
+	const n = 100000
+	s.At(0, func() {
+		for i := 0; i < n; i++ {
+			l.Send(fixedSize(180))
+		}
+	})
+	s.Run()
+	elapsed := float64(last) / 1e9
+	pps := float64(delivered) / elapsed
+	want := 10e9 / (180 * 8)
+	if math.Abs(pps-want)/want > 0.001 {
+		t.Errorf("throughput %.0f pps, want %.0f", pps, want)
+	}
+}
+
+func TestLinkName(t *testing.T) {
+	s := NewSim(1)
+	l := NewLink(s, LinkConfig{Name: "uplink", BitsPerSec: 1}, NodeFunc(func(Message) {}))
+	if l.Name() != "uplink" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if l.NextFree() != 0 {
+		t.Errorf("NextFree = %v, want 0", l.NextFree())
+	}
+}

@@ -1,0 +1,178 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// It substitutes for the paper's hardware testbed (8-16 machines, a
+// Tofino switch, 10/100 Gbps Ethernet): links model bandwidth
+// (serialization delay with FIFO queueing), propagation delay, and
+// independent Bernoulli packet loss; nodes are event-driven actors.
+// All time is virtual, so experiments are reproducible bit-for-bit
+// for a given seed and are independent of host speed.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Common durations in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual time span to a time.Duration for
+// display.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time like time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at        Time
+	seq       uint64 // Tie-break so equal-time events run FIFO.
+	fn        func()
+	cancelled bool
+	index     int // Heap index, maintained by eventHeap.
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulation. It is not safe
+// for concurrent use; all actors run inside event callbacks.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	// processed counts executed events, useful for run-away detection
+	// in tests.
+	processed uint64
+}
+
+// NewSim returns a simulation whose random decisions (packet loss)
+// derive from the given seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Processed returns how many events have executed.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op. It reports
+// whether the callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in
+// the past panics: it indicates a causality bug in an actor.
+func (s *Sim) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", at, s.now))
+	}
+	e := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing virtual time. It
+// reports whether an event ran.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to the deadline. Events after the deadline remain queued.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.events) > 0 {
+		// Peek at the earliest live event.
+		e := s.events[0]
+		if e.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for a span of virtual time from now.
+func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }

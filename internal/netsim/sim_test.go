@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestEqualTimeEventsRunFIFO(t *testing.T) {
+	s := NewSim(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break)", i, v, i)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim(1)
+	var fired []Time
+	s.At(10, func() {
+		fired = append(fired, s.Now())
+		s.After(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewSim(1)
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := NewSim(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	tm := s.At(10, func() { fired = true })
+	if !tm.Cancel() {
+		t.Error("first Cancel returned false")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	var nilTimer *Timer
+	if nilTimer.Cancel() {
+		t.Error("nil timer Cancel returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if s.Now() != 25 {
+		t.Errorf("Now = %v, want 25", s.Now())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run, fired %v", fired)
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	s := NewSim(1)
+	s.RunFor(2 * Millisecond)
+	if s.Now() != 2*Millisecond {
+		t.Errorf("Now = %v, want 2ms", s.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		s := NewSim(seed)
+		sink := NodeFunc(func(Message) {})
+		l := NewLink(s, LinkConfig{Name: "l", BitsPerSec: 1e9, Propagation: Microsecond, LossRate: 0.3}, sink)
+		var deliveries []Time
+		l2 := NewLink(s, LinkConfig{Name: "l2", BitsPerSec: 1e9, Propagation: Microsecond, LossRate: 0.3},
+			NodeFunc(func(Message) { deliveries = append(deliveries, s.Now()) }))
+		for i := 0; i < 100; i++ {
+			s.After(Time(i)*Microsecond, func() {
+				l.Send(fixedSize(100))
+				l2.Send(fixedSize(100))
+			})
+		}
+		s.Run()
+		return deliveries
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical loss patterns")
+		}
+	}
+}
+
+// fixedSize is a test message of a given wire size.
+type fixedSize int
+
+func (f fixedSize) WireSize() int { return int(f) }
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Microsecond).String(); got != "1.5ms" {
+		t.Errorf("String = %q, want 1.5ms", got)
+	}
+	if got := (2 * Second).Duration().Seconds(); got != 2 {
+		t.Errorf("Duration().Seconds() = %v, want 2", got)
+	}
+}
+
+func TestHeapPropertyQuick(t *testing.T) {
+	// Events scheduled in arbitrary order always fire in time order.
+	f := func(times []uint16) bool {
+		s := NewSim(1)
+		var fired []Time
+		for _, at := range times {
+			at := Time(at)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	s := NewSim(1)
+	s.At(1, func() {})
+	s.At(2, func() {})
+	s.Run()
+	if got := s.Processed(); got != 2 {
+		t.Errorf("Processed = %d, want 2", got)
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	s := NewSim(1)
+	tm := s.At(5, func() { t.Error("cancelled event ran") })
+	s.At(10, func() {})
+	tm.Cancel()
+	s.RunUntil(20)
+	if s.Now() != 20 {
+		t.Errorf("Now = %v", s.Now())
+	}
+}

@@ -1,0 +1,225 @@
+// Package p4sim models the resource constraints of a programmable
+// switch dataplane in the RMT/Tofino mould (paper §3.1, §4 and
+// Appendix B). It is a static allocation model, not an instruction
+// interpreter: the protocol behaviour lives in internal/core, and
+// this package answers whether — and at what resource cost — that
+// behaviour fits a given chip.
+//
+// The constraints modelled are the ones the paper designs around:
+//
+//   - per-packet parse budget: only a few hundred bytes of each
+//     packet can be parsed and computed over, capping k;
+//   - stage count and per-stage register ALUs: the 32 elements per
+//     packet are spread across ingress pipeline stages, with a few
+//     stages reserved for bookkeeping (bitmap, counter, multicast
+//     decision);
+//   - 64-bit register accesses: the upper and lower halves of one
+//     register hold the two pool versions, so the shadow copy costs
+//     no extra ALUs (Appendix B);
+//   - per-stage SRAM: pools, bitmaps and counters must fit in the
+//     register memory of the stages they occupy.
+package p4sim
+
+import "fmt"
+
+// ChipProfile describes a switch ASIC's ingress pipeline resources.
+type ChipProfile struct {
+	// Name identifies the profile in reports.
+	Name string
+	// Stages is the number of ingress match-action stages.
+	Stages int
+	// RegALUsPerStage is the number of stateful register ALUs per
+	// stage; each ALU can read-modify-write one 64-bit register per
+	// packet.
+	RegALUsPerStage int
+	// SRAMPerStageBytes is the register memory available per stage.
+	SRAMPerStageBytes int
+	// MaxParseBytes is the largest prefix of a packet the parser can
+	// expose to the pipeline, headers included.
+	MaxParseBytes int
+	// Ports is the number of front-panel ports.
+	Ports int
+	// PortBitsPerSec is the per-port line rate.
+	PortBitsPerSec float64
+	// PipelineLatencyNs is the fixed ingress-to-egress latency.
+	PipelineLatencyNs int64
+}
+
+// Tofino64x100G returns a profile patterned after the paper's testbed
+// switch: 64 ports of 100 Gbps with a 12-stage ingress pipeline
+// (§5.1). The numbers are representative of public RMT descriptions,
+// chosen so that the paper's deployment parameters (k=32 in a single
+// ingress pipeline, pools well under 10% of SRAM) fall out rather
+// than being hard-coded.
+func Tofino64x100G() ChipProfile {
+	return ChipProfile{
+		Name:              "tofino-64x100g",
+		Stages:            12,
+		RegALUsPerStage:   4,
+		SRAMPerStageBytes: 1 << 20, // 1 MiB per stage, ~12 MiB total.
+		MaxParseBytes:     192,
+		Ports:             64,
+		PortBitsPerSec:    100e9,
+		PipelineLatencyNs: 400,
+	}
+}
+
+// Program describes a SwitchML aggregation program to be laid out on
+// a chip.
+type Program struct {
+	// SlotElems is k, the elements aggregated per packet.
+	SlotElems int
+	// PoolSize is s, the aggregator slots per pool version.
+	PoolSize int
+	// Workers is n, determining bitmap width.
+	Workers int
+	// LossRecovery selects the Algorithm 3 layout (two pool versions
+	// sharing 64-bit registers, plus bitmap and counter stages).
+	LossRecovery bool
+	// PayloadHeaderBytes is the per-packet header budget that must
+	// fit in the parse window together with the payload.
+	PayloadHeaderBytes int
+	// AccumulatorsPerElem is the number of 32-bit accumulators each
+	// wire element expands to in the pipeline: 1 for 32-bit fixed
+	// point, 2 for the packed-float16 mode of §3.7 (each half gets
+	// its own register after the lookup-table conversion) — which is
+	// why the paper notes float16 "consumes more switch resources in
+	// terms of lookup tables and arithmetic units". Zero selects 1.
+	AccumulatorsPerElem int
+	// BookkeepingStages is the number of stages consumed by
+	// non-element work: parsing/validation, the seen bitmap, the
+	// counter, and the multicast decision. The paper's program uses
+	// dependent operations that cannot share a stage with element
+	// aggregation. Zero selects the default of 4.
+	BookkeepingStages int
+}
+
+// Allocation reports how a compiled program occupies the chip.
+type Allocation struct {
+	// ElemStages is the number of stages carrying element ALUs.
+	ElemStages int
+	// ALUs is the total register ALUs in use for elements.
+	ALUs int
+	// MaxSlotElems is the largest k this chip could support given its
+	// stages and parse budget; the program's k must not exceed it.
+	MaxSlotElems int
+	// PoolSRAMBytes is the register memory used by the pools
+	// (both versions), bitmaps and counters.
+	PoolSRAMBytes int
+	// SRAMFraction is PoolSRAMBytes over the total SRAM of the stages
+	// the program occupies.
+	SRAMFraction float64
+	// TotalSRAMFraction is PoolSRAMBytes over the chip's entire SRAM,
+	// the "<<10% of switch resources" figure of §5.5.
+	TotalSRAMFraction float64
+}
+
+// Compile checks prog against chip and returns its resource
+// allocation. It fails when k exceeds the ALU or parse budgets or the
+// pools do not fit in SRAM — mirroring the paper's experience that "a
+// program with too many dependencies cannot find a suitable
+// allocation ... and will be rejected by the compiler" (Appendix B).
+func Compile(chip ChipProfile, prog Program) (Allocation, error) {
+	if prog.SlotElems <= 0 || prog.PoolSize <= 0 || prog.Workers <= 0 {
+		return Allocation{}, fmt.Errorf("p4sim: program parameters must be positive: %+v", prog)
+	}
+	book := prog.BookkeepingStages
+	if book == 0 {
+		book = 4
+	}
+	if !prog.LossRecovery && book > 2 {
+		// Algorithm 1 needs no bitmap or shadow bookkeeping.
+		book = 2
+	}
+	elemStagesAvail := chip.Stages - book
+	if elemStagesAvail <= 0 {
+		return Allocation{}, fmt.Errorf("p4sim: %s has %d stages, %d consumed by bookkeeping",
+			chip.Name, chip.Stages, book)
+	}
+
+	// Each ALU aggregates one 32-bit accumulator per packet; with
+	// loss recovery the two pool versions share the 64-bit register
+	// halves at no extra ALU cost (Appendix B).
+	acc := prog.AccumulatorsPerElem
+	if acc == 0 {
+		acc = 1
+	}
+	aluBudget := elemStagesAvail * chip.RegALUsPerStage / acc
+
+	headers := prog.PayloadHeaderBytes
+	if headers == 0 {
+		headers = 52
+	}
+	parseBudget := (chip.MaxParseBytes - headers) / 4
+	if parseBudget <= 0 {
+		return Allocation{}, fmt.Errorf("p4sim: %s parse window %dB cannot fit headers (%dB)",
+			chip.Name, chip.MaxParseBytes, headers)
+	}
+	maxK := aluBudget
+	if parseBudget < maxK {
+		maxK = parseBudget
+	}
+	if prog.SlotElems > maxK {
+		return Allocation{}, fmt.Errorf(
+			"p4sim: k=%d exceeds %s budget of %d elements (ALUs: %d, parse window: %d)",
+			prog.SlotElems, chip.Name, maxK, aluBudget, parseBudget)
+	}
+
+	elemStages := (acc*prog.SlotElems + chip.RegALUsPerStage - 1) / chip.RegALUsPerStage
+
+	versions := 2
+	if !prog.LossRecovery {
+		versions = 1
+	}
+	poolBytes := versions * prog.PoolSize * acc * prog.SlotElems * 4
+	bitmapBytes := 0
+	counterBytes := 0
+	if prog.LossRecovery {
+		bitmapBytes = versions * prog.PoolSize * ((prog.Workers + 7) / 8)
+		counterBytes = versions * prog.PoolSize * 4
+	} else {
+		counterBytes = prog.PoolSize * 4
+	}
+	total := poolBytes + bitmapBytes + counterBytes
+
+	// The pool vectors are striped across the element stages; each
+	// stage must hold its stripe.
+	perStage := poolBytes / elemStages
+	if perStage > chip.SRAMPerStageBytes {
+		return Allocation{}, fmt.Errorf(
+			"p4sim: pool stripe %dB exceeds per-stage SRAM %dB on %s (reduce pool size %d)",
+			perStage, chip.SRAMPerStageBytes, chip.Name, prog.PoolSize)
+	}
+
+	occupiedSRAM := (elemStages + book) * chip.SRAMPerStageBytes
+	chipSRAM := chip.Stages * chip.SRAMPerStageBytes
+	return Allocation{
+		ElemStages:        elemStages,
+		ALUs:              acc * prog.SlotElems,
+		MaxSlotElems:      maxK,
+		PoolSRAMBytes:     total,
+		SRAMFraction:      float64(total) / float64(occupiedSRAM),
+		TotalSRAMFraction: float64(total) / float64(chipSRAM),
+	}, nil
+}
+
+// MaxPoolSize returns the largest pool size (slots per version) the
+// chip can hold for a given k and worker count, the "two orders of
+// magnitude more slots" headroom of §3.6.
+func MaxPoolSize(chip ChipProfile, prog Program) int {
+	lo, hi := 1, 1<<28
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		p := prog
+		p.PoolSize = mid
+		if _, err := Compile(chip, p); err == nil {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if _, err := Compile(chip, func() Program { p := prog; p.PoolSize = lo; return p }()); err != nil {
+		return 0
+	}
+	return lo
+}

@@ -1,0 +1,160 @@
+package p4sim
+
+import "testing"
+
+func TestPaperDeploymentCompiles(t *testing.T) {
+	chip := Tofino64x100G()
+	// The paper's 10 Gbps deployment: k=32, s=128.
+	alloc, err := Compile(chip, Program{SlotElems: 32, PoolSize: 128, Workers: 8, LossRecovery: true})
+	if err != nil {
+		t.Fatalf("paper deployment rejected: %v", err)
+	}
+	// §3.6: the two pools of 128 slots x 32 elements occupy 32 KB of
+	// register space (plus small bitmap/counter overhead).
+	if alloc.PoolSRAMBytes < 32*1024 || alloc.PoolSRAMBytes > 40*1024 {
+		t.Errorf("PoolSRAMBytes = %d, want ~32 KiB", alloc.PoolSRAMBytes)
+	}
+	// §5.5: "the memory requirement is << 10% of switch resources".
+	if alloc.TotalSRAMFraction >= 0.10 {
+		t.Errorf("TotalSRAMFraction = %v, want << 0.10", alloc.TotalSRAMFraction)
+	}
+	if alloc.ElemStages != 8 {
+		t.Errorf("ElemStages = %d, want 8 (32 elems / 4 ALUs)", alloc.ElemStages)
+	}
+}
+
+func Test100GbpsPoolCompiles(t *testing.T) {
+	// The 100 Gbps deployment uses s=512: 128 KB per version (§3.6).
+	alloc, err := Compile(Tofino64x100G(), Program{SlotElems: 32, PoolSize: 512, Workers: 16, LossRecovery: true})
+	if err != nil {
+		t.Fatalf("rejected: %v", err)
+	}
+	if alloc.TotalSRAMFraction >= 0.10 {
+		t.Errorf("TotalSRAMFraction = %v, want < 0.10", alloc.TotalSRAMFraction)
+	}
+}
+
+func TestKBoundedByChip(t *testing.T) {
+	chip := Tofino64x100G()
+	// k=32 is exactly the chip's ALU budget with default bookkeeping:
+	// (12-4) stages x 4 ALUs. One more element must be rejected.
+	if _, err := Compile(chip, Program{SlotElems: 33, PoolSize: 16, Workers: 8, LossRecovery: true}); err == nil {
+		t.Error("k=33 compiled, want rejection (ALU budget)")
+	}
+	// MTU-sized payloads (366 elements) cannot compile on this chip —
+	// the premise of the Figure 7 experiment.
+	if _, err := Compile(chip, Program{SlotElems: 366, PoolSize: 16, Workers: 8, LossRecovery: true}); err == nil {
+		t.Error("k=366 compiled, want rejection")
+	}
+}
+
+func TestParseBudgetBindsWhenALUsDoNot(t *testing.T) {
+	chip := Tofino64x100G()
+	chip.RegALUsPerStage = 100 // ALUs no longer the bottleneck.
+	alloc, err := Compile(chip, Program{SlotElems: 32, PoolSize: 16, Workers: 8, LossRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse window: (192-52)/4 = 35 elements.
+	if alloc.MaxSlotElems != 35 {
+		t.Errorf("MaxSlotElems = %d, want 35 (parse-bound)", alloc.MaxSlotElems)
+	}
+	if _, err := Compile(chip, Program{SlotElems: 36, PoolSize: 16, Workers: 8, LossRecovery: true}); err == nil {
+		t.Error("k beyond parse window compiled")
+	}
+}
+
+func TestSRAMLimitRejectsHugePools(t *testing.T) {
+	chip := Tofino64x100G()
+	if _, err := Compile(chip, Program{SlotElems: 32, PoolSize: 1 << 22, Workers: 8, LossRecovery: true}); err == nil {
+		t.Error("4M-slot pool compiled, want SRAM rejection")
+	}
+}
+
+func TestAlgorithm1UsesFewerResources(t *testing.T) {
+	chip := Tofino64x100G()
+	with, err := Compile(chip, Program{SlotElems: 32, PoolSize: 128, Workers: 8, LossRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Compile(chip, Program{SlotElems: 32, PoolSize: 128, Workers: 8, LossRecovery: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.PoolSRAMBytes >= with.PoolSRAMBytes {
+		t.Errorf("Algorithm 1 SRAM %d >= Algorithm 3 SRAM %d", without.PoolSRAMBytes, with.PoolSRAMBytes)
+	}
+}
+
+func TestMaxPoolSizeHeadroom(t *testing.T) {
+	// §3.6: "the switch can support two orders of magnitude more
+	// slots" than the 512 used at 100 Gbps.
+	chip := Tofino64x100G()
+	maxPool := MaxPoolSize(chip, Program{SlotElems: 32, Workers: 16, LossRecovery: true})
+	if maxPool < 512*50 {
+		t.Errorf("MaxPoolSize = %d, want >= %d (orders-of-magnitude headroom)", maxPool, 512*50)
+	}
+	p := Program{SlotElems: 32, Workers: 16, LossRecovery: true, PoolSize: maxPool}
+	if _, err := Compile(chip, p); err != nil {
+		t.Errorf("MaxPoolSize result does not compile: %v", err)
+	}
+	p.PoolSize = maxPool + 1
+	if _, err := Compile(chip, p); err == nil {
+		t.Error("MaxPoolSize+1 compiled")
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	chip := Tofino64x100G()
+	if _, err := Compile(chip, Program{}); err == nil {
+		t.Error("zero program compiled")
+	}
+	small := chip
+	small.Stages = 3
+	if _, err := Compile(small, Program{SlotElems: 4, PoolSize: 4, Workers: 2, LossRecovery: true}); err == nil {
+		t.Error("program compiled on chip with too few stages")
+	}
+	tiny := chip
+	tiny.MaxParseBytes = 40
+	if _, err := Compile(tiny, Program{SlotElems: 4, PoolSize: 4, Workers: 2, LossRecovery: true}); err == nil {
+		t.Error("program compiled with parse window smaller than headers")
+	}
+}
+
+func TestMaxPoolSizeZeroOnImpossibleChip(t *testing.T) {
+	chip := Tofino64x100G()
+	chip.SRAMPerStageBytes = 16 // Nothing fits.
+	if got := MaxPoolSize(chip, Program{SlotElems: 32, Workers: 8, LossRecovery: true}); got != 0 {
+		t.Errorf("MaxPoolSize = %d, want 0", got)
+	}
+}
+
+func TestFloat16ModeResourceCost(t *testing.T) {
+	// §3.7: the float16 mode "consumes more switch resources": each
+	// wire element expands to two accumulators, so k=32 no longer
+	// fits the chip — the deployment must halve k (same 32 gradient
+	// values per packet, carried as halves).
+	chip := Tofino64x100G()
+	full := Program{SlotElems: 32, PoolSize: 128, Workers: 8, LossRecovery: true, AccumulatorsPerElem: 2}
+	if _, err := Compile(chip, full); err == nil {
+		t.Error("float16 with k=32 compiled; expected ALU rejection")
+	}
+	halved := full
+	halved.SlotElems = 16
+	alloc, err := Compile(chip, halved)
+	if err != nil {
+		t.Fatalf("float16 with k=16 rejected: %v", err)
+	}
+	if alloc.ALUs != 32 {
+		t.Errorf("ALUs = %d, want 32 (16 wire elems x 2 halves)", alloc.ALUs)
+	}
+	// Pool SRAM matches the fixed-point deployment: same accumulator
+	// count per slot.
+	plain, err := Compile(chip, Program{SlotElems: 32, PoolSize: 128, Workers: 8, LossRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.PoolSRAMBytes != plain.PoolSRAMBytes {
+		t.Errorf("float16 pool SRAM %d != fixed-point %d", alloc.PoolSRAMBytes, plain.PoolSRAMBytes)
+	}
+}

@@ -1,0 +1,250 @@
+package p4sim
+
+import (
+	"fmt"
+
+	"switchml/internal/core"
+	"switchml/internal/packet"
+)
+
+// This file is the executable counterpart of the static Compile
+// model: a match-action pipeline that actually runs the SwitchML
+// aggregation program stage by stage under the chip's constraints —
+// at most RegALUsPerStage register read-modify-writes per stage, one
+// access per register array per packet, and values computed in a
+// stage usable only in later stages. It exists to demonstrate that
+// Algorithm 3 really fits the dataplane programming model the paper
+// targets (Appendix B), and it is differentially tested against the
+// reference state machine in internal/core.
+//
+// Register layout, exactly as Appendix B describes: every 64-bit
+// register holds both pool versions in its halves ("we use the upper
+// and lower part of each register for alternate pools"), so the
+// shadow copy costs no extra ALU operations:
+//
+//   - seen[slot]:  low 32 bits = version-0 bitmap, high = version-1
+//     (capping this executable model at 32 workers);
+//   - count[slot]: low = version-0 contribution count, high = v1;
+//   - elem[j][slot], j < k: low = version-0 accumulator, high = v1.
+
+// phv is the packet header vector plus per-packet metadata carried
+// between stages.
+type phv struct {
+	pkt *packet.Packet
+	// Metadata written by earlier stages, read by later ones.
+	alreadySeen    bool
+	first          bool
+	complete       bool
+	shadowComplete bool
+	result         []int32
+}
+
+// registerArray is a stateful array of 64-bit registers, one per pool
+// slot.
+type registerArray struct {
+	name string
+	data []uint64
+}
+
+// stageCtx meters a stage's register accesses against the chip's ALU
+// budget.
+type stageCtx struct {
+	stage    string
+	budget   int
+	accesses int
+}
+
+// rmw performs this stage's single read-modify-write on one register:
+// f receives the current value and returns the new one. Exceeding the
+// per-stage ALU budget panics — the executable analogue of the
+// compiler rejecting the program.
+func (s *stageCtx) rmw(arr *registerArray, idx uint32, f func(uint64) uint64) {
+	s.accesses++
+	if s.accesses > s.budget {
+		panic(fmt.Sprintf("p4sim: stage %q exceeded its %d-ALU budget", s.stage, s.budget))
+	}
+	arr.data[idx] = f(arr.data[idx])
+}
+
+// halves splits and joins version halves of a 64-bit register.
+func half(v uint64, ver uint8) uint32 {
+	if ver == 0 {
+		return uint32(v)
+	}
+	return uint32(v >> 32)
+}
+
+func setHalf(v uint64, ver uint8, x uint32) uint64 {
+	if ver == 0 {
+		return v&^uint64(0xFFFFFFFF) | uint64(x)
+	}
+	return v&0xFFFFFFFF | uint64(x)<<32
+}
+
+// PipelineSwitch executes the SwitchML program on the modelled
+// pipeline. It implements the same packet-in/response-out contract as
+// core.Switch (Algorithm 3 with loss recovery; per-worker FIFO
+// delivery assumed, as on the paper's single-switch L2 fabric).
+type PipelineSwitch struct {
+	chip    ChipProfile
+	workers int
+	pool    int
+	k       int
+
+	seen  *registerArray
+	count *registerArray
+	elems []*registerArray
+
+	// stagesUsed is the pipeline depth the program occupies.
+	stagesUsed int
+}
+
+// NewPipelineSwitch lays the program out on the chip, failing if the
+// static model rejects it or the executable layout cannot hold the
+// worker bitmap (32 per register half).
+func NewPipelineSwitch(chip ChipProfile, workers, poolSize, slotElems int) (*PipelineSwitch, error) {
+	if workers > 32 {
+		return nil, fmt.Errorf("p4sim: pipeline bitmap halves hold 32 workers, got %d", workers)
+	}
+	if _, err := Compile(chip, Program{
+		SlotElems: slotElems, PoolSize: poolSize, Workers: workers, LossRecovery: true,
+	}); err != nil {
+		return nil, err
+	}
+	ps := &PipelineSwitch{
+		chip:    chip,
+		workers: workers,
+		pool:    poolSize,
+		k:       slotElems,
+		seen:    &registerArray{name: "seen", data: make([]uint64, poolSize)},
+		count:   &registerArray{name: "count", data: make([]uint64, poolSize)},
+	}
+	for j := 0; j < slotElems; j++ {
+		ps.elems = append(ps.elems, &registerArray{
+			name: fmt.Sprintf("elem%d", j), data: make([]uint64, poolSize),
+		})
+	}
+	// Depth: parser + bitmap + counter + element stages + decision.
+	elemStages := (slotElems + chip.RegALUsPerStage - 1) / chip.RegALUsPerStage
+	ps.stagesUsed = 3 + elemStages + 1
+	if ps.stagesUsed > chip.Stages {
+		return nil, fmt.Errorf("p4sim: program needs %d stages, chip has %d", ps.stagesUsed, chip.Stages)
+	}
+	return ps, nil
+}
+
+// StagesUsed reports the pipeline depth the program occupies.
+func (ps *PipelineSwitch) StagesUsed() int { return ps.stagesUsed }
+
+// Handle runs one packet through the pipeline and returns the
+// response, mirroring core.Switch.Handle.
+func (ps *PipelineSwitch) Handle(p *packet.Packet) core.Response {
+	// Stage 0 — parser and admission checks (no register access; the
+	// parse budget was verified by Compile).
+	if p.Kind != packet.KindUpdate || int(p.WorkerID) >= ps.workers ||
+		int(p.Idx) >= ps.pool || len(p.Vector) == 0 || len(p.Vector) > ps.k || p.Ver > 1 {
+		return core.Response{}
+	}
+	h := &phv{pkt: p}
+	ps.stageBitmap(h)
+	ps.stageCount(h)
+	ps.stageElements(h)
+	return ps.stageDecision(h)
+}
+
+// stageBitmap is the paper's single-operation bitmap update: set the
+// worker's bit in the packet's version half and clear it in the
+// other, in one 64-bit RMW.
+func (ps *PipelineSwitch) stageBitmap(h *phv) {
+	ctx := &stageCtx{stage: "bitmap", budget: ps.chip.RegALUsPerStage}
+	p := h.pkt
+	bit := uint64(1) << (uint(p.WorkerID) + 32*uint(p.Ver))
+	otherBit := uint64(1) << (uint(p.WorkerID) + 32*uint(1-p.Ver))
+	ctx.rmw(ps.seen, p.Idx, func(v uint64) uint64 {
+		h.alreadySeen = v&bit != 0
+		if h.alreadySeen {
+			return v
+		}
+		return (v | bit) &^ otherBit
+	})
+}
+
+// stageCount increments the version's contribution counter modulo n
+// for fresh contributions and exposes completion state.
+func (ps *PipelineSwitch) stageCount(h *phv) {
+	ctx := &stageCtx{stage: "count", budget: ps.chip.RegALUsPerStage}
+	p := h.pkt
+	ctx.rmw(ps.count, p.Idx, func(v uint64) uint64 {
+		c := half(v, p.Ver)
+		if h.alreadySeen {
+			h.shadowComplete = c == 0
+			return v
+		}
+		h.first = c == 0
+		nc := (c + 1) % uint32(ps.workers)
+		h.complete = nc == 0
+		return setHalf(v, p.Ver, nc)
+	})
+}
+
+// stageElements runs the k accumulator updates, RegALUsPerStage per
+// stage: overwrite on the first contribution (which doubles as the
+// slot reset), add otherwise, and read the final value when the
+// aggregation completes or a retransmission needs the retained
+// result.
+func (ps *PipelineSwitch) stageElements(h *phv) {
+	p := h.pkt
+	emit := h.complete || (h.alreadySeen && h.shadowComplete)
+	if emit {
+		h.result = make([]int32, len(p.Vector))
+	}
+	var ctx *stageCtx
+	for j := 0; j < len(p.Vector); j++ {
+		if j%ps.chip.RegALUsPerStage == 0 {
+			ctx = &stageCtx{
+				stage:  fmt.Sprintf("elem[%d..]", j),
+				budget: ps.chip.RegALUsPerStage,
+			}
+		}
+		jj := j
+		ctx.rmw(ps.elems[jj], p.Idx, func(v uint64) uint64 {
+			cur := int32(half(v, p.Ver))
+			switch {
+			case h.alreadySeen:
+				// Retransmission: read-only.
+			case h.first:
+				cur = p.Vector[jj]
+			default:
+				cur += p.Vector[jj]
+			}
+			if emit {
+				h.result[jj] = cur
+			}
+			if h.alreadySeen {
+				return v
+			}
+			return setHalf(v, p.Ver, uint32(cur))
+		})
+	}
+}
+
+// stageDecision builds the egress action: multicast the completed
+// aggregate, unicast a retained result to a retransmitting worker, or
+// drop.
+func (ps *PipelineSwitch) stageDecision(h *phv) core.Response {
+	p := h.pkt
+	switch {
+	case h.complete:
+		out := p.Clone()
+		out.Kind = packet.KindResult
+		out.Vector = h.result
+		return core.Response{Pkt: out, Multicast: true}
+	case h.alreadySeen && h.shadowComplete:
+		out := p.Clone()
+		out.Kind = packet.KindResultUnicast
+		out.Vector = h.result
+		return core.Response{Pkt: out}
+	default:
+		return core.Response{}
+	}
+}

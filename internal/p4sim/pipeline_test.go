@@ -1,0 +1,269 @@
+package p4sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchml/internal/core"
+	"switchml/internal/packet"
+)
+
+func newPipeline(t *testing.T, n, s, k int) *PipelineSwitch {
+	t.Helper()
+	ps, err := NewPipelineSwitch(Tofino64x100G(), n, s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestPipelineBasicAggregation(t *testing.T) {
+	ps := newPipeline(t, 2, 4, 4)
+	p0 := packet.NewUpdate(0, 0, 0, 1, 0, []int32{1, 2, 3, 4})
+	if r := ps.Handle(p0); r.Pkt != nil {
+		t.Fatal("premature response")
+	}
+	r := ps.Handle(packet.NewUpdate(1, 0, 0, 1, 0, []int32{10, 20, 30, 40}))
+	if r.Pkt == nil || !r.Multicast {
+		t.Fatal("no multicast on completion")
+	}
+	want := []int32{11, 22, 33, 44}
+	for i, v := range r.Pkt.Vector {
+		if v != want[i] {
+			t.Errorf("result[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+	// Retransmission after completion: unicast retained result.
+	rr := ps.Handle(p0.Clone())
+	if rr.Pkt == nil || rr.Multicast || rr.Pkt.Kind != packet.KindResultUnicast {
+		t.Fatalf("retransmission reply = %+v", rr)
+	}
+	if rr.Pkt.Vector[0] != 11 {
+		t.Errorf("retained result = %d, want 11", rr.Pkt.Vector[0])
+	}
+}
+
+func TestPipelineRejects(t *testing.T) {
+	chip := Tofino64x100G()
+	if _, err := NewPipelineSwitch(chip, 33, 4, 4); err == nil {
+		t.Error("33 workers accepted (bitmap half holds 32)")
+	}
+	if _, err := NewPipelineSwitch(chip, 8, 4, 33); err == nil {
+		t.Error("k=33 accepted (ALU budget)")
+	}
+	ps := newPipeline(t, 2, 2, 4)
+	for _, bad := range []*packet.Packet{
+		{Kind: packet.KindResult, Vector: []int32{1}},
+		packet.NewUpdate(5, 0, 0, 0, 0, []int32{1}),
+		packet.NewUpdate(0, 0, 0, 9, 0, []int32{1}),
+		packet.NewUpdate(0, 0, 3, 0, 0, []int32{1}),
+		packet.NewUpdate(0, 0, 0, 0, 0, nil),
+		packet.NewUpdate(0, 0, 0, 0, 0, make([]int32, 5)),
+	} {
+		if r := ps.Handle(bad); r.Pkt != nil {
+			t.Errorf("malformed packet %v produced a response", bad)
+		}
+	}
+}
+
+func TestPipelineStagesWithinChip(t *testing.T) {
+	ps := newPipeline(t, 8, 128, 32)
+	if got, max := ps.StagesUsed(), Tofino64x100G().Stages; got > max {
+		t.Errorf("StagesUsed = %d > chip stages %d", got, max)
+	}
+	// k=32 on a 4-ALU chip: 3 bookkeeping + 8 element + 1 decision.
+	if ps.StagesUsed() != 12 {
+		t.Errorf("StagesUsed = %d, want 12", ps.StagesUsed())
+	}
+}
+
+// TestPipelineDifferential drives identical random traffic — losses,
+// retransmissions, consecutive tensors — through the executable
+// pipeline and the reference state machine, requiring byte-identical
+// responses at every step. This is the evidence that Algorithm 3 fits
+// the per-stage single-RMW dataplane model.
+func TestPipelineDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(6)
+		s := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(16)
+		d := 1 + rng.Intn(300)
+		loss := rng.Float64() * 0.2
+
+		pipe := newPipeline(t, n, s, k)
+		ref, err := core.NewSwitch(core.SwitchConfig{
+			Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers := make([]*core.Worker, n)
+		for i := range workers {
+			workers[i], err = core.NewWorker(core.WorkerConfig{
+				ID: uint16(i), Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Drive: per-worker FIFO queues toward the switch, one result
+		// queue per worker back; random scheduling with loss; on
+		// drain, retransmit all pending. Both switches see the exact
+		// same delivered sequence.
+		up := make([][]*packet.Packet, n)
+		down := make([][]*packet.Packet, n)
+		done := make([]bool, n)
+		want := make([]int32, d)
+		for i, w := range workers {
+			u := make([]int32, d)
+			for j := range u {
+				u[j] = int32(rng.Intn(201) - 100)
+				want[j] += u[j]
+			}
+			up[i] = append(up[i], w.Start(u)...)
+		}
+		alive := func() bool {
+			for _, dn := range done {
+				if !dn {
+					return true
+				}
+			}
+			return false
+		}
+		for rounds := 0; alive(); rounds++ {
+			if rounds > 1<<21 {
+				t.Fatal("differential driver did not converge")
+			}
+			var choices []int
+			for w := range workers {
+				if len(up[w]) > 0 {
+					choices = append(choices, w)
+				}
+				if len(down[w]) > 0 {
+					choices = append(choices, w+n)
+				}
+			}
+			if len(choices) == 0 {
+				for w, worker := range workers {
+					for idx := 0; idx < s; idx++ {
+						if p := worker.Retransmit(uint32(idx)); p != nil {
+							up[w] = append(up[w], p)
+						}
+					}
+				}
+				continue
+			}
+			c := choices[rng.Intn(len(choices))]
+			if c < n {
+				p := up[c][0]
+				up[c] = up[c][1:]
+				if rng.Float64() < loss {
+					continue
+				}
+				got := pipe.Handle(p.Clone())
+				exp := ref.Handle(p)
+				compareResponses(t, got, exp)
+				if exp.Pkt == nil {
+					continue
+				}
+				if exp.Multicast {
+					for w := range workers {
+						down[w] = append(down[w], exp.Pkt.Clone())
+					}
+				} else {
+					down[exp.Pkt.WorkerID] = append(down[exp.Pkt.WorkerID], exp.Pkt)
+				}
+				continue
+			}
+			w := c - n
+			p := down[w][0]
+			down[w] = down[w][1:]
+			if rng.Float64() < loss {
+				continue
+			}
+			next, fin := workers[w].HandleResult(p)
+			if next != nil {
+				up[w] = append(up[w], next)
+			}
+			if fin {
+				done[w] = true
+			}
+		}
+		for i, w := range workers {
+			got := w.Aggregate()
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d worker %d elem %d: got %d want %d", trial, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func compareResponses(t *testing.T, got, want core.Response) {
+	t.Helper()
+	if (got.Pkt == nil) != (want.Pkt == nil) || got.Multicast != want.Multicast {
+		t.Fatalf("response shape diverged: pipeline %+v vs reference %+v", got, want)
+	}
+	if got.Pkt == nil {
+		return
+	}
+	if got.Pkt.Kind != want.Pkt.Kind || got.Pkt.WorkerID != want.Pkt.WorkerID ||
+		got.Pkt.Ver != want.Pkt.Ver || got.Pkt.Idx != want.Pkt.Idx ||
+		len(got.Pkt.Vector) != len(want.Pkt.Vector) {
+		t.Fatalf("response header diverged: %v vs %v", got.Pkt, want.Pkt)
+	}
+	for i := range want.Pkt.Vector {
+		if got.Pkt.Vector[i] != want.Pkt.Vector[i] {
+			t.Fatalf("response vector diverged at %d: %d vs %d",
+				i, got.Pkt.Vector[i], want.Pkt.Vector[i])
+		}
+	}
+}
+
+func TestPipelineConsecutiveTensorsDifferential(t *testing.T) {
+	// Lossless multi-tensor stream: the version halves must alternate
+	// identically to the reference across tensor boundaries.
+	pipe := newPipeline(t, 2, 2, 4)
+	ref, _ := core.NewSwitch(core.SwitchConfig{Workers: 2, PoolSize: 2, SlotElems: 4, LossRecovery: true})
+	workers := make([]*core.Worker, 2)
+	for i := range workers {
+		workers[i], _ = core.NewWorker(core.WorkerConfig{
+			ID: uint16(i), Workers: 2, PoolSize: 2, SlotElems: 4, LossRecovery: true,
+		})
+	}
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 5; iter++ {
+		d := 4 + rng.Intn(60)
+		var queue []*packet.Packet
+		for _, w := range workers {
+			u := make([]int32, d)
+			for j := range u {
+				u[j] = int32(rng.Intn(9) - 4)
+			}
+			queue = append(queue, w.Start(u)...)
+		}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			got := pipe.Handle(p.Clone())
+			exp := ref.Handle(p)
+			compareResponses(t, got, exp)
+			if exp.Pkt == nil {
+				continue
+			}
+			for _, w := range workers {
+				next, _ := w.HandleResult(exp.Pkt.Clone())
+				if next != nil {
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+}

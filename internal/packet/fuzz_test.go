@@ -1,0 +1,31 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal exercises the wire decoder with arbitrary bytes: it
+// must never panic, and any buffer it accepts must re-marshal to the
+// identical bytes (the decoder admits exactly the encoder's image).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(NewUpdate(1, 2, 1, 3, 128, []int32{1, -2, 3}).Marshal())
+	f.Add(NewUpdate(0, 0, 0, 0, 0, nil).Marshal())
+	big := NewUpdate(65535, 65535, 1, 1<<31, 1<<60, make([]int32, MTUElems))
+	big.Kind = KindResultUnicast
+	f.Add(big.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x4D})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out := p.Marshal()
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted buffer does not round-trip:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

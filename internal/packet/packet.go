@@ -1,0 +1,230 @@
+// Package packet defines the SwitchML wire format.
+//
+// A SwitchML packet carries a small, fixed-size vector of 32-bit
+// integers together with the protocol fields of Algorithms 3 and 4 of
+// the paper: the worker id (wid), the single-bit pool version (ver),
+// the aggregator slot index (idx) and the element offset into the
+// tensor stream (off). Updates flow from workers to the switch;
+// results flow back either as a multicast (normal completion) or as a
+// unicast (retransmitted result).
+//
+// Two sizes matter and they are deliberately distinct:
+//
+//   - WireSize is the number of bytes the packet occupies on the
+//     simulated wire. It uses the paper's per-packet header budget of
+//     52 bytes (1516-byte MTU frames carry 366 elements; 180-byte
+//     frames carry 32), so that goodput and timing in the simulator
+//     match the paper's accounting exactly.
+//   - Marshal/Unmarshal produce the byte representation used by the
+//     real UDP transport. That header is self-describing (24 bytes
+//     plus a CRC32 of the payload) and does not need to match the
+//     simulated budget because the kernel supplies IP/UDP framing.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Protocol constants from the paper's deployment (§3.3, §3.6).
+const (
+	// DefaultElems is k, the number of 32-bit elements aggregated per
+	// packet by the switch pipeline. The paper's Tofino program
+	// processes 32 elements per packet in the ingress pipeline.
+	DefaultElems = 32
+
+	// MTUElems is the number of elements an MTU-sized packet would
+	// carry (§5.5 "Limited payload size"): 1516-byte frames including
+	// all headers leave room for 366 four-byte elements.
+	MTUElems = 366
+
+	// HeaderBytes is the paper's total per-packet header budget: a
+	// 180-byte frame carries 32 elements (128 bytes), and a 1516-byte
+	// frame carries 366 elements (1464 bytes); both leave 52 bytes of
+	// headers.
+	HeaderBytes = 52
+
+	// ElemBytes is the size of one vector element on the wire.
+	ElemBytes = 4
+
+	// marshalHeaderBytes is the size of the self-describing header
+	// produced by Marshal (excludes the vector payload).
+	marshalHeaderBytes = 24
+
+	// magic identifies marshalled SwitchML packets.
+	magic = 0x534D // "SM"
+)
+
+// Kind discriminates the direction and role of a packet.
+type Kind uint8
+
+const (
+	// KindUpdate is a model-update packet travelling from a worker to
+	// the switch.
+	KindUpdate Kind = iota
+	// KindResult is an aggregated result multicast from the switch to
+	// every worker.
+	KindResult
+	// KindResultUnicast is an aggregated result retransmitted to a
+	// single worker that re-sent an update for an already-complete
+	// slot (Algorithm 3, lines 19-21).
+	KindResultUnicast
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUpdate:
+		return "update"
+	case KindResult:
+		return "result"
+	case KindResultUnicast:
+		return "result-unicast"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is a single SwitchML protocol message.
+//
+// The zero value is not useful; construct packets with NewUpdate or by
+// copying and rewriting a received packet, as the switch does.
+type Packet struct {
+	// Kind says whether this is an update or a (possibly unicast)
+	// result.
+	Kind Kind
+	// WorkerID identifies the sending worker for updates, and the
+	// destination worker for unicast results.
+	WorkerID uint16
+	// JobID identifies the training job in multi-tenant deployments
+	// (§6 "Multi-job"). Each job owns a disjoint pool of aggregators.
+	JobID uint16
+	// Ver is the single-bit pool version used to alternate between the
+	// active pool and its shadow copy (Algorithm 3).
+	Ver uint8
+	// Idx is the aggregator slot index within the pool.
+	Idx uint32
+	// Off is the element offset of this packet's vector within the
+	// tensor stream.
+	Off uint64
+	// Vector is the payload: at most k (or MTUElems) int32 values. The
+	// final chunk of a tensor may be shorter than k.
+	Vector []int32
+}
+
+// NewUpdate builds an update packet for the given worker, slot and
+// offset, copying vec so the caller may reuse its buffer.
+func NewUpdate(worker uint16, job uint16, ver uint8, idx uint32, off uint64, vec []int32) *Packet {
+	v := make([]int32, len(vec))
+	copy(v, vec)
+	return &Packet{
+		Kind:     KindUpdate,
+		WorkerID: worker,
+		JobID:    job,
+		Ver:      ver,
+		Idx:      idx,
+		Off:      off,
+		Vector:   v,
+	}
+}
+
+// Clone returns a deep copy of the packet. The switch clones packets
+// when multicasting so that per-port mutation cannot alias.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Vector = make([]int32, len(p.Vector))
+	copy(q.Vector, p.Vector)
+	return &q
+}
+
+// WireSize returns the simulated on-the-wire size in bytes, using the
+// paper's 52-byte header budget.
+func (p *Packet) WireSize() int {
+	return HeaderBytes + ElemBytes*len(p.Vector)
+}
+
+// String renders a compact description, useful in traces and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s{w%d j%d v%d idx%d off%d n%d}",
+		p.Kind, p.WorkerID, p.JobID, p.Ver, p.Idx, p.Off, len(p.Vector))
+}
+
+// MarshalledSize returns the length of the buffer Marshal will
+// produce.
+func (p *Packet) MarshalledSize() int {
+	return marshalHeaderBytes + ElemBytes*len(p.Vector)
+}
+
+// Marshal serializes the packet into the self-describing byte format
+// used by the real transport. The layout is fixed-width, big-endian:
+//
+//	offset size field
+//	0      2    magic "SM"
+//	2      1    kind
+//	3      1    ver
+//	4      2    worker id
+//	6      2    job id
+//	8      4    idx
+//	12     8    off
+//	20     4    crc32 (IEEE) of bytes [0,20) and the payload
+//	24     4*n  vector elements
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, p.MarshalledSize())
+	binary.BigEndian.PutUint16(buf[0:2], magic)
+	buf[2] = byte(p.Kind)
+	buf[3] = p.Ver
+	binary.BigEndian.PutUint16(buf[4:6], p.WorkerID)
+	binary.BigEndian.PutUint16(buf[6:8], p.JobID)
+	binary.BigEndian.PutUint32(buf[8:12], p.Idx)
+	binary.BigEndian.PutUint64(buf[12:20], p.Off)
+	for i, v := range p.Vector {
+		binary.BigEndian.PutUint32(buf[marshalHeaderBytes+ElemBytes*i:], uint32(v))
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(buf[:20])
+	crc.Write(buf[marshalHeaderBytes:])
+	binary.BigEndian.PutUint32(buf[20:24], crc.Sum32())
+	return buf
+}
+
+// Unmarshal parses a packet previously produced by Marshal. It
+// verifies the magic number, the payload alignment and the checksum;
+// corrupted packets are rejected so callers can simply drop them, as
+// the paper's workers do (§3.4: "A simple checksum can be used to
+// detect corruption and discard corrupted packets").
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) < marshalHeaderBytes {
+		return nil, fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != magic {
+		return nil, fmt.Errorf("packet: bad magic %#x", binary.BigEndian.Uint16(buf[0:2]))
+	}
+	payload := buf[marshalHeaderBytes:]
+	if len(payload)%ElemBytes != 0 {
+		return nil, fmt.Errorf("packet: payload length %d not a multiple of %d", len(payload), ElemBytes)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(buf[:20])
+	crc.Write(payload)
+	if got, want := crc.Sum32(), binary.BigEndian.Uint32(buf[20:24]); got != want {
+		return nil, fmt.Errorf("packet: checksum mismatch (got %#x want %#x)", got, want)
+	}
+	k := Kind(buf[2])
+	if k > KindResultUnicast {
+		return nil, fmt.Errorf("packet: unknown kind %d", buf[2])
+	}
+	p := &Packet{
+		Kind:     k,
+		Ver:      buf[3],
+		WorkerID: binary.BigEndian.Uint16(buf[4:6]),
+		JobID:    binary.BigEndian.Uint16(buf[6:8]),
+		Idx:      binary.BigEndian.Uint32(buf[8:12]),
+		Off:      binary.BigEndian.Uint64(buf[12:20]),
+		Vector:   make([]int32, len(payload)/ElemBytes),
+	}
+	for i := range p.Vector {
+		p.Vector[i] = int32(binary.BigEndian.Uint32(payload[ElemBytes*i:]))
+	}
+	return p, nil
+}

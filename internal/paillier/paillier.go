@@ -1,0 +1,181 @@
+// Package paillier implements the additively homomorphic Paillier
+// cryptosystem the paper's Appendix D proposes for aggregating
+// encrypted model updates: "the appealing property of several
+// partially homomorphic cryptosystems (e.g., Paillier) is that the
+// relation E(x)·E(y) = E(x+y) holds ... the worker could encrypt all
+// the vector elements using such cryptosystem, knowing that the
+// aggregated model update can be obtained by decrypting the data
+// aggregated at the switches."
+//
+// Arbitrary modular exponentiation is beyond a switch ASIC (as the
+// appendix notes), but the §6 software "parameter aggregator"
+// deployment can multiply ciphertexts, which this package supports:
+// workers encrypt quantized gradients, the aggregator combines them
+// without ever seeing plaintext, and workers decrypt the sum.
+package paillier
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey encrypts and combines ciphertexts.
+type PublicKey struct {
+	// N is the modulus p*q.
+	N *big.Int
+	// N2 is N^2, the ciphertext modulus.
+	N2 *big.Int
+	// g is the generator N+1.
+	g *big.Int
+}
+
+// PrivateKey decrypts.
+type PrivateKey struct {
+	PublicKey
+	// lambda is lcm(p-1, q-1) and mu its inverse factor.
+	lambda, mu *big.Int
+}
+
+// GenerateKey creates a key pair with a modulus of the given bit
+// size, reading randomness from rng (crypto/rand.Reader in
+// production; a deterministic reader in tests).
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("paillier: modulus of %d bits is too small", bits)
+	}
+	for {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), new(big.Int).GCD(nil, nil, pm1, qm1))
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+		// mu = (L(g^lambda mod n^2))^-1 mod n, with L(x) = (x-1)/n.
+		u := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(u, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2, g: g},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// lFunc is L(x) = (x-1)/N.
+func lFunc(x, n *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(x, one), n)
+}
+
+// Encrypt encrypts 0 <= m < N with fresh randomness from rng.
+func (pk *PublicKey) Encrypt(rng io.Reader, m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: message out of [0, N)")
+	}
+	// Random r in [1, N) coprime to N.
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rng, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// c = g^m * r^N mod N^2; with g = N+1, g^m = 1 + m*N mod N^2.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	return c.Mod(c, pk.N2), nil
+}
+
+// AddCipher returns the ciphertext of the sum of the two plaintexts:
+// E(a)·E(b) mod N² = E(a+b). This is the entire aggregator-side
+// operation.
+func (pk *PublicKey) AddCipher(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, pk.N2)
+}
+
+// Decrypt recovers the plaintext.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(sk.N2) >= 0 {
+		return nil, fmt.Errorf("paillier: ciphertext out of range")
+	}
+	u := new(big.Int).Exp(c, sk.lambda, sk.N2)
+	m := lFunc(u, sk.N)
+	m.Mul(m, sk.mu)
+	return m.Mod(m, sk.N), nil
+}
+
+// EncryptVector encrypts a quantized gradient vector element-wise.
+// Values are biased by 2^31 so negatives stay in [0, N); the bias is
+// removed by DecryptSum.
+func (pk *PublicKey) EncryptVector(rng io.Reader, vec []int32) ([]*big.Int, error) {
+	out := make([]*big.Int, len(vec))
+	for i, v := range vec {
+		m := big.NewInt(int64(v) + 1<<31)
+		c, err := pk.Encrypt(rng, m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// AddCipherVectors multiplies two ciphertext vectors element-wise,
+// the aggregator's inner loop.
+func (pk *PublicKey) AddCipherVectors(dst, src []*big.Int) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("paillier: vector length mismatch %d != %d", len(dst), len(src))
+	}
+	for i := range dst {
+		dst[i] = pk.AddCipher(dst[i], src[i])
+	}
+	return nil
+}
+
+// DecryptSum decrypts an aggregated ciphertext vector produced from
+// workers contributions and removes the per-worker bias.
+func (sk *PrivateKey) DecryptSum(cs []*big.Int, workers int) ([]int64, error) {
+	out := make([]int64, len(cs))
+	bias := new(big.Int).Mul(big.NewInt(int64(workers)), big.NewInt(1<<31))
+	for i, c := range cs {
+		m, err := sk.Decrypt(c)
+		if err != nil {
+			return nil, err
+		}
+		v := new(big.Int).Sub(m, bias)
+		if !v.IsInt64() {
+			return nil, fmt.Errorf("paillier: decrypted sum overflows int64 at %d", i)
+		}
+		out[i] = v.Int64()
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+func testKey(t *testing.T) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	for _, m := range []int64{0, 1, 42, 1 << 40} {
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Errorf("decrypt(encrypt(%d)) = %v", m, got)
+		}
+	}
+}
+
+func TestHomomorphicAddition(t *testing.T) {
+	// The Appendix D property: E(x)·E(y) = E(x+y).
+	sk := testKey(t)
+	rng := mrand.New(mrand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a, b := int64(rng.Intn(1<<30)), int64(rng.Intn(1<<30))
+		ca, err := sk.Encrypt(rand.Reader, big.NewInt(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := sk.Encrypt(rand.Reader, big.NewInt(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := sk.Decrypt(sk.AddCipher(ca, cb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Int64() != a+b {
+			t.Fatalf("E(%d)*E(%d) decrypted to %v, want %d", a, b, sum, a+b)
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := testKey(t)
+	m := big.NewInt(7)
+	c1, _ := sk.Encrypt(rand.Reader, m)
+	c2, _ := sk.Encrypt(rand.Reader, m)
+	if c1.Cmp(c2) == 0 {
+		t.Error("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestVectorAggregation(t *testing.T) {
+	// The full Appendix D flow: n workers encrypt quantized gradient
+	// vectors, the aggregator multiplies ciphertexts without the key,
+	// workers decrypt the exact integer sum.
+	sk := testKey(t)
+	const n, d = 3, 16
+	rng := mrand.New(mrand.NewSource(2))
+	want := make([]int64, d)
+	var agg []*big.Int
+	for w := 0; w < n; w++ {
+		vec := make([]int32, d)
+		for i := range vec {
+			vec[i] = int32(rng.Intn(2001) - 1000)
+			want[i] += int64(vec[i])
+		}
+		cs, err := sk.EncryptVector(rand.Reader, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg == nil {
+			agg = cs
+			continue
+		}
+		if err := sk.AddCipherVectors(agg, cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sk.DecryptSum(agg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sk := testKey(t)
+	if _, err := GenerateKey(rand.Reader, 32); err == nil {
+		t.Error("tiny modulus accepted")
+	}
+	if _, err := sk.Encrypt(rand.Reader, big.NewInt(-1)); err == nil {
+		t.Error("negative message accepted")
+	}
+	if _, err := sk.Encrypt(rand.Reader, new(big.Int).Set(sk.N)); err == nil {
+		t.Error("message >= N accepted")
+	}
+	if _, err := sk.Decrypt(big.NewInt(0)); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if err := sk.AddCipherVectors(make([]*big.Int, 1), make([]*big.Int, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestNegativeValuesViaBias(t *testing.T) {
+	sk := testKey(t)
+	vec := []int32{-2147483648, 2147483647, -1, 0}
+	cs, err := sk.EncryptVector(rand.Reader, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.DecryptSum(cs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vec {
+		if got[i] != int64(v) {
+			t.Errorf("element %d: got %d want %d", i, got[i], v)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package quant
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored in its raw bit pattern.
+// The switch-side float16 pipeline (paper §3.7, Appendix C: "it turns
+// out to be possible to implement 16-bit floating point conversion on
+// a Barefoot Network's Tofino chip using lookup tables") is emulated
+// by converting halves to 32-bit fixed point at the switch ingress and
+// back at egress.
+type Float16 uint16
+
+const (
+	f16SignMask  = 0x8000
+	f16ExpMask   = 0x7C00
+	f16FracMask  = 0x03FF
+	f16ExpBias   = 15
+	f32ExpBias   = 127
+	f16MaxFinite = 65504.0
+)
+
+// Float16FromFloat32 converts a float32 to the nearest half-precision
+// value using round-to-nearest-even, with overflow to infinity and
+// gradual underflow to subnormals, matching IEEE 754 semantics.
+func Float16FromFloat32(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & f16SignMask
+	exp := int32(bits>>23) & 0xFF
+	frac := bits & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN.
+		if frac != 0 {
+			// NaN: preserve a quiet NaN payload bit.
+			return Float16(sign | f16ExpMask | 0x0200)
+		}
+		return Float16(sign | f16ExpMask)
+	case exp == 0 && frac == 0: // Signed zero.
+		return Float16(sign)
+	}
+
+	// Unbiased exponent of the float32 value.
+	e := exp - f32ExpBias
+	switch {
+	case e > 15: // Overflow: round to infinity.
+		return Float16(sign | f16ExpMask)
+	case e >= -14: // Normal half range.
+		// 23-bit fraction to 10-bit fraction with RNE.
+		halfExp := uint16(e+f16ExpBias) << 10
+		return Float16(sign | roundFrac(uint32(halfExp)|frac>>13, frac&0x1FFF, 0x1000))
+	case e >= -25: // Subnormal half range (incl. rounding into it).
+		// A subnormal half encodes round(v * 2^24). The float32
+		// significand m = 1.frac scaled to 24 bits represents
+		// v * 2^(23-e), so the target is m >> (-e-1) with RNE.
+		m := frac | 0x800000 // 24-bit significand.
+		shift := uint32(-e - 1)
+		kept := m >> shift
+		rem := m & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		return Float16(sign | roundFrac(kept, rem, half))
+	default: // Underflow to zero.
+		return Float16(sign)
+	}
+}
+
+// roundFrac applies round-to-nearest-even: value is the truncated
+// result, rem the discarded bits, half the value of the highest
+// discarded bit position.
+func roundFrac(value, rem, half uint32) uint16 {
+	if rem > half || (rem == half && value&1 == 1) {
+		value++
+	}
+	return uint16(value)
+}
+
+// Float32 converts the half-precision value back to float32 exactly
+// (every binary16 value is representable in binary32).
+func (h Float16) Float32() float32 {
+	sign := uint32(h&f16SignMask) << 16
+	exp := uint32(h&f16ExpMask) >> 10
+	frac := uint32(h & f16FracMask)
+
+	switch {
+	case exp == 0x1F: // Inf or NaN.
+		return math.Float32frombits(sign | 0x7F800000 | frac<<13)
+	case exp == 0:
+		if frac == 0 { // Signed zero.
+			return math.Float32frombits(sign)
+		}
+		// Subnormal half: normalize.
+		e := int32(-14)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= f16FracMask
+		return math.Float32frombits(sign | uint32(e+f32ExpBias)<<23 | frac<<13)
+	default: // Normal.
+		return math.Float32frombits(sign | (exp-f16ExpBias+f32ExpBias)<<23 | frac<<13)
+	}
+}
+
+// IsNaN reports whether the half-precision value is a NaN.
+func (h Float16) IsNaN() bool {
+	return h&f16ExpMask == f16ExpMask && h&f16FracMask != 0
+}
+
+// IsInf reports whether the half-precision value is an infinity.
+func (h Float16) IsInf() bool {
+	return h&f16ExpMask == f16ExpMask && h&f16FracMask == 0
+}
+
+// Half16 converts between float32 gradient vectors and packed int32
+// wire vectors holding one float16 per element, combined with an
+// in-switch fixed-point conversion. It models the paper's 16-bit
+// floating point deployment: the wire carries halves (so a tensor
+// needs half as many packets), while aggregation inside the switch is
+// integer addition on values scaled by the converter's factor.
+type Half16 struct {
+	fixed *FixedPoint
+}
+
+// NewHalf16 returns a converter whose in-switch fixed-point
+// representation uses scaling factor f.
+func NewHalf16(f float64) (*Half16, error) {
+	fx, err := NewFixedPoint(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Half16{fixed: fx}, nil
+}
+
+// Factor returns the in-switch scaling factor.
+func (h *Half16) Factor() float64 { return h.fixed.Factor() }
+
+// EncodeWire converts float32 values to their float16 bit patterns,
+// widened to int32 for the common wire vector type. Two halves could
+// be packed per element; keeping one per element and halving the
+// element count, as this implementation does at the session layer,
+// gives identical wire volume with simpler addressing.
+func (h *Half16) EncodeWire(dst []int32, src []float32) {
+	if len(dst) != len(src) {
+		panic("quant: EncodeWire length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = int32(Float16FromFloat32(v))
+	}
+}
+
+// SwitchIngest converts a wire vector of float16 bit patterns into
+// the switch's internal fixed-point representation, as the Tofino
+// lookup tables do on packet ingress.
+func (h *Half16) SwitchIngest(dst []int32, wire []int32) (saturated int) {
+	if len(dst) != len(wire) {
+		panic("quant: SwitchIngest length mismatch")
+	}
+	f := h.fixed.Factor()
+	for i, w := range wire {
+		v := Float16(uint16(w)).Float32()
+		s := math.RoundToEven(float64(v) * f)
+		switch {
+		case s > math.MaxInt32:
+			dst[i] = math.MaxInt32
+			saturated++
+		case s < math.MinInt32:
+			dst[i] = math.MinInt32
+			saturated++
+		default:
+			dst[i] = int32(s)
+		}
+	}
+	return saturated
+}
+
+// SwitchEgress converts the switch's fixed-point aggregate back into
+// float16 bit patterns for the result packet.
+func (h *Half16) SwitchEgress(dst []int32, agg []int32) {
+	if len(dst) != len(agg) {
+		panic("quant: SwitchEgress length mismatch")
+	}
+	inv := 1 / h.fixed.Factor()
+	for i, v := range agg {
+		dst[i] = int32(Float16FromFloat32(float32(float64(v) * inv)))
+	}
+}
+
+// DecodeWire converts received float16 bit patterns to float32.
+func (h *Half16) DecodeWire(dst []float32, wire []int32) {
+	if len(dst) != len(wire) {
+		panic("quant: DecodeWire length mismatch")
+	}
+	for i, w := range wire {
+		dst[i] = Float16(uint16(w)).Float32()
+	}
+}

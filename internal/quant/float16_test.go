@@ -1,0 +1,244 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Float16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                 // Largest finite half.
+		{5.9604644775390625e-8, 1},      // Smallest positive subnormal.
+		{6.097555160522461e-05, 0x03FF}, // Largest subnormal.
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := Float16FromFloat32(c.f); got != c.bits {
+			t.Errorf("Float16FromFloat32(%v) = %#06x, want %#06x", c.f, got, c.bits)
+		}
+		if got := c.bits.Float32(); got != c.f {
+			t.Errorf("Float16(%#06x).Float32() = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestFloat16Overflow(t *testing.T) {
+	if got := Float16FromFloat32(1e6); !got.IsInf() || got&f16SignMask != 0 {
+		t.Errorf("1e6 -> %#06x, want +Inf", got)
+	}
+	if got := Float16FromFloat32(-1e6); !got.IsInf() || got&f16SignMask == 0 {
+		t.Errorf("-1e6 -> %#06x, want -Inf", got)
+	}
+}
+
+func TestFloat16Underflow(t *testing.T) {
+	if got := Float16FromFloat32(1e-10); got != 0 {
+		t.Errorf("1e-10 -> %#06x, want +0", got)
+	}
+	if got := Float16FromFloat32(-1e-10); got != 0x8000 {
+		t.Errorf("-1e-10 -> %#06x, want -0", got)
+	}
+}
+
+func TestFloat16NaN(t *testing.T) {
+	h := Float16FromFloat32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Errorf("NaN -> %#06x, not a half NaN", h)
+	}
+	if f := h.Float32(); !math.IsNaN(float64(f)) {
+		t.Errorf("half NaN -> %v, want NaN", f)
+	}
+}
+
+func TestFloat16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and the next half
+	// (1 + 2^-10); RNE rounds to the even significand, i.e. 1.
+	halfway := float32(1) + float32(1)/2048
+	if got := Float16FromFloat32(halfway); got != 0x3C00 {
+		t.Errorf("halfway rounds to %#06x, want 0x3C00 (even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE rounds up
+	// to the even significand 1+2^-9.
+	halfway2 := float32(1) + 3*float32(1)/2048
+	if got := Float16FromFloat32(halfway2); got != 0x3C02 {
+		t.Errorf("halfway2 rounds to %#06x, want 0x3C02", got)
+	}
+}
+
+func TestFloat16ExhaustiveRoundTrip(t *testing.T) {
+	// Every half value (including subnormals) must survive the trip
+	// through float32 and back bit-exactly. NaNs compare by class.
+	for bits := 0; bits < 1<<16; bits++ {
+		h := Float16(bits)
+		f := h.Float32()
+		back := Float16FromFloat32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("NaN %#06x round-tripped to %#06x", bits, back)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("half %#06x -> %v -> %#06x", bits, f, back)
+		}
+	}
+}
+
+func TestFloat16MonotonicQuick(t *testing.T) {
+	// Conversion must be monotone: a <= b implies half(a) <= half(b)
+	// as real numbers (for finite, non-NaN inputs within range).
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ha, hb := Float16FromFloat32(a).Float32(), Float16FromFloat32(b).Float32()
+		return ha <= hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat16RelativeError(t *testing.T) {
+	// For values in the normal half range, relative rounding error is
+	// at most 2^-11.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := float32(math.Pow(2, -14+rng.Float64()*29)) // [2^-14, 2^15)
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		got := Float16FromFloat32(v).Float32()
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/2048 {
+			t.Fatalf("relative error for %v is %v", v, rel)
+		}
+	}
+}
+
+func TestHalf16Pipeline(t *testing.T) {
+	// End-to-end: encode on workers, ingest+aggregate+egress in the
+	// switch, decode on workers. With two workers contributing 1.5 and
+	// 2.5, the aggregate must be 4 (exactly representable).
+	h, err := NewHalf16(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := []float32{1.5}, []float32{2.5}
+	wire1, wire2 := make([]int32, 1), make([]int32, 1)
+	h.EncodeWire(wire1, w1)
+	h.EncodeWire(wire2, w2)
+	fx1, fx2 := make([]int32, 1), make([]int32, 1)
+	if h.SwitchIngest(fx1, wire1) != 0 || h.SwitchIngest(fx2, wire2) != 0 {
+		t.Fatal("unexpected saturation")
+	}
+	agg := []int32{fx1[0] + fx2[0]}
+	out := make([]int32, 1)
+	h.SwitchEgress(out, agg)
+	res := make([]float32, 1)
+	h.DecodeWire(res, out)
+	if res[0] != 4 {
+		t.Errorf("aggregate = %v, want 4", res[0])
+	}
+}
+
+func TestHalf16PipelineApproximation(t *testing.T) {
+	// Random gradients through the half pipeline stay within the
+	// combined half-precision + fixed-point error envelope.
+	h, err := NewHalf16(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n, d = 4, 256
+	exact := make([]float64, d)
+	agg := make([]int32, d)
+	for w := 0; w < n; w++ {
+		grad := make([]float32, d)
+		for i := range grad {
+			grad[i] = (rng.Float32() - 0.5) * 8
+		}
+		wire := make([]int32, d)
+		h.EncodeWire(wire, grad)
+		// The exact reference uses the half-rounded values, since
+		// half-precision loss happens before the network.
+		for i := range grad {
+			exact[i] += float64(Float16(uint16(wire[i])).Float32())
+		}
+		fx := make([]int32, d)
+		if h.SwitchIngest(fx, wire) != 0 {
+			t.Fatal("saturated")
+		}
+		for i := range agg {
+			agg[i] += fx[i]
+		}
+	}
+	out := make([]int32, d)
+	h.SwitchEgress(out, agg)
+	res := make([]float32, d)
+	h.DecodeWire(res, out)
+	for i := range res {
+		// Egress re-rounds to half, so tolerance is half-precision ULP
+		// of the aggregate plus the fixed-point bound n/f.
+		tol := math.Abs(exact[i])/1024 + float64(n)/(1<<16) + 1e-3
+		if err := math.Abs(float64(res[i]) - exact[i]); err > tol {
+			t.Fatalf("element %d: error %v exceeds tolerance %v", i, err, tol)
+		}
+	}
+}
+
+func TestNewHalf16Validation(t *testing.T) {
+	if _, err := NewHalf16(0); err == nil {
+		t.Error("NewHalf16(0) accepted")
+	}
+}
+
+func TestHalf16Accessors(t *testing.T) {
+	h, err := NewHalf16(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Factor() != 1<<12 {
+		t.Errorf("Factor = %v", h.Factor())
+	}
+	// Saturation path in SwitchIngest.
+	wire := make([]int32, 1)
+	h2, _ := NewHalf16(1e9)
+	h2.EncodeWire(wire, []float32{1000})
+	fx := make([]int32, 1)
+	if sat := h2.SwitchIngest(fx, wire); sat != 1 {
+		t.Errorf("saturated = %d, want 1", sat)
+	}
+	// Length mismatch panics.
+	for name, fn := range map[string]func(){
+		"encode":  func() { h.EncodeWire(make([]int32, 1), make([]float32, 2)) },
+		"ingest":  func() { h.SwitchIngest(make([]int32, 1), make([]int32, 2)) },
+		"egress":  func() { h.SwitchEgress(make([]int32, 1), make([]int32, 2)) },
+		"decode":  func() { h.DecodeWire(make([]float32, 1), make([]int32, 2)) },
+		"dequant": func() { fxp, _ := NewFixedPoint(1); fxp.Dequantize(make([]float32, 1), make([]int32, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

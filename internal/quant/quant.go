@@ -1,0 +1,155 @@
+// Package quant implements the numerical representations SwitchML
+// uses to aggregate floating-point gradients on an integer-only
+// switch dataplane (paper §3.7 and Appendix C).
+//
+// Two representations are provided:
+//
+//   - 32-bit fixed point: workers multiply each gradient by a scaling
+//     factor f, round to int32, aggregate integers in the switch, and
+//     divide the aggregate by f on receipt. For a suitable f this is
+//     essentially lossless (Appendix C, Theorems 1 and 2).
+//   - 16-bit floating point: workers convert float32 gradients to
+//     IEEE 754 half precision; the switch converts halves to 32-bit
+//     fixed point internally (emulating the Tofino lookup-table
+//     implementation), aggregates, and converts back. This halves the
+//     bytes on the wire at the cost of precision.
+//
+// The package also provides the scaling-factor profiling procedure
+// from Appendix C: observe the maximum gradient magnitude over the
+// first iterations and choose f so the largest aggregate remains
+// representable.
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxInt31 is the largest magnitude the paper allows a scaled value or
+// aggregate to take (Appendix C uses the bound 2^31).
+const MaxInt31 = float64(1 << 31)
+
+// ErrOverflow reports that a scaled gradient (Assumption 1) or an
+// aggregate (Assumption 2) would exceed the representable range.
+var ErrOverflow = errors.New("quant: scaled value overflows int32 range")
+
+// FixedPoint converts between float32 vectors and scaled int32
+// vectors. It is safe for concurrent use; all state is immutable.
+type FixedPoint struct {
+	f float64
+}
+
+// NewFixedPoint returns a converter with scaling factor f. The factor
+// must be positive and finite.
+func NewFixedPoint(f float64) (*FixedPoint, error) {
+	if !(f > 0) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("quant: scaling factor must be positive and finite, got %v", f)
+	}
+	return &FixedPoint{f: f}, nil
+}
+
+// Factor returns the scaling factor f.
+func (q *FixedPoint) Factor() float64 { return q.f }
+
+// Quantize writes round(f*src[i]) into dst and reports how many
+// elements saturated. dst and src must have equal length. Values whose
+// scaled magnitude exceeds the int32 range are clamped, mirroring the
+// saturating arithmetic of real dataplanes; a non-zero saturation
+// count signals the caller chose f too large (Assumption 1 violated).
+func (q *FixedPoint) Quantize(dst []int32, src []float32) (saturated int) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("quant: Quantize length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		s := math.RoundToEven(float64(v) * q.f)
+		switch {
+		case s > math.MaxInt32:
+			dst[i] = math.MaxInt32
+			saturated++
+		case s < math.MinInt32:
+			dst[i] = math.MinInt32
+			saturated++
+		default:
+			dst[i] = int32(s)
+		}
+	}
+	return saturated
+}
+
+// Dequantize writes src[i]/f into dst. dst and src must have equal
+// length.
+func (q *FixedPoint) Dequantize(dst []float32, src []int32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("quant: Dequantize length mismatch %d != %d", len(dst), len(src)))
+	}
+	inv := 1 / q.f
+	for i, v := range src {
+		dst[i] = float32(float64(v) * inv)
+	}
+}
+
+// ErrorBound returns the worst-case difference between the exact
+// float aggregation across n workers and the fixed-point aggregate,
+// per Theorem 1 (Appendix C): n/f.
+func (q *FixedPoint) ErrorBound(n int) float64 {
+	return float64(n) / q.f
+}
+
+// MaxSafeFactor returns the largest scaling factor guaranteed not to
+// overflow when n workers aggregate gradients bounded by |Δ| ≤ B, per
+// Theorem 2 (Appendix C): f ≤ (2^31 − n) / (n·B).
+func MaxSafeFactor(n int, bound float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("quant: worker count must be positive, got %d", n)
+	}
+	if !(bound > 0) {
+		return 0, fmt.Errorf("quant: gradient bound must be positive, got %v", bound)
+	}
+	f := (MaxInt31 - float64(n)) / (float64(n) * bound)
+	if !(f > 0) {
+		return 0, ErrOverflow
+	}
+	return f, nil
+}
+
+// Profiler implements the scaling-factor selection procedure of
+// Appendix C: it records the maximum absolute gradient value observed
+// during the first iterations of training, from which a safe factor
+// can be derived. The zero value is ready to use.
+type Profiler struct {
+	maxAbs float64
+	seen   int
+}
+
+// Observe folds a gradient vector into the profile.
+func (p *Profiler) Observe(grad []float32) {
+	for _, v := range grad {
+		a := math.Abs(float64(v))
+		if a > p.maxAbs {
+			p.maxAbs = a
+		}
+	}
+	p.seen += len(grad)
+}
+
+// MaxAbs returns the largest gradient magnitude observed so far.
+func (p *Profiler) MaxAbs() float64 { return p.maxAbs }
+
+// Elements returns how many gradient elements have been observed.
+func (p *Profiler) Elements() int { return p.seen }
+
+// Factor derives the recommended scaling factor for n workers from
+// the observed maximum, applying the given safety headroom (e.g. 2.0
+// leaves a 2x margin for gradients larger than any yet observed). It
+// returns an error if nothing has been observed or all observations
+// were zero.
+func (p *Profiler) Factor(n int, headroom float64) (float64, error) {
+	if p.seen == 0 || p.maxAbs == 0 {
+		return 0, errors.New("quant: profiler has no non-zero observations")
+	}
+	if headroom < 1 {
+		return 0, fmt.Errorf("quant: headroom must be >= 1, got %v", headroom)
+	}
+	return MaxSafeFactor(n, p.maxAbs*headroom)
+}

@@ -1,0 +1,204 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFixedPointValidation(t *testing.T) {
+	for _, f := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewFixedPoint(f); err == nil {
+			t.Errorf("NewFixedPoint(%v) succeeded, want error", f)
+		}
+	}
+	if _, err := NewFixedPoint(100); err != nil {
+		t.Errorf("NewFixedPoint(100): %v", err)
+	}
+}
+
+func TestQuantizeDequantizeExact(t *testing.T) {
+	// Appendix C's first example: f=100 makes 1.56 and 4.23 exact.
+	q, err := NewFixedPoint(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []float32{1.56, 4.23}
+	dst := make([]int32, 2)
+	if sat := q.Quantize(dst, src); sat != 0 {
+		t.Fatalf("unexpected saturation: %d", sat)
+	}
+	if dst[0] != 156 || dst[1] != 423 {
+		t.Fatalf("Quantize = %v, want [156 423]", dst)
+	}
+	sum := []int32{dst[0] + dst[1]}
+	out := make([]float32, 1)
+	q.Dequantize(out, sum)
+	if math.Abs(float64(out[0])-5.79) > 1e-6 {
+		t.Errorf("aggregate = %v, want 5.79", out[0])
+	}
+}
+
+func TestQuantizeRoundingError(t *testing.T) {
+	// Appendix C's second example: f=10 loses precision but the error
+	// stays within Theorem 1's bound of n/f.
+	q, _ := NewFixedPoint(10)
+	src1, src2 := []float32{1.56}, []float32{4.23}
+	d1, d2 := make([]int32, 1), make([]int32, 1)
+	q.Quantize(d1, src1)
+	q.Quantize(d2, src2)
+	if d1[0] != 16 || d2[0] != 42 {
+		t.Fatalf("quantized = %d,%d want 16,42", d1[0], d2[0])
+	}
+	out := make([]float32, 1)
+	q.Dequantize(out, []int32{d1[0] + d2[0]})
+	exact := 1.56 + 4.23
+	if err := math.Abs(float64(out[0]) - exact); err > q.ErrorBound(2) {
+		t.Errorf("error %v exceeds Theorem 1 bound %v", err, q.ErrorBound(2))
+	}
+}
+
+func TestTheorem1BoundProperty(t *testing.T) {
+	// For random vectors and factors, the fixed-point aggregate of n
+	// workers differs from the exact sum by at most n/f per element.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		f := math.Pow(10, 1+rng.Float64()*4)
+		q, err := NewFixedPoint(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 1 + rng.Intn(64)
+		exact := make([]float64, d)
+		agg := make([]int32, d)
+		for w := 0; w < n; w++ {
+			grad := make([]float32, d)
+			for i := range grad {
+				grad[i] = (rng.Float32() - 0.5) * 20
+				exact[i] += float64(grad[i])
+			}
+			qv := make([]int32, d)
+			if sat := q.Quantize(qv, grad); sat != 0 {
+				t.Fatalf("unexpected saturation with f=%v", f)
+			}
+			for i := range agg {
+				agg[i] += qv[i]
+			}
+		}
+		out := make([]float32, d)
+		q.Dequantize(out, agg)
+		bound := q.ErrorBound(n)
+		for i := range out {
+			if err := math.Abs(float64(out[i]) - exact[i]); err > bound+1e-9 {
+				t.Fatalf("trial %d: error %v exceeds bound %v (n=%d f=%v)", trial, err, bound, n, f)
+			}
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	q, _ := NewFixedPoint(1e9)
+	dst := make([]int32, 2)
+	if sat := q.Quantize(dst, []float32{10, -10}); sat != 2 {
+		t.Fatalf("saturated = %d, want 2", sat)
+	}
+	if dst[0] != math.MaxInt32 || dst[1] != math.MinInt32 {
+		t.Errorf("saturated values = %v", dst)
+	}
+}
+
+func TestQuantizeLengthMismatchPanics(t *testing.T) {
+	q, _ := NewFixedPoint(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantize length mismatch did not panic")
+		}
+	}()
+	q.Quantize(make([]int32, 1), make([]float32, 2))
+}
+
+func TestMaxSafeFactor(t *testing.T) {
+	// Theorem 2: with n workers and bound B, f = (2^31-n)/(nB) never
+	// overflows the aggregate.
+	n, bound := 8, 29.24 // GoogLeNet's observed max gradient (Fig. 10).
+	f, err := MaxSafeFactor(n, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: every worker contributes round(f*B) <= f*B+1.
+	worst := float64(n) * (f*bound + 1)
+	if worst > MaxInt31 {
+		t.Errorf("worst-case aggregate %v exceeds 2^31", worst)
+	}
+	// The factor should be close to, but not above, 2^31/(n*B).
+	if f > MaxInt31/(float64(n)*bound) {
+		t.Errorf("factor %v too large", f)
+	}
+}
+
+func TestMaxSafeFactorValidation(t *testing.T) {
+	if _, err := MaxSafeFactor(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MaxSafeFactor(8, 0); err == nil {
+		t.Error("bound=0 accepted")
+	}
+	if _, err := MaxSafeFactor(8, -3); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
+func TestProfiler(t *testing.T) {
+	var p Profiler
+	if _, err := p.Factor(8, 2); err == nil {
+		t.Error("empty profiler produced a factor")
+	}
+	p.Observe([]float32{0.5, -29.24, 3})
+	p.Observe([]float32{1, 2})
+	if got := p.MaxAbs(); math.Abs(got-29.24) > 1e-6 {
+		t.Errorf("MaxAbs = %v, want 29.24", got)
+	}
+	if got := p.Elements(); got != 5 {
+		t.Errorf("Elements = %d, want 5", got)
+	}
+	f, err := p.Factor(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := MaxSafeFactor(8, 29.24*2)
+	if math.Abs(f-want) > 1e-6*want {
+		t.Errorf("Factor = %v, want %v", f, want)
+	}
+	if _, err := p.Factor(8, 0.5); err == nil {
+		t.Error("headroom < 1 accepted")
+	}
+}
+
+func TestDequantizeRoundTripQuick(t *testing.T) {
+	q, _ := NewFixedPoint(1 << 16)
+	f := func(vals []int16) bool {
+		// int16 inputs scaled down are exactly representable at
+		// f = 2^16, so the round trip must be exact.
+		src := make([]float32, len(vals))
+		for i, v := range vals {
+			src[i] = float32(v) / (1 << 16)
+		}
+		qv := make([]int32, len(src))
+		if q.Quantize(qv, src) != 0 {
+			return false
+		}
+		out := make([]float32, len(src))
+		q.Dequantize(out, qv)
+		for i := range out {
+			if out[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

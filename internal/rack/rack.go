@@ -1,0 +1,519 @@
+// Package rack runs the SwitchML protocol over the netsim substrate:
+// a single-rack topology of n worker hosts attached to one
+// programmable switch, the paper's deployment model (§3.2).
+//
+// The rack models everything the paper's testbed contributes to
+// timing: link bandwidth and propagation, switch pipeline latency,
+// per-packet worker CPU cost spread across cores (the DPDK
+// run-to-completion loops of Appendix B, with slots sharded across
+// cores as Flow Director does), retransmission timers, and packet
+// loss.
+package rack
+
+import (
+	"fmt"
+
+	"switchml/internal/core"
+	"switchml/internal/netsim"
+	"switchml/internal/packet"
+)
+
+// Config describes a rack experiment.
+type Config struct {
+	// Workers is n.
+	Workers int
+	// PoolSize is s; zero selects the paper's tuning rule: the next
+	// power of two of ceil(BDP/b) (§3.6).
+	PoolSize int
+	// SlotElems is k; zero selects packet.DefaultElems (32).
+	SlotElems int
+	// LinkBitsPerSec is the access link bandwidth (both directions);
+	// zero selects 10 Gbps.
+	LinkBitsPerSec float64
+	// Propagation is the one-way link propagation delay; zero selects
+	// 1 µs (intra-rack cable plus port).
+	Propagation netsim.Time
+	// LossRate is the per-link, per-packet drop probability.
+	LossRate float64
+	// PerPacketCost is the worker CPU time to process one packet
+	// (receive, copy, convert, send); zero selects 110 ns, which puts
+	// one core just above 10 Gbps line rate as in the paper (§4: "one
+	// CPU core is sufficient to do reduction at line rate on a
+	// 10 Gbps network").
+	PerPacketCost netsim.Time
+	// Cores is the number of worker cores; zero selects 4, the
+	// paper's configuration (§5.1).
+	Cores int
+	// SwitchLatency is the pipeline ingress-to-egress latency; zero
+	// selects 400 ns.
+	SwitchLatency netsim.Time
+	// RTO is the retransmission timeout; zero selects 1 ms (§5.5).
+	// With AdaptiveRTO it is the initial and minimum value.
+	RTO netsim.Time
+	// AdaptiveRTO enables Jacobson/Karn timeout estimation from
+	// observed per-chunk RTTs (RTO = SRTT + 4·RTTVAR, clamped to
+	// [RTO, 64·RTO]), the adaptation §6 calls for: "one should take
+	// care to adapt the retransmission timeout according to
+	// variations in end-to-end RTT."
+	AdaptiveRTO bool
+	// LossRecovery selects Algorithm 3 (default true via NewRack).
+	LossRecovery bool
+	// Seed drives the deterministic loss process.
+	Seed int64
+	// TxHook, when set, observes every update transmission: worker
+	// id, virtual time, and whether it is a retransmission. Figure 6
+	// builds its timeline from this.
+	TxHook func(wid int, t netsim.Time, retransmit bool)
+	// SampleRTT enables per-packet RTT sampling on worker 0
+	// (Figure 2's right axis).
+	SampleRTT bool
+	// WorkerLinkBitsPerSec overrides the link rate of individual
+	// workers (nil entries or a short slice fall back to
+	// LinkBitsPerSec). Used by the straggler experiment: §6 observes
+	// that the self-clocking mechanism slows the whole system to the
+	// rate of the slowest worker.
+	WorkerLinkBitsPerSec []float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.SlotElems == 0 {
+		c.SlotElems = packet.DefaultElems
+	}
+	if c.LinkBitsPerSec == 0 {
+		c.LinkBitsPerSec = 10e9
+	}
+	if c.Propagation == 0 {
+		c.Propagation = netsim.Microsecond
+	}
+	if c.PerPacketCost == 0 {
+		c.PerPacketCost = 110 * netsim.Nanosecond
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.SwitchLatency == 0 {
+		c.SwitchLatency = 400 * netsim.Nanosecond
+	}
+	if c.RTO == 0 {
+		c.RTO = netsim.Millisecond
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = TunePoolSize(c.LinkBitsPerSec, c.wireBytes(), c.rttEstimate())
+	}
+}
+
+// wireBytes is the full wire size of one update packet.
+func (c *Config) wireBytes() int {
+	return packet.HeaderBytes + packet.ElemBytes*c.SlotElems
+}
+
+// rttEstimate approximates the end-to-end delay used by the pool
+// tuning rule: propagation both ways, switch latency, host
+// processing, per-packet serialization each way, plus the DPDK
+// batching delay — the workers send and receive packets "batched in
+// groups of 32 to reduce per-packet transmission overhead" (§4), so
+// a packet waits on the order of 1.5 batch serializations end to
+// end. With the paper's parameters this reproduces its measured
+// pools: s=128 at 10 Gbps and s=512 at 100 Gbps (§3.6).
+func (c *Config) rttEstimate() netsim.Time {
+	ser := netsim.Time(float64(c.wireBytes()*8) / c.LinkBitsPerSec * 1e9)
+	const batch = 32
+	return 2*c.Propagation + c.SwitchLatency + c.PerPacketCost + 2*ser + 3*batch*ser
+}
+
+// TunePoolSize implements §3.6: s is the next power of two of
+// ceil(BDP/b), where the delay is the end-to-end RTT including host
+// processing.
+func TunePoolSize(bitsPerSec float64, pktBytes int, rtt netsim.Time) int {
+	bdpBytes := bitsPerSec / 8 * float64(rtt) / 1e9
+	slots := int(bdpBytes/float64(pktBytes)) + 1
+	s := 1
+	for s < slots {
+		s *= 2
+	}
+	return s
+}
+
+// Result summarizes one tensor aggregation on the rack.
+type Result struct {
+	// Start is when the workers began sending.
+	Start netsim.Time
+	// Done[i] is when worker i finished receiving its aggregate.
+	Done []netsim.Time
+	// TAT is the tensor aggregation time of the slowest worker, the
+	// paper's headline metric (§5.1).
+	TAT netsim.Time
+	// RTTs are sampled per-packet round-trip times on worker 0, when
+	// Config.SampleRTT is set.
+	RTTs []netsim.Time
+	// Retransmissions is the total across workers.
+	Retransmissions uint64
+}
+
+// Rack is a simulated SwitchML deployment.
+type Rack struct {
+	cfg    Config
+	sim    *netsim.Sim
+	sw     *switchNode
+	hosts  []*WorkerHost
+	uplink []*netsim.Link
+}
+
+// NewRack builds the topology. Loss recovery defaults to on; callers
+// running the Algorithm 1 ablation must set cfg.LossRecovery
+// explicitly and keep cfg.LossRate zero.
+func NewRack(cfg Config) (*Rack, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("rack: worker count must be positive, got %d", cfg.Workers)
+	}
+	if !cfg.LossRecovery && cfg.LossRate > 0 {
+		return nil, fmt.Errorf("rack: loss injection requires loss recovery (Algorithm 3)")
+	}
+	cfg.fillDefaults()
+	sim := netsim.NewSim(cfg.Seed)
+	sw, err := newSwitchNode(sim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rack{cfg: cfg, sim: sim, sw: sw}
+	for i := 0; i < cfg.Workers; i++ {
+		h, err := NewWorkerHost(sim, cfg, uint16(i))
+		if err != nil {
+			return nil, err
+		}
+		rate := cfg.LinkBitsPerSec
+		if i < len(cfg.WorkerLinkBitsPerSec) && cfg.WorkerLinkBitsPerSec[i] > 0 {
+			rate = cfg.WorkerLinkBitsPerSec[i]
+		}
+		up := netsim.NewLink(sim, netsim.LinkConfig{
+			Name:        fmt.Sprintf("w%d->sw", i),
+			BitsPerSec:  rate,
+			Propagation: cfg.Propagation,
+			LossRate:    cfg.LossRate,
+		}, sw)
+		down := netsim.NewLink(sim, netsim.LinkConfig{
+			Name:        fmt.Sprintf("sw->w%d", i),
+			BitsPerSec:  rate,
+			Propagation: cfg.Propagation,
+			LossRate:    cfg.LossRate,
+		}, h)
+		h.uplink = up
+		sw.downlinks = append(sw.downlinks, down)
+		r.hosts = append(r.hosts, h)
+		r.uplink = append(r.uplink, up)
+	}
+	return r, nil
+}
+
+// Config returns the rack's effective configuration (defaults
+// filled).
+func (r *Rack) Config() Config { return r.cfg }
+
+// Sim exposes the underlying simulation, e.g. for custom experiment
+// scheduling.
+func (r *Rack) Sim() *netsim.Sim { return r.sim }
+
+// Switch exposes the switch state machine for statistics.
+func (r *Rack) Switch() *core.Switch { return r.sw.sw }
+
+// Hosts returns per-worker protocol statistics.
+func (r *Rack) WorkerStats(i int) core.WorkerStats { return r.hosts[i].worker.Stats() }
+
+// AllReduceShared aggregates one tensor whose contents are identical
+// on every worker (sharing the backing array to keep memory flat in
+// large experiments) and runs the simulation to completion.
+func (r *Rack) AllReduceShared(u []int32) (Result, error) {
+	us := make([][]int32, r.cfg.Workers)
+	for i := range us {
+		us[i] = u
+	}
+	return r.AllReduce(us)
+}
+
+// AllReduce aggregates one tensor (updates[i] is worker i's
+// contribution) and runs the simulation until every worker holds the
+// aggregate. Workers start synchronously at the current virtual
+// time, as after a barrier.
+func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
+	if len(updates) != r.cfg.Workers {
+		return Result{}, fmt.Errorf("rack: got %d updates for %d workers", len(updates), r.cfg.Workers)
+	}
+	res := Result{
+		Start: r.sim.Now(),
+		Done:  make([]netsim.Time, r.cfg.Workers),
+	}
+	remaining := r.cfg.Workers
+	for i, h := range r.hosts {
+		i := i
+		h.Start(updates[i], func(t netsim.Time) {
+			res.Done[i] = t
+			remaining--
+		})
+	}
+	r.sim.Run()
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished", remaining)
+	}
+	for i, h := range r.hosts {
+		if d := res.Done[i] - res.Start; d > res.TAT {
+			res.TAT = d
+		}
+		res.Retransmissions += h.worker.Stats().Retransmissions
+		if r.cfg.SampleRTT && i == 0 {
+			res.RTTs = h.rtts
+			h.rtts = nil
+		}
+	}
+	return res, nil
+}
+
+// Aggregate returns worker i's aggregation output buffer.
+func (r *Rack) Aggregate(i int) []int32 { return r.hosts[i].worker.Aggregate() }
+
+// switchNode adapts core.Switch to netsim.
+type switchNode struct {
+	sim       *netsim.Sim
+	cfg       Config
+	sw        *core.Switch
+	downlinks []*netsim.Link
+}
+
+func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
+	sw, err := core.NewSwitch(core.SwitchConfig{
+		Workers:      cfg.Workers,
+		PoolSize:     cfg.PoolSize,
+		SlotElems:    cfg.SlotElems,
+		LossRecovery: cfg.LossRecovery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &switchNode{sim: sim, cfg: cfg, sw: sw}, nil
+}
+
+// Deliver processes an update at line rate and emits responses after
+// the pipeline latency. The traffic manager duplicates multicast
+// results onto every port (Appendix B).
+func (s *switchNode) Deliver(msg netsim.Message) {
+	p := msg.(*packet.Packet)
+	resp := s.sw.Handle(p)
+	if resp.Pkt == nil {
+		return
+	}
+	s.sim.After(s.cfg.SwitchLatency, func() {
+		if resp.Multicast {
+			for _, dl := range s.downlinks {
+				dl.Send(resp.Pkt.Clone())
+			}
+			return
+		}
+		s.downlinks[resp.Pkt.WorkerID].Send(resp.Pkt)
+	})
+}
+
+// WorkerHost adapts core.Worker to netsim: it owns the uplink,
+// retransmission timers, and the multi-core processing model.
+type WorkerHost struct {
+	sim    *netsim.Sim
+	cfg    Config
+	worker *core.Worker
+	uplink *netsim.Link
+	// coreFree[c] is when virtual core c next becomes idle. Slots are
+	// sharded to cores by idx % Cores, mirroring Flow Director
+	// steering with disjoint slot sets per core (Appendix B).
+	coreFree []netsim.Time
+	// timers holds the per-slot retransmission timer.
+	timers []*netsim.Timer
+	// backoff counts consecutive timeouts per slot; the RTO doubles
+	// with each (capped), preventing retransmission storms when the
+	// timeout is set below the loaded RTT — the adaptation §6 calls
+	// for ("take care to adapt the retransmission timeout according
+	// to variations in end-to-end RTT").
+	backoff []uint8
+	// sentAt records each slot's last transmission time for RTT
+	// sampling.
+	sentAt []netsim.Time
+	// retxed marks slots whose in-flight chunk has been retransmitted
+	// (Karn's rule: their RTT samples are ambiguous and discarded).
+	retxed []bool
+	// srtt/rttvar are the Jacobson estimator state when AdaptiveRTO
+	// is on; srtt == 0 means no sample yet.
+	srtt, rttvar netsim.Time
+	rtts         []netsim.Time
+	onDone       func(netsim.Time)
+}
+
+func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) {
+	cfg.fillDefaults()
+	w, err := core.NewWorker(core.WorkerConfig{
+		ID:           id,
+		Workers:      cfg.Workers,
+		PoolSize:     cfg.PoolSize,
+		SlotElems:    cfg.SlotElems,
+		LossRecovery: cfg.LossRecovery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerHost{
+		sim:      sim,
+		cfg:      cfg,
+		worker:   w,
+		coreFree: make([]netsim.Time, cfg.Cores),
+		timers:   make([]*netsim.Timer, cfg.PoolSize),
+		backoff:  make([]uint8, cfg.PoolSize),
+		sentAt:   make([]netsim.Time, cfg.PoolSize),
+		retxed:   make([]bool, cfg.PoolSize),
+	}, nil
+}
+
+// core returns the virtual core owning a slot.
+func (h *WorkerHost) coreOf(idx uint32) int { return int(idx) % h.cfg.Cores }
+
+// charge occupies the slot's core for one packet's processing and
+// returns the completion time.
+func (h *WorkerHost) charge(idx uint32) netsim.Time {
+	c := h.coreOf(idx)
+	start := h.coreFree[c]
+	if now := h.sim.Now(); start < now {
+		start = now
+	}
+	done := start + h.cfg.PerPacketCost
+	h.coreFree[c] = done
+	return done
+}
+
+// SetUplink attaches the host's transmit link; it must be called
+// before Start.
+func (h *WorkerHost) SetUplink(l *netsim.Link) { h.uplink = l }
+
+// Worker exposes the protocol state machine for statistics and
+// result access.
+func (h *WorkerHost) Worker() *core.Worker { return h.worker }
+
+// Start begins aggregating u; onDone fires when the aggregate is
+// complete on this worker.
+func (h *WorkerHost) Start(u []int32, onDone func(netsim.Time)) {
+	h.onDone = onDone
+	pkts := h.worker.Start(u)
+	if len(pkts) == 0 {
+		// Empty tensor: complete immediately.
+		t := h.sim.Now()
+		h.sim.At(t, func() { onDone(t) })
+		return
+	}
+	for _, p := range pkts {
+		p := p
+		h.sim.At(h.charge(p.Idx), func() { h.transmit(p, false) })
+	}
+}
+
+// transmit puts an update on the uplink and arms its retransmission
+// timer.
+func (h *WorkerHost) transmit(p *packet.Packet, retransmit bool) {
+	if h.cfg.TxHook != nil {
+		h.cfg.TxHook(int(h.worker.Config().ID), h.sim.Now(), retransmit)
+	}
+	h.sentAt[p.Idx] = h.sim.Now()
+	h.retxed[p.Idx] = retransmit
+	h.uplink.Send(p)
+	h.armTimer(p.Idx)
+}
+
+func (h *WorkerHost) armTimer(idx uint32) {
+	if t := h.timers[idx]; t != nil {
+		t.Cancel()
+	}
+	rto := h.rto() << h.backoff[idx]
+	h.timers[idx] = h.sim.After(rto, func() {
+		h.timers[idx] = nil
+		if !h.worker.Pending(idx) {
+			return
+		}
+		if h.backoff[idx] < 6 {
+			h.backoff[idx]++
+		}
+		// Build the retransmission at transmit time, not at timer-fire
+		// time: the slot's core may still hold an unprocessed result
+		// that advances the slot before the CPU frees up, and a stale
+		// snapshot would then reach the wire *after* the next-phase
+		// update, violating the FIFO ordering the protocol relies on.
+		h.sim.At(h.charge(idx), func() {
+			rt := h.worker.Retransmit(idx)
+			if rt == nil {
+				return
+			}
+			h.transmit(rt, true)
+		})
+	})
+}
+
+// rto returns the base retransmission timeout, adapted to the
+// estimated RTT when configured.
+func (h *WorkerHost) rto() netsim.Time {
+	if !h.cfg.AdaptiveRTO || h.srtt == 0 {
+		return h.cfg.RTO
+	}
+	rto := h.srtt + 4*h.rttvar
+	if rto < h.cfg.RTO {
+		rto = h.cfg.RTO
+	}
+	if max := h.cfg.RTO * 64; rto > max {
+		rto = max
+	}
+	return rto
+}
+
+// observeRTT folds a clean (never-retransmitted) chunk's round trip
+// into the Jacobson estimator.
+func (h *WorkerHost) observeRTT(sample netsim.Time) {
+	if h.srtt == 0 {
+		h.srtt = sample
+		h.rttvar = sample / 2
+		return
+	}
+	diff := h.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	h.rttvar += (diff - h.rttvar) / 4
+	h.srtt += (sample - h.srtt) / 8
+}
+
+// Deliver receives a result packet from the switch.
+func (h *WorkerHost) Deliver(msg netsim.Message) {
+	p := msg.(*packet.Packet)
+	done := h.charge(p.Idx)
+	h.sim.At(done, func() {
+		next, finished := h.worker.HandleResult(p)
+		if next == nil && !finished && h.worker.Pending(p.Idx) {
+			// Stale result: the slot is still in flight; leave the
+			// timer armed.
+			return
+		}
+		if t := h.timers[p.Idx]; t != nil {
+			t.Cancel()
+			h.timers[p.Idx] = nil
+		}
+		h.backoff[p.Idx] = 0
+		if sample := h.sim.Now() - h.sentAt[p.Idx]; true {
+			if h.cfg.AdaptiveRTO && !h.retxed[p.Idx] {
+				// Karn's rule: only unambiguous samples train the
+				// estimator.
+				h.observeRTT(sample)
+			}
+			if h.cfg.SampleRTT && h.worker.Config().ID == 0 {
+				h.rtts = append(h.rtts, sample)
+			}
+		}
+		if next != nil {
+			// Self-clocked follow-up (Algorithm 4 line 17); the CPU
+			// charge for the receive covers the run-to-completion
+			// send.
+			h.transmit(next, false)
+		}
+		if finished && h.onDone != nil {
+			h.onDone(h.sim.Now())
+		}
+	})
+}

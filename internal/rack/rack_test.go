@@ -1,0 +1,481 @@
+package rack
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchml/internal/netsim"
+	"switchml/internal/packet"
+)
+
+func checkAggregate(t *testing.T, r *Rack, want []int32) {
+	t.Helper()
+	for i := 0; i < r.Config().Workers; i++ {
+		got := r.Aggregate(i)
+		if len(got) != len(want) {
+			t.Fatalf("worker %d: aggregate length %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("worker %d: aggregate[%d] = %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRackLosslessCorrectness(t *testing.T) {
+	r, err := NewRack(Config{Workers: 4, LossRecovery: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const d = 10000
+	us := make([][]int32, 4)
+	want := make([]int32, d)
+	for i := range us {
+		us[i] = make([]int32, d)
+		for j := range us[i] {
+			us[i][j] = int32(rng.Intn(200) - 100)
+			want[j] += us[i][j]
+		}
+	}
+	res, err := r.AllReduce(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TAT <= 0 {
+		t.Errorf("TAT = %v, want positive", res.TAT)
+	}
+	checkAggregate(t, r, want)
+}
+
+func TestRackLossyCorrectness(t *testing.T) {
+	for _, loss := range []float64{0.001, 0.01, 0.05} {
+		r, err := NewRack(Config{
+			Workers: 3, LossRecovery: true, LossRate: loss, Seed: 7,
+			RTO: 100 * netsim.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const d = 20000
+		u := make([]int32, d)
+		for j := range u {
+			u[j] = int32(j % 97)
+		}
+		res, err := r.AllReduceShared(u)
+		if err != nil {
+			t.Fatalf("loss %v: %v", loss, err)
+		}
+		want := make([]int32, d)
+		for j := range want {
+			want[j] = 3 * u[j]
+		}
+		checkAggregate(t, r, want)
+		if loss >= 0.01 && res.Retransmissions == 0 {
+			t.Errorf("loss %v: no retransmissions recorded", loss)
+		}
+	}
+}
+
+func TestRackConsecutiveTensors(t *testing.T) {
+	r, err := NewRack(Config{Workers: 2, LossRecovery: true, LossRate: 0.01, Seed: 3,
+		RTO: 100 * netsim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 4; iter++ {
+		d := 1000 + 100*iter
+		u := make([]int32, d)
+		for j := range u {
+			u[j] = int32(iter + j)
+		}
+		if _, err := r.AllReduceShared(u); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want := make([]int32, d)
+		for j := range want {
+			want[j] = 2 * u[j]
+		}
+		checkAggregate(t, r, want)
+	}
+}
+
+func TestRackTATNearLineRate(t *testing.T) {
+	// Lossless, CPU-unconstrained: TAT must be within 5% of the
+	// wire-limited lower bound.
+	r, err := NewRack(Config{Workers: 8, LossRecovery: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 1 << 18
+	u := make([]int32, elems)
+	res, err := r.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := (elems + 31) / 32
+	ideal := netsim.Time(float64(pkts*180*8) / 10e9 * 1e9)
+	if res.TAT < ideal {
+		t.Fatalf("TAT %v below wire bound %v", res.TAT, ideal)
+	}
+	if float64(res.TAT) > 1.05*float64(ideal) {
+		t.Errorf("TAT %v more than 5%% above wire bound %v", res.TAT, ideal)
+	}
+	if res.Retransmissions != 0 {
+		t.Errorf("lossless run had %d retransmissions", res.Retransmissions)
+	}
+}
+
+func TestRackAlgorithm1Lossless(t *testing.T) {
+	r, err := NewRack(Config{Workers: 3, LossRecovery: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, 5000)
+	for j := range u {
+		u[j] = 2
+	}
+	if _, err := r.AllReduceShared(u); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, len(u))
+	for j := range want {
+		want[j] = 6
+	}
+	checkAggregate(t, r, want)
+}
+
+func TestRackRejectsLossWithoutRecovery(t *testing.T) {
+	if _, err := NewRack(Config{Workers: 2, LossRecovery: false, LossRate: 0.1}); err == nil {
+		t.Error("loss without recovery accepted")
+	}
+	if _, err := NewRack(Config{Workers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestTunePoolSize(t *testing.T) {
+	// §3.6: the paper uses s=128 at 10 Gbps and s=512 at 100 Gbps for
+	// its measured end-to-end delays (tens of microseconds). With
+	// b=180: 10e9/8 * 16e-6 / 180 = 111 -> next pow2 = 128.
+	if got := TunePoolSize(10e9, 180, 16*netsim.Microsecond); got != 128 {
+		t.Errorf("TunePoolSize(10G, 16us) = %d, want 128", got)
+	}
+	// 100e9/8 * 6e-6 / 180 = 416 -> 512.
+	if got := TunePoolSize(100e9, 180, 6*netsim.Microsecond); got != 512 {
+		t.Errorf("TunePoolSize(100G, 6us) = %d, want 512", got)
+	}
+	// Tiny BDP still yields at least one slot.
+	if got := TunePoolSize(1e6, 180, netsim.Microsecond); got < 1 {
+		t.Errorf("TunePoolSize small = %d", got)
+	}
+}
+
+func TestRackDeterminism(t *testing.T) {
+	run := func() netsim.Time {
+		r, err := NewRack(Config{Workers: 4, LossRecovery: true, LossRate: 0.02, Seed: 11,
+			RTO: 200 * netsim.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]int32, 30000)
+		res, err := r.AllReduceShared(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TAT
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different TAT: %v vs %v", a, b)
+	}
+}
+
+func TestRackRTTSampling(t *testing.T) {
+	r, err := NewRack(Config{Workers: 2, LossRecovery: true, Seed: 1, SampleRTT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, 10000)
+	res, err := r.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RTTs) == 0 {
+		t.Fatal("no RTT samples")
+	}
+	min := res.RTTs[0]
+	for _, v := range res.RTTs {
+		if v < min {
+			min = v
+		}
+	}
+	// RTT must be at least 2x propagation + switch latency.
+	if floor := 2*netsim.Microsecond + 400*netsim.Nanosecond; min < floor {
+		t.Errorf("min RTT %v below physical floor %v", min, floor)
+	}
+}
+
+func TestRackTxHookTimeline(t *testing.T) {
+	var sends, retx int
+	r, err := NewRack(Config{
+		Workers: 2, LossRecovery: true, LossRate: 0.05, Seed: 5,
+		RTO: 100 * netsim.Microsecond,
+		TxHook: func(wid int, tm netsim.Time, retransmit bool) {
+			if retransmit {
+				retx++
+			} else {
+				sends++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, 50000)
+	if _, err := r.AllReduceShared(u); err != nil {
+		t.Fatal(err)
+	}
+	wantSends := 2 * ((len(u) + 31) / 32)
+	if sends != wantSends {
+		t.Errorf("fresh sends = %d, want %d", sends, wantSends)
+	}
+	if retx == 0 {
+		t.Error("no retransmissions observed at 5% loss")
+	}
+}
+
+func TestRackMTUElems(t *testing.T) {
+	// Figure 7's enhanced baseline: MTU packets carrying 366
+	// elements aggregate correctly and finish faster per element.
+	small, _ := NewRack(Config{Workers: 4, LossRecovery: true, Seed: 1})
+	big, _ := NewRack(Config{Workers: 4, LossRecovery: true, Seed: 1, SlotElems: packet.MTUElems})
+	u := make([]int32, 1<<17)
+	for j := range u {
+		u[j] = 1
+	}
+	rs, err := small.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, len(u))
+	for j := range want {
+		want[j] = 4
+	}
+	checkAggregate(t, big, want)
+	// §5.5: MTU packets improve TAT by ~31.6% (header overhead drops
+	// from 28.9% to 3.4%).
+	gain := 1 - float64(rb.TAT)/float64(rs.TAT)
+	if gain < 0.20 || gain > 0.40 {
+		t.Errorf("MTU TAT gain = %.3f, want ~0.316", gain)
+	}
+}
+
+func TestRackEmptyTensor(t *testing.T) {
+	r, err := NewRack(Config{Workers: 2, LossRecovery: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.AllReduce([][]int32{nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TAT != 0 {
+		t.Errorf("empty tensor TAT = %v, want 0", res.TAT)
+	}
+}
+
+func TestRackWrongUpdateCount(t *testing.T) {
+	r, _ := NewRack(Config{Workers: 2, LossRecovery: true, Seed: 1})
+	if _, err := r.AllReduce([][]int32{{1}}); err == nil {
+		t.Error("wrong update count accepted")
+	}
+}
+
+func TestRackStragglerSelfClocks(t *testing.T) {
+	// §6: the self-clocking mechanism slows the system to the rate of
+	// the slowest worker — gracefully, with results still exact.
+	const elems = 200000
+	rates := make([]float64, 4)
+	rates[2] = 2.5e9 // one worker at a quarter of the 10G links
+	r, err := NewRack(Config{
+		Workers: 4, LossRecovery: true, Seed: 1,
+		WorkerLinkBitsPerSec: rates,
+		RTO:                  50 * netsim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, elems)
+	for i := range u {
+		u[i] = 7
+	}
+	res, err := r.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, elems)
+	for i := range want {
+		want[i] = 28
+	}
+	checkAggregate(t, r, want)
+	// TAT should track the straggler's wire bound (within 10%), i.e.
+	// ~4x the full-rate bound.
+	pkts := (elems + 31) / 32
+	stragglerBound := netsim.Time(float64(pkts*180*8) / 2.5e9 * 1e9)
+	if res.TAT < stragglerBound {
+		t.Fatalf("TAT %v below straggler bound %v", res.TAT, stragglerBound)
+	}
+	if float64(res.TAT) > 1.10*float64(stragglerBound) {
+		t.Errorf("TAT %v more than 10%% above straggler bound %v", res.TAT, stragglerBound)
+	}
+}
+
+func TestRackAdaptiveRTO(t *testing.T) {
+	// §6 extension: the adaptive estimator must (a) keep lossy runs
+	// correct, (b) outperform a badly mistuned fixed RTO, and (c) not
+	// fire spuriously when the straggler stretches the RTT.
+	const elems = 100000
+	run := func(adaptive bool, rto netsim.Time) (netsim.Time, uint64) {
+		r, err := NewRack(Config{
+			Workers: 4, LossRecovery: true, LossRate: 0.01, Seed: 5,
+			RTO: rto, AdaptiveRTO: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]int32, elems)
+		for i := range u {
+			u[i] = 3
+		}
+		res, err := r.AllReduceShared(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int32, elems)
+		for i := range want {
+			want[i] = 12
+		}
+		checkAggregate(t, r, want)
+		return res.TAT, res.Retransmissions
+	}
+	fixedBad, _ := run(false, 10*netsim.Millisecond)
+	adaptive, _ := run(true, 100*netsim.Microsecond)
+	if float64(adaptive) > 0.5*float64(fixedBad) {
+		t.Errorf("adaptive TAT %v not clearly better than mistuned fixed %v", adaptive, fixedBad)
+	}
+
+	// Straggler: lossless, one slow link stretches RTT far beyond the
+	// initial RTO; the estimator must absorb it without a spurious
+	// retransmission storm.
+	rates := make([]float64, 4)
+	rates[1] = 1e9
+	r, err := NewRack(Config{
+		Workers: 4, LossRecovery: true, Seed: 6,
+		RTO: 200 * netsim.Microsecond, AdaptiveRTO: true,
+		WorkerLinkBitsPerSec: rates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, elems)
+	res, err := r.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(4 * (elems + 31) / 32)
+	if res.Retransmissions > total/20 {
+		t.Errorf("adaptive RTO sent %d spurious retransmissions (>5%% of %d) under a straggler",
+			res.Retransmissions, total)
+	}
+}
+
+func TestRackScale64Workers(t *testing.T) {
+	// The paper's switch connects up to 64 workers at 100 Gbps
+	// (§1, §5.5): verify correctness and line-rate behaviour at that
+	// port count. "SwitchML always maintains a predictable rate of
+	// ATE/s regardless of the number of workers ... up to 64 in our
+	// testbed."
+	if testing.Short() {
+		t.Skip("large topology")
+	}
+	const n = 64
+	const elems = 1 << 16
+	r, err := NewRack(Config{Workers: n, LinkBitsPerSec: 25e9, LossRecovery: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]int32, elems)
+	for i := range u {
+		u[i] = 1
+	}
+	res, err := r.AllReduceShared(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int32, elems)
+	for i := range want {
+		want[i] = n
+	}
+	checkAggregate(t, r, want)
+	pkts := (elems + 31) / 32
+	wire := netsim.Time(float64(pkts*180*8) / 25e9 * 1e9)
+	if float64(res.TAT) > 1.06*float64(wire) {
+		t.Errorf("64-worker TAT %v more than 6%% above wire bound %v", res.TAT, wire)
+	}
+}
+
+func TestRackSoakManyTensorsUnderLoss(t *testing.T) {
+	// Soak: 20 consecutive tensors with loss and adaptive RTO; the
+	// stream must stay exact throughout.
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	r, err := NewRack(Config{
+		Workers: 4, LossRecovery: true, LossRate: 0.005, Seed: 99,
+		RTO: 200 * netsim.Microsecond, AdaptiveRTO: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		d := 1000 + rng.Intn(20000)
+		us := make([][]int32, 4)
+		want := make([]int32, d)
+		for i := range us {
+			us[i] = make([]int32, d)
+			for j := range us[i] {
+				us[i][j] = int32(rng.Intn(101) - 50)
+				want[j] += us[i][j]
+			}
+		}
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		checkAggregate(t, r, want)
+	}
+}
+
+func TestRackAccessors(t *testing.T) {
+	r, err := NewRack(Config{Workers: 2, LossRecovery: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sim() == nil || r.Switch() == nil {
+		t.Fatal("nil accessors")
+	}
+	if _, err := r.AllReduceShared(make([]int32, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.WorkerStats(0); st.Sent == 0 || st.Results == 0 {
+		t.Errorf("WorkerStats = %+v", st)
+	}
+	if r.Switch().Stats().Completions == 0 {
+		t.Error("switch saw no completions")
+	}
+}

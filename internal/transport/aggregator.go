@@ -1,0 +1,179 @@
+// Package transport runs the SwitchML protocol over real UDP
+// sockets. It implements the paper's alternative deployment model
+// (§6 "Deployment model"): a software "parameter aggregator" — the
+// switch state machine of Algorithm 3 hosted on a server — plus the
+// worker endpoint that streams tensors to it.
+//
+// The wire format is packet.Marshal; corrupted datagrams are dropped
+// by the checksum, and loss is repaired by the worker-side
+// retransmission timers exactly as on the programmable switch.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"switchml/internal/core"
+	"switchml/internal/packet"
+)
+
+// AggregatorConfig configures a software aggregator.
+type AggregatorConfig struct {
+	// Addr is the UDP listen address, e.g. "127.0.0.1:5555" or
+	// ":5555".
+	Addr string
+	// Switch is the aggregation pool configuration; LossRecovery
+	// should be true on any real network.
+	Switch core.SwitchConfig
+	// DropResult, when non-nil, is consulted before each result send
+	// and drops the packet when it returns true. It exists for loss
+	// testing on loopback networks that never drop.
+	DropResult func(p *packet.Packet) bool
+}
+
+// Aggregator is a UDP server hosting one job's aggregation pool. It
+// learns worker addresses from the source of their update packets,
+// so no registration step is needed; a worker must send before it
+// can receive, which the protocol guarantees.
+type Aggregator struct {
+	cfg  AggregatorConfig
+	conn *net.UDPConn
+	sw   *core.Switch
+
+	mu    sync.Mutex
+	peers []*net.UDPAddr // indexed by worker id
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewAggregator binds the socket and starts the serving goroutine.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	sw, err := core.NewSwitch(cfg.Switch)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	a := &Aggregator{
+		cfg:    cfg,
+		conn:   conn,
+		sw:     sw,
+		peers:  make([]*net.UDPAddr, cfg.Switch.Workers),
+		closed: make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *Aggregator) Addr() *net.UDPAddr { return a.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns the switch state machine counters.
+func (a *Aggregator) Stats() core.SwitchStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sw.Stats()
+}
+
+// Close shuts the server down and waits for the serving goroutine.
+func (a *Aggregator) Close() error {
+	select {
+	case <-a.closed:
+		return nil
+	default:
+	}
+	close(a.closed)
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+// serve is the run-to-completion loop: one datagram in, zero or more
+// datagrams out — the software analogue of the switch pipeline.
+func (a *Aggregator) serve() {
+	defer a.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient error: keep serving
+		}
+		p, err := packet.Unmarshal(buf[:n])
+		if err != nil {
+			continue // corrupted datagram: drop (§3.4)
+		}
+		if p.Kind != packet.KindUpdate || int(p.WorkerID) >= len(a.peers) {
+			continue
+		}
+		a.mu.Lock()
+		a.peers[p.WorkerID] = src
+		resp := a.sw.Handle(p)
+		a.mu.Unlock()
+		if resp.Pkt == nil {
+			continue
+		}
+		if a.cfg.DropResult != nil && a.cfg.DropResult(resp.Pkt) {
+			continue
+		}
+		out := resp.Pkt.Marshal()
+		if resp.Multicast {
+			for _, peer := range a.snapshotPeers() {
+				if peer != nil {
+					a.conn.WriteToUDP(out, peer)
+				}
+			}
+			continue
+		}
+		if peer := a.peer(resp.Pkt.WorkerID); peer != nil {
+			a.conn.WriteToUDP(out, peer)
+		}
+	}
+}
+
+func (a *Aggregator) peer(wid uint16) *net.UDPAddr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(wid) >= len(a.peers) {
+		return nil
+	}
+	return a.peers[wid]
+}
+
+func (a *Aggregator) snapshotPeers() []*net.UDPAddr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*net.UDPAddr, len(a.peers))
+	copy(out, a.peers)
+	return out
+}
+
+// Reset clears the aggregation pools and forgets worker addresses,
+// preparing the aggregator for a restarted job (§3.2: worker failures
+// are handled by the framework restarting the job). In-flight
+// datagrams from the dead job are rejected by the fresh state.
+func (a *Aggregator) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sw.Reset()
+	for i := range a.peers {
+		a.peers[i] = nil
+	}
+}

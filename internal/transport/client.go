@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"switchml/internal/core"
+	"switchml/internal/packet"
+)
+
+// ClientConfig configures a worker endpoint.
+type ClientConfig struct {
+	// Aggregator is the UDP address of the software aggregator (or a
+	// SwitchML-speaking switch).
+	Aggregator string
+	// Worker is the protocol configuration; it must agree with the
+	// aggregator's SwitchConfig on Workers, PoolSize, SlotElems and
+	// LossRecovery.
+	Worker core.WorkerConfig
+	// RTO is the retransmission timeout; zero selects 50 ms, generous
+	// for a LAN (the paper's testbed uses 1 ms; over real kernels a
+	// larger value avoids spurious retransmissions under scheduling
+	// jitter).
+	RTO time.Duration
+	// Timeout bounds one AllReduce call; zero selects 30 s.
+	Timeout time.Duration
+}
+
+// Client is a synchronous SwitchML worker over UDP. It is not safe
+// for concurrent use: one AllReduce runs at a time, matching the
+// ordered-tensor requirement of the stream protocol (Appendix B).
+type Client struct {
+	cfg    ClientConfig
+	conn   *net.UDPConn
+	worker *core.Worker
+	// lastSend tracks per-slot transmission times for timeout
+	// sweeps.
+	lastSend []time.Time
+	// backoff counts consecutive timeouts per slot; the effective RTO
+	// doubles with each (capped at 64x), preventing retransmission
+	// storms when the configured RTO sits below the path RTT.
+	backoff []uint8
+}
+
+// NewClient binds a local UDP socket and prepares the worker state
+// machine.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.RTO == 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	w, err := core.NewWorker(cfg.Worker)
+	if err != nil {
+		return nil, err
+	}
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Aggregator)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", cfg.Aggregator, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	return &Client{
+		cfg:      cfg,
+		conn:     conn,
+		worker:   w,
+		lastSend: make([]time.Time, cfg.Worker.PoolSize),
+		backoff:  make([]uint8, cfg.Worker.PoolSize),
+	}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats returns the worker state machine counters.
+func (c *Client) Stats() core.WorkerStats { return c.worker.Stats() }
+
+// AllReduceInt32 aggregates u with the other workers and returns the
+// elementwise sum. It blocks until the aggregate is complete or the
+// configured timeout elapses.
+func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
+	if len(u) == 0 {
+		return nil, nil
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for _, p := range c.worker.Start(u) {
+		if err := c.send(p); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, 65536)
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: all-reduce timed out after %v (%d chunks outstanding)",
+				c.cfg.Timeout, c.worker.PendingCount())
+		}
+		// Wake at the earliest pending retransmission deadline.
+		readDeadline := time.Now().Add(c.cfg.RTO)
+		for idx := range c.lastSend {
+			if !c.worker.Pending(uint32(idx)) {
+				continue
+			}
+			if d := c.lastSend[idx].Add(c.rto(idx)); d.Before(readDeadline) {
+				readDeadline = d
+			}
+		}
+		if err := c.conn.SetReadDeadline(readDeadline); err != nil {
+			return nil, err
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if err := c.sweepTimeouts(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, err
+		}
+		p, err := packet.Unmarshal(buf[:n])
+		if err != nil {
+			continue // corrupted datagram
+		}
+		next, done := c.worker.HandleResult(p)
+		if next != nil || done || !c.worker.Pending(p.Idx) {
+			if int(p.Idx) < len(c.backoff) {
+				c.backoff[p.Idx] = 0
+			}
+		}
+		if next != nil {
+			if err := c.send(next); err != nil {
+				return nil, err
+			}
+		}
+		if done {
+			out := make([]int32, len(u))
+			copy(out, c.worker.Aggregate())
+			return out, nil
+		}
+	}
+}
+
+// send transmits an update and stamps its slot timer.
+func (c *Client) send(p *packet.Packet) error {
+	if _, err := c.conn.Write(p.Marshal()); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	c.lastSend[p.Idx] = time.Now()
+	return nil
+}
+
+// rto returns slot idx's effective timeout with backoff applied.
+func (c *Client) rto(idx int) time.Duration {
+	return c.cfg.RTO << c.backoff[idx]
+}
+
+// sweepTimeouts retransmits every pending chunk whose RTO elapsed
+// (Algorithm 4 lines 20-23), doubling that slot's timeout.
+func (c *Client) sweepTimeouts() error {
+	now := time.Now()
+	for idx := range c.lastSend {
+		if !c.worker.Pending(uint32(idx)) {
+			continue
+		}
+		if now.Sub(c.lastSend[idx]) < c.rto(idx) {
+			continue
+		}
+		if c.backoff[idx] < 6 {
+			c.backoff[idx]++
+		}
+		if p := c.worker.Retransmit(uint32(idx)); p != nil {
+			if err := c.send(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"switchml/internal/core"
+	"switchml/internal/packet"
+)
+
+// MultiAggregator is a UDP software aggregator serving several
+// concurrent jobs, the multi-tenant scenario of §6: every job owns a
+// disjoint pool of aggregators, an admission check bounds total
+// register memory, and packets are routed to their job's pool by the
+// JobID field.
+type MultiAggregator struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	ms     *core.MultiSwitch
+	peers  map[uint16][]*net.UDPAddr // per job, indexed by worker id
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewMultiAggregator binds addr and serves with the given register
+// memory budget in bytes (0 = unlimited).
+func NewMultiAggregator(addr string, memoryBudget int) (*MultiAggregator, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	m := &MultiAggregator{
+		conn:   conn,
+		ms:     core.NewMultiSwitch(memoryBudget),
+		peers:  make(map[uint16][]*net.UDPAddr),
+		closed: make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.serve()
+	return m, nil
+}
+
+// Addr returns the bound listen address.
+func (m *MultiAggregator) Addr() *net.UDPAddr { return m.conn.LocalAddr().(*net.UDPAddr) }
+
+// AdmitJob allocates a pool for a job, failing when the memory budget
+// would be exceeded (the admission mechanism of §6).
+func (m *MultiAggregator) AdmitJob(cfg core.SwitchConfig) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.ms.AdmitJob(cfg); err != nil {
+		return err
+	}
+	m.peers[cfg.JobID] = make([]*net.UDPAddr, cfg.Workers)
+	return nil
+}
+
+// ReleaseJob frees a job's pool.
+func (m *MultiAggregator) ReleaseJob(job uint16) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.ms.ReleaseJob(job); err != nil {
+		return err
+	}
+	delete(m.peers, job)
+	return nil
+}
+
+// MemoryBytes returns the admitted jobs' total register memory.
+func (m *MultiAggregator) MemoryBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ms.MemoryBytes()
+}
+
+// Jobs returns the admitted job ids.
+func (m *MultiAggregator) Jobs() []uint16 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ms.Jobs()
+}
+
+// Close shuts the server down.
+func (m *MultiAggregator) Close() error {
+	select {
+	case <-m.closed:
+		return nil
+	default:
+	}
+	close(m.closed)
+	err := m.conn.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *MultiAggregator) serve() {
+	defer m.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := m.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-m.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		p, err := packet.Unmarshal(buf[:n])
+		if err != nil || p.Kind != packet.KindUpdate {
+			continue
+		}
+		m.mu.Lock()
+		peers, ok := m.peers[p.JobID]
+		if !ok || int(p.WorkerID) >= len(peers) {
+			m.mu.Unlock()
+			continue
+		}
+		peers[p.WorkerID] = src
+		resp := m.ms.Handle(p)
+		var targets []*net.UDPAddr
+		if resp.Pkt != nil {
+			if resp.Multicast {
+				targets = append([]*net.UDPAddr(nil), peers...)
+			} else if t := peers[resp.Pkt.WorkerID]; t != nil {
+				targets = []*net.UDPAddr{t}
+			}
+		}
+		m.mu.Unlock()
+		if resp.Pkt == nil {
+			continue
+		}
+		out := resp.Pkt.Marshal()
+		for _, t := range targets {
+			if t != nil {
+				m.conn.WriteToUDP(out, t)
+			}
+		}
+	}
+}
+
+// JobStats returns one admitted job's switch counters.
+func (m *MultiAggregator) JobStats(job uint16) (core.SwitchStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sw := m.ms.Job(job)
+	if sw == nil {
+		return core.SwitchStats{}, false
+	}
+	return sw.Stats(), true
+}

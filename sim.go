@@ -1,0 +1,78 @@
+package switchml
+
+import (
+	"time"
+
+	"switchml/internal/netsim"
+	"switchml/internal/rack"
+)
+
+// SimParams configures a deterministic single-rack simulation, the
+// reproduction stand-in for the paper's testbed.
+type SimParams struct {
+	// Workers is n (required).
+	Workers int
+	// LinkGbps is the access-link rate in Gbps (default 10, the
+	// paper's primary configuration).
+	LinkGbps float64
+	// PoolSize is s; zero applies the §3.6 tuning rule (next power of
+	// two of BDP/b).
+	PoolSize int
+	// SlotElems is k (default 32).
+	SlotElems int
+	// LossRate is the per-link packet drop probability.
+	LossRate float64
+	// RTO is the retransmission timeout (default 1 ms, §5.5).
+	RTO time.Duration
+	// Cores is the per-worker core count (default 4, §5.1).
+	Cores int
+	// Seed drives the deterministic loss process.
+	Seed int64
+}
+
+// SimResult reports one simulated tensor aggregation.
+type SimResult struct {
+	// TAT is the tensor aggregation time of the slowest worker.
+	TAT time.Duration
+	// Retransmissions across all workers.
+	Retransmissions uint64
+	// PoolSize is the effective s after tuning.
+	PoolSize int
+	// Aggregate is worker 0's result vector.
+	Aggregate []int32
+}
+
+// SimulateRack aggregates one tensor (identical on every worker) on a
+// simulated SwitchML rack and reports the timing. Results are
+// bit-reproducible for a given seed.
+func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
+	cfg := rack.Config{
+		Workers:        params.Workers,
+		PoolSize:       params.PoolSize,
+		SlotElems:      params.SlotElems,
+		LinkBitsPerSec: params.LinkGbps * 1e9,
+		LossRate:       params.LossRate,
+		RTO:            fromDuration(params.RTO),
+		Cores:          params.Cores,
+		LossRecovery:   true,
+		Seed:           params.Seed,
+	}
+	r, err := rack.NewRack(cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	res, err := r.AllReduceShared(tensor)
+	if err != nil {
+		return SimResult{}, err
+	}
+	agg := make([]int32, len(tensor))
+	copy(agg, r.Aggregate(0))
+	return SimResult{
+		TAT:             res.TAT.Duration(),
+		Retransmissions: res.Retransmissions,
+		PoolSize:        r.Config().PoolSize,
+		Aggregate:       agg,
+	}, nil
+}
+
+func fromDuration(d time.Duration) netsim.Time { return netsim.Time(d) }

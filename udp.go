@@ -1,0 +1,199 @@
+package switchml
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"switchml/internal/core"
+	"switchml/internal/packet"
+	"switchml/internal/quant"
+	"switchml/internal/transport"
+)
+
+// This file exposes the real-network deployment: a software
+// "parameter aggregator" (the paper's §6 alternative deployment
+// model) and worker clients, both speaking the SwitchML wire format
+// over UDP.
+
+// Aggregator is a UDP software aggregator hosting one job's pool.
+type Aggregator struct {
+	inner *transport.Aggregator
+}
+
+// AggregatorParams configures ListenAggregator.
+type AggregatorParams struct {
+	// Workers is n; every slot completes after n contributions.
+	Workers int
+	// PoolSize is s (default 64).
+	PoolSize int
+	// SlotElems is k (default 32).
+	SlotElems int
+	// JobID tags the pool for multi-tenancy.
+	JobID uint16
+}
+
+func (p *AggregatorParams) fill() {
+	if p.PoolSize == 0 {
+		p.PoolSize = 64
+	}
+	if p.SlotElems == 0 {
+		p.SlotElems = packet.DefaultElems
+	}
+}
+
+// ListenAggregator binds addr (e.g. ":5555" or "127.0.0.1:0") and
+// serves aggregation until Close.
+func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error) {
+	params.fill()
+	inner, err := transport.NewAggregator(transport.AggregatorConfig{
+		Addr: addr,
+		Switch: core.SwitchConfig{
+			Workers:      params.Workers,
+			PoolSize:     params.PoolSize,
+			SlotElems:    params.SlotElems,
+			LossRecovery: true,
+			JobID:        params.JobID,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregator{inner: inner}, nil
+}
+
+// Addr returns the bound address, "host:port".
+func (a *Aggregator) Addr() string { return a.inner.Addr().String() }
+
+// Close stops serving.
+func (a *Aggregator) Close() error { return a.inner.Close() }
+
+// Stats returns the aggregation pool's protocol counters.
+func (a *Aggregator) Stats() AggregatorStats {
+	st := a.inner.Stats()
+	return AggregatorStats{
+		Updates:               st.Updates,
+		Completions:           st.Completions,
+		IgnoredDuplicates:     st.IgnoredDuplicates,
+		ResultRetransmissions: st.ResultRetransmissions,
+		StaleUpdates:          st.StaleUpdates,
+		Rejected:              st.Rejected,
+	}
+}
+
+// Reset clears the pool and forgets worker addresses, preparing the
+// aggregator for a restarted job.
+func (a *Aggregator) Reset() { a.inner.Reset() }
+
+// AggregatorStats are the switch-side protocol counters.
+type AggregatorStats struct {
+	// Updates is the number of update packets processed.
+	Updates uint64
+	// Completions is the number of finished slot aggregations.
+	Completions uint64
+	// IgnoredDuplicates counts retransmitted updates for slots still
+	// aggregating.
+	IgnoredDuplicates uint64
+	// ResultRetransmissions counts unicast result replies served from
+	// the shadow copy.
+	ResultRetransmissions uint64
+	// StaleUpdates counts old-phase packets dropped by the
+	// monotonic-offset hardening.
+	StaleUpdates uint64
+	// Rejected counts malformed packets.
+	Rejected uint64
+}
+
+// Peer is a worker endpoint attached to a remote Aggregator.
+type Peer struct {
+	inner *transport.Client
+	scale *quant.FixedPoint
+	n     int
+}
+
+// PeerParams configures DialAggregator. Workers, PoolSize, SlotElems
+// and JobID must match the aggregator's parameters.
+type PeerParams struct {
+	// ID is this worker's rank in [0, Workers).
+	ID int
+	// Workers is n.
+	Workers int
+	// PoolSize is s (default 64).
+	PoolSize int
+	// SlotElems is k (default 32).
+	SlotElems int
+	// JobID tags packets for multi-tenancy.
+	JobID uint16
+	// Scale is the fixed-point factor for float32 all-reduce; zero
+	// disables the float32 methods.
+	Scale float64
+	// RTO is the retransmission timeout (default 50 ms).
+	RTO time.Duration
+	// Timeout bounds each all-reduce call (default 30 s).
+	Timeout time.Duration
+}
+
+// DialAggregator connects a worker to an aggregator.
+func DialAggregator(addr string, params PeerParams) (*Peer, error) {
+	poolSize, slotElems := params.PoolSize, params.SlotElems
+	if poolSize == 0 {
+		poolSize = 64
+	}
+	if slotElems == 0 {
+		slotElems = packet.DefaultElems
+	}
+	var scale *quant.FixedPoint
+	if params.Scale != 0 {
+		var err error
+		scale, err = quant.NewFixedPoint(params.Scale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inner, err := transport.NewClient(transport.ClientConfig{
+		Aggregator: addr,
+		Worker: core.WorkerConfig{
+			ID:           uint16(params.ID),
+			Workers:      params.Workers,
+			PoolSize:     poolSize,
+			SlotElems:    slotElems,
+			LossRecovery: true,
+			JobID:        params.JobID,
+		},
+		RTO:     params.RTO,
+		Timeout: params.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Peer{inner: inner, scale: scale, n: params.Workers}, nil
+}
+
+// Close releases the socket.
+func (p *Peer) Close() error { return p.inner.Close() }
+
+// AllReduceInt32 sums u across all workers of the job.
+func (p *Peer) AllReduceInt32(u []int32) ([]int32, error) {
+	return p.inner.AllReduceInt32(u)
+}
+
+// AllReduceFloat32 sums u across all workers via fixed-point
+// quantization (requires PeerParams.Scale).
+func (p *Peer) AllReduceFloat32(u []float32) ([]float32, error) {
+	if p.scale == nil {
+		return nil, errNoScale
+	}
+	q := make([]int32, len(u))
+	if sat := p.scale.Quantize(q, u); sat > 0 {
+		return nil, fmt.Errorf("switchml: %d elements saturated during quantization; lower the scale (see MaxSafeScale)", sat)
+	}
+	sum, err := p.inner.AllReduceInt32(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(u))
+	p.scale.Dequantize(out, sum)
+	return out, nil
+}
+
+var errNoScale = errors.New("switchml: float32 all-reduce needs PeerParams.Scale")

@@ -1,0 +1,78 @@
+package switchml
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUDPDeployment(t *testing.T) {
+	const n = 3
+	agg, err := ListenAggregator("127.0.0.1:0", AggregatorParams{Workers: n, PoolSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	const d = 3000
+	// Gradient entries reach ~752; Theorem 2 gives the largest safe
+	// scale for n=3 (a naive 1e6 overflows the aggregate and wraps).
+	scale, err := MaxSafeScale(n, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	outs := make([][]float32, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			peer, err := DialAggregator(agg.Addr(), PeerParams{
+				ID: i, Workers: n, PoolSize: 8, Scale: scale,
+				RTO: 20 * time.Millisecond, Timeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer peer.Close()
+			u := make([]float32, d)
+			for j := range u {
+				u[j] = float32(i) + float32(j)*0.25
+			}
+			outs[i], errs[i] = peer.AllReduceFloat32(u)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("peer %d: %v", i, errs[i])
+		}
+		for j := 0; j < d; j++ {
+			want := float64(0+1+2) + 3*float64(j)*0.25
+			if diff := math.Abs(float64(outs[i][j]) - want); diff > 3e-5 {
+				t.Fatalf("peer %d elem %d: got %v want %v", i, j, outs[i][j], want)
+			}
+		}
+	}
+}
+
+func TestUDPPeerValidation(t *testing.T) {
+	if _, err := ListenAggregator("127.0.0.1:0", AggregatorParams{Workers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := DialAggregator("127.0.0.1:1", PeerParams{ID: 0, Workers: 1, Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	peer, err := DialAggregator("127.0.0.1:1", PeerParams{ID: 0, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if _, err := peer.AllReduceFloat32([]float32{1}); err == nil {
+		t.Error("float32 without scale accepted")
+	}
+}
