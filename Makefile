@@ -1,0 +1,38 @@
+# The `check` target is the tier-1 gate (see ROADMAP.md): vet, build,
+# the full test suite, and the race detector over every package with
+# real concurrency — the UDP transport, the telemetry registry, the
+# rack host timers and the public session/cluster API. CI and
+# pre-commit should run `make check`.
+
+GO ?= go
+
+# Packages whose tests exercise concurrent goroutines against shared
+# state; they must stay clean under the race detector.
+RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack .
+
+.PHONY: check vet build test race bench examples clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Quick-look evaluation run (scaled-down tensors).
+bench:
+	$(GO) run ./cmd/switchml-bench -scale 100
+
+# Build every example program.
+examples:
+	$(GO) build ./examples/...
+
+clean:
+	$(GO) clean ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	switchml-agg -listen :5555 -workers 4 [-pool 64] [-elems 32]
-//	    [-jobs 1] [-job-base 0] [-metrics :9100]
+//	    [-jobs 1] [-job-base 0] [-metrics :9100] [-debug :6060]
 //
 // With -jobs 1 it serves a single pool (switchml.ListenAggregator);
 // with -jobs N it serves N pools with job ids job-base..job-base+N-1,
@@ -14,6 +14,9 @@
 // packets, so no registration is needed.
 //
 // -metrics exposes the switch counters as JSON over HTTP at /stats.
+// -debug starts the introspection listener: /metrics (plain-text
+// counter dump), /debug/vars (expvar) and /debug/pprof/ (profiles of
+// the live aggregator).
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 	jobs := flag.Int("jobs", 1, "number of pools to serve (tenants or worker shards)")
 	jobBase := flag.Uint("job-base", 0, "first job id")
 	metrics := flag.String("metrics", "", "optional HTTP address exposing /stats")
+	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
 	flag.Parse()
 
 	params := switchml.AggregatorParams{
@@ -45,6 +49,7 @@ func main() {
 	}
 
 	var statsFn func() any
+	var debugFn func(string) (string, error)
 	var addr string
 	if *jobs <= 1 {
 		params.JobID = uint16(*jobBase)
@@ -55,6 +60,7 @@ func main() {
 		defer agg.Close()
 		addr = agg.Addr()
 		statsFn = func() any { return agg.Stats() }
+		debugFn = agg.ServeDebug
 	} else {
 		m, err := switchml.ListenMultiAggregator(*listen, 0)
 		if err != nil {
@@ -65,6 +71,7 @@ func main() {
 			log.Fatal(err)
 		}
 		addr = m.Addr()
+		debugFn = m.ServeDebug
 		statsFn = func() any {
 			out := map[string]any{}
 			for j := 0; j < *jobs; j++ {
@@ -91,6 +98,13 @@ func main() {
 			}
 		}()
 		fmt.Printf("switchml-agg: stats at http://%s/stats\n", *metrics)
+	}
+	if *debug != "" {
+		bound, err := debugFn(*debug)
+		if err != nil {
+			log.Fatalf("switchml-agg: debug server: %v", err)
+		}
+		fmt.Printf("switchml-agg: debug at http://%s/metrics and http://%s/debug/pprof/\n", bound, bound)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	switchml-bench [-scale N] [-seed S] [-v] [experiment ...]
+//	switchml-bench [-scale N] [-seed S] [-v] [-trace out.json] [experiment ...]
 //
 // With no arguments it runs every experiment. Experiment ids follow
 // the paper: table1, fig2..fig8, fig10, plus the ablations
@@ -11,6 +11,11 @@
 // the paper's tensor sizes (default 10) — rates and ratios are
 // size-independent, so shapes are preserved; use -scale 1 for
 // full-size runs.
+//
+// -trace records every protocol event from every simulated SwitchML
+// rack the selected experiments run to a Chrome trace-event file
+// (open with chrome://tracing or https://ui.perfetto.dev). The ring
+// is bounded; with many experiments the oldest events are dropped.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"switchml/internal/bench"
+	"switchml/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the simulated protocol events")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +51,11 @@ func main() {
 		log = os.Stderr
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed, Log: log}
+	var ring *telemetry.Ring
+	if *tracePath != "" {
+		ring = telemetry.NewRing(1 << 21)
+		opts.Tracer = ring
+	}
 	for _, id := range ids {
 		tb, err := bench.Run(id, opts)
 		if err != nil {
@@ -51,5 +63,21 @@ func main() {
 			os.Exit(1)
 		}
 		tb.Render(os.Stdout)
+	}
+	if ring != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := telemetry.WriteChromeTrace(f, ring.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(telemetry.WriteChromeTraceFileNote(*tracePath, ring.Len(), ring.Overwritten()))
 	}
 }

@@ -6,20 +6,26 @@
 //
 //	switchml-sim -workers 8 -gbps 10 -mb 100 [-pool 0] [-elems 32]
 //	    [-loss 0.001] [-rto 1ms] [-cores 4] [-straggler-gbps 0] [-seed 1]
+//	    [-trace out.json]
 //
 // It prints the tensor aggregation time, the achieved ATE/s against
-// the analytic line rate, and the retransmission count.
+// the analytic line rate, and the retransmission count. -trace
+// records every protocol event (transmissions, drops, retransmits,
+// slot completions, shadow reads) to a Chrome trace-event file that
+// chrome://tracing or https://ui.perfetto.dev can open.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"switchml/internal/allreduce"
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
+	"switchml/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +39,13 @@ func main() {
 	cores := flag.Int("cores", 4, "worker CPU cores")
 	stragglerGbps := flag.Float64("straggler-gbps", 0, "if > 0, worker 0's link rate in Gbps")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event file of every protocol event")
 	flag.Parse()
 
+	var ring *telemetry.Ring
+	if *tracePath != "" {
+		ring = telemetry.NewRing(1 << 20)
+	}
 	cfg := rack.Config{
 		Workers:        *workers,
 		LinkBitsPerSec: *gbps * 1e9,
@@ -45,6 +56,9 @@ func main() {
 		Cores:          *cores,
 		LossRecovery:   true,
 		Seed:           *seed,
+	}
+	if ring != nil {
+		cfg.Tracer = ring
 	}
 	if *stragglerGbps > 0 {
 		cfg.WorkerLinkBitsPerSec = make([]float64, *workers)
@@ -77,4 +91,17 @@ func main() {
 		ate/1e6, 100*ate/line, line/1e6)
 	fmt.Printf("retransmissions   %d\n", res.Retransmissions)
 	fmt.Printf("simulator events  %d\n", r.Sim().Processed())
+	if ring != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(f, ring.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(telemetry.WriteChromeTraceFileNote(*tracePath, ring.Len(), ring.Overwritten()))
+	}
 }

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	switchml-worker -agg host:5555 -id 0 -workers 4 [-pool 64]
-//	    [-elems-per-tensor 1000000] [-iters 10] [-job 0]
+//	    [-elems-per-tensor 1000000] [-iters 10] [-job 0] [-debug :6061]
 //
 // Every participating worker must use a distinct -id in [0,workers).
+// -debug starts an HTTP introspection listener serving /metrics,
+// /debug/vars and /debug/pprof/ for the live worker.
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	iters := flag.Int("iters", 10, "number of all-reduce iterations")
 	job := flag.Uint("job", 0, "job id")
 	rto := flag.Duration("rto", 50*time.Millisecond, "retransmission timeout")
+	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
 	flag.Parse()
 
 	peer, err := switchml.DialAggregator(*aggAddr, switchml.PeerParams{
@@ -41,6 +44,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer peer.Close()
+	if *debug != "" {
+		bound, err := peer.ServeDebug(*debug)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		fmt.Printf("switchml-worker %d: debug at http://%s/metrics\n", *id, bound)
+	}
 
 	tensor := make([]int32, *elems)
 	for i := range tensor {

@@ -1,0 +1,70 @@
+// Trace: record a lossy SwitchML aggregation as a Perfetto trace and
+// a protocol-counter dump.
+//
+// The run aggregates a 2 MB tensor across 4 workers at 1% per-link
+// loss with loss recovery on, then writes every protocol event —
+// packet transmissions, drops, retransmissions, slot completions and
+// shadow-copy reads — to trace.json in Chrome trace-event format.
+// Open the file in chrome://tracing or https://ui.perfetto.dev: each
+// worker, each link direction and the switch get their own track;
+// tensor aggregations appear as spans, drops and recoveries as
+// instant markers on the link and worker tracks.
+//
+// The counter dump printed afterwards is the same run seen through
+// the metrics registry — the aggregate view whose per-event form is
+// in the trace file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"switchml"
+)
+
+func main() {
+	tensor := make([]int32, 500_000)
+	for i := range tensor {
+		tensor[i] = int32(i % 97)
+	}
+
+	res, err := switchml.SimulateRack(switchml.SimParams{
+		Workers:   4,
+		LossRate:  0.01,
+		RTO:       200 * time.Microsecond,
+		Seed:      42,
+		TraceFile: "trace.json",
+	}, tensor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range res.Aggregate {
+		if v != 4*tensor[i] {
+			log.Fatalf("aggregate[%d] = %d, want %d — recovery broke correctness!",
+				i, v, 4*tensor[i])
+		}
+	}
+
+	fmt.Printf("aggregated %d elements across 4 workers at 1%% loss in %v\n",
+		len(tensor), res.TAT.Round(time.Microsecond))
+	fmt.Printf("wrote trace.json — open it in https://ui.perfetto.dev\n\n")
+
+	fmt.Println("protocol counters:")
+	keys := make([]string, 0, len(res.Counters))
+	for k := range res.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-28s %d\n", k, res.Counters[k])
+	}
+
+	drops := res.Counters["packets_dropped"]
+	retx := res.Counters["worker_retransmissions"]
+	shadow := res.Counters["switch_shadow_reads"]
+	fmt.Printf("\nevery one of the %d dropped packets was repaired: %d worker\n", drops, retx)
+	fmt.Printf("retransmissions, of which %d hit already-complete slots and were\n", shadow)
+	fmt.Println("answered from the switch's shadow copy (§3.5).")
+}

@@ -16,7 +16,7 @@ func RunAblationAlgorithm(o Options) (*Table, error) {
 	elems := o.mb100() / 2
 	run := func(recovery bool) (netsim.Time, int, error) {
 		r, err := rack.NewRack(rack.Config{
-			Workers: 8, LossRecovery: recovery, Seed: o.Seed,
+			Workers: 8, LossRecovery: recovery, Seed: o.Seed, Tracer: o.Tracer,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -68,7 +68,7 @@ func RunAblationRTO(o Options) (*Table, error) {
 		fmt.Fprintf(o.Log, "ablation-rto: %s...\n", label)
 		r, err := rack.NewRack(rack.Config{
 			Workers: 8, LossRecovery: true, LossRate: 0.01, RTO: rto, Seed: o.Seed,
-			AdaptiveRTO: adaptive,
+			AdaptiveRTO: adaptive, Tracer: o.Tracer,
 		})
 		if err != nil {
 			return err
@@ -122,6 +122,7 @@ func RunAblationPoolTuning(o Options) (*Table, error) {
 		for _, pool := range []int{tuned / 8, tuned / 2, tuned, tuned * 2} {
 			r, err := rack.NewRack(rack.Config{
 				Workers: 8, LinkBitsPerSec: bw, PoolSize: pool, LossRecovery: true, Seed: o.Seed,
+				Tracer: o.Tracer,
 			})
 			if err != nil {
 				return nil, err

@@ -30,6 +30,7 @@ import (
 	"switchml/internal/allreduce"
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
+	"switchml/internal/telemetry"
 )
 
 // TCP-stack efficiency calibration (see package comment).
@@ -68,6 +69,11 @@ type Table struct {
 	Rows [][]string
 	// Notes carry caveats and substitutions.
 	Notes []string
+	// Counters is a protocol-counter snapshot from the experiment's
+	// most interesting run (packets, drops, retransmissions, shadow
+	// reads — see rack.Counters), so result trajectories carry
+	// protocol behaviour alongside timing.
+	Counters map[string]uint64
 }
 
 // Render writes the table as aligned text.
@@ -107,6 +113,18 @@ func (t *Table) Render(w io.Writer) {
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
+	if len(t.Counters) > 0 {
+		keys := make([]string, 0, len(t.Counters))
+		for k := range t.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, t.Counters[k])
+		}
+		fmt.Fprintf(w, "  counters: %s\n", strings.Join(parts, " "))
+	}
 	fmt.Fprintln(w)
 }
 
@@ -121,6 +139,10 @@ type Options struct {
 	Seed int64
 	// Verbose logs progress to Log.
 	Log io.Writer
+	// Tracer, when set, observes protocol events from every simulated
+	// SwitchML rack the experiments run (cmd/switchml-bench -trace
+	// records them to a Chrome trace file).
+	Tracer telemetry.Tracer
 }
 
 func (o *Options) fill() {
@@ -144,6 +166,7 @@ func measureSwitchML(o Options, workers int, bitsPerSec float64, slotElems int) 
 		SlotElems:      slotElems,
 		LossRecovery:   true,
 		Seed:           o.Seed,
+		Tracer:         o.Tracer,
 	})
 	if err != nil {
 		return 0, err

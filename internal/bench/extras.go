@@ -80,7 +80,7 @@ func RunStraggler(o Options) (*Table, error) {
 		rates[3] = 10e9 * frac
 		r, err := rack.NewRack(rack.Config{
 			Workers: 8, LossRecovery: true, Seed: o.Seed,
-			WorkerLinkBitsPerSec: rates,
+			WorkerLinkBitsPerSec: rates, Tracer: o.Tracer,
 			// The RTO must sit above the straggler-stretched RTT, as
 			// §6 prescribes; scale it with the slowdown.
 			RTO: netsim.Time(float64(10*netsim.Millisecond) / frac),
@@ -170,7 +170,7 @@ func RunScaling(o Options) (*Table, error) {
 	}
 	for _, n := range []int{8, 16, 32, 64} {
 		fmt.Fprintf(o.Log, "scaling: rack n=%d...\n", n)
-		r, err := rack.NewRack(rack.Config{Workers: n, LossRecovery: true, Seed: o.Seed})
+		r, err := rack.NewRack(rack.Config{Workers: n, LossRecovery: true, Seed: o.Seed, Tracer: o.Tracer})
 		if err != nil {
 			return nil, err
 		}

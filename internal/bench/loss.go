@@ -6,6 +6,7 @@ import (
 
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
+	"switchml/internal/telemetry"
 )
 
 // tcpLossFactor models TCP goodput degradation under random loss for
@@ -47,7 +48,7 @@ func RunFig5(o Options) (*Table, error) {
 			"sml-TAT", "gloo-TAT", "nccl-TAT"},
 	}
 
-	baseline, err := switchmlLossTAT(o, elems, 0)
+	baseline, _, err := switchmlLossTAT(o, elems, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +67,13 @@ func RunFig5(o Options) (*Table, error) {
 
 	for _, loss := range []float64{0.0001, 0.001, 0.01} {
 		fmt.Fprintf(o.Log, "fig5: loss %v...\n", loss)
-		tat, err := switchmlLossTAT(o, elems, loss)
+		tat, counters, err := switchmlLossTAT(o, elems, loss)
 		if err != nil {
 			return nil, err
 		}
+		// The highest-loss run's protocol counters ride along with the
+		// artifact, so result trajectories carry recovery behaviour.
+		t.Counters = counters
 		smlInfl := float64(tat) / float64(baseline)
 		glooInfl := 1 / tcpLossFactor(10e9*glooEff(10e9), loss)
 		ncclInfl := 1 / tcpLossFactor(10e9*ncclEff(10e9), loss)
@@ -91,19 +95,19 @@ func RunFig5(o Options) (*Table, error) {
 	return t, nil
 }
 
-func switchmlLossTAT(o Options, elems int, loss float64) (netsim.Time, error) {
+func switchmlLossTAT(o Options, elems int, loss float64) (netsim.Time, map[string]uint64, error) {
 	r, err := rack.NewRack(rack.Config{
 		Workers: 8, LossRecovery: true, LossRate: loss, Seed: o.Seed,
-		RTO: netsim.Millisecond,
+		RTO: netsim.Millisecond, Tracer: o.Tracer,
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	res, err := r.AllReduceShared(make([]int32, elems))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return res.TAT, nil
+	return res.TAT, r.Counters(), nil
 }
 
 // RunFig6 reproduces Figure 6: the timeline of packets sent per
@@ -115,30 +119,36 @@ func RunFig6(o Options) (*Table, error) {
 	const bucket = 10 * netsim.Millisecond
 
 	type series struct {
-		tat     netsim.Time
-		buckets []int
-		resent  uint64
+		tat      netsim.Time
+		buckets  []int
+		resent   uint64
+		counters map[string]uint64
 	}
 	runs := map[float64]*series{}
 	for _, loss := range []float64{0, 0.0001, 0.01} {
 		fmt.Fprintf(o.Log, "fig6: loss %v...\n", loss)
 		s := &series{}
-		r, err := rack.NewRack(rack.Config{
-			Workers: 8, LossRecovery: true, LossRate: loss, Seed: o.Seed,
-			RTO: netsim.Millisecond,
-			TxHook: func(wid int, tm netsim.Time, retransmit bool) {
-				if wid != 0 {
-					return
-				}
-				b := int(tm / bucket)
+		// The timeline is built from the telemetry trace: worker 0's
+		// uplink PacketSent events are its transmissions (fresh and
+		// re-sent alike), Retransmit events mark the recoveries. The
+		// experiment and the observability layer are the same code
+		// path.
+		tracer := telemetry.TracerFunc(func(e telemetry.Event) {
+			switch {
+			case e.Type == telemetry.EvPacketSent && e.Actor == "w0->sw":
+				b := int(netsim.Time(e.TS) / bucket)
 				for len(s.buckets) <= b {
 					s.buckets = append(s.buckets, 0)
 				}
 				s.buckets[b]++
-				if retransmit {
-					s.resent++
-				}
-			},
+			case e.Type == telemetry.EvRetransmit && e.Worker == 0:
+				s.resent++
+			}
+		})
+		r, err := rack.NewRack(rack.Config{
+			Workers: 8, LossRecovery: true, LossRate: loss, Seed: o.Seed,
+			RTO: netsim.Millisecond,
+			Tracer: telemetry.Fanout(tracer, o.Tracer),
 		})
 		if err != nil {
 			return nil, err
@@ -148,13 +158,15 @@ func RunFig6(o Options) (*Table, error) {
 			return nil, err
 		}
 		s.tat = res.TAT
+		s.counters = r.Counters()
 		runs[loss] = s
 	}
 
 	t := &Table{
-		ID:     "fig6",
-		Title:  "Worker 0 packets sent per 10 ms under loss",
-		Header: []string{"time (ms)", "0%", "0.01%", "1%"},
+		ID:       "fig6",
+		Title:    "Worker 0 packets sent per 10 ms under loss",
+		Header:   []string{"time (ms)", "0%", "0.01%", "1%"},
+		Counters: runs[0.01].counters,
 	}
 	maxBuckets := 0
 	for _, s := range runs {

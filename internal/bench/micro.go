@@ -25,6 +25,7 @@ func RunFig2(o Options) (*Table, error) {
 		fmt.Fprintf(o.Log, "fig2: pool size %d...\n", s)
 		r, err := rack.NewRack(rack.Config{
 			Workers: 8, PoolSize: s, LossRecovery: true, Seed: o.Seed, SampleRTT: true,
+			Tracer: o.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -111,6 +112,7 @@ func RunFig7(o Options) (*Table, error) {
 		run := func(k int) (netsim.Time, error) {
 			r, err := rack.NewRack(rack.Config{
 				Workers: 8, SlotElems: k, LossRecovery: true, Seed: o.Seed,
+				Tracer: o.Tracer,
 			})
 			if err != nil {
 				return 0, err

@@ -48,7 +48,7 @@ func RunFig8(o Options) (*Table, error) {
 
 	runTAT := func(extraCost netsim.Time, wireElems int) (netsim.Time, error) {
 		r, err := rack.NewRack(rack.Config{
-			Workers: 8, LossRecovery: true, Seed: o.Seed,
+			Workers: 8, LossRecovery: true, Seed: o.Seed, Tracer: o.Tracer,
 			PerPacketCost: 110*netsim.Nanosecond + extraCost,
 		})
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 // SwitchConfig describes one job's aggregation pool on a switch.
@@ -40,6 +41,17 @@ type SwitchConfig struct {
 	// nil selects the identity (32-bit fixed point on the wire). The
 	// float16 mode of §3.7 passes a PackedHalfCodec.
 	Codec Codec
+	// Metrics optionally registers the switch's counters in a shared
+	// telemetry registry, labeled job="<JobID>"; nil keeps standalone
+	// counters. Stats() reads the same counters either way, so hosts
+	// may snapshot concurrently with packet handling.
+	Metrics *telemetry.Registry
+	// Tracer observes slot-level protocol events (SlotAggregated,
+	// SlotComplete, ShadowRead); nil disables tracing.
+	Tracer telemetry.Tracer
+	// Now supplies Tracer timestamps in nanoseconds: virtual time
+	// under the simulator, wall clock over UDP. nil stamps zero.
+	Now func() int64
 }
 
 func (c *SwitchConfig) validate() error {
@@ -70,6 +82,36 @@ type slot struct {
 	count int
 	// seen marks which workers contributed (Algorithm 3's bitmap).
 	seen bitset
+}
+
+// switchCounters are the switch's live counters, atomic so hosts may
+// snapshot them while the dataplane runs; SwitchStats is their
+// snapshot view.
+type switchCounters struct {
+	updates, completions, ignoredDuplicates *telemetry.Counter
+	resultRetransmissions, staleUpdates     *telemetry.Counter
+	rejected                                *telemetry.Counter
+}
+
+// newSwitchCounters binds the counters into reg when non-nil (labeled
+// by job id) and allocates standalone ones otherwise.
+func newSwitchCounters(reg *telemetry.Registry, job uint16) switchCounters {
+	if reg == nil {
+		return switchCounters{
+			updates: &telemetry.Counter{}, completions: &telemetry.Counter{},
+			ignoredDuplicates: &telemetry.Counter{}, resultRetransmissions: &telemetry.Counter{},
+			staleUpdates: &telemetry.Counter{}, rejected: &telemetry.Counter{},
+		}
+	}
+	label := []string{"job", fmt.Sprintf("%d", job)}
+	return switchCounters{
+		updates:               reg.Counter("switch_updates_total", label...),
+		completions:           reg.Counter("switch_completions_total", label...),
+		ignoredDuplicates:     reg.Counter("switch_ignored_duplicates_total", label...),
+		resultRetransmissions: reg.Counter("switch_result_retransmissions_total", label...),
+		staleUpdates:          reg.Counter("switch_stale_updates_total", label...),
+		rejected:              reg.Counter("switch_rejected_total", label...),
+	}
 }
 
 // SwitchStats counts protocol events on the switch.
@@ -109,9 +151,30 @@ type Response struct {
 type Switch struct {
 	cfg   SwitchConfig
 	pools [2][]slot
-	stats SwitchStats
+	ctr   switchCounters
 	// scratch holds one packet's ingress-expanded values.
 	scratch []int32
+}
+
+// now returns the tracer timestamp.
+func (sw *Switch) now() int64 {
+	if sw.cfg.Now == nil {
+		return 0
+	}
+	return sw.cfg.Now()
+}
+
+// trace emits a slot-level event for packet p.
+func (sw *Switch) trace(t telemetry.EventType, p *packet.Packet) {
+	if sw.cfg.Tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, sw.now())
+	e.Actor = "switch"
+	e.Worker = int32(p.WorkerID)
+	e.Slot = int32(p.Idx)
+	e.Off = int64(p.Off)
+	sw.cfg.Tracer.Emit(e)
 }
 
 // ratio is the accumulator-values-per-wire-element factor.
@@ -150,7 +213,7 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	sw := &Switch{cfg: cfg}
+	sw := &Switch{cfg: cfg, ctr: newSwitchCounters(cfg.Metrics, cfg.JobID)}
 	versions := 2
 	if !cfg.LossRecovery {
 		versions = 1
@@ -172,8 +235,19 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 // Config returns the switch's configuration.
 func (sw *Switch) Config() SwitchConfig { return sw.cfg }
 
-// Stats returns a snapshot of the switch's counters.
-func (sw *Switch) Stats() SwitchStats { return sw.stats }
+// Stats returns a snapshot of the switch's counters. The counters
+// are atomic, so the snapshot is safe to take concurrently with
+// packet handling (each field is individually consistent).
+func (sw *Switch) Stats() SwitchStats {
+	return SwitchStats{
+		Updates:               sw.ctr.updates.Value(),
+		Completions:           sw.ctr.completions.Value(),
+		IgnoredDuplicates:     sw.ctr.ignoredDuplicates.Value(),
+		ResultRetransmissions: sw.ctr.resultRetransmissions.Value(),
+		StaleUpdates:          sw.ctr.staleUpdates.Value(),
+		Rejected:              sw.ctr.rejected.Value(),
+	}
+}
 
 // MemoryBytes returns the register memory this job's pools occupy,
 // for resource accounting against the p4sim SRAM model: vectors plus
@@ -195,10 +269,10 @@ func (sw *Switch) MemoryBytes() int {
 // dataplane must survive garbage.
 func (sw *Switch) Handle(p *packet.Packet) Response {
 	if !sw.admit(p) {
-		sw.stats.Rejected++
+		sw.ctr.rejected.Inc()
 		return Response{}
 	}
-	sw.stats.Updates++
+	sw.ctr.updates.Inc()
 	if !sw.cfg.LossRecovery {
 		return sw.handleSimple(p)
 	}
@@ -239,6 +313,7 @@ func (sw *Switch) handleSimple(p *packet.Packet) Response {
 			return Response{}
 		}
 	}
+	sw.trace(telemetry.EvSlotAggregated, p)
 	sl.count++
 	if sl.count < sw.cfg.Workers {
 		return Response{}
@@ -250,7 +325,8 @@ func (sw *Switch) handleSimple(p *packet.Packet) Response {
 	out.Vector = sw.egress(sl)
 	sl.count = 0
 	sl.off = -1
-	sw.stats.Completions++
+	sw.ctr.completions.Inc()
+	sw.trace(telemetry.EvSlotComplete, p)
 	return Response{Pkt: out, Multicast: true}
 }
 
@@ -275,14 +351,15 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 			// rather than corrupt the slot.
 			if int64(p.Off) <= sl.off || int64(p.Off) <= other.off {
 				if int64(p.Off) == sl.off {
-					sw.stats.ResultRetransmissions++
+					sw.ctr.resultRetransmissions.Inc()
+					sw.trace(telemetry.EvShadowRead, p)
 					out := p.Clone()
 					out.Kind = packet.KindResultUnicast
 					out.Off = uint64(sl.off)
 					out.Vector = sw.egress(sl)
 					return Response{Pkt: out}
 				}
-				sw.stats.StaleUpdates++
+				sw.ctr.staleUpdates.Inc()
 				return Response{}
 			}
 		}
@@ -304,6 +381,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 				return Response{}
 			}
 		}
+		sw.trace(telemetry.EvSlotAggregated, p)
 		sl.count = (sl.count + 1) % sw.cfg.Workers
 		if sl.count != 0 {
 			return Response{}
@@ -313,7 +391,8 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 		out := p.Clone()
 		out.Kind = packet.KindResult
 		out.Vector = sw.egress(sl)
-		sw.stats.Completions++
+		sw.ctr.completions.Inc()
+		sw.trace(telemetry.EvSlotComplete, p)
 		return Response{Pkt: out, Multicast: true}
 	}
 
@@ -321,7 +400,8 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 	if sl.count == 0 {
 		// The slot already completed; reply to just this worker with
 		// the retained result (lines 19-21).
-		sw.stats.ResultRetransmissions++
+		sw.ctr.resultRetransmissions.Inc()
+		sw.trace(telemetry.EvShadowRead, p)
 		out := p.Clone()
 		out.Kind = packet.KindResultUnicast
 		out.Off = uint64(sl.off)
@@ -329,7 +409,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 		return Response{Pkt: out}
 	}
 	// Still aggregating: the update was already applied, ignore.
-	sw.stats.IgnoredDuplicates++
+	sw.ctr.ignoredDuplicates.Inc()
 	return Response{}
 }
 
@@ -339,7 +419,7 @@ func (sw *Switch) accumulate(sl *slot, p *packet.Packet) bool {
 	if len(p.Vector) != sl.elems || int64(p.Off) != sl.off {
 		// The packet passed admission but does not belong to the
 		// aggregation in progress: a stale or inconsistent chunk.
-		sw.stats.StaleUpdates++
+		sw.ctr.staleUpdates.Inc()
 		return false
 	}
 	if sw.cfg.Codec == nil {

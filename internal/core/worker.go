@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 // WorkerConfig describes one worker's view of the aggregation job.
@@ -22,6 +23,11 @@ type WorkerConfig struct {
 	// LossRecovery must match the switch's setting; when false the
 	// worker always sends version 0 (Algorithm 2).
 	LossRecovery bool
+	// Metrics optionally registers the worker's counters in a shared
+	// telemetry registry, labeled worker="<ID>"; nil keeps standalone
+	// counters. Either way the counters are atomic, so Stats() may be
+	// called concurrently with protocol handling.
+	Metrics *telemetry.Registry
 }
 
 func (c *WorkerConfig) validate() error {
@@ -49,6 +55,30 @@ type pendingSlot struct {
 	elems int
 	// ver is the pool version the chunk was sent with.
 	ver uint8
+}
+
+// workerCounters are the worker's live atomic counters; WorkerStats
+// is their snapshot view.
+type workerCounters struct {
+	sent, retransmissions, results, staleResults *telemetry.Counter
+}
+
+// newWorkerCounters binds the counters into reg when non-nil (labeled
+// by worker id) and allocates standalone ones otherwise.
+func newWorkerCounters(reg *telemetry.Registry, id uint16) workerCounters {
+	if reg == nil {
+		return workerCounters{
+			sent: &telemetry.Counter{}, retransmissions: &telemetry.Counter{},
+			results: &telemetry.Counter{}, staleResults: &telemetry.Counter{},
+		}
+	}
+	label := []string{"worker", fmt.Sprintf("%d", id)}
+	return workerCounters{
+		sent:            reg.Counter("worker_sent_total", label...),
+		retransmissions: reg.Counter("worker_retransmissions_total", label...),
+		results:         reg.Counter("worker_results_total", label...),
+		staleResults:    reg.Counter("worker_stale_results_total", label...),
+	}
 }
 
 // WorkerStats counts protocol events on a worker.
@@ -91,8 +121,8 @@ type Worker struct {
 	pend []pendingSlot
 	// ver is the next pool version to use per slot, persisting across
 	// tensors.
-	ver   []uint8
-	stats WorkerStats
+	ver []uint8
+	ctr workerCounters
 }
 
 // NewWorker returns a worker ready for its first Start call.
@@ -104,14 +134,24 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg:  cfg,
 		pend: make([]pendingSlot, cfg.PoolSize),
 		ver:  make([]uint8, cfg.PoolSize),
+		ctr:  newWorkerCounters(cfg.Metrics, cfg.ID),
 	}, nil
 }
 
 // Config returns the worker's configuration.
 func (w *Worker) Config() WorkerConfig { return w.cfg }
 
-// Stats returns a snapshot of the worker's counters.
-func (w *Worker) Stats() WorkerStats { return w.stats }
+// Stats returns a snapshot of the worker's counters. The counters
+// are atomic, so the snapshot is safe to take from another goroutine
+// while the worker handles packets.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Sent:            w.ctr.sent.Value(),
+		Retransmissions: w.ctr.retransmissions.Value(),
+		Results:         w.ctr.results.Value(),
+		StaleResults:    w.ctr.staleResults.Value(),
+	}
+}
 
 // Busy reports whether an aggregation is in progress.
 func (w *Worker) Busy() bool { return w.remaining > 0 }
@@ -171,7 +211,7 @@ func (w *Worker) sendChunk(idx uint32, local int) *packet.Packet {
 		w.ver[idx] = 1 - ver
 	}
 	w.pend[idx] = pendingSlot{active: true, off: w.base + uint64(local), elems: elems, ver: ver}
-	w.stats.Sent++
+	w.ctr.sent.Inc()
 	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, ver, idx, w.base+uint64(local), w.u[local:local+elems])
 }
 
@@ -182,21 +222,21 @@ func (w *Worker) sendChunk(idx uint32, local int) *packet.Packet {
 // results are ignored with (nil, false).
 func (w *Worker) HandleResult(p *packet.Packet) (next *packet.Packet, done bool) {
 	if p.Kind != packet.KindResult && p.Kind != packet.KindResultUnicast {
-		w.stats.StaleResults++
+		w.ctr.staleResults.Inc()
 		return nil, false
 	}
 	if p.JobID != w.cfg.JobID || int(p.Idx) >= w.cfg.PoolSize {
-		w.stats.StaleResults++
+		w.ctr.staleResults.Inc()
 		return nil, false
 	}
 	pd := &w.pend[p.Idx]
 	if !pd.active || pd.off != p.Off || pd.ver != p.Ver || pd.elems != len(p.Vector) {
 		// Duplicate (multicast racing a unicast reply), a leftover
 		// from a previous tensor, or garbage.
-		w.stats.StaleResults++
+		w.ctr.staleResults.Inc()
 		return nil, false
 	}
-	w.stats.Results++
+	w.ctr.results.Inc()
 	local := int(p.Off - w.base)
 	copy(w.a[local:local+pd.elems], p.Vector)
 	w.remaining -= pd.elems
@@ -228,7 +268,7 @@ func (w *Worker) Retransmit(idx uint32) *packet.Packet {
 	if !pd.active {
 		return nil
 	}
-	w.stats.Retransmissions++
+	w.ctr.retransmissions.Inc()
 	local := int(pd.off - w.base)
 	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, pd.ver, idx, pd.off, w.u[local:local+pd.elems])
 }

@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"switchml/internal/telemetry"
+)
 
 // Message is anything that can travel over a link. WireSize is the
 // size in bytes used for serialization-delay and statistics
@@ -118,6 +122,17 @@ func (l *Link) SerializationDelay(bytes int) Time {
 	return Time(float64(bytes*8) / l.bitsPerSec * 1e9)
 }
 
+// trace emits a packet event for this link at virtual time ts.
+func (l *Link) trace(t telemetry.EventType, ts Time, size int) {
+	if l.sim.tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, int64(ts))
+	e.Actor = l.name
+	e.Size = int32(size)
+	l.sim.tracer.Emit(e)
+}
+
 // Send enqueues msg for transmission. It returns the virtual time at
 // which the message will finish serializing (even if it is then
 // dropped), which callers can use for back-to-back pacing.
@@ -135,14 +150,19 @@ func (l *Link) Send(msg Message) Time {
 	l.nextFree = txDone
 	l.stats.Sent++
 	l.stats.Bytes += uint64(size)
+	l.trace(telemetry.EvPacketSent, now, size)
 
 	if l.lossRate > 0 && l.sim.Rand().Float64() < l.lossRate {
 		l.stats.Dropped++
+		// Stamped at txDone: the message occupied the wire before the
+		// loss process ate it.
+		l.trace(telemetry.EvPacketDropped, txDone, size)
 		return txDone
 	}
 	arrival := txDone + l.prop
 	l.sim.At(arrival, func() {
 		l.stats.Delivered++
+		l.trace(telemetry.EvPacketRecv, arrival, size)
 		l.dst.Deliver(msg)
 	})
 	return txDone

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"switchml/internal/telemetry"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of
@@ -81,6 +83,8 @@ type Sim struct {
 	// processed counts executed events, useful for run-away detection
 	// in tests.
 	processed uint64
+	// tracer observes link-level packet events; nil disables tracing.
+	tracer telemetry.Tracer
 }
 
 // NewSim returns a simulation whose random decisions (packet loss)
@@ -97,6 +101,14 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Processed returns how many events have executed.
 func (s *Sim) Processed() uint64 { return s.processed }
+
+// SetTracer installs a protocol event tracer; every link in the
+// simulation emits PacketSent/PacketRecv/PacketDropped events to it,
+// stamped with virtual time. nil turns tracing off.
+func (s *Sim) SetTracer(t telemetry.Tracer) { s.tracer = t }
+
+// Tracer returns the installed tracer, nil when tracing is off.
+func (s *Sim) Tracer() telemetry.Tracer { return s.tracer }
 
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct{ ev *event }

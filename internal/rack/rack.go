@@ -16,6 +16,7 @@ import (
 	"switchml/internal/core"
 	"switchml/internal/netsim"
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 // Config describes a rack experiment.
@@ -60,10 +61,16 @@ type Config struct {
 	LossRecovery bool
 	// Seed drives the deterministic loss process.
 	Seed int64
-	// TxHook, when set, observes every update transmission: worker
-	// id, virtual time, and whether it is a retransmission. Figure 6
-	// builds its timeline from this.
-	TxHook func(wid int, t netsim.Time, retransmit bool)
+	// Tracer observes every protocol event in the rack, stamped with
+	// virtual time: link transmit/receive/drop (netsim), slot
+	// aggregation and shadow reads (switch), and retransmissions,
+	// timeouts and tensor boundaries (worker hosts). Figure 6 builds
+	// its packets-per-10 ms timeline from these events.
+	Tracer telemetry.Tracer
+	// Metrics optionally collects every component's counters — switch,
+	// workers, and a rack_rtt_ns round-trip histogram — in one
+	// registry for snapshots and text dumps.
+	Metrics *telemetry.Registry
 	// SampleRTT enables per-packet RTT sampling on worker 0
 	// (Figure 2's right axis).
 	SampleRTT bool
@@ -171,6 +178,7 @@ func NewRack(cfg Config) (*Rack, error) {
 	}
 	cfg.fillDefaults()
 	sim := netsim.NewSim(cfg.Seed)
+	sim.SetTracer(cfg.Tracer)
 	sw, err := newSwitchNode(sim, cfg)
 	if err != nil {
 		return nil, err
@@ -270,6 +278,37 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 // Aggregate returns worker i's aggregation output buffer.
 func (r *Rack) Aggregate(i int) []int32 { return r.hosts[i].worker.Aggregate() }
 
+// Counters assembles a protocol-counter snapshot across every
+// component of the rack: link traffic, worker protocol counters, and
+// switch counters. Bench runners attach it to experiment results so
+// trajectories carry protocol behaviour alongside timing.
+func (r *Rack) Counters() map[string]uint64 {
+	m := make(map[string]uint64)
+	links := append([]*netsim.Link(nil), r.uplink...)
+	links = append(links, r.sw.downlinks...)
+	for _, l := range links {
+		st := l.Stats()
+		m["packets_sent"] += st.Sent
+		m["packets_delivered"] += st.Delivered
+		m["packets_dropped"] += st.Dropped
+		m["wire_bytes"] += st.Bytes
+	}
+	for _, h := range r.hosts {
+		st := h.worker.Stats()
+		m["worker_sent"] += st.Sent
+		m["worker_retransmissions"] += st.Retransmissions
+		m["worker_results"] += st.Results
+		m["worker_stale_results"] += st.StaleResults
+	}
+	st := r.sw.sw.Stats()
+	m["switch_updates"] = st.Updates
+	m["switch_completions"] = st.Completions
+	m["switch_ignored_duplicates"] = st.IgnoredDuplicates
+	m["switch_shadow_reads"] = st.ResultRetransmissions
+	m["switch_stale_updates"] = st.StaleUpdates
+	return m
+}
+
 // switchNode adapts core.Switch to netsim.
 type switchNode struct {
 	sim       *netsim.Sim
@@ -284,6 +323,9 @@ func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
 		PoolSize:     cfg.PoolSize,
 		SlotElems:    cfg.SlotElems,
 		LossRecovery: cfg.LossRecovery,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
+		Now:          func() int64 { return int64(sim.Now()) },
 	})
 	if err != nil {
 		return nil, err
@@ -340,7 +382,10 @@ type WorkerHost struct {
 	// is on; srtt == 0 means no sample yet.
 	srtt, rttvar netsim.Time
 	rtts         []netsim.Time
-	onDone       func(netsim.Time)
+	// rttHist receives every clean RTT sample when Config.Metrics is
+	// set, shared by all hosts in the rack.
+	rttHist *telemetry.Histogram
+	onDone  func(netsim.Time)
 }
 
 func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) {
@@ -351,11 +396,12 @@ func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) 
 		PoolSize:     cfg.PoolSize,
 		SlotElems:    cfg.SlotElems,
 		LossRecovery: cfg.LossRecovery,
+		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &WorkerHost{
+	h := &WorkerHost{
 		sim:      sim,
 		cfg:      cfg,
 		worker:   w,
@@ -364,7 +410,25 @@ func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) 
 		backoff:  make([]uint8, cfg.PoolSize),
 		sentAt:   make([]netsim.Time, cfg.PoolSize),
 		retxed:   make([]bool, cfg.PoolSize),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		h.rttHist = cfg.Metrics.Histogram("rack_rtt_ns", telemetry.LatencyBuckets)
+	}
+	return h, nil
+}
+
+// trace emits a host-level event for slot idx (-1 when not
+// slot-specific), stamped with the current virtual time.
+func (h *WorkerHost) trace(t telemetry.EventType, idx int32, off int64) {
+	if h.cfg.Tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, int64(h.sim.Now()))
+	e.Actor = fmt.Sprintf("w%d", h.worker.Config().ID)
+	e.Worker = int32(h.worker.Config().ID)
+	e.Slot = idx
+	e.Off = off
+	h.cfg.Tracer.Emit(e)
 }
 
 // core returns the virtual core owning a slot.
@@ -395,11 +459,21 @@ func (h *WorkerHost) Worker() *core.Worker { return h.worker }
 // complete on this worker.
 func (h *WorkerHost) Start(u []int32, onDone func(netsim.Time)) {
 	h.onDone = onDone
+	if h.cfg.Tracer != nil {
+		e := telemetry.Ev(telemetry.EvTensorStart, int64(h.sim.Now()))
+		e.Actor = fmt.Sprintf("w%d", h.worker.Config().ID)
+		e.Worker = int32(h.worker.Config().ID)
+		e.Size = int32(4 * len(u))
+		h.cfg.Tracer.Emit(e)
+	}
 	pkts := h.worker.Start(u)
 	if len(pkts) == 0 {
 		// Empty tensor: complete immediately.
 		t := h.sim.Now()
-		h.sim.At(t, func() { onDone(t) })
+		h.sim.At(t, func() {
+			h.trace(telemetry.EvTensorDone, -1, -1)
+			onDone(t)
+		})
 		return
 	}
 	for _, p := range pkts {
@@ -411,8 +485,8 @@ func (h *WorkerHost) Start(u []int32, onDone func(netsim.Time)) {
 // transmit puts an update on the uplink and arms its retransmission
 // timer.
 func (h *WorkerHost) transmit(p *packet.Packet, retransmit bool) {
-	if h.cfg.TxHook != nil {
-		h.cfg.TxHook(int(h.worker.Config().ID), h.sim.Now(), retransmit)
+	if retransmit {
+		h.trace(telemetry.EvRetransmit, int32(p.Idx), int64(p.Off))
 	}
 	h.sentAt[p.Idx] = h.sim.Now()
 	h.retxed[p.Idx] = retransmit
@@ -430,6 +504,7 @@ func (h *WorkerHost) armTimer(idx uint32) {
 		if !h.worker.Pending(idx) {
 			return
 		}
+		h.trace(telemetry.EvTimeoutFired, int32(idx), -1)
 		if h.backoff[idx] < 6 {
 			h.backoff[idx]++
 		}
@@ -502,6 +577,9 @@ func (h *WorkerHost) Deliver(msg netsim.Message) {
 				// estimator.
 				h.observeRTT(sample)
 			}
+			if h.rttHist != nil && !h.retxed[p.Idx] {
+				h.rttHist.Observe(float64(sample))
+			}
 			if h.cfg.SampleRTT && h.worker.Config().ID == 0 {
 				h.rtts = append(h.rtts, sample)
 			}
@@ -512,8 +590,11 @@ func (h *WorkerHost) Deliver(msg netsim.Message) {
 			// send.
 			h.transmit(next, false)
 		}
-		if finished && h.onDone != nil {
-			h.onDone(h.sim.Now())
+		if finished {
+			h.trace(telemetry.EvTensorDone, -1, -1)
+			if h.onDone != nil {
+				h.onDone(h.sim.Now())
+			}
 		}
 	})
 }

@@ -2,10 +2,12 @@ package rack
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"switchml/internal/netsim"
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 func checkAggregate(t *testing.T, r *Rack, want []int32) {
@@ -216,18 +218,22 @@ func TestRackRTTSampling(t *testing.T) {
 	}
 }
 
-func TestRackTxHookTimeline(t *testing.T) {
-	var sends, retx int
+func TestRackTraceTimeline(t *testing.T) {
+	// The trace layer replaces the old TxHook: uplink PacketSent
+	// events carry every transmission, Retransmit events mark the
+	// re-sends, so fresh sends are their difference.
+	var uplinkSends, retx int
 	r, err := NewRack(Config{
 		Workers: 2, LossRecovery: true, LossRate: 0.05, Seed: 5,
 		RTO: 100 * netsim.Microsecond,
-		TxHook: func(wid int, tm netsim.Time, retransmit bool) {
-			if retransmit {
+		Tracer: telemetry.TracerFunc(func(e telemetry.Event) {
+			switch {
+			case e.Type == telemetry.EvPacketSent && strings.HasSuffix(e.Actor, "->sw"):
+				uplinkSends++
+			case e.Type == telemetry.EvRetransmit:
 				retx++
-			} else {
-				sends++
 			}
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -236,9 +242,9 @@ func TestRackTxHookTimeline(t *testing.T) {
 	if _, err := r.AllReduceShared(u); err != nil {
 		t.Fatal(err)
 	}
-	wantSends := 2 * ((len(u) + 31) / 32)
-	if sends != wantSends {
-		t.Errorf("fresh sends = %d, want %d", sends, wantSends)
+	wantFresh := 2 * ((len(u) + 31) / 32)
+	if fresh := uplinkSends - retx; fresh != wantFresh {
+		t.Errorf("fresh sends = %d, want %d", fresh, wantFresh)
 	}
 	if retx == 0 {
 		t.Error("no retransmissions observed at 5% loss")

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns the daemons' introspection surface:
+//
+//   - /metrics       — the registry's text dump (Snapshot.WriteText)
+//   - /debug/vars    — the process's expvar JSON
+//   - /debug/pprof/  — the standard pprof handlers
+//
+// reg may be nil, in which case /metrics serves an empty dump.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg != nil {
+			reg.WriteText(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:6060" or ":0") and serves
+// NewDebugMux(reg) in a background goroutine. It returns the bound
+// address and a function that shuts the listener down.
+func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug listen %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

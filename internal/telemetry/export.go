@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the JSONL wire form of an Event; not-applicable fields
+// are omitted rather than serialized as -1.
+type jsonEvent struct {
+	TS     int64  `json:"ts"`
+	Type   string `json:"type"`
+	Actor  string `json:"actor,omitempty"`
+	Worker *int32 `json:"worker,omitempty"`
+	Slot   *int32 `json:"slot,omitempty"`
+	Off    *int64 `json:"off,omitempty"`
+	Size   int32  `json:"size,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per event per line, the
+// grep/jq-friendly export.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonEvent{TS: e.TS, Type: e.Type.String(), Actor: e.Actor, Size: e.Size}
+		if e.Worker >= 0 {
+			w := e.Worker
+			je.Worker = &w
+		}
+		if e.Slot >= 0 {
+			s := e.Slot
+			je.Slot = &s
+		}
+		if e.Off >= 0 {
+			o := e.Off
+			je.Off = &o
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"` // microseconds
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes events in Chrome trace-event JSON. Each
+// actor becomes a named track (tid); TensorStart/TensorDone pairs
+// render as duration spans and every other event as a thread-scoped
+// instant, so loss recovery and pipelining are visible as a timeline.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	tids := make(map[string]int)
+	first := true
+	var line bytes.Buffer
+	enc := json.NewEncoder(&line)
+	enc.SetEscapeHTML(false) // link names contain "->"
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		line.Reset()
+		if err := enc.Encode(ce); err != nil {
+			return err
+		}
+		_, err := bw.Write(bytes.TrimRight(line.Bytes(), "\n"))
+		return err
+	}
+	tid := func(actor string) (int, error) {
+		if actor == "" {
+			actor = "?"
+		}
+		id, ok := tids[actor]
+		if !ok {
+			id = len(tids)
+			tids[actor] = id
+			err := emit(chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: id,
+				Args: map[string]any{"name": actor},
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+	for _, e := range events {
+		id, err := tid(e.Actor)
+		if err != nil {
+			return err
+		}
+		ce := chromeEvent{Name: e.Type.String(), PID: 1, TID: id, TS: float64(e.TS) / 1e3}
+		args := map[string]any{}
+		if e.Worker >= 0 {
+			args["worker"] = e.Worker
+		}
+		if e.Slot >= 0 {
+			args["slot"] = e.Slot
+		}
+		if e.Off >= 0 {
+			args["off"] = e.Off
+		}
+		if e.Size > 0 {
+			args["size"] = e.Size
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		switch e.Type {
+		case EvTensorStart:
+			ce.Ph, ce.Name = "B", "tensor"
+		case EvTensorDone:
+			ce.Ph, ce.Name = "E", "tensor"
+		default:
+			ce.Ph, ce.S = "i", "t"
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTraceFileNote formats the one-line summary CLIs print
+// after writing a trace.
+func WriteChromeTraceFileNote(path string, n int, overwritten uint64) string {
+	note := fmt.Sprintf("trace: %d events written to %s (open in https://ui.perfetto.dev)", n, path)
+	if overwritten > 0 {
+		note += fmt.Sprintf("; %d older events overwritten by the ring bound", overwritten)
+	}
+	return note
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenEvents is a fixed event stream covering spans, instants and
+// field omission.
+func goldenEvents() []Event {
+	start := Ev(EvTensorStart, 1000)
+	start.Actor, start.Worker, start.Size = "w0", 0, 4096
+	sent := Ev(EvPacketSent, 2000)
+	sent.Actor, sent.Size = "w0->sw", 180
+	drop := Ev(EvPacketDropped, 2500)
+	drop.Actor, drop.Size = "w0->sw", 180
+	agg := Ev(EvSlotAggregated, 3000)
+	agg.Actor, agg.Worker, agg.Slot, agg.Off = "switch", 0, 3, 128
+	done := Ev(EvTensorDone, 9000)
+	done.Actor, done.Worker = "w0", 0
+	return []Event{start, sent, drop, agg, done}
+}
+
+// TestChromeTraceGolden pins the exact Chrome trace-event encoding so
+// accidental format drift is caught; Perfetto and chrome://tracing
+// both load this shape.
+func TestChromeTraceGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"w0"}},
+{"name":"tensor","ph":"B","pid":1,"tid":0,"ts":1,"args":{"size":4096,"worker":0}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"w0->sw"}},
+{"name":"PacketSent","ph":"i","pid":1,"tid":1,"ts":2,"s":"t","args":{"size":180}},
+{"name":"PacketDropped","ph":"i","pid":1,"tid":1,"ts":2.5,"s":"t","args":{"size":180}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"ts":0,"args":{"name":"switch"}},
+{"name":"SlotAggregated","ph":"i","pid":1,"tid":2,"ts":3,"s":"t","args":{"off":128,"slot":3,"worker":0}},
+{"name":"tensor","ph":"E","pid":1,"tid":0,"ts":9,"args":{"worker":0}}
+]}
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("chrome trace drifted:\n got: %s\nwant: %s", got, want)
+	}
+	// And it must be well-formed JSON.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 8 {
+		t.Fatalf("parsed %d trace events, want 8", len(parsed.TraceEvents))
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSONL(&sb, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["type"] != "TensorStart" || first["actor"] != "w0" {
+		t.Fatalf("first line = %v", first)
+	}
+	// PacketSent has no worker/slot/off: they must be omitted, not -1.
+	if strings.Contains(lines[1], "-1") {
+		t.Fatalf("n/a fields must be omitted: %s", lines[1])
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Add(3)
+	srv := httptest.NewServer(NewDebugMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars = %d (want expvar JSON)", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	addr, stop, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,367 @@
+// Package telemetry is the repo's unified observability layer: a
+// zero-dependency metrics registry (typed counters, gauges and
+// bucketed histograms with labeled families) and a protocol event
+// tracer with bounded recording and exporters.
+//
+// The paper's evaluation is built on fine-grained visibility into
+// protocol events — packets per 10 ms timelines (Fig 6), loss
+// recovery behaviour (Fig 5), per-packet RTTs (Fig 2) — and this
+// package makes that visibility a first-class subsystem shared by
+// the simulator, the rack model, the real UDP transport and the
+// daemons, instead of ad-hoc snapshot structs per layer.
+//
+// Metrics are cheap in the hot path: counters and gauges are single
+// atomic words, histograms one atomic add per observation. Hosts
+// that need no sharing use the zero values directly; registries add
+// naming, labels, snapshots and a text dump for the daemons'
+// /metrics endpoint.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; Registry.Counter names and shares one.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Use NewHistogram
+// or Registry.Histogram; the zero value has no buckets and only
+// tracks count and sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bucket bounds (an implicit +Inf bucket is appended).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// LatencyBuckets are nanosecond bounds from 1 µs to 1 s, suited to
+// RTT and timeout observations in both virtual and wall-clock time.
+var LatencyBuckets = []float64{
+	1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5,
+	1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if len(h.counts) == 0 {
+		// Zero-value histogram: count and sum only.
+	} else {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the upper bucket bounds; Counts[i] holds samples <=
+	// Bounds[i], Counts[len(Bounds)] the +Inf overflow.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket that crosses it. It returns 0 on an
+// empty histogram and the highest finite bound for samples in the
+// overflow bucket.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Counts {
+		if seen+float64(c) < rank || c == 0 {
+			seen += float64(c)
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-seen)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// metricKind distinguishes family types within a registry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with zero or more labeled children.
+type family struct {
+	kind    metricKind
+	bounds  []float64 // histograms only
+	metrics map[string]any
+}
+
+// Registry names and shares metrics. All methods are safe for
+// concurrent use; looking up an existing metric takes one mutex
+// acquisition, so hot paths should capture the returned pointer once
+// and increment it directly.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey canonicalizes alternating key/value label pairs; it is the
+// child key within a family and the {} suffix in dumps.
+func labelKey(labels []string) string {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", labels[i], labels[i+1]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// lookup finds or creates the named family and child metric.
+func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []string) any {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{kind: kind, bounds: bounds, metrics: make(map[string]any)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	m, ok := f.metrics[key]
+	if !ok {
+		switch kind {
+		case kindCounter:
+			m = &Counter{}
+		case kindGauge:
+			m = &Gauge{}
+		default:
+			m = NewHistogram(f.bounds)
+		}
+		f.metrics[key] = m
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+// Labels are alternating key/value pairs; the same name+labels always
+// returns the same instance.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.lookup(name, kindCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.lookup(name, kindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use
+// with the given bounds. Later calls reuse the first bounds.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, kindHistogram, bounds, labels).(*Histogram)
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, keyed by
+// "name" or "name{label="v",...}".
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, f := range r.families {
+		for key, m := range f.metrics {
+			full := name + key
+			switch v := m.(type) {
+			case *Counter:
+				s.Counters[full] = v.Value()
+			case *Gauge:
+				s.Gauges[full] = v.Value()
+			case *Histogram:
+				s.Histograms[full] = v.Snapshot()
+			}
+		}
+	}
+	return s
+}
+
+// Delta returns this snapshot minus an earlier one: counters and
+// histogram counts are subtracted (series absent from prev pass
+// through), gauges keep their current value. It is the per-interval
+// view for rate monitoring.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		d.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		d.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		p, ok := prev.Histograms[k]
+		if !ok || len(p.Counts) != len(v.Counts) {
+			d.Histograms[k] = v
+			continue
+		}
+		h := HistogramSnapshot{
+			Bounds: v.Bounds,
+			Counts: make([]uint64, len(v.Counts)),
+			Count:  v.Count - p.Count,
+			Sum:    v.Sum - p.Sum,
+		}
+		for i := range v.Counts {
+			h.Counts[i] = v.Counts[i] - p.Counts[i]
+		}
+		d.Histograms[k] = h
+	}
+	return d
+}
+
+// WriteText dumps the snapshot in a Prometheus-style text format:
+// one "name{labels} value" line per series, histograms expanded into
+// cumulative le buckets plus _sum and _count, all sorted for stable
+// output.
+func (s Snapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+8*len(s.Histograms))
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, h := range s.Histograms {
+		name, labels := k, ""
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			name, labels = k[:i], strings.TrimSuffix(k[i+1:], "}")+","
+		}
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			lines = append(lines, fmt.Sprintf("%s_bucket{%sle=%q} %d", name, labels, le, cum))
+		}
+		lines = append(lines, fmt.Sprintf("%s_sum%s %g", name, strings.TrimPrefix(k, name), h.Sum))
+		lines = append(lines, fmt.Sprintf("%s_count%s %d", name, strings.TrimPrefix(k, name), h.Count))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText dumps the registry's current state; see Snapshot.WriteText.
+func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts_total", "dir", "tx")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("pkts_total", "dir", "tx") != c {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if r.Counter("pkts_total", "dir", "rx") == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	g := r.Gauge("inflight")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 5556 {
+		t.Fatalf("count=%d sum=%g, want 5, 5556", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.5); q < 10 || q > 100 {
+		t.Fatalf("p50 = %g, want within (10,100]", q)
+	}
+}
+
+func TestSnapshotDeltaAndText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("updates_total", "job", "0")
+	h := r.Histogram("rtt_ns", []float64{1000, 2000})
+	c.Add(3)
+	h.Observe(1500)
+	before := r.Snapshot()
+	c.Add(2)
+	h.Observe(500)
+	d := r.Snapshot().Delta(before)
+	if got := d.Counters[`updates_total{job="0"}`]; got != 2 {
+		t.Fatalf("delta counter = %d, want 2", got)
+	}
+	if hd := d.Histograms["rtt_ns"]; hd.Count != 1 || hd.Counts[0] != 1 || hd.Counts[1] != 0 {
+		t.Fatalf("delta histogram = %+v, want one sample in first bucket", hd)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`updates_total{job="0"} 5`,
+		`rtt_ns_bucket{le="1000"} 1`,
+		`rtt_ns_bucket{le="+Inf"} 2`,
+		"rtt_ns_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRingBoundAndOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(Ev(EvPacketSent, int64(i)))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Overwritten() != 2 {
+		t.Fatalf("overwritten = %d, want 2", r.Overwritten())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.TS != int64(i+2) {
+			t.Fatalf("event %d ts = %d, want %d (oldest-first order)", i, e.TS, i+2)
+		}
+	}
+}
+
+// TestConcurrentMetrics exercises the registry and ring under the
+// race detector: all hot-path operations must be safe without caller
+// locking.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	ring := NewRing(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h", LatencyBuckets)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+				ring.Emit(Ev(EvPacketRecv, int64(i)))
+				if i%100 == 0 {
+					r.Snapshot()
+					ring.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+}

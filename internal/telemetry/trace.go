@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType enumerates the protocol events the repo's layers emit.
+type EventType uint8
+
+const (
+	// EvPacketSent fires when a link begins transmitting a message
+	// (netsim) or a datagram is written to a socket (transport).
+	EvPacketSent EventType = iota + 1
+	// EvPacketRecv fires when a message reaches its destination.
+	EvPacketRecv
+	// EvPacketDropped fires when a link's loss process eats a message
+	// or a corrupted datagram fails the checksum.
+	EvPacketDropped
+	// EvRetransmit fires when a worker re-sends an in-flight chunk
+	// after its RTO expired.
+	EvRetransmit
+	// EvSlotAggregated fires when the switch folds an accepted update
+	// into a slot accumulator.
+	EvSlotAggregated
+	// EvSlotComplete fires when a slot reaches n contributions and
+	// multicasts its result.
+	EvSlotComplete
+	// EvShadowRead fires when the switch answers a retransmitted
+	// update from a completed slot's retained value (Algorithm 3
+	// lines 19-21).
+	EvShadowRead
+	// EvTimeoutFired fires when a retransmission timer expires with
+	// the chunk still in flight.
+	EvTimeoutFired
+	// EvTensorStart fires when a worker begins aggregating a tensor.
+	EvTensorStart
+	// EvTensorDone fires when a worker holds the full aggregate.
+	EvTensorDone
+)
+
+var eventNames = [...]string{
+	EvPacketSent:     "PacketSent",
+	EvPacketRecv:     "PacketRecv",
+	EvPacketDropped:  "PacketDropped",
+	EvRetransmit:     "Retransmit",
+	EvSlotAggregated: "SlotAggregated",
+	EvSlotComplete:   "SlotComplete",
+	EvShadowRead:     "ShadowRead",
+	EvTimeoutFired:   "TimeoutFired",
+	EvTensorStart:    "TensorStart",
+	EvTensorDone:     "TensorDone",
+}
+
+func (t EventType) String() string {
+	if int(t) < len(eventNames) && eventNames[t] != "" {
+		return eventNames[t]
+	}
+	return "Unknown"
+}
+
+// Event is one traced protocol event. TS is nanoseconds: virtual
+// time in the simulator, wall-clock (UnixNano) over real UDP —
+// emitters stamp it via whichever clock they own. Fields that do not
+// apply hold -1 (Worker, Slot, Off) or 0 (Size).
+type Event struct {
+	TS     int64
+	Type   EventType
+	// Actor names the emitting component: a link ("w0->sw"), a worker
+	// host ("w0"), or "switch".
+	Actor  string
+	Worker int32
+	Slot   int32
+	Off    int64
+	// Size is the wire size in bytes for packet events.
+	Size int32
+}
+
+// Ev returns an event of the given type and timestamp with the
+// optional fields marked not-applicable; emitters fill what they
+// know.
+func Ev(t EventType, ts int64) Event {
+	return Event{TS: ts, Type: t, Worker: -1, Slot: -1, Off: -1}
+}
+
+// Tracer observes protocol events. Implementations must be cheap and
+// non-blocking: they run inside simulator event callbacks and socket
+// serve loops. A nil Tracer everywhere means tracing is off; emitters
+// check before building events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface, the idiom for
+// streaming consumers (Figure 6 buckets packet sends this way without
+// retaining events).
+type TracerFunc func(Event)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(e Event) { f(e) }
+
+// Fanout returns a tracer that forwards each event to every tracer in
+// order, skipping nils.
+func Fanout(tracers ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	return TracerFunc(func(e Event) {
+		for _, t := range live {
+			t.Emit(e)
+		}
+	})
+}
+
+// WallClock stamps events with wall-clock nanoseconds; the real UDP
+// transport uses it where the simulator uses virtual time.
+func WallClock() int64 { return time.Now().UnixNano() }
+
+// Ring records the most recent events into a bounded buffer. It is
+// safe for concurrent use; when full, the oldest events are
+// overwritten and counted.
+type Ring struct {
+	mu          sync.Mutex
+	buf         []Event
+	next        int
+	full        bool
+	overwritten uint64
+}
+
+// NewRing returns a recorder keeping the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if r.full {
+		r.overwritten++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events in emission order.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Overwritten returns how many events were lost to the bound.
+func (r *Ring) Overwritten() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.overwritten
+}
+
+// CountByType tallies events per type, the shape most consistency
+// checks want.
+func CountByType(events []Event) map[EventType]uint64 {
+	m := make(map[EventType]uint64)
+	for _, e := range events {
+		m[e.Type]++
+	}
+	return m
+}

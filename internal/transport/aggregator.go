@@ -17,6 +17,7 @@ import (
 
 	"switchml/internal/core"
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 // AggregatorConfig configures a software aggregator.
@@ -31,6 +32,13 @@ type AggregatorConfig struct {
 	// and drops the packet when it returns true. It exists for loss
 	// testing on loopback networks that never drop.
 	DropResult func(p *packet.Packet) bool
+	// Metrics receives the aggregator's counters (datagram traffic and
+	// the switch protocol counters). Nil allocates a private registry,
+	// available through Registry.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, observes protocol events stamped with
+	// wall-clock nanoseconds.
+	Tracer telemetry.Tracer
 }
 
 // Aggregator is a UDP server hosting one job's aggregation pool. It
@@ -41,6 +49,9 @@ type Aggregator struct {
 	cfg  AggregatorConfig
 	conn *net.UDPConn
 	sw   *core.Switch
+	reg  *telemetry.Registry
+
+	recvd, corrupt, sent *telemetry.Counter
 
 	mu    sync.Mutex
 	peers []*net.UDPAddr // indexed by worker id
@@ -51,6 +62,15 @@ type Aggregator struct {
 
 // NewAggregator binds the socket and starts the serving goroutine.
 func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	cfg.Switch.Metrics = reg
+	cfg.Switch.Tracer = cfg.Tracer
+	if cfg.Switch.Now == nil {
+		cfg.Switch.Now = telemetry.WallClock
+	}
 	sw, err := core.NewSwitch(cfg.Switch)
 	if err != nil {
 		return nil, err
@@ -64,11 +84,15 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	a := &Aggregator{
-		cfg:    cfg,
-		conn:   conn,
-		sw:     sw,
-		peers:  make([]*net.UDPAddr, cfg.Switch.Workers),
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		conn:    conn,
+		sw:      sw,
+		reg:     reg,
+		recvd:   reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
+		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
+		sent:    reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
+		peers:   make([]*net.UDPAddr, cfg.Switch.Workers),
+		closed:  make(chan struct{}),
 	}
 	a.wg.Add(1)
 	go a.serve()
@@ -78,12 +102,16 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (a *Aggregator) Addr() *net.UDPAddr { return a.conn.LocalAddr().(*net.UDPAddr) }
 
-// Stats returns the switch state machine counters.
-func (a *Aggregator) Stats() core.SwitchStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.sw.Stats()
-}
+// Registry returns the metrics registry backing this aggregator's
+// counters — the one from the config, or the private registry
+// allocated when none was supplied.
+func (a *Aggregator) Registry() *telemetry.Registry { return a.reg }
+
+// Stats returns the switch state machine counters. The counters are
+// atomic, so this is safe to call concurrently with the serving
+// goroutine — no lock is taken and packet handling is never stalled
+// by monitoring reads.
+func (a *Aggregator) Stats() core.SwitchStats { return a.sw.Stats() }
 
 // Close shuts the server down and waits for the serving goroutine.
 func (a *Aggregator) Close() error {
@@ -116,8 +144,10 @@ func (a *Aggregator) serve() {
 			}
 			continue // transient error: keep serving
 		}
+		a.recvd.Inc()
 		p, err := packet.Unmarshal(buf[:n])
 		if err != nil {
+			a.corrupt.Inc()
 			continue // corrupted datagram: drop (§3.4)
 		}
 		if p.Kind != packet.KindUpdate || int(p.WorkerID) >= len(a.peers) {
@@ -138,12 +168,14 @@ func (a *Aggregator) serve() {
 			for _, peer := range a.snapshotPeers() {
 				if peer != nil {
 					a.conn.WriteToUDP(out, peer)
+					a.sent.Inc()
 				}
 			}
 			continue
 		}
 		if peer := a.peer(resp.Pkt.WorkerID); peer != nil {
 			a.conn.WriteToUDP(out, peer)
+			a.sent.Inc()
 		}
 	}
 }

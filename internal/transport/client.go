@@ -7,6 +7,7 @@ import (
 
 	"switchml/internal/core"
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 // ClientConfig configures a worker endpoint.
@@ -25,6 +26,12 @@ type ClientConfig struct {
 	RTO time.Duration
 	// Timeout bounds one AllReduce call; zero selects 30 s.
 	Timeout time.Duration
+	// Metrics receives the worker protocol and datagram counters. Nil
+	// allocates a private registry, available through Registry.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, observes protocol events stamped with
+	// wall-clock nanoseconds.
+	Tracer telemetry.Tracer
 }
 
 // Client is a synchronous SwitchML worker over UDP. It is not safe
@@ -34,6 +41,11 @@ type Client struct {
 	cfg    ClientConfig
 	conn   *net.UDPConn
 	worker *core.Worker
+	reg    *telemetry.Registry
+	actor  string
+
+	recvd, corrupt, sent *telemetry.Counter
+
 	// lastSend tracks per-slot transmission times for timeout
 	// sweeps.
 	lastSend []time.Time
@@ -52,6 +64,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	cfg.Worker.Metrics = reg
 	w, err := core.NewWorker(cfg.Worker)
 	if err != nil {
 		return nil, err
@@ -64,10 +81,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
 	}
+	id := fmt.Sprintf("%d", cfg.Worker.ID)
 	return &Client{
 		cfg:      cfg,
 		conn:     conn,
 		worker:   w,
+		reg:      reg,
+		actor:    "w" + id,
+		recvd:    reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
+		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
+		sent:     reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
 		lastSend: make([]time.Time, cfg.Worker.PoolSize),
 		backoff:  make([]uint8, cfg.Worker.PoolSize),
 	}, nil
@@ -76,8 +99,27 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Stats returns the worker state machine counters.
+// Registry returns the metrics registry backing this client's
+// counters — the one from the config, or the private registry
+// allocated when none was supplied.
+func (c *Client) Registry() *telemetry.Registry { return c.reg }
+
+// Stats returns the worker state machine counters. The counters are
+// atomic, so this is safe to call from a monitoring goroutine while
+// AllReduceInt32 runs.
 func (c *Client) Stats() core.WorkerStats { return c.worker.Stats() }
+
+// trace emits a protocol event stamped with wall-clock time.
+func (c *Client) trace(t telemetry.EventType, idx int32) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, telemetry.WallClock())
+	e.Actor = c.actor
+	e.Worker = int32(c.cfg.Worker.ID)
+	e.Slot = idx
+	c.cfg.Tracer.Emit(e)
+}
 
 // AllReduceInt32 aggregates u with the other workers and returns the
 // elementwise sum. It blocks until the aggregate is complete or the
@@ -85,6 +127,13 @@ func (c *Client) Stats() core.WorkerStats { return c.worker.Stats() }
 func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 	if len(u) == 0 {
 		return nil, nil
+	}
+	if c.cfg.Tracer != nil {
+		e := telemetry.Ev(telemetry.EvTensorStart, telemetry.WallClock())
+		e.Actor = c.actor
+		e.Worker = int32(c.cfg.Worker.ID)
+		e.Size = int32(4 * len(u))
+		c.cfg.Tracer.Emit(e)
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
 	for _, p := range c.worker.Start(u) {
@@ -121,8 +170,10 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 			}
 			return nil, err
 		}
+		c.recvd.Inc()
 		p, err := packet.Unmarshal(buf[:n])
 		if err != nil {
+			c.corrupt.Inc()
 			continue // corrupted datagram
 		}
 		next, done := c.worker.HandleResult(p)
@@ -137,6 +188,7 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 			}
 		}
 		if done {
+			c.trace(telemetry.EvTensorDone, -1)
 			out := make([]int32, len(u))
 			copy(out, c.worker.Aggregate())
 			return out, nil
@@ -149,6 +201,7 @@ func (c *Client) send(p *packet.Packet) error {
 	if _, err := c.conn.Write(p.Marshal()); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
+	c.sent.Inc()
 	c.lastSend[p.Idx] = time.Now()
 	return nil
 }
@@ -172,7 +225,9 @@ func (c *Client) sweepTimeouts() error {
 		if c.backoff[idx] < 6 {
 			c.backoff[idx]++
 		}
+		c.trace(telemetry.EvTimeoutFired, int32(idx))
 		if p := c.worker.Retransmit(uint32(idx)); p != nil {
+			c.trace(telemetry.EvRetransmit, int32(idx))
 			if err := c.send(p); err != nil {
 				return err
 			}

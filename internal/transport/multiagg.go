@@ -8,6 +8,7 @@ import (
 
 	"switchml/internal/core"
 	"switchml/internal/packet"
+	"switchml/internal/telemetry"
 )
 
 // MultiAggregator is a UDP software aggregator serving several
@@ -17,6 +18,9 @@ import (
 // JobID field.
 type MultiAggregator struct {
 	conn *net.UDPConn
+	reg  *telemetry.Registry
+
+	recvd, corrupt, sent *telemetry.Counter
 
 	mu     sync.Mutex
 	ms     *core.MultiSwitch
@@ -36,11 +40,16 @@ func NewMultiAggregator(addr string, memoryBudget int) (*MultiAggregator, error)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	reg := telemetry.NewRegistry()
 	m := &MultiAggregator{
-		conn:   conn,
-		ms:     core.NewMultiSwitch(memoryBudget),
-		peers:  make(map[uint16][]*net.UDPAddr),
-		closed: make(chan struct{}),
+		conn:    conn,
+		reg:     reg,
+		recvd:   reg.Counter("udp_datagrams_received_total", "role", "multiagg"),
+		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "multiagg"),
+		sent:    reg.Counter("udp_datagrams_sent_total", "role", "multiagg"),
+		ms:      core.NewMultiSwitch(memoryBudget),
+		peers:   make(map[uint16][]*net.UDPAddr),
+		closed:  make(chan struct{}),
 	}
 	m.wg.Add(1)
 	go m.serve()
@@ -50,11 +59,19 @@ func NewMultiAggregator(addr string, memoryBudget int) (*MultiAggregator, error)
 // Addr returns the bound listen address.
 func (m *MultiAggregator) Addr() *net.UDPAddr { return m.conn.LocalAddr().(*net.UDPAddr) }
 
+// Registry returns the registry holding every admitted job's switch
+// counters (labeled job="<id>") plus the shared datagram counters.
+func (m *MultiAggregator) Registry() *telemetry.Registry { return m.reg }
+
 // AdmitJob allocates a pool for a job, failing when the memory budget
 // would be exceeded (the admission mechanism of §6).
 func (m *MultiAggregator) AdmitJob(cfg core.SwitchConfig) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	cfg.Metrics = m.reg
+	if cfg.Now == nil {
+		cfg.Now = telemetry.WallClock
+	}
 	if _, err := m.ms.AdmitJob(cfg); err != nil {
 		return err
 	}
@@ -116,8 +133,13 @@ func (m *MultiAggregator) serve() {
 			}
 			continue
 		}
+		m.recvd.Inc()
 		p, err := packet.Unmarshal(buf[:n])
-		if err != nil || p.Kind != packet.KindUpdate {
+		if err != nil {
+			m.corrupt.Inc()
+			continue
+		}
+		if p.Kind != packet.KindUpdate {
 			continue
 		}
 		m.mu.Lock()
@@ -144,6 +166,7 @@ func (m *MultiAggregator) serve() {
 		for _, t := range targets {
 			if t != nil {
 				m.conn.WriteToUDP(out, t)
+				m.sent.Inc()
 			}
 		}
 	}

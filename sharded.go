@@ -8,6 +8,7 @@ import (
 	"switchml/internal/core"
 	"switchml/internal/packet"
 	"switchml/internal/quant"
+	"switchml/internal/telemetry"
 	"switchml/internal/transport"
 )
 
@@ -25,7 +26,8 @@ import (
 // disjoint pools: one per tenant job (§6 "Multi-job") or one per
 // worker core shard.
 type MultiAggregator struct {
-	inner *transport.MultiAggregator
+	inner      *transport.MultiAggregator
+	debugClose func() error
 }
 
 // ListenMultiAggregator binds addr with the given register-memory
@@ -41,8 +43,27 @@ func ListenMultiAggregator(addr string, memoryBudget int) (*MultiAggregator, err
 // Addr returns the bound address.
 func (m *MultiAggregator) Addr() string { return m.inner.Addr().String() }
 
-// Close stops serving.
-func (m *MultiAggregator) Close() error { return m.inner.Close() }
+// ServeDebug starts an HTTP introspection listener on addr serving
+// /metrics, /debug/vars and /debug/pprof/ with every admitted job's
+// counters (labeled job="<id>"). It returns the bound address; the
+// listener stops when the aggregator is closed. Call at most once.
+func (m *MultiAggregator) ServeDebug(addr string) (string, error) {
+	bound, closeFn, err := telemetry.ServeDebug(addr, m.inner.Registry())
+	if err != nil {
+		return "", err
+	}
+	m.debugClose = closeFn
+	return bound, nil
+}
+
+// Close stops serving (and the debug listener, if one was started).
+func (m *MultiAggregator) Close() error {
+	if m.debugClose != nil {
+		m.debugClose()
+		m.debugClose = nil
+	}
+	return m.inner.Close()
+}
 
 // AdmitJob allocates a pool for one job.
 func (m *MultiAggregator) AdmitJob(job uint16, params AggregatorParams) error {

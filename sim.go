@@ -1,10 +1,12 @@
 package switchml
 
 import (
+	"os"
 	"time"
 
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
+	"switchml/internal/telemetry"
 )
 
 // SimParams configures a deterministic single-rack simulation, the
@@ -28,6 +30,11 @@ type SimParams struct {
 	Cores int
 	// Seed drives the deterministic loss process.
 	Seed int64
+	// TraceFile, when non-empty, records every protocol event of the
+	// run (transmissions, drops, retransmits, slot completions, shadow
+	// reads, tensor spans) to a Chrome trace-event file that
+	// chrome://tracing or https://ui.perfetto.dev can open.
+	TraceFile string
 }
 
 // SimResult reports one simulated tensor aggregation.
@@ -40,6 +47,12 @@ type SimResult struct {
 	PoolSize int
 	// Aggregate is worker 0's result vector.
 	Aggregate []int32
+	// Counters is the run's protocol-counter dump: link traffic
+	// (packets_sent, packets_delivered, packets_dropped, wire_bytes),
+	// worker behaviour (worker_sent, worker_retransmissions, ...) and
+	// switch behaviour (switch_updates, switch_completions,
+	// switch_shadow_reads, ...).
+	Counters map[string]uint64
 }
 
 // SimulateRack aggregates one tensor (identical on every worker) on a
@@ -57,6 +70,11 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		LossRecovery:   true,
 		Seed:           params.Seed,
 	}
+	var ring *telemetry.Ring
+	if params.TraceFile != "" {
+		ring = telemetry.NewRing(1 << 20)
+		cfg.Tracer = ring
+	}
 	r, err := rack.NewRack(cfg)
 	if err != nil {
 		return SimResult{}, err
@@ -65,6 +83,19 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 	if err != nil {
 		return SimResult{}, err
 	}
+	if ring != nil {
+		f, err := os.Create(params.TraceFile)
+		if err != nil {
+			return SimResult{}, err
+		}
+		if err := telemetry.WriteChromeTrace(f, ring.Events()); err != nil {
+			f.Close()
+			return SimResult{}, err
+		}
+		if err := f.Close(); err != nil {
+			return SimResult{}, err
+		}
+	}
 	agg := make([]int32, len(tensor))
 	copy(agg, r.Aggregate(0))
 	return SimResult{
@@ -72,6 +103,7 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		Retransmissions: res.Retransmissions,
 		PoolSize:        r.Config().PoolSize,
 		Aggregate:       agg,
+		Counters:        r.Counters(),
 	}, nil
 }
 

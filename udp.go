@@ -8,6 +8,7 @@ import (
 	"switchml/internal/core"
 	"switchml/internal/packet"
 	"switchml/internal/quant"
+	"switchml/internal/telemetry"
 	"switchml/internal/transport"
 )
 
@@ -18,7 +19,8 @@ import (
 
 // Aggregator is a UDP software aggregator hosting one job's pool.
 type Aggregator struct {
-	inner *transport.Aggregator
+	inner      *transport.Aggregator
+	debugClose func() error
 }
 
 // AggregatorParams configures ListenAggregator.
@@ -65,8 +67,28 @@ func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error)
 // Addr returns the bound address, "host:port".
 func (a *Aggregator) Addr() string { return a.inner.Addr().String() }
 
-// Close stops serving.
-func (a *Aggregator) Close() error { return a.inner.Close() }
+// ServeDebug starts an HTTP introspection listener on addr (e.g.
+// "localhost:6060" or ":0") serving /metrics (plain-text counter
+// dump), /debug/vars (expvar) and /debug/pprof/. It returns the bound
+// address; the listener stops when the aggregator is closed. Call at
+// most once.
+func (a *Aggregator) ServeDebug(addr string) (string, error) {
+	bound, closeFn, err := telemetry.ServeDebug(addr, a.inner.Registry())
+	if err != nil {
+		return "", err
+	}
+	a.debugClose = closeFn
+	return bound, nil
+}
+
+// Close stops serving (and the debug listener, if one was started).
+func (a *Aggregator) Close() error {
+	if a.debugClose != nil {
+		a.debugClose()
+		a.debugClose = nil
+	}
+	return a.inner.Close()
+}
 
 // Stats returns the aggregation pool's protocol counters.
 func (a *Aggregator) Stats() AggregatorStats {
@@ -106,9 +128,10 @@ type AggregatorStats struct {
 
 // Peer is a worker endpoint attached to a remote Aggregator.
 type Peer struct {
-	inner *transport.Client
-	scale *quant.FixedPoint
-	n     int
+	inner      *transport.Client
+	scale      *quant.FixedPoint
+	n          int
+	debugClose func() error
 }
 
 // PeerParams configures DialAggregator. Workers, PoolSize, SlotElems
@@ -169,8 +192,28 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 	return &Peer{inner: inner, scale: scale, n: params.Workers}, nil
 }
 
-// Close releases the socket.
-func (p *Peer) Close() error { return p.inner.Close() }
+// ServeDebug starts an HTTP introspection listener on addr serving
+// /metrics, /debug/vars and /debug/pprof/ with this worker's protocol
+// and datagram counters. It returns the bound address; the listener
+// stops when the peer is closed. Call at most once.
+func (p *Peer) ServeDebug(addr string) (string, error) {
+	bound, closeFn, err := telemetry.ServeDebug(addr, p.inner.Registry())
+	if err != nil {
+		return "", err
+	}
+	p.debugClose = closeFn
+	return bound, nil
+}
+
+// Close releases the socket (and the debug listener, if one was
+// started).
+func (p *Peer) Close() error {
+	if p.debugClose != nil {
+		p.debugClose()
+		p.debugClose = nil
+	}
+	return p.inner.Close()
+}
 
 // AllReduceInt32 sums u across all workers of the job.
 func (p *Peer) AllReduceInt32(u []int32) ([]int32, error) {
