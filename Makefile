@@ -10,9 +10,9 @@ GO ?= go
 # state; they must stay clean under the race detector.
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack .
 
-.PHONY: check vet build test race bench examples clean
+.PHONY: check vet build test race chaos fuzz bench examples clean
 
-check: vet build test race
+check: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,16 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Chaos gate: every fault-injection and recovery test (worker crash,
+# switch restart, burst loss, injector chaos) under the race detector.
+chaos:
+	$(GO) test -race -run Fault ./internal/rack ./internal/transport .
+
+# Short fuzz pass over the wire-format codec; corrupted and adversarial
+# datagrams must never crash or round-trip incorrectly.
+fuzz:
+	$(GO) test -fuzz=FuzzCodec -fuzztime=10s ./internal/packet
 
 # Quick-look evaluation run (scaled-down tensors).
 bench:

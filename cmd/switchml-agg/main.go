@@ -40,12 +40,17 @@ func main() {
 	jobBase := flag.Uint("job-base", 0, "first job id")
 	metrics := flag.String("metrics", "", "optional HTTP address exposing /stats")
 	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
+	liveness := flag.Duration("liveness", 0,
+		"failure-detector silence threshold (0 = off); workers silent this long are evicted and the job resumes among survivors")
 	flag.Parse()
 
 	params := switchml.AggregatorParams{
 		Workers:   *workers,
 		PoolSize:  *pool,
 		SlotElems: *elems,
+	}
+	if *liveness > 0 {
+		params.Liveness = &switchml.LivenessParams{SilenceAfter: *liveness}
 	}
 
 	var statsFn func() any
@@ -62,6 +67,9 @@ func main() {
 		statsFn = func() any { return agg.Stats() }
 		debugFn = agg.ServeDebug
 	} else {
+		if params.Liveness != nil {
+			log.Printf("switchml-agg: -liveness applies only to single-pool mode; ignored with -jobs > 1")
+		}
 		m, err := switchml.ListenMultiAggregator(*listen, 0)
 		if err != nil {
 			log.Fatal(err)

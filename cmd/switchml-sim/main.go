@@ -6,7 +6,8 @@
 //
 //	switchml-sim -workers 8 -gbps 10 -mb 100 [-pool 0] [-elems 32]
 //	    [-loss 0.001] [-rto 1ms] [-cores 4] [-straggler-gbps 0] [-seed 1]
-//	    [-trace out.json]
+//	    [-trace out.json] [-burst pGB,pBG,lossG,lossB] [-crash 2@100us]
+//	    [-switch-restart 500us]
 //
 // It prints the tensor aggregation time, the achieved ATE/s against
 // the analytic line rate, and the retransmission count. -trace
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"switchml/internal/allreduce"
+	"switchml/internal/faults"
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
 	"switchml/internal/telemetry"
@@ -40,6 +42,12 @@ func main() {
 	stragglerGbps := flag.Float64("straggler-gbps", 0, "if > 0, worker 0's link rate in Gbps")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file of every protocol event")
+	burst := flag.String("burst", "",
+		"Gilbert–Elliott burst loss as \"pGoodToBad,pBadToGood,lossGood,lossBad\" (replaces -loss)")
+	crash := flag.String("crash", "",
+		"crash a worker mid-run as \"worker@time\", e.g. \"2@100us\"; the job recovers among the survivors")
+	switchRestart := flag.Duration("switch-restart", 0,
+		"restart the switch (wiping all register state) at this virtual time (0 = off)")
 	flag.Parse()
 
 	var ring *telemetry.Ring
@@ -64,6 +72,36 @@ func main() {
 		cfg.WorkerLinkBitsPerSec = make([]float64, *workers)
 		cfg.WorkerLinkBitsPerSec[0] = *stragglerGbps * 1e9
 	}
+	if *burst != "" {
+		var ge netsim.GEConfig
+		if n, err := fmt.Sscanf(*burst, "%g,%g,%g,%g",
+			&ge.PGoodToBad, &ge.PBadToGood, &ge.LossGood, &ge.LossBad); n != 4 || err != nil {
+			log.Fatalf("-burst: want \"pGoodToBad,pBadToGood,lossGood,lossBad\", got %q", *burst)
+		}
+		cfg.BurstLoss = &ge
+		cfg.LossRate = 0
+	}
+	var scenario faults.Scenario
+	if *crash != "" {
+		var w int
+		var at string
+		if n, err := fmt.Sscanf(*crash, "%d@%s", &w, &at); n != 2 || err != nil {
+			log.Fatalf("-crash: want \"worker@time\" (e.g. 2@100us), got %q", *crash)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			log.Fatalf("-crash: bad time in %q: %v", *crash, err)
+		}
+		scenario.Actions = append(scenario.Actions,
+			faults.Action{Kind: faults.CrashWorker, Worker: w, At: netsim.Time(d)})
+	}
+	if *switchRestart > 0 {
+		scenario.Actions = append(scenario.Actions,
+			faults.Action{Kind: faults.RestartSwitch, At: netsim.Time(*switchRestart)})
+	}
+	if len(scenario.Actions) > 0 {
+		cfg.Faults = &scenario
+	}
 	r, err := rack.NewRack(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -77,10 +115,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, v := range r.Aggregate(0) {
-		if v != int32(*workers) {
-			log.Fatalf("aggregate[%d] = %d, want %d: protocol bug", i, v, *workers)
+	// With faults injected, some workers may be retired mid-run: the
+	// first survivor's aggregate must then show full-membership sums
+	// before the recovery frontier and survivor-only sums after it.
+	failed := make(map[int]bool, len(res.Failed))
+	for _, w := range res.Failed {
+		failed[w] = true
+	}
+	survivor := 0
+	for failed[survivor] {
+		survivor++
+	}
+	full := int32(*workers)
+	surv := full - int32(len(res.Failed))
+	boundary := -1
+	for i, v := range r.Aggregate(survivor) {
+		switch {
+		case boundary < 0 && v == full:
+		case v == surv:
+			if boundary < 0 {
+				boundary = i
+			}
+		default:
+			log.Fatalf("aggregate[%d] = %d, want %d or %d: protocol bug", i, v, full, surv)
 		}
+	}
+	if len(res.Failed) > 0 {
+		fmt.Printf("failed workers    %v (survivor sums past element %d)\n", res.Failed, boundary)
 	}
 	ate := float64(n) / (float64(res.TAT) / 1e9)
 	line := allreduce.SwitchMLLineRateATE(*gbps*1e9, *elems)

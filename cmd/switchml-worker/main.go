@@ -30,15 +30,18 @@ func main() {
 	iters := flag.Int("iters", 10, "number of all-reduce iterations")
 	job := flag.Uint("job", 0, "job id")
 	rto := flag.Duration("rto", 50*time.Millisecond, "retransmission timeout")
+	heartbeat := flag.Duration("heartbeat", 0,
+		"liveness beacon period (0 = off); set well below the aggregator's -liveness threshold")
 	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
 	flag.Parse()
 
 	peer, err := switchml.DialAggregator(*aggAddr, switchml.PeerParams{
-		ID:       *id,
-		Workers:  *workers,
-		PoolSize: *pool,
-		JobID:    uint16(*job),
-		RTO:      *rto,
+		ID:        *id,
+		Workers:   *workers,
+		PoolSize:  *pool,
+		JobID:     uint16(*job),
+		RTO:       *rto,
+		Heartbeat: *heartbeat,
 	})
 	if err != nil {
 		log.Fatal(err)

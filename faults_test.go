@@ -1,0 +1,89 @@
+package switchml
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFaultScenarioSim drives the public fault-scenario API: a worker
+// crash mid-tensor under packet loss must be detected and recovered,
+// with survivors converging on full-membership sums before the
+// recovery frontier and survivor-only sums after it.
+func TestFaultScenarioSim(t *testing.T) {
+	const n, d = 4, 6000
+	tensor := make([]int32, d)
+	for j := range tensor {
+		tensor[j] = 1
+	}
+	res, err := SimulateRack(SimParams{
+		Workers:   n,
+		LinkGbps:  10,
+		PoolSize:  8,
+		SlotElems: 32,
+		LossRate:  0.01,
+		RTO:       100 * time.Microsecond,
+		Seed:      7,
+		Faults: &FaultScenario{Actions: []FaultAction{
+			{Kind: FaultCrashWorker, Worker: 3, At: 60 * time.Microsecond},
+		}},
+	}, tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 3 {
+		t.Fatalf("Failed = %v, want [3]", res.Failed)
+	}
+	// Every worker contributes the all-ones tensor: elements are n
+	// before the recovery frontier, n-1 after, with one transition.
+	boundary := -1
+	for j, v := range res.Aggregate {
+		switch {
+		case boundary < 0 && v == n:
+			continue
+		case v == n-1:
+			if boundary < 0 {
+				boundary = j
+			}
+		default:
+			t.Fatalf("elem %d: got %d, want %d before the boundary or %d after", j, v, n, n-1)
+		}
+	}
+	if boundary < 0 {
+		t.Fatal("no survivor-only region: the crash was never detected")
+	}
+	if boundary%32 != 0 {
+		t.Fatalf("recovery boundary %d not chunk-aligned", boundary)
+	}
+}
+
+// TestBurstLossSim drives the public Gilbert–Elliott configuration:
+// bursty loss must still produce exact sums through retransmission.
+func TestBurstLossSim(t *testing.T) {
+	const n, d = 3, 4000
+	tensor := make([]int32, d)
+	for j := range tensor {
+		tensor[j] = int32(j % 97)
+	}
+	res, err := SimulateRack(SimParams{
+		Workers:   n,
+		LinkGbps:  10,
+		PoolSize:  8,
+		SlotElems: 32,
+		RTO:       100 * time.Microsecond,
+		Seed:      11,
+		BurstLoss: &BurstLossParams{
+			PGoodToBad: 0.005, PBadToGood: 0.2, LossGood: 0.001, LossBad: 0.5,
+		},
+	}, tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range res.Aggregate {
+		if want := int32(n) * tensor[j]; v != want {
+			t.Fatalf("elem %d: got %d want %d", j, v, want)
+		}
+	}
+	if res.Retransmissions == 0 {
+		t.Error("burst loss configured but no retransmissions recorded")
+	}
+}

@@ -152,6 +152,13 @@ type Switch struct {
 	cfg   SwitchConfig
 	pools [2][]slot
 	ctr   switchCounters
+	// active marks the workers currently participating in the job;
+	// required is their count. Initially every worker in [0, Workers)
+	// is active; the failure controller shrinks the membership with
+	// Reconfigure (§5.6: the controller removes a failed worker and
+	// the job resumes among survivors).
+	active   bitset
+	required int
 	// scratch holds one packet's ingress-expanded values.
 	scratch []int32
 }
@@ -214,6 +221,11 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 		return nil, err
 	}
 	sw := &Switch{cfg: cfg, ctr: newSwitchCounters(cfg.Metrics, cfg.JobID)}
+	sw.active = newBitset(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		sw.active.set(i)
+	}
+	sw.required = cfg.Workers
 	versions := 2
 	if !cfg.LossRecovery {
 		versions = 1
@@ -284,7 +296,7 @@ func (sw *Switch) admit(p *packet.Packet) bool {
 	if p.Kind != packet.KindUpdate {
 		return false
 	}
-	if int(p.WorkerID) >= sw.cfg.Workers {
+	if int(p.WorkerID) >= sw.cfg.Workers || !sw.active.get(int(p.WorkerID)) {
 		return false
 	}
 	if p.JobID != sw.cfg.JobID {
@@ -315,7 +327,7 @@ func (sw *Switch) handleSimple(p *packet.Packet) Response {
 	}
 	sw.trace(telemetry.EvSlotAggregated, p)
 	sl.count++
-	if sl.count < sw.cfg.Workers {
+	if sl.count < sw.required {
 		return Response{}
 	}
 	// Complete: emit the aggregate and release the slot (Algorithm 1
@@ -382,7 +394,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 			}
 		}
 		sw.trace(telemetry.EvSlotAggregated, p)
-		sl.count = (sl.count + 1) % sw.cfg.Workers
+		sl.count = (sl.count + 1) % sw.required
 		if sl.count != 0 {
 			return Response{}
 		}
@@ -442,6 +454,68 @@ func (sw *Switch) accumulate(sl *slot, p *packet.Packet) bool {
 func (sw *Switch) DebugSlot(ver uint8, idx uint32) (count int, off int64, elems int, seen uint64) {
 	sl := &sw.pools[ver][idx]
 	return sl.count, sl.off, sl.elems, uint64(sl.seen[0])
+}
+
+// Required returns the number of contributions a slot needs to
+// complete — the size of the current active membership.
+func (sw *Switch) Required() int { return sw.required }
+
+// Active reports whether worker wid is part of the current membership.
+func (sw *Switch) Active(wid int) bool {
+	return wid >= 0 && wid < sw.cfg.Workers && sw.active.get(wid)
+}
+
+// ActiveWorkers lists the current membership in id order.
+func (sw *Switch) ActiveWorkers() []int {
+	out := make([]int, 0, sw.required)
+	for i := 0; i < sw.cfg.Workers; i++ {
+		if sw.active.get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// JobID returns the job generation currently stamped on admissions.
+func (sw *Switch) JobID() uint16 { return sw.cfg.JobID }
+
+// Reconfigure installs a new worker membership and job generation,
+// draining the pool: all slot state is reset, so partial aggregations
+// that included a removed worker are discarded, and packets from the
+// previous generation fail admission on their stale JobID. This is
+// the switch half of the paper's §5.6 failure recovery — the
+// controller removes a failed worker (or re-seats the full membership
+// after a switch restart) and the survivors resume.
+//
+// active must have cfg.Workers entries with at least one set. A nil
+// active keeps the current membership (switch-restart recovery, where
+// only the generation changes).
+func (sw *Switch) Reconfigure(active []bool, jobID uint16) error {
+	if active != nil {
+		if len(active) != sw.cfg.Workers {
+			return fmt.Errorf("core: membership has %d entries for %d workers", len(active), sw.cfg.Workers)
+		}
+		n := 0
+		for _, a := range active {
+			if a {
+				n++
+			}
+		}
+		if n == 0 {
+			return fmt.Errorf("core: reconfigure needs at least one active worker")
+		}
+		for i, a := range active {
+			if a {
+				sw.active.set(i)
+			} else {
+				sw.active.clear(i)
+			}
+		}
+		sw.required = n
+	}
+	sw.cfg.JobID = jobID
+	sw.Reset()
+	return nil
 }
 
 // Reset clears all pool state, preparing the switch for a restarted

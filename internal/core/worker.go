@@ -122,7 +122,11 @@ type Worker struct {
 	// ver is the next pool version to use per slot, persisting across
 	// tensors.
 	ver []uint8
-	ctr workerCounters
+	// chunkDone marks which chunks of the current tensor have their
+	// aggregate; the failure-recovery resume path re-sends from the
+	// first gap.
+	chunkDone []bool
+	ctr       workerCounters
 }
 
 // NewWorker returns a worker ready for its first Start call.
@@ -186,6 +190,14 @@ func (w *Worker) Start(u []int32) []*packet.Packet {
 	if chunks < window {
 		window = chunks
 	}
+	if cap(w.chunkDone) >= chunks {
+		w.chunkDone = w.chunkDone[:chunks]
+		for i := range w.chunkDone {
+			w.chunkDone[i] = false
+		}
+	} else {
+		w.chunkDone = make([]bool, chunks)
+	}
 	pkts := make([]*packet.Packet, 0, window)
 	for i := 0; i < window; i++ {
 		// Slot i deterministically owns chunks i, i+s, i+2s, ... — the
@@ -240,11 +252,17 @@ func (w *Worker) HandleResult(p *packet.Packet) (next *packet.Packet, done bool)
 	local := int(p.Off - w.base)
 	copy(w.a[local:local+pd.elems], p.Vector)
 	w.remaining -= pd.elems
+	w.chunkDone[local/w.cfg.SlotElems] = true
 	pd.active = false
 
 	// Algorithm 4 line 13: the slot's next chunk is k·s elements
-	// further into the stream.
+	// further into the stream. Chunks already aggregated (possible
+	// after a failure-recovery resume re-opened an interleaved window)
+	// are skipped.
 	nextLocal := local + w.cfg.SlotElems*w.cfg.PoolSize
+	for nextLocal < len(w.u) && w.chunkDone[nextLocal/w.cfg.SlotElems] {
+		nextLocal += w.cfg.SlotElems * w.cfg.PoolSize
+	}
 	if nextLocal < len(w.u) {
 		next = w.sendChunk(p.Idx, nextLocal)
 	}
@@ -271,6 +289,134 @@ func (w *Worker) Retransmit(idx uint32) *packet.Packet {
 	w.ctr.retransmissions.Inc()
 	local := int(pd.off - w.base)
 	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, pd.ver, idx, pd.off, w.u[local:local+pd.elems])
+}
+
+// ChunkCount returns the number of chunks in the current (or last
+// completed) tensor.
+func (w *Worker) ChunkCount() int { return len(w.chunkDone) }
+
+// FirstMissingChunk returns the index of the first chunk of the
+// current tensor whose aggregate has not been received — the worker's
+// progress frontier, reported to the failure controller during
+// recovery. It equals ChunkCount when the tensor is complete.
+func (w *Worker) FirstMissingChunk() int {
+	for c, done := range w.chunkDone {
+		if !done {
+			return c
+		}
+	}
+	return len(w.chunkDone)
+}
+
+// JobID returns the job generation currently stamped on packets.
+func (w *Worker) JobID() uint16 { return w.cfg.JobID }
+
+// SetJobID installs a new job generation for subsequent packets,
+// without touching tensor state; used when the controller bumps the
+// epoch between tensors (Resume covers the mid-tensor case).
+func (w *Worker) SetJobID(id uint16) { w.cfg.JobID = id }
+
+// FrontierOff returns the worker's progress frontier as a global
+// stream offset: the offset of the first element whose aggregate is
+// missing. When the current tensor is complete (or none was started)
+// it points at the start of the next tensor. Stream offsets are
+// comparable across workers, so the controller takes the minimum of
+// the reported frontiers as the global recovery boundary.
+func (w *Worker) FrontierOff() uint64 {
+	if w.remaining == 0 {
+		return w.base
+	}
+	return w.base + uint64(w.FirstMissingChunk()*w.cfg.SlotElems)
+}
+
+// ResumeAt is Resume with the frontier expressed as a global stream
+// offset (the form the recovery handshake carries). An offset before
+// the current tensor cannot be honored — the data of earlier tensors
+// is no longer buffered — and returns an error so the caller can fail
+// fast instead of deadlocking the collective.
+func (w *Worker) ResumeAt(jobID uint16, off uint64) ([]*packet.Packet, error) {
+	if len(w.u) != 0 && w.remaining > 0 && off < w.base {
+		return nil, fmt.Errorf("core: recovery frontier %d precedes current tensor at %d; earlier tensors are not buffered", off, w.base)
+	}
+	base := w.base
+	if w.remaining == 0 && len(w.u) != 0 {
+		base -= uint64(len(w.u)) // tensor complete: base already advanced
+		if off < base {
+			return nil, fmt.Errorf("core: recovery frontier %d precedes last tensor at %d; earlier tensors are not buffered", off, base)
+		}
+	}
+	return w.Resume(jobID, int((off-base)/uint64(w.cfg.SlotElems))), nil
+}
+
+// chunkElems returns the element count of chunk c (the final chunk
+// may be short).
+func (w *Worker) chunkElems(c int) int {
+	elems := len(w.u) - c*w.cfg.SlotElems
+	if elems > w.cfg.SlotElems {
+		elems = w.cfg.SlotElems
+	}
+	return elems
+}
+
+// Resume re-opens the interrupted tensor from the global recovery
+// frontier under a new job generation, after the controller detected a
+// failure, reconfigured the membership and drained the switch pool
+// (§5.6). Every chunk at or beyond fromChunk is re-aggregated — even
+// ones this worker already received — so that all survivors run the
+// identical slot schedule and converge to bitwise-identical
+// aggregates; chunks before the frontier (completed on every worker)
+// are kept. All in-flight state is discarded (the pool it referred to
+// is gone) and the per-slot pool versions restart at zero, matching
+// the freshly reset switch. The returned packets are the new initial
+// window; the caller arms retransmission timers as after Start.
+//
+// Calling Resume with no tensor ever started, or with fromChunk past
+// the end, installs the new job generation and returns nil. A tensor
+// that had already completed locally is re-opened, and the host must
+// be prepared for its completion callback to fire a second time.
+func (w *Worker) Resume(jobID uint16, fromChunk int) []*packet.Packet {
+	w.cfg.JobID = jobID
+	for i := range w.pend {
+		w.pend[i].active = false
+		w.ver[i] = 0
+	}
+	chunks := len(w.chunkDone)
+	if len(w.u) == 0 || fromChunk >= chunks {
+		return nil
+	}
+	if fromChunk < 0 {
+		fromChunk = 0
+	}
+	reopened := w.remaining == 0
+	if reopened {
+		// The stream advanced when the tensor completed locally;
+		// rewind it so re-sent chunks carry their original offsets.
+		w.base -= uint64(len(w.u))
+	}
+	for c := fromChunk; c < chunks; c++ {
+		w.chunkDone[c] = false
+	}
+	w.remaining = 0
+	for c := 0; c < chunks; c++ {
+		if !w.chunkDone[c] {
+			w.remaining += w.chunkElems(c)
+		}
+	}
+
+	window := w.cfg.PoolSize
+	if left := chunks - fromChunk; left < window {
+		window = left
+	}
+	pkts := make([]*packet.Packet, 0, window)
+	for i := 0; i < window; i++ {
+		c := fromChunk + i
+		// The chunk→slot mapping is position-invariant (chunk c lives
+		// in slot c mod s), so survivors resuming from the same
+		// frontier land every chunk in the same slot with the same
+		// version, restoring the implicit coordination of §3.4.
+		pkts = append(pkts, w.sendChunk(uint32(c%w.cfg.PoolSize), c*w.cfg.SlotElems))
+	}
+	return pkts
 }
 
 // Pending reports whether slot idx has an in-flight chunk; hosts use

@@ -1,0 +1,145 @@
+// Package faults is the deterministic fault-injection substrate for
+// the repo's failure story (§5.6 of the paper): scripted scenarios
+// drive worker crashes and restarts, switch restarts that wipe
+// register state, link blackout windows, burst loss, duplication and
+// corruption — reproducibly, from a seed — while the liveness tracker
+// and packet injector give the simulated rack and the real UDP
+// transport a shared vocabulary for detecting and surviving them.
+//
+// The package deliberately has no dependency on the hosts it serves:
+// internal/rack schedules Actions on its virtual clock, and
+// internal/transport consults the PacketInjector per datagram and the
+// Tracker per liveness sweep. Every fault and recovery transition is
+// traced through internal/telemetry by the host that performs it, so
+// crash → detect → reconfigure → resume timelines are visible in
+// Chrome traces.
+package faults
+
+import (
+	"fmt"
+
+	"switchml/internal/netsim"
+)
+
+// ActionKind enumerates scripted fault actions.
+type ActionKind int
+
+const (
+	// CrashWorker kills a worker host: it stops sending, receiving
+	// and timing out, as a process crash or machine failure would.
+	CrashWorker ActionKind = iota + 1
+	// RestartWorker revives a crashed worker host. The revived worker
+	// rejoins at the next job reconfiguration (it cannot re-enter a
+	// collective in flight; the paper restarts from a checkpoint).
+	RestartWorker
+	// RestartSwitch restarts the switch, wiping all register state
+	// (pools, bitmaps, counters) mid-job.
+	RestartSwitch
+	// LinkDown starts a blackout window on a worker's access links
+	// (both directions).
+	LinkDown
+	// LinkUp ends a blackout window.
+	LinkUp
+	// SetLossRate changes the Bernoulli loss rate of a worker's access
+	// links (both directions), or of every link when Worker is -1.
+	SetLossRate
+	// SetBurstLoss installs a Gilbert–Elliott burst loss process on a
+	// worker's access links (both directions), or on every link when
+	// Worker is -1.
+	SetBurstLoss
+)
+
+// String returns the action kind's name.
+func (k ActionKind) String() string {
+	switch k {
+	case CrashWorker:
+		return "crash-worker"
+	case RestartWorker:
+		return "restart-worker"
+	case RestartSwitch:
+		return "restart-switch"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case SetLossRate:
+		return "set-loss-rate"
+	case SetBurstLoss:
+		return "set-burst-loss"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// Action is one scripted fault event.
+type Action struct {
+	// Kind selects the fault.
+	Kind ActionKind
+	// At is the virtual time of the action. When Step is zero it is
+	// absolute; when Step is positive it is relative to the start of
+	// aggregation step number Step (1-based), which is how "crash
+	// worker 2 at step 3, 40 µs in" is scripted deterministically.
+	At netsim.Time
+	// Step selects the aggregation step (AllReduce call) the action
+	// is anchored to; zero anchors to absolute virtual time.
+	Step int
+	// Worker is the target worker id; -1 targets every link for the
+	// link-scoped actions and is ignored by RestartSwitch.
+	Worker int
+	// Rate is the loss rate for SetLossRate.
+	Rate float64
+	// Burst is the chain configuration for SetBurstLoss.
+	Burst netsim.GEConfig
+}
+
+// Scenario is a deterministic fault script.
+type Scenario struct {
+	// Actions are applied at their trigger times; order within the
+	// slice is preserved for simultaneous actions.
+	Actions []Action
+}
+
+// Validate checks every action against the job's worker count.
+func (s *Scenario) Validate(workers int) error {
+	for i, a := range s.Actions {
+		if a.At < 0 {
+			return fmt.Errorf("faults: action %d (%v) has negative time %v", i, a.Kind, a.At)
+		}
+		if a.Step < 0 {
+			return fmt.Errorf("faults: action %d (%v) has negative step %d", i, a.Kind, a.Step)
+		}
+		switch a.Kind {
+		case CrashWorker, RestartWorker:
+			if a.Worker < 0 || a.Worker >= workers {
+				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)
+			}
+		case RestartSwitch:
+		case LinkDown, LinkUp, SetLossRate, SetBurstLoss:
+			if a.Worker < -1 || a.Worker >= workers {
+				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)
+			}
+			if a.Kind == SetLossRate && (a.Rate < 0 || a.Rate >= 1) {
+				return fmt.Errorf("faults: action %d loss rate %v out of [0,1)", i, a.Rate)
+			}
+		default:
+			return fmt.Errorf("faults: action %d has unknown kind %d", i, int(a.Kind))
+		}
+	}
+	return nil
+}
+
+// ForStep returns the actions anchored to the given step (1-based),
+// in script order.
+func (s *Scenario) ForStep(step int) []Action {
+	var out []Action
+	for _, a := range s.Actions {
+		if a.Step == step {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Absolute returns the actions anchored to absolute virtual time, in
+// script order.
+func (s *Scenario) Absolute() []Action { return s.ForStep(0) }

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"testing"
+
+	"switchml/internal/netsim"
+	"switchml/internal/packet"
+)
+
+func TestFaultScenarioValidate(t *testing.T) {
+	good := Scenario{Actions: []Action{
+		{Kind: CrashWorker, Worker: 2, At: 100},
+		{Kind: RestartWorker, Worker: 2, At: 200, Step: 3},
+		{Kind: RestartSwitch, At: 50},
+		{Kind: LinkDown, Worker: -1, At: 10},
+		{Kind: LinkUp, Worker: 1, At: 20},
+		{Kind: SetLossRate, Worker: -1, Rate: 0.01},
+		{Kind: SetBurstLoss, Worker: 0, Burst: netsim.GEConfig{PGoodToBad: 0.01, PBadToGood: 0.2, LossBad: 0.9}},
+	}}
+	if err := good.Validate(8); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := []Scenario{
+		{Actions: []Action{{Kind: CrashWorker, Worker: 8}}},
+		{Actions: []Action{{Kind: CrashWorker, Worker: -1}}},
+		{Actions: []Action{{Kind: SetLossRate, Worker: 0, Rate: 1.5}}},
+		{Actions: []Action{{Kind: ActionKind(99)}}},
+		{Actions: []Action{{Kind: CrashWorker, Worker: 0, At: -1}}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(8); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+func TestFaultScenarioStepAnchors(t *testing.T) {
+	sc := Scenario{Actions: []Action{
+		{Kind: CrashWorker, Worker: 0, At: 5},
+		{Kind: CrashWorker, Worker: 1, At: 7, Step: 2},
+		{Kind: RestartSwitch, At: 9, Step: 2},
+	}}
+	if got := len(sc.Absolute()); got != 1 {
+		t.Fatalf("Absolute() returned %d actions, want 1", got)
+	}
+	if got := len(sc.ForStep(2)); got != 2 {
+		t.Fatalf("ForStep(2) returned %d actions, want 2", got)
+	}
+	if got := len(sc.ForStep(3)); got != 0 {
+		t.Fatalf("ForStep(3) returned %d actions, want 0", got)
+	}
+}
+
+func TestFaultTrackerVerdicts(t *testing.T) {
+	const silence = 1000
+	tr := NewTracker(3, silence)
+
+	// Nobody seen: the job is idle, nobody is suspect.
+	if s := tr.Suspects(5000); s != nil {
+		t.Fatalf("suspects with no progress: %v", s)
+	}
+
+	tr.Touch(0, 100)
+	tr.Touch(1, 120)
+	tr.Touch(2, 110)
+	// All within threshold.
+	if s := tr.Suspects(600); s != nil {
+		t.Fatalf("suspects while everyone is fresh: %v", s)
+	}
+
+	// Worker 2 goes silent while 0 and 1 progress.
+	tr.Touch(0, 2000)
+	tr.Touch(1, 2000)
+	s := tr.Suspects(2100)
+	if len(s) != 1 || s[0] != 2 {
+		t.Fatalf("suspects = %v, want [2]", s)
+	}
+
+	// If everyone goes silent (barrier, job done), nobody is suspect.
+	if s := tr.Suspects(5000); s != nil {
+		t.Fatalf("suspects while job idle: %v", s)
+	}
+
+	// Retired workers are not re-suspected, and their touches are
+	// ignored.
+	tr.MarkDead(2)
+	tr.Touch(2, 2500)
+	tr.Touch(0, 2500)
+	if s := tr.Suspects(2600); s != nil {
+		t.Fatalf("suspects after retiring 2: %v", s)
+	}
+	if !tr.Dead(2) || tr.AliveCount() != 2 {
+		t.Fatalf("dead bookkeeping wrong: dead(2)=%v alive=%d", tr.Dead(2), tr.AliveCount())
+	}
+	tr.MarkAlive(2, 3000)
+	if tr.Dead(2) || tr.LastSeen(2) != 3000 {
+		t.Fatalf("MarkAlive did not re-admit: dead=%v seen=%d", tr.Dead(2), tr.LastSeen(2))
+	}
+}
+
+func TestFaultPacketInjectorDeterministic(t *testing.T) {
+	cfg := InjectorConfig{Seed: 42, DropRate: 0.2, DupRate: 0.1, CorruptRate: 0.1}
+	a, err := NewPacketInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewPacketInjector(cfg)
+	var verdicts [500]Verdict
+	for i := range verdicts {
+		verdicts[i] = a.Judge()
+		if got := b.Judge(); got != verdicts[i] {
+			t.Fatalf("verdict %d diverged: %v vs %v", i, verdicts[i], got)
+		}
+	}
+	st := a.Stats()
+	if st.Judged != 500 {
+		t.Fatalf("judged %d, want 500", st.Judged)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 || st.Corrupted == 0 {
+		t.Fatalf("expected all fault classes to fire over 500 draws: %+v", st)
+	}
+	if st.Dropped+st.Duplicated+st.Corrupted > 500 {
+		t.Fatalf("counters exceed judged: %+v", st)
+	}
+}
+
+func TestFaultInjectorMangleBreaksChecksum(t *testing.T) {
+	pi, err := NewPacketInjector(InjectorConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packet.NewUpdate(1, 0, 0, 3, 64, []int32{1, 2, 3, 4})
+	for i := 0; i < 50; i++ {
+		buf := p.Marshal()
+		pi.Mangle(buf)
+		if _, err := packet.Unmarshal(buf); err == nil {
+			t.Fatalf("mangled datagram %d passed the checksum", i)
+		}
+	}
+}
+
+func TestFaultInjectorBurstLoss(t *testing.T) {
+	pi, err := NewPacketInjector(InjectorConfig{
+		Seed:  1,
+		Burst: &netsim.GEConfig{PGoodToBad: 0.02, PBadToGood: 0.25, LossGood: 0, LossBad: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst loss must produce runs of consecutive drops.
+	run, maxRun, drops := 0, 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if pi.Judge() == Drop {
+			drops++
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if drops == 0 {
+		t.Fatal("burst chain never dropped")
+	}
+	if maxRun < 3 {
+		t.Fatalf("max drop run %d; burst loss should produce runs", maxRun)
+	}
+	mean := netsim.GEConfig{PGoodToBad: 0.02, PBadToGood: 0.25, LossGood: 0, LossBad: 1}.MeanLoss()
+	got := float64(drops) / n
+	if got < mean/2 || got > mean*2 {
+		t.Fatalf("empirical loss %v too far from stationary mean %v", got, mean)
+	}
+}

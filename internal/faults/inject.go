@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"switchml/internal/netsim"
+)
+
+// Verdict is a packet injector's decision for one datagram.
+type Verdict int
+
+const (
+	// Pass delivers the datagram untouched.
+	Pass Verdict = iota
+	// Drop loses the datagram.
+	Drop
+	// Duplicate delivers the datagram twice.
+	Duplicate
+	// Corrupt mangles the datagram's bytes before delivery; the
+	// receiver's checksum is expected to reject it.
+	Corrupt
+)
+
+// String returns the verdict's name.
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// InjectorConfig parameterizes a deterministic datagram fault
+// process for the real UDP path, where the kernel network is (on
+// loopback) effectively perfect and faults must be injected above the
+// socket.
+type InjectorConfig struct {
+	// Seed drives the deterministic random process.
+	Seed int64
+	// DropRate is the Bernoulli loss probability in [0,1).
+	DropRate float64
+	// Burst, when non-nil, replaces DropRate with a Gilbert–Elliott
+	// burst loss chain.
+	Burst *netsim.GEConfig
+	// DupRate is the probability a datagram is delivered twice.
+	DupRate float64
+	// CorruptRate is the probability a datagram is mangled in flight.
+	CorruptRate float64
+}
+
+// InjectorStats counts an injector's decisions.
+type InjectorStats struct {
+	Judged, Dropped, Duplicated, Corrupted uint64
+}
+
+// PacketInjector makes seeded per-datagram fault decisions. It is
+// safe for concurrent use: transports consult it from serve loops and
+// client goroutines alike. Decisions are deterministic in sequence
+// (the i-th judged datagram always gets the same verdict for a given
+// seed), which is as reproducible as wall-clock transports get.
+type PacketInjector struct {
+	mu    sync.Mutex
+	cfg   InjectorConfig
+	rng   *rand.Rand
+	ge    *netsim.GilbertElliott
+	stats InjectorStats
+}
+
+// NewPacketInjector validates cfg and returns an injector.
+func NewPacketInjector(cfg InjectorConfig) (*PacketInjector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"DropRate", cfg.DropRate}, {"DupRate", cfg.DupRate}, {"CorruptRate", cfg.CorruptRate}} {
+		if p.v < 0 || p.v >= 1 {
+			return nil, fmt.Errorf("faults: injector %s=%v out of [0,1)", p.name, p.v)
+		}
+	}
+	pi := &PacketInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Burst != nil {
+		ge, err := netsim.NewGilbertElliott(*cfg.Burst)
+		if err != nil {
+			return nil, err
+		}
+		pi.ge = ge
+	}
+	return pi, nil
+}
+
+// Judge decides the fate of the next datagram.
+func (pi *PacketInjector) Judge() Verdict {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	pi.stats.Judged++
+	dropped := false
+	if pi.ge != nil {
+		dropped = pi.ge.Drop(pi.rng)
+	} else if pi.cfg.DropRate > 0 {
+		dropped = pi.rng.Float64() < pi.cfg.DropRate
+	}
+	if dropped {
+		pi.stats.Dropped++
+		return Drop
+	}
+	if pi.cfg.CorruptRate > 0 && pi.rng.Float64() < pi.cfg.CorruptRate {
+		pi.stats.Corrupted++
+		return Corrupt
+	}
+	if pi.cfg.DupRate > 0 && pi.rng.Float64() < pi.cfg.DupRate {
+		pi.stats.Duplicated++
+		return Duplicate
+	}
+	return Pass
+}
+
+// Mangle corrupts buf in place (deterministically, from the seeded
+// stream) the way a bad cable or DMA fault would: a single byte is
+// xored. Callers send the mangled bytes so the receiver's checksum
+// path is exercised end to end.
+func (pi *PacketInjector) Mangle(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	pi.mu.Lock()
+	i := pi.rng.Intn(len(buf))
+	pi.mu.Unlock()
+	buf[i] ^= 0x20 | byte(i)&0x5f | 1
+}
+
+// Stats returns a snapshot of the injector's decision counters.
+func (pi *PacketInjector) Stats() InjectorStats {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.stats
+}

@@ -1,0 +1,115 @@
+package faults
+
+// Tracker is the per-worker liveness bookkeeping behind the failure
+// detector: every protocol message (update, retransmission or
+// explicit heartbeat) from a worker touches its entry, and a sweep
+// asks for suspects — workers silent past the threshold while at
+// least one peer kept making progress, the condition that separates
+// "the job is idle" from "this worker is dead".
+//
+// Time is plain int64 nanoseconds so the same tracker serves both the
+// simulator (virtual time) and the UDP transport (wall clock). The
+// tracker is not synchronized; hosts serialize access (the rack is
+// single-threaded, the aggregator holds its mutex).
+type Tracker struct {
+	// lastSeen is the last progress timestamp per worker; -1 means
+	// never seen (a worker that never joined cannot be detected or
+	// notified, so it is ignored by sweeps).
+	lastSeen []int64
+	dead     []bool
+	silence  int64
+}
+
+// NewTracker returns a tracker for n workers with the given silence
+// threshold in nanoseconds.
+func NewTracker(n int, silence int64) *Tracker {
+	t := &Tracker{
+		lastSeen: make([]int64, n),
+		dead:     make([]bool, n),
+		silence:  silence,
+	}
+	for i := range t.lastSeen {
+		t.lastSeen[i] = -1
+	}
+	return t
+}
+
+// Silence returns the configured silence threshold.
+func (t *Tracker) Silence() int64 { return t.silence }
+
+// Touch records progress from worker w at time now. Progress from a
+// worker already declared dead is ignored: its epoch has been retired
+// and it can only rejoin through a reconfiguration.
+func (t *Tracker) Touch(w int, now int64) {
+	if w < 0 || w >= len(t.lastSeen) || t.dead[w] {
+		return
+	}
+	t.lastSeen[w] = now
+}
+
+// LastSeen returns worker w's last progress timestamp, -1 if never
+// seen.
+func (t *Tracker) LastSeen(w int) int64 {
+	if w < 0 || w >= len(t.lastSeen) {
+		return -1
+	}
+	return t.lastSeen[w]
+}
+
+// MarkDead retires a worker; it is excluded from future sweeps.
+func (t *Tracker) MarkDead(w int) {
+	if w >= 0 && w < len(t.dead) {
+		t.dead[w] = true
+	}
+}
+
+// MarkAlive re-admits a worker (job reconfiguration after a restart),
+// resetting its progress clock to now so it is not immediately
+// re-suspected.
+func (t *Tracker) MarkAlive(w int, now int64) {
+	if w >= 0 && w < len(t.dead) {
+		t.dead[w] = false
+		t.lastSeen[w] = now
+	}
+}
+
+// Dead reports whether worker w has been retired.
+func (t *Tracker) Dead(w int) bool {
+	return w >= 0 && w < len(t.dead) && t.dead[w]
+}
+
+// AliveCount returns the number of workers not retired.
+func (t *Tracker) AliveCount() int {
+	n := 0
+	for _, d := range t.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Suspects returns the workers the detector would declare failed at
+// time now: seen at least once, not retired, silent for longer than
+// the threshold — provided at least one other live worker made
+// progress within the threshold (otherwise the whole job is idle and
+// silence means nothing).
+func (t *Tracker) Suspects(now int64) []int {
+	someoneActive := false
+	for w, seen := range t.lastSeen {
+		if !t.dead[w] && seen >= 0 && now-seen <= t.silence {
+			someoneActive = true
+			break
+		}
+	}
+	if !someoneActive {
+		return nil
+	}
+	var out []int
+	for w, seen := range t.lastSeen {
+		if !t.dead[w] && seen >= 0 && now-seen > t.silence {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -31,10 +31,11 @@ func (f NodeFunc) Deliver(msg Message) { f(msg) }
 type LinkStats struct {
 	// Sent is the number of messages handed to the link.
 	Sent uint64
-	// Dropped is the number of messages lost to the configured loss
-	// probability.
+	// Dropped is the number of messages lost for any reason (loss
+	// process, blackout, or corruption).
 	Dropped uint64
-	// Delivered is the number of messages handed to the destination.
+	// Delivered is the number of messages handed to the destination,
+	// including injected duplicates.
 	Delivered uint64
 	// Bytes is the total wire bytes of sent messages, including
 	// dropped ones (they occupied the wire before being lost).
@@ -42,6 +43,16 @@ type LinkStats struct {
 	// MaxQueue is the maximum serialization backlog observed, as a
 	// virtual-time span.
 	MaxQueue Time
+	// Blackholed counts messages dropped because the link was down
+	// (included in Dropped).
+	Blackholed uint64
+	// Corrupted counts messages mangled in flight; the simulator
+	// models the receiver's checksum discarding them, so they are also
+	// included in Dropped.
+	Corrupted uint64
+	// Duplicated counts extra deliveries injected by the duplication
+	// fault.
+	Duplicated uint64
 }
 
 // Link is a unidirectional point-to-point link with a given bandwidth
@@ -58,8 +69,17 @@ type Link struct {
 	bitsPerSec float64
 	// prop is the one-way propagation delay.
 	prop Time
-	// lossRate is the probability in [0,1) that a message is dropped.
-	lossRate float64
+	// loss is the drop process; nil means lossless.
+	loss LossModel
+	// down blackholes every message while set (link blackout fault).
+	down bool
+	// dupRate is the probability a delivered message is delivered
+	// twice (duplication fault).
+	dupRate float64
+	// corruptRate is the probability a message is mangled in flight;
+	// the receiver's checksum discards it, so it behaves as a counted
+	// drop.
+	corruptRate float64
 	// dst receives delivered messages.
 	dst Node
 	// nextFree is the virtual time at which the transmitter becomes
@@ -76,8 +96,19 @@ type LinkConfig struct {
 	BitsPerSec float64
 	// Propagation is the one-way propagation delay.
 	Propagation Time
-	// LossRate is the per-message drop probability in [0,1).
+	// LossRate is the per-message drop probability in [0,1),
+	// modelling independent Bernoulli loss.
 	LossRate float64
+	// Loss, when non-nil, overrides LossRate with an arbitrary (and
+	// possibly stateful, e.g. Gilbert–Elliott burst) loss process. The
+	// model instance must be exclusive to this link.
+	Loss LossModel
+	// DupRate is the probability in [0,1) that a delivered message is
+	// delivered twice.
+	DupRate float64
+	// CorruptRate is the probability in [0,1) that a message is
+	// mangled in flight and discarded by the receiver's checksum.
+	CorruptRate float64
 }
 
 // NewLink creates a link inside sim delivering to dst.
@@ -91,13 +122,25 @@ func NewLink(sim *Sim, cfg LinkConfig, dst Node) *Link {
 	if dst == nil {
 		panic(fmt.Sprintf("netsim: link %q has no destination", cfg.Name))
 	}
+	if cfg.DupRate < 0 || cfg.DupRate >= 1 {
+		panic(fmt.Sprintf("netsim: link %q dup rate %v out of [0,1)", cfg.Name, cfg.DupRate))
+	}
+	if cfg.CorruptRate < 0 || cfg.CorruptRate >= 1 {
+		panic(fmt.Sprintf("netsim: link %q corrupt rate %v out of [0,1)", cfg.Name, cfg.CorruptRate))
+	}
+	loss := cfg.Loss
+	if loss == nil && cfg.LossRate > 0 {
+		loss = Bernoulli{P: cfg.LossRate}
+	}
 	return &Link{
-		sim:        sim,
-		name:       cfg.Name,
-		bitsPerSec: cfg.BitsPerSec,
-		prop:       cfg.Propagation,
-		lossRate:   cfg.LossRate,
-		dst:        dst,
+		sim:         sim,
+		name:        cfg.Name,
+		bitsPerSec:  cfg.BitsPerSec,
+		prop:        cfg.Propagation,
+		loss:        loss,
+		dupRate:     cfg.DupRate,
+		corruptRate: cfg.CorruptRate,
+		dst:         dst,
 	}
 }
 
@@ -107,13 +150,55 @@ func (l *Link) Name() string { return l.name }
 // Stats returns a snapshot of the link's counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
-// SetLossRate changes the drop probability; experiments use this to
-// inject loss mid-run.
+// SetLossRate changes the drop probability to an independent Bernoulli
+// process; experiments use this to inject loss mid-run.
 func (l *Link) SetLossRate(rate float64) {
 	if rate < 0 || rate >= 1 {
 		panic(fmt.Sprintf("netsim: loss rate %v out of [0,1)", rate))
 	}
-	l.lossRate = rate
+	if rate == 0 {
+		l.loss = nil
+		return
+	}
+	l.loss = Bernoulli{P: rate}
+}
+
+// SetLossModel installs an arbitrary loss process (nil = lossless).
+// The model instance must be exclusive to this link.
+func (l *Link) SetLossModel(m LossModel) { l.loss = m }
+
+// SetDown blacks the link out (every message is dropped) or restores
+// it; fault scenarios use it for blackout windows. State transitions
+// are traced as LinkDown/LinkUp events.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	t := telemetry.EvLinkUp
+	if down {
+		t = telemetry.EvLinkDown
+	}
+	l.trace(t, l.sim.Now(), 0)
+}
+
+// Down reports whether the link is blacked out.
+func (l *Link) Down() bool { return l.down }
+
+// SetDupRate changes the duplication fault probability.
+func (l *Link) SetDupRate(rate float64) {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("netsim: dup rate %v out of [0,1)", rate))
+	}
+	l.dupRate = rate
+}
+
+// SetCorruptRate changes the corruption fault probability.
+func (l *Link) SetCorruptRate(rate float64) {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("netsim: corrupt rate %v out of [0,1)", rate))
+	}
+	l.corruptRate = rate
 }
 
 // SerializationDelay returns how long a message of the given size
@@ -152,19 +237,41 @@ func (l *Link) Send(msg Message) Time {
 	l.stats.Bytes += uint64(size)
 	l.trace(telemetry.EvPacketSent, now, size)
 
-	if l.lossRate > 0 && l.sim.Rand().Float64() < l.lossRate {
+	if l.down {
+		l.stats.Dropped++
+		l.stats.Blackholed++
+		l.trace(telemetry.EvPacketDropped, txDone, size)
+		return txDone
+	}
+	if l.loss != nil && l.loss.Drop(l.sim.Rand()) {
 		l.stats.Dropped++
 		// Stamped at txDone: the message occupied the wire before the
 		// loss process ate it.
 		l.trace(telemetry.EvPacketDropped, txDone, size)
 		return txDone
 	}
+	if l.corruptRate > 0 && l.sim.Rand().Float64() < l.corruptRate {
+		// The mangled frame reaches the receiver, fails the checksum
+		// and is discarded — indistinguishable from a drop above the
+		// link layer (§3.4), but counted separately.
+		l.stats.Dropped++
+		l.stats.Corrupted++
+		l.trace(telemetry.EvPacketDropped, txDone, size)
+		return txDone
+	}
+	deliveries := 1
+	if l.dupRate > 0 && l.sim.Rand().Float64() < l.dupRate {
+		deliveries = 2
+		l.stats.Duplicated++
+	}
 	arrival := txDone + l.prop
-	l.sim.At(arrival, func() {
-		l.stats.Delivered++
-		l.trace(telemetry.EvPacketRecv, arrival, size)
-		l.dst.Deliver(msg)
-	})
+	for i := 0; i < deliveries; i++ {
+		l.sim.At(arrival, func() {
+			l.stats.Delivered++
+			l.trace(telemetry.EvPacketRecv, arrival, size)
+			l.dst.Deliver(msg)
+		})
+	}
 	return txDone
 }
 

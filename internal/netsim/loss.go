@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LossModel decides, per message, whether the link's loss process eats
+// it. Implementations may keep state (burst models); a model instance
+// therefore belongs to exactly one link and must not be shared.
+type LossModel interface {
+	// Drop consumes randomness from the simulation's deterministic
+	// source and reports whether the message is lost.
+	Drop(r *rand.Rand) bool
+}
+
+// Bernoulli is the memoryless loss process the paper injects per link
+// in §5.5: each message is dropped independently with probability P.
+type Bernoulli struct {
+	// P is the drop probability in [0,1).
+	P float64
+}
+
+// Drop implements LossModel.
+func (b Bernoulli) Drop(r *rand.Rand) bool {
+	return b.P > 0 && r.Float64() < b.P
+}
+
+// GEConfig parameterizes a Gilbert–Elliott two-state burst loss
+// process: the link alternates between a good state (rare residual
+// loss) and a bad state (heavy loss), with geometric sojourn times.
+// Unlike Bernoulli loss, drops arrive in bursts, the failure mode of
+// congested or flapping links that stresses recovery far harder than
+// independent loss at the same average rate.
+type GEConfig struct {
+	// PGoodToBad is the per-message probability of entering the bad
+	// state while good.
+	PGoodToBad float64
+	// PBadToGood is the per-message probability of leaving the bad
+	// state.
+	PBadToGood float64
+	// LossGood is the drop probability while good (often 0).
+	LossGood float64
+	// LossBad is the drop probability while bad (often near 1).
+	LossBad float64
+}
+
+func (c GEConfig) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodToBad", c.PGoodToBad}, {"PBadToGood", c.PBadToGood},
+		{"LossGood", c.LossGood}, {"LossBad", c.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("netsim: gilbert-elliott %s=%v out of [0,1]", p.name, p.v)
+		}
+	}
+	if c.LossGood >= 1 || c.LossBad > 1 {
+		return fmt.Errorf("netsim: gilbert-elliott loss probabilities out of range")
+	}
+	return nil
+}
+
+// MeanLoss returns the stationary average drop probability of the
+// chain, useful for comparing a burst configuration against a
+// Bernoulli rate.
+func (c GEConfig) MeanLoss() float64 {
+	if c.PGoodToBad == 0 && c.PBadToGood == 0 {
+		return c.LossGood
+	}
+	pBad := c.PGoodToBad / (c.PGoodToBad + c.PBadToGood)
+	return (1-pBad)*c.LossGood + pBad*c.LossBad
+}
+
+// GilbertElliott is the stateful two-state chain. Construct one per
+// link with NewGilbertElliott.
+type GilbertElliott struct {
+	cfg GEConfig
+	bad bool
+}
+
+// NewGilbertElliott validates cfg and returns a chain starting in the
+// good state.
+func NewGilbertElliott(cfg GEConfig) (*GilbertElliott, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &GilbertElliott{cfg: cfg}, nil
+}
+
+// Bad reports whether the chain is currently in the bad state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// Drop implements LossModel: advance the state chain, then draw the
+// state's loss probability.
+func (g *GilbertElliott) Drop(r *rand.Rand) bool {
+	if g.bad {
+		if r.Float64() < g.cfg.PBadToGood {
+			g.bad = false
+		}
+	} else {
+		if r.Float64() < g.cfg.PGoodToBad {
+			g.bad = true
+		}
+	}
+	p := g.cfg.LossGood
+	if g.bad {
+		p = g.cfg.LossBad
+	}
+	return p > 0 && r.Float64() < p
+}

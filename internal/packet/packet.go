@@ -70,6 +70,24 @@ const (
 	// single worker that re-sent an update for an already-complete
 	// slot (Algorithm 3, lines 19-21).
 	KindResultUnicast
+	// KindReconfig is a control message from the aggregator's failure
+	// controller to the workers: a new job generation (JobID) is in
+	// effect after a membership change, and each worker must report
+	// its progress frontier. Vector carries the surviving worker ids.
+	KindReconfig
+	// KindReport is a worker's reply to KindReconfig: Off carries the
+	// worker's progress frontier as a global stream offset — the first
+	// element whose aggregate it has not received.
+	KindReport
+	// KindResume is the controller's resume directive: Off carries the
+	// global recovery frontier (the minimum reported stream offset);
+	// every worker re-aggregates its interrupted tensor from that
+	// chunk boundary under the new job generation.
+	KindResume
+	// KindHeartbeat is an explicit worker liveness beacon, sent while
+	// a worker is alive but has no updates in flight so the silence
+	// detector does not evict it between tensors.
+	KindHeartbeat
 )
 
 // String returns a short human-readable name for the kind.
@@ -81,6 +99,14 @@ func (k Kind) String() string {
 		return "result"
 	case KindResultUnicast:
 		return "result-unicast"
+	case KindReconfig:
+		return "reconfig"
+	case KindReport:
+		return "report"
+	case KindResume:
+		return "resume"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -124,6 +150,22 @@ func NewUpdate(worker uint16, job uint16, ver uint8, idx uint32, off uint64, vec
 		JobID:    job,
 		Ver:      ver,
 		Idx:      idx,
+		Off:      off,
+		Vector:   v,
+	}
+}
+
+// NewControl builds a control-plane packet (reconfig, report, resume
+// or heartbeat) addressed to or from the given worker. Off carries the
+// kind-specific argument (chunk frontier); vec, which may be nil, is
+// copied.
+func NewControl(kind Kind, worker uint16, job uint16, off uint64, vec []int32) *Packet {
+	v := make([]int32, len(vec))
+	copy(v, vec)
+	return &Packet{
+		Kind:     kind,
+		WorkerID: worker,
+		JobID:    job,
 		Off:      off,
 		Vector:   v,
 	}
@@ -211,7 +253,7 @@ func Unmarshal(buf []byte) (*Packet, error) {
 		return nil, fmt.Errorf("packet: checksum mismatch (got %#x want %#x)", got, want)
 	}
 	k := Kind(buf[2])
-	if k > KindResultUnicast {
+	if k > KindHeartbeat {
 		return nil, fmt.Errorf("packet: unknown kind %d", buf[2])
 	}
 	p := &Packet{

@@ -1,0 +1,364 @@
+// Fault injection and failure recovery for the simulated rack: the
+// scripted actions of internal/faults are applied to hosts, links and
+// the switch at their trigger times, and a failure controller —
+// playing the role of the machine-learning framework's coordinator in
+// §5.6 — detects silent workers, shrinks the membership under a new
+// job generation, and resumes every survivor from the global progress
+// frontier.
+package rack
+
+import (
+	"switchml/internal/core"
+	"switchml/internal/faults"
+	"switchml/internal/netsim"
+	"switchml/internal/telemetry"
+)
+
+// LivenessConfig tunes the failure detector (§5.6: worker failures
+// "are detected via timeouts").
+type LivenessConfig struct {
+	// SilenceAfter is how long a worker may stay silent — while at
+	// least one peer keeps making progress — before the controller
+	// declares it failed; zero selects 16×RTO. Values below the
+	// maximum retransmission backoff (64×RTO) trade detection speed
+	// against the risk of retiring a merely unlucky worker.
+	SilenceAfter netsim.Time
+	// CheckEvery is the detector's sweep period; zero selects
+	// SilenceAfter/4. Detection latency is at most
+	// SilenceAfter + CheckEvery past the last packet of the failed
+	// worker.
+	CheckEvery netsim.Time
+}
+
+func (c *LivenessConfig) fillDefaults(rto netsim.Time) {
+	if c.SilenceAfter == 0 {
+		c.SilenceAfter = 16 * rto
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = c.SilenceAfter / 4
+	}
+}
+
+// controller is the failure detector and recovery coordinator.
+type controller struct {
+	r       *Rack
+	cfg     LivenessConfig
+	tracker *faults.Tracker
+	// sweeping guards against arming a second sweep chain.
+	sweeping bool
+}
+
+func newController(r *Rack, cfg LivenessConfig) *controller {
+	return &controller{
+		r:       r,
+		cfg:     cfg,
+		tracker: faults.NewTracker(r.cfg.Workers, int64(cfg.SilenceAfter)),
+	}
+}
+
+// begin arms the periodic sweep at the start of a step; the chain
+// stops re-arming once every live worker is done, so the simulation
+// can drain.
+func (c *controller) begin() {
+	if c.sweeping {
+		return
+	}
+	c.sweeping = true
+	c.arm()
+}
+
+func (c *controller) arm() { c.r.sim.After(c.cfg.CheckEvery, c.sweep) }
+
+// sweep is one detector pass: workers silent past the threshold while
+// a peer made progress are declared failed, and any verdict triggers
+// recovery.
+func (c *controller) sweep() {
+	r := c.r
+	if r.allLiveDone() {
+		c.sweeping = false
+		return
+	}
+	verdict := false
+	for _, w := range c.tracker.Suspects(int64(r.sim.Now())) {
+		if c.tracker.AliveCount() <= 1 {
+			break // never retire the last worker
+		}
+		c.tracker.MarkDead(w)
+		r.traceCtrl(telemetry.EvFailureDetected, "controller", int32(w), -1)
+		verdict = true
+	}
+	if verdict {
+		c.recover()
+	}
+	c.arm()
+}
+
+// recover is the §5.6 recovery sequence: retire failed workers from
+// the switch membership under a new job generation (wiping the pool,
+// so no slot can ever mix contributions across generations), then
+// restart every survivor from the global progress frontier — the
+// minimum over survivors of their first missing chunk. Every chunk at
+// or past the frontier is re-aggregated by everyone, so all survivors
+// walk identical slot schedules again and converge to
+// bitwise-identical aggregates.
+func (c *controller) recover() {
+	r := c.r
+	r.epoch++
+	active := make([]bool, r.cfg.Workers)
+	for i := range active {
+		active[i] = !c.tracker.Dead(i)
+	}
+	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil {
+		if r.faultErr == nil {
+			r.faultErr = err
+		}
+		return
+	}
+	r.traceCtrl(telemetry.EvReconfigure, "controller", -1, int64(r.epoch))
+
+	resume := false
+	frontier := ^uint64(0)
+	for i, h := range r.hosts {
+		if h.crashed || c.tracker.Dead(i) {
+			continue
+		}
+		if !h.finished {
+			resume = true
+		}
+		if f := h.worker.FrontierOff(); f < frontier {
+			frontier = f
+		}
+	}
+	for i, h := range r.hosts {
+		if h.crashed || c.tracker.Dead(i) {
+			continue
+		}
+		if !resume {
+			// Nothing in flight: just install the new generation and
+			// reset the pool versions to match the wiped switch.
+			h.worker.Resume(r.epoch, h.worker.ChunkCount())
+			continue
+		}
+		if err := h.Resume(r.epoch, frontier); err != nil && r.faultErr == nil {
+			r.faultErr = err
+		}
+	}
+}
+
+// allLiveDone reports whether every worker still in the job holds its
+// aggregate.
+func (r *Rack) allLiveDone() bool {
+	for i, h := range r.hosts {
+		if h.crashed || r.dead(i) {
+			continue
+		}
+		if !h.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// Epoch returns the current job generation.
+func (r *Rack) Epoch() uint16 { return r.epoch }
+
+// traceCtrl emits a controller- or switch-scope event.
+func (r *Rack) traceCtrl(t telemetry.EventType, actor string, worker int32, off int64) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, int64(r.sim.Now()))
+	e.Actor = actor
+	e.Worker = worker
+	e.Off = off
+	r.cfg.Tracer.Emit(e)
+}
+
+// RestartSwitch models a switch reboot mid-job: all register state
+// (slots, bitmaps, counters) is wiped, §5.6's switch-failure case.
+// The controller notices after a sweep period and re-runs recovery —
+// the same generation bump and frontier resume as for a worker
+// failure, with the membership unchanged. Slot results computed
+// before the wipe were complete and correct; the generation bump
+// ensures nothing aggregated after it can mix with contributions from
+// before.
+func (r *Rack) RestartSwitch() {
+	r.sw.sw.Reset()
+	r.traceCtrl(telemetry.EvSwitchRestart, "switch", -1, -1)
+	if r.ctrl == nil {
+		return
+	}
+	r.sim.After(r.ctrl.cfg.CheckEvery, func() {
+		if !r.allLiveDone() {
+			r.ctrl.recover()
+		}
+	})
+}
+
+// restartJob re-admits restarted workers at a step boundary: the
+// paper's recovery restarts the job from the last checkpoint, so
+// every host gets a fresh protocol state machine (stream offsets
+// restart at zero), the switch membership is rebuilt under a new
+// generation, and old failure verdicts are forgotten.
+func (r *Rack) restartJob() {
+	r.rejoin = false
+	r.epoch++
+	active := make([]bool, r.cfg.Workers)
+	for i, h := range r.hosts {
+		active[i] = !h.crashed
+		if h.crashed {
+			continue
+		}
+		h.resetWorker()
+		h.worker.SetJobID(r.epoch)
+		if r.ctrl != nil {
+			r.ctrl.tracker.MarkAlive(i, int64(r.sim.Now()))
+		}
+	}
+	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil && r.faultErr == nil {
+		r.faultErr = err
+	}
+	r.traceCtrl(telemetry.EvReconfigure, "controller", -1, int64(r.epoch))
+}
+
+// apply executes one scripted fault action at its trigger time.
+func (r *Rack) apply(a faults.Action) {
+	switch a.Kind {
+	case faults.CrashWorker:
+		r.hosts[a.Worker].Crash()
+	case faults.RestartWorker:
+		h := r.hosts[a.Worker]
+		if h.crashed {
+			h.Restart()
+			r.rejoin = true
+		}
+	case faults.RestartSwitch:
+		r.RestartSwitch()
+	case faults.LinkDown:
+		for _, l := range r.linksOf(a.Worker) {
+			l.SetDown(true)
+		}
+	case faults.LinkUp:
+		for _, l := range r.linksOf(a.Worker) {
+			l.SetDown(false)
+		}
+	case faults.SetLossRate:
+		for _, l := range r.linksOf(a.Worker) {
+			l.SetLossRate(a.Rate)
+		}
+	case faults.SetBurstLoss:
+		for _, l := range r.linksOf(a.Worker) {
+			// Validated by Scenario.Validate; each link needs its own
+			// chain instance.
+			ge, err := netsim.NewGilbertElliott(a.Burst)
+			if err != nil {
+				if r.faultErr == nil {
+					r.faultErr = err
+				}
+				return
+			}
+			l.SetLossModel(ge)
+		}
+	}
+}
+
+// linksOf returns the access links touched by a link-scoped action:
+// both directions of worker w's links, or every link when w is -1.
+func (r *Rack) linksOf(w int) []*netsim.Link {
+	if w < 0 {
+		links := append([]*netsim.Link(nil), r.uplink...)
+		return append(links, r.sw.downlinks...)
+	}
+	return []*netsim.Link{r.uplink[w], r.sw.downlinks[w]}
+}
+
+// Crash kills the host: pending timers die with it and it neither
+// sends nor receives until Restart.
+func (h *WorkerHost) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.trace(telemetry.EvWorkerCrash, -1, -1)
+	for i, t := range h.timers {
+		if t != nil {
+			t.Cancel()
+			h.timers[i] = nil
+		}
+	}
+}
+
+// Crashed reports whether the host is currently down.
+func (h *WorkerHost) Crashed() bool { return h.crashed }
+
+// Restart revives a crashed host with a fresh protocol state machine
+// — the process memory is gone. It rejoins the job at the next step
+// boundary, when the rack restarts the job under a new generation.
+func (h *WorkerHost) Restart() {
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	h.trace(telemetry.EvWorkerRestart, -1, -1)
+	h.resetWorker()
+}
+
+// resetWorker rebuilds the protocol state machine and clears all host
+// timing state.
+func (h *WorkerHost) resetWorker() {
+	w, err := core.NewWorker(h.wcfg)
+	if err != nil {
+		// The identical configuration was validated at construction.
+		panic(err)
+	}
+	h.worker = w
+	for i := range h.coreFree {
+		h.coreFree[i] = 0
+	}
+	for i := range h.timers {
+		if t := h.timers[i]; t != nil {
+			t.Cancel()
+			h.timers[i] = nil
+		}
+		h.backoff[i] = 0
+		h.retxed[i] = false
+		h.sentAt[i] = 0
+	}
+	h.srtt, h.rttvar = 0, 0
+	h.finished = false
+}
+
+// Resume restarts the host's tensor from the global recovery frontier
+// under a new job generation: pending timers and backoff state are
+// cleared, the protocol state machine re-opens the tensor at the
+// frontier (see core.Worker.Resume for why every survivor uses the
+// same frontier), and the new initial window goes out. A host whose
+// tensor was already complete is re-opened and its completion
+// callback fires a second time.
+func (h *WorkerHost) Resume(jobID uint16, off uint64) error {
+	if h.crashed {
+		return nil
+	}
+	for i := range h.timers {
+		if t := h.timers[i]; t != nil {
+			t.Cancel()
+			h.timers[i] = nil
+		}
+		h.backoff[i] = 0
+		h.retxed[i] = false
+	}
+	pkts, err := h.worker.ResumeAt(jobID, off)
+	if err != nil {
+		return err
+	}
+	h.trace(telemetry.EvResume, -1, int64(off))
+	if len(pkts) == 0 {
+		return nil
+	}
+	h.finished = false
+	for _, p := range pkts {
+		p := p
+		h.sim.At(h.charge(p.Idx), func() { h.transmit(p, false) })
+	}
+	return nil
+}

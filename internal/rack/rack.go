@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"switchml/internal/core"
+	"switchml/internal/faults"
 	"switchml/internal/netsim"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
@@ -36,6 +37,18 @@ type Config struct {
 	Propagation netsim.Time
 	// LossRate is the per-link, per-packet drop probability.
 	LossRate float64
+	// BurstLoss, when non-nil, replaces the Bernoulli process of
+	// LossRate with a Gilbert–Elliott burst loss chain; every link
+	// gets its own chain state, so bursts on different links are
+	// independent.
+	BurstLoss *netsim.GEConfig
+	// DupRate is the per-link probability that a delivered packet
+	// arrives twice.
+	DupRate float64
+	// CorruptRate is the per-link probability that a packet is mangled
+	// in flight; the receiver's checksum discards it, so above the link
+	// layer it behaves as a (separately counted) drop.
+	CorruptRate float64
 	// PerPacketCost is the worker CPU time to process one packet
 	// (receive, copy, convert, send); zero selects 110 ns, which puts
 	// one core just above 10 Gbps line rate as in the paper (§4: "one
@@ -61,6 +74,16 @@ type Config struct {
 	LossRecovery bool
 	// Seed drives the deterministic loss process.
 	Seed int64
+	// Faults optionally scripts deterministic fault injection — worker
+	// crashes and restarts, switch restarts wiping register state, link
+	// blackout windows, loss-rate changes — anchored to absolute
+	// virtual time or to aggregation steps (§5.6's failure cases).
+	Faults *faults.Scenario
+	// Liveness configures the failure detector and recovery
+	// controller. It defaults on (with default thresholds) whenever
+	// Faults contains crash or restart actions; set it explicitly to
+	// tune thresholds or to run detection without scripted faults.
+	Liveness *LivenessConfig
 	// Tracer observes every protocol event in the rack, stamped with
 	// virtual time: link transmit/receive/drop (netsim), slot
 	// aggregation and shadow reads (switch), and retransmissions,
@@ -106,6 +129,19 @@ func (c *Config) fillDefaults() {
 	}
 	if c.PoolSize == 0 {
 		c.PoolSize = TunePoolSize(c.LinkBitsPerSec, c.wireBytes(), c.rttEstimate())
+	}
+	if c.Liveness == nil && c.Faults != nil {
+		for _, a := range c.Faults.Actions {
+			if a.Kind == faults.CrashWorker || a.Kind == faults.RestartWorker || a.Kind == faults.RestartSwitch {
+				c.Liveness = &LivenessConfig{}
+				break
+			}
+		}
+	}
+	if c.Liveness != nil {
+		lv := *c.Liveness
+		lv.fillDefaults(c.RTO)
+		c.Liveness = &lv
 	}
 }
 
@@ -155,6 +191,10 @@ type Result struct {
 	RTTs []netsim.Time
 	// Retransmissions is the total across workers.
 	Retransmissions uint64
+	// Failed lists the workers that did not survive the step: crashed
+	// by the fault script or declared failed by the controller. Their
+	// Done entries are zero and they are excluded from TAT.
+	Failed []int
 }
 
 // Rack is a simulated SwitchML deployment.
@@ -164,6 +204,22 @@ type Rack struct {
 	sw     *switchNode
 	hosts  []*WorkerHost
 	uplink []*netsim.Link
+	// ctrl is the failure detector / recovery controller, nil unless
+	// Config.Liveness is set.
+	ctrl *controller
+	// epoch is the current job generation; the controller bumps it on
+	// every reconfiguration so stale packets are rejected by the
+	// switch's JobID admission check.
+	epoch uint16
+	// step counts AllReduce calls, the anchor for step-relative fault
+	// actions.
+	step int
+	// rejoin marks that a restarted worker is waiting to be re-admitted
+	// at the next step boundary.
+	rejoin bool
+	// faultErr records an unrecoverable error raised inside the
+	// simulation loop (e.g. a resume frontier no worker can honor).
+	faultErr error
 }
 
 // NewRack builds the topology. Loss recovery defaults to on; callers
@@ -173,8 +229,19 @@ func NewRack(cfg Config) (*Rack, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("rack: worker count must be positive, got %d", cfg.Workers)
 	}
-	if !cfg.LossRecovery && cfg.LossRate > 0 {
+	if !cfg.LossRecovery && (cfg.LossRate > 0 || cfg.BurstLoss != nil || cfg.DupRate > 0 ||
+		cfg.CorruptRate > 0 || cfg.Faults != nil) {
 		return nil, fmt.Errorf("rack: loss injection requires loss recovery (Algorithm 3)")
+	}
+	if cfg.BurstLoss != nil {
+		if _, err := netsim.NewGilbertElliott(*cfg.BurstLoss); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.Workers); err != nil {
+			return nil, err
+		}
 	}
 	cfg.fillDefaults()
 	sim := netsim.NewSim(cfg.Seed)
@@ -193,24 +260,47 @@ func NewRack(cfg Config) (*Rack, error) {
 		if i < len(cfg.WorkerLinkBitsPerSec) && cfg.WorkerLinkBitsPerSec[i] > 0 {
 			rate = cfg.WorkerLinkBitsPerSec[i]
 		}
-		up := netsim.NewLink(sim, netsim.LinkConfig{
-			Name:        fmt.Sprintf("w%d->sw", i),
-			BitsPerSec:  rate,
-			Propagation: cfg.Propagation,
-			LossRate:    cfg.LossRate,
-		}, sw)
-		down := netsim.NewLink(sim, netsim.LinkConfig{
-			Name:        fmt.Sprintf("sw->w%d", i),
-			BitsPerSec:  rate,
-			Propagation: cfg.Propagation,
-			LossRate:    cfg.LossRate,
-		}, h)
+		up := netsim.NewLink(sim, cfg.linkConfig(fmt.Sprintf("w%d->sw", i), rate), sw)
+		down := netsim.NewLink(sim, cfg.linkConfig(fmt.Sprintf("sw->w%d", i), rate), h)
 		h.uplink = up
 		sw.downlinks = append(sw.downlinks, down)
 		r.hosts = append(r.hosts, h)
 		r.uplink = append(r.uplink, up)
 	}
+	if cfg.Liveness != nil {
+		r.ctrl = newController(r, *cfg.Liveness)
+		sw.seen = func(w int) { r.ctrl.tracker.Touch(w, int64(sim.Now())) }
+	}
+	if cfg.Faults != nil {
+		for _, a := range cfg.Faults.Absolute() {
+			a := a
+			sim.At(a.At, func() { r.apply(a) })
+		}
+	}
 	return r, nil
+}
+
+// linkConfig assembles one access link's configuration. Each call
+// builds a fresh burst-loss chain when burst loss is on: the chain is
+// stateful and must be exclusive to its link.
+func (c *Config) linkConfig(name string, rate float64) netsim.LinkConfig {
+	lc := netsim.LinkConfig{
+		Name:        name,
+		BitsPerSec:  rate,
+		Propagation: c.Propagation,
+		LossRate:    c.LossRate,
+		DupRate:     c.DupRate,
+		CorruptRate: c.CorruptRate,
+	}
+	if c.BurstLoss != nil {
+		// Validated by NewRack; construction cannot fail here.
+		ge, err := netsim.NewGilbertElliott(*c.BurstLoss)
+		if err == nil {
+			lc.Loss = ge
+			lc.LossRate = 0
+		}
+	}
+	return lc
 }
 
 // Config returns the rack's effective configuration (defaults
@@ -246,23 +336,52 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 	if len(updates) != r.cfg.Workers {
 		return Result{}, fmt.Errorf("rack: got %d updates for %d workers", len(updates), r.cfg.Workers)
 	}
+	r.step++
+	if r.rejoin {
+		r.restartJob()
+	}
+	if r.cfg.Faults != nil {
+		now := r.sim.Now()
+		for _, a := range r.cfg.Faults.ForStep(r.step) {
+			a := a
+			r.sim.At(now+a.At, func() { r.apply(a) })
+		}
+	}
 	res := Result{
 		Start: r.sim.Now(),
 		Done:  make([]netsim.Time, r.cfg.Workers),
 	}
-	remaining := r.cfg.Workers
+	started := make([]bool, r.cfg.Workers)
 	for i, h := range r.hosts {
+		if h.crashed || r.dead(i) {
+			continue
+		}
+		started[i] = true
 		i := i
 		h.Start(updates[i], func(t netsim.Time) {
 			res.Done[i] = t
-			remaining--
 		})
+		if r.ctrl != nil {
+			r.ctrl.tracker.Touch(i, int64(r.sim.Now()))
+		}
+	}
+	if r.ctrl != nil {
+		r.ctrl.begin()
 	}
 	r.sim.Run()
-	if remaining != 0 {
-		return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished", remaining)
+	if r.faultErr != nil {
+		return Result{}, r.faultErr
 	}
+	unfinished := 0
 	for i, h := range r.hosts {
+		if !started[i] || h.crashed || r.dead(i) {
+			res.Failed = append(res.Failed, i)
+			continue
+		}
+		if !h.finished {
+			unfinished++
+			continue
+		}
 		if d := res.Done[i] - res.Start; d > res.TAT {
 			res.TAT = d
 		}
@@ -272,7 +391,15 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 			h.rtts = nil
 		}
 	}
+	if unfinished > 0 {
+		return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished", unfinished)
+	}
 	return res, nil
+}
+
+// dead reports whether the controller has declared worker i failed.
+func (r *Rack) dead(i int) bool {
+	return r.ctrl != nil && r.ctrl.tracker.Dead(i)
 }
 
 // Aggregate returns worker i's aggregation output buffer.
@@ -315,6 +442,9 @@ type switchNode struct {
 	cfg       Config
 	sw        *core.Switch
 	downlinks []*netsim.Link
+	// seen, when set, observes the worker id of every arriving packet;
+	// the failure detector feeds its liveness tracker with it.
+	seen func(worker int)
 }
 
 func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
@@ -338,6 +468,9 @@ func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
 // results onto every port (Appendix B).
 func (s *switchNode) Deliver(msg netsim.Message) {
 	p := msg.(*packet.Packet)
+	if s.seen != nil {
+		s.seen(int(p.WorkerID))
+	}
 	resp := s.sw.Handle(p)
 	if resp.Pkt == nil {
 		return
@@ -386,18 +519,28 @@ type WorkerHost struct {
 	// set, shared by all hosts in the rack.
 	rttHist *telemetry.Histogram
 	onDone  func(netsim.Time)
+	// wcfg is kept so a restart can rebuild a fresh protocol state
+	// machine (the crashed process lost its memory).
+	wcfg core.WorkerConfig
+	// crashed silences the host entirely: no sends, receives or timer
+	// callbacks, as a process crash or machine failure would.
+	crashed bool
+	// finished marks that the current tensor's aggregate is complete on
+	// this host; a recovery resume can clear it again.
+	finished bool
 }
 
 func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) {
 	cfg.fillDefaults()
-	w, err := core.NewWorker(core.WorkerConfig{
+	wcfg := core.WorkerConfig{
 		ID:           id,
 		Workers:      cfg.Workers,
 		PoolSize:     cfg.PoolSize,
 		SlotElems:    cfg.SlotElems,
 		LossRecovery: cfg.LossRecovery,
 		Metrics:      cfg.Metrics,
-	})
+	}
+	w, err := core.NewWorker(wcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +548,7 @@ func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) 
 		sim:      sim,
 		cfg:      cfg,
 		worker:   w,
+		wcfg:     wcfg,
 		coreFree: make([]netsim.Time, cfg.Cores),
 		timers:   make([]*netsim.Timer, cfg.PoolSize),
 		backoff:  make([]uint8, cfg.PoolSize),
@@ -459,6 +603,7 @@ func (h *WorkerHost) Worker() *core.Worker { return h.worker }
 // complete on this worker.
 func (h *WorkerHost) Start(u []int32, onDone func(netsim.Time)) {
 	h.onDone = onDone
+	h.finished = false
 	if h.cfg.Tracer != nil {
 		e := telemetry.Ev(telemetry.EvTensorStart, int64(h.sim.Now()))
 		e.Actor = fmt.Sprintf("w%d", h.worker.Config().ID)
@@ -471,6 +616,7 @@ func (h *WorkerHost) Start(u []int32, onDone func(netsim.Time)) {
 		// Empty tensor: complete immediately.
 		t := h.sim.Now()
 		h.sim.At(t, func() {
+			h.finished = true
 			h.trace(telemetry.EvTensorDone, -1, -1)
 			onDone(t)
 		})
@@ -485,6 +631,9 @@ func (h *WorkerHost) Start(u []int32, onDone func(netsim.Time)) {
 // transmit puts an update on the uplink and arms its retransmission
 // timer.
 func (h *WorkerHost) transmit(p *packet.Packet, retransmit bool) {
+	if h.crashed {
+		return
+	}
 	if retransmit {
 		h.trace(telemetry.EvRetransmit, int32(p.Idx), int64(p.Off))
 	}
@@ -557,9 +706,15 @@ func (h *WorkerHost) observeRTT(sample netsim.Time) {
 
 // Deliver receives a result packet from the switch.
 func (h *WorkerHost) Deliver(msg netsim.Message) {
+	if h.crashed {
+		return
+	}
 	p := msg.(*packet.Packet)
 	done := h.charge(p.Idx)
 	h.sim.At(done, func() {
+		if h.crashed {
+			return
+		}
 		next, finished := h.worker.HandleResult(p)
 		if next == nil && !finished && h.worker.Pending(p.Idx) {
 			// Stale result: the slot is still in flight; leave the
@@ -591,6 +746,7 @@ func (h *WorkerHost) Deliver(msg netsim.Message) {
 			h.transmit(next, false)
 		}
 		if finished {
+			h.finished = true
 			h.trace(telemetry.EvTensorDone, -1, -1)
 			if h.onDone != nil {
 				h.onDone(h.sim.Now())

@@ -37,19 +37,51 @@ const (
 	EvTensorStart
 	// EvTensorDone fires when a worker holds the full aggregate.
 	EvTensorDone
+	// EvWorkerCrash fires when a fault scenario kills a worker host.
+	EvWorkerCrash
+	// EvWorkerRestart fires when a crashed worker host is brought back.
+	EvWorkerRestart
+	// EvSwitchRestart fires when the switch restarts and its register
+	// state (pools, bitmaps, counters) is wiped.
+	EvSwitchRestart
+	// EvLinkDown fires when a fault scenario blacks out a link.
+	EvLinkDown
+	// EvLinkUp fires when a blacked-out link comes back.
+	EvLinkUp
+	// EvFailureDetected fires when the control plane declares a worker
+	// failed after the liveness silence threshold.
+	EvFailureDetected
+	// EvReconfigure fires when the controller installs a new worker
+	// membership and job generation, draining the pool.
+	EvReconfigure
+	// EvResume fires when a worker restarts its interrupted tensor
+	// from the recovery chunk boundary.
+	EvResume
+	// EvHeartbeat fires when a worker's explicit liveness heartbeat is
+	// observed.
+	EvHeartbeat
 )
 
 var eventNames = [...]string{
-	EvPacketSent:     "PacketSent",
-	EvPacketRecv:     "PacketRecv",
-	EvPacketDropped:  "PacketDropped",
-	EvRetransmit:     "Retransmit",
-	EvSlotAggregated: "SlotAggregated",
-	EvSlotComplete:   "SlotComplete",
-	EvShadowRead:     "ShadowRead",
-	EvTimeoutFired:   "TimeoutFired",
-	EvTensorStart:    "TensorStart",
-	EvTensorDone:     "TensorDone",
+	EvPacketSent:      "PacketSent",
+	EvPacketRecv:      "PacketRecv",
+	EvPacketDropped:   "PacketDropped",
+	EvRetransmit:      "Retransmit",
+	EvSlotAggregated:  "SlotAggregated",
+	EvSlotComplete:    "SlotComplete",
+	EvShadowRead:      "ShadowRead",
+	EvTimeoutFired:    "TimeoutFired",
+	EvTensorStart:     "TensorStart",
+	EvTensorDone:      "TensorDone",
+	EvWorkerCrash:     "WorkerCrash",
+	EvWorkerRestart:   "WorkerRestart",
+	EvSwitchRestart:   "SwitchRestart",
+	EvLinkDown:        "LinkDown",
+	EvLinkUp:          "LinkUp",
+	EvFailureDetected: "FailureDetected",
+	EvReconfigure:     "Reconfigure",
+	EvResume:          "Resume",
+	EvHeartbeat:       "Heartbeat",
 }
 
 func (t EventType) String() string {
@@ -64,8 +96,8 @@ func (t EventType) String() string {
 // emitters stamp it via whichever clock they own. Fields that do not
 // apply hold -1 (Worker, Slot, Off) or 0 (Size).
 type Event struct {
-	TS     int64
-	Type   EventType
+	TS   int64
+	Type EventType
 	// Actor names the emitting component: a link ("w0->sw"), a worker
 	// host ("w0"), or "switch".
 	Actor  string

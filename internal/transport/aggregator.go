@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"switchml/internal/core"
+	"switchml/internal/faults"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
 )
@@ -32,6 +34,16 @@ type AggregatorConfig struct {
 	// and drops the packet when it returns true. It exists for loss
 	// testing on loopback networks that never drop.
 	DropResult func(p *packet.Packet) bool
+	// Liveness, when non-nil, enables the failure detector: silent
+	// workers are evicted and the survivors are resumed under a new job
+	// generation (§5.6).
+	Liveness *LivenessConfig
+	// Inject, when non-nil, applies seeded loss, duplication and
+	// corruption to outgoing result datagrams — chaos testing on
+	// loopback networks that never misbehave. Control datagrams
+	// (reconfig/resume) are sent clean; on a real network they are
+	// protected by the sweep-period rebroadcast instead.
+	Inject *faults.InjectorConfig
 	// Metrics receives the aggregator's counters (datagram traffic and
 	// the switch protocol counters). Nil allocates a private registry,
 	// available through Registry.
@@ -53,8 +65,12 @@ type Aggregator struct {
 
 	recvd, corrupt, sent *telemetry.Counter
 
+	inj *faults.PacketInjector
+
 	mu    sync.Mutex
 	peers []*net.UDPAddr // indexed by worker id
+	epoch uint16         // current job generation
+	lv    *liveness      // nil unless cfg.Liveness is set
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -75,6 +91,13 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if err != nil {
 		return nil, err
 	}
+	var inj *faults.PacketInjector
+	if cfg.Inject != nil {
+		inj, err = faults.NewPacketInjector(*cfg.Inject)
+		if err != nil {
+			return nil, err
+		}
+	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve %q: %w", cfg.Addr, err)
@@ -88,11 +111,24 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		conn:    conn,
 		sw:      sw,
 		reg:     reg,
+		inj:     inj,
 		recvd:   reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
 		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
 		sent:    reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
 		peers:   make([]*net.UDPAddr, cfg.Switch.Workers),
+		epoch:   cfg.Switch.JobID,
 		closed:  make(chan struct{}),
+	}
+	if cfg.Liveness != nil {
+		lc := *cfg.Liveness
+		lc.fillDefaults()
+		a.lv = &liveness{
+			cfg:      lc,
+			tracker:  faults.NewTracker(cfg.Switch.Workers, int64(lc.SilenceAfter)),
+			reported: make([]bool, cfg.Switch.Workers),
+		}
+		a.wg.Add(1)
+		go a.sweepLoop()
 	}
 	a.wg.Add(1)
 	go a.serve()
@@ -150,33 +186,89 @@ func (a *Aggregator) serve() {
 			a.corrupt.Inc()
 			continue // corrupted datagram: drop (§3.4)
 		}
-		if p.Kind != packet.KindUpdate || int(p.WorkerID) >= len(a.peers) {
+		if int(p.WorkerID) >= len(a.peers) {
 			continue
 		}
-		a.mu.Lock()
-		a.peers[p.WorkerID] = src
-		resp := a.sw.Handle(p)
-		a.mu.Unlock()
-		if resp.Pkt == nil {
-			continue
+		switch p.Kind {
+		case packet.KindUpdate:
+			a.handleUpdate(p, src)
+		case packet.KindHeartbeat:
+			a.touch(p, src)
+		case packet.KindReport:
+			a.handleReport(p, src)
+		default:
+			// Workers never originate result/reconfig/resume kinds.
 		}
-		if a.cfg.DropResult != nil && a.cfg.DropResult(resp.Pkt) {
-			continue
-		}
-		out := resp.Pkt.Marshal()
-		if resp.Multicast {
-			for _, peer := range a.snapshotPeers() {
-				if peer != nil {
-					a.conn.WriteToUDP(out, peer)
-					a.sent.Inc()
-				}
-			}
-			continue
-		}
-		if peer := a.peer(resp.Pkt.WorkerID); peer != nil {
-			a.conn.WriteToUDP(out, peer)
+	}
+}
+
+// handleUpdate feeds one model-update into the pool. With a liveness
+// detector attached it also polices membership: traffic from a
+// retired worker is answered with the reconfigure directive (so a
+// merely-slow worker learns it was evicted and can fail fast), and
+// stale-generation traffic from a live worker means the resume
+// directive was lost — it is re-sent instead of feeding the pool.
+func (a *Aggregator) handleUpdate(p *packet.Packet, src *net.UDPAddr) {
+	a.mu.Lock()
+	if a.lv != nil {
+		if a.lv.tracker.Dead(int(p.WorkerID)) {
+			out := packet.NewControl(packet.KindReconfig, p.WorkerID, a.epoch, 0, a.survivorsLocked()).Marshal()
+			a.mu.Unlock()
+			a.conn.WriteToUDP(out, src)
 			a.sent.Inc()
+			return
 		}
+		a.lv.tracker.Touch(int(p.WorkerID), time.Now().UnixNano())
+		if p.JobID != a.epoch && a.lv.resumeReady {
+			out := packet.NewControl(packet.KindResume, p.WorkerID, a.epoch, a.lv.frontier, nil).Marshal()
+			a.mu.Unlock()
+			a.conn.WriteToUDP(out, src)
+			a.sent.Inc()
+			return
+		}
+	}
+	a.peers[p.WorkerID] = src
+	resp := a.sw.Handle(p)
+	a.mu.Unlock()
+	if resp.Pkt == nil {
+		return
+	}
+	if a.cfg.DropResult != nil && a.cfg.DropResult(resp.Pkt) {
+		return
+	}
+	out := resp.Pkt.Marshal()
+	if resp.Multicast {
+		for _, peer := range a.snapshotPeers() {
+			if peer != nil {
+				a.write(out, peer)
+			}
+		}
+		return
+	}
+	if peer := a.peer(resp.Pkt.WorkerID); peer != nil {
+		a.write(out, peer)
+	}
+}
+
+// write sends one result datagram, consulting the fault injector.
+func (a *Aggregator) write(out []byte, peer *net.UDPAddr) {
+	writes := 1
+	if a.inj != nil {
+		switch a.inj.Judge() {
+		case faults.Drop:
+			return
+		case faults.Corrupt:
+			// The multicast loop shares out across peers; mangle a copy.
+			b := append([]byte(nil), out...)
+			a.inj.Mangle(b)
+			out = b
+		case faults.Duplicate:
+			writes = 2
+		}
+	}
+	for i := 0; i < writes; i++ {
+		a.conn.WriteToUDP(out, peer)
+		a.sent.Inc()
 	}
 }
 
@@ -207,5 +299,17 @@ func (a *Aggregator) Reset() {
 	a.sw.Reset()
 	for i := range a.peers {
 		a.peers[i] = nil
+	}
+	if a.lv != nil {
+		// A fresh tracker: every worker is back to "never seen", so a
+		// host that does not rejoin the restarted job is simply ignored
+		// rather than suspected.
+		a.lv.tracker = faults.NewTracker(len(a.peers), int64(a.lv.cfg.SilenceAfter))
+		for i := range a.lv.reported {
+			a.lv.reported[i] = false
+		}
+		a.lv.recovering = false
+		a.lv.resumeReady = false
+		a.lv.frontier = 0
 	}
 }

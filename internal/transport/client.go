@@ -3,9 +3,11 @@ package transport
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"switchml/internal/core"
+	"switchml/internal/faults"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
 )
@@ -26,6 +28,16 @@ type ClientConfig struct {
 	RTO time.Duration
 	// Timeout bounds one AllReduce call; zero selects 30 s.
 	Timeout time.Duration
+	// Heartbeat, when positive, starts a background beacon at this
+	// period so an aggregator-side failure detector does not mistake a
+	// worker idle between tensors for a dead one. Leave zero when the
+	// aggregator has no Liveness configured.
+	Heartbeat time.Duration
+	// Inject, when non-nil, applies seeded loss, duplication and
+	// corruption to outgoing update datagrams — chaos testing on
+	// loopback networks that never misbehave. Control datagrams
+	// (report/heartbeat) are sent clean.
+	Inject *faults.InjectorConfig
 	// Metrics receives the worker protocol and datagram counters. Nil
 	// allocates a private registry, available through Registry.
 	Metrics *telemetry.Registry
@@ -43,6 +55,7 @@ type Client struct {
 	worker *core.Worker
 	reg    *telemetry.Registry
 	actor  string
+	inj    *faults.PacketInjector
 
 	recvd, corrupt, sent *telemetry.Counter
 
@@ -53,6 +66,13 @@ type Client struct {
 	// doubles with each (capped at 64x), preventing retransmission
 	// storms when the configured RTO sits below the path RTT.
 	backoff []uint8
+	// epoch is the job generation last adopted from a resume
+	// directive; it dedups repeated directives for the same recovery.
+	epoch uint16
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // NewClient binds a local UDP socket and prepares the worker state
@@ -81,23 +101,69 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
 	}
+	var inj *faults.PacketInjector
+	if cfg.Inject != nil {
+		inj, err = faults.NewPacketInjector(*cfg.Inject)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	id := fmt.Sprintf("%d", cfg.Worker.ID)
-	return &Client{
+	c := &Client{
 		cfg:      cfg,
 		conn:     conn,
 		worker:   w,
 		reg:      reg,
 		actor:    "w" + id,
+		inj:      inj,
 		recvd:    reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
 		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
 		sent:     reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
 		lastSend: make([]time.Time, cfg.Worker.PoolSize),
 		backoff:  make([]uint8, cfg.Worker.PoolSize),
-	}, nil
+		epoch:    cfg.Worker.JobID,
+		closed:   make(chan struct{}),
+	}
+	if cfg.Heartbeat > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop()
+	}
+	return c, nil
 }
 
-// Close releases the socket.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close stops the heartbeat beacon and releases the socket.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.conn.Close()
+		c.wg.Wait()
+	})
+	return err
+}
+
+// heartbeatLoop is the liveness beacon: a tiny control datagram at
+// the configured period, so silence between tensors is never mistaken
+// for death. It deliberately reads only immutable config (the worker
+// state machine belongs to the AllReduce goroutine); the aggregator's
+// tracker ignores the possibly-stale generation stamp.
+func (c *Client) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	hb := packet.NewControl(packet.KindHeartbeat, c.cfg.Worker.ID, c.cfg.Worker.JobID, 0, nil).Marshal()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			if _, err := c.conn.Write(hb); err == nil {
+				c.sent.Inc()
+			}
+		}
+	}
+}
 
 // Registry returns the metrics registry backing this client's
 // counters — the one from the config, or the private registry
@@ -176,16 +242,9 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 			c.corrupt.Inc()
 			continue // corrupted datagram
 		}
-		next, done := c.worker.HandleResult(p)
-		if next != nil || done || !c.worker.Pending(p.Idx) {
-			if int(p.Idx) < len(c.backoff) {
-				c.backoff[p.Idx] = 0
-			}
-		}
-		if next != nil {
-			if err := c.send(next); err != nil {
-				return nil, err
-			}
+		done, err := c.handleIncoming(p)
+		if err != nil {
+			return nil, err
 		}
 		if done {
 			c.trace(telemetry.EvTensorDone, -1)
@@ -196,13 +255,104 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 	}
 }
 
-// send transmits an update and stamps its slot timer.
+// handleIncoming dispatches one datagram from the aggregator. Results
+// feed the protocol state machine; reconfigure and resume directives
+// run the worker's half of the §5.6 recovery handshake.
+func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
+	switch p.Kind {
+	case packet.KindReconfig:
+		// A membership change is in effect. A worker absent from the
+		// survivor vector has been declared failed: its updates will
+		// never be aggregated again, so failing fast beats timing out.
+		member := false
+		for _, w := range p.Vector {
+			if w == int32(c.cfg.Worker.ID) {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return false, fmt.Errorf("transport: worker %d evicted from job (generation %d)",
+				c.cfg.Worker.ID, p.JobID)
+		}
+		// Report the progress frontier; the directive may arrive again
+		// if this report is lost, and reporting is idempotent.
+		return false, c.sendControl(packet.KindReport, p.JobID, c.worker.FrontierOff(), nil)
+	case packet.KindResume:
+		if p.JobID == c.epoch {
+			return false, nil // repeated directive for an adopted generation
+		}
+		pkts, err := c.worker.ResumeAt(p.JobID, p.Off)
+		if err != nil {
+			return false, fmt.Errorf("transport: resume at %d: %w", p.Off, err)
+		}
+		c.epoch = p.JobID
+		c.trace(telemetry.EvResume, -1)
+		for i := range c.backoff {
+			c.backoff[i] = 0
+		}
+		for _, q := range pkts {
+			if err := c.send(q); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	case packet.KindResult, packet.KindResultUnicast:
+		next, done := c.worker.HandleResult(p)
+		if next != nil || done || !c.worker.Pending(p.Idx) {
+			// The slot made progress (or is idle): its loss streak is
+			// over, so the backoff resets to the base RTO.
+			if int(p.Idx) < len(c.backoff) {
+				c.backoff[p.Idx] = 0
+			}
+		}
+		if next != nil {
+			if err := c.send(next); err != nil {
+				return false, err
+			}
+		}
+		return done, nil
+	default:
+		return false, nil // aggregators never send update/report/heartbeat
+	}
+}
+
+// send transmits an update and stamps its slot timer, consulting the
+// fault injector. An injected drop still stamps the timer — the
+// packet was "lost on the wire", and the retransmission machinery is
+// exactly what recovers it.
 func (c *Client) send(p *packet.Packet) error {
-	if _, err := c.conn.Write(p.Marshal()); err != nil {
+	c.lastSend[p.Idx] = time.Now()
+	out := p.Marshal()
+	writes := 1
+	if c.inj != nil {
+		switch c.inj.Judge() {
+		case faults.Drop:
+			return nil
+		case faults.Corrupt:
+			c.inj.Mangle(out)
+		case faults.Duplicate:
+			writes = 2
+		}
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := c.conn.Write(out); err != nil {
+			return fmt.Errorf("transport: send: %w", err)
+		}
+		c.sent.Inc()
+	}
+	return nil
+}
+
+// sendControl transmits a control datagram (report, heartbeat)
+// bypassing the fault injector: on a real network control loss is
+// repaired by the aggregator's sweep-period rebroadcast.
+func (c *Client) sendControl(kind packet.Kind, job uint16, off uint64, vec []int32) error {
+	out := packet.NewControl(kind, c.cfg.Worker.ID, job, off, vec).Marshal()
+	if _, err := c.conn.Write(out); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	c.sent.Inc()
-	c.lastSend[p.Idx] = time.Now()
 	return nil
 }
 

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"net"
+	"time"
+
+	"switchml/internal/faults"
+	"switchml/internal/packet"
+	"switchml/internal/telemetry"
+)
+
+// LivenessConfig enables the aggregator's failure detector: workers
+// silent past the threshold — while at least one peer keeps making
+// progress — are declared failed, their session state is evicted, and
+// the survivors are walked through the reconfigure/report/resume
+// handshake under a new job generation (§5.6).
+type LivenessConfig struct {
+	// SilenceAfter is the silence threshold; zero selects 2 s. It must
+	// comfortably exceed the clients' maximum retransmission backoff
+	// (64×RTO) to avoid retiring a merely unlucky worker.
+	SilenceAfter time.Duration
+	// CheckEvery is the detector sweep period; zero selects
+	// SilenceAfter/4. Undelivered control packets are rebroadcast at
+	// this period until every survivor has reported.
+	CheckEvery time.Duration
+}
+
+func (c *LivenessConfig) fillDefaults() {
+	if c.SilenceAfter == 0 {
+		c.SilenceAfter = 2 * time.Second
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = c.SilenceAfter / 4
+	}
+}
+
+// liveness is the aggregator's recovery state, guarded by the
+// aggregator mutex.
+type liveness struct {
+	cfg     LivenessConfig
+	tracker *faults.Tracker
+	// recovering means a reconfiguration is in flight: KindReconfig is
+	// (re)broadcast until every live worker has reported its frontier.
+	recovering bool
+	// resumeReady means the global frontier is final and KindResume
+	// has been issued; stale-generation traffic triggers re-sends.
+	resumeReady bool
+	// frontier is the minimum reported stream offset.
+	frontier uint64
+	// reported marks workers whose KindReport arrived this generation.
+	reported []bool
+}
+
+// sweepLoop is the detector goroutine.
+func (a *Aggregator) sweepLoop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.lv.cfg.CheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.closed:
+			return
+		case <-t.C:
+			a.sweep(time.Now().UnixNano())
+		}
+	}
+}
+
+// sweep is one detector pass: declare silent workers failed, evict
+// their session state, and start (or keep pushing) recovery.
+func (a *Aggregator) sweep(now int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	verdict := false
+	for _, w := range a.lv.tracker.Suspects(now) {
+		if a.lv.tracker.AliveCount() <= 1 {
+			break // never retire the last worker
+		}
+		a.lv.tracker.MarkDead(w)
+		a.peers[w] = nil // evict the dead worker's session state
+		a.traceCtrl(telemetry.EvFailureDetected, int32(w), -1)
+		verdict = true
+	}
+	if verdict {
+		a.startRecoveryLocked()
+		return
+	}
+	if a.lv.recovering {
+		// Control datagrams are as losable as any other; rebroadcast
+		// to the workers that have not reported yet.
+		a.sendReconfigLocked()
+	}
+}
+
+// startRecoveryLocked bumps the job generation, installs the shrunken
+// membership (draining the pool, so no slot can mix generations), and
+// opens the report quorum.
+func (a *Aggregator) startRecoveryLocked() {
+	a.epoch++
+	active := make([]bool, len(a.peers))
+	for i := range active {
+		active[i] = !a.lv.tracker.Dead(i)
+	}
+	if err := a.sw.Reconfigure(active, a.epoch); err != nil {
+		// Unreachable: the sweep never retires the last worker.
+		return
+	}
+	a.traceCtrl(telemetry.EvReconfigure, -1, int64(a.epoch))
+	a.lv.recovering = true
+	a.lv.resumeReady = false
+	a.lv.frontier = ^uint64(0)
+	for i := range a.lv.reported {
+		a.lv.reported[i] = false
+	}
+	a.sendReconfigLocked()
+}
+
+// survivorsLocked returns the live membership as a packet vector.
+func (a *Aggregator) survivorsLocked() []int32 {
+	var vec []int32
+	for w := range a.peers {
+		if !a.lv.tracker.Dead(w) {
+			vec = append(vec, int32(w))
+		}
+	}
+	return vec
+}
+
+// sendReconfigLocked (re)sends the reconfigure directive to live
+// workers that have not reported their frontier yet.
+func (a *Aggregator) sendReconfigLocked() {
+	vec := a.survivorsLocked()
+	for w, peer := range a.peers {
+		if peer == nil || a.lv.tracker.Dead(w) || a.lv.reported[w] {
+			continue
+		}
+		out := packet.NewControl(packet.KindReconfig, uint16(w), a.epoch, 0, vec).Marshal()
+		a.conn.WriteToUDP(out, peer)
+		a.sent.Inc()
+	}
+}
+
+// handleReport folds one worker's frontier into the quorum; when the
+// last live worker reports, the resume directive goes out with the
+// global minimum. A report arriving after that (its resume was lost)
+// just gets the directive repeated.
+func (a *Aggregator) handleReport(p *packet.Packet, src *net.UDPAddr) {
+	if a.lv == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := int(p.WorkerID)
+	if p.JobID != a.epoch || a.lv.tracker.Dead(w) {
+		return
+	}
+	a.lv.tracker.Touch(w, time.Now().UnixNano())
+	a.peers[w] = src
+	if p.Off < a.lv.frontier {
+		a.lv.frontier = p.Off
+	}
+	a.lv.reported[w] = true
+	if a.lv.resumeReady {
+		out := packet.NewControl(packet.KindResume, p.WorkerID, a.epoch, a.lv.frontier, nil).Marshal()
+		a.conn.WriteToUDP(out, src)
+		a.sent.Inc()
+		return
+	}
+	for i, peer := range a.peers {
+		if a.lv.tracker.Dead(i) || a.lv.tracker.LastSeen(i) < 0 {
+			continue // never joined; it cannot report
+		}
+		if peer == nil || !a.lv.reported[i] {
+			return // quorum incomplete; the sweeper keeps rebroadcasting
+		}
+	}
+	a.lv.recovering = false
+	a.lv.resumeReady = true
+	a.traceCtrl(telemetry.EvResume, -1, int64(a.lv.frontier))
+	for i, peer := range a.peers {
+		if peer == nil || a.lv.tracker.Dead(i) {
+			continue
+		}
+		out := packet.NewControl(packet.KindResume, uint16(i), a.epoch, a.lv.frontier, nil).Marshal()
+		a.conn.WriteToUDP(out, peer)
+		a.sent.Inc()
+	}
+}
+
+// touch records liveness from a heartbeat (or other control traffic)
+// and keeps the sender's address fresh.
+func (a *Aggregator) touch(p *packet.Packet, src *net.UDPAddr) {
+	if a.lv == nil {
+		return
+	}
+	a.mu.Lock()
+	if !a.lv.tracker.Dead(int(p.WorkerID)) {
+		a.lv.tracker.Touch(int(p.WorkerID), time.Now().UnixNano())
+		a.peers[p.WorkerID] = src
+	}
+	a.mu.Unlock()
+}
+
+// Alive reports whether worker w is still part of the job. Without a
+// liveness detector every configured worker counts as alive.
+func (a *Aggregator) Alive(w int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w < 0 || w >= len(a.peers) {
+		return false
+	}
+	if a.lv == nil {
+		return true
+	}
+	return !a.lv.tracker.Dead(w)
+}
+
+// Epoch returns the current job generation.
+func (a *Aggregator) Epoch() uint16 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// traceCtrl emits a controller-scope event stamped with wall-clock
+// time.
+func (a *Aggregator) traceCtrl(t telemetry.EventType, worker int32, off int64) {
+	if a.cfg.Tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, telemetry.WallClock())
+	e.Actor = "aggregator"
+	e.Worker = worker
+	e.Off = off
+	a.cfg.Tracer.Emit(e)
+}

@@ -24,6 +24,23 @@ type SimParams struct {
 	SlotElems int
 	// LossRate is the per-link packet drop probability.
 	LossRate float64
+	// BurstLoss, when non-nil, replaces LossRate with a Gilbert–
+	// Elliott burst-loss chain on every link (one independent chain
+	// per link).
+	BurstLoss *BurstLossParams
+	// DupRate is the per-link packet duplication probability.
+	DupRate float64
+	// CorruptRate is the per-link corruption probability; corrupted
+	// packets are dropped by the receiver's checksum.
+	CorruptRate float64
+	// Faults, when non-nil, is a deterministic fault script: worker
+	// crashes and restarts, switch restarts, link blackouts and loss
+	// changes at scripted virtual times.
+	Faults *FaultScenario
+	// Liveness tunes the failure detector; nil accepts defaults, which
+	// are enabled automatically when Faults includes crashes or switch
+	// restarts.
+	Liveness *LivenessParams
 	// RTO is the retransmission timeout (default 1 ms, §5.5).
 	RTO time.Duration
 	// Cores is the per-worker core count (default 4, §5.1).
@@ -45,6 +62,10 @@ type SimResult struct {
 	Retransmissions uint64
 	// PoolSize is the effective s after tuning.
 	PoolSize int
+	// Failed lists workers declared failed during the run (crashed or
+	// evicted by the failure detector); their tensors were not
+	// completed.
+	Failed []int
 	// Aggregate is worker 0's result vector.
 	Aggregate []int32
 	// Counters is the run's protocol-counter dump: link traffic
@@ -65,10 +86,18 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		SlotElems:      params.SlotElems,
 		LinkBitsPerSec: params.LinkGbps * 1e9,
 		LossRate:       params.LossRate,
+		DupRate:        params.DupRate,
+		CorruptRate:    params.CorruptRate,
 		RTO:            fromDuration(params.RTO),
 		Cores:          params.Cores,
 		LossRecovery:   true,
 		Seed:           params.Seed,
+		Faults:         params.Faults.internal(),
+		Liveness:       params.Liveness.rack(),
+	}
+	if params.BurstLoss != nil {
+		ge := params.BurstLoss.internal()
+		cfg.BurstLoss = &ge
 	}
 	var ring *telemetry.Ring
 	if params.TraceFile != "" {
@@ -96,12 +125,23 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 			return SimResult{}, err
 		}
 	}
+	// Report the first survivor's aggregate: when faults retire
+	// workers mid-run, worker 0 may be among the dead.
+	survivor := 0
+	failed := make(map[int]bool, len(res.Failed))
+	for _, w := range res.Failed {
+		failed[w] = true
+	}
+	for failed[survivor] && survivor < params.Workers-1 {
+		survivor++
+	}
 	agg := make([]int32, len(tensor))
-	copy(agg, r.Aggregate(0))
+	copy(agg, r.Aggregate(survivor))
 	return SimResult{
 		TAT:             res.TAT.Duration(),
 		Retransmissions: res.Retransmissions,
 		PoolSize:        r.Config().PoolSize,
+		Failed:          append([]int(nil), res.Failed...),
 		Aggregate:       agg,
 		Counters:        r.Counters(),
 	}, nil

@@ -33,6 +33,14 @@ type AggregatorParams struct {
 	SlotElems int
 	// JobID tags the pool for multi-tenancy.
 	JobID uint16
+	// Liveness, when non-nil, enables the failure detector: silent
+	// workers are evicted and survivors are resumed from the global
+	// progress frontier under a new job generation (§5.6). Idle
+	// workers should send heartbeats (PeerParams.Heartbeat).
+	Liveness *LivenessParams
+	// Inject, when non-nil, applies seeded loss, duplication and
+	// corruption to outgoing result datagrams (chaos testing).
+	Inject *FaultInjection
 }
 
 func (p *AggregatorParams) fill() {
@@ -57,6 +65,8 @@ func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error)
 			LossRecovery: true,
 			JobID:        params.JobID,
 		},
+		Liveness: params.Liveness.transport(),
+		Inject:   params.Inject.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -107,6 +117,14 @@ func (a *Aggregator) Stats() AggregatorStats {
 // aggregator for a restarted job.
 func (a *Aggregator) Reset() { a.inner.Reset() }
 
+// Alive reports whether worker w is still part of the job; without
+// AggregatorParams.Liveness every configured worker counts as alive.
+func (a *Aggregator) Alive(w int) bool { return a.inner.Alive(w) }
+
+// Epoch returns the current job generation; it starts at JobID and is
+// bumped by every recovery.
+func (a *Aggregator) Epoch() uint16 { return a.inner.Epoch() }
+
 // AggregatorStats are the switch-side protocol counters.
 type AggregatorStats struct {
 	// Updates is the number of update packets processed.
@@ -154,6 +172,14 @@ type PeerParams struct {
 	RTO time.Duration
 	// Timeout bounds each all-reduce call (default 30 s).
 	Timeout time.Duration
+	// Heartbeat, when positive, starts a background liveness beacon so
+	// an aggregator-side failure detector does not mistake a worker
+	// idle between tensors for a dead one. Set it well below the
+	// aggregator's LivenessParams.SilenceAfter.
+	Heartbeat time.Duration
+	// Inject, when non-nil, applies seeded loss, duplication and
+	// corruption to outgoing update datagrams (chaos testing).
+	Inject *FaultInjection
 }
 
 // DialAggregator connects a worker to an aggregator.
@@ -183,8 +209,10 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 			LossRecovery: true,
 			JobID:        params.JobID,
 		},
-		RTO:     params.RTO,
-		Timeout: params.Timeout,
+		RTO:       params.RTO,
+		Timeout:   params.Timeout,
+		Heartbeat: params.Heartbeat,
+		Inject:    params.Inject.internal(),
 	})
 	if err != nil {
 		return nil, err
