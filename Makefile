@@ -10,9 +10,9 @@ GO ?= go
 # state; they must stay clean under the race detector.
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack .
 
-.PHONY: check vet build test race chaos fuzz bench examples clean
+.PHONY: check vet build test race chaos fuzz bench bench-smoke examples clean
 
-check: vet build test race chaos
+check: vet build test race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,13 @@ fuzz:
 # Quick-look evaluation run (scaled-down tensors).
 bench:
 	$(GO) run ./cmd/switchml-bench -scale 100
+
+# Hot-path gate: the zero-allocation assertions (packet codec, switch
+# ingress, sharded dispatch, event scheduling) plus a smoke run of the
+# hotpath micro-benchmarks. Regenerate the committed baseline with:
+#   $(GO) run ./cmd/switchml-bench -scale 1 -artifacts . hotpath
+bench-smoke:
+	$(GO) test -run 'ZeroAlloc|Hotpath' ./internal/packet ./internal/core ./internal/netsim ./internal/bench
 
 # Build every example program.
 examples:

@@ -120,6 +120,79 @@ func BenchmarkSwitchHandle(b *testing.B) {
 	b.ReportMetric(float64(32), "elems/op")
 }
 
+// BenchmarkSwitchHandleInto measures the same ingress through the
+// borrow-based hot path: the reply vector is served from the slot's
+// storage (or the caller's scratch packet) instead of a fresh
+// allocation. Compare against BenchmarkSwitchHandle with benchstat.
+func BenchmarkSwitchHandleInto(b *testing.B) {
+	const n = 8
+	sw, err := core.NewSwitch(core.SwitchConfig{Workers: n, PoolSize: 64, SlotElems: 32, LossRecovery: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]int32, 32)
+	pkts := make([]*packet.Packet, n)
+	for w := range pkts {
+		pkts[w] = packet.NewUpdate(uint16(w), 0, 0, 0, 0, vec)
+	}
+	var out packet.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%n]
+		p.Ver = uint8(i / n % 2)
+		p.Off = uint64(i / n * 32)
+		sw.HandleInto(p, &out)
+	}
+	b.ReportMetric(float64(32), "elems/op")
+}
+
+// BenchmarkShardedHandleInto measures ingress through ShardedSwitch's
+// per-slot locks — the path every aggregator shard goroutine takes.
+// Single-goroutine numbers isolate the lock overhead; the transport
+// race tests cover contention.
+func BenchmarkShardedHandleInto(b *testing.B) {
+	const n = 8
+	ss, err := core.NewShardedSwitch(core.SwitchConfig{Workers: n, PoolSize: 64, SlotElems: 32, LossRecovery: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]int32, 32)
+	pkts := make([]*packet.Packet, n)
+	for w := range pkts {
+		pkts[w] = packet.NewUpdate(uint16(w), 0, 0, 0, 0, vec)
+	}
+	var out packet.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%n]
+		p.Ver = uint8(i / n % 2)
+		p.Off = uint64(i / n * 32)
+		ss.HandleInto(p, &out)
+	}
+	b.ReportMetric(float64(32), "elems/op")
+}
+
+// BenchmarkPacketRoundTrip measures the pooled wire codec: one
+// update packet appended into a reused buffer and decoded into a
+// reused packet, as the transport send/receive loops do per datagram.
+func BenchmarkPacketRoundTrip(b *testing.B) {
+	vec := make([]int32, packet.DefaultElems)
+	src := packet.NewUpdate(3, 1, 0, 7, 224, vec)
+	var wire []byte
+	var dst packet.Packet
+	b.SetBytes(int64(len(src.Marshal())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire = src.AppendMarshal(wire[:0])
+		if err := packet.UnmarshalInto(&dst, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWorkerPipeline measures the worker state machine: start,
 // results, follow-ups for a full small tensor.
 func BenchmarkWorkerPipeline(b *testing.B) {

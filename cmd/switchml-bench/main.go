@@ -16,6 +16,14 @@
 // rack the selected experiments run to a Chrome trace-event file
 // (open with chrome://tracing or https://ui.perfetto.dev). The ring
 // is bounded; with many experiments the oldest events are dropped.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments (`go tool pprof` reads them); the memory
+// profile is taken at exit after a final GC, so it reflects retained
+// heap, while allocation sites appear under -sample_index=alloc_space.
+//
+// -artifacts DIR writes each experiment's machine-readable baseline
+// (currently the hotpath experiment) to DIR/BENCH_<id>.json.
 package main
 
 import (
@@ -23,6 +31,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"switchml/internal/bench"
@@ -35,6 +46,9 @@ func main() {
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event file of the simulated protocol events")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	artifacts := flag.String("artifacts", "", "directory for machine-readable BENCH_<id>.json baselines")
 	flag.Parse()
 
 	if *list {
@@ -56,6 +70,35 @@ func main() {
 		ring = telemetry.NewRing(1 << 21)
 		opts.Tracer = ring
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+			}
+		}()
+	}
 	for _, id := range ids {
 		tb, err := bench.Run(id, opts)
 		if err != nil {
@@ -63,6 +106,14 @@ func main() {
 			os.Exit(1)
 		}
 		tb.Render(os.Stdout)
+		if *artifacts != "" && len(tb.Artifact) > 0 {
+			path := filepath.Join(*artifacts, "BENCH_"+tb.ID+".json")
+			if err := os.WriteFile(path, append(tb.Artifact, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "switchml-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	if ring != nil {
 		f, err := os.Create(*tracePath)

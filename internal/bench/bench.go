@@ -74,6 +74,10 @@ type Table struct {
 	// reads — see rack.Counters), so result trajectories carry
 	// protocol behaviour alongside timing.
 	Counters map[string]uint64
+	// Artifact optionally carries a machine-readable JSON rendering
+	// of the experiment; cmd/switchml-bench -artifacts writes it to
+	// BENCH_<id>.json for baselines tracked in the repository.
+	Artifact []byte
 }
 
 // Render writes the table as aligned text.

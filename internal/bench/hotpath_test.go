@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSmokeHotpath runs the hotpath experiment at smoke scale and
+// checks the artifact's structure and its core claims: every pooled
+// path is allocation-free and the derived speedups are recorded.
+func TestSmokeHotpath(t *testing.T) {
+	tb, err := Run("hotpath", opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var rep HotpathReport
+	if err := json.Unmarshal(tb.Artifact, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Schema != "switchml-hotpath-v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	pooled := 0
+	for _, r := range rep.Results {
+		if strings.Contains(r.Name, "pooled") || strings.Contains(r.Name, "dispatch") {
+			pooled++
+			// MemStats-based accounting tolerates stray runtime
+			// allocations; the exact 0 allocs/op guarantee is pinned
+			// by the AllocsPerRun tests in packet and core.
+			if r.AllocsPerOp > 0.01 {
+				t.Errorf("%s allocates %.3f/op", r.Name, r.AllocsPerOp)
+			}
+		}
+	}
+	if pooled == 0 {
+		t.Error("no pooled measurements in report")
+	}
+	for _, key := range []string{"cycle_speedup_pooled_vs_legacy", "shard_speedup_4x_vs_1x"} {
+		if rep.Derived[key] <= 0 {
+			t.Errorf("derived %s missing", key)
+		}
+	}
+}

@@ -20,6 +20,7 @@ var Experiments = map[string]Runner{
 	"fig7":               RunFig7,
 	"fig8":               RunFig8,
 	"fig10":              RunFig10,
+	"hotpath":            RunHotpath,
 	"ablation-algorithm": RunAblationAlgorithm,
 	"ablation-rto":       RunAblationRTO,
 	"ablation-pool":      RunAblationPoolTuning,

@@ -1,0 +1,25 @@
+package core
+
+// addVec adds src into dst elementwise: dst[i] += src[i] for every
+// element of src. It is the switch ingress inner loop — the software
+// analogue of the Tofino pipeline's 32-lane register add — and is
+// manually unrolled 8 ways so the common k=32 packet runs four
+// straight-line blocks with the bounds checks hoisted.
+func addVec(dst, src []int32) {
+	_ = dst[:len(src)] // hoist the bounds check; len(src) <= len(dst)
+	for len(src) >= 8 {
+		d, s := dst[:8:8], src[:8:8]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+		d[4] += s[4]
+		d[5] += s[5]
+		d[6] += s[6]
+		d[7] += s[7]
+		dst, src = dst[8:], src[8:]
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}

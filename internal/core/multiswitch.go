@@ -76,9 +76,15 @@ func (m *MultiSwitch) MemoryBytes() int {
 // Handle routes a packet to its job's pool; packets for unknown jobs
 // are dropped, matching dataplane behaviour.
 func (m *MultiSwitch) Handle(p *packet.Packet) Response {
+	return m.HandleInto(p, nil)
+}
+
+// HandleInto routes a packet to its job's pool with caller-borrowed
+// response storage (see Switch.HandleInto).
+func (m *MultiSwitch) HandleInto(p *packet.Packet, out *packet.Packet) Response {
 	sw, ok := m.jobs[p.JobID]
 	if !ok {
 		return Response{}
 	}
-	return sw.Handle(p)
+	return sw.HandleInto(p, out)
 }

@@ -204,14 +204,40 @@ func (sw *Switch) ingressOverwrite(sl *slot, p *packet.Packet) {
 	sw.cfg.Codec.Ingress(sl.vector[:sw.ratio()*sl.elems], p.Vector)
 }
 
-// egress encodes the slot accumulator into a result vector.
-func (sw *Switch) egress(sl *slot) []int32 {
-	out := make([]int32, sl.elems)
-	if sw.cfg.Codec == nil {
-		copy(out, sl.vector[:sl.elems])
-		return out
+// egressInto encodes the slot accumulator into dst, reusing dst's
+// capacity when sufficient. When the caller can borrow (HandleInto),
+// this eliminates the per-completion result allocation.
+func (sw *Switch) egressInto(dst []int32, sl *slot) []int32 {
+	if cap(dst) >= sl.elems {
+		dst = dst[:sl.elems]
+	} else {
+		dst = make([]int32, sl.elems)
 	}
-	sw.cfg.Codec.Egress(out, sl.vector[:sw.ratio()*sl.elems])
+	if sw.cfg.Codec == nil {
+		copy(dst, sl.vector[:sl.elems])
+		return dst
+	}
+	sw.cfg.Codec.Egress(dst, sl.vector[:sw.ratio()*sl.elems])
+	return dst
+}
+
+// respond builds the switch's reply into out (allocating a fresh
+// packet when out is nil), copying the request's routing fields and
+// encoding the slot accumulator into out's reused vector.
+func (sw *Switch) respond(out *packet.Packet, p *packet.Packet, kind packet.Kind, off uint64, sl *slot) *packet.Packet {
+	if out == nil {
+		out = &packet.Packet{}
+	}
+	vec := out.Vector
+	*out = packet.Packet{
+		Kind:     kind,
+		WorkerID: p.WorkerID,
+		JobID:    p.JobID,
+		Ver:      p.Ver,
+		Idx:      p.Idx,
+		Off:      off,
+	}
+	out.Vector = sw.egressInto(vec[:0], sl)
 	return out
 }
 
@@ -280,15 +306,31 @@ func (sw *Switch) MemoryBytes() int {
 // Malformed packets are counted and dropped, never panicking: a
 // dataplane must survive garbage.
 func (sw *Switch) Handle(p *packet.Packet) Response {
+	return sw.handleWith(p, sw.scratch, nil)
+}
+
+// HandleInto is Handle with caller-borrowed response storage: when a
+// reply is produced, Response.Pkt is out, its vector reusing out's
+// capacity. Steady-state packet handling then allocates nothing. out
+// must not alias p, and the reply must be consumed (marshalled or
+// copied) before out is reused for the next packet.
+func (sw *Switch) HandleInto(p *packet.Packet, out *packet.Packet) Response {
+	return sw.handleWith(p, sw.scratch, out)
+}
+
+// handleWith is the dataplane entry point; scratch is the
+// codec-expansion buffer (unused when Codec is nil) and out the
+// optional borrowed response packet.
+func (sw *Switch) handleWith(p *packet.Packet, scratch []int32, out *packet.Packet) Response {
 	if !sw.admit(p) {
 		sw.ctr.rejected.Inc()
 		return Response{}
 	}
 	sw.ctr.updates.Inc()
 	if !sw.cfg.LossRecovery {
-		return sw.handleSimple(p)
+		return sw.handleSimple(p, scratch, out)
 	}
-	return sw.handleRecovering(p)
+	return sw.handleRecovering(p, scratch, out)
 }
 
 // admit performs the dataplane sanity checks.
@@ -316,12 +358,12 @@ func (sw *Switch) admit(p *packet.Packet) bool {
 
 // handleSimple is Algorithm 1: no duplicate suppression, no shadow
 // copy. Correct only when the network never drops or duplicates.
-func (sw *Switch) handleSimple(p *packet.Packet) Response {
+func (sw *Switch) handleSimple(p *packet.Packet, scratch []int32, out *packet.Packet) Response {
 	sl := &sw.pools[0][p.Idx]
 	if sl.count == 0 {
 		sw.ingressOverwrite(sl, p)
 	} else {
-		if !sw.accumulate(sl, p) {
+		if !sw.accumulate(sl, p, scratch) {
 			return Response{}
 		}
 	}
@@ -332,18 +374,16 @@ func (sw *Switch) handleSimple(p *packet.Packet) Response {
 	}
 	// Complete: emit the aggregate and release the slot (Algorithm 1
 	// lines 8-10).
-	out := p.Clone()
-	out.Kind = packet.KindResult
-	out.Vector = sw.egress(sl)
+	resp := sw.respond(out, p, packet.KindResult, p.Off, sl)
 	sl.count = 0
 	sl.off = -1
 	sw.ctr.completions.Inc()
 	sw.trace(telemetry.EvSlotComplete, p)
-	return Response{Pkt: out, Multicast: true}
+	return Response{Pkt: resp, Multicast: true}
 }
 
 // handleRecovering is Algorithm 3.
-func (sw *Switch) handleRecovering(p *packet.Packet) Response {
+func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packet.Packet) Response {
 	sl := &sw.pools[p.Ver][p.Idx]
 	other := &sw.pools[1-p.Ver][p.Idx]
 	wid := int(p.WorkerID)
@@ -365,11 +405,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 				if int64(p.Off) == sl.off {
 					sw.ctr.resultRetransmissions.Inc()
 					sw.trace(telemetry.EvShadowRead, p)
-					out := p.Clone()
-					out.Kind = packet.KindResultUnicast
-					out.Off = uint64(sl.off)
-					out.Vector = sw.egress(sl)
-					return Response{Pkt: out}
+					return Response{Pkt: sw.respond(out, p, packet.KindResultUnicast, uint64(sl.off), sl)}
 				}
 				sw.ctr.staleUpdates.Inc()
 				return Response{}
@@ -383,7 +419,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 			// the slot reset (line 10).
 			sw.ingressOverwrite(sl, p)
 		} else {
-			if !sw.accumulate(sl, p) {
+			if !sw.accumulate(sl, p, scratch) {
 				// Inconsistent chunk from a misbehaving worker: undo
 				// the seen-bit changes and drop.
 				sl.seen.clear(wid)
@@ -400,12 +436,10 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 		}
 		// Aggregation complete (lines 13-15): the slot becomes the
 		// shadow copy, retaining its value for retransmissions.
-		out := p.Clone()
-		out.Kind = packet.KindResult
-		out.Vector = sw.egress(sl)
+		resp := sw.respond(out, p, packet.KindResult, p.Off, sl)
 		sw.ctr.completions.Inc()
 		sw.trace(telemetry.EvSlotComplete, p)
-		return Response{Pkt: out, Multicast: true}
+		return Response{Pkt: resp, Multicast: true}
 	}
 
 	// Retransmission (lines 18-23).
@@ -414,11 +448,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 		// the retained result (lines 19-21).
 		sw.ctr.resultRetransmissions.Inc()
 		sw.trace(telemetry.EvShadowRead, p)
-		out := p.Clone()
-		out.Kind = packet.KindResultUnicast
-		out.Off = uint64(sl.off)
-		out.Vector = sw.egress(sl)
-		return Response{Pkt: out}
+		return Response{Pkt: sw.respond(out, p, packet.KindResultUnicast, uint64(sl.off), sl)}
 	}
 	// Still aggregating: the update was already applied, ignore.
 	sw.ctr.ignoredDuplicates.Inc()
@@ -427,7 +457,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet) Response {
 
 // accumulate adds p's vector into the slot, verifying the chunk is
 // consistent with the aggregation in progress.
-func (sw *Switch) accumulate(sl *slot, p *packet.Packet) bool {
+func (sw *Switch) accumulate(sl *slot, p *packet.Packet, scratch []int32) bool {
 	if len(p.Vector) != sl.elems || int64(p.Off) != sl.off {
 		// The packet passed admission but does not belong to the
 		// aggregation in progress: a stale or inconsistent chunk.
@@ -435,16 +465,12 @@ func (sw *Switch) accumulate(sl *slot, p *packet.Packet) bool {
 		return false
 	}
 	if sw.cfg.Codec == nil {
-		for i, v := range p.Vector {
-			sl.vector[i] += v
-		}
+		addVec(sl.vector, p.Vector)
 		return true
 	}
-	vals := sw.scratch[:sw.ratio()*sl.elems]
+	vals := scratch[:sw.ratio()*sl.elems]
 	sw.cfg.Codec.Ingress(vals, p.Vector)
-	for i, v := range vals {
-		sl.vector[i] += v
-	}
+	addVec(sl.vector, vals)
 	return true
 }
 

@@ -224,7 +224,13 @@ func (w *Worker) sendChunk(idx uint32, local int) *packet.Packet {
 	}
 	w.pend[idx] = pendingSlot{active: true, off: w.base + uint64(local), elems: elems, ver: ver}
 	w.ctr.sent.Inc()
-	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, ver, idx, w.base+uint64(local), w.u[local:local+elems])
+	// Packets come from the shared pool: hosts that transmit
+	// synchronously (the UDP client) return them after marshalling,
+	// making the steady-state send path allocation-free. Hosts that
+	// keep packets in flight (the simulator) simply never return them.
+	p := packet.GetPacket()
+	p.SetUpdate(w.cfg.ID, w.cfg.JobID, ver, idx, w.base+uint64(local), w.u[local:local+elems])
+	return p
 }
 
 // HandleResult consumes a result packet from the switch (Algorithm 4
@@ -288,7 +294,9 @@ func (w *Worker) Retransmit(idx uint32) *packet.Packet {
 	}
 	w.ctr.retransmissions.Inc()
 	local := int(pd.off - w.base)
-	return packet.NewUpdate(w.cfg.ID, w.cfg.JobID, pd.ver, idx, pd.off, w.u[local:local+pd.elems])
+	p := packet.GetPacket()
+	p.SetUpdate(w.cfg.ID, w.cfg.JobID, pd.ver, idx, pd.off, w.u[local:local+pd.elems])
+	return p
 }
 
 // ChunkCount returns the number of chunks in the current (or last

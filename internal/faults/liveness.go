@@ -1,5 +1,7 @@
 package faults
 
+import "sync/atomic"
+
 // Tracker is the per-worker liveness bookkeeping behind the failure
 // detector: every protocol message (update, retransmission or
 // explicit heartbeat) from a worker touches its entry, and a sweep
@@ -9,14 +11,16 @@ package faults
 //
 // Time is plain int64 nanoseconds so the same tracker serves both the
 // simulator (virtual time) and the UDP transport (wall clock). The
-// tracker is not synchronized; hosts serialize access (the rack is
-// single-threaded, the aggregator holds its mutex).
+// per-worker state is atomic, so the transport's shard goroutines can
+// Touch and read Dead lock-free on the per-packet path while the
+// sweeper runs; compound transitions (a sweep's suspect/MarkDead
+// sequence) are serialized by the host.
 type Tracker struct {
 	// lastSeen is the last progress timestamp per worker; -1 means
 	// never seen (a worker that never joined cannot be detected or
 	// notified, so it is ignored by sweeps).
-	lastSeen []int64
-	dead     []bool
+	lastSeen []atomic.Int64
+	dead     []atomic.Bool
 	silence  int64
 }
 
@@ -24,12 +28,12 @@ type Tracker struct {
 // threshold in nanoseconds.
 func NewTracker(n int, silence int64) *Tracker {
 	t := &Tracker{
-		lastSeen: make([]int64, n),
-		dead:     make([]bool, n),
+		lastSeen: make([]atomic.Int64, n),
+		dead:     make([]atomic.Bool, n),
 		silence:  silence,
 	}
 	for i := range t.lastSeen {
-		t.lastSeen[i] = -1
+		t.lastSeen[i].Store(-1)
 	}
 	return t
 }
@@ -37,14 +41,24 @@ func NewTracker(n int, silence int64) *Tracker {
 // Silence returns the configured silence threshold.
 func (t *Tracker) Silence() int64 { return t.silence }
 
+// Reset returns every worker to the initial "never seen, not retired"
+// state, as if freshly constructed — used when a restarted job reuses
+// the tracker.
+func (t *Tracker) Reset() {
+	for i := range t.lastSeen {
+		t.dead[i].Store(false)
+		t.lastSeen[i].Store(-1)
+	}
+}
+
 // Touch records progress from worker w at time now. Progress from a
 // worker already declared dead is ignored: its epoch has been retired
 // and it can only rejoin through a reconfiguration.
 func (t *Tracker) Touch(w int, now int64) {
-	if w < 0 || w >= len(t.lastSeen) || t.dead[w] {
+	if w < 0 || w >= len(t.lastSeen) || t.dead[w].Load() {
 		return
 	}
-	t.lastSeen[w] = now
+	t.lastSeen[w].Store(now)
 }
 
 // LastSeen returns worker w's last progress timestamp, -1 if never
@@ -53,13 +67,13 @@ func (t *Tracker) LastSeen(w int) int64 {
 	if w < 0 || w >= len(t.lastSeen) {
 		return -1
 	}
-	return t.lastSeen[w]
+	return t.lastSeen[w].Load()
 }
 
 // MarkDead retires a worker; it is excluded from future sweeps.
 func (t *Tracker) MarkDead(w int) {
 	if w >= 0 && w < len(t.dead) {
-		t.dead[w] = true
+		t.dead[w].Store(true)
 	}
 }
 
@@ -68,21 +82,21 @@ func (t *Tracker) MarkDead(w int) {
 // re-suspected.
 func (t *Tracker) MarkAlive(w int, now int64) {
 	if w >= 0 && w < len(t.dead) {
-		t.dead[w] = false
-		t.lastSeen[w] = now
+		t.dead[w].Store(false)
+		t.lastSeen[w].Store(now)
 	}
 }
 
 // Dead reports whether worker w has been retired.
 func (t *Tracker) Dead(w int) bool {
-	return w >= 0 && w < len(t.dead) && t.dead[w]
+	return w >= 0 && w < len(t.dead) && t.dead[w].Load()
 }
 
 // AliveCount returns the number of workers not retired.
 func (t *Tracker) AliveCount() int {
 	n := 0
-	for _, d := range t.dead {
-		if !d {
+	for i := range t.dead {
+		if !t.dead[i].Load() {
 			n++
 		}
 	}
@@ -96,8 +110,8 @@ func (t *Tracker) AliveCount() int {
 // silence means nothing).
 func (t *Tracker) Suspects(now int64) []int {
 	someoneActive := false
-	for w, seen := range t.lastSeen {
-		if !t.dead[w] && seen >= 0 && now-seen <= t.silence {
+	for w := range t.lastSeen {
+		if seen := t.lastSeen[w].Load(); !t.dead[w].Load() && seen >= 0 && now-seen <= t.silence {
 			someoneActive = true
 			break
 		}
@@ -106,8 +120,8 @@ func (t *Tracker) Suspects(now int64) []int {
 		return nil
 	}
 	var out []int
-	for w, seen := range t.lastSeen {
-		if !t.dead[w] && seen >= 0 && now-seen > t.silence {
+	for w := range t.lastSeen {
+		if seen := t.lastSeen[w].Load(); !t.dead[w].Load() && seen >= 0 && now-seen > t.silence {
 			out = append(out, w)
 		}
 	}

@@ -9,7 +9,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,48 +35,35 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // String formats the time like time.Duration.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value in the
+// heap slice — no per-event heap allocation — and carry the index of
+// their handle slot so cancellation can find them.
 type event struct {
-	at        Time
-	seq       uint64 // Tie-break so equal-time events run FIFO.
-	fn        func()
-	cancelled bool
-	index     int // Heap index, maintained by eventHeap.
+	at   Time
+	seq  uint64 // Tie-break so equal-time events run FIFO.
+	fn   func()
+	slot int32 // Handle-table index; see timerSlot.
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// timerSlot is one entry of the handle table: the event's current
+// heap index (maintained across sift operations) plus a generation
+// counter that invalidates stale Timer handles once the event fires
+// or is cancelled and the slot is recycled.
+type timerSlot struct {
+	heapIdx int32
+	gen     uint32
 }
 
 // Sim is a single-threaded discrete-event simulation. It is not safe
 // for concurrent use; all actors run inside event callbacks.
 type Sim struct {
-	now    Time
-	events eventHeap
+	now Time
+	// events is a binary min-heap ordered by (at, seq), stored by
+	// value; free-listed handle slots make scheduling allocation-free
+	// in steady state.
+	events []event
+	slots  []timerSlot
+	free   []int32
 	seq    uint64
 	rng    *rand.Rand
 	// processed counts executed events, useful for run-away detection
@@ -110,54 +96,148 @@ func (s *Sim) SetTracer(t telemetry.Tracer) { s.tracer = t }
 // Tracer returns the installed tracer, nil when tracing is off.
 func (s *Sim) Tracer() telemetry.Tracer { return s.tracer }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be cancelled. The
+// zero value is a valid no-op handle (Cancel returns false), so
+// hosts can keep Timers by value in per-slot arrays.
+type Timer struct {
+	s    *Sim
+	slot int32
+	gen  uint32
+}
 
-// Cancel prevents the timer's callback from running. Cancelling an
-// already-fired or already-cancelled timer is a no-op. It reports
-// whether the callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled {
+// Cancel removes the timer's callback from the event heap in
+// O(log n). Cancelling an already-fired, already-cancelled or zero
+// Timer is a no-op. It reports whether the callback was still
+// pending.
+func (t Timer) Cancel() bool {
+	s := t.s
+	if s == nil || int(t.slot) >= len(s.slots) {
 		return false
 	}
-	t.ev.cancelled = true
+	sl := &s.slots[t.slot]
+	if sl.gen != t.gen {
+		return false // already fired, cancelled, or slot recycled
+	}
+	s.removeAt(int(sl.heapIdx))
+	s.releaseSlot(t.slot)
 	return true
+}
+
+// Pending reports whether the timer's callback has neither fired nor
+// been cancelled.
+func (t Timer) Pending() bool {
+	return t.s != nil && int(t.slot) < len(t.s.slots) && t.s.slots[t.slot].gen == t.gen
 }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in
 // the past panics: it indicates a causality bug in an actor.
-func (s *Sim) At(at Time, fn func()) *Timer {
+func (s *Sim) At(at Time, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", at, s.now))
 	}
-	e := &event{at: at, seq: s.seq, fn: fn}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, timerSlot{})
+	}
+	gen := s.slots[slot].gen
+	s.events = append(s.events, event{at: at, seq: s.seq, fn: fn, slot: slot})
 	s.seq++
-	heap.Push(&s.events, e)
-	return &Timer{ev: e}
+	s.siftUp(len(s.events) - 1)
+	return Timer{s: s, slot: slot, gen: gen}
 }
 
 // After schedules fn to run d after the current time.
-func (s *Sim) After(d Time, fn func()) *Timer {
+func (s *Sim) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("netsim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
+// releaseSlot invalidates outstanding handles to the slot and
+// returns it to the free list.
+func (s *Sim) releaseSlot(slot int32) {
+	s.slots[slot].gen++
+	s.free = append(s.free, slot)
+}
+
+// less orders heap entries by (at, seq) for FIFO ties.
+func (s *Sim) less(i, j int) bool {
+	if s.events[i].at != s.events[j].at {
+		return s.events[i].at < s.events[j].at
+	}
+	return s.events[i].seq < s.events[j].seq
+}
+
+func (s *Sim) swap(i, j int) {
+	s.events[i], s.events[j] = s.events[j], s.events[i]
+	s.slots[s.events[i].slot].heapIdx = int32(i)
+	s.slots[s.events[j].slot].heapIdx = int32(j)
+}
+
+func (s *Sim) siftUp(i int) {
+	s.slots[s.events[i].slot].heapIdx = int32(i)
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sim) siftDown(i int) {
+	n := len(s.events)
+	s.slots[s.events[i].slot].heapIdx = int32(i)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			return
+		}
+		s.swap(i, min)
+		i = min
+	}
+}
+
+// removeAt deletes the heap entry at index i, restoring heap order.
+func (s *Sim) removeAt(i int) {
+	n := len(s.events) - 1
+	if i != n {
+		s.swap(i, n)
+	}
+	s.events[n].fn = nil // release the closure
+	s.events = s.events[:n]
+	if i < n {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}
+
 // Step executes the next pending event, advancing virtual time. It
 // reports whether an event ran.
 func (s *Sim) Step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.cancelled {
-			continue
-		}
-		s.now = e.at
-		s.processed++
-		e.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := s.events[0]
+	s.removeAt(0)
+	s.releaseSlot(e.slot)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
 }
 
 // Run executes events until none remain.
@@ -169,16 +249,7 @@ func (s *Sim) Run() {
 // RunUntil executes events with timestamps <= deadline, then sets the
 // clock to the deadline. Events after the deadline remain queued.
 func (s *Sim) RunUntil(deadline Time) {
-	for len(s.events) > 0 {
-		// Peek at the earliest live event.
-		e := s.events[0]
-		if e.cancelled {
-			heap.Pop(&s.events)
-			continue
-		}
-		if e.at > deadline {
-			break
-		}
+	for len(s.events) > 0 && s.events[0].at <= deadline {
 		s.Step()
 	}
 	if s.now < deadline {

@@ -85,9 +85,82 @@ func TestTimerCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled timer fired")
 	}
-	var nilTimer *Timer
-	if nilTimer.Cancel() {
-		t.Error("nil timer Cancel returned true")
+	var zero Timer
+	if zero.Cancel() {
+		t.Error("zero timer Cancel returned true")
+	}
+	if zero.Pending() {
+		t.Error("zero timer reports Pending")
+	}
+}
+
+// TestTimerHandleRecycling checks that a handle to a fired event does
+// not cancel an unrelated event that recycled its slot.
+func TestTimerHandleRecycling(t *testing.T) {
+	s := NewSim(1)
+	stale := s.At(1, func() {})
+	s.Run() // fires; the slot returns to the free list
+	fired := false
+	fresh := s.At(2, func() { fired = true })
+	if stale.Cancel() {
+		t.Error("stale handle cancelled a recycled slot")
+	}
+	if !fresh.Pending() {
+		t.Error("fresh timer not pending")
+	}
+	s.Run()
+	if !fired {
+		t.Error("recycled-slot event did not fire")
+	}
+}
+
+// TestSchedulingZeroAlloc asserts the steady-state schedule/fire
+// cycle allocates nothing once the heap and handle table are warm
+// (the closure here captures nothing, so only the event machinery is
+// measured).
+func TestSchedulingZeroAlloc(t *testing.T) {
+	s := NewSim(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the heap, slot table and free list
+		s.After(Time(i), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		tm := s.After(10, fn)
+		s.After(5, fn)
+		tm.Cancel()
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("event scheduling allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestCancelMiddleOfHeap removes events from heap interior positions
+// and checks ordering of the survivors.
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := NewSim(1)
+	var fired []Time
+	timers := make([]Timer, 0, 10)
+	for _, at := range []Time{50, 10, 40, 20, 30, 70, 60, 90, 80, 100} {
+		at := at
+		timers = append(timers, s.At(at, func() { fired = append(fired, at) }))
+	}
+	// Cancel 40, 70 and 100.
+	for _, i := range []int{2, 5, 9} {
+		if !timers[i].Cancel() {
+			t.Fatalf("Cancel(%d) returned false", i)
+		}
+	}
+	s.Run()
+	want := []Time{10, 20, 30, 50, 60, 80, 90}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // Protocol constants from the paper's deployment (§3.3, §3.6).
@@ -142,17 +143,22 @@ type Packet struct {
 // NewUpdate builds an update packet for the given worker, slot and
 // offset, copying vec so the caller may reuse its buffer.
 func NewUpdate(worker uint16, job uint16, ver uint8, idx uint32, off uint64, vec []int32) *Packet {
-	v := make([]int32, len(vec))
-	copy(v, vec)
-	return &Packet{
-		Kind:     KindUpdate,
-		WorkerID: worker,
-		JobID:    job,
-		Ver:      ver,
-		Idx:      idx,
-		Off:      off,
-		Vector:   v,
-	}
+	p := &Packet{}
+	p.SetUpdate(worker, job, ver, idx, off, vec)
+	return p
+}
+
+// SetUpdate rewrites p in place as an update packet, copying vec into
+// p.Vector (reusing its capacity when possible). It is the
+// allocation-free counterpart of NewUpdate for pooled packets.
+func (p *Packet) SetUpdate(worker uint16, job uint16, ver uint8, idx uint32, off uint64, vec []int32) {
+	p.Kind = KindUpdate
+	p.WorkerID = worker
+	p.JobID = job
+	p.Ver = ver
+	p.Idx = idx
+	p.Off = off
+	p.Vector = append(p.Vector[:0], vec...)
 }
 
 // NewControl builds a control-plane packet (reconfig, report, resume
@@ -160,15 +166,21 @@ func NewUpdate(worker uint16, job uint16, ver uint8, idx uint32, off uint64, vec
 // kind-specific argument (chunk frontier); vec, which may be nil, is
 // copied.
 func NewControl(kind Kind, worker uint16, job uint16, off uint64, vec []int32) *Packet {
-	v := make([]int32, len(vec))
-	copy(v, vec)
-	return &Packet{
-		Kind:     kind,
-		WorkerID: worker,
-		JobID:    job,
-		Off:      off,
-		Vector:   v,
-	}
+	p := &Packet{}
+	p.SetControl(kind, worker, job, off, vec)
+	return p
+}
+
+// SetControl rewrites p in place as a control packet, copying vec into
+// p.Vector (reusing its capacity when possible).
+func (p *Packet) SetControl(kind Kind, worker uint16, job uint16, off uint64, vec []int32) {
+	p.Kind = kind
+	p.WorkerID = worker
+	p.JobID = job
+	p.Ver = 0
+	p.Idx = 0
+	p.Off = off
+	p.Vector = append(p.Vector[:0], vec...)
 }
 
 // Clone returns a deep copy of the packet. The switch clones packets
@@ -212,7 +224,23 @@ func (p *Packet) MarshalledSize() int {
 //	20     4    crc32 (IEEE) of bytes [0,20) and the payload
 //	24     4*n  vector elements
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, p.MarshalledSize())
+	return p.AppendMarshal(make([]byte, 0, p.MarshalledSize()))
+}
+
+// AppendMarshal appends the wire form of the packet to dst and
+// returns the extended slice. When dst has sufficient spare capacity
+// no allocation is performed, so senders can reuse one buffer across
+// packets (typically sliced to dst[:0] before each call).
+func (p *Packet) AppendMarshal(dst []byte) []byte {
+	base := len(dst)
+	size := p.MarshalledSize()
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+size]
+	buf := dst[base:]
 	binary.BigEndian.PutUint16(buf[0:2], magic)
 	buf[2] = byte(p.Kind)
 	buf[3] = p.Ver
@@ -223,11 +251,28 @@ func (p *Packet) Marshal() []byte {
 	for i, v := range p.Vector {
 		binary.BigEndian.PutUint32(buf[marshalHeaderBytes+ElemBytes*i:], uint32(v))
 	}
-	crc := crc32.NewIEEE()
-	crc.Write(buf[:20])
-	crc.Write(buf[marshalHeaderBytes:])
-	binary.BigEndian.PutUint32(buf[20:24], crc.Sum32())
-	return buf
+	binary.BigEndian.PutUint32(buf[20:24], bodyChecksum(buf))
+	return dst
+}
+
+// bodyChecksum computes the packet checksum over the header (minus
+// the checksum field itself) and the payload of a marshalled buffer.
+func bodyChecksum(buf []byte) uint32 {
+	crc := crc32.ChecksumIEEE(buf[:20])
+	return crc32.Update(crc, crc32.IEEETable, buf[marshalHeaderBytes:])
+}
+
+// PatchWorkerID rewrites the worker-id field of a marshalled packet
+// in place, updating the checksum. Control broadcasts (reconfig,
+// resume) that differ only in the destination worker are marshalled
+// once and patched per peer instead of re-marshalled.
+func PatchWorkerID(buf []byte, worker uint16) error {
+	if len(buf) < marshalHeaderBytes {
+		return fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+	}
+	binary.BigEndian.PutUint16(buf[4:6], worker)
+	binary.BigEndian.PutUint32(buf[20:24], bodyChecksum(buf))
+	return nil
 }
 
 // Unmarshal parses a packet previously produced by Marshal. It
@@ -236,37 +281,97 @@ func (p *Packet) Marshal() []byte {
 // the paper's workers do (§3.4: "A simple checksum can be used to
 // detect corruption and discard corrupted packets").
 func Unmarshal(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := UnmarshalInto(p, buf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalInto parses a marshalled packet into p, reusing p.Vector's
+// capacity so a receive loop can decode every datagram into one
+// packet without allocating. On error p is left unmodified. The
+// same validation as Unmarshal applies.
+func UnmarshalInto(p *Packet, buf []byte) error {
 	if len(buf) < marshalHeaderBytes {
-		return nil, fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+		return fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
 	}
 	if binary.BigEndian.Uint16(buf[0:2]) != magic {
-		return nil, fmt.Errorf("packet: bad magic %#x", binary.BigEndian.Uint16(buf[0:2]))
+		return fmt.Errorf("packet: bad magic %#x", binary.BigEndian.Uint16(buf[0:2]))
 	}
 	payload := buf[marshalHeaderBytes:]
 	if len(payload)%ElemBytes != 0 {
-		return nil, fmt.Errorf("packet: payload length %d not a multiple of %d", len(payload), ElemBytes)
+		return fmt.Errorf("packet: payload length %d not a multiple of %d", len(payload), ElemBytes)
 	}
-	crc := crc32.NewIEEE()
-	crc.Write(buf[:20])
-	crc.Write(payload)
-	if got, want := crc.Sum32(), binary.BigEndian.Uint32(buf[20:24]); got != want {
-		return nil, fmt.Errorf("packet: checksum mismatch (got %#x want %#x)", got, want)
+	if got, want := bodyChecksum(buf), binary.BigEndian.Uint32(buf[20:24]); got != want {
+		return fmt.Errorf("packet: checksum mismatch (got %#x want %#x)", got, want)
 	}
 	k := Kind(buf[2])
 	if k > KindHeartbeat {
-		return nil, fmt.Errorf("packet: unknown kind %d", buf[2])
+		return fmt.Errorf("packet: unknown kind %d", buf[2])
 	}
-	p := &Packet{
-		Kind:     k,
-		Ver:      buf[3],
-		WorkerID: binary.BigEndian.Uint16(buf[4:6]),
-		JobID:    binary.BigEndian.Uint16(buf[6:8]),
-		Idx:      binary.BigEndian.Uint32(buf[8:12]),
-		Off:      binary.BigEndian.Uint64(buf[12:20]),
-		Vector:   make([]int32, len(payload)/ElemBytes),
+	p.Kind = k
+	p.Ver = buf[3]
+	p.WorkerID = binary.BigEndian.Uint16(buf[4:6])
+	p.JobID = binary.BigEndian.Uint16(buf[6:8])
+	p.Idx = binary.BigEndian.Uint32(buf[8:12])
+	p.Off = binary.BigEndian.Uint64(buf[12:20])
+	n := len(payload) / ElemBytes
+	if cap(p.Vector) >= n {
+		p.Vector = p.Vector[:n]
+	} else {
+		p.Vector = make([]int32, n)
 	}
 	for i := range p.Vector {
 		p.Vector[i] = int32(binary.BigEndian.Uint32(payload[ElemBytes*i:]))
 	}
-	return p, nil
+	return nil
+}
+
+// Packet and buffer pools for the hot path. Senders get a packet (or
+// a wire buffer), fill it, transmit, and put it back; steady-state
+// traffic then recycles storage instead of allocating per packet.
+// Putting is optional — paths that hand packets to asynchronous
+// consumers (the simulator's in-flight links) simply never return
+// them, and the pool falls back to allocation.
+var (
+	pktPool = sync.Pool{New: func() any { return &Packet{Vector: make([]int32, 0, DefaultElems)} }}
+	bufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, marshalHeaderBytes+ElemBytes*MTUElems)
+		return &b
+	}}
+)
+
+// GetPacket returns a pooled packet with zeroed protocol fields and
+// an empty vector (capacity retained from prior use).
+func GetPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	v := p.Vector[:0]
+	*p = Packet{Vector: v}
+	return p
+}
+
+// PutPacket returns a packet to the pool. The caller must not retain
+// any reference to p or its vector.
+func PutPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	pktPool.Put(p)
+}
+
+// GetBuf returns a pooled, empty wire buffer with at least one
+// MTU-sized packet of capacity.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a wire buffer to the pool.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(b)
 }

@@ -280,11 +280,9 @@ func (h *WorkerHost) Crash() {
 	}
 	h.crashed = true
 	h.trace(telemetry.EvWorkerCrash, -1, -1)
-	for i, t := range h.timers {
-		if t != nil {
-			t.Cancel()
-			h.timers[i] = nil
-		}
+	for i := range h.timers {
+		h.timers[i].Cancel()
+		h.timers[i] = netsim.Timer{}
 	}
 }
 
@@ -316,10 +314,8 @@ func (h *WorkerHost) resetWorker() {
 		h.coreFree[i] = 0
 	}
 	for i := range h.timers {
-		if t := h.timers[i]; t != nil {
-			t.Cancel()
-			h.timers[i] = nil
-		}
+		h.timers[i].Cancel()
+		h.timers[i] = netsim.Timer{}
 		h.backoff[i] = 0
 		h.retxed[i] = false
 		h.sentAt[i] = 0
@@ -340,10 +336,8 @@ func (h *WorkerHost) Resume(jobID uint16, off uint64) error {
 		return nil
 	}
 	for i := range h.timers {
-		if t := h.timers[i]; t != nil {
-			t.Cancel()
-			h.timers[i] = nil
-		}
+		h.timers[i].Cancel()
+		h.timers[i] = netsim.Timer{}
 		h.backoff[i] = 0
 		h.retxed[i] = false
 	}

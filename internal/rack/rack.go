@@ -497,8 +497,9 @@ type WorkerHost struct {
 	// sharded to cores by idx % Cores, mirroring Flow Director
 	// steering with disjoint slot sets per core (Appendix B).
 	coreFree []netsim.Time
-	// timers holds the per-slot retransmission timer.
-	timers []*netsim.Timer
+	// timers holds the per-slot retransmission timer; the zero Timer
+	// means none armed.
+	timers []netsim.Timer
 	// backoff counts consecutive timeouts per slot; the RTO doubles
 	// with each (capped), preventing retransmission storms when the
 	// timeout is set below the loaded RTT — the adaptation §6 calls
@@ -550,7 +551,7 @@ func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) 
 		worker:   w,
 		wcfg:     wcfg,
 		coreFree: make([]netsim.Time, cfg.Cores),
-		timers:   make([]*netsim.Timer, cfg.PoolSize),
+		timers:   make([]netsim.Timer, cfg.PoolSize),
 		backoff:  make([]uint8, cfg.PoolSize),
 		sentAt:   make([]netsim.Time, cfg.PoolSize),
 		retxed:   make([]bool, cfg.PoolSize),
@@ -644,12 +645,10 @@ func (h *WorkerHost) transmit(p *packet.Packet, retransmit bool) {
 }
 
 func (h *WorkerHost) armTimer(idx uint32) {
-	if t := h.timers[idx]; t != nil {
-		t.Cancel()
-	}
+	h.timers[idx].Cancel()
 	rto := h.rto() << h.backoff[idx]
 	h.timers[idx] = h.sim.After(rto, func() {
-		h.timers[idx] = nil
+		h.timers[idx] = netsim.Timer{}
 		if !h.worker.Pending(idx) {
 			return
 		}
@@ -721,10 +720,8 @@ func (h *WorkerHost) Deliver(msg netsim.Message) {
 			// timer armed.
 			return
 		}
-		if t := h.timers[p.Idx]; t != nil {
-			t.Cancel()
-			h.timers[p.Idx] = nil
-		}
+		h.timers[p.Idx].Cancel()
+		h.timers[p.Idx] = netsim.Timer{}
 		h.backoff[p.Idx] = 0
 		if sample := h.sim.Now() - h.sentAt[p.Idx]; true {
 			if h.cfg.AdaptiveRTO && !h.retxed[p.Idx] {

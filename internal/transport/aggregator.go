@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"switchml/internal/core"
@@ -30,9 +32,18 @@ type AggregatorConfig struct {
 	// Switch is the aggregation pool configuration; LossRecovery
 	// should be true on any real network.
 	Switch core.SwitchConfig
+	// Shards is the number of receive goroutines draining the socket,
+	// the software analogue of the paper's Flow Director steering
+	// (Appendix B: "every CPU core ... uses a disjoint set of
+	// aggregation slots"). Zero selects 4. The kernel delivers each
+	// datagram to exactly one reader; per-slot locking inside the
+	// sharded switch keeps concurrent handling correct no matter
+	// which goroutine a packet lands on.
+	Shards int
 	// DropResult, when non-nil, is consulted before each result send
 	// and drops the packet when it returns true. It exists for loss
-	// testing on loopback networks that never drop.
+	// testing on loopback networks that never drop. The packet is
+	// only valid for the duration of the call.
 	DropResult func(p *packet.Packet) bool
 	// Liveness, when non-nil, enables the failure detector: silent
 	// workers are evicted and the survivors are resumed under a new job
@@ -57,27 +68,55 @@ type AggregatorConfig struct {
 // learns worker addresses from the source of their update packets,
 // so no registration step is needed; a worker must send before it
 // can receive, which the protocol guarantees.
+//
+// N shard goroutines drain the socket concurrently; each owns its
+// receive buffer, decoded packet, response packet and wire buffer, so
+// the steady-state datagram path performs no heap allocation. Worker
+// addresses live in an atomic table (compare-before-store keeps the
+// common case write-free), the liveness tracker is internally atomic,
+// and the recovery state machine — the only cross-shard state — is
+// guarded by mu and touched only on control traffic.
 type Aggregator struct {
 	cfg  AggregatorConfig
 	conn *net.UDPConn
-	sw   *core.Switch
+	sw   *core.ShardedSwitch
 	reg  *telemetry.Registry
 
 	recvd, corrupt, sent *telemetry.Counter
 
 	inj *faults.PacketInjector
 
-	mu    sync.Mutex
-	peers []*net.UDPAddr // indexed by worker id
-	epoch uint16         // current job generation
-	lv    *liveness      // nil unless cfg.Liveness is set
+	// peers is the learned worker address table, indexed by worker
+	// id. Entries are written at most once per address change.
+	peers []atomic.Pointer[netip.AddrPort]
+	// epoch is the current job generation; read lock-free on the
+	// per-packet path, written under mu by recovery.
+	epoch atomic.Uint32
+
+	mu sync.Mutex // guards the recovery state machine (lv)
+	lv *liveness  // nil unless cfg.Liveness is set
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// NewAggregator binds the socket and starts the serving goroutine.
+// aggShard is one receive goroutine's private working set: with it,
+// the datagram-in/datagrams-out cycle touches no shared mutable
+// memory beyond the slot being aggregated.
+type aggShard struct {
+	buf     []byte        // datagram receive buffer
+	pkt     packet.Packet // decoded request (vector storage reused)
+	out     packet.Packet // response storage for HandleInto
+	wire    []byte        // marshalled response
+	ctrl    []byte        // marshalled control reply (reconfig/resume)
+	mangled []byte        // injector corruption scratch
+}
+
+// NewAggregator binds the socket and starts the serving goroutines.
 func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -87,7 +126,7 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Switch.Now == nil {
 		cfg.Switch.Now = telemetry.WallClock
 	}
-	sw, err := core.NewSwitch(cfg.Switch)
+	sw, err := core.NewShardedSwitch(cfg.Switch)
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +154,10 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		recvd:   reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
 		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
 		sent:    reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
-		peers:   make([]*net.UDPAddr, cfg.Switch.Workers),
-		epoch:   cfg.Switch.JobID,
+		peers:   make([]atomic.Pointer[netip.AddrPort], cfg.Switch.Workers),
 		closed:  make(chan struct{}),
 	}
+	a.epoch.Store(uint32(cfg.Switch.JobID))
 	if cfg.Liveness != nil {
 		lc := *cfg.Liveness
 		lc.fillDefaults()
@@ -130,8 +169,10 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		a.wg.Add(1)
 		go a.sweepLoop()
 	}
-	a.wg.Add(1)
-	go a.serve()
+	for i := 0; i < cfg.Shards; i++ {
+		a.wg.Add(1)
+		go a.serve(&aggShard{buf: make([]byte, 65536)})
+	}
 	return a, nil
 }
 
@@ -145,11 +186,11 @@ func (a *Aggregator) Registry() *telemetry.Registry { return a.reg }
 
 // Stats returns the switch state machine counters. The counters are
 // atomic, so this is safe to call concurrently with the serving
-// goroutine — no lock is taken and packet handling is never stalled
+// goroutines — no lock is taken and packet handling is never stalled
 // by monitoring reads.
 func (a *Aggregator) Stats() core.SwitchStats { return a.sw.Stats() }
 
-// Close shuts the server down and waits for the serving goroutine.
+// Close shuts the server down and waits for the serving goroutines.
 func (a *Aggregator) Close() error {
 	select {
 	case <-a.closed:
@@ -162,13 +203,14 @@ func (a *Aggregator) Close() error {
 	return err
 }
 
-// serve is the run-to-completion loop: one datagram in, zero or more
-// datagrams out — the software analogue of the switch pipeline.
-func (a *Aggregator) serve() {
+// serve is one shard's run-to-completion loop: one datagram in, zero
+// or more datagrams out — the software analogue of one pipeline of
+// the switch. All per-packet storage belongs to the shard, so the
+// steady-state cycle is allocation-free.
+func (a *Aggregator) serve(sh *aggShard) {
 	defer a.wg.Done()
-	buf := make([]byte, 65536)
 	for {
-		n, src, err := a.conn.ReadFromUDP(buf)
+		n, src, err := a.conn.ReadFromUDPAddrPort(sh.buf)
 		if err != nil {
 			select {
 			case <-a.closed:
@@ -181,25 +223,37 @@ func (a *Aggregator) serve() {
 			continue // transient error: keep serving
 		}
 		a.recvd.Inc()
-		p, err := packet.Unmarshal(buf[:n])
-		if err != nil {
+		if err := packet.UnmarshalInto(&sh.pkt, sh.buf[:n]); err != nil {
 			a.corrupt.Inc()
 			continue // corrupted datagram: drop (§3.4)
 		}
-		if int(p.WorkerID) >= len(a.peers) {
+		if int(sh.pkt.WorkerID) >= len(a.peers) {
 			continue
 		}
-		switch p.Kind {
+		switch sh.pkt.Kind {
 		case packet.KindUpdate:
-			a.handleUpdate(p, src)
+			a.handleUpdate(sh, src)
 		case packet.KindHeartbeat:
-			a.touch(p, src)
+			a.touch(&sh.pkt, src)
 		case packet.KindReport:
-			a.handleReport(p, src)
+			a.handleReport(&sh.pkt, src)
 		default:
 			// Workers never originate result/reconfig/resume kinds.
 		}
 	}
+}
+
+// epochNow returns the current job generation.
+func (a *Aggregator) epochNow() uint16 { return uint16(a.epoch.Load()) }
+
+// setPeer records the worker's address, writing only on change so
+// the steady-state path stays read-only and allocation-free.
+func (a *Aggregator) setPeer(w uint16, src netip.AddrPort) {
+	if cur := a.peers[w].Load(); cur != nil && *cur == src {
+		return
+	}
+	ap := src
+	a.peers[w].Store(&ap)
 }
 
 // handleUpdate feeds one model-update into the pool. With a liveness
@@ -208,85 +262,76 @@ func (a *Aggregator) serve() {
 // merely-slow worker learns it was evicted and can fail fast), and
 // stale-generation traffic from a live worker means the resume
 // directive was lost — it is re-sent instead of feeding the pool.
-func (a *Aggregator) handleUpdate(p *packet.Packet, src *net.UDPAddr) {
-	a.mu.Lock()
+// The clean path — touch the tracker, aggregate, reply — takes no
+// lock beyond the packet's slot.
+func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
+	p := &sh.pkt
+	w := int(p.WorkerID)
 	if a.lv != nil {
-		if a.lv.tracker.Dead(int(p.WorkerID)) {
-			out := packet.NewControl(packet.KindReconfig, p.WorkerID, a.epoch, 0, a.survivorsLocked()).Marshal()
+		if a.lv.tracker.Dead(w) {
+			a.mu.Lock()
+			vec := a.survivorsLocked()
 			a.mu.Unlock()
-			a.conn.WriteToUDP(out, src)
+			sh.ctrl = packet.NewControl(packet.KindReconfig, p.WorkerID, a.epochNow(), 0, vec).AppendMarshal(sh.ctrl[:0])
+			a.conn.WriteToUDPAddrPort(sh.ctrl, src)
 			a.sent.Inc()
 			return
 		}
-		a.lv.tracker.Touch(int(p.WorkerID), time.Now().UnixNano())
-		if p.JobID != a.epoch && a.lv.resumeReady {
-			out := packet.NewControl(packet.KindResume, p.WorkerID, a.epoch, a.lv.frontier, nil).Marshal()
-			a.mu.Unlock()
-			a.conn.WriteToUDP(out, src)
+		a.lv.tracker.Touch(w, time.Now().UnixNano())
+		if p.JobID != a.epochNow() && a.lv.resumeReady.Load() {
+			sh.ctrl = packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), a.lv.frontier.Load(), nil).AppendMarshal(sh.ctrl[:0])
+			a.conn.WriteToUDPAddrPort(sh.ctrl, src)
 			a.sent.Inc()
 			return
 		}
 	}
-	a.peers[p.WorkerID] = src
-	resp := a.sw.Handle(p)
-	a.mu.Unlock()
+	a.setPeer(p.WorkerID, src)
+	resp := a.sw.HandleInto(p, &sh.out)
 	if resp.Pkt == nil {
 		return
 	}
 	if a.cfg.DropResult != nil && a.cfg.DropResult(resp.Pkt) {
 		return
 	}
-	out := resp.Pkt.Marshal()
+	sh.wire = resp.Pkt.AppendMarshal(sh.wire[:0])
 	if resp.Multicast {
-		for _, peer := range a.snapshotPeers() {
-			if peer != nil {
-				a.write(out, peer)
+		for i := range a.peers {
+			if ap := a.peers[i].Load(); ap != nil {
+				a.write(sh, *ap)
 			}
 		}
 		return
 	}
-	if peer := a.peer(resp.Pkt.WorkerID); peer != nil {
-		a.write(out, peer)
+	if int(resp.Pkt.WorkerID) < len(a.peers) {
+		if ap := a.peers[resp.Pkt.WorkerID].Load(); ap != nil {
+			a.write(sh, *ap)
+		}
 	}
 }
 
-// write sends one result datagram, consulting the fault injector.
-func (a *Aggregator) write(out []byte, peer *net.UDPAddr) {
+// write sends the shard's marshalled result datagram, consulting the
+// fault injector.
+func (a *Aggregator) write(sh *aggShard, peer netip.AddrPort) {
+	out := sh.wire
 	writes := 1
 	if a.inj != nil {
 		switch a.inj.Judge() {
 		case faults.Drop:
 			return
 		case faults.Corrupt:
-			// The multicast loop shares out across peers; mangle a copy.
-			b := append([]byte(nil), out...)
-			a.inj.Mangle(b)
-			out = b
+			// The multicast loop shares sh.wire across peers; mangle a
+			// shard-local copy.
+			sh.mangled = append(sh.mangled[:0], out...)
+			a.inj.Mangle(sh.mangled)
+			out = sh.mangled
 		case faults.Duplicate:
 			writes = 2
 		}
 	}
 	for i := 0; i < writes; i++ {
-		a.conn.WriteToUDP(out, peer)
+		a.conn.WriteToUDPAddrPort(out, peer)
 		a.sent.Inc()
 	}
-}
-
-func (a *Aggregator) peer(wid uint16) *net.UDPAddr {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if int(wid) >= len(a.peers) {
-		return nil
-	}
-	return a.peers[wid]
-}
-
-func (a *Aggregator) snapshotPeers() []*net.UDPAddr {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]*net.UDPAddr, len(a.peers))
-	copy(out, a.peers)
-	return out
 }
 
 // Reset clears the aggregation pools and forgets worker addresses,
@@ -298,18 +343,18 @@ func (a *Aggregator) Reset() {
 	defer a.mu.Unlock()
 	a.sw.Reset()
 	for i := range a.peers {
-		a.peers[i] = nil
+		a.peers[i].Store(nil)
 	}
 	if a.lv != nil {
-		// A fresh tracker: every worker is back to "never seen", so a
-		// host that does not rejoin the restarted job is simply ignored
-		// rather than suspected.
-		a.lv.tracker = faults.NewTracker(len(a.peers), int64(a.lv.cfg.SilenceAfter))
+		// Back to "never seen" for every worker, so a host that does
+		// not rejoin the restarted job is simply ignored rather than
+		// suspected.
+		a.lv.tracker.Reset()
 		for i := range a.lv.reported {
 			a.lv.reported[i] = false
 		}
 		a.lv.recovering = false
-		a.lv.resumeReady = false
-		a.lv.frontier = 0
+		a.lv.resumeReady.Store(false)
+		a.lv.frontier.Store(0)
 	}
 }

@@ -62,6 +62,15 @@ type Client struct {
 	// lastSend tracks per-slot transmission times for timeout
 	// sweeps.
 	lastSend []time.Time
+	// rbuf/rp/sbuf/cbuf are the receive buffer, decoded packet, send
+	// wire buffer and control wire buffer, reused across datagrams so
+	// the steady-state AllReduce loop performs no heap allocation.
+	// They belong to the AllReduce goroutine (the client is
+	// documented as not safe for concurrent use).
+	rbuf []byte
+	rp   packet.Packet
+	sbuf []byte
+	cbuf []byte
 	// backoff counts consecutive timeouts per slot; the effective RTO
 	// doubles with each (capped at 64x), preventing retransmission
 	// storms when the configured RTO sits below the path RTT.
@@ -121,6 +130,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
 		sent:     reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
 		lastSend: make([]time.Time, cfg.Worker.PoolSize),
+		rbuf:     make([]byte, 65536),
 		backoff:  make([]uint8, cfg.Worker.PoolSize),
 		epoch:    cfg.Worker.JobID,
 		closed:   make(chan struct{}),
@@ -203,11 +213,12 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
 	for _, p := range c.worker.Start(u) {
-		if err := c.send(p); err != nil {
+		err := c.send(p)
+		packet.PutPacket(p)
+		if err != nil {
 			return nil, err
 		}
 	}
-	buf := make([]byte, 65536)
 	for {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("transport: all-reduce timed out after %v (%d chunks outstanding)",
@@ -226,7 +237,7 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 		if err := c.conn.SetReadDeadline(readDeadline); err != nil {
 			return nil, err
 		}
-		n, err := c.conn.Read(buf)
+		n, err := c.conn.Read(c.rbuf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				if err := c.sweepTimeouts(); err != nil {
@@ -237,12 +248,11 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 			return nil, err
 		}
 		c.recvd.Inc()
-		p, err := packet.Unmarshal(buf[:n])
-		if err != nil {
+		if err := packet.UnmarshalInto(&c.rp, c.rbuf[:n]); err != nil {
 			c.corrupt.Inc()
 			continue // corrupted datagram
 		}
-		done, err := c.handleIncoming(p)
+		done, err := c.handleIncoming(&c.rp)
 		if err != nil {
 			return nil, err
 		}
@@ -292,7 +302,9 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 			c.backoff[i] = 0
 		}
 		for _, q := range pkts {
-			if err := c.send(q); err != nil {
+			err := c.send(q)
+			packet.PutPacket(q)
+			if err != nil {
 				return false, err
 			}
 		}
@@ -307,7 +319,9 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 			}
 		}
 		if next != nil {
-			if err := c.send(next); err != nil {
+			err := c.send(next)
+			packet.PutPacket(next)
+			if err != nil {
 				return false, err
 			}
 		}
@@ -320,10 +334,13 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 // send transmits an update and stamps its slot timer, consulting the
 // fault injector. An injected drop still stamps the timer — the
 // packet was "lost on the wire", and the retransmission machinery is
-// exactly what recovers it.
+// exactly what recovers it. The wire bytes go through the client's
+// reused send buffer; callers that got p from the packet pool may
+// return it as soon as send returns.
 func (c *Client) send(p *packet.Packet) error {
 	c.lastSend[p.Idx] = time.Now()
-	out := p.Marshal()
+	c.sbuf = p.AppendMarshal(c.sbuf[:0])
+	out := c.sbuf
 	writes := 1
 	if c.inj != nil {
 		switch c.inj.Judge() {
@@ -348,8 +365,8 @@ func (c *Client) send(p *packet.Packet) error {
 // bypassing the fault injector: on a real network control loss is
 // repaired by the aggregator's sweep-period rebroadcast.
 func (c *Client) sendControl(kind packet.Kind, job uint16, off uint64, vec []int32) error {
-	out := packet.NewControl(kind, c.cfg.Worker.ID, job, off, vec).Marshal()
-	if _, err := c.conn.Write(out); err != nil {
+	c.cbuf = packet.NewControl(kind, c.cfg.Worker.ID, job, off, vec).AppendMarshal(c.cbuf[:0])
+	if _, err := c.conn.Write(c.cbuf); err != nil {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	c.sent.Inc()
@@ -378,7 +395,9 @@ func (c *Client) sweepTimeouts() error {
 		c.trace(telemetry.EvTimeoutFired, int32(idx))
 		if p := c.worker.Retransmit(uint32(idx)); p != nil {
 			c.trace(telemetry.EvRetransmit, int32(idx))
-			if err := c.send(p); err != nil {
+			err := c.send(p)
+			packet.PutPacket(p)
+			if err != nil {
 				return err
 			}
 		}

@@ -1,7 +1,8 @@
 package transport
 
 import (
-	"net"
+	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"switchml/internal/faults"
@@ -34,8 +35,10 @@ func (c *LivenessConfig) fillDefaults() {
 	}
 }
 
-// liveness is the aggregator's recovery state, guarded by the
-// aggregator mutex.
+// liveness is the aggregator's recovery state. The tracker is
+// internally atomic, and resumeReady/frontier are read lock-free by
+// the shard goroutines' stale-generation fast path; everything else
+// is guarded by the aggregator mutex.
 type liveness struct {
 	cfg     LivenessConfig
 	tracker *faults.Tracker
@@ -44,9 +47,10 @@ type liveness struct {
 	recovering bool
 	// resumeReady means the global frontier is final and KindResume
 	// has been issued; stale-generation traffic triggers re-sends.
-	resumeReady bool
-	// frontier is the minimum reported stream offset.
-	frontier uint64
+	resumeReady atomic.Bool
+	// frontier is the minimum reported stream offset. Only meaningful
+	// once resumeReady is set; written under the aggregator mutex.
+	frontier atomic.Uint64
 	// reported marks workers whose KindReport arrived this generation.
 	reported []bool
 }
@@ -77,7 +81,7 @@ func (a *Aggregator) sweep(now int64) {
 			break // never retire the last worker
 		}
 		a.lv.tracker.MarkDead(w)
-		a.peers[w] = nil // evict the dead worker's session state
+		a.peers[w].Store(nil) // evict the dead worker's session state
 		a.traceCtrl(telemetry.EvFailureDetected, int32(w), -1)
 		verdict = true
 	}
@@ -96,19 +100,19 @@ func (a *Aggregator) sweep(now int64) {
 // membership (draining the pool, so no slot can mix generations), and
 // opens the report quorum.
 func (a *Aggregator) startRecoveryLocked() {
-	a.epoch++
+	a.epoch.Store(uint32(a.epochNow() + 1))
 	active := make([]bool, len(a.peers))
 	for i := range active {
 		active[i] = !a.lv.tracker.Dead(i)
 	}
-	if err := a.sw.Reconfigure(active, a.epoch); err != nil {
+	if err := a.sw.Reconfigure(active, a.epochNow()); err != nil {
 		// Unreachable: the sweep never retires the last worker.
 		return
 	}
-	a.traceCtrl(telemetry.EvReconfigure, -1, int64(a.epoch))
+	a.traceCtrl(telemetry.EvReconfigure, -1, int64(a.epochNow()))
 	a.lv.recovering = true
-	a.lv.resumeReady = false
-	a.lv.frontier = ^uint64(0)
+	a.lv.resumeReady.Store(false)
+	a.lv.frontier.Store(^uint64(0))
 	for i := range a.lv.reported {
 		a.lv.reported[i] = false
 	}
@@ -127,15 +131,26 @@ func (a *Aggregator) survivorsLocked() []int32 {
 }
 
 // sendReconfigLocked (re)sends the reconfigure directive to live
-// workers that have not reported their frontier yet.
+// workers that have not reported their frontier yet. The directive
+// differs between recipients only in its worker-id field, so it is
+// marshalled once and the id patched per peer.
 func (a *Aggregator) sendReconfigLocked() {
 	vec := a.survivorsLocked()
-	for w, peer := range a.peers {
-		if peer == nil || a.lv.tracker.Dead(w) || a.lv.reported[w] {
+	var wire []byte
+	for w := range a.peers {
+		if a.lv.tracker.Dead(w) || a.lv.reported[w] {
 			continue
 		}
-		out := packet.NewControl(packet.KindReconfig, uint16(w), a.epoch, 0, vec).Marshal()
-		a.conn.WriteToUDP(out, peer)
+		ap := a.peers[w].Load()
+		if ap == nil {
+			continue
+		}
+		if wire == nil {
+			wire = packet.NewControl(packet.KindReconfig, uint16(w), a.epochNow(), 0, vec).Marshal()
+		} else if err := packet.PatchWorkerID(wire, uint16(w)); err != nil {
+			continue
+		}
+		a.conn.WriteToUDPAddrPort(wire, *ap)
 		a.sent.Inc()
 	}
 }
@@ -144,68 +159,75 @@ func (a *Aggregator) sendReconfigLocked() {
 // last live worker reports, the resume directive goes out with the
 // global minimum. A report arriving after that (its resume was lost)
 // just gets the directive repeated.
-func (a *Aggregator) handleReport(p *packet.Packet, src *net.UDPAddr) {
+func (a *Aggregator) handleReport(p *packet.Packet, src netip.AddrPort) {
 	if a.lv == nil {
 		return
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	w := int(p.WorkerID)
-	if p.JobID != a.epoch || a.lv.tracker.Dead(w) {
+	if p.JobID != a.epochNow() || a.lv.tracker.Dead(w) {
 		return
 	}
 	a.lv.tracker.Touch(w, time.Now().UnixNano())
-	a.peers[w] = src
-	if p.Off < a.lv.frontier {
-		a.lv.frontier = p.Off
+	a.setPeer(p.WorkerID, src)
+	if p.Off < a.lv.frontier.Load() {
+		a.lv.frontier.Store(p.Off)
 	}
 	a.lv.reported[w] = true
-	if a.lv.resumeReady {
-		out := packet.NewControl(packet.KindResume, p.WorkerID, a.epoch, a.lv.frontier, nil).Marshal()
-		a.conn.WriteToUDP(out, src)
+	if a.lv.resumeReady.Load() {
+		out := packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), a.lv.frontier.Load(), nil).Marshal()
+		a.conn.WriteToUDPAddrPort(out, src)
 		a.sent.Inc()
 		return
 	}
-	for i, peer := range a.peers {
+	for i := range a.peers {
 		if a.lv.tracker.Dead(i) || a.lv.tracker.LastSeen(i) < 0 {
 			continue // never joined; it cannot report
 		}
-		if peer == nil || !a.lv.reported[i] {
+		if a.peers[i].Load() == nil || !a.lv.reported[i] {
 			return // quorum incomplete; the sweeper keeps rebroadcasting
 		}
 	}
 	a.lv.recovering = false
-	a.lv.resumeReady = true
-	a.traceCtrl(telemetry.EvResume, -1, int64(a.lv.frontier))
-	for i, peer := range a.peers {
-		if peer == nil || a.lv.tracker.Dead(i) {
+	a.lv.resumeReady.Store(true)
+	a.traceCtrl(telemetry.EvResume, -1, int64(a.lv.frontier.Load()))
+	var wire []byte
+	for i := range a.peers {
+		if a.lv.tracker.Dead(i) {
 			continue
 		}
-		out := packet.NewControl(packet.KindResume, uint16(i), a.epoch, a.lv.frontier, nil).Marshal()
-		a.conn.WriteToUDP(out, peer)
+		ap := a.peers[i].Load()
+		if ap == nil {
+			continue
+		}
+		if wire == nil {
+			wire = packet.NewControl(packet.KindResume, uint16(i), a.epochNow(), a.lv.frontier.Load(), nil).Marshal()
+		} else if err := packet.PatchWorkerID(wire, uint16(i)); err != nil {
+			continue
+		}
+		a.conn.WriteToUDPAddrPort(wire, *ap)
 		a.sent.Inc()
 	}
 }
 
 // touch records liveness from a heartbeat (or other control traffic)
-// and keeps the sender's address fresh.
-func (a *Aggregator) touch(p *packet.Packet, src *net.UDPAddr) {
+// and keeps the sender's address fresh. Lock-free: the tracker and
+// the address table are atomic.
+func (a *Aggregator) touch(p *packet.Packet, src netip.AddrPort) {
 	if a.lv == nil {
 		return
 	}
-	a.mu.Lock()
-	if !a.lv.tracker.Dead(int(p.WorkerID)) {
-		a.lv.tracker.Touch(int(p.WorkerID), time.Now().UnixNano())
-		a.peers[p.WorkerID] = src
+	if a.lv.tracker.Dead(int(p.WorkerID)) {
+		return
 	}
-	a.mu.Unlock()
+	a.lv.tracker.Touch(int(p.WorkerID), time.Now().UnixNano())
+	a.setPeer(p.WorkerID, src)
 }
 
 // Alive reports whether worker w is still part of the job. Without a
 // liveness detector every configured worker counts as alive.
 func (a *Aggregator) Alive(w int) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if w < 0 || w >= len(a.peers) {
 		return false
 	}
@@ -216,11 +238,7 @@ func (a *Aggregator) Alive(w int) bool {
 }
 
 // Epoch returns the current job generation.
-func (a *Aggregator) Epoch() uint16 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.epoch
-}
+func (a *Aggregator) Epoch() uint16 { return a.epochNow() }
 
 // traceCtrl emits a controller-scope event stamped with wall-clock
 // time.

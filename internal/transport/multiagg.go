@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 
 	"switchml/internal/core"
@@ -24,7 +25,7 @@ type MultiAggregator struct {
 
 	mu     sync.Mutex
 	ms     *core.MultiSwitch
-	peers  map[uint16][]*net.UDPAddr // per job, indexed by worker id
+	peers  map[uint16][]netip.AddrPort // per job, indexed by worker id
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
@@ -48,7 +49,7 @@ func NewMultiAggregator(addr string, memoryBudget int) (*MultiAggregator, error)
 		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "multiagg"),
 		sent:    reg.Counter("udp_datagrams_sent_total", "role", "multiagg"),
 		ms:      core.NewMultiSwitch(memoryBudget),
-		peers:   make(map[uint16][]*net.UDPAddr),
+		peers:   make(map[uint16][]netip.AddrPort),
 		closed:  make(chan struct{}),
 	}
 	m.wg.Add(1)
@@ -75,7 +76,7 @@ func (m *MultiAggregator) AdmitJob(cfg core.SwitchConfig) error {
 	if _, err := m.ms.AdmitJob(cfg); err != nil {
 		return err
 	}
-	m.peers[cfg.JobID] = make([]*net.UDPAddr, cfg.Workers)
+	m.peers[cfg.JobID] = make([]netip.AddrPort, cfg.Workers)
 	return nil
 }
 
@@ -117,11 +118,20 @@ func (m *MultiAggregator) Close() error {
 	return err
 }
 
+// serve is the datagram loop. Receive buffer, decoded packet,
+// response packet, target list and wire bytes are all reused across
+// datagrams, so the steady-state cycle does not allocate.
 func (m *MultiAggregator) serve() {
 	defer m.wg.Done()
-	buf := make([]byte, 65536)
+	var (
+		buf     = make([]byte, 65536)
+		p       packet.Packet
+		out     packet.Packet
+		wire    []byte
+		targets []netip.AddrPort
+	)
 	for {
-		n, src, err := m.conn.ReadFromUDP(buf)
+		n, src, err := m.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-m.closed:
@@ -134,8 +144,7 @@ func (m *MultiAggregator) serve() {
 			continue
 		}
 		m.recvd.Inc()
-		p, err := packet.Unmarshal(buf[:n])
-		if err != nil {
+		if err := packet.UnmarshalInto(&p, buf[:n]); err != nil {
 			m.corrupt.Inc()
 			continue
 		}
@@ -149,23 +158,23 @@ func (m *MultiAggregator) serve() {
 			continue
 		}
 		peers[p.WorkerID] = src
-		resp := m.ms.Handle(p)
-		var targets []*net.UDPAddr
+		resp := m.ms.HandleInto(&p, &out)
+		targets = targets[:0]
 		if resp.Pkt != nil {
 			if resp.Multicast {
-				targets = append([]*net.UDPAddr(nil), peers...)
-			} else if t := peers[resp.Pkt.WorkerID]; t != nil {
-				targets = []*net.UDPAddr{t}
+				targets = append(targets, peers...)
+			} else if t := peers[resp.Pkt.WorkerID]; t.IsValid() {
+				targets = append(targets, t)
 			}
 		}
 		m.mu.Unlock()
 		if resp.Pkt == nil {
 			continue
 		}
-		out := resp.Pkt.Marshal()
+		wire = resp.Pkt.AppendMarshal(wire[:0])
 		for _, t := range targets {
-			if t != nil {
-				m.conn.WriteToUDP(out, t)
+			if t.IsValid() {
+				m.conn.WriteToUDPAddrPort(wire, t)
 				m.sent.Inc()
 			}
 		}

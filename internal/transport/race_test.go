@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,92 @@ func TestConcurrentStats(t *testing.T) {
 	}
 	if v := agg.Registry().Counter("udp_datagrams_received_total", "role", "aggregator").Value(); v == 0 {
 		t.Error("datagram counter never moved")
+	}
+}
+
+// TestShardedAggregatorConcurrentClients drives back-to-back
+// all-reduces from concurrent clients into an aggregator with an
+// explicit shard count and the liveness detector on, so that under
+// -race the per-slot locking, the atomic peer/epoch/tracker fast
+// paths and the sweeper all run against live traffic.
+func TestShardedAggregatorConcurrentClients(t *testing.T) {
+	const n, s, k = 4, 8, 16
+	agg, err := NewAggregator(AggregatorConfig{
+		Addr:   "127.0.0.1:0",
+		Shards: 8,
+		Switch: core.SwitchConfig{
+			Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+		},
+		Liveness: &LivenessConfig{
+			SilenceAfter: 5 * time.Second,
+			CheckEvery:   10 * time.Millisecond, // sweep constantly under traffic
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i], err = NewClient(ClientConfig{
+			Aggregator: agg.Addr().String(),
+			Worker: core.WorkerConfig{
+				ID: uint16(i), Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+			},
+			RTO:       20 * time.Millisecond,
+			Timeout:   10 * time.Second,
+			Heartbeat: 5 * time.Millisecond, // hammer the lock-free touch path
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
+
+	const tensors = 3
+	u := make([]int32, 4096)
+	for i := range u {
+		u[i] = 3
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rounds := 0; rounds < tensors; rounds++ {
+				out, err := clients[i].AllReduceInt32(u)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				for j, v := range out {
+					if v != 3*n {
+						errs[i] = fmt.Errorf("tensor %d elem %d: got %d, want %d", rounds, j, v, 3*n)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if st := agg.Stats(); st.Completions == 0 {
+		t.Error("aggregator saw no completions")
+	}
+	if agg.Epoch() != 0 {
+		t.Errorf("liveness detector fired a recovery on a healthy job (epoch %d)", agg.Epoch())
+	}
+	for i := 0; i < n; i++ {
+		if !agg.Alive(i) {
+			t.Errorf("worker %d wrongly declared dead", i)
+		}
 	}
 }
 
