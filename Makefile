@@ -1,21 +1,30 @@
-# The `check` target is the tier-1 gate (see ROADMAP.md): vet, build,
-# the full test suite, and the race detector over every package with
-# real concurrency — the UDP transport, the telemetry registry, the
-# rack host timers and the public session/cluster API. CI and
-# pre-commit should run `make check`.
+# The `check` target is the tier-1 gate (see ROADMAP.md): vet, lint
+# (the project's own static-analysis suite), build, the full test
+# suite, and the race detector over every package with real
+# concurrency — the UDP transport, the telemetry registry, the rack
+# host timers, the sharded aggregation core, the event scheduler and
+# the public session/cluster API. CI and pre-commit should run
+# `make check`.
 
 GO ?= go
 
 # Packages whose tests exercise concurrent goroutines against shared
 # state; they must stay clean under the race detector.
-RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack .
+RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack \
+	./internal/core ./internal/netsim .
 
-.PHONY: check vet build test race chaos fuzz bench bench-smoke examples clean
+.PHONY: check vet lint build test race chaos fuzz bench bench-smoke examples clean
 
-check: vet build test race chaos bench-smoke
+check: vet lint build test race chaos bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant static analysis (cmd/switchml-vet): hot-path
+# allocation freedom, simulation determinism, atomics discipline and
+# wire-width checks. Any finding fails the build.
+lint:
+	$(GO) run ./cmd/switchml-vet
 
 build:
 	$(GO) build ./...

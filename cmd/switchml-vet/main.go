@@ -1,0 +1,69 @@
+// Command switchml-vet runs the project's static-analysis suite
+// (internal/analysis) over the module: four analyzers proving the
+// invariants the compiler cannot — allocation-free hot paths,
+// deterministic simulation packages, atomics discipline, and wire
+// widths that fit the p4sim register model. It is the `make lint`
+// gate; any finding exits non-zero.
+//
+// Usage:
+//
+//	switchml-vet [-root dir] [-list] [analyzer ...]
+//
+// With no analyzer names, all four run. -root overrides the module
+// root (default: the nearest go.mod above the working directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"switchml/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above cwd)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if err := run(*root, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(root string, names []string) error {
+	analyzers, err := analysis.ByName(names)
+	if err != nil {
+		return err
+	}
+	if root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return err
+		}
+		root, err = analysis.FindModuleRoot(wd)
+		if err != nil {
+			return err
+		}
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	diags := analysis.Run(m, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		return fmt.Errorf("switchml-vet: %d finding(s)", n)
+	}
+	return nil
+}

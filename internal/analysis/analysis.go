@@ -1,0 +1,119 @@
+// Package analysis is switchml's project-invariant static-analysis
+// suite. The paper's guarantees rest on properties the Go compiler
+// does not check: the per-packet cycle must not allocate (§3.2's
+// line-rate budget), the simulation stack must stay deterministic for
+// replay-based evaluation (§5.5, §5.6), the aggregator's lock-free
+// fast path must never mix atomic and plain access to the same field,
+// and protocol constants must fit the register widths the Tofino
+// model (internal/p4sim) enforces. The four analyzers here — hotpath,
+// determinism, atomicfield and wirewidth — turn those invariants into
+// a build gate (`make lint`, cmd/switchml-vet).
+//
+// The suite is built purely on the standard library (go/parser,
+// go/ast, go/types, go/token): LoadModule type-checks the whole
+// module with stdlib imports resolved from GOROOT source, so the tool
+// adds no dependencies and works offline.
+//
+// Source directives (see DESIGN.md "Static analysis & invariants"):
+//
+//	//switchml:hotpath           function must not allocate
+//	//switchml:deterministic     package must not consult wall clocks,
+//	                             global randomness or map order
+//	//switchml:wire bits=N       constants stored in this field must
+//	                             fit N bits
+//	//switchml:allow <analyzer> -- <justification>
+//	                             suppress findings on this line (or the
+//	                             line below, or this declaration)
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the offending code.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the violated invariant.
+	Message string
+}
+
+// String formats the diagnostic the way compilers do:
+// path:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one whole-module invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// //switchml:allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the module and returns its findings.
+	Run func(m *Module) []Diagnostic
+}
+
+// All returns the suite's analyzers in report order.
+func All() []*Analyzer {
+	return []*Analyzer{Hotpath(), Determinism(), AtomicField(), WireWidth()}
+}
+
+// ByName returns the named analyzers, or an error naming the unknown
+// one. An empty list selects All.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the module, drops findings
+// suppressed by //switchml:allow directives, and returns the rest
+// sorted by position. Suppressions must carry a justification; a bare
+// allow is itself reported.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	dirs := collectDirectives(m)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(m) {
+			if dirs.suppressed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, dirs.malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regex from a `// want "..."` comment.
+var wantRe = regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+
+// want is one golden expectation: a diagnostic whose message matches
+// re must appear at file:line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants scans the testdata module for want comments. A comment
+// trailing code expects the diagnostic on its own line; a comment on
+// a line of its own expects it on the next line (used for positions
+// inside comments, like malformed directives).
+func collectWants(t *testing.T, root string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatchIndex(line)
+			if m == nil {
+				continue
+			}
+			quoted := line[m[2]:m[3]]
+			pat, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want %s: %v", p, i+1, quoted, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: want %q does not compile: %v", p, i+1, pat, err)
+			}
+			wantLine := i + 1
+			if strings.TrimSpace(line[:m[0]]) == "" {
+				wantLine++ // standalone comment: expectation is for the next line
+			}
+			wants = append(wants, &want{file: p, line: wantLine, re: re, raw: pat})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestGolden runs the full suite over the seeded testdata module and
+// requires an exact correspondence between diagnostics and want
+// comments: every want matched by a diagnostic at its position, and
+// no diagnostic without a want.
+func TestGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(m, All())
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics on the seeded testdata module; the analyzers are not firing")
+	}
+	wants := collectWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found under testdata/mod")
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q not reported", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// TestSingleAnalyzer checks ByName selection: running only wirewidth
+// over the testdata module must produce wirewidth findings and
+// nothing from the other analyzers (directive validation always
+// runs).
+func TestSingleAnalyzer(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only, err := ByName([]string{"wirewidth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(m, only)
+	sawWire := false
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "wirewidth":
+			sawWire = true
+		case "directive":
+			// directive validation is part of every run
+		default:
+			t.Errorf("analyzer %q ran despite selecting only wirewidth: %s", d.Analyzer, d)
+		}
+	}
+	if !sawWire {
+		t.Error("no wirewidth findings on the seeded module")
+	}
+
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Error("ByName accepted an unknown analyzer name")
+	}
+}
+
+// TestRepoClean is the regression gate in unit-test form: the repo's
+// own module must produce zero findings, the same invariant `make
+// lint` enforces.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(m, All()) {
+		t.Errorf("repo is not vet-clean: %s", d)
+	}
+}
+
+func TestParseWireBits(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		fail bool
+	}{
+		{"bits=3", 3, false},
+		{"bits=64", 64, false},
+		{"bits=1", 1, false},
+		{"bits=0", 0, true},
+		{"bits=65", 0, true},
+		{"bits=banana", 0, true},
+		{"width=3", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		n, err := parseWireBits(c.in)
+		if c.fail != (err != nil) || n != c.n {
+			t.Errorf("parseWireBits(%q) = %d, %v; want n=%d fail=%v", c.in, n, err, c.n, c.fail)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	name, why, ok := parseAllow("hotpath -- guarded grow path")
+	if !ok || name != "hotpath" || why != "guarded grow path" {
+		t.Errorf("parseAllow = %q, %q, %v", name, why, ok)
+	}
+	if _, _, ok := parseAllow("hotpath"); ok {
+		t.Error("parseAllow accepted a suppression without --")
+	}
+	if _, why, ok := parseAllow("hotpath --"); ok && why != "" {
+		t.Error("parseAllow fabricated a justification")
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("FindModuleRoot returned %s without a go.mod: %v", root, err)
+	}
+}

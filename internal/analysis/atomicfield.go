@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField returns the atomics-discipline analyzer. The PR-3
+// aggregator fast path is lock-free: shard goroutines read the peer
+// table, the liveness tracker, the epoch and the frontier with
+// sync/atomic while the recovery path writes them under a mutex. That
+// discipline only works if a location touched atomically is touched
+// atomically *everywhere* — one plain load or store reintroduces the
+// data race the atomics were bought to remove, and the race detector
+// only catches it on exercised schedules. The analyzer records every
+// variable (struct field, package variable or slice-element base)
+// whose address is passed to a sync/atomic operation anywhere in the
+// module, then flags every plain read or write of the same location.
+// Single-threaded phases (constructors before publication) are
+// suppressed with //switchml:allow atomicfield -- <why>.
+func AtomicField() *Analyzer {
+	return &Analyzer{
+		Name: "atomicfield",
+		Doc:  "locations accessed via sync/atomic must never be read or written plainly",
+		Run:  runAtomicField,
+	}
+}
+
+// atomicTarget records where a location was first seen used
+// atomically.
+type atomicTarget struct {
+	display string
+	pos     token.Position
+	// elem means the atomics address elements (&x.f[i]); plain use of
+	// the slice header itself (len, range-by-index) stays legal.
+	elem bool
+}
+
+func runAtomicField(m *Module) []Diagnostic {
+	targets := make(map[types.Object]*atomicTarget)
+
+	// Pass 1: collect every &location handed to a sync/atomic
+	// function.
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				target := ast.Unparen(un.X)
+				elem := false
+				if idx, ok := target.(*ast.IndexExpr); ok {
+					target = ast.Unparen(idx.X)
+					elem = true
+				}
+				obj := addressableObject(pkg.Info, target)
+				if obj == nil {
+					return true
+				}
+				if t, seen := targets[obj]; seen {
+					t.elem = t.elem && elem // whole-var atomics dominate
+					return true
+				}
+				targets[obj] = &atomicTarget{
+					display: objDisplayName(obj),
+					pos:     m.Fset.Position(un.Pos()),
+					elem:    elem,
+				}
+				return true
+			})
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain uses of the recorded locations.
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) {
+				var obj types.Object
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					obj = addressableObject(pkg.Info, n)
+				case *ast.Ident:
+					// Only plain identifiers (fields are covered by
+					// their SelectorExpr parent).
+					if len(stack) > 1 {
+						if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+							return
+						}
+					}
+					obj = pkg.Info.Uses[n]
+				default:
+					return
+				}
+				t, recorded := targets[obj]
+				if !recorded {
+					return
+				}
+				if underAtomicAddress(pkg.Info, stack) {
+					return
+				}
+				if t.elem && !isElementAccess(n, stack) {
+					return // len/cap/range-index of the slice is fine
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      m.Fset.Position(n.Pos()),
+					Analyzer: "atomicfield",
+					Message: fmt.Sprintf("plain access to %s, which is accessed atomically (%s); mixing atomic and plain access races",
+						t.display, t.pos),
+				})
+			})
+		}
+	}
+	return diags
+}
+
+// isAtomicCall reports whether the call targets a package-level
+// sync/atomic operation.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods of atomic.Int64 etc. take no address
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressableObject resolves a selector or identifier to the variable
+// it names: a struct field, a package variable or a local.
+func addressableObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if sel.Kind() == types.FieldVal {
+				return sel.Obj()
+			}
+			return nil
+		}
+		return info.Uses[e.Sel] // package-qualified variable
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	}
+	return nil
+}
+
+// underAtomicAddress reports whether the use sits inside the
+// &-operand of a sync/atomic call (the legal way to touch the
+// location).
+func underAtomicAddress(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		un, ok := stack[i].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		if call, ok := stack[i-1].(*ast.CallExpr); ok &&
+			len(call.Args) > 0 && ast.Unparen(call.Args[0]) == un && isAtomicCall(info, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// isElementAccess reports whether the use is the indexed base of an
+// IndexExpr (x.f[i]) or the range operand with a value variable —
+// the accesses that read or write elements rather than the header.
+func isElementAccess(n ast.Node, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch p := stack[len(stack)-2].(type) {
+	case *ast.IndexExpr:
+		return ast.Unparen(p.X) == n
+	case *ast.SelectorExpr:
+		// x.f inside a longer selection; check one level up.
+		if len(stack) >= 3 {
+			if idx, ok := stack[len(stack)-3].(*ast.IndexExpr); ok {
+				return ast.Unparen(idx.X) == p
+			}
+		}
+	case *ast.RangeStmt:
+		return ast.Unparen(p.X) == n && p.Value != nil // copies elements out
+	}
+	return false
+}
+
+// inspectWithStack walks the AST keeping the ancestor chain; fn is
+// called for every node with stack[len-1] == n.
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}
+
+// objDisplayName renders a variable for diagnostics, with its owner
+// type for fields.
+func objDisplayName(obj types.Object) string {
+	name := obj.Name()
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		name = "field " + name
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism returns the replay-safety analyzer. Packages annotated
+// //switchml:deterministic (netsim, core, p4sim, faults, packet) back
+// the paper's §5.5/§5.6 evaluation, which depends on bit-for-bit
+// reproducible runs: the same seed must produce the same packet
+// timeline, the same loss pattern and the same recovery trace. The
+// analyzer flags the three ways nondeterminism leaks in:
+//
+//   - wall-clock reads (time.Now and friends) — simulated components
+//     must take injected clocks (netsim virtual time);
+//   - the global math/rand source — randomness must flow from a
+//     seeded *rand.Rand owned by the simulation;
+//   - iteration over maps — Go randomizes map order, so ranging a map
+//     into anything order-sensitive diverges between runs. Loops
+//     whose bodies are provably order-insensitive (commutative
+//     integer reduction, collect-then-sort) are suppressed with
+//     //switchml:allow determinism -- <why>.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "//switchml:deterministic packages must not read wall clocks, global randomness or map order",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		deterministic := false
+		for _, f := range pkg.Files {
+			if hasDirective(f.Doc, m.Fset, "deterministic") {
+				deterministic = true
+			}
+		}
+		if !deterministic {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := staticCallee(pkg.Info, n)
+					if fn == nil {
+						return true
+					}
+					if msg := nondeterministicCall(fn); msg != "" {
+						diags = append(diags, Diagnostic{
+							Pos: m.Fset.Position(n.Pos()), Analyzer: "determinism", Message: msg,
+						})
+					}
+				case *ast.RangeStmt:
+					if t := exprType(pkg.Info, n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							diags = append(diags, Diagnostic{
+								Pos:      m.Fset.Position(n.Pos()),
+								Analyzer: "determinism",
+								Message:  "map iteration order is nondeterministic; iterate sorted keys or justify with //switchml:allow",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// wallClockFuncs are the time-package functions that observe (or
+// depend on) the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Sleep": true,
+}
+
+// nondeterministicCall explains why a call breaks determinism, or
+// returns "".
+func nondeterministicCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return fmt.Sprintf("time.%s reads the wall clock; deterministic packages must take an injected clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "" // methods on an explicitly seeded source are fine
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			return "" // constructors take explicit seeds/sources
+		}
+		return fmt.Sprintf("rand.%s draws from the global source; use a seeded *rand.Rand", fn.Name())
+	}
+	return ""
+}

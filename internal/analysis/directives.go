@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Directive comments wire source code to the analyzers:
+//
+//	//switchml:hotpath
+//	    On a function's doc comment: the function (and every
+//	    statically resolvable same-module callee) must not allocate.
+//	//switchml:deterministic
+//	    On a package's doc comment: the package must not consult wall
+//	    clocks, the global math/rand source, or map iteration order.
+//	//switchml:wire bits=N
+//	    On a struct field: constants stored in (or compared against)
+//	    the field must fit in N bits, the width of the switch register
+//	    that carries it.
+//	//switchml:allow <analyzer> -- <justification>
+//	    Suppresses the named analyzer's findings on the same line, the
+//	    line below (for a comment on its own line), or — on a function's
+//	    doc comment — the whole function. The justification is
+//	    mandatory: a suppression without one is itself a finding.
+const dirPrefix = "//switchml:"
+
+// directive is one parsed //switchml: comment.
+type directive struct {
+	verb string // "hotpath", "deterministic", "wire", "allow"
+	args string // raw text after the verb
+	pos  token.Position
+}
+
+// parseDirective splits a raw comment into a directive, returning
+// ok=false for ordinary comments.
+func parseDirective(c *ast.Comment, fset *token.FileSet) (directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, dirPrefix)
+	if !ok {
+		return directive{}, false
+	}
+	verb, args, _ := strings.Cut(text, " ")
+	return directive{verb: verb, args: strings.TrimSpace(args), pos: fset.Position(c.Pos())}, true
+}
+
+// groupDirectives returns the directives of a comment group (nil-safe).
+func groupDirectives(cg *ast.CommentGroup, fset *token.FileSet) []directive {
+	if cg == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c, fset); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a comment group carries the verb.
+func hasDirective(cg *ast.CommentGroup, fset *token.FileSet, verb string) bool {
+	for _, d := range groupDirectives(cg, fset) {
+		if d.verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// allowsAnalyzer reports whether a comment group carries a
+// well-formed //switchml:allow for the named analyzer.
+func allowsAnalyzer(cg *ast.CommentGroup, fset *token.FileSet, analyzer string) bool {
+	for _, d := range groupDirectives(cg, fset) {
+		if d.verb != "allow" {
+			continue
+		}
+		name, why, ok := parseAllow(d.args)
+		if ok && name == analyzer && why != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow splits "name -- justification".
+func parseAllow(args string) (name, why string, ok bool) {
+	name, why, ok = strings.Cut(args, "--")
+	return strings.TrimSpace(name), strings.TrimSpace(why), ok
+}
+
+// parseWireBits extracts N from "bits=N".
+func parseWireBits(args string) (int, error) {
+	rest, ok := strings.CutPrefix(args, "bits=")
+	if !ok {
+		return 0, fmt.Errorf("want bits=N, got %q", args)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil || n < 1 || n > 64 {
+		return 0, fmt.Errorf("bits=%q is not an integer in [1,64]", rest)
+	}
+	return n, nil
+}
+
+// directiveIndex is the module-wide suppression table plus the
+// findings about the directives themselves (unknown verbs, allows
+// with no justification).
+type directiveIndex struct {
+	// allows maps filename -> line -> analyzer names allowed there.
+	allows    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+// knownVerbs are the directives the suite understands.
+var knownVerbs = map[string]bool{"hotpath": true, "deterministic": true, "wire": true, "allow": true}
+
+// knownAnalyzers are the valid //switchml:allow targets.
+func knownAnalyzers() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// collectDirectives scans every comment in the module, building the
+// allow table and validating directive syntax.
+func collectDirectives(m *Module) *directiveIndex {
+	idx := &directiveIndex{allows: make(map[string]map[int]map[string]bool)}
+	analyzers := knownAnalyzers()
+	bad := func(pos token.Position, format string, args ...any) {
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos: pos, Analyzer: "directive", Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c, m.Fset)
+					if !ok {
+						continue
+					}
+					switch {
+					case !knownVerbs[d.verb]:
+						bad(d.pos, "unknown directive //switchml:%s", d.verb)
+					case d.verb == "allow":
+						name, why, cut := parseAllow(d.args)
+						if !cut || why == "" {
+							bad(d.pos, "suppression needs a justification: //switchml:allow %s -- <why>", name)
+							continue
+						}
+						if !analyzers[name] {
+							bad(d.pos, "//switchml:allow names unknown analyzer %q", name)
+							continue
+						}
+						byLine := idx.allows[d.pos.Filename]
+						if byLine == nil {
+							byLine = make(map[int]map[string]bool)
+							idx.allows[d.pos.Filename] = byLine
+						}
+						set := byLine[d.pos.Line]
+						if set == nil {
+							set = make(map[string]bool)
+							byLine[d.pos.Line] = set
+						}
+						set[name] = true
+					case d.verb == "wire":
+						if _, err := parseWireBits(d.args); err != nil {
+							bad(d.pos, "bad //switchml:wire directive: %v", err)
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether an //switchml:allow for the analyzer
+// covers the position: same line (trailing comment) or the line
+// above (standalone comment).
+func (idx *directiveIndex) suppressed(analyzer string, pos token.Position) bool {
+	byLine := idx.allows[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression, object and
+	// selection facts for Files.
+	Info *types.Info
+}
+
+// Module is a fully loaded, type-checked Go module: every non-test
+// package, in dependency order, sharing one FileSet.
+type Module struct {
+	// Root is the directory holding go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Packages lists the module's packages in dependency order
+	// (imports precede importers).
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the module package with the given import path, nil
+// if absent.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// Local reports whether an import path names a package inside the
+// module.
+func (m *Module) Local(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// chainImporter resolves module-local imports from the packages
+// already checked and everything else (the standard library — the
+// module has no external dependencies) from source via the stdlib
+// importer.
+type chainImporter struct {
+	mod map[string]*types.Package
+	std types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.mod[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package under
+// root, which must contain a go.mod. It depends only on the standard
+// library: sources are parsed with go/parser and checked with
+// go/types, stdlib imports are resolved from GOROOT source by
+// importer.ForCompiler(..., "source", ...), and module-local imports
+// from the packages checked earlier in dependency order. Directories
+// named testdata or vendor and hidden directories are skipped, as are
+// _test.go files.
+func LoadModule(root string) (*Module, error) {
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s is not a module root: %w", root, err)
+	}
+	modPath := modulePath(gomod)
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module declaration in %s/go.mod", root)
+	}
+
+	// Collect package directories.
+	var dirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dirs = append(dirs, filepath.Dir(p))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	uniq := dirs[:0]
+	for _, d := range dirs {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	sort.Strings(uniq)
+
+	fset := token.NewFileSet()
+	var pending []*Package
+	for _, dir := range uniq {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+				strings.HasSuffix(e.Name(), "_test.go") || strings.HasPrefix(e.Name(), "_") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) > 0 {
+			pending = append(pending, &Package{ImportPath: imp, Dir: dir, Files: files})
+		}
+	}
+
+	m := &Module{Root: root, Path: modPath, Fset: fset, byPath: make(map[string]*Package)}
+	checked := make(map[string]*types.Package)
+	imp := chainImporter{mod: checked, std: importer.ForCompiler(fset, "source", nil)}
+
+	// Check packages whose module-local imports are all done; repeat
+	// until fixpoint. The module's import graph is acyclic (the
+	// compiler enforces it), so lack of progress means a missing or
+	// cyclic dependency.
+	for len(pending) > 0 {
+		progress := false
+		var next []*Package
+		for _, p := range pending {
+			ready := true
+			for _, f := range p.Files {
+				for _, is := range f.Imports {
+					ip := strings.Trim(is.Path.Value, `"`)
+					if m.Local(ip) && checked[ip] == nil {
+						ready = false
+					}
+				}
+			}
+			if !ready {
+				next = append(next, p)
+				continue
+			}
+			info := &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			}
+			conf := types.Config{Importer: imp}
+			tpkg, err := conf.Check(p.ImportPath, fset, p.Files, info)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: type-checking %s: %w", p.ImportPath, err)
+			}
+			p.Types = tpkg
+			p.Info = info
+			checked[p.ImportPath] = tpkg
+			m.Packages = append(m.Packages, p)
+			m.byPath[p.ImportPath] = p
+			progress = true
+		}
+		if !progress {
+			var stuck []string
+			for _, p := range next {
+				stuck = append(stuck, p.ImportPath)
+			}
+			return nil, fmt.Errorf("analysis: unresolvable imports among %v", stuck)
+		}
+		pending = next
+	}
+	return m, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}

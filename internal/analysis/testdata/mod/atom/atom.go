@@ -1,0 +1,45 @@
+// Package atom seeds atomicfield-analyzer violations: old-style
+// sync/atomic calls mark their target locations, and plain accesses
+// of the same locations are findings.
+package atom
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to its fields.
+type Counter struct {
+	n     int64
+	slots []int64
+}
+
+// Inc marks n as an atomically accessed location.
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Value reads n atomically: fine.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.n) }
+
+// Bad reads n plainly: a data race against Inc.
+func (c *Counter) Bad() int64 {
+	return c.n // want "plain access to atom.field n"
+}
+
+// BadWrite writes n plainly.
+func (c *Counter) BadWrite() {
+	c.n = 0 // want "plain access to atom.field n"
+}
+
+// New runs before the counter is shared; the line-level allow keeps
+// the constructor's plain write legal.
+func New(v int64) *Counter {
+	return &Counter{n: v} //switchml:allow atomicfield -- single-threaded constructor, not yet published
+}
+
+// IncSlot marks slots as an element-wise atomic location.
+func (c *Counter) IncSlot(i int) { atomic.AddInt64(&c.slots[i], 1) }
+
+// Len touches only the slice header: fine for element-wise targets.
+func (c *Counter) Len() int { return len(c.slots) }
+
+// BadSlot reads an element plainly.
+func (c *Counter) BadSlot(i int) int64 {
+	return c.slots[i] // want "plain access to atom.field slots"
+}

@@ -1,0 +1,19 @@
+// Package baddir seeds malformed //switchml: directives, which are
+// findings of the "directive" pseudo-analyzer.
+package baddir
+
+// want "unknown directive //switchml:frobnicate"
+//switchml:frobnicate
+var A = 1
+
+// want "suppression needs a justification"
+//switchml:allow hotpath
+var B = 2
+
+// want "allow names unknown analyzer \"speling\""
+//switchml:allow speling -- not a real analyzer
+var C = 3
+
+// want "bad //switchml:wire directive"
+//switchml:wire bits=banana
+var D = 4

@@ -1,0 +1,51 @@
+// Package det seeds determinism-analyzer violations.
+//
+//switchml:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock, which diverges between replays.
+func Clock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Wait sleeps on the wall clock.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// Draw uses the global math/rand source.
+func Draw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global source"
+}
+
+// Seeded draws from an explicit source: methods are fine.
+func Seeded(r *rand.Rand) int { return r.Intn(10) }
+
+// NewSource constructs a seeded source: constructors are fine.
+func NewSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Sum iterates a map without justification.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		t += v
+	}
+	return t
+}
+
+// Keys collects then sorts, so the iteration is justified.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//switchml:allow determinism -- collect-then-sort: sorted before anything order-sensitive sees the ids
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,8 @@
+// Package notest declares a hot-path root but has no AllocsPerRun
+// test backing it, which is itself a finding.
+package notest
+
+// Root allocates nothing, but the annotation is unpinned.
+//
+//switchml:hotpath
+func Root(x int) int { return x + 1 } // want "switchml:hotpath on notest.Root has no backing testing.AllocsPerRun test in vettest/notest"

@@ -57,6 +57,7 @@ func (m *MultiSwitch) Job(job uint16) *Switch { return m.jobs[job] }
 // Jobs returns the admitted job ids in ascending order.
 func (m *MultiSwitch) Jobs() []uint16 {
 	ids := make([]uint16, 0, len(m.jobs))
+	//switchml:allow determinism -- collect-then-sort: the ids are sorted before anything order-sensitive sees them
 	for id := range m.jobs {
 		ids = append(ids, id)
 	}
@@ -67,6 +68,7 @@ func (m *MultiSwitch) Jobs() []uint16 {
 // MemoryBytes returns the total register memory of all admitted jobs.
 func (m *MultiSwitch) MemoryBytes() int {
 	total := 0
+	//switchml:allow determinism -- commutative integer sum; iteration order cannot change the total
 	for _, sw := range m.jobs {
 		total += sw.MemoryBytes()
 	}

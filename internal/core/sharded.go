@@ -75,6 +75,8 @@ func (ss *ShardedSwitch) Handle(p *packet.Packet) Response {
 // HandleInto processes one update packet with caller-borrowed
 // response storage (see Switch.HandleInto). Safe for concurrent use:
 // packets for distinct slot indices proceed in parallel.
+//
+//switchml:hotpath
 func (ss *ShardedSwitch) HandleInto(p *packet.Packet, out *packet.Packet) Response {
 	ss.mu.RLock()
 	defer ss.mu.RUnlock()

@@ -8,6 +8,8 @@
 // the real UDP transport — drive them and own retransmission timers,
 // exactly as the paper keeps "protocol complexity at the end hosts"
 // (§3.2).
+//
+//switchml:deterministic
 package core
 
 import (
@@ -211,6 +213,7 @@ func (sw *Switch) egressInto(dst []int32, sl *slot) []int32 {
 	if cap(dst) >= sl.elems {
 		dst = dst[:sl.elems]
 	} else {
+		//switchml:allow hotpath -- guarded grow fallback: borrowed response vectors reach SlotElems capacity once, then are reused
 		dst = make([]int32, sl.elems)
 	}
 	if sw.cfg.Codec == nil {
@@ -226,6 +229,7 @@ func (sw *Switch) egressInto(dst []int32, sl *slot) []int32 {
 // encoding the slot accumulator into out's reused vector.
 func (sw *Switch) respond(out *packet.Packet, p *packet.Packet, kind packet.Kind, off uint64, sl *slot) *packet.Packet {
 	if out == nil {
+		//switchml:allow hotpath -- nil-out fallback serves the allocating Handle wrapper; HandleInto callers always pass out
 		out = &packet.Packet{}
 	}
 	vec := out.Vector
@@ -314,6 +318,8 @@ func (sw *Switch) Handle(p *packet.Packet) Response {
 // capacity. Steady-state packet handling then allocates nothing. out
 // must not alias p, and the reply must be consumed (marshalled or
 // copied) before out is reused for the next packet.
+//
+//switchml:hotpath
 func (sw *Switch) HandleInto(p *packet.Packet, out *packet.Packet) Response {
 	return sw.handleWith(p, sw.scratch, out)
 }

@@ -13,6 +13,8 @@
 // traced through internal/telemetry by the host that performs it, so
 // crash → detect → reconfigure → resume timelines are visible in
 // Chrome traces.
+//
+//switchml:deterministic
 package faults
 
 import (

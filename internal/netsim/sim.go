@@ -6,6 +6,8 @@
 // independent Bernoulli packet loss; nodes are event-driven actors.
 // All time is virtual, so experiments are reproducible bit-for-bit
 // for a given seed and are independent of host speed.
+//
+//switchml:deterministic
 package netsim
 
 import (
@@ -131,8 +133,11 @@ func (t Timer) Pending() bool {
 
 // At schedules fn to run at absolute virtual time at. Scheduling in
 // the past panics: it indicates a causality bug in an actor.
+//
+//switchml:hotpath
 func (s *Sim) At(at Time, fn func()) Timer {
 	if at < s.now {
+		//switchml:allow hotpath -- fatal causality-bug path; never taken by a correct actor
 		panic(fmt.Sprintf("netsim: scheduling at %v before now %v", at, s.now))
 	}
 	var slot int32
@@ -141,9 +146,11 @@ func (s *Sim) At(at Time, fn func()) Timer {
 		s.free = s.free[:n-1]
 	} else {
 		slot = int32(len(s.slots))
+		//switchml:allow hotpath -- handle-table growth: slots are free-listed, so the table stops growing once the event population peaks
 		s.slots = append(s.slots, timerSlot{})
 	}
 	gen := s.slots[slot].gen
+	//switchml:allow hotpath -- heap growth: the event slice keeps its capacity across pops, so steady state appends within capacity
 	s.events = append(s.events, event{at: at, seq: s.seq, fn: fn, slot: slot})
 	s.seq++
 	s.siftUp(len(s.events) - 1)
@@ -162,6 +169,7 @@ func (s *Sim) After(d Time, fn func()) Timer {
 // returns it to the free list.
 func (s *Sim) releaseSlot(slot int32) {
 	s.slots[slot].gen++
+	//switchml:allow hotpath -- free-list growth is bounded by the handle table, which stops growing at the event-population peak
 	s.free = append(s.free, slot)
 }
 
@@ -227,6 +235,8 @@ func (s *Sim) removeAt(i int) {
 
 // Step executes the next pending event, advancing virtual time. It
 // reports whether an event ran.
+//
+//switchml:hotpath
 func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false

@@ -18,6 +18,8 @@
 //     no extra ALUs (Appendix B);
 //   - per-stage SRAM: pools, bitmaps and counters must fit in the
 //     register memory of the stages they occupy.
+//
+//switchml:deterministic
 package p4sim
 
 import "fmt"

@@ -38,6 +38,13 @@ func FuzzCodec(f *testing.F) {
 	f.Add(uint8(0), uint16(0), uint16(0), uint8(0), uint32(0), uint64(0), 0, int32(0))
 	f.Add(uint8(1), uint16(7), uint16(3), uint8(1), uint32(127), uint64(1<<40), 32, int32(-5))
 	f.Add(uint8(4), uint16(65535), uint16(65535), uint8(1), uint32(1<<31), uint64(1<<60), MTUElems, int32(1<<30))
+	// Control-plane kinds: reconfiguration round-trips carry the new
+	// membership bitmap in the vector, reports and resumes carry
+	// frontier offsets in Off with empty vectors.
+	f.Add(uint8(KindReconfig), uint16(0), uint16(9), uint8(0), uint32(0), uint64(0), 2, int32(0b1011))
+	f.Add(uint8(KindReport), uint16(3), uint16(9), uint8(0), uint32(0), uint64(1<<20), 0, int32(0))
+	f.Add(uint8(KindResume), uint16(0), uint16(10), uint8(0), uint32(0), uint64(1<<20), 0, int32(0))
+	f.Add(uint8(KindHeartbeat), uint16(12), uint16(9), uint8(0), uint32(0), uint64(0), 0, int32(0))
 
 	f.Fuzz(func(t *testing.T, kind uint8, worker, job uint16, ver uint8, idx uint32, off uint64, n int, fill int32) {
 		k := Kind(kind % (uint8(KindHeartbeat) + 1))
@@ -66,6 +73,24 @@ func FuzzCodec(f *testing.F) {
 			if q.Vector[i] != vec[i] {
 				t.Fatalf("vector[%d] = %d, want %d", i, q.Vector[i], vec[i])
 			}
+		}
+		// Control broadcasts (reconfig, resume) are marshalled once and
+		// patched per destination; the patch must preserve validity and
+		// change only the worker id.
+		patched := worker ^ 0x5aa5
+		if err := PatchWorkerID(buf, patched); err != nil {
+			t.Fatalf("PatchWorkerID rejected a valid buffer: %v", err)
+		}
+		r, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("decoder rejected patched buffer: %v", err)
+		}
+		if r.WorkerID != patched {
+			t.Fatalf("patched worker id = %d, want %d", r.WorkerID, patched)
+		}
+		if r.Kind != p.Kind || r.JobID != p.JobID || r.Ver != p.Ver ||
+			r.Idx != p.Idx || r.Off != p.Off || len(r.Vector) != len(p.Vector) {
+			t.Fatalf("patch disturbed other fields:\n in: %v\nout: %v", p, r)
 		}
 	})
 }

@@ -19,10 +19,13 @@
 //     real UDP transport. That header is self-describing (24 bytes
 //     plus a CRC32 of the payload) and does not need to match the
 //     simulated budget because the kernel supplies IP/UDP framing.
+//
+//switchml:deterministic
 package packet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
@@ -113,28 +116,53 @@ func (k Kind) String() string {
 	}
 }
 
+// Errors returned by the decoder. They are fixed sentinels so the
+// receive loop's reject path — exercised by every corrupted datagram
+// on a lossy network — allocates nothing.
+var (
+	// ErrShortBuffer means the buffer cannot hold even the header.
+	ErrShortBuffer = errors.New("packet: short buffer")
+	// ErrBadMagic means the buffer does not start with the SwitchML
+	// magic number.
+	ErrBadMagic = errors.New("packet: bad magic")
+	// ErrBadLength means the payload is not a whole number of
+	// elements.
+	ErrBadLength = errors.New("packet: payload not a multiple of the element size")
+	// ErrChecksum means the CRC32 over header and payload failed.
+	ErrChecksum = errors.New("packet: checksum mismatch")
+	// ErrBadKind means the kind byte names no known packet kind.
+	ErrBadKind = errors.New("packet: unknown kind")
+)
+
 // Packet is a single SwitchML protocol message.
 //
 // The zero value is not useful; construct packets with NewUpdate or by
 // copying and rewriting a received packet, as the switch does.
+//
+// The //switchml:wire directives declare each field's width in the
+// switch register model (internal/p4sim); cmd/switchml-vet proves
+// that every constant stored in a field fits its register.
 type Packet struct {
 	// Kind says whether this is an update or a (possibly unicast)
 	// result.
-	Kind Kind
+	Kind Kind //switchml:wire bits=3
 	// WorkerID identifies the sending worker for updates, and the
-	// destination worker for unicast results.
-	WorkerID uint16
+	// destination worker for unicast results. It indexes the per-slot
+	// seen bitmap, whose words are sized by the worker count (§4).
+	WorkerID uint16 //switchml:wire bits=16
 	// JobID identifies the training job in multi-tenant deployments
 	// (§6 "Multi-job"). Each job owns a disjoint pool of aggregators.
-	JobID uint16
+	JobID uint16 //switchml:wire bits=16
 	// Ver is the single-bit pool version used to alternate between the
-	// active pool and its shadow copy (Algorithm 3).
-	Ver uint8
+	// active pool and its shadow copy (Algorithm 3): on the switch it
+	// selects the upper or lower half of a 64-bit register pair
+	// (Appendix B), so only 0 and 1 are representable.
+	Ver uint8 //switchml:wire bits=1
 	// Idx is the aggregator slot index within the pool.
-	Idx uint32
+	Idx uint32 //switchml:wire bits=32
 	// Off is the element offset of this packet's vector within the
 	// tensor stream.
-	Off uint64
+	Off uint64 //switchml:wire bits=64
 	// Vector is the payload: at most k (or MTUElems) int32 values. The
 	// final chunk of a tensor may be shorter than k.
 	Vector []int32
@@ -231,10 +259,13 @@ func (p *Packet) Marshal() []byte {
 // returns the extended slice. When dst has sufficient spare capacity
 // no allocation is performed, so senders can reuse one buffer across
 // packets (typically sliced to dst[:0] before each call).
+//
+//switchml:hotpath
 func (p *Packet) AppendMarshal(dst []byte) []byte {
 	base := len(dst)
 	size := p.MarshalledSize()
 	if cap(dst)-base < size {
+		//switchml:allow hotpath -- guarded grow fallback: pooled buffers retain MTU capacity, so steady state never enters
 		grown := make([]byte, base, base+size)
 		copy(grown, dst)
 		dst = grown
@@ -268,7 +299,7 @@ func bodyChecksum(buf []byte) uint32 {
 // once and patched per peer instead of re-marshalled.
 func PatchWorkerID(buf []byte, worker uint16) error {
 	if len(buf) < marshalHeaderBytes {
-		return fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+		return ErrShortBuffer
 	}
 	binary.BigEndian.PutUint16(buf[4:6], worker)
 	binary.BigEndian.PutUint32(buf[20:24], bodyChecksum(buf))
@@ -290,25 +321,29 @@ func Unmarshal(buf []byte) (*Packet, error) {
 
 // UnmarshalInto parses a marshalled packet into p, reusing p.Vector's
 // capacity so a receive loop can decode every datagram into one
-// packet without allocating. On error p is left unmodified. The
-// same validation as Unmarshal applies.
+// packet without allocating. On error p is left unmodified and the
+// error is one of the package's fixed sentinels, so rejecting a flood
+// of corrupted datagrams allocates nothing either. The same
+// validation as Unmarshal applies.
+//
+//switchml:hotpath
 func UnmarshalInto(p *Packet, buf []byte) error {
 	if len(buf) < marshalHeaderBytes {
-		return fmt.Errorf("packet: short buffer (%d bytes)", len(buf))
+		return ErrShortBuffer
 	}
 	if binary.BigEndian.Uint16(buf[0:2]) != magic {
-		return fmt.Errorf("packet: bad magic %#x", binary.BigEndian.Uint16(buf[0:2]))
+		return ErrBadMagic
 	}
 	payload := buf[marshalHeaderBytes:]
 	if len(payload)%ElemBytes != 0 {
-		return fmt.Errorf("packet: payload length %d not a multiple of %d", len(payload), ElemBytes)
+		return ErrBadLength
 	}
-	if got, want := bodyChecksum(buf), binary.BigEndian.Uint32(buf[20:24]); got != want {
-		return fmt.Errorf("packet: checksum mismatch (got %#x want %#x)", got, want)
+	if bodyChecksum(buf) != binary.BigEndian.Uint32(buf[20:24]) {
+		return ErrChecksum
 	}
 	k := Kind(buf[2])
 	if k > KindHeartbeat {
-		return fmt.Errorf("packet: unknown kind %d", buf[2])
+		return ErrBadKind
 	}
 	p.Kind = k
 	p.Ver = buf[3]
@@ -320,6 +355,7 @@ func UnmarshalInto(p *Packet, buf []byte) error {
 	if cap(p.Vector) >= n {
 		p.Vector = p.Vector[:n]
 	} else {
+		//switchml:allow hotpath -- guarded grow fallback: a pooled packet's vector reaches MTU capacity once, then is reused
 		p.Vector = make([]int32, n)
 	}
 	for i := range p.Vector {
