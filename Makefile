@@ -36,7 +36,8 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Chaos gate: every fault-injection and recovery test (worker crash,
-# switch restart, burst loss, injector chaos) under the race detector.
+# switch restart, switch kill with fallback/failback, burst loss,
+# injector chaos) under the race detector.
 chaos:
 	$(GO) test -race -run Fault ./internal/rack ./internal/transport .
 

@@ -7,7 +7,8 @@
 //	switchml-sim -workers 8 -gbps 10 -mb 100 [-pool 0] [-elems 32]
 //	    [-loss 0.001] [-rto 1ms] [-cores 4] [-straggler-gbps 0] [-seed 1]
 //	    [-trace out.json] [-burst pGB,pBG,lossG,lossB] [-crash 2@100us]
-//	    [-switch-restart 500us]
+//	    [-switch-restart 500us] [-switch-kill 100us] [-switch-revive 5ms]
+//	    [-probe 200us] [-degraded-mode] [-no-fallback]
 //
 // It prints the tensor aggregation time, the achieved ATE/s against
 // the analytic line rate, and the retransmission count. -trace
@@ -48,6 +49,16 @@ func main() {
 		"crash a worker mid-run as \"worker@time\", e.g. \"2@100us\"; the job recovers among the survivors")
 	switchRestart := flag.Duration("switch-restart", 0,
 		"restart the switch (wiping all register state) at this virtual time (0 = off)")
+	degradedMode := flag.Bool("degraded-mode", false,
+		"run the whole job on host ring all-reduce instead of the switch (the fallback baseline)")
+	switchKill := flag.Duration("switch-kill", 0,
+		"kill the switch's aggregation program at this virtual time (0 = off); the job degrades to host all-reduce")
+	switchRevive := flag.Duration("switch-revive", 0,
+		"revive a killed aggregation program at this virtual time (0 = never); the job probes and fails back")
+	probe := flag.Duration("probe", 0,
+		"probe period while degraded (0 = SuspectAfter/4)")
+	noFallback := flag.Bool("no-fallback", false,
+		"disable degraded mode: a killed switch fails the run with a typed error instead")
 	flag.Parse()
 
 	var ring *telemetry.Ring
@@ -99,8 +110,27 @@ func main() {
 		scenario.Actions = append(scenario.Actions,
 			faults.Action{Kind: faults.RestartSwitch, At: netsim.Time(*switchRestart)})
 	}
+	if *switchKill > 0 {
+		scenario.Actions = append(scenario.Actions,
+			faults.Action{Kind: faults.KillSwitch, At: netsim.Time(*switchKill)})
+	}
+	if *switchRevive > 0 {
+		scenario.Actions = append(scenario.Actions,
+			faults.Action{Kind: faults.ReviveSwitch, At: netsim.Time(*switchRevive)})
+	}
 	if len(scenario.Actions) > 0 {
 		cfg.Faults = &scenario
+	}
+	cfg.NoFallback = *noFallback
+	if *degradedMode {
+		cfg.StartDegraded = true
+		cfg.Health = &rack.HealthConfig{Probation: -1}
+	}
+	if *probe > 0 {
+		if cfg.Health == nil {
+			cfg.Health = &rack.HealthConfig{}
+		}
+		cfg.Health.ProbeEvery = netsim.Time(*probe)
 	}
 	r, err := rack.NewRack(cfg)
 	if err != nil {
@@ -152,6 +182,13 @@ func main() {
 		ate/1e6, 100*ate/line, line/1e6)
 	fmt.Printf("retransmissions   %d\n", res.Retransmissions)
 	fmt.Printf("simulator events  %d\n", r.Sim().Processed())
+	if c := r.Counters(); c["health_degrades"] > 0 || c["host_aggregated_elems"] > 0 {
+		fmt.Printf("fabric handoffs   %d degrade(s), %d failback(s), %d/%d probes answered\n",
+			c["health_degrades"], c["health_failbacks"], c["health_probe_acks"], c["health_probes"])
+		fmt.Printf("host aggregation  %d of %d elements (%.1f%%)\n",
+			c["host_aggregated_elems"], uint64(n),
+			100*float64(c["host_aggregated_elems"])/float64(n))
+	}
 	if ring != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {

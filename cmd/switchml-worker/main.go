@@ -6,16 +6,24 @@
 //
 //	switchml-worker -agg host:5555 -id 0 -workers 4 [-pool 64]
 //	    [-elems-per-tensor 1000000] [-iters 10] [-job 0] [-debug :6061]
+//	    [-adaptive-rto] [-mesh-listen :7001] [-mesh h0:7001,h1:7001,...]
+//	    [-degraded-mode]
 //
 // Every participating worker must use a distinct -id in [0,workers).
 // -debug starts an HTTP introspection listener serving /metrics,
-// /debug/vars and /debug/pprof/ for the live worker.
+// /debug/vars and /debug/pprof/ for the live worker. -mesh arms the
+// host-all-reduce fallback: if the aggregator dies mid-job the
+// workers finish their tensors by ring all-reduce over the listed
+// peer addresses (rank order; give every worker the same list, with
+// each binding its own entry via -mesh-listen) and fail back once the
+// aggregator answers probes again.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"switchml"
@@ -32,21 +40,43 @@ func main() {
 	rto := flag.Duration("rto", 50*time.Millisecond, "retransmission timeout")
 	heartbeat := flag.Duration("heartbeat", 0,
 		"liveness beacon period (0 = off); set well below the aggregator's -liveness threshold")
+	adaptiveRTO := flag.Bool("adaptive-rto", false,
+		"estimate the retransmission timeout from measured RTTs (Jacobson/Karn) instead of the fixed -rto")
+	mesh := flag.String("mesh", "",
+		"comma-separated mesh addresses of every worker, rank order (arms the host-all-reduce fallback)")
+	meshListen := flag.String("mesh-listen", "",
+		"mesh socket listen address, e.g. :7001 (default: ephemeral port)")
+	degradedMode := flag.Bool("degraded-mode", false,
+		"with -mesh, never fail back to the aggregator: run the whole job on host ring all-reduce once degraded")
 	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
 	flag.Parse()
 
-	peer, err := switchml.DialAggregator(*aggAddr, switchml.PeerParams{
-		ID:        *id,
-		Workers:   *workers,
-		PoolSize:  *pool,
-		JobID:     uint16(*job),
-		RTO:       *rto,
-		Heartbeat: *heartbeat,
-	})
+	params := switchml.PeerParams{
+		ID:          *id,
+		Workers:     *workers,
+		PoolSize:    *pool,
+		JobID:       uint16(*job),
+		RTO:         *rto,
+		Heartbeat:   *heartbeat,
+		AdaptiveRTO: *adaptiveRTO,
+	}
+	if *mesh != "" {
+		fb := &switchml.FallbackParams{Listen: *meshListen, Peers: strings.Split(*mesh, ",")}
+		if *degradedMode {
+			fb.Probation = -1
+		}
+		params.Fallback = fb
+	} else if *degradedMode {
+		log.Fatal("-degraded-mode needs -mesh (the host fabric's addresses)")
+	}
+	peer, err := switchml.DialAggregator(*aggAddr, params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer peer.Close()
+	if params.Fallback != nil {
+		fmt.Printf("switchml-worker %d: fallback mesh at %s\n", *id, peer.MeshAddr())
+	}
 	if *debug != "" {
 		bound, err := peer.ServeDebug(*debug)
 		if err != nil {
@@ -81,4 +111,8 @@ func main() {
 	}
 	fmt.Printf("done: mean %6.1fM elems/s\n",
 		float64(*elems)*float64(*iters)/total.Seconds()/1e6)
+	if st := peer.FallbackStats(); st.Degrades > 0 {
+		fmt.Printf("fabric handoffs: %d degrade(s), %d failback(s), %d tensors (%d elems) on the host mesh\n",
+			st.Degrades, st.Failbacks, st.HostRounds, st.HostElems)
+	}
 }

@@ -1,9 +1,11 @@
 // Faults: walk through the failure model of §5.6 on the deterministic
 // rack simulator — worker crashes, a switch restart that wipes all
-// register state, and Gilbert–Elliott burst loss — and show the
-// recovery machinery (failure detection, membership reconfiguration
-// under a new job generation, resume from the global progress
-// frontier) keeping the surviving aggregate exact.
+// register state, Gilbert–Elliott burst loss, and a switch whose
+// aggregation program dies outright — and show the recovery machinery
+// (failure detection, membership reconfiguration under a new job
+// generation, resume from the global progress frontier, and hitless
+// fallback to host ring all-reduce) keeping the surviving aggregate
+// exact.
 //
 // Pass a file name as the first argument to also record the full
 // crash → detect → reconfigure → resume timeline as a Chrome trace
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -128,6 +131,39 @@ func main() {
 		},
 	}, tensor)
 	describe(res, n, n)
+
+	// 5. The hard case: the switch's aggregation *program* dies while
+	// the crossbar keeps forwarding. No restart is coming, so waiting
+	// cannot fix it. The health monitor notices the total silence,
+	// degrades the job to host ring all-reduce at the chunk frontier
+	// (everything below it keeps its switch aggregate; the hosts
+	// re-aggregate the suffix from raw updates), and the tensor
+	// completes without the switch — bit-identical to a fault-free
+	// run, since int32 addition is exact on both fabrics.
+	res = simulate("switch program death", switchml.SimParams{
+		Workers: n, RTO: 100 * time.Microsecond, Seed: 46,
+		Faults: &switchml.FaultScenario{Actions: []switchml.FaultAction{
+			{Kind: switchml.FaultKillSwitch, At: 60 * time.Microsecond},
+		}},
+	}, tensor)
+	describe(res, n, n)
+	fmt.Printf("  %d degrade(s); %d of %d elements aggregated by the host fabric\n",
+		res.Counters["health_degrades"], res.Counters["host_aggregated_elems"], d)
+
+	// 6. The same run with the fallback declined: a dead switch is
+	// then a typed, retryable error — the inputs were fine, the
+	// fabric was not — so trainers can distinguish "retry later"
+	// from "bad tensor".
+	_, err := switchml.SimulateRack(switchml.SimParams{
+		Workers: n, RTO: 100 * time.Microsecond, Seed: 46, NoFallback: true,
+		Faults: &switchml.FaultScenario{Actions: []switchml.FaultAction{
+			{Kind: switchml.FaultKillSwitch, At: 60 * time.Microsecond},
+		}},
+	}, tensor)
+	if !errors.Is(err, switchml.ErrSwitchUnavailable) {
+		log.Fatalf("NoFallback run: got %v, want ErrSwitchUnavailable", err)
+	}
+	fmt.Printf("%-22s ErrSwitchUnavailable (typed, retryable — as configured)\n", "…with NoFallback")
 
 	fmt.Println("\nall surviving aggregates exact: failures cost time, never correctness (§5.6)")
 }

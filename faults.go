@@ -1,6 +1,7 @@
 package switchml
 
 import (
+	"errors"
 	"time"
 
 	"switchml/internal/faults"
@@ -38,6 +39,16 @@ const (
 	// FaultSetBurstLoss installs a Gilbert–Elliott burst-loss process
 	// on the target worker's access links mid-run.
 	FaultSetBurstLoss
+	// FaultKillSwitch fails the switch's aggregation program: update
+	// packets are silently dropped and probes go unanswered, but the
+	// crossbar keeps forwarding host-to-host traffic — the failure mode
+	// the degradation controller (SimParams.Health) rides out by
+	// falling back to host all-reduce. Worker is ignored.
+	FaultKillSwitch
+	// FaultReviveSwitch brings a killed aggregation program back; the
+	// degraded job probes it and, after SimParams.Health.Probation
+	// consecutive answers, fails back to the switch path.
+	FaultReviveSwitch
 )
 
 // FaultAction is one scripted fault event.
@@ -144,6 +155,72 @@ func (l *LivenessParams) transport() *transport.LivenessConfig {
 	return &transport.LivenessConfig{
 		SilenceAfter: l.SilenceAfter,
 		CheckEvery:   l.CheckEvery,
+	}
+}
+
+// ErrSwitchUnavailable is the typed, retryable verdict for an
+// aggregation fabric that stopped answering: the switch program died
+// (or the UDP aggregator went silent) and no fallback was available
+// to ride it out. It is distinct from input errors — the tensors were
+// fine; retry once the fabric (or a Health fallback) is back. Test
+// with errors.Is.
+var ErrSwitchUnavailable = errors.New("switchml: switch unavailable")
+
+// fabricErr attaches ErrSwitchUnavailable to errors whose root cause
+// is a dead aggregation fabric, preserving the full original chain.
+func fabricErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, rack.ErrSwitchDown) || errors.Is(err, transport.ErrAggregatorSilent) {
+		return &switchUnavailableError{err}
+	}
+	return err
+}
+
+type switchUnavailableError struct{ err error }
+
+func (e *switchUnavailableError) Error() string { return e.err.Error() }
+func (e *switchUnavailableError) Unwrap() []error {
+	return []error{e.err, ErrSwitchUnavailable}
+}
+
+// HealthParams tunes the switch health monitor and degradation
+// controller: the subsystem that keeps a job running when the switch
+// itself dies. It is distinct from LivenessParams, which suspects
+// individual silent workers; health suspects the fabric when no
+// aggregation results flow anywhere while updates are outstanding.
+// On suspicion the job degrades to host ring all-reduce at a chunk
+// boundary (no tensor is ever half-aggregated by two fabrics), probes
+// the switch while degraded, and fails back after Probation
+// consecutive answers.
+type HealthParams struct {
+	// SuspectAfter is how long the switch path may stay completely
+	// silent before the job degrades; zero selects 8×RTO. It doubles
+	// as hysteresis: a switch that answers even occasionally never
+	// trips it.
+	SuspectAfter time.Duration
+	// ProbeEvery is the probe period while degraded; zero selects
+	// SuspectAfter/4.
+	ProbeEvery time.Duration
+	// Probation is the number of consecutive answered probes required
+	// before failing back; zero selects 3, negative pins the job in
+	// degraded mode forever (the pure host-all-reduce baseline).
+	Probation int
+	// BurstBytes segments the degraded-mode ring transfers; zero
+	// selects 64 KiB.
+	BurstBytes int
+}
+
+func (h *HealthParams) rack() *rack.HealthConfig {
+	if h == nil {
+		return nil
+	}
+	return &rack.HealthConfig{
+		SuspectAfter: netsim.Time(h.SuspectAfter),
+		ProbeEvery:   netsim.Time(h.ProbeEvery),
+		Probation:    h.Probation,
+		BurstBytes:   h.BurstBytes,
 	}
 }
 

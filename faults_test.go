@@ -1,6 +1,7 @@
 package switchml
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -85,5 +86,102 @@ func TestBurstLossSim(t *testing.T) {
 	}
 	if res.Retransmissions == 0 {
 		t.Error("burst loss configured but no retransmissions recorded")
+	}
+}
+
+// TestFaultSwitchKillSim drives the public self-healing API: the
+// switch's aggregation program dies mid-tensor, the job degrades to
+// host all-reduce at the chunk frontier and still produces the exact
+// sum, with the degrade visible in the result counters.
+func TestFaultSwitchKillSim(t *testing.T) {
+	const n, d = 4, 4096
+	tensor := make([]int32, d)
+	for j := range tensor {
+		tensor[j] = int32(j%53 + 1)
+	}
+	res, err := SimulateRack(SimParams{
+		Workers:   n,
+		LinkGbps:  10,
+		PoolSize:  8,
+		SlotElems: 32,
+		RTO:       100 * time.Microsecond,
+		Seed:      7,
+		Faults: &FaultScenario{Actions: []FaultAction{
+			{Kind: FaultKillSwitch, At: 30 * time.Microsecond},
+		}},
+	}, tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range res.Aggregate {
+		if want := int32(n) * tensor[j]; v != want {
+			t.Fatalf("elem %d: got %d want %d", j, v, want)
+		}
+	}
+	if res.Counters["health_degrades"] != 1 {
+		t.Errorf("health_degrades = %d, want 1", res.Counters["health_degrades"])
+	}
+	if res.Counters["host_aggregated_elems"] == 0 {
+		t.Error("no elements aggregated by the host fabric")
+	}
+}
+
+// TestFaultSwitchKillNoFallbackSim checks the opt-out: with
+// NoFallback a dead switch surfaces as the typed, retryable
+// ErrSwitchUnavailable instead of a fabric handoff.
+func TestFaultSwitchKillNoFallbackSim(t *testing.T) {
+	tensor := make([]int32, 2048)
+	for j := range tensor {
+		tensor[j] = 1
+	}
+	_, err := SimulateRack(SimParams{
+		Workers:    3,
+		LinkGbps:   10,
+		PoolSize:   8,
+		SlotElems:  32,
+		RTO:        100 * time.Microsecond,
+		Seed:       7,
+		NoFallback: true,
+		Faults: &FaultScenario{Actions: []FaultAction{
+			{Kind: FaultKillSwitch, Step: 1, At: 5 * time.Microsecond},
+		}},
+	}, tensor)
+	if !errors.Is(err, ErrSwitchUnavailable) {
+		t.Fatalf("SimulateRack error = %v, want ErrSwitchUnavailable", err)
+	}
+}
+
+// TestFaultStartDegradedSim pins the job on the host fabric from the
+// start (the pure host-all-reduce baseline): exact sums, zero switch
+// completions.
+func TestFaultStartDegradedSim(t *testing.T) {
+	const n, d = 3, 3000
+	tensor := make([]int32, d)
+	for j := range tensor {
+		tensor[j] = int32(j % 31)
+	}
+	res, err := SimulateRack(SimParams{
+		Workers:       n,
+		LinkGbps:      10,
+		PoolSize:      8,
+		SlotElems:     32,
+		RTO:           100 * time.Microsecond,
+		Seed:          7,
+		StartDegraded: true,
+		Health:        &HealthParams{Probation: -1},
+	}, tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range res.Aggregate {
+		if want := int32(n) * tensor[j]; v != want {
+			t.Fatalf("elem %d: got %d want %d", j, v, want)
+		}
+	}
+	if res.Counters["switch_completions"] != 0 {
+		t.Errorf("switch completed %d slots in a pinned-degraded run", res.Counters["switch_completions"])
+	}
+	if res.Counters["host_aggregated_elems"] != uint64(d) {
+		t.Errorf("host_aggregated_elems = %d, want %d", res.Counters["host_aggregated_elems"], d)
 	}
 }

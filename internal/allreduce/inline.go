@@ -1,0 +1,153 @@
+package allreduce
+
+import (
+	"fmt"
+
+	"switchml/internal/netsim"
+)
+
+// PeerMsg is a host-to-host collective message travelling a foreign
+// fabric. The rack's crossbar forwards anything implementing it
+// between worker hosts while a job is degraded, without knowing the
+// collective's internals.
+type PeerMsg interface {
+	netsim.Message
+	// PeerSrc returns the sending rank.
+	PeerSrc() int
+	// PeerDst returns the destination rank.
+	PeerDst() int
+}
+
+// PeerSrc implements PeerMsg.
+func (b *burst) PeerSrc() int { return b.src }
+
+// PeerDst implements PeerMsg.
+func (b *burst) PeerDst() int { return b.dst }
+
+// Reliable marks ring bursts as netsim.ReliableMessage: the host
+// collective runs over the kernel's byte-stream transport, which
+// retransmits below the level the simulator models, so the ring has no
+// loss recovery of its own and its traffic must not be subject to a
+// link's loss process.
+func (b *burst) Reliable() bool { return true }
+
+// InlineRing is a ring all-reduce embedded in a caller-owned event
+// loop instead of the package's private topology: the degraded-mode
+// fabric of the self-healing rack. The caller routes outbound PeerMsg
+// traffic over its own links (so bandwidth and propagation are
+// charged by the host simulation) and feeds inbound messages back via
+// Deliver. Determinism is inherited from the host loop — InlineRing
+// itself keeps no clock and draws no randomness.
+//
+// Ranks are positions in the buffers slice, which the caller builds
+// from the live membership; buffers are summed elementwise in place,
+// every rank ending with the identical total (int32 addition is
+// commutative and associative, so the ring total is bit-identical to
+// the switch total for the same contributor set).
+type InlineRing struct {
+	workers []*ringWorker
+	left    int
+	onAll   func()
+	started bool
+}
+
+// NewInlineRing builds the embedded ring. Only Workers and BurstBytes
+// of cfg matter (timing is the host loop's business); send routes one
+// message toward PeerDst; now stamps completion times; onAll fires
+// once, when every rank holds the full sum — for a trivial ring (one
+// rank, or empty buffers) it fires inside Start.
+func NewInlineRing(cfg Config, buffers [][]int32, send func(PeerMsg), now func() netsim.Time, onAll func()) (*InlineRing, error) {
+	cfg.Workers = len(buffers)
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	n := len(buffers)
+	if n == 0 {
+		return nil, fmt.Errorf("allreduce: inline ring needs at least one buffer")
+	}
+	d := len(buffers[0])
+	for i, b := range buffers {
+		if len(b) != d {
+			return nil, fmt.Errorf("allreduce: buffer %d has %d elems, want %d", i, len(b), d)
+		}
+	}
+	ir := &InlineRing{left: n, onAll: onAll}
+	if n == 1 || d == 0 {
+		// Nothing to exchange; Start completes the collective.
+		ir.left = 0
+		return ir, nil
+	}
+	cfgCopy := cfg
+	ir.workers = make([]*ringWorker, n)
+	for i := range ir.workers {
+		w := &ringWorker{
+			cfg:  &cfgCopy,
+			rank: i, n: n, buf: buffers[i],
+			send: func(b *burst) { send(b) },
+			now:  now,
+		}
+		w.onDone = ir.rankDone
+		ir.workers[i] = w
+	}
+	return ir, nil
+}
+
+func (ir *InlineRing) rankDone() {
+	ir.left--
+	if ir.left == 0 && ir.onAll != nil {
+		ir.onAll()
+	}
+}
+
+// Start kicks every rank's first step. It must be called exactly once,
+// from inside the host event loop (sends are charged from the current
+// virtual time).
+func (ir *InlineRing) Start() {
+	if ir.started {
+		panic("allreduce: InlineRing started twice")
+	}
+	ir.started = true
+	if len(ir.workers) == 0 {
+		if ir.onAll != nil {
+			ir.onAll()
+		}
+		return
+	}
+	for _, w := range ir.workers {
+		w.sendStep()
+	}
+	for _, w := range ir.workers {
+		// Ranks whose first inbound chunk is empty (d < n) advance
+		// without traffic.
+		w.advance()
+	}
+}
+
+// Deliver feeds an inbound message to its destination rank. Messages
+// that are not this ring's traffic are reported false and ignored.
+func (ir *InlineRing) Deliver(m netsim.Message) bool {
+	b, ok := m.(*burst)
+	if !ok {
+		return false
+	}
+	if b.dst < 0 || b.dst >= len(ir.workers) {
+		return false
+	}
+	ir.workers[b.dst].Deliver(b)
+	return true
+}
+
+// Done reports whether every rank holds the full sum.
+func (ir *InlineRing) Done() bool { return ir.left == 0 }
+
+// DoneAt returns the completion time of the slowest rank (zero for a
+// trivial ring).
+func (ir *InlineRing) DoneAt() netsim.Time {
+	var t netsim.Time
+	for _, w := range ir.workers {
+		if w.doneAt > t {
+			t = w.doneAt
+		}
+	}
+	return t
+}

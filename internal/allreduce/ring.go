@@ -38,7 +38,8 @@ func RunRing(cfg Config, updates [][]int32) (Result, error) {
 	}
 	tp := newTopo(&cfg, nodes)
 	for _, w := range workers {
-		w.tp = tp
+		w.send = tp.send
+		w.now = tp.sim.Now
 	}
 	for _, w := range workers {
 		w.sendStep()
@@ -62,13 +63,20 @@ func RunRing(cfg Config, updates [][]int32) (Result, error) {
 }
 
 // ringWorker is one rank of the ring; chunk c of the buffer is the
-// range [c·d/n, (c+1)·d/n).
+// range [c·d/n, (c+1)·d/n). The transport is injected: RunRing wires
+// it to its own star topology, InlineRing embeds it in a host event
+// loop (the rack's simulator while a job is degraded).
 type ringWorker struct {
-	cfg  *Config
-	tp   *topo
-	rank int
-	n    int
-	buf  []int32
+	cfg *Config
+	// send routes a burst toward its destination rank.
+	send func(*burst)
+	// now supplies the clock used to stamp doneAt.
+	now func() netsim.Time
+	// onDone, when non-nil, fires once when this rank finishes.
+	onDone func()
+	rank   int
+	n      int
+	buf    []int32
 	// step runs 0..2(n-1)-1: the first n−1 steps are the
 	// reduce-scatter, the rest the all-gather.
 	step int
@@ -119,7 +127,7 @@ func (w *ringWorker) sendStep() {
 		}
 		data := make([]int32, end-off)
 		copy(data, w.buf[off:end])
-		w.tp.send(&burst{
+		w.send(&burst{
 			src: w.rank, dst: next,
 			data: data,
 			step: w.step, seq: seq,
@@ -180,7 +188,10 @@ func (w *ringWorker) advance() {
 		w.step++
 		if w.step == 2*(w.n-1) {
 			w.finished = true
-			w.doneAt = w.tp.sim.Now()
+			w.doneAt = w.now()
+			if w.onDone != nil {
+				w.onDone()
+			}
 			return
 		}
 		w.sendStep()

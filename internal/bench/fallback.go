@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"switchml/internal/faults"
+	"switchml/internal/netsim"
+	"switchml/internal/rack"
+)
+
+// FallbackReport is the machine-readable BENCH_fallback.json schema:
+// the cost of losing the switch. SwitchATEPerSec is the healthy
+// switch path, DegradedATEPerSec the host ring all-reduce the job
+// falls back to, and the ratio quantifies how much of the paper's
+// speedup an outage temporarily gives back. FailoverGap is the
+// one-time hit of the handoff itself: the extra simulated time the
+// kill-step takes over a healthy step (silence detection + barrier
+// sync + re-aggregating the suffix on hosts).
+type FallbackReport struct {
+	Schema            string            `json:"schema"`
+	Workers           int               `json:"workers"`
+	LinkGbps          float64           `json:"link_gbps"`
+	TensorElems       int               `json:"tensor_elems"`
+	SwitchATEPerSec   float64           `json:"switch_ate_per_sec"`
+	DegradedATEPerSec float64           `json:"degraded_ate_per_sec"`
+	DegradedRatio     float64           `json:"degraded_over_switch_ratio"`
+	FailoverGapNs     int64             `json:"failover_gap_ns"`
+	HealthyStepNs     int64             `json:"healthy_step_ns"`
+	KillStepNs        int64             `json:"kill_step_ns"`
+	SuspectAfterNs    int64             `json:"suspect_after_ns"`
+	Counters          map[string]uint64 `json:"counters"`
+}
+
+// fallbackConfig is the shared rack shape of the experiment.
+func fallbackConfig(o Options, sc *faults.Scenario) rack.Config {
+	return rack.Config{
+		Workers:        4,
+		LinkBitsPerSec: 10e9,
+		LossRecovery:   true,
+		RTO:            100 * netsim.Microsecond,
+		Seed:           o.Seed,
+		Tracer:         o.Tracer,
+		Faults:         sc,
+		Health: &rack.HealthConfig{
+			SuspectAfter: 800 * netsim.Microsecond,
+			// While degraded the ring saturates the links, so a probe
+			// ack can queue behind ~64 KiB bursts; the probe period
+			// must exceed that worst-case RTT or the streak never
+			// builds and the job stays degraded.
+			ProbeEvery: netsim.Millisecond,
+			Probation:  2,
+		},
+	}
+}
+
+// RunFallback measures the self-healing degraded mode: steady-state
+// ATE/s on the switch path versus pinned host ring all-reduce, and
+// the one-time failover gap when the switch dies mid-step and the job
+// hands the tensor suffix to the hosts.
+func RunFallback(o Options) (*Table, error) {
+	o.fill()
+	elems := o.mb100() / 5
+	updates := func() [][]int32 {
+		us := make([][]int32, 4)
+		for w := range us {
+			us[w] = make([]int32, elems)
+			for j := range us[w] {
+				us[w][j] = int32(w + j%13)
+			}
+		}
+		return us
+	}
+
+	// Steady state on the switch path.
+	swRack, err := rack.NewRack(fallbackConfig(o, nil))
+	if err != nil {
+		return nil, err
+	}
+	swRes, err := swRack.AllReduce(updates())
+	if err != nil {
+		return nil, err
+	}
+	switchATE := float64(elems) / (float64(swRes.TAT) / 1e9)
+
+	// Steady state pinned on the host fabric.
+	degCfg := fallbackConfig(o, nil)
+	degCfg.StartDegraded = true
+	degCfg.Health.Probation = -1
+	degRack, err := rack.NewRack(degCfg)
+	if err != nil {
+		return nil, err
+	}
+	degRes, err := degRack.AllReduce(updates())
+	if err != nil {
+		return nil, err
+	}
+	degradedATE := float64(elems) / (float64(degRes.TAT) / 1e9)
+
+	// The failover transient: kill the switch mid-step 2, revive it
+	// during the degraded window, run to failback. Step 1 is the
+	// healthy reference; step 2 pays detection + handoff.
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 2, At: 5 * netsim.Millisecond},
+	}}
+	chaos, err := rack.NewRack(fallbackConfig(o, sc))
+	if err != nil {
+		return nil, err
+	}
+	var healthyStep, killStep netsim.Time
+	for step := 1; step <= 6; step++ {
+		res, err := chaos.AllReduce(updates())
+		if err != nil {
+			return nil, fmt.Errorf("fallback: chaos step %d: %w", step, err)
+		}
+		switch step {
+		case 1:
+			healthyStep = res.TAT
+		case 2:
+			killStep = res.TAT
+		}
+	}
+	counters := chaos.Counters()
+	if counters["health_degrades"] == 0 || counters["health_failbacks"] == 0 {
+		return nil, fmt.Errorf("fallback: chaos run did not degrade and fail back: %v", counters)
+	}
+	gap := killStep - healthyStep
+
+	report := &FallbackReport{
+		Schema:            "switchml-fallback-v1",
+		Workers:           4,
+		LinkGbps:          10,
+		TensorElems:       elems,
+		SwitchATEPerSec:   switchATE,
+		DegradedATEPerSec: degradedATE,
+		DegradedRatio:     degradedATE / switchATE,
+		FailoverGapNs:     int64(gap),
+		HealthyStepNs:     int64(healthyStep),
+		KillStepNs:        int64(killStep),
+		SuspectAfterNs:    int64(800 * netsim.Microsecond),
+		Counters:          counters,
+	}
+	artifact, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:       "fallback",
+		Title:    fmt.Sprintf("Self-healing fallback: switch vs host fabric (4 workers, 10 Gbps, %d elems)", elems),
+		Header:   []string{"fabric", "TAT", "ATE/s", "vs switch"},
+		Counters: counters,
+		Artifact: artifact,
+		Rows: [][]string{
+			{"switch", fmt.Sprint(swRes.TAT.Duration()), fmt.Sprintf("%.1fM", switchATE/1e6), "1.00x"},
+			{"host ring (degraded)", fmt.Sprint(degRes.TAT.Duration()), fmt.Sprintf("%.1fM", degradedATE/1e6), fmt.Sprintf("%.2fx", degradedATE/switchATE)},
+		},
+		Notes: []string{
+			fmt.Sprintf("failover transient: kill-step TAT %v vs healthy %v (gap %v, incl. %v silence detection)",
+				killStep.Duration(), healthyStep.Duration(), gap.Duration(), (800 * netsim.Microsecond).Duration()),
+			fmt.Sprintf("chaos run: %d degrade(s), %d failback(s), %d/%d probes answered, %d elems host-aggregated",
+				counters["health_degrades"], counters["health_failbacks"],
+				counters["health_probe_acks"], counters["health_probes"], counters["host_aggregated_elems"]),
+		},
+	}
+	return t, nil
+}

@@ -24,6 +24,7 @@ var Experiments = map[string]Runner{
 	"ablation-algorithm": RunAblationAlgorithm,
 	"ablation-rto":       RunAblationRTO,
 	"ablation-pool":      RunAblationPoolTuning,
+	"fallback":           RunFallback,
 	"multitenant":        RunMultiTenant,
 	"straggler":          RunStraggler,
 	"rdma":               RunRDMA,

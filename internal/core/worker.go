@@ -427,6 +427,109 @@ func (w *Worker) Resume(jobID uint16, fromChunk int) []*packet.Packet {
 	return pkts
 }
 
+// Update returns the local update tensor of the current (or last
+// completed) aggregation — the raw contribution the degraded path
+// re-aggregates by host all-reduce. The slice aliases the caller's
+// buffer from Start/StartHosted.
+func (w *Worker) Update() []int32 { return w.u }
+
+// TensorBase returns the stream offset of the current (or last
+// completed) tensor's first element. Unlike the internal base cursor
+// it does not advance on completion, so it names the same boundary on
+// every worker regardless of local progress.
+func (w *Worker) TensorBase() uint64 {
+	if w.remaining == 0 && len(w.u) != 0 {
+		return w.base - uint64(len(w.u))
+	}
+	return w.base
+}
+
+// TensorEnd returns the stream offset one past the current (or last
+// completed) tensor's final element.
+func (w *Worker) TensorEnd() uint64 { return w.TensorBase() + uint64(len(w.u)) }
+
+// StartHosted opens the tensor u for aggregation without producing an
+// update window: in degraded mode the sum is computed by host
+// all-reduce and delivered through InstallHostAggregate instead of
+// switch packets. Keeping the tensor open in the same state machine
+// preserves stream offsets and chunk accounting, so a later failback
+// hands the switch a consistent frontier. Like Start, it panics if an
+// aggregation is already in progress; an empty tensor is a no-op (the
+// host completes it immediately, as Start's nil window does).
+func (w *Worker) StartHosted(u []int32) {
+	if w.remaining > 0 {
+		panic("core: StartHosted called while an aggregation is in progress")
+	}
+	if len(u) == 0 {
+		return
+	}
+	w.u = u
+	if cap(w.a) >= len(u) {
+		w.a = w.a[:len(u)]
+	} else {
+		w.a = make([]int32, len(u))
+	}
+	w.remaining = len(u)
+	chunks := (len(u) + w.cfg.SlotElems - 1) / w.cfg.SlotElems
+	if cap(w.chunkDone) >= chunks {
+		w.chunkDone = w.chunkDone[:chunks]
+		for i := range w.chunkDone {
+			w.chunkDone[i] = false
+		}
+	} else {
+		w.chunkDone = make([]bool, chunks)
+	}
+}
+
+// InstallHostAggregate installs the host-computed aggregate for the
+// tensor suffix [off, TensorEnd): the barrier-handoff write of the
+// degraded path. The offset must be chunk-aligned, at or before this
+// worker's progress frontier (so no chunk is left half-aggregated
+// between the two fabrics), and vals must cover exactly the suffix —
+// anything else is a torn tensor and is rejected. Chunks the switch
+// already completed beyond off are overwritten; integer summation is
+// order-invariant, so the values are bit-identical. On success the
+// tensor is complete and the stream advances exactly as if the switch
+// had finished it.
+func (w *Worker) InstallHostAggregate(off uint64, vals []int32) error {
+	if len(w.u) == 0 {
+		if len(vals) == 0 && off == w.base {
+			return nil
+		}
+		return fmt.Errorf("core: no tensor open for host aggregate at offset %d", off)
+	}
+	base := w.TensorBase()
+	local := int64(off) - int64(base)
+	if local < 0 || local > int64(len(w.u)) {
+		return fmt.Errorf("core: host aggregate offset %d outside tensor [%d,%d)", off, base, base+uint64(len(w.u)))
+	}
+	if local%int64(w.cfg.SlotElems) != 0 {
+		return fmt.Errorf("core: host aggregate offset %d is not chunk-aligned", off)
+	}
+	if int(local)+len(vals) != len(w.u) {
+		return fmt.Errorf("core: host aggregate covers [%d,%d), want the full suffix to %d", off, off+uint64(len(vals)), base+uint64(len(w.u)))
+	}
+	if w.remaining == 0 {
+		// The switch completed the tensor before the handoff; the host
+		// sum is bit-identical, so the overwrite is a no-op.
+		copy(w.a[local:], vals)
+		return nil
+	}
+	if off > w.FrontierOff() {
+		return fmt.Errorf("core: host aggregate frontier %d is past this worker's frontier %d: chunk would be torn between fabrics", off, w.FrontierOff())
+	}
+	copy(w.a[local:], vals)
+	for i := range w.pend {
+		w.pend[i].active = false
+	}
+	for c := int(local) / w.cfg.SlotElems; c < len(w.chunkDone); c++ {
+		w.chunkDone[c] = true
+	}
+	w.remaining = 0
+	w.base = base + uint64(len(w.u))
+	return nil
+}
+
 // Pending reports whether slot idx has an in-flight chunk; hosts use
 // it to decide whether to re-arm timers.
 func (w *Worker) Pending(idx uint32) bool {

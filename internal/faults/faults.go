@@ -49,6 +49,15 @@ const (
 	// worker's access links (both directions), or on every link when
 	// Worker is -1.
 	SetBurstLoss
+	// KillSwitch fails the switch's aggregation program: update packets
+	// are blackholed and probes go unanswered, but the crossbar keeps
+	// forwarding host-to-host traffic (the failure mode ATP's fallback
+	// targets — the aggregation service dies, the network does not).
+	KillSwitch
+	// ReviveSwitch brings a killed switch's aggregation program back
+	// with wiped register state; jobs return to it only after the
+	// health monitor's probation window passes.
+	ReviveSwitch
 )
 
 // String returns the action kind's name.
@@ -68,6 +77,10 @@ func (k ActionKind) String() string {
 		return "set-loss-rate"
 	case SetBurstLoss:
 		return "set-burst-loss"
+	case KillSwitch:
+		return "kill-switch"
+	case ReviveSwitch:
+		return "revive-switch"
 	default:
 		return fmt.Sprintf("action(%d)", int(k))
 	}
@@ -115,7 +128,7 @@ func (s *Scenario) Validate(workers int) error {
 			if a.Worker < 0 || a.Worker >= workers {
 				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)
 			}
-		case RestartSwitch:
+		case RestartSwitch, KillSwitch, ReviveSwitch:
 		case LinkDown, LinkUp, SetLossRate, SetBurstLoss:
 			if a.Worker < -1 || a.Worker >= workers {
 				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)

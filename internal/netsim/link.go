@@ -13,6 +13,18 @@ type Message interface {
 	WireSize() int
 }
 
+// ReliableMessage marks messages carried by a reliable byte-stream
+// transport (the hosts' kernel TCP stack) rather than the aggregation
+// protocol's raw UDP. Links exempt such messages from their loss,
+// corruption and duplication processes: the real transport retransmits
+// below the level the simulator models, so loss surfaces as extra
+// latency there, never as a missing message. Blackouts (SetDown) still
+// apply — no transport survives a severed link.
+type ReliableMessage interface {
+	Message
+	Reliable() bool
+}
+
 // Node receives messages delivered by links.
 type Node interface {
 	// Deliver is invoked inside the simulation loop when a message
@@ -243,14 +255,16 @@ func (l *Link) Send(msg Message) Time {
 		l.trace(telemetry.EvPacketDropped, txDone, size)
 		return txDone
 	}
-	if l.loss != nil && l.loss.Drop(l.sim.Rand()) {
+	rm, ok := msg.(ReliableMessage)
+	reliable := ok && rm.Reliable()
+	if !reliable && l.loss != nil && l.loss.Drop(l.sim.Rand()) {
 		l.stats.Dropped++
 		// Stamped at txDone: the message occupied the wire before the
 		// loss process ate it.
 		l.trace(telemetry.EvPacketDropped, txDone, size)
 		return txDone
 	}
-	if l.corruptRate > 0 && l.sim.Rand().Float64() < l.corruptRate {
+	if !reliable && l.corruptRate > 0 && l.sim.Rand().Float64() < l.corruptRate {
 		// The mangled frame reaches the receiver, fails the checksum
 		// and is discarded — indistinguishable from a drop above the
 		// link layer (§3.4), but counted separately.
@@ -260,7 +274,7 @@ func (l *Link) Send(msg Message) Time {
 		return txDone
 	}
 	deliveries := 1
-	if l.dupRate > 0 && l.sim.Rand().Float64() < l.dupRate {
+	if !reliable && l.dupRate > 0 && l.sim.Rand().Float64() < l.dupRate {
 		deliveries = 2
 		l.stats.Duplicated++
 	}

@@ -45,9 +45,18 @@ func FuzzCodec(f *testing.F) {
 	f.Add(uint8(KindReport), uint16(3), uint16(9), uint8(0), uint32(0), uint64(1<<20), 0, int32(0))
 	f.Add(uint8(KindResume), uint16(0), uint16(10), uint8(0), uint32(0), uint64(1<<20), 0, int32(0))
 	f.Add(uint8(KindHeartbeat), uint16(12), uint16(9), uint8(0), uint32(0), uint64(0), 0, int32(0))
+	// Degraded-mode control plane: probes carry a sequence in Idx (and
+	// the failback generation in JobID), fallback syncs announce tensor
+	// boundaries in Off/Vector, fallback data packs round+step in Idx
+	// with a real payload, and fallback acks are tiny Off∈{0,1} frames.
+	f.Add(uint8(KindProbe), uint16(0), uint16(11), uint8(0), uint32(42), uint64(0), 0, int32(0))
+	f.Add(uint8(KindProbeAck), uint16(0), uint16(11), uint8(0), uint32(42), uint64(0), 0, int32(0))
+	f.Add(uint8(KindFallbackSync), uint16(2), uint16(9), uint8(1), uint32(5), uint64(1<<20), 2, int32(1<<12))
+	f.Add(uint8(KindFallbackData), uint16(1), uint16(9), uint8(0), uint32(5<<16|3), uint64(96), 32, int32(-7))
+	f.Add(uint8(KindFallbackAck), uint16(1), uint16(9), uint8(0), uint32(3), uint64(1), 0, int32(0))
 
 	f.Fuzz(func(t *testing.T, kind uint8, worker, job uint16, ver uint8, idx uint32, off uint64, n int, fill int32) {
-		k := Kind(kind % (uint8(KindHeartbeat) + 1))
+		k := Kind(kind % (uint8(KindFallbackAck) + 1))
 		if n < 0 {
 			n = -n
 		}

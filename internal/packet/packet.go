@@ -92,6 +92,30 @@ const (
 	// a worker is alive but has no updates in flight so the silence
 	// detector does not evict it between tensors.
 	KindHeartbeat
+	// KindProbe is a switch health probe from a degraded worker: Idx
+	// carries the probe sequence number. During failback the probe
+	// doubles as the generation fence — JobID carries the new job
+	// generation the aggregator must adopt (wiping its pool) before
+	// any worker resumes the switch path.
+	KindProbe
+	// KindProbeAck is the aggregator's echo of a KindProbe, crediting
+	// the sender's probation window. Idx echoes the probe sequence and
+	// JobID the aggregator's current generation.
+	KindProbeAck
+	// KindFallbackSync is the degraded-mode barrier: each worker
+	// announces its tensor boundary and chunk frontier (Off), its ring
+	// round sequence (Idx) and its switch-health vote (Ver) to every
+	// peer. A round's ring all-reduce starts only when all n
+	// announcements agree on the boundary.
+	KindFallbackSync
+	// KindFallbackData is one burst of ring all-reduce payload between
+	// mesh peers while degraded: Idx packs the round sequence and ring
+	// step, Off is the global element offset of the burst.
+	KindFallbackData
+	// KindFallbackAck is the mesh ARQ control for KindFallbackData:
+	// Off 0 carries a cumulative ack (Idx = highest ring step fully
+	// received), Off 1 a retransmission request for step Idx.
+	KindFallbackAck
 )
 
 // String returns a short human-readable name for the kind.
@@ -111,6 +135,16 @@ func (k Kind) String() string {
 		return "resume"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindProbe:
+		return "probe"
+	case KindProbeAck:
+		return "probe-ack"
+	case KindFallbackSync:
+		return "fallback-sync"
+	case KindFallbackData:
+		return "fallback-data"
+	case KindFallbackAck:
+		return "fallback-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -145,7 +179,7 @@ var (
 type Packet struct {
 	// Kind says whether this is an update or a (possibly unicast)
 	// result.
-	Kind Kind //switchml:wire bits=3
+	Kind Kind //switchml:wire bits=4
 	// WorkerID identifies the sending worker for updates, and the
 	// destination worker for unicast results. It indexes the per-slot
 	// seen bitmap, whose words are sized by the worker count (§4).
@@ -342,7 +376,7 @@ func UnmarshalInto(p *Packet, buf []byte) error {
 		return ErrChecksum
 	}
 	k := Kind(buf[2])
-	if k > KindHeartbeat {
+	if k > KindFallbackAck {
 		return ErrBadKind
 	}
 	p.Kind = k

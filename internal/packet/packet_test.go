@@ -178,7 +178,9 @@ func TestKindString(t *testing.T) {
 		KindUpdate:        "update",
 		KindResult:        "result",
 		KindResultUnicast: "result-unicast",
-		Kind(9):           "kind(9)",
+		KindProbe:         "probe",
+		KindFallbackSync:  "fallback-sync",
+		Kind(99):          "kind(99)",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {

@@ -234,6 +234,19 @@ func (r *Rack) apply(a faults.Action) {
 		}
 	case faults.RestartSwitch:
 		r.RestartSwitch()
+	case faults.KillSwitch:
+		// The aggregation program dies: updates are blackholed, probes
+		// go unanswered, the crossbar keeps forwarding. Detection is
+		// the health monitor's job (or, with NoFallback, the hosts'
+		// stall give-up).
+		r.sw.down = true
+	case faults.ReviveSwitch:
+		if r.sw.down {
+			r.sw.down = false
+			// The reinstalled program starts with wiped register state.
+			r.sw.sw.Reset()
+			r.traceCtrl(telemetry.EvSwitchRestart, "switch", -1, -1)
+		}
 	case faults.LinkDown:
 		for _, l := range r.linksOf(a.Worker) {
 			l.SetDown(true)
@@ -319,6 +332,7 @@ func (h *WorkerHost) resetWorker() {
 		h.backoff[i] = 0
 		h.retxed[i] = false
 		h.sentAt[i] = 0
+		h.stall[i] = 0
 	}
 	h.srtt, h.rttvar = 0, 0
 	h.finished = false

@@ -1,0 +1,395 @@
+// Switch health monitoring and the degradation controller: the rack's
+// self-healing path. Where internal/rack/faults.go watches *workers*
+// (the per-worker liveness Tracker of §5.6), this file watches the
+// *switch*: when the aggregation pipeline goes silent with traffic
+// outstanding, the job degrades to host ring all-reduce over the same
+// links — the crossbar keeps forwarding even when the aggregation
+// program is dead — and fails back to the switch path once a probation
+// window of probe rounds succeeds. Both transitions happen at a
+// chunk-frontier barrier so no tensor is ever half-aggregated by two
+// fabrics.
+package rack
+
+import (
+	"switchml/internal/allreduce"
+	"switchml/internal/netsim"
+	"switchml/internal/packet"
+	"switchml/internal/telemetry"
+)
+
+// HealthConfig tunes the switch health monitor and degradation
+// controller. It is distinct from LivenessConfig: liveness suspects
+// individual silent workers; health suspects the switch itself when
+// *no* aggregation results flow while updates are outstanding.
+type HealthConfig struct {
+	// SuspectAfter is how long the switch path may stay silent — no
+	// results delivered anywhere, with at least one tensor in flight —
+	// before the job degrades to host all-reduce; zero selects 8×RTO.
+	// It doubles as the hysteresis floor: a switch that answers even
+	// occasionally never trips it.
+	SuspectAfter netsim.Time
+	// ProbeEvery is the probe period while degraded; zero selects
+	// SuspectAfter/4.
+	ProbeEvery netsim.Time
+	// Probation is the number of consecutive answered probes required
+	// before failing back to the switch; zero selects 3, negative
+	// pins the job in degraded mode forever (the pure host-all-reduce
+	// baseline of -degraded-mode).
+	Probation int
+	// BurstBytes segments the degraded-mode ring transfers; zero
+	// selects 64 KiB.
+	BurstBytes int
+}
+
+func (c *HealthConfig) fillDefaults(rto netsim.Time) {
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 8 * rto
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = c.SuspectAfter / 4
+	}
+	if c.Probation == 0 {
+		c.Probation = 3
+	}
+	if c.BurstBytes == 0 {
+		c.BurstBytes = 64 * 1024
+	}
+}
+
+// Job fabric modes of the three-state machine
+// SWITCH → DEGRADED(host all-reduce) → SWITCH.
+const (
+	modeSwitch = iota
+	modeDegraded
+)
+
+// healthMonitor drives the state machine. It lives entirely inside the
+// rack's single event loop: no locks, no wall clock, no private
+// randomness — fallback runs replay bit-identically from a seed.
+type healthMonitor struct {
+	r   *Rack
+	cfg HealthConfig
+
+	mode int
+	// lastActivity is the last virtual time the switch path showed
+	// life: a result delivered to any host, or the start of a step.
+	lastActivity netsim.Time
+	// watching guards the suspicion sweep chain.
+	watching bool
+
+	// probing guards the probe chain; probeSeq/awaitAck/streak drive
+	// the probation window.
+	probing  bool
+	probeSeq uint32
+	awaitAck bool
+	streak   int
+
+	// ring is the in-progress degraded-mode collective; ringRanks maps
+	// its ranks to worker ids, ringBufs holds each rank's private
+	// suffix copy, ringOff the handoff frontier as a stream offset.
+	ring      *allreduce.InlineRing
+	ringRanks []int
+	ringBufs  [][]int32
+	ringOff   uint64
+
+	degrades, failbacks, probes, probeAcks, hostElems uint64
+}
+
+func newHealthMonitor(r *Rack, cfg HealthConfig) *healthMonitor {
+	m := &healthMonitor{r: r, cfg: cfg}
+	for _, h := range r.hosts {
+		h.observe = m.touch
+		h.probeAck = m.onProbeAck
+		h.peerRecv = m.onPeer
+	}
+	r.sw.peerDst = m.peerLink
+	return m
+}
+
+// touch records switch-path life; every result delivery feeds it.
+func (m *healthMonitor) touch() { m.lastActivity = m.r.sim.Now() }
+
+// watch (re-)arms the suspicion sweep at the start of a switch-mode
+// step. The chain stops once every live worker is done, so the
+// simulation can drain.
+func (m *healthMonitor) watch() {
+	m.lastActivity = m.r.sim.Now()
+	if m.watching {
+		return
+	}
+	m.watching = true
+	m.armWatch()
+}
+
+func (m *healthMonitor) armWatch() { m.r.sim.After(m.cfg.SuspectAfter/4, m.sweep) }
+
+func (m *healthMonitor) sweep() {
+	r := m.r
+	if m.mode != modeSwitch || r.allLiveDone() {
+		m.watching = false
+		return
+	}
+	if r.sim.Now()-m.lastActivity >= m.cfg.SuspectAfter {
+		r.traceCtrl(telemetry.EvSwitchSuspect, "health", -1, -1)
+		m.watching = false
+		m.degrade()
+		return
+	}
+	m.armWatch()
+}
+
+// degrade is the SWITCH → DEGRADED transition, mid-step: the barrier
+// handoff. The frontier F is the minimum progress frontier over live
+// workers; every chunk below F is complete on every worker (via the
+// switch), and the host ring re-aggregates [F, end) wholesale from the
+// raw updates — chunks above F that some workers already hold are
+// overwritten with bit-identical values (int32 addition is order-
+// invariant), so no chunk is ever torn between the two fabrics.
+func (m *healthMonitor) degrade() {
+	r := m.r
+	m.mode = modeDegraded
+	m.degrades++
+	frontier := ^uint64(0)
+	for i, h := range r.hosts {
+		if h.crashed || r.dead(i) {
+			continue
+		}
+		if f := h.worker.FrontierOff(); f < frontier {
+			frontier = f
+		}
+		h.cancelTimers()
+	}
+	r.traceCtrl(telemetry.EvDegrade, "health", -1, int64(frontier))
+	m.startRing(frontier)
+}
+
+// stepHosted runs one whole aggregation step on the host fabric, the
+// steady state while degraded.
+func (m *healthMonitor) stepHosted(updates [][]int32, started []bool, res *Result) {
+	r := m.r
+	empty := true
+	var frontier uint64
+	for i, h := range r.hosts {
+		if h.crashed || r.dead(i) {
+			continue
+		}
+		started[i] = true
+		i, h := i, h
+		h.startHosted(updates[i], func(t netsim.Time) { res.Done[i] = t })
+		if len(updates[i]) != 0 {
+			empty = false
+			frontier = h.worker.TensorBase()
+		}
+	}
+	if empty {
+		return // startHosted completed the empty tensors immediately
+	}
+	m.startRing(frontier)
+}
+
+// startRing builds and launches the host ring all-reduce over the
+// tensor suffix [frontier, end) of every live worker, inside the
+// rack's own event loop so bandwidth, propagation and crossbar latency
+// are charged by the same links the switch path uses.
+func (m *healthMonitor) startRing(frontier uint64) {
+	r := m.r
+	m.ringRanks = m.ringRanks[:0]
+	for i, h := range r.hosts {
+		if h.crashed || r.dead(i) {
+			continue
+		}
+		m.ringRanks = append(m.ringRanks, i)
+	}
+	m.ringOff = frontier
+	bufs := make([][]int32, 0, len(m.ringRanks))
+	for _, w := range m.ringRanks {
+		wk := r.hosts[w].worker
+		u := wk.Update()
+		local := int(frontier - wk.TensorBase())
+		// Private copies: AllReduceShared aliases one backing array
+		// across workers, and the ring mutates its buffers in place.
+		buf := make([]int32, len(u)-local)
+		copy(buf, u[local:])
+		bufs = append(bufs, buf)
+	}
+	m.ringBufs = bufs
+	ring, err := allreduce.NewInlineRing(
+		allreduce.Config{BurstBytes: m.cfg.BurstBytes},
+		bufs, m.sendPeer, r.sim.Now, m.ringDone,
+	)
+	if err != nil {
+		if r.faultErr == nil {
+			r.faultErr = err
+		}
+		return
+	}
+	m.ring = ring
+	ring.Start()
+	m.startProbing()
+}
+
+// sendPeer routes a ring burst from its rank's uplink; the crossbar
+// forwards it to the destination's downlink. Sending also counts as
+// liveness for the worker — the per-worker Tracker must not mistake
+// fallback mode for mass worker death.
+func (m *healthMonitor) sendPeer(pm allreduce.PeerMsg) {
+	r := m.r
+	w := m.ringRanks[pm.PeerSrc()]
+	if r.ctrl != nil {
+		r.ctrl.tracker.Touch(w, int64(r.sim.Now()))
+	}
+	r.uplink[w].Send(pm)
+}
+
+// peerLink maps a ring rank to its host's downlink, for the crossbar.
+func (m *healthMonitor) peerLink(rank int) *netsim.Link {
+	if rank < 0 || rank >= len(m.ringRanks) {
+		return nil
+	}
+	return m.r.sw.downlinks[m.ringRanks[rank]]
+}
+
+// onPeer feeds an inbound ring burst to the collective.
+func (m *healthMonitor) onPeer(pm allreduce.PeerMsg) {
+	if m.ring != nil {
+		m.ring.Deliver(pm)
+	}
+}
+
+// ringDone installs the host-computed aggregate into every live
+// worker at the handoff frontier and completes their tensors.
+func (m *healthMonitor) ringDone() {
+	r := m.r
+	now := r.sim.Now()
+	if len(m.ringBufs) > 0 {
+		m.hostElems += uint64(len(m.ringBufs[0]))
+	}
+	for rk, w := range m.ringRanks {
+		h := r.hosts[w]
+		if err := h.worker.InstallHostAggregate(m.ringOff, m.ringBufs[rk]); err != nil {
+			if r.faultErr == nil {
+				r.faultErr = err
+			}
+			continue
+		}
+		if !h.finished {
+			h.finished = true
+			h.trace(telemetry.EvTensorDone, -1, -1)
+			if h.onDone != nil {
+				h.onDone(now)
+			}
+		}
+	}
+	m.ring = nil
+	m.ringBufs = nil
+}
+
+// startProbing sends an immediate probe and arms the periodic chain.
+func (m *healthMonitor) startProbing() {
+	m.sendProbe()
+	if !m.probing {
+		m.probing = true
+		m.armProbe()
+	}
+}
+
+func (m *healthMonitor) armProbe() { m.r.sim.After(m.cfg.ProbeEvery, m.probeTick) }
+
+func (m *healthMonitor) probeTick() {
+	if m.mode != modeDegraded || m.r.allLiveDone() {
+		m.probing = false
+		return
+	}
+	if m.awaitAck {
+		// The previous probe went unanswered: the switch is still
+		// dark, restart the probation window.
+		m.streak = 0
+	}
+	m.sendProbe()
+	m.armProbe()
+}
+
+// sendProbe emits one health probe from the lowest-id live worker.
+func (m *healthMonitor) sendProbe() {
+	r := m.r
+	w := -1
+	for i, h := range r.hosts {
+		if !h.crashed && !r.dead(i) {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		return
+	}
+	m.probeSeq++
+	m.awaitAck = true
+	m.probes++
+	p := packet.NewControl(packet.KindProbe, uint16(w), r.epoch, 0, nil)
+	p.Idx = m.probeSeq
+	if r.cfg.Tracer != nil {
+		e := telemetry.Ev(telemetry.EvProbe, int64(r.sim.Now()))
+		e.Actor = "health"
+		e.Worker = int32(w)
+		e.Slot = int32(m.probeSeq)
+		r.cfg.Tracer.Emit(e)
+	}
+	r.uplink[w].Send(p)
+}
+
+// onProbeAck credits the probation window when the outstanding probe
+// is answered.
+func (m *healthMonitor) onProbeAck(p *packet.Packet) {
+	if m.mode != modeDegraded || !m.awaitAck || p.Idx != m.probeSeq {
+		return
+	}
+	m.awaitAck = false
+	m.probeAcks++
+	m.streak++
+	r := m.r
+	if r.cfg.Tracer != nil {
+		e := telemetry.Ev(telemetry.EvProbeAck, int64(r.sim.Now()))
+		e.Actor = "health"
+		e.Worker = int32(p.WorkerID)
+		e.Slot = int32(p.Idx)
+		r.cfg.Tracer.Emit(e)
+	}
+}
+
+// maybeFailback is the DEGRADED → SWITCH transition, taken at a step
+// boundary (the natural chunk-frontier barrier: no tensor is in
+// flight) once the probation window is full. The job generation bumps
+// and the switch pool is wiped, so nothing aggregated before the
+// degradation can mix with traffic after it; every worker installs
+// the generation with reset pool versions, mirroring a §5.6 resume
+// with an empty in-flight set.
+func (m *healthMonitor) maybeFailback() {
+	r := m.r
+	if m.mode != modeDegraded || m.cfg.Probation < 0 || m.streak < m.cfg.Probation {
+		return
+	}
+	r.epoch++
+	if err := r.sw.sw.Reconfigure(nil, r.epoch); err != nil {
+		if r.faultErr == nil {
+			r.faultErr = err
+		}
+		return
+	}
+	for i, h := range r.hosts {
+		if h.crashed || r.dead(i) {
+			continue
+		}
+		h.worker.Resume(r.epoch, h.worker.ChunkCount())
+		h.cancelTimers()
+	}
+	m.mode = modeSwitch
+	m.streak = 0
+	m.awaitAck = false
+	m.failbacks++
+	r.traceCtrl(telemetry.EvFailback, "health", -1, int64(r.epoch))
+}
+
+// Degraded reports whether the job is currently on the host fabric.
+func (r *Rack) Degraded() bool {
+	return r.health != nil && r.health.mode == modeDegraded
+}

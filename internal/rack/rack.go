@@ -11,14 +11,23 @@
 package rack
 
 import (
+	"errors"
 	"fmt"
 
+	"switchml/internal/allreduce"
 	"switchml/internal/core"
 	"switchml/internal/faults"
 	"switchml/internal/netsim"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
 )
+
+// ErrSwitchDown is the typed, retryable verdict for an aggregation
+// abandoned because the switch stopped answering and fallback was
+// declined (Config.NoFallback): the inputs were fine, the fabric was
+// not. Callers may retry the collective once the switch recovers;
+// per-generation seen bitmaps make the retry exactly-once.
+var ErrSwitchDown = errors.New("rack: switch unavailable")
 
 // Config describes a rack experiment.
 type Config struct {
@@ -84,6 +93,19 @@ type Config struct {
 	// Faults contains crash or restart actions; set it explicitly to
 	// tune thresholds or to run detection without scripted faults.
 	Liveness *LivenessConfig
+	// Health configures the switch health monitor and degradation
+	// controller (SWITCH → DEGRADED → SWITCH). It defaults on whenever
+	// Faults contains switch kill/revive actions, unless NoFallback is
+	// set; set it explicitly to tune thresholds.
+	Health *HealthConfig
+	// StartDegraded starts the job on the host all-reduce fabric
+	// instead of the switch — the -degraded-mode baseline. It implies
+	// Health; pair it with Health.Probation < 0 to pin the job there.
+	StartDegraded bool
+	// NoFallback opts out of degraded mode even when switch kill
+	// actions are scripted: a dead switch then surfaces as a typed
+	// ErrSwitchDown from AllReduce instead of a fabric handoff.
+	NoFallback bool
 	// Tracer observes every protocol event in the rack, stamped with
 	// virtual time: link transmit/receive/drop (netsim), slot
 	// aggregation and shadow reads (switch), and retransmissions,
@@ -142,6 +164,25 @@ func (c *Config) fillDefaults() {
 		lv := *c.Liveness
 		lv.fillDefaults(c.RTO)
 		c.Liveness = &lv
+	}
+	if c.Health == nil && !c.NoFallback {
+		if c.StartDegraded {
+			c.Health = &HealthConfig{}
+		} else if c.Faults != nil {
+			for _, a := range c.Faults.Actions {
+				if a.Kind == faults.KillSwitch || a.Kind == faults.ReviveSwitch {
+					c.Health = &HealthConfig{}
+					break
+				}
+			}
+		}
+	}
+	if c.Health != nil && !c.NoFallback {
+		hc := *c.Health
+		hc.fillDefaults(c.RTO)
+		c.Health = &hc
+	} else {
+		c.Health = nil
 	}
 }
 
@@ -207,6 +248,9 @@ type Rack struct {
 	// ctrl is the failure detector / recovery controller, nil unless
 	// Config.Liveness is set.
 	ctrl *controller
+	// health is the switch health monitor / degradation controller,
+	// nil unless Config.Health is set.
+	health *healthMonitor
 	// epoch is the current job generation; the controller bumps it on
 	// every reconfiguration so stale packets are rejected by the
 	// switch's JobID admission check.
@@ -263,6 +307,11 @@ func NewRack(cfg Config) (*Rack, error) {
 		up := netsim.NewLink(sim, cfg.linkConfig(fmt.Sprintf("w%d->sw", i), rate), sw)
 		down := netsim.NewLink(sim, cfg.linkConfig(fmt.Sprintf("sw->w%d", i), rate), h)
 		h.uplink = up
+		h.onStall = func(w uint16) {
+			if r.faultErr == nil {
+				r.faultErr = fmt.Errorf("rack: worker %d gave up after %d straight timeouts on one chunk: %w", w, stallLimit, ErrSwitchDown)
+			}
+		}
 		sw.downlinks = append(sw.downlinks, down)
 		r.hosts = append(r.hosts, h)
 		r.uplink = append(r.uplink, up)
@@ -270,6 +319,12 @@ func NewRack(cfg Config) (*Rack, error) {
 	if cfg.Liveness != nil {
 		r.ctrl = newController(r, *cfg.Liveness)
 		sw.seen = func(w int) { r.ctrl.tracker.Touch(w, int64(sim.Now())) }
+	}
+	if cfg.Health != nil {
+		r.health = newHealthMonitor(r, *cfg.Health)
+		if cfg.StartDegraded {
+			r.health.mode = modeDegraded
+		}
 	}
 	if cfg.Faults != nil {
 		for _, a := range cfg.Faults.Absolute() {
@@ -340,6 +395,11 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 	if r.rejoin {
 		r.restartJob()
 	}
+	if r.health != nil {
+		// Step boundaries are the natural barrier for returning to the
+		// switch: no tensor is in flight.
+		r.health.maybeFailback()
+	}
 	if r.cfg.Faults != nil {
 		now := r.sim.Now()
 		for _, a := range r.cfg.Faults.ForStep(r.step) {
@@ -352,17 +412,24 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 		Done:  make([]netsim.Time, r.cfg.Workers),
 	}
 	started := make([]bool, r.cfg.Workers)
-	for i, h := range r.hosts {
-		if h.crashed || r.dead(i) {
-			continue
+	if r.health != nil && r.health.mode == modeDegraded {
+		r.health.stepHosted(updates, started, &res)
+	} else {
+		for i, h := range r.hosts {
+			if h.crashed || r.dead(i) {
+				continue
+			}
+			started[i] = true
+			i := i
+			h.Start(updates[i], func(t netsim.Time) {
+				res.Done[i] = t
+			})
+			if r.ctrl != nil {
+				r.ctrl.tracker.Touch(i, int64(r.sim.Now()))
+			}
 		}
-		started[i] = true
-		i := i
-		h.Start(updates[i], func(t netsim.Time) {
-			res.Done[i] = t
-		})
-		if r.ctrl != nil {
-			r.ctrl.tracker.Touch(i, int64(r.sim.Now()))
+		if r.health != nil {
+			r.health.watch()
 		}
 	}
 	if r.ctrl != nil {
@@ -392,6 +459,9 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 		}
 	}
 	if unfinished > 0 {
+		if r.sw.down {
+			return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished: %w", unfinished, ErrSwitchDown)
+		}
 		return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished", unfinished)
 	}
 	return res, nil
@@ -433,6 +503,13 @@ func (r *Rack) Counters() map[string]uint64 {
 	m["switch_ignored_duplicates"] = st.IgnoredDuplicates
 	m["switch_shadow_reads"] = st.ResultRetransmissions
 	m["switch_stale_updates"] = st.StaleUpdates
+	if h := r.health; h != nil {
+		m["health_degrades"] = h.degrades
+		m["health_failbacks"] = h.failbacks
+		m["health_probes"] = h.probes
+		m["health_probe_acks"] = h.probeAcks
+		m["host_aggregated_elems"] = h.hostElems
+	}
 	return m
 }
 
@@ -445,6 +522,13 @@ type switchNode struct {
 	// seen, when set, observes the worker id of every arriving packet;
 	// the failure detector feeds its liveness tracker with it.
 	seen func(worker int)
+	// down marks a failed aggregation program (faults.KillSwitch):
+	// update packets are blackholed and probes go unanswered, but the
+	// crossbar keeps forwarding host-to-host traffic.
+	down bool
+	// peerDst, when set by the health monitor, maps a fallback ring
+	// rank to its host's downlink for crossbar forwarding.
+	peerDst func(rank int) *netsim.Link
 }
 
 func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
@@ -465,11 +549,36 @@ func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
 
 // Deliver processes an update at line rate and emits responses after
 // the pipeline latency. The traffic manager duplicates multicast
-// results onto every port (Appendix B).
+// results onto every port (Appendix B). Host-to-host fallback bursts
+// are forwarded by the crossbar even while the aggregation program is
+// down — the failure mode the degradation controller exploits.
 func (s *switchNode) Deliver(msg netsim.Message) {
+	if pm, ok := msg.(allreduce.PeerMsg); ok {
+		if s.peerDst == nil {
+			return
+		}
+		dl := s.peerDst(pm.PeerDst())
+		if dl == nil {
+			return
+		}
+		s.sim.After(s.cfg.SwitchLatency, func() { dl.Send(msg) })
+		return
+	}
 	p := msg.(*packet.Packet)
 	if s.seen != nil {
 		s.seen(int(p.WorkerID))
+	}
+	if p.Kind == packet.KindProbe {
+		if s.down {
+			return // a dead aggregation program answers nothing
+		}
+		ack := packet.NewControl(packet.KindProbeAck, p.WorkerID, p.JobID, 0, nil)
+		ack.Idx = p.Idx
+		s.sim.After(s.cfg.SwitchLatency, func() { s.downlinks[ack.WorkerID].Send(ack) })
+		return
+	}
+	if s.down {
+		return
 	}
 	resp := s.sw.Handle(p)
 	if resp.Pkt == nil {
@@ -529,7 +638,26 @@ type WorkerHost struct {
 	// finished marks that the current tensor's aggregate is complete on
 	// this host; a recovery resume can clear it again.
 	finished bool
+	// stall counts consecutive timeouts per slot with no progress; with
+	// NoFallback, a slot that exceeds stallLimit abandons the step and
+	// raises the typed switch-unavailable error instead of
+	// retransmitting forever into a dead switch.
+	stall []uint8
+	// observe/probeAck/peerRecv are the health monitor's taps on the
+	// receive path: switch-path life, probe answers and fallback ring
+	// bursts. Nil when health monitoring is off.
+	observe  func()
+	probeAck func(*packet.Packet)
+	peerRecv func(allreduce.PeerMsg)
+	// onStall reports a NoFallback stall to the rack.
+	onStall func(worker uint16)
 }
+
+// stallLimit is the consecutive-timeout budget per slot under
+// NoFallback. Reaching it with exponential backoff means the switch
+// answered nothing for over a hundred RTOs on one chunk: loss cannot
+// plausibly explain it, only a dead switch can.
+const stallLimit = 8
 
 func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) {
 	cfg.fillDefaults()
@@ -555,6 +683,7 @@ func NewWorkerHost(sim *netsim.Sim, cfg Config, id uint16) (*WorkerHost, error) 
 		backoff:  make([]uint8, cfg.PoolSize),
 		sentAt:   make([]netsim.Time, cfg.PoolSize),
 		retxed:   make([]bool, cfg.PoolSize),
+		stall:    make([]uint8, cfg.PoolSize),
 	}
 	if cfg.Metrics != nil {
 		h.rttHist = cfg.Metrics.Histogram("rack_rtt_ns", telemetry.LatencyBuckets)
@@ -656,6 +785,17 @@ func (h *WorkerHost) armTimer(idx uint32) {
 		if h.backoff[idx] < 6 {
 			h.backoff[idx]++
 		}
+		if h.cfg.NoFallback {
+			if h.stall[idx]++; h.stall[idx] >= stallLimit {
+				// Fallback was declined; abandon the step so the
+				// simulation drains and the caller gets the typed error.
+				h.cancelTimers()
+				if h.onStall != nil {
+					h.onStall(h.wcfg.ID)
+				}
+				return
+			}
+		}
 		// Build the retransmission at transmit time, not at timer-fire
 		// time: the slot's core may still hold an unprocessed result
 		// that advances the slot before the CPU frees up, and a stale
@@ -703,12 +843,67 @@ func (h *WorkerHost) observeRTT(sample netsim.Time) {
 	h.srtt += (sample - h.srtt) / 8
 }
 
-// Deliver receives a result packet from the switch.
+// startHosted begins aggregating u in degraded mode: the tensor opens
+// in the protocol state machine (preserving stream offsets for a later
+// failback) but no packets go out — the health monitor's ring computes
+// the sum and installs it via InstallHostAggregate. An empty tensor
+// completes immediately, as on the switch path.
+func (h *WorkerHost) startHosted(u []int32, onDone func(netsim.Time)) {
+	h.onDone = onDone
+	h.finished = false
+	if h.cfg.Tracer != nil {
+		e := telemetry.Ev(telemetry.EvTensorStart, int64(h.sim.Now()))
+		e.Actor = fmt.Sprintf("w%d", h.worker.Config().ID)
+		e.Worker = int32(h.worker.Config().ID)
+		e.Size = int32(4 * len(u))
+		h.cfg.Tracer.Emit(e)
+	}
+	h.worker.StartHosted(u)
+	if len(u) == 0 {
+		t := h.sim.Now()
+		h.sim.At(t, func() {
+			h.finished = true
+			h.trace(telemetry.EvTensorDone, -1, -1)
+			onDone(t)
+		})
+	}
+}
+
+// cancelTimers disarms every retransmission timer and clears the
+// per-slot backoff state — the switch path is being abandoned (degrade
+// handoff) or rebuilt (failback, resume).
+func (h *WorkerHost) cancelTimers() {
+	for i := range h.timers {
+		h.timers[i].Cancel()
+		h.timers[i] = netsim.Timer{}
+		h.backoff[i] = 0
+		h.retxed[i] = false
+		h.stall[i] = 0
+	}
+}
+
+// Deliver receives a result packet from the switch, a probe answer, or
+// a fallback ring burst forwarded by the crossbar.
 func (h *WorkerHost) Deliver(msg netsim.Message) {
 	if h.crashed {
 		return
 	}
+	if pm, ok := msg.(allreduce.PeerMsg); ok {
+		if h.peerRecv != nil {
+			h.peerRecv(pm)
+		}
+		return
+	}
 	p := msg.(*packet.Packet)
+	if p.Kind == packet.KindProbeAck {
+		if h.probeAck != nil {
+			h.probeAck(p)
+		}
+		return
+	}
+	if h.observe != nil {
+		h.observe()
+	}
 	done := h.charge(p.Idx)
 	h.sim.At(done, func() {
 		if h.crashed {
@@ -723,6 +918,7 @@ func (h *WorkerHost) Deliver(msg netsim.Message) {
 		h.timers[p.Idx].Cancel()
 		h.timers[p.Idx] = netsim.Timer{}
 		h.backoff[p.Idx] = 0
+		h.stall[p.Idx] = 0
 		if sample := h.sim.Now() - h.sentAt[p.Idx]; true {
 			if h.cfg.AdaptiveRTO && !h.retxed[p.Idx] {
 				// Karn's rule: only unambiguous samples train the

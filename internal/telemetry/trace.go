@@ -60,6 +60,23 @@ const (
 	// EvHeartbeat fires when a worker's explicit liveness heartbeat is
 	// observed.
 	EvHeartbeat
+	// EvSwitchSuspect fires when the switch health monitor's silence
+	// threshold expires with aggregation traffic outstanding — the
+	// switch is suspected down but the job has not yet degraded.
+	EvSwitchSuspect
+	// EvDegrade fires when a job abandons the switch path and hands an
+	// in-flight tensor over to host all-reduce at the chunk frontier
+	// (Off carries the handoff frontier as a stream offset).
+	EvDegrade
+	// EvProbe fires when a degraded job probes the suspected switch;
+	// Slot carries the probe sequence number.
+	EvProbe
+	// EvProbeAck fires when a probe is answered, crediting the
+	// probation window.
+	EvProbeAck
+	// EvFailback fires when a degraded job returns to the switch path
+	// after the probation window, under a bumped job generation.
+	EvFailback
 )
 
 var eventNames = [...]string{
@@ -82,6 +99,11 @@ var eventNames = [...]string{
 	EvReconfigure:     "Reconfigure",
 	EvResume:          "Resume",
 	EvHeartbeat:       "Heartbeat",
+	EvSwitchSuspect:   "SwitchSuspect",
+	EvDegrade:         "Degrade",
+	EvProbe:           "Probe",
+	EvProbeAck:        "ProbeAck",
+	EvFailback:        "Failback",
 }
 
 func (t EventType) String() string {

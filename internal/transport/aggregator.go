@@ -89,6 +89,11 @@ type Aggregator struct {
 	// peers is the learned worker address table, indexed by worker
 	// id. Entries are written at most once per address change.
 	peers []atomic.Pointer[netip.AddrPort]
+	// down simulates the aggregation program dying while the host and
+	// its address stay up: every datagram is silently discarded, so
+	// workers see pure silence — the failure mode the client-side
+	// fallback detects. Toggled by SetDown from chaos tests.
+	down atomic.Bool
 	// epoch is the current job generation; read lock-free on the
 	// per-packet path, written under mu by recovery.
 	epoch atomic.Uint32
@@ -223,6 +228,9 @@ func (a *Aggregator) serve(sh *aggShard) {
 			continue // transient error: keep serving
 		}
 		a.recvd.Inc()
+		if a.down.Load() {
+			continue // the aggregation program is "dead": pure silence
+		}
 		if err := packet.UnmarshalInto(&sh.pkt, sh.buf[:n]); err != nil {
 			a.corrupt.Inc()
 			continue // corrupted datagram: drop (§3.4)
@@ -237,6 +245,8 @@ func (a *Aggregator) serve(sh *aggShard) {
 			a.touch(&sh.pkt, src)
 		case packet.KindReport:
 			a.handleReport(&sh.pkt, src)
+		case packet.KindProbe:
+			a.handleProbe(sh, src)
 		default:
 			// Workers never originate result/reconfig/resume kinds.
 		}
@@ -308,6 +318,50 @@ func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
 		}
 	}
 }
+
+// handleProbe answers a degraded worker asking whether the aggregator
+// is back. The probe carries the generation the workers will fail
+// back under; seeing a newer generation than our own means an outage
+// happened (possibly a restart that lost the bump), so the pool is
+// wiped under the proposed generation before answering — the fence
+// that keeps anything aggregated before the outage from leaking into
+// post-failback slots. The ack echoes the probe sequence so the
+// worker can match it to its probation window.
+func (a *Aggregator) handleProbe(sh *aggShard, src netip.AddrPort) {
+	p := &sh.pkt
+	if a.lv != nil {
+		if a.lv.tracker.Dead(int(p.WorkerID)) {
+			return
+		}
+		// Probes are liveness: a worker on the mesh is silent on the
+		// update path but very much alive.
+		a.lv.tracker.Touch(int(p.WorkerID), time.Now().UnixNano())
+	}
+	a.setPeer(p.WorkerID, src)
+	if int16(p.JobID-a.epochNow()) > 0 {
+		a.mu.Lock()
+		if prop := p.JobID; int16(prop-a.epochNow()) > 0 {
+			if a.sw.Reconfigure(nil, prop) == nil {
+				a.epoch.Store(uint32(prop))
+				a.traceCtrl(telemetry.EvReconfigure, int32(p.WorkerID), int64(prop))
+			}
+		}
+		a.mu.Unlock()
+	}
+	ack := packet.NewControl(packet.KindProbeAck, p.WorkerID, a.epochNow(), 0, nil)
+	ack.Idx = p.Idx
+	sh.ctrl = ack.AppendMarshal(sh.ctrl[:0])
+	a.conn.WriteToUDPAddrPort(sh.ctrl, src)
+	a.sent.Inc()
+}
+
+// SetDown "kills" (or revives) the aggregation program while the
+// socket stays bound: every inbound datagram is silently discarded,
+// exactly what workers observe when the switch program dies under a
+// live crossbar. Chaos tests drive it; revival needs no state reset —
+// the probe fence wipes the pool under a fresh generation before any
+// worker fails back.
+func (a *Aggregator) SetDown(down bool) { a.down.Store(down) }
 
 // write sends the shard's marshalled result datagram, consulting the
 // fault injector.

@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"switchml/internal/core"
@@ -26,6 +28,19 @@ type ClientConfig struct {
 	// larger value avoids spurious retransmissions under scheduling
 	// jitter).
 	RTO time.Duration
+	// AdaptiveRTO estimates the path RTT from clean (never
+	// retransmitted — Karn's rule) chunk round trips and uses
+	// SRTT + 4·RTTVAR as the base timeout, clamped to [RTO, 64×RTO].
+	// The configured RTO then acts as a floor rather than the
+	// operating point, so one setting serves both loopback and a
+	// congested fabric.
+	AdaptiveRTO bool
+	// Fallback, when non-nil, arms the degraded mode: an aggregator
+	// silent past FallbackConfig.SuspectAfter is abandoned mid-tensor
+	// at the chunk frontier and the job continues by ring all-reduce
+	// over a worker-to-worker UDP mesh, failing back automatically
+	// once probes are answered again (see fallback.go).
+	Fallback *FallbackConfig
 	// Timeout bounds one AllReduce call; zero selects 30 s.
 	Timeout time.Duration
 	// Heartbeat, when positive, starts a background beacon at this
@@ -75,9 +90,22 @@ type Client struct {
 	// doubles with each (capped at 64x), preventing retransmission
 	// storms when the configured RTO sits below the path RTT.
 	backoff []uint8
+	// retxed marks slots whose in-flight chunk has been retransmitted:
+	// their round trips are ambiguous and excluded from the RTT
+	// estimator (Karn's rule).
+	retxed []bool
+	// srtt/rttvar are the Jacobson estimator state when AdaptiveRTO is
+	// on; srtt == 0 means no sample yet.
+	srtt, rttvar time.Duration
+	// lastProgress is the last time the aggregator proved it was alive
+	// (any decodable datagram on the main connection); the fallback's
+	// silence detector measures from it.
+	lastProgress time.Time
 	// epoch is the job generation last adopted from a resume
 	// directive; it dedups repeated directives for the same recovery.
 	epoch uint16
+	// fb is the degraded-mode state; nil unless cfg.Fallback is set.
+	fb *fallback
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -132,8 +160,32 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		lastSend: make([]time.Time, cfg.Worker.PoolSize),
 		rbuf:     make([]byte, 65536),
 		backoff:  make([]uint8, cfg.Worker.PoolSize),
+		retxed:   make([]bool, cfg.Worker.PoolSize),
 		epoch:    cfg.Worker.JobID,
 		closed:   make(chan struct{}),
+	}
+	if cfg.Fallback != nil {
+		fc := *cfg.Fallback
+		fc.fillDefaults(cfg.RTO)
+		var laddr *net.UDPAddr
+		if fc.Listen != "" {
+			laddr, err = net.ResolveUDPAddr("udp", fc.Listen)
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("transport: mesh listen address: %w", err)
+			}
+		}
+		mesh, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: bind mesh socket: %w", err)
+		}
+		c.fb = &fallback{cfg: fc, mesh: mesh}
+		if err := c.fb.resolvePeers(fc.Peers, int(cfg.Worker.ID)); err != nil {
+			mesh.Close()
+			conn.Close()
+			return nil, err
+		}
 	}
 	if cfg.Heartbeat > 0 {
 		c.wg.Add(1)
@@ -142,12 +194,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
-// Close stops the heartbeat beacon and releases the socket.
+// Close stops the heartbeat beacon and releases the sockets.
 func (c *Client) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
 		close(c.closed)
 		err = c.conn.Close()
+		if c.fb != nil {
+			c.fb.mesh.Close()
+		}
 		c.wg.Wait()
 	})
 	return err
@@ -199,7 +254,11 @@ func (c *Client) trace(t telemetry.EventType, idx int32) {
 
 // AllReduceInt32 aggregates u with the other workers and returns the
 // elementwise sum. It blocks until the aggregate is complete or the
-// configured timeout elapses.
+// configured timeout elapses. With a Fallback configured the call
+// survives aggregator death: the tensor is finished (and subsequent
+// ones run) over the worker mesh instead of failing; without one, an
+// aggregator silent for SuspectAfter-equivalent (8×RTO) turns the
+// timeout into a typed, retryable ErrAggregatorSilent.
 func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 	if len(u) == 0 {
 		return nil, nil
@@ -212,14 +271,48 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 		c.cfg.Tracer.Emit(e)
 	}
 	deadline := time.Now().Add(c.cfg.Timeout)
+	if c.fb != nil && c.fb.degraded.Load() {
+		return c.degradedAllReduce(u, deadline)
+	}
+	c.lastProgress = time.Now()
 	for _, p := range c.worker.Start(u) {
-		err := c.send(p)
+		err := c.send(p, false)
 		packet.PutPacket(p)
 		if err != nil {
 			return nil, err
 		}
 	}
+	out, err := c.switchLoop(u, deadline)
+	if errors.Is(err, errSilence) {
+		return c.enterFallback(u, deadline)
+	}
+	return out, err
+}
+
+// silenceAfter is the no-progress threshold that separates "switch
+// gone" from an ordinarily slow aggregation.
+func (c *Client) silenceAfter() time.Duration {
+	if c.fb != nil {
+		return c.fb.cfg.SuspectAfter
+	}
+	return 8 * c.cfg.RTO
+}
+
+// switchLoop drives the started tensor over the aggregator path until
+// completion, timeout, or — with a Fallback configured — the silence
+// verdict (returned as errSilence for the caller to degrade on).
+func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 	for {
+		if silence := time.Since(c.lastProgress); silence >= c.silenceAfter() {
+			if c.fb != nil {
+				c.trace(telemetry.EvSwitchSuspect, -1)
+				return nil, errSilence
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("transport: all-reduce timed out after %v with the aggregator silent for %v (%d chunks outstanding): %w",
+					c.cfg.Timeout, silence.Round(time.Millisecond), c.worker.PendingCount(), ErrAggregatorSilent)
+			}
+		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("transport: all-reduce timed out after %v (%d chunks outstanding)",
 				c.cfg.Timeout, c.worker.PendingCount())
@@ -245,6 +338,13 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 				}
 				continue
 			}
+			if c.fb != nil {
+				// A refused or unreachable destination is death
+				// evidence, not a caller error: let the silence clock
+				// decide, pacing the retry loop meanwhile.
+				time.Sleep(c.cfg.RTO / 8)
+				continue
+			}
 			return nil, err
 		}
 		c.recvd.Inc()
@@ -252,6 +352,7 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 			c.corrupt.Inc()
 			continue // corrupted datagram
 		}
+		c.lastProgress = time.Now()
 		done, err := c.handleIncoming(&c.rp)
 		if err != nil {
 			return nil, err
@@ -300,9 +401,10 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 		c.trace(telemetry.EvResume, -1)
 		for i := range c.backoff {
 			c.backoff[i] = 0
+			c.retxed[i] = false
 		}
 		for _, q := range pkts {
-			err := c.send(q)
+			err := c.send(q, false)
 			packet.PutPacket(q)
 			if err != nil {
 				return false, err
@@ -310,6 +412,11 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 		}
 		return false, nil
 	case packet.KindResult, packet.KindResultUnicast:
+		if c.cfg.AdaptiveRTO && int(p.Idx) < len(c.retxed) && !c.retxed[p.Idx] && c.worker.Pending(p.Idx) {
+			// A clean (never retransmitted) in-flight chunk's round
+			// trip is an unambiguous RTT sample (Karn's rule).
+			c.observeRTT(time.Since(c.lastSend[p.Idx]))
+		}
 		next, done := c.worker.HandleResult(p)
 		if next != nil || done || !c.worker.Pending(p.Idx) {
 			// The slot made progress (or is idle): its loss streak is
@@ -319,7 +426,7 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 			}
 		}
 		if next != nil {
-			err := c.send(next)
+			err := c.send(next, false)
 			packet.PutPacket(next)
 			if err != nil {
 				return false, err
@@ -336,9 +443,13 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 // packet was "lost on the wire", and the retransmission machinery is
 // exactly what recovers it. The wire bytes go through the client's
 // reused send buffer; callers that got p from the packet pool may
-// return it as soon as send returns.
-func (c *Client) send(p *packet.Packet) error {
+// return it as soon as send returns. retx flags retransmissions,
+// whose round trips the RTT estimator must ignore.
+func (c *Client) send(p *packet.Packet, retx bool) error {
 	c.lastSend[p.Idx] = time.Now()
+	if int(p.Idx) < len(c.retxed) {
+		c.retxed[p.Idx] = retx
+	}
 	c.sbuf = p.AppendMarshal(c.sbuf[:0])
 	out := c.sbuf
 	writes := 1
@@ -354,11 +465,27 @@ func (c *Client) send(p *packet.Packet) error {
 	}
 	for i := 0; i < writes; i++ {
 		if _, err := c.conn.Write(out); err != nil {
+			if c.fb != nil && deadDestination(err) {
+				return nil
+			}
 			return fmt.Errorf("transport: send: %w", err)
 		}
 		c.sent.Inc()
 	}
 	return nil
+}
+
+// deadDestination reports whether a datagram write failed because the
+// destination is provably gone — an ICMP unreachable surfaced by the
+// connected socket (the aggregator process died and the kernel
+// rejects the port) — rather than a local socket error. With a
+// fallback armed that is death evidence for the silence detector, not
+// a caller error: the datagram counts as lost on the wire, and the
+// no-progress clock delivers the degrade verdict.
+func deadDestination(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH)
 }
 
 // sendControl transmits a control datagram (report, heartbeat)
@@ -367,15 +494,49 @@ func (c *Client) send(p *packet.Packet) error {
 func (c *Client) sendControl(kind packet.Kind, job uint16, off uint64, vec []int32) error {
 	c.cbuf = packet.NewControl(kind, c.cfg.Worker.ID, job, off, vec).AppendMarshal(c.cbuf[:0])
 	if _, err := c.conn.Write(c.cbuf); err != nil {
+		if c.fb != nil && deadDestination(err) {
+			return nil
+		}
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	c.sent.Inc()
 	return nil
 }
 
-// rto returns slot idx's effective timeout with backoff applied.
+// rto returns slot idx's effective timeout: the base RTO — adapted to
+// the estimated RTT when configured — with the slot's exponential
+// backoff applied.
 func (c *Client) rto(idx int) time.Duration {
-	return c.cfg.RTO << c.backoff[idx]
+	base := c.cfg.RTO
+	if c.cfg.AdaptiveRTO && c.srtt > 0 {
+		base = c.srtt + 4*c.rttvar
+		if base < c.cfg.RTO {
+			base = c.cfg.RTO
+		}
+		if max := c.cfg.RTO * 64; base > max {
+			base = max
+		}
+	}
+	return base << c.backoff[idx]
+}
+
+// observeRTT folds a clean round-trip sample into the Jacobson
+// estimator (RFC 6298 constants: α=1/8, β=1/4).
+func (c *Client) observeRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	diff := c.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar += (diff - c.rttvar) / 4
+	c.srtt += (sample - c.srtt) / 8
 }
 
 // sweepTimeouts retransmits every pending chunk whose RTO elapsed
@@ -395,7 +556,7 @@ func (c *Client) sweepTimeouts() error {
 		c.trace(telemetry.EvTimeoutFired, int32(idx))
 		if p := c.worker.Retransmit(uint32(idx)); p != nil {
 			c.trace(telemetry.EvRetransmit, int32(idx))
-			err := c.send(p)
+			err := c.send(p, true)
 			packet.PutPacket(p)
 			if err != nil {
 				return err

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"switchml/internal/core"
+)
+
+// fallbackCluster binds an aggregator and n fallback-armed clients
+// with the mesh wired up, ready for lockstep steps.
+func fallbackCluster(t *testing.T, n int, probation int, timeout time.Duration) (*Aggregator, []*Client) {
+	t.Helper()
+	agg, err := NewAggregator(AggregatorConfig{
+		Addr:   "127.0.0.1:0",
+		Switch: core.SwitchConfig{Workers: n, PoolSize: 8, SlotElems: 32, LossRecovery: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		c, err := NewClient(ClientConfig{
+			Aggregator: agg.Addr().String(),
+			Worker: core.WorkerConfig{
+				ID: uint16(i), Workers: n, PoolSize: 8, SlotElems: 32, LossRecovery: true,
+			},
+			RTO:         10 * time.Millisecond,
+			Timeout:     timeout,
+			AdaptiveRTO: true,
+			Fallback:    &FallbackConfig{Probation: probation},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+	mesh := make([]string, n)
+	for i, c := range clients {
+		mesh[i] = fmt.Sprintf("127.0.0.1:%d", c.MeshAddr().Port)
+	}
+	for _, c := range clients {
+		if err := c.SetMeshPeers(mesh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return agg, clients
+}
+
+// lockstep runs one collective step across all clients and checks
+// every worker got the exact elementwise sum.
+func lockstep(t *testing.T, clients []*Client, elems, step int) {
+	t.Helper()
+	n := len(clients)
+	us := make([][]int32, n)
+	want := make([]int32, elems)
+	for w := range us {
+		us[w] = make([]int32, elems)
+		for j := range us[w] {
+			us[w][j] = int32(step*1000 + w*10 + j%7)
+			want[j] += us[w][j]
+		}
+	}
+	results := make([][]int32, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := range clients {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w], errs[w] = clients[w].AllReduceInt32(us[w])
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("step %d worker %d: %v", step, w, err)
+		}
+	}
+	for w, res := range results {
+		for j := range want {
+			if res[j] != want[j] {
+				t.Fatalf("step %d worker %d elem %d: got %d want %d", step, w, j, res[j], want[j])
+			}
+		}
+	}
+}
+
+// TestFaultUDPAggregatorKillFallbackFailback is the UDP tentpole: the
+// aggregation program dies between steps, the workers degrade to mesh
+// ring all-reduce and keep producing exact sums, probe the revived
+// aggregator through the probation window, and fail back — after
+// which the switch path carries traffic again.
+func TestFaultUDPAggregatorKillFallbackFailback(t *testing.T) {
+	const n, elems = 3, 3000
+	agg, clients := fallbackCluster(t, n, 2, 20*time.Second)
+	defer agg.Close()
+
+	lockstep(t, clients, elems, 1)
+	lockstep(t, clients, elems, 2)
+	preKill := agg.Stats().Completions
+	if preKill == 0 {
+		t.Fatal("no switch completions before the kill")
+	}
+
+	agg.SetDown(true)
+	lockstep(t, clients, elems, 3) // degrade mid-tensor, finish on mesh
+	agg.SetDown(false)
+	lockstep(t, clients, elems, 4) // probe 1 sent
+	lockstep(t, clients, elems, 5) // streak 1, probe 2
+	lockstep(t, clients, elems, 6) // streak 2 ≥ probation: failback, switch path
+	lockstep(t, clients, elems, 7)
+
+	for w, c := range clients {
+		st := c.FallbackStats()
+		if st.Degrades != 1 {
+			t.Errorf("worker %d: degrades = %d, want 1", w, st.Degrades)
+		}
+		if st.Failbacks != 1 {
+			t.Errorf("worker %d: failbacks = %d, want 1", w, st.Failbacks)
+		}
+		if st.HostRounds != 3 {
+			t.Errorf("worker %d: host rounds = %d, want 3", w, st.HostRounds)
+		}
+		if st.HostElems != 3*elems {
+			t.Errorf("worker %d: host elems = %d, want %d", w, st.HostElems, 3*elems)
+		}
+		if st.Probes == 0 || st.ProbeAcks == 0 {
+			t.Errorf("worker %d: probes/acks = %d/%d, want both nonzero", w, st.Probes, st.ProbeAcks)
+		}
+		if c.Degraded() {
+			t.Errorf("worker %d still degraded after failback", w)
+		}
+	}
+	if post := agg.Stats().Completions; post <= preKill {
+		t.Errorf("no switch completions after failback: %d before, %d after", preKill, post)
+	}
+	if agg.Epoch() == 0 {
+		t.Error("failback did not fence the job under a new generation")
+	}
+}
+
+// TestFaultUDPDegradedSteadyState pins the job on the mesh (negative
+// probation) with the aggregator dead the whole time: the collective
+// must keep producing exact sums indefinitely without a switch.
+func TestFaultUDPDegradedSteadyState(t *testing.T) {
+	const n, elems = 2, 1500
+	agg, clients := fallbackCluster(t, n, -1, 20*time.Second)
+	defer agg.Close()
+	agg.SetDown(true)
+	for step := 1; step <= 4; step++ {
+		lockstep(t, clients, elems, step)
+	}
+	for w, c := range clients {
+		if !c.Degraded() {
+			t.Errorf("worker %d not degraded with the aggregator dead", w)
+		}
+		if st := c.FallbackStats(); st.HostRounds != 4 {
+			t.Errorf("worker %d: host rounds = %d, want 4", w, st.HostRounds)
+		}
+	}
+	if agg.Stats().Completions != 0 {
+		t.Error("dead aggregator completed slots")
+	}
+}
+
+// TestFaultUDPAggregatorProcessDeathFallback kills the aggregator
+// outright — socket closed, not merely silent — so on loopback every
+// subsequent datagram to it fails with ECONNREFUSED from the kernel's
+// ICMP port-unreachable. The refused writes must read as death
+// evidence for the silence detector, not as a send error, and the
+// collective must finish on the mesh.
+func TestFaultUDPAggregatorProcessDeathFallback(t *testing.T) {
+	const n, elems = 2, 1500
+	agg, clients := fallbackCluster(t, n, -1, 20*time.Second)
+
+	lockstep(t, clients, elems, 1)
+	agg.Close() // the process is gone; no revival is coming
+	lockstep(t, clients, elems, 2)
+	lockstep(t, clients, elems, 3)
+	for w, c := range clients {
+		if !c.Degraded() {
+			t.Errorf("worker %d not degraded with the aggregator gone", w)
+		}
+		if st := c.FallbackStats(); st.HostRounds < 2 {
+			t.Errorf("worker %d: host rounds = %d, want >= 2", w, st.HostRounds)
+		}
+	}
+}
+
+// TestFaultUDPNoFallbackTypedError checks that without a fallback an
+// aggregator gone silent mid-tensor surfaces as the typed, retryable
+// ErrAggregatorSilent rather than a generic timeout.
+func TestFaultUDPNoFallbackTypedError(t *testing.T) {
+	agg, err := NewAggregator(AggregatorConfig{
+		Addr:   "127.0.0.1:0",
+		Switch: core.SwitchConfig{Workers: 1, PoolSize: 4, SlotElems: 16, LossRecovery: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	agg.SetDown(true)
+	c, err := NewClient(ClientConfig{
+		Aggregator: agg.Addr().String(),
+		Worker:     core.WorkerConfig{ID: 0, Workers: 1, PoolSize: 4, SlotElems: 16, LossRecovery: true},
+		RTO:        5 * time.Millisecond,
+		Timeout:    400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	u := make([]int32, 256)
+	for i := range u {
+		u[i] = int32(i)
+	}
+	if _, err := c.AllReduceInt32(u); !errors.Is(err, ErrAggregatorSilent) {
+		t.Fatalf("AllReduceInt32 error = %v, want ErrAggregatorSilent", err)
+	}
+}
+
+// TestFaultFallbackStatsRace hammers the monitoring surface —
+// Stats, FallbackStats, Degraded — from a background goroutine while
+// the collective degrades, runs on the mesh and fails back. Run under
+// -race, it proves the health state is safe to observe live.
+func TestFaultFallbackStatsRace(t *testing.T) {
+	const n, elems = 2, 1000
+	agg, clients := fallbackCluster(t, n, 1, 20*time.Second)
+	defer agg.Close()
+
+	stop := make(chan struct{})
+	var mon sync.WaitGroup
+	for _, c := range clients {
+		c := c
+		mon.Add(1)
+		go func() {
+			defer mon.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Stats()
+					_ = c.FallbackStats()
+					_ = c.Degraded()
+				}
+			}
+		}()
+	}
+
+	lockstep(t, clients, elems, 1)
+	agg.SetDown(true)
+	lockstep(t, clients, elems, 2)
+	agg.SetDown(false)
+	lockstep(t, clients, elems, 3)
+	lockstep(t, clients, elems, 4) // streak 1 ≥ probation 1: failback
+	lockstep(t, clients, elems, 5)
+	close(stop)
+	mon.Wait()
+
+	for w, c := range clients {
+		if st := c.FallbackStats(); st.Degrades == 0 || st.Failbacks == 0 {
+			t.Errorf("worker %d: degrades/failbacks = %d/%d, want both nonzero", w, st.Degrades, st.Failbacks)
+		}
+	}
+}

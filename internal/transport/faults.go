@@ -73,6 +73,9 @@ func (a *Aggregator) sweepLoop() {
 // sweep is one detector pass: declare silent workers failed, evict
 // their session state, and start (or keep pushing) recovery.
 func (a *Aggregator) sweep(now int64) {
+	if a.down.Load() {
+		return // a dead aggregation program detects nothing
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	verdict := false

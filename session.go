@@ -8,6 +8,12 @@ import (
 
 // Collective is any endpoint that can all-reduce tensors: an
 // in-process cluster Worker or a UDP Peer.
+//
+// Implementations whose fabric can fail (a UDP Peer without an armed
+// fallback) report a dead aggregator as an error matching
+// ErrSwitchUnavailable: the tensor was fine and the call may be
+// retried once the fabric recovers. Sessions pass such errors through
+// to the submitting Future unchanged.
 type Collective interface {
 	// AllReduceInt32 sums an int32 tensor across all workers.
 	AllReduceInt32(u []int32) ([]int32, error)

@@ -41,6 +41,19 @@ type SimParams struct {
 	// are enabled automatically when Faults includes crashes or switch
 	// restarts.
 	Liveness *LivenessParams
+	// Health tunes the switch health monitor and degradation
+	// controller; nil accepts defaults, which are enabled automatically
+	// when Faults includes FaultKillSwitch (unless NoFallback is set).
+	Health *HealthParams
+	// StartDegraded starts the job on the host all-reduce fabric
+	// instead of the switch, as if a degrade had already happened;
+	// pair it with Health.Probation < 0 to pin it there (the host
+	// baseline the BENCH_fallback experiment measures).
+	StartDegraded bool
+	// NoFallback opts out of degraded mode even when Faults kills the
+	// switch: a dead switch then surfaces as ErrSwitchUnavailable
+	// instead of a fabric handoff.
+	NoFallback bool
 	// RTO is the retransmission timeout (default 1 ms, §5.5).
 	RTO time.Duration
 	// Cores is the per-worker core count (default 4, §5.1).
@@ -70,9 +83,11 @@ type SimResult struct {
 	Aggregate []int32
 	// Counters is the run's protocol-counter dump: link traffic
 	// (packets_sent, packets_delivered, packets_dropped, wire_bytes),
-	// worker behaviour (worker_sent, worker_retransmissions, ...) and
+	// worker behaviour (worker_sent, worker_retransmissions, ...),
 	// switch behaviour (switch_updates, switch_completions,
-	// switch_shadow_reads, ...).
+	// switch_shadow_reads, ...) and, when a health monitor ran, the
+	// degradation controller (health_degrades, health_failbacks,
+	// health_probes, health_probe_acks, host_aggregated_elems).
 	Counters map[string]uint64
 }
 
@@ -94,6 +109,9 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		Seed:           params.Seed,
 		Faults:         params.Faults.internal(),
 		Liveness:       params.Liveness.rack(),
+		Health:         params.Health.rack(),
+		StartDegraded:  params.StartDegraded,
+		NoFallback:     params.NoFallback,
 	}
 	if params.BurstLoss != nil {
 		ge := params.BurstLoss.internal()
@@ -110,7 +128,7 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 	}
 	res, err := r.AllReduceShared(tensor)
 	if err != nil {
-		return SimResult{}, err
+		return SimResult{}, fabricErr(err)
 	}
 	if ring != nil {
 		f, err := os.Create(params.TraceFile)

@@ -125,6 +125,14 @@ func (a *Aggregator) Alive(w int) bool { return a.inner.Alive(w) }
 // bumped by every recovery.
 func (a *Aggregator) Epoch() uint16 { return a.inner.Epoch() }
 
+// SetDown "kills" (or revives) the aggregation program while the
+// socket stays bound: every inbound datagram is silently discarded,
+// exactly what workers observe when a switch's aggregation program
+// dies under a live crossbar. Chaos tests and failover drills drive
+// it; revival needs no reset — the workers' probe fence wipes the
+// pool under a fresh generation before anyone fails back.
+func (a *Aggregator) SetDown(down bool) { a.inner.SetDown(down) }
+
 // AggregatorStats are the switch-side protocol counters.
 type AggregatorStats struct {
 	// Updates is the number of update packets processed.
@@ -180,6 +188,79 @@ type PeerParams struct {
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing update datagrams (chaos testing).
 	Inject *FaultInjection
+	// AdaptiveRTO replaces the fixed RTO with a Jacobson/Karn
+	// estimator (SRTT + 4·RTTVAR, clamped to [RTO, 64×RTO], samples
+	// only from never-retransmitted packets), so the retransmission
+	// timer tracks the deployment's real latency instead of a guess.
+	AdaptiveRTO bool
+	// Fallback, when non-nil, arms the degradation controller: if the
+	// aggregator goes silent mid-tensor the worker finishes the tensor
+	// by ring all-reduce over a peer-to-peer UDP mesh, keeps the job
+	// on the mesh while probing the aggregator, and fails back after
+	// Probation consecutive answered probes. All workers of a job must
+	// either arm it or not.
+	Fallback *FallbackParams
+}
+
+// FallbackParams configures the worker-side host-all-reduce fallback
+// (see PeerParams.Fallback). The mesh listens on an ephemeral UDP
+// port (Peer.MeshAddr); exchange the addresses out of band and
+// install them with Peer.SetMeshPeers before the first all-reduce, or
+// list them here.
+type FallbackParams struct {
+	// Listen is the mesh socket's listen address (e.g. ":7001");
+	// empty binds a wildcard ephemeral port. Multi-machine deployments
+	// should fix it so Peers can be listed up front.
+	Listen string
+	// Peers lists every worker's mesh address, indexed by rank (this
+	// worker's own entry is ignored). Leave nil to install later with
+	// SetMeshPeers.
+	Peers []string
+	// SuspectAfter is how long the aggregator may stay silent — with a
+	// tensor in flight — before the worker degrades; zero selects
+	// 8×RTO. It must comfortably exceed the workers' mutual skew: the
+	// degrade is collective (the probe fence wipes the pool), so one
+	// jumpy worker degrades the job.
+	SuspectAfter time.Duration
+	// Probation is the number of consecutive answered probes required
+	// before failing back; zero selects 3, negative pins the job on
+	// the mesh forever.
+	Probation int
+	// SegElems is the mesh ring's segment size in elements; zero
+	// selects 256.
+	SegElems int
+	// Window is the mesh ring's go-back-N send window in segments;
+	// zero selects 32.
+	Window int
+}
+
+func (f *FallbackParams) transport() *transport.FallbackConfig {
+	if f == nil {
+		return nil
+	}
+	return &transport.FallbackConfig{
+		Listen:       f.Listen,
+		Peers:        append([]string(nil), f.Peers...),
+		SuspectAfter: f.SuspectAfter,
+		Probation:    f.Probation,
+		SegElems:     f.SegElems,
+		Window:       f.Window,
+	}
+}
+
+// FallbackStats counts the degradation controller's activity.
+type FallbackStats struct {
+	// Degrades counts SWITCH → DEGRADED transitions.
+	Degrades uint64
+	// Probes and ProbeAcks count health probes sent and answered.
+	Probes, ProbeAcks uint64
+	// Failbacks counts DEGRADED → SWITCH transitions.
+	Failbacks uint64
+	// HostRounds and HostElems count tensors (and elements) aggregated
+	// by the mesh ring instead of the switch.
+	HostRounds, HostElems uint64
+	// MeshRetransmits counts go-back-N replays on the mesh.
+	MeshRetransmits uint64
 }
 
 // DialAggregator connects a worker to an aggregator.
@@ -209,10 +290,12 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 			LossRecovery: true,
 			JobID:        params.JobID,
 		},
-		RTO:       params.RTO,
-		Timeout:   params.Timeout,
-		Heartbeat: params.Heartbeat,
-		Inject:    params.Inject.internal(),
+		RTO:         params.RTO,
+		Timeout:     params.Timeout,
+		Heartbeat:   params.Heartbeat,
+		Inject:      params.Inject.internal(),
+		AdaptiveRTO: params.AdaptiveRTO,
+		Fallback:    params.Fallback.transport(),
 	})
 	if err != nil {
 		return nil, err
@@ -243,9 +326,50 @@ func (p *Peer) Close() error {
 	return p.inner.Close()
 }
 
-// AllReduceInt32 sums u across all workers of the job.
+// MeshAddr returns the fallback mesh's bound "host:port", or "" when
+// PeerParams.Fallback was not set. The port is ephemeral; publish it
+// to the other workers (SetMeshPeers) before the first all-reduce.
+func (p *Peer) MeshAddr() string {
+	a := p.inner.MeshAddr()
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
+
+// SetMeshPeers installs the job's mesh addresses, indexed by rank
+// (this worker's own entry is ignored). It replaces any list given in
+// PeerParams.Fallback.Peers and must complete on every worker before
+// a degrade can be ridden out.
+func (p *Peer) SetMeshPeers(addrs []string) error {
+	return p.inner.SetMeshPeers(addrs)
+}
+
+// Degraded reports whether the job currently runs on the host mesh
+// instead of the switch path.
+func (p *Peer) Degraded() bool { return p.inner.Degraded() }
+
+// FallbackStats snapshots the degradation controller's counters; it
+// is safe to call concurrently with a running all-reduce.
+func (p *Peer) FallbackStats() FallbackStats {
+	st := p.inner.FallbackStats()
+	return FallbackStats{
+		Degrades:        st.Degrades,
+		Probes:          st.Probes,
+		ProbeAcks:       st.ProbeAcks,
+		Failbacks:       st.Failbacks,
+		HostRounds:      st.HostRounds,
+		HostElems:       st.HostElems,
+		MeshRetransmits: st.MeshRetransmits,
+	}
+}
+
+// AllReduceInt32 sums u across all workers of the job. If the
+// aggregator dies mid-tensor and no fallback is armed, the error
+// matches ErrSwitchUnavailable (retryable — the input was fine).
 func (p *Peer) AllReduceInt32(u []int32) ([]int32, error) {
-	return p.inner.AllReduceInt32(u)
+	out, err := p.inner.AllReduceInt32(u)
+	return out, fabricErr(err)
 }
 
 // AllReduceFloat32 sums u across all workers via fixed-point
@@ -260,7 +384,7 @@ func (p *Peer) AllReduceFloat32(u []float32) ([]float32, error) {
 	}
 	sum, err := p.inner.AllReduceInt32(q)
 	if err != nil {
-		return nil, err
+		return nil, fabricErr(err)
 	}
 	out := make([]float32, len(u))
 	p.scale.Dequantize(out, sum)
