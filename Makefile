@@ -13,9 +13,9 @@ GO ?= go
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack \
 	./internal/core ./internal/netsim .
 
-.PHONY: check vet lint build test race chaos fuzz bench bench-smoke examples clean
+.PHONY: check vet lint build test race chaos fuzz bench bench-smoke top-smoke flight-check examples clean
 
-check: vet lint build test race chaos bench-smoke
+check: vet lint build test race chaos bench-smoke top-smoke flight-check
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,18 @@ bench:
 #   $(GO) run ./cmd/switchml-bench -scale 1 -artifacts . hotpath
 bench-smoke:
 	$(GO) test -run 'ZeroAlloc|Hotpath' ./internal/packet ./internal/core ./internal/netsim ./internal/bench
+
+# Observability smoke: switchml-top boots an in-process cluster over
+# loopback UDP, polls its own debug endpoints and validates the JSON
+# cluster view end to end.
+top-smoke:
+	$(GO) run ./cmd/switchml-top -selftest -json > /dev/null
+
+# Flight-recorder gate: a scripted switch-kill must dump a
+# schema-valid incident file (trigger event, metric deltas, per-slot
+# state) — the acceptance check for the fault flight recorder.
+flight-check:
+	$(GO) test -run 'TestFlightIncident|TestFlightRecorder' . ./internal/telemetry
 
 # Build every example program.
 examples:

@@ -42,6 +42,8 @@ func main() {
 	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
 	liveness := flag.Duration("liveness", 0,
 		"failure-detector silence threshold (0 = off); workers silent this long are evicted and the job resumes among survivors")
+	flightDir := flag.String("flight-dir", "",
+		"arm a fault flight recorder: fault transitions dump JSON incident files (recent events, metric delta, per-slot state) into this directory")
 	flag.Parse()
 
 	params := switchml.AggregatorParams{
@@ -51,6 +53,13 @@ func main() {
 	}
 	if *liveness > 0 {
 		params.Liveness = &switchml.LivenessParams{SilenceAfter: *liveness}
+	}
+	if *flightDir != "" {
+		if *jobs > 1 {
+			log.Printf("switchml-agg: -flight-dir applies only to single-pool mode; ignored with -jobs > 1")
+		} else {
+			params.Flight = &switchml.FlightParams{Dir: *flightDir}
+		}
 	}
 
 	var statsFn func() any

@@ -21,6 +21,8 @@
 // selected experiments (`go tool pprof` reads them); the memory
 // profile is taken at exit after a final GC, so it reflects retained
 // heap, while allocation sites appear under -sample_index=alloc_space.
+// -debug serves /debug/pprof/ and expvar live over HTTP, for
+// profiling a long multi-experiment run while it is still going.
 //
 // -artifacts DIR writes each experiment's machine-readable baseline
 // (currently the hotpath experiment) to DIR/BENCH_<id>.json.
@@ -49,7 +51,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	artifacts := flag.String("artifacts", "", "directory for machine-readable BENCH_<id>.json baselines")
+	debug := flag.String("debug", "", "optional HTTP address serving live /debug/pprof/ and expvar during the run")
 	flag.Parse()
+
+	if *debug != "" {
+		bound, closeFn, err := telemetry.ServeDebugOpts(*debug, telemetry.DebugOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "switchml-bench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "switchml-bench: debug at http://%s/debug/pprof/\n", bound)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))

@@ -9,6 +9,7 @@
 //	    [-trace out.json] [-burst pGB,pBG,lossG,lossB] [-crash 2@100us]
 //	    [-switch-restart 500us] [-switch-kill 100us] [-switch-revive 5ms]
 //	    [-probe 200us] [-degraded-mode] [-no-fallback]
+//	    [-sample 100us] [-series series.json] [-flight incident.json]
 //
 // It prints the tensor aggregation time, the achieved ATE/s against
 // the analytic line rate, and the retransmission count. -trace
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -59,6 +61,12 @@ func main() {
 		"probe period while degraded (0 = SuspectAfter/4)")
 	noFallback := flag.Bool("no-fallback", false,
 		"disable degraded mode: a killed switch fails the run with a typed error instead")
+	samplePeriod := flag.Duration("sample", 0,
+		"sample the run's metrics into time series at this virtual-time period (0 = off)")
+	seriesPath := flag.String("series", "",
+		"with -sample, write the sampled series as JSON to this file")
+	flightPath := flag.String("flight", "",
+		"arm a fault flight recorder: fault transitions dump a JSON incident (events, metric delta, per-slot state) to this file")
 	flag.Parse()
 
 	var ring *telemetry.Ring
@@ -132,9 +140,28 @@ func main() {
 		}
 		cfg.Health.ProbeEvery = netsim.Time(*probe)
 	}
+	cfg.SampleEvery = netsim.Time(*samplePeriod)
+	var rec *telemetry.FlightRecorder
+	if *flightPath != "" {
+		if cfg.Metrics == nil {
+			cfg.Metrics = telemetry.NewRegistry()
+		}
+		rec = telemetry.NewFlightRecorder(telemetry.FlightConfig{
+			Path:     *flightPath,
+			Registry: cfg.Metrics,
+		})
+		if ring != nil {
+			cfg.Tracer = telemetry.Fanout(ring, rec)
+		} else {
+			cfg.Tracer = rec
+		}
+	}
 	r, err := rack.NewRack(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rec != nil {
+		rec.SetState(func() any { return r.PoolState(true) })
 	}
 	n := int(*mb * 1e6 / 4)
 	tensor := make([]int32, n)
@@ -188,6 +215,31 @@ func main() {
 		fmt.Printf("host aggregation  %d of %d elements (%.1f%%)\n",
 			c["host_aggregated_elems"], uint64(n),
 			100*float64(c["host_aggregated_elems"])/float64(n))
+	}
+	if *samplePeriod > 0 {
+		series := r.Series()
+		fmt.Printf("sampled series    %d over the run\n", len(series))
+		if *seriesPath != "" {
+			data, err := json.MarshalIndent(series, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*seriesPath, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("series written    %s\n", *seriesPath)
+		}
+	}
+	if rec != nil {
+		dumps, err := rec.Dumped()
+		if err != nil {
+			log.Fatalf("flight recorder: %v", err)
+		}
+		if dumps > 0 {
+			fmt.Printf("flight incidents  %d (last at %s)\n", dumps, *flightPath)
+		} else {
+			fmt.Println("flight incidents  none (no fault transition fired)")
+		}
 	}
 	if ring != nil {
 		f, err := os.Create(*tracePath)

@@ -49,6 +49,8 @@ func main() {
 	degradedMode := flag.Bool("degraded-mode", false,
 		"with -mesh, never fail back to the aggregator: run the whole job on host ring all-reduce once degraded")
 	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
+	flightDir := flag.String("flight-dir", "",
+		"arm a fault flight recorder: degrade/failback transitions dump JSON incident files into this directory")
 	flag.Parse()
 
 	params := switchml.PeerParams{
@@ -59,6 +61,9 @@ func main() {
 		RTO:         *rto,
 		Heartbeat:   *heartbeat,
 		AdaptiveRTO: *adaptiveRTO,
+	}
+	if *flightDir != "" {
+		params.Flight = &switchml.FlightParams{Dir: *flightDir}
 	}
 	if *mesh != "" {
 		fb := &switchml.FallbackParams{Listen: *meshListen, Peers: strings.Split(*mesh, ",")}

@@ -84,6 +84,10 @@ type slot struct {
 	count int
 	// seen marks which workers contributed (Algorithm 3's bitmap).
 	seen bitset
+	// start stamps when the current aggregation phase opened (the
+	// first contribution's timestamp), feeding the slot-fill latency
+	// histogram; zero when no clock is configured.
+	start int64
 }
 
 // switchCounters are the switch's live counters, atomic so hosts may
@@ -93,27 +97,43 @@ type switchCounters struct {
 	updates, completions, ignoredDuplicates *telemetry.Counter
 	resultRetransmissions, staleUpdates     *telemetry.Counter
 	rejected                                *telemetry.Counter
+	// slotFill observes phase-open-to-completion latency per slot in
+	// nanoseconds (only fed when the switch has a clock).
+	slotFill *telemetry.Histogram
+	// lastArrival[w] counts completions where worker w contributed
+	// last — the straggler attribution of §7's tail analysis: the
+	// worker whose packet closes the slot is the one everyone waited
+	// for.
+	lastArrival []*telemetry.Counter
 }
 
 // newSwitchCounters binds the counters into reg when non-nil (labeled
 // by job id) and allocates standalone ones otherwise.
-func newSwitchCounters(reg *telemetry.Registry, job uint16) switchCounters {
+func newSwitchCounters(reg *telemetry.Registry, job uint16, workers int) switchCounters {
+	ctr := switchCounters{lastArrival: make([]*telemetry.Counter, workers)}
 	if reg == nil {
-		return switchCounters{
-			updates: &telemetry.Counter{}, completions: &telemetry.Counter{},
-			ignoredDuplicates: &telemetry.Counter{}, resultRetransmissions: &telemetry.Counter{},
-			staleUpdates: &telemetry.Counter{}, rejected: &telemetry.Counter{},
+		ctr.updates, ctr.completions = &telemetry.Counter{}, &telemetry.Counter{}
+		ctr.ignoredDuplicates, ctr.resultRetransmissions = &telemetry.Counter{}, &telemetry.Counter{}
+		ctr.staleUpdates, ctr.rejected = &telemetry.Counter{}, &telemetry.Counter{}
+		ctr.slotFill = telemetry.NewHistogram(telemetry.LatencyBuckets)
+		for w := range ctr.lastArrival {
+			ctr.lastArrival[w] = &telemetry.Counter{}
 		}
+		return ctr
 	}
 	label := []string{"job", fmt.Sprintf("%d", job)}
-	return switchCounters{
-		updates:               reg.Counter("switch_updates_total", label...),
-		completions:           reg.Counter("switch_completions_total", label...),
-		ignoredDuplicates:     reg.Counter("switch_ignored_duplicates_total", label...),
-		resultRetransmissions: reg.Counter("switch_result_retransmissions_total", label...),
-		staleUpdates:          reg.Counter("switch_stale_updates_total", label...),
-		rejected:              reg.Counter("switch_rejected_total", label...),
+	ctr.updates = reg.Counter("switch_updates_total", label...)
+	ctr.completions = reg.Counter("switch_completions_total", label...)
+	ctr.ignoredDuplicates = reg.Counter("switch_ignored_duplicates_total", label...)
+	ctr.resultRetransmissions = reg.Counter("switch_result_retransmissions_total", label...)
+	ctr.staleUpdates = reg.Counter("switch_stale_updates_total", label...)
+	ctr.rejected = reg.Counter("switch_rejected_total", label...)
+	ctr.slotFill = reg.Histogram("switch_slot_fill_ns", telemetry.LatencyBuckets, label...)
+	for w := range ctr.lastArrival {
+		ctr.lastArrival[w] = reg.Counter("switch_last_contributor_total",
+			"job", label[1], "worker", fmt.Sprintf("%d", w))
 	}
+	return ctr
 }
 
 // SwitchStats counts protocol events on the switch.
@@ -250,7 +270,7 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	sw := &Switch{cfg: cfg, ctr: newSwitchCounters(cfg.Metrics, cfg.JobID)}
+	sw := &Switch{cfg: cfg, ctr: newSwitchCounters(cfg.Metrics, cfg.JobID, cfg.Workers)}
 	sw.active = newBitset(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		sw.active.set(i)
@@ -368,6 +388,7 @@ func (sw *Switch) handleSimple(p *packet.Packet, scratch []int32, out *packet.Pa
 	sl := &sw.pools[0][p.Idx]
 	if sl.count == 0 {
 		sw.ingressOverwrite(sl, p)
+		sl.start = sw.now()
 	} else {
 		if !sw.accumulate(sl, p, scratch) {
 			return Response{}
@@ -384,6 +405,7 @@ func (sw *Switch) handleSimple(p *packet.Packet, scratch []int32, out *packet.Pa
 	sl.count = 0
 	sl.off = -1
 	sw.ctr.completions.Inc()
+	sw.observeCompletion(sl, int(p.WorkerID))
 	sw.trace(telemetry.EvSlotComplete, p)
 	return Response{Pkt: resp, Multicast: true}
 }
@@ -424,6 +446,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packe
 			// First contribution overall: overwrite, which doubles as
 			// the slot reset (line 10).
 			sw.ingressOverwrite(sl, p)
+			sl.start = sw.now()
 		} else {
 			if !sw.accumulate(sl, p, scratch) {
 				// Inconsistent chunk from a misbehaving worker: undo
@@ -444,6 +467,7 @@ func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packe
 		// shadow copy, retaining its value for retransmissions.
 		resp := sw.respond(out, p, packet.KindResult, p.Off, sl)
 		sw.ctr.completions.Inc()
+		sw.observeCompletion(sl, wid)
 		sw.trace(telemetry.EvSlotComplete, p)
 		return Response{Pkt: resp, Multicast: true}
 	}

@@ -93,10 +93,18 @@ type healthMonitor struct {
 	ringOff   uint64
 
 	degrades, failbacks, probes, probeAcks, hostElems uint64
+
+	// gMode mirrors the state machine into the registry
+	// (0 = SWITCH, 1 = DEGRADED) so sampled series and snapshots carry
+	// the fabric mode; nil without Config.Metrics.
+	gMode *telemetry.Gauge
 }
 
 func newHealthMonitor(r *Rack, cfg HealthConfig) *healthMonitor {
 	m := &healthMonitor{r: r, cfg: cfg}
+	if r.cfg.Metrics != nil {
+		m.gMode = r.cfg.Metrics.Gauge("rack_health_mode")
+	}
 	for _, h := range r.hosts {
 		h.observe = m.touch
 		h.probeAck = m.onProbeAck
@@ -104,6 +112,15 @@ func newHealthMonitor(r *Rack, cfg HealthConfig) *healthMonitor {
 	}
 	r.sw.peerDst = m.peerLink
 	return m
+}
+
+// setMode moves the state machine and mirrors the new mode into the
+// registry gauge.
+func (m *healthMonitor) setMode(mode int) {
+	m.mode = mode
+	if m.gMode != nil {
+		m.gMode.Set(int64(mode))
+	}
 }
 
 // touch records switch-path life; every result delivery feeds it.
@@ -147,7 +164,7 @@ func (m *healthMonitor) sweep() {
 // invariant), so no chunk is ever torn between the two fabrics.
 func (m *healthMonitor) degrade() {
 	r := m.r
-	m.mode = modeDegraded
+	m.setMode(modeDegraded)
 	m.degrades++
 	frontier := ^uint64(0)
 	for i, h := range r.hosts {
@@ -382,7 +399,7 @@ func (m *healthMonitor) maybeFailback() {
 		h.worker.Resume(r.epoch, h.worker.ChunkCount())
 		h.cancelTimers()
 	}
-	m.mode = modeSwitch
+	m.setMode(modeSwitch)
 	m.streak = 0
 	m.awaitAck = false
 	m.failbacks++

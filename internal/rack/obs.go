@@ -1,0 +1,66 @@
+// Rack-side observability: the virtual-time sampler tick chain and the
+// deep-introspection accessors the CLI layers expose. The sampler
+// mirrors the health monitor's sweep pattern — a self-rearming chain of
+// netsim events that stops as soon as every live worker has finished,
+// so the event loop can drain and AllReduce can return.
+package rack
+
+import (
+	"switchml/internal/core"
+	"switchml/internal/telemetry"
+)
+
+// startSampling takes one sample at the step's start and (re-)arms the
+// periodic chain. Called at the top of every AllReduce; a chain left
+// over from the previous step is reused rather than doubled up.
+func (r *Rack) startSampling() {
+	if r.sampler == nil {
+		return
+	}
+	r.sampleNow()
+	if !r.sampling {
+		r.sampling = true
+		r.armSample()
+	}
+}
+
+func (r *Rack) armSample() { r.sim.After(r.cfg.SampleEvery, r.sampleTick) }
+
+func (r *Rack) sampleTick() {
+	r.sampleNow()
+	if r.allLiveDone() {
+		r.sampling = false
+		return
+	}
+	r.armSample()
+}
+
+// sampleNow samples at the current virtual time, skipping duplicate
+// timestamps (a step can start at the exact time the previous step's
+// final tick fired) so every series stays strictly increasing.
+func (r *Rack) sampleNow() {
+	ts := int64(r.sim.Now())
+	if ts <= r.lastSample {
+		return
+	}
+	r.lastSample = ts
+	r.sampler.Sample(ts)
+}
+
+// Series returns the sampled time series accumulated so far, keyed by
+// series name ("<counter>:rate", "<gauge>", "<histogram>:p99", or a
+// probe name such as rack_pool_occupancy). Nil unless
+// Config.SampleEvery is set.
+func (r *Rack) Series() map[string]telemetry.SeriesData {
+	if r.sampler == nil {
+		return nil
+	}
+	return r.sampler.Dump()
+}
+
+// PoolState returns the switch's per-slot introspection document:
+// occupancy, retained results, last-contributor attribution, and (with
+// withSlots) every slot's count, offset and seen bitmap.
+func (r *Rack) PoolState(withSlots bool) core.PoolState {
+	return r.sw.sw.PoolState(withSlots)
+}

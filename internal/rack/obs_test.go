@@ -1,0 +1,110 @@
+package rack
+
+import (
+	"strings"
+	"testing"
+
+	"switchml/internal/faults"
+	"switchml/internal/netsim"
+)
+
+// TestFaultSampledSeriesAcrossFallback drives the tentpole fault
+// scenario (switch kill → degrade → probe → failback) with the
+// virtual-time sampler running and checks the observability surface:
+// series are present and never torn (strictly increasing virtual
+// timestamps), the health-mode gauge records the round trip through
+// DEGRADED, and the per-slot pool introspection stays coherent.
+func TestFaultSampledSeriesAcrossFallback(t *testing.T) {
+	const elems, steps = 4096, 6
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 2, At: 3 * netsim.Millisecond},
+	}}
+	cfg := healthTestConfig(sc)
+	cfg.SampleEvery = 100 * netsim.Microsecond
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config().Metrics == nil {
+		t.Fatal("SampleEvery did not auto-create a registry")
+	}
+	for s := 1; s <= steps; s++ {
+		us, want := stepUpdates(cfg.Workers, elems, s)
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("step %d: %v", s, err)
+		}
+		for j, v := range r.Aggregate(0) {
+			if v != want[j] {
+				t.Fatalf("step %d elem %d: got %d want %d", s, j, v, want[j])
+			}
+		}
+	}
+	if r.Degraded() {
+		t.Fatal("rack still degraded after probation")
+	}
+
+	series := r.Series()
+	if len(series) == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+	for name, sd := range series {
+		for i := 1; i < len(sd.Points); i++ {
+			if sd.Points[i].TS <= sd.Points[i-1].TS {
+				t.Fatalf("series %s torn at %d: ts %d after %d",
+					name, i, sd.Points[i].TS, sd.Points[i-1].TS)
+			}
+		}
+	}
+
+	// The health-mode gauge saw DEGRADED and ended back on SWITCH.
+	mode, ok := series["rack_health_mode"]
+	if !ok {
+		t.Fatal("no rack_health_mode series")
+	}
+	sawDegraded := false
+	for _, p := range mode.Points {
+		if p.V == 1 {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Error("health-mode series never recorded DEGRADED")
+	}
+	if last := mode.Points[len(mode.Points)-1]; last.V != 0 {
+		t.Errorf("final health mode = %v, want 0 (SWITCH)", last.V)
+	}
+
+	// Counter rates and the occupancy probe made it into the dump.
+	foundRate := false
+	for name := range series {
+		if strings.HasPrefix(name, "switch_updates_total") && strings.HasSuffix(name, ":rate") {
+			foundRate = true
+		}
+	}
+	if !foundRate {
+		t.Error("no switch_updates_total rate series")
+	}
+	occ, ok := series["rack_pool_occupancy"]
+	if !ok {
+		t.Fatal("no rack_pool_occupancy probe series")
+	}
+	for _, p := range occ.Points {
+		if p.V < 0 || p.V > 1 {
+			t.Fatalf("occupancy %v out of [0,1]", p.V)
+		}
+	}
+
+	// Per-slot pool introspection after the run: the pool is idle, and
+	// the document's shape matches the configuration.
+	ps := r.PoolState(true)
+	if ps.Workers != cfg.Workers {
+		t.Errorf("pool workers = %d, want %d", ps.Workers, cfg.Workers)
+	}
+	if want := cfg.PoolSize * ps.Versions; len(ps.Slots) != want {
+		t.Errorf("slot dump length = %d, want %d", len(ps.Slots), want)
+	}
+	if ps.Occupancy != 0 {
+		t.Errorf("idle pool occupancy = %v, want 0", ps.Occupancy)
+	}
+}

@@ -119,6 +119,12 @@ type Config struct {
 	// SampleRTT enables per-packet RTT sampling on worker 0
 	// (Figure 2's right axis).
 	SampleRTT bool
+	// SampleEvery, when positive, ticks a telemetry.Sampler on virtual
+	// time at this period for as long as a step has live unfinished
+	// workers, turning the run's counters into time series (rates,
+	// gauges, interval quantiles) retrievable via Rack.Series. A
+	// Metrics registry is created automatically if none is supplied.
+	SampleEvery netsim.Time
 	// WorkerLinkBitsPerSec overrides the link rate of individual
 	// workers (nil entries or a short slice fall back to
 	// LinkBitsPerSec). Used by the straggler experiment: §6 observes
@@ -264,6 +270,12 @@ type Rack struct {
 	// faultErr records an unrecoverable error raised inside the
 	// simulation loop (e.g. a resume frontier no worker can honor).
 	faultErr error
+	// sampler turns the registry into virtual-time series when
+	// Config.SampleEvery is set; sampling guards the tick chain and
+	// lastSample keeps timestamps strictly increasing across steps.
+	sampler    *telemetry.Sampler
+	sampling   bool
+	lastSample int64
 }
 
 // NewRack builds the topology. Loss recovery defaults to on; callers
@@ -288,6 +300,9 @@ func NewRack(cfg Config) (*Rack, error) {
 		}
 	}
 	cfg.fillDefaults()
+	if cfg.SampleEvery > 0 && cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
 	sim := netsim.NewSim(cfg.Seed)
 	sim.SetTracer(cfg.Tracer)
 	sw, err := newSwitchNode(sim, cfg)
@@ -323,8 +338,15 @@ func NewRack(cfg Config) (*Rack, error) {
 	if cfg.Health != nil {
 		r.health = newHealthMonitor(r, *cfg.Health)
 		if cfg.StartDegraded {
-			r.health.mode = modeDegraded
+			r.health.setMode(modeDegraded)
 		}
+	}
+	if cfg.SampleEvery > 0 {
+		r.sampler = telemetry.NewSampler(cfg.Metrics, telemetry.SamplerConfig{})
+		r.sampler.AddProbe("rack_pool_occupancy", func() float64 {
+			return r.sw.sw.PoolState(false).Occupancy
+		})
+		r.lastSample = -1
 	}
 	if cfg.Faults != nil {
 		for _, a := range cfg.Faults.Absolute() {
@@ -435,6 +457,7 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 	if r.ctrl != nil {
 		r.ctrl.begin()
 	}
+	r.startSampling()
 	r.sim.Run()
 	if r.faultErr != nil {
 		return Result{}, r.faultErr

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -8,19 +9,46 @@ import (
 	"net/http/pprof"
 )
 
-// NewDebugMux returns the daemons' introspection surface:
-//
-//   - /metrics       — the registry's text dump (Snapshot.WriteText)
-//   - /debug/vars    — the process's expvar JSON
-//   - /debug/pprof/  — the standard pprof handlers
-//
-// reg may be nil, in which case /metrics serves an empty dump.
+// DebugOptions selects what a debug mux exposes; every field is
+// optional and nil fields simply leave their endpoint unmounted.
+type DebugOptions struct {
+	// Registry backs /metrics (Prometheus text format).
+	Registry *Registry
+	// Sampler backs /debug/series (JSON ring series).
+	Sampler *Sampler
+	// Recorder backs /debug/flightrecorder: GET returns the current
+	// incident JSON without touching disk; GET with ?dump=1 also
+	// writes an incident file and reports its path.
+	Recorder *FlightRecorder
+	// State backs /debug/state with a point-in-time deep introspection
+	// JSON document (per-slot pool occupancy, per-shard load,
+	// per-worker health).
+	State func() any
+	// Extra mounts additional handlers by pattern.
+	Extra map[string]http.HandlerFunc
+}
+
+// NewDebugMux returns the daemons' basic introspection surface —
+// /metrics, /debug/vars and /debug/pprof/ — over one registry. It is
+// NewDebugMuxOpts with only Registry set.
 func NewDebugMux(reg *Registry) *http.ServeMux {
+	return NewDebugMuxOpts(DebugOptions{Registry: reg})
+}
+
+// NewDebugMuxOpts returns the full introspection surface:
+//
+//   - /metrics               — Prometheus text format (WritePrometheus)
+//   - /debug/vars            — the process's expvar JSON
+//   - /debug/pprof/          — the standard pprof handlers
+//   - /debug/series          — sampled time series (Sampler.Dump JSON)
+//   - /debug/state           — deep state snapshot (State() JSON)
+//   - /debug/flightrecorder  — current incident; ?dump=1 writes a file
+func NewDebugMuxOpts(opts DebugOptions) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if reg != nil {
-			reg.WriteText(w)
+		if opts.Registry != nil {
+			opts.Registry.WritePrometheus(w)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -29,18 +57,57 @@ func NewDebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if opts.Sampler != nil {
+		mux.HandleFunc("/debug/series", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, opts.Sampler.Dump())
+		})
+	}
+	if opts.State != nil {
+		mux.HandleFunc("/debug/state", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, opts.State())
+		})
+	}
+	if opts.Recorder != nil {
+		mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Query().Get("dump") != "" {
+				path, err := opts.Recorder.Dump("on-demand")
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				writeJSON(w, map[string]string{"path": path})
+				return
+			}
+			writeJSON(w, opts.Recorder.Incident("on-demand"))
+		})
+	}
+	for pattern, h := range opts.Extra {
+		mux.HandleFunc(pattern, h)
+	}
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // ServeDebug binds addr (e.g. "127.0.0.1:6060" or ":0") and serves
 // NewDebugMux(reg) in a background goroutine. It returns the bound
 // address and a function that shuts the listener down.
 func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	return ServeDebugOpts(addr, DebugOptions{Registry: reg})
+}
+
+// ServeDebugOpts is ServeDebug over the full option set.
+func ServeDebugOpts(addr string, opts DebugOptions) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: debug listen %q: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewDebugMux(reg)}
+	srv := &http.Server{Handler: NewDebugMuxOpts(opts)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -8,9 +8,10 @@ import (
 	"io"
 )
 
-// jsonEvent is the JSONL wire form of an Event; not-applicable fields
+// EventJSON is the JSON wire form of an Event, shared by the JSONL
+// export and flight-recorder incident files; not-applicable fields
 // are omitted rather than serialized as -1.
-type jsonEvent struct {
+type EventJSON struct {
 	TS     int64  `json:"ts"`
 	Type   string `json:"type"`
 	Actor  string `json:"actor,omitempty"`
@@ -20,26 +21,31 @@ type jsonEvent struct {
 	Size   int32  `json:"size,omitempty"`
 }
 
+// JSON converts an event to its wire form.
+func (e Event) JSON() EventJSON {
+	je := EventJSON{TS: e.TS, Type: e.Type.String(), Actor: e.Actor, Size: e.Size}
+	if e.Worker >= 0 {
+		w := e.Worker
+		je.Worker = &w
+	}
+	if e.Slot >= 0 {
+		s := e.Slot
+		je.Slot = &s
+	}
+	if e.Off >= 0 {
+		o := e.Off
+		je.Off = &o
+	}
+	return je
+}
+
 // WriteJSONL writes one JSON object per event per line, the
 // grep/jq-friendly export.
 func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, e := range events {
-		je := jsonEvent{TS: e.TS, Type: e.Type.String(), Actor: e.Actor, Size: e.Size}
-		if e.Worker >= 0 {
-			w := e.Worker
-			je.Worker = &w
-		}
-		if e.Slot >= 0 {
-			s := e.Slot
-			je.Slot = &s
-		}
-		if e.Off >= 0 {
-			o := e.Off
-			je.Off = &o
-		}
-		if err := enc.Encode(je); err != nil {
+		if err := enc.Encode(e.JSON()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus dumps the snapshot in the Prometheus text exposition
+// format (version 0.0.4): families are announced with a "# TYPE" line
+// and grouped, histograms expand into cumulative le buckets plus _sum
+// and _count, and both families and series within a family are sorted
+// for stable output. The plain "name{labels} value" lines are a
+// superset of WriteText's, so anything scraping the old format keeps
+// working.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type series struct {
+		key  string // full "name{labels}" key, used for ordering
+		text string // rendered exposition lines (may be several)
+	}
+	fams := make(map[string]*struct {
+		kind   string
+		series []series
+	})
+	add := func(name, kind string, sr series) {
+		f, ok := fams[name]
+		if !ok {
+			f = &struct {
+				kind   string
+				series []series
+			}{kind: kind}
+			fams[name] = f
+		}
+		f.series = append(f.series, sr)
+	}
+	for k, v := range s.Counters {
+		add(familyName(k), "counter", series{k, fmt.Sprintf("%s %d\n", k, v)})
+	}
+	for k, v := range s.Gauges {
+		add(familyName(k), "gauge", series{k, fmt.Sprintf("%s %d\n", k, v)})
+	}
+	for k, h := range s.Histograms {
+		name, labels := familyName(k), ""
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			labels = strings.TrimSuffix(k[i+1:], "}") + ","
+		}
+		var b strings.Builder
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", name, labels, le, cum)
+		}
+		suffix := strings.TrimPrefix(k, name)
+		fmt.Fprintf(&b, "%s_sum%s %g\n", name, suffix, h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, suffix, h.Count)
+		add(name, "histogram", series{k, b.String()})
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+		for _, sr := range f.series {
+			if _, err := io.WriteString(w, sr.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// familyName strips the label suffix from a snapshot key.
+func familyName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// WritePrometheus dumps the registry's current state; see
+// Snapshot.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}

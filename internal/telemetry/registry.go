@@ -125,13 +125,21 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) by linear
-// interpolation within the bucket that crosses it. It returns 0 on an
-// empty histogram and the highest finite bound for samples in the
-// overflow bucket.
+// Quantile estimates the q-quantile by linear interpolation within
+// the bucket that crosses it. Edge behavior is fully defined: an
+// empty or bucketless histogram yields 0, q is clamped to [0, 1]
+// (NaN reads as 0), q = 0 yields the lower bound of the first
+// occupied bucket, and samples in the +Inf overflow bucket yield the
+// highest finite bound — the estimator never extrapolates past the
+// configured range.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(s.Count)
 	var seen float64

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SamplePoint is one element of a sampled time series.
+type SamplePoint struct {
+	// TS is the sample's timestamp in nanoseconds (virtual time in the
+	// simulator, UnixNano over real UDP).
+	TS int64 `json:"ts"`
+	// V is the sampled value.
+	V float64 `json:"v"`
+}
+
+// SeriesData is the exported form of one ring series.
+type SeriesData struct {
+	// Kind classifies the series: "rate" (counter delta per second),
+	// "gauge" (raw value), "quantile" (histogram interval quantile) or
+	// "probe" (registered callback).
+	Kind string `json:"kind"`
+	// Points are the retained samples, oldest first.
+	Points []SamplePoint `json:"points"`
+}
+
+// ringSeries is one fixed-capacity sample ring. Pushes never allocate;
+// when full, the oldest points are overwritten.
+type ringSeries struct {
+	kind string
+	ts   []int64
+	vs   []float64
+	next int
+	full bool
+}
+
+func newRingSeries(kind string, capacity int) *ringSeries {
+	return &ringSeries{kind: kind, ts: make([]int64, capacity), vs: make([]float64, capacity)}
+}
+
+// push appends one point, overwriting the oldest when full. It is
+// allocation-free: the rings are sized once at series creation.
+func (rs *ringSeries) push(ts int64, v float64) {
+	rs.ts[rs.next] = ts
+	rs.vs[rs.next] = v
+	rs.next++
+	if rs.next == len(rs.ts) {
+		rs.next = 0
+		rs.full = true
+	}
+}
+
+// points copies the retained samples in push order.
+func (rs *ringSeries) points() []SamplePoint {
+	n := rs.next
+	if rs.full {
+		n = len(rs.ts)
+	}
+	out := make([]SamplePoint, 0, n)
+	if rs.full {
+		for i := rs.next; i < len(rs.ts); i++ {
+			out = append(out, SamplePoint{rs.ts[i], rs.vs[i]})
+		}
+	}
+	for i := 0; i < rs.next; i++ {
+		out = append(out, SamplePoint{rs.ts[i], rs.vs[i]})
+	}
+	return out
+}
+
+// SamplerConfig tunes a Sampler; the zero value accepts defaults.
+type SamplerConfig struct {
+	// Capacity is the per-series ring size (default 256). At a 1 s
+	// interval that retains a little over four minutes of history.
+	Capacity int
+	// Quantiles are the per-interval histogram quantiles to track
+	// (default 0.5 and 0.99).
+	Quantiles []float64
+}
+
+// Sampler periodically snapshots a Registry into fixed-capacity ring
+// series: counter rates (per second), gauge values, and per-interval
+// histogram quantiles, plus registered probe callbacks for state that
+// lives outside the registry (pool occupancy, shard imbalance).
+//
+// Sample may be driven by any clock — the rack model ticks it on
+// virtual time, the daemons on a wall-clock ticker via Start — and is
+// safe to call concurrently with hot-path metric mutation: it reads
+// the registry through the same atomic snapshots /metrics uses, so a
+// torn multi-word read is impossible by construction.
+type Sampler struct {
+	reg       *Registry
+	capacity  int
+	quantiles []float64
+	qNames    []string
+
+	mu     sync.Mutex
+	prev   Snapshot
+	prevTS int64
+	primed bool
+	series map[string]*ringSeries
+	probes []probe
+}
+
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// NewSampler returns a sampler over reg.
+func NewSampler(reg *Registry, cfg SamplerConfig) *Sampler {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if len(cfg.Quantiles) == 0 {
+		cfg.Quantiles = []float64{0.5, 0.99}
+	}
+	s := &Sampler{
+		reg:       reg,
+		capacity:  cfg.Capacity,
+		quantiles: append([]float64(nil), cfg.Quantiles...),
+		series:    make(map[string]*ringSeries),
+	}
+	for _, q := range s.quantiles {
+		s.qNames = append(s.qNames, fmt.Sprintf(":p%g", q*100))
+	}
+	return s
+}
+
+// AddProbe registers a callback sampled alongside the registry under
+// the given series name. Callbacks run with the sampler lock held and
+// must be cheap and non-blocking.
+func (s *Sampler) AddProbe(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = append(s.probes, probe{name, fn})
+}
+
+// get finds or creates the named ring.
+func (s *Sampler) get(name, kind string) *ringSeries {
+	rs, ok := s.series[name]
+	if !ok {
+		rs = newRingSeries(kind, s.capacity)
+		s.series[name] = rs
+	}
+	return rs
+}
+
+// Sample takes one sample at the given timestamp. The first call
+// primes the baseline snapshot and records gauges and probes only;
+// rates and quantiles need an interval and start with the second call.
+func (s *Sampler) Sample(ts int64) {
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range snap.Gauges {
+		s.get(k, "gauge").push(ts, float64(v))
+	}
+	for _, p := range s.probes {
+		s.get(p.name, "probe").push(ts, p.fn())
+	}
+	if s.primed && ts > s.prevTS {
+		dt := float64(ts-s.prevTS) / 1e9
+		d := snap.Delta(s.prev)
+		for k, v := range d.Counters {
+			s.get(k+":rate", "rate").push(ts, float64(v)/dt)
+		}
+		for k, h := range d.Histograms {
+			for i, q := range s.quantiles {
+				s.get(k+s.qNames[i], "quantile").push(ts, h.Quantile(q))
+			}
+		}
+	}
+	s.prev, s.prevTS, s.primed = snap, ts, true
+}
+
+// Start samples on a wall-clock ticker until the returned stop
+// function is called. interval <= 0 selects one second.
+func (s *Sampler) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		s.Sample(WallClock())
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Sample(WallClock())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// Dump copies every series, oldest point first, keyed by series name
+// ("<counter>:rate", "<gauge>", "<histogram>:p99", or a probe name).
+func (s *Sampler) Dump() map[string]SeriesData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]SeriesData, len(s.series))
+	for name, rs := range s.series {
+		out[name] = SeriesData{Kind: rs.kind, Points: rs.points()}
+	}
+	return out
+}

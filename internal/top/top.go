@@ -1,0 +1,341 @@
+// Package top polls the debug endpoints of a SwitchML aggregator and
+// its workers and assembles a live cluster view: per-worker send and
+// receive rates, RTT estimator state, health mode, loss and
+// retransmission columns, shard balance on the aggregator, and
+// threshold anomaly flags (loss spike, shard imbalance, probation
+// flapping). cmd/switchml-top renders it as a terminal dashboard or a
+// JSON document for scripting.
+package top
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"switchml/internal/transport"
+)
+
+// Config names the endpoints to poll and tunes the anomaly thresholds.
+type Config struct {
+	// Agg is the aggregator's debug base URL
+	// (e.g. "http://127.0.0.1:6060"); empty skips the aggregator row.
+	Agg string
+	// Workers are the workers' debug base URLs.
+	Workers []string
+	// Timeout bounds each HTTP request (default 2 s).
+	Timeout time.Duration
+	// LossRateWarn flags a worker whose retransmitted fraction of sent
+	// chunks over the poll interval exceeds it (default 0.05).
+	LossRateWarn float64
+	// ImbalanceWarn flags the aggregator when the max/mean ratio of
+	// per-shard datagram rates exceeds it (default 2.0).
+	ImbalanceWarn float64
+	// FlapWarn flags a worker with at least this many health-state
+	// transitions (degrades plus failbacks) within the last FlapWindow
+	// polls (default 3 within 20).
+	FlapWarn   int
+	FlapWindow int
+}
+
+func (c *Config) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.LossRateWarn <= 0 {
+		c.LossRateWarn = 0.05
+	}
+	if c.ImbalanceWarn <= 0 {
+		c.ImbalanceWarn = 2.0
+	}
+	if c.FlapWarn <= 0 {
+		c.FlapWarn = 3
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 20
+	}
+}
+
+// AggView is the aggregator's row of the cluster view.
+type AggView struct {
+	Addr  string `json:"addr"`
+	Epoch uint16 `json:"epoch"`
+	Down  bool   `json:"down"`
+	// RxRate/TxRate are datagrams per second over the poll interval
+	// (zero on the first poll).
+	RxRate float64 `json:"rx_rate"`
+	TxRate float64 `json:"tx_rate"`
+	Shards int     `json:"shards"`
+	// ShardImbalance is max/mean of the per-shard datagram rates; 1.0
+	// is perfectly balanced, 0 when no shard moved.
+	ShardImbalance float64 `json:"shard_imbalance"`
+	// Occupancy is the slot pool's busy fraction.
+	Occupancy   float64 `json:"occupancy"`
+	Completions uint64  `json:"completions"`
+	AliveCount  int     `json:"alive"`
+	Workers     int     `json:"workers"`
+}
+
+// WorkerView is one worker's row of the cluster view.
+type WorkerView struct {
+	Addr   string `json:"addr"`
+	Worker int    `json:"worker"`
+	// State is "SWITCH" or "DEGRADED".
+	State  string  `json:"state"`
+	Epoch  uint16  `json:"epoch"`
+	SRTTMs float64 `json:"srtt_ms"`
+	RTOMs  float64 `json:"rto_ms"`
+	// FrontierOff is the contiguous-progress stream offset;
+	// PendingChunks the in-flight count at the last safe publication.
+	FrontierOff   int64   `json:"frontier_off"`
+	PendingChunks int64   `json:"pending_chunks"`
+	RxRate        float64 `json:"rx_rate"`
+	TxRate        float64 `json:"tx_rate"`
+	// LossRate is retransmitted/sent chunks over the poll interval.
+	LossRate        float64 `json:"loss_rate"`
+	Retransmissions uint64  `json:"retransmissions"`
+	Degrades        uint64  `json:"degrades"`
+	Failbacks       uint64  `json:"failbacks"`
+}
+
+// ClusterView is one poll's assembled cluster state.
+type ClusterView struct {
+	At time.Time `json:"at"`
+	// IntervalSec is the rate base: seconds since the previous poll
+	// (zero on the first, whose rates are all zero).
+	IntervalSec float64      `json:"interval_sec"`
+	Agg         *AggView     `json:"agg,omitempty"`
+	Workers     []WorkerView `json:"workers"`
+	// Flags are the anomaly verdicts tripped this poll.
+	Flags []string `json:"flags,omitempty"`
+	// Errors lists endpoints that failed to answer.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Poller polls the cluster and remembers the previous poll so rates
+// and flap detection have a baseline. Not safe for concurrent use.
+type Poller struct {
+	cfg    Config
+	client *http.Client
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	prevAt      time.Time
+	prevAgg     *transport.AggDebugState
+	prevWorkers map[string]*transport.ClientDebugState
+	// flaps holds each worker URL's recent per-poll health-transition
+	// deltas, newest last, at most FlapWindow entries.
+	flaps map[string][]uint64
+}
+
+// NewPoller builds a poller over cfg.
+func NewPoller(cfg Config) *Poller {
+	cfg.fill()
+	return &Poller{
+		cfg:         cfg,
+		client:      &http.Client{Timeout: cfg.Timeout},
+		now:         time.Now,
+		prevWorkers: make(map[string]*transport.ClientDebugState),
+		flaps:       make(map[string][]uint64),
+	}
+}
+
+// fetch GETs url/debug/state into v.
+func (p *Poller) fetch(base string, v any) error {
+	resp, err := p.client.Get(strings.TrimRight(base, "/") + "/debug/state")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", base, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Poll fetches every endpoint once and assembles the view. Endpoints
+// that fail to answer are reported in ClusterView.Errors; the error
+// return is non-nil only when nothing answered.
+func (p *Poller) Poll() (*ClusterView, error) {
+	at := p.now()
+	v := &ClusterView{At: at}
+	if !p.prevAt.IsZero() {
+		v.IntervalSec = at.Sub(p.prevAt).Seconds()
+	}
+	rate := func(cur, prev uint64) float64 {
+		if v.IntervalSec <= 0 || cur < prev {
+			return 0
+		}
+		return float64(cur-prev) / v.IntervalSec
+	}
+
+	answered := 0
+	var agg *transport.AggDebugState
+	if p.cfg.Agg != "" {
+		var st transport.AggDebugState
+		if err := p.fetch(p.cfg.Agg, &st); err != nil {
+			v.Errors = append(v.Errors, fmt.Sprintf("agg %s: %v", p.cfg.Agg, err))
+		} else {
+			answered++
+			agg = &st
+			av := &AggView{
+				Addr:        p.cfg.Agg,
+				Epoch:       st.Epoch,
+				Down:        st.Down,
+				Shards:      st.Shards,
+				Occupancy:   st.Pool.Occupancy,
+				Completions: st.Switch.Completions,
+				Workers:     len(st.Alive),
+			}
+			for _, alive := range st.Alive {
+				if alive {
+					av.AliveCount++
+				}
+			}
+			if p.prevAgg != nil {
+				av.RxRate = rate(st.Received, p.prevAgg.Received)
+				av.TxRate = rate(st.Sent, p.prevAgg.Sent)
+				av.ShardImbalance = shardImbalance(st.ShardDatagrams, p.prevAgg.ShardDatagrams)
+			}
+			v.Agg = av
+		}
+	}
+
+	for _, url := range p.cfg.Workers {
+		var st transport.ClientDebugState
+		if err := p.fetch(url, &st); err != nil {
+			v.Errors = append(v.Errors, fmt.Sprintf("worker %s: %v", url, err))
+			continue
+		}
+		answered++
+		wv := WorkerView{
+			Addr:            url,
+			Worker:          st.Worker,
+			State:           "SWITCH",
+			Epoch:           st.Epoch,
+			SRTTMs:          float64(st.SRTTNs) / 1e6,
+			RTOMs:           float64(st.RTONs) / 1e6,
+			FrontierOff:     st.FrontierOff,
+			PendingChunks:   st.PendingChunks,
+			Retransmissions: st.Stats.Retransmissions,
+			Degrades:        st.Fallback.Degrades,
+			Failbacks:       st.Fallback.Failbacks,
+		}
+		if st.Degraded {
+			wv.State = "DEGRADED"
+		}
+		var flapDelta uint64
+		if prev, ok := p.prevWorkers[url]; ok {
+			wv.RxRate = rate(st.Received, prev.Received)
+			wv.TxRate = rate(st.Sent, prev.Sent)
+			sent := st.Stats.Sent - prev.Stats.Sent
+			retx := st.Stats.Retransmissions - prev.Stats.Retransmissions
+			if sent > 0 && st.Stats.Sent >= prev.Stats.Sent {
+				wv.LossRate = float64(retx) / float64(sent)
+			}
+			flapDelta = (st.Fallback.Degrades - prev.Fallback.Degrades) +
+				(st.Fallback.Failbacks - prev.Fallback.Failbacks)
+		}
+		stCopy := st
+		p.prevWorkers[url] = &stCopy
+		hist := append(p.flaps[url], flapDelta)
+		if len(hist) > p.cfg.FlapWindow {
+			hist = hist[len(hist)-p.cfg.FlapWindow:]
+		}
+		p.flaps[url] = hist
+		v.Workers = append(v.Workers, wv)
+	}
+
+	p.flag(v)
+	p.prevAgg, p.prevAt = agg, at
+	if answered == 0 && (p.cfg.Agg != "" || len(p.cfg.Workers) > 0) {
+		return v, fmt.Errorf("top: no endpoint answered: %s", strings.Join(v.Errors, "; "))
+	}
+	return v, nil
+}
+
+// shardImbalance is max/mean of the per-shard datagram deltas; 0 when
+// nothing moved or the shard count changed.
+func shardImbalance(cur, prev []uint64) float64 {
+	if len(cur) == 0 || len(cur) != len(prev) {
+		return 0
+	}
+	var sum, max uint64
+	for i := range cur {
+		d := cur[i] - prev[i]
+		if cur[i] < prev[i] {
+			return 0
+		}
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(cur))
+	return float64(max) / mean
+}
+
+// flag applies the anomaly thresholds to the assembled view.
+func (p *Poller) flag(v *ClusterView) {
+	for _, w := range v.Workers {
+		if w.LossRate > p.cfg.LossRateWarn {
+			v.Flags = append(v.Flags,
+				fmt.Sprintf("loss-spike(w%d %.1f%%)", w.Worker, w.LossRate*100))
+		}
+	}
+	if v.Agg != nil && v.Agg.ShardImbalance > p.cfg.ImbalanceWarn {
+		v.Flags = append(v.Flags,
+			fmt.Sprintf("shard-imbalance(%.2fx)", v.Agg.ShardImbalance))
+	}
+	for _, w := range v.Workers {
+		var transitions uint64
+		for _, d := range p.flaps[w.Addr] {
+			transitions += d
+		}
+		if transitions >= uint64(p.cfg.FlapWarn) {
+			v.Flags = append(v.Flags,
+				fmt.Sprintf("probation-flap(w%d %d transitions)", w.Worker, transitions))
+		}
+	}
+	sort.Strings(v.Flags)
+}
+
+// Render writes the view as a fixed-width terminal table.
+func Render(w io.Writer, v *ClusterView) {
+	fmt.Fprintf(w, "switchml cluster  %s  interval %.1fs\n",
+		v.At.Format("15:04:05"), v.IntervalSec)
+	if v.Agg != nil {
+		a := v.Agg
+		up := "up"
+		if a.Down {
+			up = "DOWN"
+		}
+		fmt.Fprintf(w,
+			"agg %-24s %-4s epoch %-4d rx %8.0f/s tx %8.0f/s occ %4.0f%% shards %d (imbal %.2f) alive %d/%d\n",
+			a.Addr, up, a.Epoch, a.RxRate, a.TxRate, a.Occupancy*100,
+			a.Shards, a.ShardImbalance, a.AliveCount, a.Workers)
+	}
+	if len(v.Workers) > 0 {
+		fmt.Fprintf(w, "%-3s %-9s %-5s %9s %9s %10s %5s %10s %10s %6s %7s %s\n",
+			"wrk", "state", "epoch", "srtt", "rto", "frontier", "pend",
+			"rx/s", "tx/s", "loss", "retx", "deg/fb")
+		for _, wk := range v.Workers {
+			fmt.Fprintf(w, "%-3d %-9s %-5d %7.2fms %7.2fms %10d %5d %10.0f %10.0f %5.1f%% %7d %d/%d\n",
+				wk.Worker, wk.State, wk.Epoch, wk.SRTTMs, wk.RTOMs,
+				wk.FrontierOff, wk.PendingChunks, wk.RxRate, wk.TxRate,
+				wk.LossRate*100, wk.Retransmissions, wk.Degrades, wk.Failbacks)
+		}
+	}
+	for _, e := range v.Errors {
+		fmt.Fprintf(w, "error: %s\n", e)
+	}
+	if len(v.Flags) > 0 {
+		fmt.Fprintf(w, "flags: %s\n", strings.Join(v.Flags, " "))
+	}
+}

@@ -83,6 +83,9 @@ type Aggregator struct {
 	reg  *telemetry.Registry
 
 	recvd, corrupt, sent *telemetry.Counter
+	// shardCtrs[i] counts datagrams drained by shard i, the load view
+	// switchml-top derives shard balance from.
+	shardCtrs []*telemetry.Counter
 
 	inj *faults.PacketInjector
 
@@ -115,6 +118,9 @@ type aggShard struct {
 	wire    []byte        // marshalled response
 	ctrl    []byte        // marshalled control reply (reconfig/resume)
 	mangled []byte        // injector corruption scratch
+	// datagrams is this shard's share of the drain load (atomic; one
+	// captured pointer, so counting stays allocation-free).
+	datagrams *telemetry.Counter
 }
 
 // NewAggregator binds the socket and starts the serving goroutines.
@@ -174,9 +180,11 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		a.wg.Add(1)
 		go a.sweepLoop()
 	}
+	a.shardCtrs = make([]*telemetry.Counter, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
+		a.shardCtrs[i] = reg.Counter("agg_shard_datagrams_total", "shard", fmt.Sprintf("%d", i))
 		a.wg.Add(1)
-		go a.serve(&aggShard{buf: make([]byte, 65536)})
+		go a.serve(&aggShard{buf: make([]byte, 65536), datagrams: a.shardCtrs[i]})
 	}
 	return a, nil
 }
@@ -228,6 +236,7 @@ func (a *Aggregator) serve(sh *aggShard) {
 			continue // transient error: keep serving
 		}
 		a.recvd.Inc()
+		sh.datagrams.Inc()
 		if a.down.Load() {
 			continue // the aggregation program is "dead": pure silence
 		}

@@ -73,6 +73,15 @@ type Client struct {
 	inj    *faults.PacketInjector
 
 	recvd, corrupt, sent *telemetry.Counter
+	// chunkRTT observes clean (never-retransmitted) chunk round trips,
+	// the per-chunk latency view of §7's RTT analysis.
+	chunkRTT *telemetry.Histogram
+	// Monitoring gauges, written by the AllReduce goroutine at safe
+	// points (RTT samples, sweeps, tensor and recovery boundaries) and
+	// read lock-free by DebugState and the sampler. They exist because
+	// the underlying state (srtt, frontier, pending set) belongs to
+	// the AllReduce goroutine and must not be read directly.
+	gSRTT, gRTO, gFrontier, gPending, gEpoch, gDegraded *telemetry.Gauge
 
 	// lastSend tracks per-slot transmission times for timeout
 	// sweeps.
@@ -157,6 +166,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		recvd:    reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
 		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
 		sent:     reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
+		chunkRTT: reg.Histogram("worker_chunk_rtt_ns", telemetry.LatencyBuckets, "worker", id),
+		gSRTT:    reg.Gauge("worker_srtt_ns", "worker", id),
+		gRTO:     reg.Gauge("worker_rto_ns", "worker", id),
+		gFrontier: reg.Gauge("worker_frontier_off", "worker", id),
+		gPending:  reg.Gauge("worker_pending_chunks", "worker", id),
+		gEpoch:    reg.Gauge("worker_epoch", "worker", id),
+		gDegraded: reg.Gauge("worker_degraded", "worker", id),
 		lastSend: make([]time.Time, cfg.Worker.PoolSize),
 		rbuf:     make([]byte, 65536),
 		backoff:  make([]uint8, cfg.Worker.PoolSize),
@@ -187,6 +203,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			return nil, err
 		}
 	}
+	c.gRTO.Set(int64(cfg.RTO))
+	c.gEpoch.Set(int64(cfg.Worker.JobID))
 	if cfg.Heartbeat > 0 {
 		c.wg.Add(1)
 		go c.heartbeatLoop()
@@ -359,6 +377,8 @@ func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 		}
 		if done {
 			c.trace(telemetry.EvTensorDone, -1)
+			c.gFrontier.Set(int64(c.worker.FrontierOff()))
+			c.gPending.Set(0)
 			out := make([]int32, len(u))
 			copy(out, c.worker.Aggregate())
 			return out, nil
@@ -398,6 +418,7 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 			return false, fmt.Errorf("transport: resume at %d: %w", p.Off, err)
 		}
 		c.epoch = p.JobID
+		c.gEpoch.Set(int64(p.JobID))
 		c.trace(telemetry.EvResume, -1)
 		for i := range c.backoff {
 			c.backoff[i] = 0
@@ -521,27 +542,43 @@ func (c *Client) rto(idx int) time.Duration {
 }
 
 // observeRTT folds a clean round-trip sample into the Jacobson
-// estimator (RFC 6298 constants: α=1/8, β=1/4).
+// estimator (RFC 6298 constants: α=1/8, β=1/4) and publishes the
+// latency view: the per-chunk RTT histogram and the srtt/rto gauges.
 func (c *Client) observeRTT(sample time.Duration) {
 	if sample <= 0 {
 		return
 	}
+	c.chunkRTT.Observe(float64(sample))
 	if c.srtt == 0 {
 		c.srtt = sample
 		c.rttvar = sample / 2
-		return
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar += (diff - c.rttvar) / 4
+		c.srtt += (sample - c.srtt) / 8
 	}
-	diff := c.srtt - sample
-	if diff < 0 {
-		diff = -diff
+	c.gSRTT.Set(int64(c.srtt))
+	base := c.srtt + 4*c.rttvar
+	if base < c.cfg.RTO {
+		base = c.cfg.RTO
 	}
-	c.rttvar += (diff - c.rttvar) / 4
-	c.srtt += (sample - c.srtt) / 8
+	if max := c.cfg.RTO * 64; base > max {
+		base = max
+	}
+	c.gRTO.Set(int64(base))
 }
 
 // sweepTimeouts retransmits every pending chunk whose RTO elapsed
-// (Algorithm 4 lines 20-23), doubling that slot's timeout.
+// (Algorithm 4 lines 20-23), doubling that slot's timeout. Sweeps are
+// also the mid-tensor publication point for the frontier and pending
+// gauges: frequent enough to be live, rare enough that the
+// O(chunks) frontier scan never shadows packet handling.
 func (c *Client) sweepTimeouts() error {
+	c.gPending.Set(int64(c.worker.PendingCount()))
+	c.gFrontier.Set(int64(c.worker.FrontierOff()))
 	now := time.Now()
 	for idx := range c.lastSend {
 		if !c.worker.Pending(uint32(idx)) {

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"switchml/internal/core"
+)
+
+// AggDebugState is the aggregator's deep introspection document,
+// served at /debug/state and embedded in flight-recorder incidents.
+//
+// Every field is assembled from atomics, per-slot-locked reads and
+// counter snapshots — never from a.mu — so it is safe to build from
+// any goroutine, including inside trace callbacks fired by the
+// recovery state machine while it holds a.mu.
+type AggDebugState struct {
+	Role  string `json:"role"`
+	Epoch uint16 `json:"epoch"`
+	// Down mirrors the chaos kill switch: the program is "dead" while
+	// the socket stays bound.
+	Down   bool `json:"down"`
+	Shards int  `json:"shards"`
+	// ShardDatagrams[i] is shard i's cumulative drain count; their
+	// spread is the shard-balance view.
+	ShardDatagrams []uint64 `json:"shard_datagrams"`
+	Received       uint64   `json:"datagrams_received"`
+	Corrupted      uint64   `json:"datagrams_corrupted"`
+	Sent           uint64   `json:"datagrams_sent"`
+	Switch         core.SwitchStats `json:"switch"`
+	Pool           core.PoolState   `json:"pool"`
+	// Peers are the learned worker addresses ("" while unlearned);
+	// Alive the liveness verdicts (all true without a detector).
+	Peers []string `json:"peers"`
+	Alive []bool   `json:"alive"`
+}
+
+// DebugState assembles the aggregator's introspection document.
+// withSlots additionally dumps every slot's state (count, offset,
+// seen bitmap), the level of detail incident files want.
+func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
+	st := AggDebugState{
+		Role:           "aggregator",
+		Epoch:          a.epochNow(),
+		Down:           a.down.Load(),
+		Shards:         len(a.shardCtrs),
+		ShardDatagrams: make([]uint64, len(a.shardCtrs)),
+		Received:       a.recvd.Value(),
+		Corrupted:      a.corrupt.Value(),
+		Sent:           a.sent.Value(),
+		Switch:         a.sw.Stats(),
+		Pool:           a.sw.PoolState(withSlots),
+		Peers:          make([]string, len(a.peers)),
+		Alive:          make([]bool, len(a.peers)),
+	}
+	for i, c := range a.shardCtrs {
+		st.ShardDatagrams[i] = c.Value()
+	}
+	for i := range a.peers {
+		if ap := a.peers[i].Load(); ap != nil {
+			st.Peers[i] = ap.String()
+		}
+		st.Alive[i] = a.Alive(i)
+	}
+	return st
+}
+
+// ClientDebugState is one worker's introspection document, served at
+// /debug/state. Assembled entirely from atomics and gauges the
+// AllReduce goroutine publishes at safe points, so it is valid from
+// any goroutine while a collective runs.
+type ClientDebugState struct {
+	Role   string `json:"role"`
+	Worker int    `json:"worker"`
+	Epoch  uint16 `json:"epoch"`
+	// Degraded reports the health state: false = SWITCH path,
+	// true = DEGRADED (host all-reduce mesh).
+	Degraded bool `json:"degraded"`
+	// SRTTNs/RTONs are the RTT estimator's view (0 before the first
+	// clean sample when adaptive RTO is off).
+	SRTTNs int64 `json:"srtt_ns"`
+	RTONs  int64 `json:"rto_ns"`
+	// FrontierOff is the stream offset of contiguous progress;
+	// PendingChunks the in-flight count at the last publication point.
+	FrontierOff   int64 `json:"frontier_off"`
+	PendingChunks int64 `json:"pending_chunks"`
+	Received      uint64 `json:"datagrams_received"`
+	Corrupted     uint64 `json:"datagrams_corrupted"`
+	Sent          uint64 `json:"datagrams_sent"`
+	Stats         core.WorkerStats `json:"stats"`
+	Fallback      FallbackStats    `json:"fallback"`
+}
+
+// DebugState assembles the worker's introspection document.
+func (c *Client) DebugState() ClientDebugState {
+	return ClientDebugState{
+		Role:          "worker",
+		Worker:        int(c.cfg.Worker.ID),
+		Epoch:         uint16(c.gEpoch.Value()),
+		Degraded:      c.Degraded(),
+		SRTTNs:        c.gSRTT.Value(),
+		RTONs:         c.gRTO.Value(),
+		FrontierOff:   c.gFrontier.Value(),
+		PendingChunks: c.gPending.Value(),
+		Received:      c.recvd.Value(),
+		Corrupted:     c.corrupt.Value(),
+		Sent:          c.sent.Value(),
+		Stats:         c.worker.Stats(),
+		Fallback:      c.FallbackStats(),
+	}
+}

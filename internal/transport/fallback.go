@@ -227,6 +227,7 @@ func (c *Client) enterFallback(u []int32, deadline time.Time) ([]int32, error) {
 	fb.streak = 0
 	fb.probeAwait = false
 	fb.degrades.Add(1)
+	c.gDegraded.Set(1)
 	c.trace(telemetry.EvDegrade, -1)
 	for i := range c.backoff {
 		c.backoff[i] = 0
@@ -301,9 +302,11 @@ func (c *Client) failback(u []int32, deadline time.Time) ([]int32, error) {
 	fb.streak = 0
 	fb.probeAwait = false
 	fb.failbacks.Add(1)
+	c.gDegraded.Set(0)
 	newEpoch := c.epoch + 1
 	pkts := c.worker.Resume(newEpoch, 0)
 	c.epoch = newEpoch
+	c.gEpoch.Set(int64(newEpoch))
 	c.trace(telemetry.EvFailback, -1)
 	// The progress clock last ticked before the outage; restart it or
 	// the silence detector would re-degrade before the first result.

@@ -1,0 +1,38 @@
+package switchml
+
+import "switchml/internal/telemetry"
+
+// SeriesPoint is one sample of a recorded time series.
+type SeriesPoint struct {
+	// TS is the sample timestamp in nanoseconds: virtual time for
+	// simulated runs, UnixNano for live daemons.
+	TS int64 `json:"ts"`
+	// V is the sampled value.
+	V float64 `json:"v"`
+}
+
+// Series is one recorded time series.
+type Series struct {
+	// Kind classifies the series: "rate" (counter delta per second),
+	// "gauge" (raw value), "quantile" (histogram interval quantile) or
+	// "probe" (a sampled callback such as pool occupancy).
+	Kind string `json:"kind"`
+	// Points are the retained samples, oldest first.
+	Points []SeriesPoint `json:"points"`
+}
+
+// seriesFrom converts the internal sampler dump into the public form.
+func seriesFrom(m map[string]telemetry.SeriesData) map[string]Series {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]Series, len(m))
+	for k, sd := range m {
+		pts := make([]SeriesPoint, len(sd.Points))
+		for i, p := range sd.Points {
+			pts[i] = SeriesPoint{TS: p.TS, V: p.V}
+		}
+		out[k] = Series{Kind: sd.Kind, Points: pts}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package switchml
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"switchml/internal/telemetry"
+)
+
+// TestSimSeries checks that SampleEvery turns a simulated run into
+// time series: points exist, timestamps strictly increase, and the
+// catalog includes counter rates and the pool-occupancy probe.
+func TestSimSeries(t *testing.T) {
+	tensor := make([]int32, 1<<14)
+	for i := range tensor {
+		tensor[i] = int32(i % 97)
+	}
+	res, err := SimulateRack(SimParams{
+		Workers:     4,
+		PoolSize:    16,
+		SampleEvery: 20 * time.Microsecond,
+		Seed:        3,
+	}, tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series sampled")
+	}
+	for name, s := range res.Series {
+		if len(s.Points) == 0 {
+			t.Errorf("series %s empty", name)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].TS <= s.Points[i-1].TS {
+				t.Fatalf("series %s not strictly increasing at %d", name, i)
+			}
+		}
+	}
+	if _, ok := res.Series["rack_pool_occupancy"]; !ok {
+		t.Error("missing rack_pool_occupancy probe series")
+	}
+	found := false
+	for name, s := range res.Series {
+		if s.Kind == "rate" && len(name) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no rate series in dump")
+	}
+}
+
+// TestFlightIncident scripts a switch kill and checks the incident
+// file the flight recorder leaves behind: schema-tagged, carrying the
+// degrade transition event, the pre/post metric sections, and the
+// switch's per-slot state — the artifact an operator would attach to
+// a ticket.
+func TestFlightIncident(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incident.json")
+	tensor := make([]int32, 1<<15)
+	for i := range tensor {
+		tensor[i] = int32(i % 131)
+	}
+	_, err := SimulateRack(SimParams{
+		Workers:  4,
+		PoolSize: 8,
+		RTO:      200 * time.Microsecond,
+		Health: &HealthParams{
+			SuspectAfter: 1600 * time.Microsecond,
+			ProbeEvery:   400 * time.Microsecond,
+		},
+		Faults: &FaultScenario{Actions: []FaultAction{
+			{Kind: FaultKillSwitch, Step: 1, At: 30 * time.Microsecond},
+		}},
+		FlightFile: path,
+		Seed:       11,
+	}, tensor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no incident file: %v", err)
+	}
+	var inc telemetry.Incident
+	if err := json.Unmarshal(data, &inc); err != nil {
+		t.Fatalf("incident does not parse: %v", err)
+	}
+	if inc.Schema != telemetry.IncidentSchema {
+		t.Errorf("schema = %q, want %q", inc.Schema, telemetry.IncidentSchema)
+	}
+	if inc.Reason != "Degrade" {
+		t.Errorf("reason = %q, want Degrade", inc.Reason)
+	}
+	sawDegrade := false
+	for _, e := range inc.Events {
+		if e.Type == telemetry.EvDegrade.String() {
+			sawDegrade = true
+		}
+	}
+	if !sawDegrade {
+		t.Error("incident events missing the degrade transition")
+	}
+	if inc.Trigger == nil || inc.Trigger.Type != telemetry.EvDegrade.String() {
+		t.Errorf("trigger = %+v, want the degrade event", inc.Trigger)
+	}
+	if inc.Metrics == nil || inc.Delta == nil || inc.Pre == nil {
+		t.Fatal("incident missing metric sections")
+	}
+	if inc.Delta.Counters["switch_updates_total{job=\"0\"}"] == 0 {
+		t.Error("delta shows no switch updates before the kill")
+	}
+	// The embedded deep state is the switch's pool document with
+	// per-slot detail.
+	stateJSON, err := json.Marshal(inc.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool struct {
+		Workers int `json:"workers"`
+		Slots   []struct {
+			Ver int `json:"ver"`
+			Idx int `json:"idx"`
+		} `json:"slots"`
+	}
+	if err := json.Unmarshal(stateJSON, &pool); err != nil {
+		t.Fatalf("incident state is not a pool document: %v", err)
+	}
+	if pool.Workers != 4 {
+		t.Errorf("state workers = %d, want 4", pool.Workers)
+	}
+	if len(pool.Slots) == 0 {
+		t.Error("state carries no per-slot detail")
+	}
+}

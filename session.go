@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Collective is any endpoint that can all-reduce tensors: an
@@ -44,6 +46,38 @@ type Session struct {
 	queue  chan *Future
 	closed bool
 	wg     sync.WaitGroup
+
+	submitted, completed, failed atomic.Uint64
+	lastNs                       atomic.Int64
+}
+
+// SessionStats is a point-in-time snapshot of a session's streaming
+// activity, safe to read from any goroutine (monitoring dashboards
+// poll it while training runs).
+type SessionStats struct {
+	// Submitted counts tensors accepted by Submit*.
+	Submitted uint64
+	// Completed counts tensors aggregated successfully; Failed those
+	// whose aggregation returned an error.
+	Completed uint64
+	Failed    uint64
+	// Queued is the number of tensors waiting behind the one in
+	// flight right now.
+	Queued int
+	// LastTensorNs is the wall-clock duration of the most recently
+	// finished aggregation, in nanoseconds (0 before the first).
+	LastTensorNs int64
+}
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Submitted:    s.submitted.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Queued:       len(s.queue),
+		LastTensorNs: s.lastNs.Load(),
+	}
 }
 
 // ErrSessionClosed is returned for submissions to a closed session.
@@ -92,10 +126,17 @@ func NewSession(c Collective, buffer int) (*Session, error) {
 		for f := range s.queue {
 			// Tensors are aggregated independently but sequentially
 			// (§4); the switch state flows across them as one stream.
+			start := time.Now()
 			if f.inInt != nil {
 				f.fi, f.err = c.AllReduceInt32(f.inInt)
 			} else {
 				f.ff, f.err = c.AllReduceFloat32(f.inFloat)
+			}
+			s.lastNs.Store(time.Since(start).Nanoseconds())
+			if f.err != nil {
+				s.failed.Add(1)
+			} else {
+				s.completed.Add(1)
 			}
 			close(f.done)
 		}
@@ -123,6 +164,7 @@ func (s *Session) submit(f *Future) error {
 		return ErrSessionClosed
 	}
 	s.queue <- f
+	s.submitted.Add(1)
 	return nil
 }
 

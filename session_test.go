@@ -70,6 +70,59 @@ func TestSessionPipelinesTensors(t *testing.T) {
 	}
 }
 
+func TestSessionStats(t *testing.T) {
+	const n = 2
+	c, err := NewCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	stats := make([]SessionStats, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := NewSession(c.Worker(i), 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var futures []*Future
+			for ti := 0; ti < 3; ti++ {
+				f, err := s.SubmitInt32([]int32{1, 2, 3})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				futures = append(futures, f)
+			}
+			for _, f := range futures {
+				if _, err := f.WaitInt32(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			s.Close()
+			stats[i] = s.Stats()
+		}()
+	}
+	wg.Wait()
+	for i, st := range stats {
+		if st.Submitted != 3 || st.Completed != 3 {
+			t.Errorf("worker %d: submitted/completed = %d/%d, want 3/3", i, st.Submitted, st.Completed)
+		}
+		if st.Failed != 0 || st.Queued != 0 {
+			t.Errorf("worker %d: failed=%d queued=%d, want 0/0", i, st.Failed, st.Queued)
+		}
+		if st.LastTensorNs <= 0 {
+			t.Errorf("worker %d: LastTensorNs = %d, want > 0", i, st.LastTensorNs)
+		}
+	}
+}
+
 type errValue struct {
 	tensor, elem int
 	got, want    float64

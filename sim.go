@@ -65,6 +65,19 @@ type SimParams struct {
 	// reads, tensor spans) to a Chrome trace-event file that
 	// chrome://tracing or https://ui.perfetto.dev can open.
 	TraceFile string
+	// SampleEvery, when positive, samples the run's metrics into time
+	// series at this virtual-time period — counter rates, gauges
+	// (including the health-mode gauge) and histogram interval
+	// quantiles — reported in SimResult.Series.
+	SampleEvery time.Duration
+	// FlightFile, when non-empty, arms a fault flight recorder: every
+	// protocol event is retained in a ring, and each fault transition
+	// (degrade, failback, reconfigure, crash detection) dumps a
+	// self-contained JSON incident — the recent events, metric snapshot
+	// and delta since the previous dump, and the switch's per-slot
+	// state — to this path. The file is overwritten on each trigger, so
+	// after the run it holds the last incident of the run.
+	FlightFile string
 }
 
 // SimResult reports one simulated tensor aggregation.
@@ -89,6 +102,10 @@ type SimResult struct {
 	// degradation controller (health_degrades, health_failbacks,
 	// health_probes, health_probe_acks, host_aggregated_elems).
 	Counters map[string]uint64
+	// Series holds the sampled time series when SimParams.SampleEvery
+	// is set, keyed by series name ("<counter>:rate", "<gauge>",
+	// "<histogram>:p99", or a probe such as rack_pool_occupancy).
+	Series map[string]Series
 }
 
 // SimulateRack aggregates one tensor (identical on every worker) on a
@@ -112,6 +129,7 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		Health:         params.Health.rack(),
 		StartDegraded:  params.StartDegraded,
 		NoFallback:     params.NoFallback,
+		SampleEvery:    fromDuration(params.SampleEvery),
 	}
 	if params.BurstLoss != nil {
 		ge := params.BurstLoss.internal()
@@ -122,9 +140,28 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		ring = telemetry.NewRing(1 << 20)
 		cfg.Tracer = ring
 	}
+	var rec *telemetry.FlightRecorder
+	if params.FlightFile != "" {
+		if cfg.Metrics == nil {
+			cfg.Metrics = telemetry.NewRegistry()
+		}
+		rec = telemetry.NewFlightRecorder(telemetry.FlightConfig{
+			Path:     params.FlightFile,
+			Registry: cfg.Metrics,
+		})
+		if ring != nil {
+			cfg.Tracer = telemetry.Fanout(ring, rec)
+		} else {
+			cfg.Tracer = rec
+		}
+	}
 	r, err := rack.NewRack(cfg)
 	if err != nil {
 		return SimResult{}, err
+	}
+	if rec != nil {
+		// Incidents embed the switch's per-slot state at dump time.
+		rec.SetState(func() any { return r.PoolState(true) })
 	}
 	res, err := r.AllReduceShared(tensor)
 	if err != nil {
@@ -162,6 +199,7 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		Failed:          append([]int(nil), res.Failed...),
 		Aggregate:       agg,
 		Counters:        r.Counters(),
+		Series:          seriesFrom(r.Series()),
 	}, nil
 }
 

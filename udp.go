@@ -20,6 +20,7 @@ import (
 // Aggregator is a UDP software aggregator hosting one job's pool.
 type Aggregator struct {
 	inner      *transport.Aggregator
+	rec        *telemetry.FlightRecorder
 	debugClose func() error
 }
 
@@ -41,6 +42,42 @@ type AggregatorParams struct {
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing result datagrams (chaos testing).
 	Inject *FaultInjection
+	// Flight, when non-nil, arms a fault flight recorder: the last N
+	// protocol events are retained, and every fault transition
+	// (failure detection, reconfigure) dumps a self-contained JSON
+	// incident file — recent events, metric snapshot and delta, and
+	// the pool's per-slot state — into Flight.Dir.
+	Flight *FlightParams
+}
+
+// FlightParams configures a fault flight recorder on a daemon (see
+// AggregatorParams.Flight and PeerParams.Flight).
+type FlightParams struct {
+	// Dir receives one uniquely named incident file per dump.
+	Dir string
+	// Capacity is the event ring size (default 4096).
+	Capacity int
+	// Debounce suppresses dumps closer than this to the previous one
+	// (default 1 s; fault cascades then yield one incident, not one
+	// per transition).
+	Debounce time.Duration
+}
+
+// config builds the recorder configuration; prefix names the emitting
+// process in Dir-mode filenames so an aggregator and its workers can
+// share one incident directory without overwriting each other.
+func (f *FlightParams) config(reg *telemetry.Registry, prefix string) telemetry.FlightConfig {
+	debounce := f.Debounce
+	if debounce == 0 {
+		debounce = time.Second
+	}
+	return telemetry.FlightConfig{
+		Dir:        f.Dir,
+		FilePrefix: prefix,
+		Capacity:   f.Capacity,
+		Debounce:   debounce,
+		Registry:   reg,
+	}
 }
 
 func (p *AggregatorParams) fill() {
@@ -56,7 +93,7 @@ func (p *AggregatorParams) fill() {
 // serves aggregation until Close.
 func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error) {
 	params.fill()
-	inner, err := transport.NewAggregator(transport.AggregatorConfig{
+	cfg := transport.AggregatorConfig{
 		Addr: addr,
 		Switch: core.SwitchConfig{
 			Workers:      params.Workers,
@@ -67,27 +104,57 @@ func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error)
 		},
 		Liveness: params.Liveness.transport(),
 		Inject:   params.Inject.internal(),
-	})
+	}
+	var rec *telemetry.FlightRecorder
+	if params.Flight != nil {
+		cfg.Metrics = telemetry.NewRegistry()
+		rec = telemetry.NewFlightRecorder(params.Flight.config(cfg.Metrics, "agg-incident-"))
+		cfg.Tracer = rec
+	}
+	inner, err := transport.NewAggregator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Aggregator{inner: inner}, nil
+	if rec != nil {
+		inner := inner
+		rec.SetState(func() any { return inner.DebugState(true) })
+	}
+	return &Aggregator{inner: inner, rec: rec}, nil
 }
 
 // Addr returns the bound address, "host:port".
 func (a *Aggregator) Addr() string { return a.inner.Addr().String() }
 
 // ServeDebug starts an HTTP introspection listener on addr (e.g.
-// "localhost:6060" or ":0") serving /metrics (plain-text counter
-// dump), /debug/vars (expvar) and /debug/pprof/. It returns the bound
-// address; the listener stops when the aggregator is closed. Call at
-// most once.
+// "localhost:6060" or ":0") serving /metrics (Prometheus text),
+// /debug/vars (expvar), /debug/pprof/, /debug/state (the aggregator's
+// deep introspection document: per-shard loads, per-slot pool state,
+// worker liveness), /debug/series (sampled time series; a one-second
+// sampler starts with the listener) and — when AggregatorParams.Flight
+// is set — /debug/flightrecorder. It returns the bound address; the
+// listener stops when the aggregator is closed. Call at most once.
 func (a *Aggregator) ServeDebug(addr string) (string, error) {
-	bound, closeFn, err := telemetry.ServeDebug(addr, a.inner.Registry())
+	reg := a.inner.Registry()
+	smp := telemetry.NewSampler(reg, telemetry.SamplerConfig{})
+	inner := a.inner
+	smp.AddProbe("agg_pool_occupancy", func() float64 {
+		return inner.DebugState(false).Pool.Occupancy
+	})
+	stop := smp.Start(time.Second)
+	bound, closeFn, err := telemetry.ServeDebugOpts(addr, telemetry.DebugOptions{
+		Registry: reg,
+		Sampler:  smp,
+		Recorder: a.rec,
+		State:    func() any { return inner.DebugState(false) },
+	})
 	if err != nil {
+		stop()
 		return "", err
 	}
-	a.debugClose = closeFn
+	a.debugClose = func() error {
+		stop()
+		return closeFn()
+	}
 	return bound, nil
 }
 
@@ -157,6 +224,7 @@ type Peer struct {
 	inner      *transport.Client
 	scale      *quant.FixedPoint
 	n          int
+	rec        *telemetry.FlightRecorder
 	debugClose func() error
 }
 
@@ -200,6 +268,10 @@ type PeerParams struct {
 	// Probation consecutive answered probes. All workers of a job must
 	// either arm it or not.
 	Fallback *FallbackParams
+	// Flight, when non-nil, arms a fault flight recorder on this
+	// worker: fault transitions (degrade, failback, resume) dump
+	// incident files into Flight.Dir.
+	Flight *FlightParams
 }
 
 // FallbackParams configures the worker-side host-all-reduce fallback
@@ -280,7 +352,7 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 			return nil, err
 		}
 	}
-	inner, err := transport.NewClient(transport.ClientConfig{
+	cfg := transport.ClientConfig{
 		Aggregator: addr,
 		Worker: core.WorkerConfig{
 			ID:           uint16(params.ID),
@@ -296,23 +368,51 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 		Inject:      params.Inject.internal(),
 		AdaptiveRTO: params.AdaptiveRTO,
 		Fallback:    params.Fallback.transport(),
-	})
+	}
+	var rec *telemetry.FlightRecorder
+	if params.Flight != nil {
+		cfg.Metrics = telemetry.NewRegistry()
+		rec = telemetry.NewFlightRecorder(params.Flight.config(cfg.Metrics,
+			fmt.Sprintf("worker%d-incident-", params.ID)))
+		cfg.Tracer = rec
+	}
+	inner, err := transport.NewClient(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Peer{inner: inner, scale: scale, n: params.Workers}, nil
+	if rec != nil {
+		inner := inner
+		rec.SetState(func() any { return inner.DebugState() })
+	}
+	return &Peer{inner: inner, scale: scale, n: params.Workers, rec: rec}, nil
 }
 
 // ServeDebug starts an HTTP introspection listener on addr serving
-// /metrics, /debug/vars and /debug/pprof/ with this worker's protocol
-// and datagram counters. It returns the bound address; the listener
-// stops when the peer is closed. Call at most once.
+// /metrics (Prometheus text), /debug/vars, /debug/pprof/,
+// /debug/state (this worker's introspection document: health state,
+// RTT estimator, progress frontier, fallback counters),
+// /debug/series (sampled time series) and — when PeerParams.Flight is
+// set — /debug/flightrecorder. It returns the bound address; the
+// listener stops when the peer is closed. Call at most once.
 func (p *Peer) ServeDebug(addr string) (string, error) {
-	bound, closeFn, err := telemetry.ServeDebug(addr, p.inner.Registry())
+	reg := p.inner.Registry()
+	smp := telemetry.NewSampler(reg, telemetry.SamplerConfig{})
+	stop := smp.Start(time.Second)
+	inner := p.inner
+	bound, closeFn, err := telemetry.ServeDebugOpts(addr, telemetry.DebugOptions{
+		Registry: reg,
+		Sampler:  smp,
+		Recorder: p.rec,
+		State:    func() any { return inner.DebugState() },
+	})
 	if err != nil {
+		stop()
 		return "", err
 	}
-	p.debugClose = closeFn
+	p.debugClose = func() error {
+		stop()
+		return closeFn()
+	}
 	return bound, nil
 }
 
