@@ -13,9 +13,9 @@ GO ?= go
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack \
 	./internal/core ./internal/netsim .
 
-.PHONY: check vet lint build test race chaos fuzz bench bench-smoke top-smoke flight-check examples clean
+.PHONY: check vet lint build test race chaos fuzz bench bench-smoke top-smoke flight-check elastic-smoke examples clean
 
-check: vet lint build test race chaos bench-smoke top-smoke flight-check
+check: vet lint build test race chaos bench-smoke top-smoke flight-check elastic-smoke
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,15 @@ top-smoke:
 # state) — the acceptance check for the fault flight recorder.
 flight-check:
 	$(GO) test -run 'TestFlightIncident|TestFlightRecorder' . ./internal/telemetry
+
+# Elastic-membership gate: scripted join/leave and quorum runs on the
+# simulator CLI (each self-verifies its final aggregate), then a live
+# UDP cluster where a worker joins a running job over the membership
+# fence and drains gracefully mid-training.
+elastic-smoke:
+	$(GO) run ./cmd/switchml-sim -workers 4 -mb 0.01 -steps 6 -detached 3 -join-at 3@2 -leave-at 1@4 > /dev/null
+	$(GO) run ./cmd/switchml-sim -workers 4 -mb 0.01 -steps 4 -quorum 3 -straggler-gbps 1 -late-policy reconcile > /dev/null
+	./scripts/elastic_smoke.sh
 
 # Build every example program.
 examples:

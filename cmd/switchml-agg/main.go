@@ -5,6 +5,7 @@
 //
 //	switchml-agg -listen :5555 -workers 4 [-pool 64] [-elems 32]
 //	    [-jobs 1] [-job-base 0] [-metrics :9100] [-debug :6060]
+//	    [-liveness 500ms] [-absent 3] [-quorum 3] [-late-policy drop]
 //
 // With -jobs 1 it serves a single pool (switchml.ListenAggregator);
 // with -jobs N it serves N pools with job ids job-base..job-base+N-1,
@@ -12,6 +13,12 @@
 // (switchml.DialSharded) both use. Workers connect with matching
 // parameters; the aggregator learns their addresses from their first
 // packets, so no registration is needed.
+//
+// Elastic membership (single-pool mode, needs -liveness): -absent
+// lists worker ids that start outside the job and may join later
+// (switchml-worker -join); -quorum N completes each slot once N of
+// the current members contributed, with late straggler updates
+// handled per -late-policy (drop or reconcile).
 //
 // -metrics exposes the switch counters as JSON over HTTP at /stats.
 // -debug starts the introspection listener: /metrics (plain-text
@@ -27,6 +34,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"switchml"
 )
@@ -44,12 +53,39 @@ func main() {
 		"failure-detector silence threshold (0 = off); workers silent this long are evicted and the job resumes among survivors")
 	flightDir := flag.String("flight-dir", "",
 		"arm a fault flight recorder: fault transitions dump JSON incident files (recent events, metric delta, per-slot state) into this directory")
+	absent := flag.String("absent", "",
+		"comma-separated worker ids that start outside the membership and may join later (requires -liveness; single-pool mode)")
+	quorum := flag.Int("quorum", 0,
+		"complete each slot once this many members contributed (0 = full participation); stragglers handled per -late-policy")
+	latePolicy := flag.String("late-policy", "drop",
+		"fate of straggler updates arriving after quorum completion: drop or reconcile")
 	flag.Parse()
 
 	params := switchml.AggregatorParams{
 		Workers:   *workers,
 		PoolSize:  *pool,
 		SlotElems: *elems,
+		Quorum:    *quorum,
+	}
+	switch *latePolicy {
+	case "drop":
+		params.LatePolicy = switchml.LateDrop
+	case "reconcile":
+		params.LatePolicy = switchml.LateReconcile
+	default:
+		log.Fatalf("switchml-agg: -late-policy must be drop or reconcile, got %q", *latePolicy)
+	}
+	if *absent != "" {
+		for _, part := range strings.Split(*absent, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("switchml-agg: -absent: bad worker id %q", part)
+			}
+			params.Absent = append(params.Absent, w)
+		}
+		if *liveness <= 0 {
+			log.Fatal("switchml-agg: -absent requires -liveness (elastic membership rides on the failure detector)")
+		}
 	}
 	if *liveness > 0 {
 		params.Liveness = &switchml.LivenessParams{SilenceAfter: *liveness}
@@ -78,6 +114,11 @@ func main() {
 	} else {
 		if params.Liveness != nil {
 			log.Printf("switchml-agg: -liveness applies only to single-pool mode; ignored with -jobs > 1")
+		}
+		if len(params.Absent) > 0 || params.Quorum > 0 {
+			log.Printf("switchml-agg: -absent and -quorum apply only to single-pool mode; ignored with -jobs > 1")
+			params.Absent = nil
+			params.Quorum = 0
 		}
 		m, err := switchml.ListenMultiAggregator(*listen, 0)
 		if err != nil {

@@ -9,7 +9,16 @@
 //	    [-trace out.json] [-burst pGB,pBG,lossG,lossB] [-crash 2@100us]
 //	    [-switch-restart 500us] [-switch-kill 100us] [-switch-revive 5ms]
 //	    [-probe 200us] [-degraded-mode] [-no-fallback]
+//	    [-steps 1] [-quorum 0] [-late-policy drop] [-detached 3,4]
+//	    [-join-at 3@2] [-leave-at 1@4]
 //	    [-sample 100us] [-series series.json] [-flight incident.json]
+//
+// Elastic membership is scripted with -steps > 1: -detached starts
+// workers outside the job, -join-at "w@step" admits one during that
+// step (committed at the next step boundary), and -leave-at "w@step"
+// drains one out the same way. -quorum lets slots complete short of
+// the membership, mitigating stragglers (-straggler-gbps) at the cost
+// of late gradients, handled per -late-policy.
 //
 // It prints the tensor aggregation time, the achieved ATE/s against
 // the analytic line rate, and the retransmission count. -trace
@@ -24,9 +33,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"switchml/internal/allreduce"
+	"switchml/internal/core"
 	"switchml/internal/faults"
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
@@ -61,6 +73,18 @@ func main() {
 		"probe period while degraded (0 = SuspectAfter/4)")
 	noFallback := flag.Bool("no-fallback", false,
 		"disable degraded mode: a killed switch fails the run with a typed error instead")
+	steps := flag.Int("steps", 1,
+		"aggregation steps (the tensor is re-aggregated each step); membership changes commit at step boundaries")
+	quorum := flag.Int("quorum", 0,
+		"straggler quorum: slots complete once this many workers contributed (0 = full participation)")
+	latePolicy := flag.String("late-policy", "drop",
+		"fate of a straggler's update after its slot completed at quorum: drop | reconcile")
+	detached := flag.String("detached", "",
+		"comma-separated worker ids starting outside the membership (admit them with -join-at)")
+	joinAt := flag.String("join-at", "",
+		"gracefully admit workers as \"worker@step[,worker@step...]\"; requested during that step, committed at the next boundary")
+	leaveAt := flag.String("leave-at", "",
+		"gracefully drain workers as \"worker@step[,worker@step...]\"; the drain finishes the step, departure commits at the next boundary")
 	samplePeriod := flag.Duration("sample", 0,
 		"sample the run's metrics into time series at this virtual-time period (0 = off)")
 	seriesPath := flag.String("series", "",
@@ -100,7 +124,43 @@ func main() {
 		cfg.BurstLoss = &ge
 		cfg.LossRate = 0
 	}
+	cfg.Quorum = *quorum
+	switch *latePolicy {
+	case "drop":
+		cfg.LatePolicy = core.LateDrop
+	case "reconcile":
+		cfg.LatePolicy = core.LateReconcile
+	default:
+		log.Fatalf("-late-policy: want drop or reconcile, got %q", *latePolicy)
+	}
+	if *detached != "" {
+		for _, part := range strings.Split(*detached, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("-detached: bad worker id %q: %v", part, err)
+			}
+			cfg.Detached = append(cfg.Detached, w)
+		}
+	}
 	var scenario faults.Scenario
+	elastic := func(name, spec string, kind faults.ActionKind) {
+		if spec == "" {
+			return
+		}
+		for _, part := range strings.Split(spec, ",") {
+			var w, s int
+			if n, err := fmt.Sscanf(part, "%d@%d", &w, &s); n != 2 || err != nil {
+				log.Fatalf("%s: want \"worker@step\" (e.g. 3@2), got %q", name, part)
+			}
+			if s < 1 || s > *steps {
+				log.Fatalf("%s: step %d outside the %d-step run", name, s, *steps)
+			}
+			scenario.Actions = append(scenario.Actions,
+				faults.Action{Kind: kind, Worker: w, Step: s})
+		}
+	}
+	elastic("-join-at", *joinAt, faults.JoinWorker)
+	elastic("-leave-at", *leaveAt, faults.LeaveWorker)
 	if *crash != "" {
 		var w int
 		var at string
@@ -168,37 +228,73 @@ func main() {
 	for i := range tensor {
 		tensor[i] = 1
 	}
-	res, err := r.AllReduceShared(tensor)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// With faults injected, some workers may be retired mid-run: the
-	// first survivor's aggregate must then show full-membership sums
-	// before the recovery frontier and survivor-only sums after it.
-	failed := make(map[int]bool, len(res.Failed))
-	for _, w := range res.Failed {
-		failed[w] = true
-	}
-	survivor := 0
-	for failed[survivor] {
-		survivor++
-	}
-	full := int32(*workers)
-	surv := full - int32(len(res.Failed))
-	boundary := -1
-	for i, v := range r.Aggregate(survivor) {
-		switch {
-		case boundary < 0 && v == full:
-		case v == surv:
-			if boundary < 0 {
-				boundary = i
-			}
-		default:
-			log.Fatalf("aggregate[%d] = %d, want %d or %d: protocol bug", i, v, full, surv)
+	var res rack.Result
+	for step := 1; step <= *steps; step++ {
+		res, err = r.AllReduceShared(tensor)
+		if err != nil {
+			log.Fatalf("step %d: %v", step, err)
 		}
 	}
-	if len(res.Failed) > 0 {
-		fmt.Printf("failed workers    %v (survivor sums past element %d)\n", res.Failed, boundary)
+	// Pick a reporting worker that is inside the final membership.
+	skip := make(map[int]bool, len(res.Failed)+len(res.Detached))
+	for _, w := range res.Failed {
+		skip[w] = true
+	}
+	for _, w := range res.Detached {
+		skip[w] = true
+	}
+	survivor := 0
+	for skip[survivor] {
+		survivor++
+	}
+	members := int32(0)
+	for i := 0; i < *workers; i++ {
+		if r.Member(i) {
+			members++
+		}
+	}
+	switch {
+	case *quorum > 0 && *quorum < int(members):
+		// Quorum runs exclude straggler gradients per slot; there is no
+		// single exact expectation to enforce here.
+	case *steps == 1 && len(res.Detached) == 0:
+		// With faults injected, some workers may be retired mid-run:
+		// the first survivor's aggregate must then show full-membership
+		// sums before the recovery frontier and survivor-only sums
+		// after it.
+		full := int32(*workers)
+		surv := full - int32(len(res.Failed))
+		boundary := -1
+		for i, v := range r.Aggregate(survivor) {
+			switch {
+			case boundary < 0 && v == full:
+			case v == surv:
+				if boundary < 0 {
+					boundary = i
+				}
+			default:
+				log.Fatalf("aggregate[%d] = %d, want %d or %d: protocol bug", i, v, full, surv)
+			}
+		}
+		if len(res.Failed) > 0 {
+			fmt.Printf("failed workers    %v (survivor sums past element %d)\n", res.Failed, boundary)
+		}
+	case len(res.Failed) == 0:
+		// Elastic runs commit membership at step boundaries, so the
+		// final step's aggregate must be uniform at the member count —
+		// a torn aggregate here means the fence failed.
+		for i, v := range r.Aggregate(survivor) {
+			if v != members {
+				log.Fatalf("aggregate[%d] = %d, want %d (final membership): torn aggregate", i, v, members)
+			}
+		}
+	}
+	if len(res.Failed) > 0 && *steps > 1 {
+		fmt.Printf("failed workers    %v\n", res.Failed)
+	}
+	if len(res.Left) > 0 || len(res.Detached) > 0 {
+		fmt.Printf("membership        %d of %d at the end; left=%v detached=%v\n",
+			members, *workers, res.Left, res.Detached)
 	}
 	ate := float64(n) / (float64(res.TAT) / 1e9)
 	line := allreduce.SwitchMLLineRateATE(*gbps*1e9, *elems)
@@ -208,6 +304,11 @@ func main() {
 	fmt.Printf("ATE/s             %.1fM (%.1f%% of line rate %.1fM)\n",
 		ate/1e6, 100*ate/line, line/1e6)
 	fmt.Printf("retransmissions   %d\n", res.Retransmissions)
+	if *quorum > 0 {
+		st := r.Switch().Stats()
+		fmt.Printf("quorum            %d-of-%d: %d quorum completions, %d late dropped, %d late reconciled, %d gone replies\n",
+			*quorum, members, st.QuorumCompletions, st.LateDropped, st.LateReconciled, st.GoneReplies)
+	}
 	fmt.Printf("simulator events  %d\n", r.Sim().Processed())
 	if c := r.Counters(); c["health_degrades"] > 0 || c["host_aggregated_elems"] > 0 {
 		fmt.Printf("fabric handoffs   %d degrade(s), %d failback(s), %d/%d probes answered\n",

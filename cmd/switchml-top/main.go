@@ -189,6 +189,9 @@ func runSelftest(asJSON bool) error {
 	if v.Agg.Shards <= 0 {
 		return fmt.Errorf("shard count missing: %+v", v.Agg)
 	}
+	if v.Agg.Members != n || v.Agg.DrainingCount != 0 || v.Agg.DepartedCount != 0 {
+		return fmt.Errorf("membership roll call wrong: %+v", v.Agg)
+	}
 	if len(v.Workers) != n {
 		return fmt.Errorf("got %d worker rows, want %d", len(v.Workers), n)
 	}

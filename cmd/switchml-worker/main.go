@@ -7,7 +7,7 @@
 //	switchml-worker -agg host:5555 -id 0 -workers 4 [-pool 64]
 //	    [-elems-per-tensor 1000000] [-iters 10] [-job 0] [-debug :6061]
 //	    [-adaptive-rto] [-mesh-listen :7001] [-mesh h0:7001,h1:7001,...]
-//	    [-degraded-mode]
+//	    [-degraded-mode] [-join] [-drain-after 5]
 //
 // Every participating worker must use a distinct -id in [0,workers).
 // -debug starts an HTTP introspection listener serving /metrics,
@@ -17,13 +17,26 @@
 // peer addresses (rank order; give every worker the same list, with
 // each binding its own entry via -mesh-listen) and fail back once the
 // aggregator answers probes again.
+//
+// Elastic membership: -join enters a running job through the
+// aggregator's membership fence (the aggregator must list this id in
+// -absent, and the rest of the job must be actively training);
+// -drain-after N gracefully leaves after N iterations. A SIGTERM (or
+// SIGINT) also drains: the in-flight tensor finishes, the departure
+// is announced, and the survivors keep training — the failure
+// detector never fires.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"switchml"
@@ -51,7 +64,20 @@ func main() {
 	debug := flag.String("debug", "", "optional HTTP address exposing /metrics, expvar and pprof")
 	flightDir := flag.String("flight-dir", "",
 		"arm a fault flight recorder: degrade/failback transitions dump JSON incident files into this directory")
+	join := flag.Bool("join", false,
+		"join a running job through the membership fence (the aggregator must list this id in -absent)")
+	drainAfter := flag.Int("drain-after", 0,
+		"gracefully leave the job after this many iterations (0 = run all -iters); SIGTERM/SIGINT also drain")
+	verify := flag.Bool("verify", true,
+		"check the first aggregated element against the full-membership sum (disable in elastic jobs, where membership churn changes the expected sums)")
 	flag.Parse()
+
+	elastic := *join || *drainAfter > 0
+	if elastic && *verify {
+		// Membership churn makes the static expected sum wrong for
+		// every member, so elastic modes imply -verify=false.
+		*verify = false
+	}
 
 	params := switchml.PeerParams{
 		ID:          *id,
@@ -94,10 +120,44 @@ func main() {
 	for i := range tensor {
 		tensor[i] = int32(*id + i)
 	}
+	// Incumbents answer joiners' state-fetch requests over the mesh
+	// with their current model (here: the synthetic tensor).
+	peer.SetStateProvider(func() []int32 { return tensor })
+
+	if *join {
+		fmt.Printf("switchml-worker %d: joining the running job...\n", *id)
+		state, err := peer.JoinCluster()
+		if err != nil {
+			log.Fatalf("join: %v", err)
+		}
+		if state != nil {
+			fmt.Printf("switchml-worker %d: admitted at frontier %d with %d model elements from a peer\n",
+				*id, peer.Frontier(), len(state))
+		} else {
+			fmt.Printf("switchml-worker %d: admitted at frontier %d (no peer state available)\n",
+				*id, peer.Frontier())
+		}
+	}
+
+	// A SIGTERM or SIGINT requests a graceful drain: the in-flight
+	// iteration finishes, then the worker announces its departure and
+	// exits without ever tripping the aggregator's failure detector.
+	var drainRequested atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigc
+		fmt.Printf("switchml-worker %d: drain requested, finishing in-flight work\n", *id)
+		drainRequested.Store(true)
+		<-sigc // a second signal exits immediately
+		os.Exit(1)
+	}()
+
 	fmt.Printf("switchml-worker %d/%d: aggregating %d x %d elements via %s\n",
 		*id, *workers, *iters, *elems, *aggAddr)
 
 	var total time.Duration
+	completed := 0
 	for it := 0; it < *iters; it++ {
 		start := time.Now()
 		out, err := peer.AllReduceInt32(tensor)
@@ -106,16 +166,32 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		total += elapsed
-		// Verify the first element: sum over w of (w + i) at i=0.
-		want := int32(*workers * (*workers - 1) / 2)
-		if out[0] != want {
-			log.Fatalf("iteration %d: aggregate[0] = %d, want %d", it, out[0], want)
+		completed++
+		if *verify {
+			// Verify the first element: sum over w of (w + i) at i=0.
+			want := int32(*workers * (*workers - 1) / 2)
+			if out[0] != want {
+				log.Fatalf("iteration %d: aggregate[0] = %d, want %d", it, out[0], want)
+			}
 		}
 		fmt.Printf("  iter %2d: %8s  %6.1fM elems/s\n",
 			it, elapsed.Round(time.Millisecond), float64(*elems)/elapsed.Seconds()/1e6)
+		if drainRequested.Load() || (*drainAfter > 0 && completed >= *drainAfter) {
+			if err := peer.Drain(); err != nil {
+				if errors.Is(err, switchml.ErrDrained) {
+					break
+				}
+				log.Fatalf("drain: %v", err)
+			}
+			fmt.Printf("switchml-worker %d: drained after %d iteration(s); survivors keep training\n",
+				*id, completed)
+			break
+		}
 	}
-	fmt.Printf("done: mean %6.1fM elems/s\n",
-		float64(*elems)*float64(*iters)/total.Seconds()/1e6)
+	if completed > 0 {
+		fmt.Printf("done: mean %6.1fM elems/s over %d iteration(s)\n",
+			float64(*elems)*float64(completed)/total.Seconds()/1e6, completed)
+	}
 	if st := peer.FallbackStats(); st.Degrades > 0 {
 		fmt.Printf("fabric handoffs: %d degrade(s), %d failback(s), %d tensors (%d elems) on the host mesh\n",
 			st.Degrades, st.Failbacks, st.HostRounds, st.HostElems)

@@ -49,6 +49,17 @@ const (
 	// degraded job probes it and, after SimParams.Health.Probation
 	// consecutive answers, fails back to the switch path.
 	FaultReviveSwitch
+	// FaultJoinWorker gracefully admits a worker into the running job.
+	// The target must be outside the current membership — listed in
+	// SimParams.Detached, or previously departed — and is fenced in at
+	// the next step boundary under a bumped generation, resuming at
+	// the global stream frontier.
+	FaultJoinWorker
+	// FaultLeaveWorker gracefully retires a worker: it finishes its
+	// in-flight step (the drain), then departs at the step boundary
+	// without ever tripping the failure detector — the voluntary,
+	// telemetry-distinct counterpart of FaultCrashWorker.
+	FaultLeaveWorker
 )
 
 // FaultAction is one scripted fault event.

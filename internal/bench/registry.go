@@ -24,6 +24,7 @@ var Experiments = map[string]Runner{
 	"ablation-algorithm": RunAblationAlgorithm,
 	"ablation-rto":       RunAblationRTO,
 	"ablation-pool":      RunAblationPoolTuning,
+	"elastic":            RunElastic,
 	"fallback":           RunFallback,
 	"multitenant":        RunMultiTenant,
 	"straggler":          RunStraggler,

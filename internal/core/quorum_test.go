@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"switchml/internal/packet"
+)
+
+func newQuorumSwitch(t *testing.T, n, s, k, q int, policy LatePolicy) *Switch {
+	t.Helper()
+	sw, err := NewSwitch(SwitchConfig{
+		Workers: n, PoolSize: s, SlotElems: k,
+		LossRecovery: true, Quorum: q, LatePolicy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestQuorumConfigValidation(t *testing.T) {
+	if _, err := NewSwitch(SwitchConfig{Workers: 3, PoolSize: 2, SlotElems: 2, Quorum: 2}); err == nil {
+		t.Error("quorum without loss recovery was accepted")
+	}
+	if _, err := NewSwitch(SwitchConfig{Workers: 3, PoolSize: 2, SlotElems: 2, LossRecovery: true, Quorum: 4}); err == nil {
+		t.Error("quorum above the membership was accepted")
+	}
+	if _, err := NewSwitch(SwitchConfig{Workers: 3, PoolSize: 2, SlotElems: 2, LossRecovery: true, Quorum: -1}); err == nil {
+		t.Error("negative quorum was accepted")
+	}
+	// Quorum == Workers is full participation, which needs no loss
+	// recovery waiver: it is not straggler mitigation at all.
+	sw := newQuorumSwitch(t, 3, 2, 2, 3, LateDrop)
+	if sw.quorumActive() {
+		t.Error("quorum == membership reports active straggler mitigation")
+	}
+}
+
+// TestQuorumCompletesAtThreshold is the basic N-of-M behavior: the
+// slot completes and multicasts once the quorum has contributed; the
+// straggler's late update is dropped-and-counted (LateDrop) and
+// served the retained result so it keeps pace.
+func TestQuorumCompletesAtThreshold(t *testing.T) {
+	sw := newQuorumSwitch(t, 3, 2, 2, 2, LateDrop)
+	if r := sw.Handle(upd(0, 0, 0, 0, 1, 2)); r.Pkt != nil {
+		t.Fatal("response before quorum")
+	}
+	r := sw.Handle(upd(1, 0, 0, 0, 10, 20))
+	if r.Pkt == nil || !r.Multicast {
+		t.Fatal("no multicast at quorum")
+	}
+	if r.Pkt.Vector[0] != 11 || r.Pkt.Vector[1] != 22 {
+		t.Fatalf("quorum aggregate = %v, want [11 22]", r.Pkt.Vector)
+	}
+	st := sw.Stats()
+	if st.Completions != 1 || st.QuorumCompletions != 1 {
+		t.Errorf("completions = %d quorum = %d, want 1/1", st.Completions, st.QuorumCompletions)
+	}
+	// The straggler arrives after completion: late update handled per
+	// policy, retained result unicast back.
+	r = sw.Handle(upd(2, 0, 0, 0, 100, 200))
+	if r.Pkt == nil || r.Multicast || r.Pkt.Kind != packet.KindResultUnicast {
+		t.Fatalf("straggler reply = %+v, want unicast retained result", r.Pkt)
+	}
+	if r.Pkt.Vector[0] != 11 || r.Pkt.Vector[1] != 22 {
+		t.Fatalf("straggler was served %v, want the retained [11 22]", r.Pkt.Vector)
+	}
+	if got := sw.Stats().LateDropped; got != 1 {
+		t.Errorf("LateDropped = %d, want 1", got)
+	}
+}
+
+// TestQuorumLateReconcileFoldsIntoNextPhase checks the LateReconcile
+// policy: a straggler's late gradient is carried and added when the
+// same pool slot opens its next phase, and a retransmitted late
+// update is not double-counted.
+func TestQuorumLateReconcileFoldsIntoNextPhase(t *testing.T) {
+	sw := newQuorumSwitch(t, 3, 1, 1, 2, LateReconcile)
+	// Phase off=0 on pool 0 completes at quorum {0, 1}.
+	sw.Handle(upd(0, 0, 0, 0, 1))
+	if r := sw.Handle(upd(1, 0, 0, 0, 2)); r.Pkt == nil || r.Pkt.Vector[0] != 3 {
+		t.Fatalf("quorum phase result = %+v, want [3]", r.Pkt)
+	}
+	// Straggler 2 arrives late: folded into the carry, served [3].
+	if r := sw.Handle(upd(2, 0, 0, 0, 100)); r.Pkt == nil || r.Pkt.Vector[0] != 3 {
+		t.Fatalf("late reply = %+v, want retained [3]", r.Pkt)
+	}
+	if got := sw.Stats().LateReconciled; got != 1 {
+		t.Fatalf("LateReconciled = %d, want 1", got)
+	}
+	// A retransmission of the same late update must not double-fold.
+	sw.Handle(upd(2, 0, 0, 0, 100))
+	if got := sw.Stats().LateReconciled; got != 1 {
+		t.Fatalf("LateReconciled after retransmit = %d, want 1", got)
+	}
+	// Phase off=1 runs on pool 1: the pool-0 carry must not leak here.
+	sw.Handle(upd(0, 1, 0, 1, 5))
+	if r := sw.Handle(upd(1, 1, 0, 1, 6)); r.Pkt == nil || r.Pkt.Vector[0] != 11 {
+		t.Fatalf("pool-1 phase result = %+v, want [11] (carry must stay on pool 0)", r.Pkt)
+	}
+	// Phase off=2 reopens pool 0: the carried 100 joins the fresh sum.
+	sw.Handle(upd(0, 0, 0, 2, 7))
+	r := sw.Handle(upd(1, 0, 0, 2, 8))
+	if r.Pkt == nil || r.Pkt.Vector[0] != 7+8+100 {
+		t.Fatalf("reconciled phase result = %+v, want [115]", r.Pkt)
+	}
+	// The carry is consumed: the next pool-0 phase is carry-free.
+	sw.Handle(upd(0, 1, 0, 3, 1))
+	sw.Handle(upd(1, 1, 0, 3, 1))
+	sw.Handle(upd(0, 0, 0, 4, 9))
+	if r := sw.Handle(upd(1, 0, 0, 4, 10)); r.Pkt == nil || r.Pkt.Vector[0] != 19 {
+		t.Fatalf("post-reconcile phase result = %+v, want [19] (carry applied twice?)", r.Pkt)
+	}
+}
+
+// TestQuorumStaleSeenBitCleared covers the seen-bit hazard unique to
+// quorum mode: a worker inside the quorum of an old phase skips the
+// intervening phase on the other pool (it straggled), so nothing
+// cleared its seen bit when the slot is reused. Its first update for
+// the new phase must open the aggregation, not be mistaken for a
+// retransmission of the old one — that would serve it a stale result
+// and deadlock the slot.
+func TestQuorumStaleSeenBitCleared(t *testing.T) {
+	sw := newQuorumSwitch(t, 3, 1, 1, 2, LateDrop)
+	// Phase off=0, pool 0: quorum is {2, 0}.
+	sw.Handle(upd(2, 0, 0, 0, 100))
+	if r := sw.Handle(upd(0, 0, 0, 0, 1)); r.Pkt == nil || r.Pkt.Vector[0] != 101 {
+		t.Fatalf("phase 0 result = %+v, want [101]", r.Pkt)
+	}
+	// Phase off=1, pool 1: quorum is {0, 1}; worker 2 never shows up,
+	// so its pool-0 seen bit is never cleared via the other pool.
+	sw.Handle(upd(0, 1, 0, 1, 2))
+	if r := sw.Handle(upd(1, 1, 0, 1, 3)); r.Pkt == nil || r.Pkt.Vector[0] != 5 {
+		t.Fatalf("phase 1 result = %+v, want [5]", r.Pkt)
+	}
+	// Phase off=2 reuses pool 0, and worker 2 arrives first. Its stale
+	// seen bit must be cleared and the update must open the phase.
+	if r := sw.Handle(upd(2, 0, 0, 2, 200)); r.Pkt != nil {
+		t.Fatalf("stale seen bit served a spurious reply: %+v", r.Pkt)
+	}
+	r := sw.Handle(upd(0, 0, 0, 2, 4))
+	if r.Pkt == nil || !r.Multicast || r.Pkt.Vector[0] != 204 {
+		t.Fatalf("phase 2 result = %+v, want multicast [204]", r.Pkt)
+	}
+}
+
+// TestQuorumGoneReplyAndSelfCompletion runs a straggling worker
+// against a switch whose fast quorum has already finished the whole
+// tensor: the phase the straggler wants first was evicted (gone
+// reply, self-completion from the local update), the rest are served
+// from retained shadow copies. The straggler must finish the tensor
+// and stay in stream lockstep.
+func TestQuorumGoneReplyAndSelfCompletion(t *testing.T) {
+	const n, s, k, d = 3, 1, 1, 3
+	sw := newQuorumSwitch(t, n, s, k, 2, LateDrop)
+	mkWorker := func(id uint16) *Worker {
+		w, err := NewWorker(WorkerConfig{ID: id, Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w0, w1, w2 := mkWorker(0), mkWorker(1), mkWorker(2)
+	u := func(base int32) []int32 { return []int32{base, base + 1, base + 2} }
+
+	// The fast pair streams the whole tensor; worker 2 hasn't started.
+	queue := append(w0.Start(u(10)), w1.Start(u(20))...)
+	workers := map[uint16]*Worker{0: w0, 1: w1}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		r := sw.Handle(p)
+		if r.Pkt == nil {
+			continue
+		}
+		if r.Multicast {
+			for _, wk := range workers {
+				if next, _ := wk.HandleResult(r.Pkt); next != nil {
+					queue = append(queue, next)
+				}
+			}
+		} else if next, _ := workers[r.Pkt.WorkerID].HandleResult(r.Pkt); next != nil {
+			queue = append(queue, next)
+		}
+	}
+	if w0.Busy() || w1.Busy() {
+		t.Fatal("fast quorum did not finish the tensor")
+	}
+	if got := sw.Stats().QuorumCompletions; got != d {
+		t.Fatalf("QuorumCompletions = %d, want %d", got, d)
+	}
+
+	// Now the straggler runs. Chunk 0's phase was evicted by chunk 2's
+	// reuse of the slot (same pool), so it draws a gone reply; chunks
+	// 1 and 2 are still retained on the two pools.
+	queue = w2.Start(u(30))
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		r := sw.Handle(p)
+		if r.Pkt == nil {
+			t.Fatalf("straggler update off=%d drew no reply", p.Off)
+		}
+		if r.Multicast {
+			t.Fatalf("straggler update off=%d completed a phase", p.Off)
+		}
+		if next, _ := w2.HandleResult(r.Pkt); next != nil {
+			queue = append(queue, next)
+		}
+	}
+	if w2.Busy() {
+		t.Fatal("straggler did not finish the tensor")
+	}
+	if got := sw.Stats().GoneReplies; got != 1 {
+		t.Errorf("GoneReplies = %d, want 1", got)
+	}
+	if got := w2.Stats().SelfCompletions; got != 1 {
+		t.Errorf("straggler SelfCompletions = %d, want 1", got)
+	}
+	// Element 0: self-completed from the local update. Elements 1, 2:
+	// the retained quorum sums (workers 0 and 1 only).
+	want := []int32{30, 11 + 21, 12 + 22}
+	for j, v := range want {
+		if got := w2.Aggregate()[j]; got != v {
+			t.Errorf("straggler aggregate[%d] = %d, want %d", j, got, v)
+		}
+	}
+	// The fast pair holds pure quorum sums throughout.
+	for j := 0; j < d; j++ {
+		want := int32(10+j) + int32(20+j)
+		if got := w0.Aggregate()[j]; got != want {
+			t.Errorf("fast aggregate[%d] = %d, want %d", j, got, want)
+		}
+	}
+}
+
+// TestQuorumDisabledWhenMembershipShrinksToQuorum checks the
+// elastic-membership interaction: once a reconfiguration shrinks the
+// active membership to the quorum size, every remaining worker is
+// required again and no slot completes short.
+func TestQuorumDisabledWhenMembershipShrinksToQuorum(t *testing.T) {
+	sw := newQuorumSwitch(t, 3, 2, 2, 2, LateDrop)
+	if !sw.quorumActive() {
+		t.Fatal("quorum inactive at full membership")
+	}
+	if err := sw.Reconfigure([]bool{true, true, false}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sw.quorumActive() {
+		t.Fatal("quorum still active with membership == quorum")
+	}
+	// Both survivors are needed now.
+	if r := sw.Handle(packet.NewUpdate(0, 1, 0, 0, 0, []int32{1, 2})); r.Pkt != nil {
+		t.Fatal("slot completed with one of two survivors")
+	}
+	r := sw.Handle(packet.NewUpdate(1, 1, 0, 0, 0, []int32{10, 20}))
+	if r.Pkt == nil || !r.Multicast || r.Pkt.Vector[0] != 11 {
+		t.Fatalf("survivor pair result = %+v, want [11 22]", r.Pkt)
+	}
+	if got := sw.Stats().QuorumCompletions; got != 0 {
+		t.Errorf("QuorumCompletions = %d, want 0 after shrink", got)
+	}
+}

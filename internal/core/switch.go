@@ -54,7 +54,32 @@ type SwitchConfig struct {
 	// Now supplies Tracer timestamps in nanoseconds: virtual time
 	// under the simulator, wall clock over UDP. nil stamps zero.
 	Now func() int64
+	// Quorum is the straggler-mitigation knob: when in [1, Workers),
+	// a slot completes as soon as this many distinct workers have
+	// contributed, instead of the full membership. Late updates from
+	// the stragglers are handled per LatePolicy. Zero (or a value at or
+	// above the active membership) selects full participation. Quorum
+	// requires LossRecovery: Algorithm 1's counter-only slot release
+	// cannot tell a late straggler from a new phase.
+	Quorum int
+	// LatePolicy selects what happens to a straggler's update arriving
+	// after its slot completed at quorum.
+	LatePolicy LatePolicy
 }
+
+// LatePolicy enumerates the quorum late-update policies.
+type LatePolicy uint8
+
+const (
+	// LateDrop counts and discards late updates; the straggler still
+	// receives the retained quorum result, so it keeps pace, but its
+	// gradient for that chunk is lost.
+	LateDrop LatePolicy = iota
+	// LateReconcile folds a late update into the next aggregation
+	// phase that opens on the same slot — the straggler's gradient
+	// lands one step late instead of being dropped.
+	LateReconcile
+)
 
 func (c *SwitchConfig) validate() error {
 	if c.Workers <= 0 {
@@ -65,6 +90,12 @@ func (c *SwitchConfig) validate() error {
 	}
 	if c.SlotElems <= 0 {
 		return fmt.Errorf("core: slot elements must be positive, got %d", c.SlotElems)
+	}
+	if c.Quorum < 0 || c.Quorum > c.Workers {
+		return fmt.Errorf("core: quorum %d out of range [0, %d]", c.Quorum, c.Workers)
+	}
+	if c.Quorum > 0 && c.Quorum < c.Workers && !c.LossRecovery {
+		return fmt.Errorf("core: quorum needs loss recovery (shadow copies distinguish late stragglers from new phases)")
 	}
 	return nil
 }
@@ -88,6 +119,15 @@ type slot struct {
 	// first contribution's timestamp), feeding the slot-fill latency
 	// histogram; zero when no clock is configured.
 	start int64
+	// carry holds late straggler updates awaiting reconciliation into
+	// the next phase that opens on this slot; nil unless the switch
+	// runs quorum mode with LateReconcile.
+	carry []int32
+	// carried marks that carry holds a pending late update; lateSeen
+	// marks which stragglers already reconciled into it, so a
+	// retransmitted late update is not double-counted.
+	carried  bool
+	lateSeen bitset
 }
 
 // switchCounters are the switch's live counters, atomic so hosts may
@@ -97,6 +137,13 @@ type switchCounters struct {
 	updates, completions, ignoredDuplicates *telemetry.Counter
 	resultRetransmissions, staleUpdates     *telemetry.Counter
 	rejected                                *telemetry.Counter
+	// quorumCompletions counts slots completed before the full
+	// membership contributed; lateDropped/lateReconciled count the
+	// stragglers' subsequent updates per policy, and goneReplies the
+	// empty unicast results that told a straggler its phase's retained
+	// value was already evicted.
+	quorumCompletions, lateDropped  *telemetry.Counter
+	lateReconciled, goneReplies     *telemetry.Counter
 	// slotFill observes phase-open-to-completion latency per slot in
 	// nanoseconds (only fed when the switch has a clock).
 	slotFill *telemetry.Histogram
@@ -115,6 +162,8 @@ func newSwitchCounters(reg *telemetry.Registry, job uint16, workers int) switchC
 		ctr.updates, ctr.completions = &telemetry.Counter{}, &telemetry.Counter{}
 		ctr.ignoredDuplicates, ctr.resultRetransmissions = &telemetry.Counter{}, &telemetry.Counter{}
 		ctr.staleUpdates, ctr.rejected = &telemetry.Counter{}, &telemetry.Counter{}
+		ctr.quorumCompletions, ctr.lateDropped = &telemetry.Counter{}, &telemetry.Counter{}
+		ctr.lateReconciled, ctr.goneReplies = &telemetry.Counter{}, &telemetry.Counter{}
 		ctr.slotFill = telemetry.NewHistogram(telemetry.LatencyBuckets)
 		for w := range ctr.lastArrival {
 			ctr.lastArrival[w] = &telemetry.Counter{}
@@ -128,6 +177,10 @@ func newSwitchCounters(reg *telemetry.Registry, job uint16, workers int) switchC
 	ctr.resultRetransmissions = reg.Counter("switch_result_retransmissions_total", label...)
 	ctr.staleUpdates = reg.Counter("switch_stale_updates_total", label...)
 	ctr.rejected = reg.Counter("switch_rejected_total", label...)
+	ctr.quorumCompletions = reg.Counter("switch_quorum_completions_total", label...)
+	ctr.lateDropped = reg.Counter("switch_quorum_late_dropped_total", label...)
+	ctr.lateReconciled = reg.Counter("switch_quorum_late_reconciled_total", label...)
+	ctr.goneReplies = reg.Counter("switch_quorum_gone_replies_total", label...)
 	ctr.slotFill = reg.Histogram("switch_slot_fill_ns", telemetry.LatencyBuckets, label...)
 	for w := range ctr.lastArrival {
 		ctr.lastArrival[w] = reg.Counter("switch_last_contributor_total",
@@ -155,6 +208,17 @@ type SwitchStats struct {
 	StaleUpdates uint64
 	// Rejected counts malformed packets dropped by sanity checks.
 	Rejected uint64
+	// QuorumCompletions counts slots completed at the quorum threshold
+	// before the full membership contributed.
+	QuorumCompletions uint64
+	// LateDropped / LateReconciled count straggler updates arriving
+	// after a quorum completion, per the configured LatePolicy.
+	LateDropped    uint64
+	LateReconciled uint64
+	// GoneReplies counts empty unicast results sent to stragglers
+	// whose phase's retained value was already evicted; the worker
+	// self-completes the chunk from its local update.
+	GoneReplies uint64
 }
 
 // Response is the switch's reaction to one update packet.
@@ -215,15 +279,91 @@ func (sw *Switch) ratio() int {
 }
 
 // ingressOverwrite decodes p's vector into the slot accumulator,
-// replacing its contents.
+// replacing its contents. A pending late-straggler carry (quorum mode
+// with LateReconcile) is folded into the opening phase here, so the
+// straggler's gradient lands exactly one slot reuse late.
 func (sw *Switch) ingressOverwrite(sl *slot, p *packet.Packet) {
 	sl.elems = len(p.Vector)
 	sl.off = int64(p.Off)
 	if sw.cfg.Codec == nil {
 		copy(sl.vector[:sl.elems], p.Vector)
+	} else {
+		sw.cfg.Codec.Ingress(sl.vector[:sw.ratio()*sl.elems], p.Vector)
+	}
+	if sl.carried {
+		// The carried chunk and the opening one share a slot but may
+		// differ in length (tensor tail); the overlap is reconciled and
+		// the excess dropped with the rest of the carry.
+		addVec(sl.vector[:sw.ratio()*sl.elems], sl.carry[:sw.ratio()*sl.elems])
+		for i := range sl.carry {
+			sl.carry[i] = 0
+		}
+		sl.carried = false
+	}
+	if sl.lateSeen != nil {
+		for w := 0; w < sw.cfg.Workers; w++ {
+			sl.lateSeen.clear(w)
+		}
+	}
+}
+
+// lateUpdate applies the configured LatePolicy to a straggler's
+// update that arrived after its slot completed at quorum. Under
+// LateReconcile the gradient is folded into the slot's carry, to be
+// added when the next phase opens; lateSeen suppresses
+// double-counting when the straggler retransmits.
+func (sw *Switch) lateUpdate(sl *slot, p *packet.Packet, scratch []int32) {
+	if !sw.quorumActive() {
 		return
 	}
-	sw.cfg.Codec.Ingress(sl.vector[:sw.ratio()*sl.elems], p.Vector)
+	wid := int(p.WorkerID)
+	if sl.carry == nil || sw.cfg.LatePolicy != LateReconcile {
+		sw.ctr.lateDropped.Inc()
+		return
+	}
+	if sl.lateSeen.get(wid) {
+		sw.ctr.ignoredDuplicates.Inc()
+		return
+	}
+	if len(p.Vector) != sl.elems {
+		sw.ctr.staleUpdates.Inc()
+		return
+	}
+	sl.lateSeen.set(wid)
+	if sw.cfg.Codec == nil {
+		addVec(sl.carry[:sl.elems], p.Vector)
+	} else {
+		vals := scratch[:sw.ratio()*sl.elems]
+		sw.cfg.Codec.Ingress(vals, p.Vector)
+		addVec(sl.carry[:sw.ratio()*sl.elems], vals)
+	}
+	sl.carried = true
+	sw.ctr.lateReconciled.Inc()
+}
+
+// goneReply answers a straggler whose phase's retained value was
+// already evicted: an empty unicast result for the requested offset.
+// The worker recognizes the empty vector and self-completes the chunk
+// from its local update — its gradient is lost for that step (it was
+// already excluded by the quorum completion), but it stays in
+// lockstep with the stream.
+func (sw *Switch) goneReply(p *packet.Packet, out *packet.Packet) Response {
+	sw.ctr.goneReplies.Inc()
+	if out == nil {
+		//switchml:allow hotpath -- nil-out fallback mirrors respond's allocating path
+		out = &packet.Packet{}
+	}
+	vec := out.Vector
+	*out = packet.Packet{
+		Kind:     packet.KindResultUnicast,
+		WorkerID: p.WorkerID,
+		JobID:    p.JobID,
+		Ver:      p.Ver,
+		Idx:      p.Idx,
+		Off:      p.Off,
+		Vector:   vec[:0],
+	}
+	return Response{Pkt: out}
 }
 
 // egressInto encodes the slot accumulator into dst, reusing dst's
@@ -288,6 +428,10 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 				off:    -1,
 				seen:   newBitset(cfg.Workers),
 			}
+			if cfg.Quorum > 0 && cfg.Quorum < cfg.Workers && cfg.LatePolicy == LateReconcile {
+				sw.pools[v][i].carry = make([]int32, sw.ratio()*cfg.SlotElems)
+				sw.pools[v][i].lateSeen = newBitset(cfg.Workers)
+			}
 		}
 	}
 	sw.scratch = make([]int32, sw.ratio()*cfg.SlotElems)
@@ -308,6 +452,10 @@ func (sw *Switch) Stats() SwitchStats {
 		ResultRetransmissions: sw.ctr.resultRetransmissions.Value(),
 		StaleUpdates:          sw.ctr.staleUpdates.Value(),
 		Rejected:              sw.ctr.rejected.Value(),
+		QuorumCompletions:     sw.ctr.quorumCompletions.Value(),
+		LateDropped:           sw.ctr.lateDropped.Value(),
+		LateReconciled:        sw.ctr.lateReconciled.Value(),
+		GoneReplies:           sw.ctr.goneReplies.Value(),
 	}
 }
 
@@ -382,6 +530,20 @@ func (sw *Switch) admit(p *packet.Packet) bool {
 	return true
 }
 
+// needed returns the contribution count that completes a slot: the
+// quorum when straggler mitigation is on (and the membership is still
+// larger than it), the full membership otherwise.
+func (sw *Switch) needed() int {
+	if q := sw.cfg.Quorum; q > 0 && q < sw.required {
+		return q
+	}
+	return sw.required
+}
+
+// quorumActive reports whether slots currently complete short of the
+// full membership.
+func (sw *Switch) quorumActive() bool { return sw.needed() < sw.required }
+
 // handleSimple is Algorithm 1: no duplicate suppression, no shadow
 // copy. Correct only when the network never drops or duplicates.
 func (sw *Switch) handleSimple(p *packet.Packet, scratch []int32, out *packet.Packet) Response {
@@ -410,11 +572,30 @@ func (sw *Switch) handleSimple(p *packet.Packet, scratch []int32, out *packet.Pa
 	return Response{Pkt: resp, Multicast: true}
 }
 
-// handleRecovering is Algorithm 3.
+// handleRecovering is Algorithm 3, extended with quorum-based
+// straggler mitigation: a slot may complete at needed() < required
+// contributions, in which case the stragglers' late updates are
+// served the retained result and handled per LatePolicy, and
+// stragglers whose phase has already been evicted get an empty
+// "gone" unicast telling them to self-complete from their local
+// update.
 func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packet.Packet) Response {
 	sl := &sw.pools[p.Ver][p.Idx]
 	other := &sw.pools[1-p.Ver][p.Idx]
 	wid := int(p.WorkerID)
+
+	if sw.cfg.Quorum > 0 && sl.seen.get(wid) && sl.count == 0 && int64(p.Off) != sl.off {
+		// Stale seen bit: the worker contributed to a phase other than
+		// the one retained here. Quorum completions reuse slots without
+		// the stragglers whose contributions would have cleared this
+		// bit via the other pool, so the bit can linger both behind the
+		// retained phase (p.Off > sl.off, the worker moved on) and
+		// ahead of it (p.Off < sl.off, faster peers lapped the slot).
+		// Either way the packet must not be mistaken for a
+		// retransmission of the retained phase, or the worker deadlocks
+		// being served a result for an offset it never asked about.
+		sl.seen.clear(wid)
+	}
 
 	if !sl.seen.get(wid) {
 		// First contribution from this worker for this slot+version
@@ -431,13 +612,31 @@ func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packe
 			// rather than corrupt the slot.
 			if int64(p.Off) <= sl.off || int64(p.Off) <= other.off {
 				if int64(p.Off) == sl.off {
+					// Under quorum this is a straggler whose slot
+					// completed without it: apply the late-update
+					// policy, then serve the retained result so it
+					// keeps pace.
+					sw.lateUpdate(sl, p, scratch)
 					sw.ctr.resultRetransmissions.Inc()
 					sw.trace(telemetry.EvShadowRead, p)
 					return Response{Pkt: sw.respond(out, p, packet.KindResultUnicast, uint64(sl.off), sl)}
 				}
+				if sw.quorumActive() && int64(p.Off) < sl.off && int64(p.Off) != other.off {
+					return sw.goneReply(p, out)
+				}
 				sw.ctr.staleUpdates.Inc()
 				return Response{}
 			}
+		} else if int64(p.Off) < sl.off && int64(p.Off) != other.off {
+			// A newer phase is already aggregating on this pool: the
+			// straggler's phase was evicted before it contributed.
+			// Only reachable under quorum, where fast workers reuse a
+			// slot before a straggler's chunk resolves.
+			if sw.quorumActive() {
+				return sw.goneReply(p, out)
+			}
+			sw.ctr.staleUpdates.Inc()
+			return Response{}
 		}
 		otherHad := other.seen.get(wid)
 		sl.seen.set(wid)
@@ -459,13 +658,18 @@ func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packe
 			}
 		}
 		sw.trace(telemetry.EvSlotAggregated, p)
-		sl.count = (sl.count + 1) % sw.required
-		if sl.count != 0 {
+		sl.count++
+		if sl.count < sw.needed() {
 			return Response{}
 		}
 		// Aggregation complete (lines 13-15): the slot becomes the
 		// shadow copy, retaining its value for retransmissions.
 		resp := sw.respond(out, p, packet.KindResult, p.Off, sl)
+		if sl.count < sw.required {
+			sw.ctr.quorumCompletions.Inc()
+			sw.trace(telemetry.EvQuorumComplete, p)
+		}
+		sl.count = 0
 		sw.ctr.completions.Inc()
 		sw.observeCompletion(sl, wid)
 		sw.trace(telemetry.EvSlotComplete, p)
@@ -591,7 +795,14 @@ func (sw *Switch) Reset() {
 			sl.off = -1
 			for w := 0; w < sw.cfg.Workers; w++ {
 				sl.seen.clear(w)
+				if sl.lateSeen != nil {
+					sl.lateSeen.clear(w)
+				}
 			}
+			for j := range sl.carry {
+				sl.carry[j] = 0
+			}
+			sl.carried = false
 		}
 	}
 }

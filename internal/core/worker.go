@@ -61,6 +61,7 @@ type pendingSlot struct {
 // is their snapshot view.
 type workerCounters struct {
 	sent, retransmissions, results, staleResults *telemetry.Counter
+	selfCompletions                              *telemetry.Counter
 }
 
 // newWorkerCounters binds the counters into reg when non-nil (labeled
@@ -70,6 +71,7 @@ func newWorkerCounters(reg *telemetry.Registry, id uint16) workerCounters {
 		return workerCounters{
 			sent: &telemetry.Counter{}, retransmissions: &telemetry.Counter{},
 			results: &telemetry.Counter{}, staleResults: &telemetry.Counter{},
+			selfCompletions: &telemetry.Counter{},
 		}
 	}
 	label := []string{"worker", fmt.Sprintf("%d", id)}
@@ -78,6 +80,7 @@ func newWorkerCounters(reg *telemetry.Registry, id uint16) workerCounters {
 		retransmissions: reg.Counter("worker_retransmissions_total", label...),
 		results:         reg.Counter("worker_results_total", label...),
 		staleResults:    reg.Counter("worker_stale_results_total", label...),
+		selfCompletions: reg.Counter("worker_self_completions_total", label...),
 	}
 }
 
@@ -93,6 +96,10 @@ type WorkerStats struct {
 	// racing a unicast retransmission, or leftovers from an earlier
 	// tensor).
 	StaleResults uint64
+	// SelfCompletions counts chunks completed from the local update
+	// after the switch answered with an empty "gone" result — quorum
+	// mode evicted the phase before this worker's contribution landed.
+	SelfCompletions uint64
 }
 
 // Worker is the end-host aggregation state machine of Algorithms 2
@@ -154,6 +161,7 @@ func (w *Worker) Stats() WorkerStats {
 		Retransmissions: w.ctr.retransmissions.Value(),
 		Results:         w.ctr.results.Value(),
 		StaleResults:    w.ctr.staleResults.Value(),
+		SelfCompletions: w.ctr.selfCompletions.Value(),
 	}
 }
 
@@ -248,15 +256,31 @@ func (w *Worker) HandleResult(p *packet.Packet) (next *packet.Packet, done bool)
 		return nil, false
 	}
 	pd := &w.pend[p.Idx]
-	if !pd.active || pd.off != p.Off || pd.ver != p.Ver || pd.elems != len(p.Vector) {
+	if !pd.active || pd.off != p.Off || pd.ver != p.Ver {
 		// Duplicate (multicast racing a unicast reply), a leftover
 		// from a previous tensor, or garbage.
 		w.ctr.staleResults.Inc()
 		return nil, false
 	}
-	w.ctr.results.Inc()
 	local := int(p.Off - w.base)
-	copy(w.a[local:local+pd.elems], p.Vector)
+	switch {
+	case len(p.Vector) == 0:
+		// An empty result is the switch's "gone" reply (quorum mode):
+		// the phase completed and was evicted without this worker's
+		// contribution, so no aggregate exists for it to read. Complete
+		// the chunk from the local update — the rest of the membership
+		// already excluded this gradient — and keep streaming. Updates
+		// always carry at least one element, so a genuine aggregate can
+		// never be empty.
+		copy(w.a[local:local+pd.elems], w.u[local:local+pd.elems])
+		w.ctr.selfCompletions.Inc()
+	case len(p.Vector) == pd.elems:
+		copy(w.a[local:local+pd.elems], p.Vector)
+	default:
+		w.ctr.staleResults.Inc()
+		return nil, false
+	}
+	w.ctr.results.Inc()
 	w.remaining -= pd.elems
 	w.chunkDone[local/w.cfg.SlotElems] = true
 	pd.active = false
@@ -425,6 +449,27 @@ func (w *Worker) Resume(jobID uint16, fromChunk int) []*packet.Packet {
 		pkts = append(pkts, w.sendChunk(uint32(c%w.cfg.PoolSize), c*w.cfg.SlotElems))
 	}
 	return pkts
+}
+
+// JoinAt initializes a joining worker's stream cursor at the global
+// frontier off under the admitting job generation. The elastic-join
+// commit wipes the switch pool and resumes every incumbent with
+// per-slot versions reset to zero, so the joiner's fresh version
+// vector is consistent with the membership it enters. JoinAt panics
+// if an aggregation is in progress — a joiner has nothing in flight.
+func (w *Worker) JoinAt(jobID uint16, off uint64) {
+	if w.remaining > 0 {
+		panic("core: JoinAt called while an aggregation is in progress")
+	}
+	w.cfg.JobID = jobID
+	w.base = off
+	w.u = nil
+	w.a = w.a[:0]
+	w.chunkDone = w.chunkDone[:0]
+	for i := range w.pend {
+		w.pend[i].active = false
+		w.ver[i] = 0
+	}
 }
 
 // Update returns the local update tensor of the current (or last

@@ -58,6 +58,16 @@ const (
 	// with wiped register state; jobs return to it only after the
 	// health monitor's probation window passes.
 	ReviveSwitch
+	// JoinWorker gracefully admits a worker into the running job: the
+	// target must be outside the current membership (never started, or
+	// previously departed); it is fenced in at the next step boundary
+	// under a bumped generation.
+	JoinWorker
+	// LeaveWorker gracefully retires a worker: it announces departure,
+	// drains its in-flight window to the step boundary, and leaves
+	// without tripping liveness detection — the voluntary counterpart
+	// of CrashWorker.
+	LeaveWorker
 )
 
 // String returns the action kind's name.
@@ -81,6 +91,10 @@ func (k ActionKind) String() string {
 		return "kill-switch"
 	case ReviveSwitch:
 		return "revive-switch"
+	case JoinWorker:
+		return "join-worker"
+	case LeaveWorker:
+		return "leave-worker"
 	default:
 		return fmt.Sprintf("action(%d)", int(k))
 	}
@@ -124,7 +138,7 @@ func (s *Scenario) Validate(workers int) error {
 			return fmt.Errorf("faults: action %d (%v) has negative step %d", i, a.Kind, a.Step)
 		}
 		switch a.Kind {
-		case CrashWorker, RestartWorker:
+		case CrashWorker, RestartWorker, JoinWorker, LeaveWorker:
 			if a.Worker < 0 || a.Worker >= workers {
 				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)
 			}

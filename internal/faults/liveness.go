@@ -21,6 +21,14 @@ type Tracker struct {
 	// notified, so it is ignored by sweeps).
 	lastSeen []atomic.Int64
 	dead     []atomic.Bool
+	// draining marks workers that announced a graceful leave: they are
+	// excluded from suspicion (their silence is expected, not a
+	// failure) and from the someone-active quorum, but still count as
+	// alive until retired. departed marks a drain that completed — the
+	// voluntary sibling of dead, kept distinct so telemetry and
+	// operators can tell a clean exit from a crash.
+	draining []atomic.Bool
+	departed []atomic.Bool
 	silence  int64
 }
 
@@ -30,6 +38,8 @@ func NewTracker(n int, silence int64) *Tracker {
 	t := &Tracker{
 		lastSeen: make([]atomic.Int64, n),
 		dead:     make([]atomic.Bool, n),
+		draining: make([]atomic.Bool, n),
+		departed: make([]atomic.Bool, n),
 		silence:  silence,
 	}
 	for i := range t.lastSeen {
@@ -47,6 +57,8 @@ func (t *Tracker) Silence() int64 { return t.silence }
 func (t *Tracker) Reset() {
 	for i := range t.lastSeen {
 		t.dead[i].Store(false)
+		t.draining[i].Store(false)
+		t.departed[i].Store(false)
 		t.lastSeen[i].Store(-1)
 	}
 }
@@ -77,12 +89,14 @@ func (t *Tracker) MarkDead(w int) {
 	}
 }
 
-// MarkAlive re-admits a worker (job reconfiguration after a restart),
-// resetting its progress clock to now so it is not immediately
-// re-suspected.
+// MarkAlive re-admits a worker (job reconfiguration after a restart,
+// or a graceful re-join), resetting its progress clock to now so it
+// is not immediately re-suspected and clearing any drain state.
 func (t *Tracker) MarkAlive(w int, now int64) {
 	if w >= 0 && w < len(t.dead) {
 		t.dead[w].Store(false)
+		t.draining[w].Store(false)
+		t.departed[w].Store(false)
 		t.lastSeen[w].Store(now)
 	}
 }
@@ -90,6 +104,38 @@ func (t *Tracker) MarkAlive(w int, now int64) {
 // Dead reports whether worker w has been retired.
 func (t *Tracker) Dead(w int) bool {
 	return w >= 0 && w < len(t.dead) && t.dead[w].Load()
+}
+
+// MarkDraining records worker w's graceful-leave announcement: its
+// coming silence is expected, so sweeps stop suspecting it, but it
+// remains alive until MarkDeparted retires it.
+func (t *Tracker) MarkDraining(w int) {
+	if w >= 0 && w < len(t.draining) && !t.dead[w].Load() {
+		t.draining[w].Store(true)
+	}
+}
+
+// Draining reports whether worker w has announced a graceful leave
+// and is finishing its in-flight window.
+func (t *Tracker) Draining(w int) bool {
+	return w >= 0 && w < len(t.draining) && t.draining[w].Load()
+}
+
+// MarkDeparted completes a graceful leave: the worker is retired like
+// MarkDead, but the departed flag keeps the exit distinguishable from
+// a crash in telemetry.
+func (t *Tracker) MarkDeparted(w int) {
+	if w >= 0 && w < len(t.dead) {
+		t.dead[w].Store(true)
+		t.draining[w].Store(false)
+		t.departed[w].Store(true)
+	}
+}
+
+// Departed reports whether worker w left gracefully (as opposed to
+// being declared dead by the failure detector).
+func (t *Tracker) Departed(w int) bool {
+	return w >= 0 && w < len(t.departed) && t.departed[w].Load()
 }
 
 // AliveCount returns the number of workers not retired.
@@ -104,14 +150,15 @@ func (t *Tracker) AliveCount() int {
 }
 
 // Suspects returns the workers the detector would declare failed at
-// time now: seen at least once, not retired, silent for longer than
-// the threshold — provided at least one other live worker made
-// progress within the threshold (otherwise the whole job is idle and
-// silence means nothing).
+// time now: seen at least once, not retired, not draining, silent for
+// longer than the threshold — provided at least one other live worker
+// made progress within the threshold (otherwise the whole job is idle
+// and silence means nothing). Draining workers are excluded entirely:
+// a graceful leaver's silence is announced, not suspicious.
 func (t *Tracker) Suspects(now int64) []int {
 	someoneActive := false
 	for w := range t.lastSeen {
-		if seen := t.lastSeen[w].Load(); !t.dead[w].Load() && seen >= 0 && now-seen <= t.silence {
+		if seen := t.lastSeen[w].Load(); !t.dead[w].Load() && !t.draining[w].Load() && seen >= 0 && now-seen <= t.silence {
 			someoneActive = true
 			break
 		}
@@ -121,7 +168,7 @@ func (t *Tracker) Suspects(now int64) []int {
 	}
 	var out []int
 	for w := range t.lastSeen {
-		if seen := t.lastSeen[w].Load(); !t.dead[w].Load() && seen >= 0 && now-seen > t.silence {
+		if seen := t.lastSeen[w].Load(); !t.dead[w].Load() && !t.draining[w].Load() && seen >= 0 && now-seen > t.silence {
 			out = append(out, w)
 		}
 	}

@@ -54,9 +54,19 @@ func FuzzCodec(f *testing.F) {
 	f.Add(uint8(KindFallbackSync), uint16(2), uint16(9), uint8(1), uint32(5), uint64(1<<20), 2, int32(1<<12))
 	f.Add(uint8(KindFallbackData), uint16(1), uint16(9), uint8(0), uint32(5<<16|3), uint64(96), 32, int32(-7))
 	f.Add(uint8(KindFallbackAck), uint16(1), uint16(9), uint8(0), uint32(3), uint64(1), 0, int32(0))
+	// Elastic-membership kinds: joins and leaves are tiny control frames
+	// (a join may carry the proposed membership echo in Vector, a leave
+	// is always empty); state-fetch requests carry the segment offset in
+	// Off, state-data replies the total length in Idx and a payload.
+	f.Add(uint8(KindJoin), uint16(5), uint16(9), uint8(0), uint32(0), uint64(0), 0, int32(0))
+	f.Add(uint8(KindJoin), uint16(5), uint16(12), uint8(1), uint32(1), uint64(1<<33), 1, int32(0b111101))
+	f.Add(uint8(KindLeave), uint16(2), uint16(9), uint8(0), uint32(0), uint64(1<<20), 0, int32(0))
+	f.Add(uint8(KindLeave), uint16(65535), uint16(65535), uint8(1), uint32(7), uint64(1<<60), 0, int32(0))
+	f.Add(uint8(KindStateReq), uint16(5), uint16(12), uint8(0), uint32(0), uint64(4096), 0, int32(0))
+	f.Add(uint8(KindStateData), uint16(0), uint16(12), uint8(0), uint32(1<<20), uint64(4096), 64, int32(-9))
 
 	f.Fuzz(func(t *testing.T, kind uint8, worker, job uint16, ver uint8, idx uint32, off uint64, n int, fill int32) {
-		k := Kind(kind % (uint8(KindFallbackAck) + 1))
+		k := Kind(kind % (uint8(KindStateData) + 1))
 		if n < 0 {
 			n = -n
 		}

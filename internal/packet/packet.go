@@ -116,6 +116,23 @@ const (
 	// Off 0 carries a cumulative ack (Idx = highest ring step fully
 	// received), Off 1 a retransmission request for step Idx.
 	KindFallbackAck
+	// KindJoin is a graceful-join handshake from a worker that wants to
+	// enter a running job. The aggregator queues it, fences the job at
+	// the next chunk-aligned step boundary and admits the sender under a
+	// bumped generation. Retried until the fence is observed.
+	KindJoin
+	// KindLeave is a graceful-leave announcement: the sender finishes
+	// its in-flight window, holds at the membership fence boundary and
+	// is retired under the new generation without tripping liveness.
+	KindLeave
+	// KindStateReq asks a mesh peer for one segment of its model state
+	// during a join: Off is the element offset of the requested segment.
+	// It travels over the PR 5 fallback mesh, not the aggregator path.
+	KindStateReq
+	// KindStateData answers a KindStateReq: Off echoes the segment
+	// offset, Idx carries the total state length in elements and Vector
+	// the segment payload.
+	KindStateData
 )
 
 // String returns a short human-readable name for the kind.
@@ -145,6 +162,14 @@ func (k Kind) String() string {
 		return "fallback-data"
 	case KindFallbackAck:
 		return "fallback-ack"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindStateReq:
+		return "state-req"
+	case KindStateData:
+		return "state-data"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -376,7 +401,7 @@ func UnmarshalInto(p *Packet, buf []byte) error {
 		return ErrChecksum
 	}
 	k := Kind(buf[2])
-	if k > KindFallbackAck {
+	if k > KindStateData {
 		return ErrBadKind
 	}
 	p.Kind = k

@@ -1,0 +1,355 @@
+package rack
+
+import (
+	"reflect"
+	"testing"
+
+	"switchml/internal/faults"
+	"switchml/internal/netsim"
+	"switchml/internal/telemetry"
+)
+
+// memberSum is the exact elementwise aggregate of stepUpdates over a
+// member subset — the reference for elastic steps where only part of
+// the topology is inside the job.
+func memberSum(members []int, workers, elems, step int) []int32 {
+	us, _ := stepUpdates(workers, elems, step)
+	want := make([]int32, elems)
+	for _, w := range members {
+		for j := range want {
+			want[j] += us[w][j]
+		}
+	}
+	return want
+}
+
+func checkAggregates(t *testing.T, r *Rack, members []int, elems, step int) {
+	t.Helper()
+	want := memberSum(members, r.Config().Workers, elems, step)
+	for _, w := range members {
+		if !reflect.DeepEqual(r.Aggregate(w), want) {
+			t.Fatalf("step %d: worker %d aggregate differs from the %v-membership sum", step, w, members)
+		}
+	}
+}
+
+// TestElasticJoinAtStepBoundary admits a detached worker through a
+// scripted JoinWorker action: the join must commit at the next step
+// boundary (never mid-tensor), with every post-join aggregate exactly
+// the full-membership sum on every worker, joiner included, and
+// without ever tripping the failure detector.
+func TestElasticJoinAtStepBoundary(t *testing.T) {
+	const workers, elems, steps = 4, 2048, 6
+	log := &eventLog{}
+	r, err := NewRack(Config{
+		Workers: workers, LossRecovery: true, Seed: 3,
+		RTO:      100 * netsim.Microsecond,
+		Detached: []int{3},
+		Tracer:   log,
+		Faults: &faults.Scenario{Actions: []faults.Action{
+			// Requested during step 2; committed at the step-3 boundary.
+			{Kind: faults.JoinWorker, Worker: 3, Step: 2, At: 10 * netsim.Microsecond},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Member(3) {
+		t.Fatal("detached worker starts inside the membership")
+	}
+	const joinStep = 3
+	incumbents := []int{0, 1, 2}
+	full := []int{0, 1, 2, 3}
+	epoch0 := r.Epoch()
+	for step := 1; step <= steps; step++ {
+		us, _ := stepUpdates(workers, elems, step)
+		res, err := r.AllReduce(us)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(res.Failed) != 0 {
+			t.Fatalf("step %d: Failed = %v, want none", step, res.Failed)
+		}
+		members := incumbents
+		if step < joinStep {
+			if !reflect.DeepEqual(res.Detached, []int{3}) {
+				t.Fatalf("step %d: Detached = %v, want [3]", step, res.Detached)
+			}
+		} else {
+			members = full
+			if len(res.Detached) != 0 {
+				t.Fatalf("step %d: Detached = %v after the join", step, res.Detached)
+			}
+		}
+		checkAggregates(t, r, members, elems, step)
+	}
+	if !r.Member(3) {
+		t.Error("joiner is not a member after the join")
+	}
+	if r.Epoch() == epoch0 {
+		t.Error("join committed without a generation bump")
+	}
+	if log.firstTS(telemetry.EvWorkerJoin) < 0 {
+		t.Error("no worker-join event was traced")
+	}
+	if ts := log.firstTS(telemetry.EvFailureDetected); ts >= 0 {
+		t.Errorf("graceful join tripped the failure detector at %d", ts)
+	}
+}
+
+// TestElasticLeaveDrainNoFalsePositive retires a worker through a
+// scripted LeaveWorker action with an aggressive failure detector
+// running: the leaver finishes its in-flight step (drain), departs at
+// the boundary, and its silence afterwards must never be mistaken for
+// a crash. A drain is telemetry-distinct from an eviction.
+func TestElasticLeaveDrainNoFalsePositive(t *testing.T) {
+	const workers, elems, steps = 4, 2048, 6
+	log := &eventLog{}
+	r, err := NewRack(Config{
+		Workers: workers, LossRecovery: true, Seed: 5,
+		RTO:    100 * netsim.Microsecond,
+		Tracer: log,
+		// A detector tight enough that the departed worker's silence
+		// spans many sweep periods over the remaining steps.
+		Liveness: &LivenessConfig{
+			SilenceAfter: 500 * netsim.Microsecond,
+			CheckEvery:   100 * netsim.Microsecond,
+		},
+		Faults: &faults.Scenario{Actions: []faults.Action{
+			// Announced during step 2 (the drain); departed at the
+			// step-3 boundary.
+			{Kind: faults.LeaveWorker, Worker: 3, Step: 2, At: 10 * netsim.Microsecond},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goneStep = 3
+	full := []int{0, 1, 2, 3}
+	survivors := []int{0, 1, 2}
+	for step := 1; step <= steps; step++ {
+		us, _ := stepUpdates(workers, elems, step)
+		res, err := r.AllReduce(us)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(res.Failed) != 0 {
+			t.Fatalf("step %d: Failed = %v — a drain is not a failure", step, res.Failed)
+		}
+		members := full
+		if step >= goneStep {
+			members = survivors
+			if !reflect.DeepEqual(res.Left, []int{3}) {
+				t.Fatalf("step %d: Left = %v, want [3]", step, res.Left)
+			}
+			if !reflect.DeepEqual(res.Detached, []int{3}) {
+				t.Fatalf("step %d: Detached = %v, want [3]", step, res.Detached)
+			}
+		} else if len(res.Left) != 0 {
+			t.Fatalf("step %d: Left = %v before the drain finished", step, res.Left)
+		}
+		checkAggregates(t, r, members, elems, step)
+	}
+	if r.Member(3) {
+		t.Error("leaver is still a member")
+	}
+	drain := log.firstTS(telemetry.EvDrainStart)
+	leave := log.firstTS(telemetry.EvWorkerLeave)
+	if drain < 0 || leave < 0 {
+		t.Fatalf("missing drain events: start=%d leave=%d", drain, leave)
+	}
+	if drain > leave {
+		t.Fatalf("drain events out of order: start=%d leave=%d", drain, leave)
+	}
+	if ts := log.firstTS(telemetry.EvFailureDetected); ts >= 0 {
+		t.Errorf("departed worker's silence tripped the failure detector at %d", ts)
+	}
+}
+
+// TestElasticLastWorkerCannotLeave checks the floor: a drain request
+// that would empty the job is refused and training continues.
+func TestElasticLastWorkerCannotLeave(t *testing.T) {
+	const workers, elems = 2, 512
+	r, err := NewRack(Config{
+		Workers: workers, LossRecovery: true, Seed: 1,
+		RTO: 100 * netsim.Microsecond,
+		Faults: &faults.Scenario{Actions: []faults.Action{
+			{Kind: faults.LeaveWorker, Worker: 0, Step: 1, At: 5 * netsim.Microsecond},
+			{Kind: faults.LeaveWorker, Worker: 1, Step: 1, At: 5 * netsim.Microsecond},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 3; step++ {
+		us, _ := stepUpdates(workers, elems, step)
+		res, err := r.AllReduce(us)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(res.Left) > 1 {
+			t.Fatalf("step %d: both workers left — the job is empty", step)
+		}
+	}
+	if !r.Member(1) {
+		t.Error("the refused leaver was retired anyway")
+	}
+}
+
+// TestFaultElasticJoinWhileDegraded is the elastic chaos scenario: the
+// switch dies and the job degrades to host ring all-reduce; while
+// degraded, a detached worker joins; the switch comes back and the job
+// fails back through probation. Every post-join step must be
+// bit-identical to a static full-membership run — across the degrade,
+// the join, and the failback.
+func TestFaultElasticJoinWhileDegraded(t *testing.T) {
+	const workers, elems, steps = 4, 4096, 8
+	log := &eventLog{}
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		// Requested while degraded; committed at the step-4 boundary,
+		// still on the host fabric.
+		{Kind: faults.JoinWorker, Worker: 3, Step: 3, At: 10 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 4, At: 3 * netsim.Millisecond},
+	}}
+	cfg := Config{
+		Workers: workers, PoolSize: 8, SlotElems: 32, LossRecovery: true,
+		RTO:      100 * netsim.Microsecond,
+		Seed:     7,
+		Detached: []int{3},
+		Tracer:   log,
+		Faults:   sc,
+		Health: &HealthConfig{
+			SuspectAfter: 800 * netsim.Microsecond,
+			ProbeEvery:   200 * netsim.Microsecond,
+			Probation:    2,
+		},
+	}
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static reference: all four workers from step 1, no faults.
+	clean, err := NewRack(Config{
+		Workers: workers, PoolSize: 8, SlotElems: 32, LossRecovery: true,
+		RTO: 100 * netsim.Microsecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const joinStep = 4
+	incumbents := []int{0, 1, 2}
+	full := []int{0, 1, 2, 3}
+	for step := 1; step <= steps; step++ {
+		us, _ := stepUpdates(workers, elems, step)
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("step %d (elastic): %v", step, err)
+		}
+		us2, _ := stepUpdates(workers, elems, step)
+		if _, err := clean.AllReduce(us2); err != nil {
+			t.Fatalf("step %d (clean): %v", step, err)
+		}
+		if step < joinStep {
+			checkAggregates(t, r, incumbents, elems, step)
+			continue
+		}
+		// From the join on, the elastic run must match the static
+		// full-membership run bit for bit, on every worker.
+		for _, w := range full {
+			if !reflect.DeepEqual(r.Aggregate(w), clean.Aggregate(w)) {
+				t.Fatalf("step %d: worker %d diverges from the static run", step, w)
+			}
+		}
+	}
+	if !r.Member(3) {
+		t.Error("joiner is not a member")
+	}
+	if r.Degraded() {
+		t.Error("job still degraded after probation")
+	}
+	c := r.Counters()
+	if c["health_degrades"] == 0 || c["health_failbacks"] == 0 {
+		t.Errorf("degrades/failbacks = %d/%d, want both nonzero", c["health_degrades"], c["health_failbacks"])
+	}
+	if c["host_aggregated_elems"] == 0 {
+		t.Error("no elements aggregated by the host fabric")
+	}
+	degrade := log.firstTS(telemetry.EvDegrade)
+	join := log.firstTS(telemetry.EvWorkerJoin)
+	failback := log.firstTS(telemetry.EvFailback)
+	if degrade < 0 || join < 0 || failback < 0 {
+		t.Fatalf("missing events: degrade=%d join=%d failback=%d", degrade, join, failback)
+	}
+	if !(degrade < join && join < failback) {
+		t.Fatalf("the join did not land inside the degraded window: degrade=%d join=%d failback=%d",
+			degrade, join, failback)
+	}
+	if ts := log.firstTS(telemetry.EvFailureDetected); ts >= 0 {
+		t.Errorf("elastic chaos scenario tripped the failure detector at %d", ts)
+	}
+}
+
+// TestFaultElasticChurnWithQuorum exercises leave + join + quorum in
+// one run: a slow worker holds the job back, quorum mode lets slots
+// complete without it, a worker drains out and a detached one joins.
+// The run must stay live and every member must hold the same
+// aggregate at every step (quorum multicasts one value per slot).
+func TestFaultElasticChurnWithQuorum(t *testing.T) {
+	const workers, elems, steps = 5, 2048, 8
+	log := &eventLog{}
+	r, err := NewRack(Config{
+		Workers: workers, LossRecovery: true, Seed: 9,
+		RTO:      100 * netsim.Microsecond,
+		Quorum:   3,
+		Detached: []int{4},
+		Tracer:   log,
+		// Worker 2 runs at a tenth of the line rate: the quorum
+		// completes without it.
+		WorkerLinkBitsPerSec: []float64{10e9, 10e9, 1e9, 10e9, 10e9},
+		Faults: &faults.Scenario{Actions: []faults.Action{
+			{Kind: faults.LeaveWorker, Worker: 1, Step: 3, At: 10 * netsim.Microsecond},
+			{Kind: faults.JoinWorker, Worker: 4, Step: 5, At: 10 * netsim.Microsecond},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := func(step int) []int {
+		switch {
+		case step < 4:
+			return []int{0, 1, 2, 3}
+		case step < 6:
+			return []int{0, 2, 3}
+		default:
+			return []int{0, 2, 3, 4}
+		}
+	}
+	for step := 1; step <= steps; step++ {
+		us, _ := stepUpdates(workers, elems, step)
+		res, err := r.AllReduce(us)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(res.Failed) != 0 {
+			t.Fatalf("step %d: Failed = %v", step, res.Failed)
+		}
+		// Under quorum the aggregate may exclude straggler gradients,
+		// but it must be one value: every member agrees bitwise.
+		ms := members(step)
+		ref := r.Aggregate(ms[0])
+		for _, w := range ms[1:] {
+			if !reflect.DeepEqual(r.Aggregate(w), ref) {
+				t.Fatalf("step %d: worker %d diverges from worker %d", step, w, ms[0])
+			}
+		}
+	}
+	if sw := r.Switch().Stats(); sw.QuorumCompletions == 0 {
+		t.Error("quorum mode never completed a slot short of the membership")
+	}
+	if ts := log.firstTS(telemetry.EvFailureDetected); ts >= 0 {
+		t.Errorf("churn-with-quorum run tripped the failure detector at %d", ts)
+	}
+	if log.firstTS(telemetry.EvWorkerLeave) < 0 || log.firstTS(telemetry.EvWorkerJoin) < 0 {
+		t.Error("membership churn left no join/leave trace")
+	}
+}

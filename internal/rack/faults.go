@@ -106,7 +106,7 @@ func (c *controller) recover() {
 	r.epoch++
 	active := make([]bool, r.cfg.Workers)
 	for i := range active {
-		active[i] = !c.tracker.Dead(i)
+		active[i] = !c.tracker.Dead(i) && !r.hosts[i].detached
 	}
 	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil {
 		if r.faultErr == nil {
@@ -119,7 +119,7 @@ func (c *controller) recover() {
 	resume := false
 	frontier := ^uint64(0)
 	for i, h := range r.hosts {
-		if h.crashed || c.tracker.Dead(i) {
+		if h.crashed || h.detached || c.tracker.Dead(i) {
 			continue
 		}
 		if !h.finished {
@@ -130,7 +130,7 @@ func (c *controller) recover() {
 		}
 	}
 	for i, h := range r.hosts {
-		if h.crashed || c.tracker.Dead(i) {
+		if h.crashed || h.detached || c.tracker.Dead(i) {
 			continue
 		}
 		if !resume {
@@ -149,7 +149,7 @@ func (c *controller) recover() {
 // aggregate.
 func (r *Rack) allLiveDone() bool {
 	for i, h := range r.hosts {
-		if h.crashed || r.dead(i) {
+		if r.skip(i) {
 			continue
 		}
 		if !h.finished {
@@ -203,10 +203,13 @@ func (r *Rack) RestartSwitch() {
 func (r *Rack) restartJob() {
 	r.rejoin = false
 	r.epoch++
+	// The whole job restarts from the checkpoint: the stream restarts
+	// at offset zero, so any later elastic joiner's cursor must too.
+	r.streamOff = 0
 	active := make([]bool, r.cfg.Workers)
 	for i, h := range r.hosts {
-		active[i] = !h.crashed
-		if h.crashed {
+		active[i] = !h.crashed && !h.detached
+		if h.crashed || h.detached {
 			continue
 		}
 		h.resetWorker()
@@ -232,6 +235,10 @@ func (r *Rack) apply(a faults.Action) {
 			h.Restart()
 			r.rejoin = true
 		}
+	case faults.JoinWorker:
+		r.requestJoin(a.Worker)
+	case faults.LeaveWorker:
+		r.requestLeave(a.Worker)
 	case faults.RestartSwitch:
 		r.RestartSwitch()
 	case faults.KillSwitch:
@@ -273,6 +280,104 @@ func (r *Rack) apply(a faults.Action) {
 			l.SetLossModel(ge)
 		}
 	}
+}
+
+// requestJoin queues a graceful join: the detached worker is admitted
+// at the next step boundary by commitMembership. Requests for hosts
+// already inside the membership, or crashed, are ignored — a join is
+// an invitation, not an invariant.
+func (r *Rack) requestJoin(w int) {
+	h := r.hosts[w]
+	if !h.detached || h.crashed {
+		return
+	}
+	r.pendingJoin[w] = true
+	r.membershipDirty = true
+}
+
+// requestLeave begins a graceful leave: the worker keeps contributing
+// until the step boundary (draining its in-flight window — under the
+// globally synchronous step model, the rest of the current tensor),
+// then commitMembership retires it. The liveness tracker is told
+// immediately, so the coming silence is never mistaken for a crash.
+func (r *Rack) requestLeave(w int) {
+	h := r.hosts[w]
+	if h.detached || h.crashed || h.draining || r.dead(w) {
+		return
+	}
+	// Never drain the last member: a job needs at least one worker.
+	members := 0
+	for i := range r.hosts {
+		if !r.skip(i) && !r.hosts[i].draining {
+			members++
+		}
+	}
+	if members <= 1 {
+		return
+	}
+	h.draining = true
+	r.pendingLeave[w] = true
+	r.membershipDirty = true
+	if r.ctrl != nil {
+		r.ctrl.tracker.MarkDraining(w)
+	}
+	r.traceCtrl(telemetry.EvDrainStart, "controller", int32(w), -1)
+}
+
+// commitMembership applies queued graceful joins and leaves at a step
+// boundary: one generation bump, one pool wipe, and a membership
+// reconfiguration covering every queued change — the elastic
+// counterpart of the §5.6 recovery fence, taken where nothing is in
+// flight so no aggregate can be torn. Joiners' stream cursors start
+// at the global frontier; incumbents re-seat the new generation with
+// reset pool versions, matching the wiped switch.
+func (r *Rack) commitMembership() {
+	if !r.membershipDirty {
+		return
+	}
+	r.membershipDirty = false
+	r.epoch++
+	now := int64(r.sim.Now())
+	active := make([]bool, r.cfg.Workers)
+	joined := make([]bool, r.cfg.Workers)
+	for i, h := range r.hosts {
+		if r.pendingJoin[i] && !h.crashed {
+			h.detached = false
+			joined[i] = true
+			h.worker.JoinAt(r.epoch, r.streamOff)
+			if r.ctrl != nil {
+				r.ctrl.tracker.MarkAlive(i, now)
+			}
+			r.traceCtrl(telemetry.EvWorkerJoin, "controller", int32(i), int64(r.epoch))
+		}
+		if r.pendingLeave[i] {
+			h.detached = true
+			h.draining = false
+			if r.ctrl != nil {
+				r.ctrl.tracker.MarkDeparted(i)
+			}
+			r.left = append(r.left, i)
+			r.traceCtrl(telemetry.EvWorkerLeave, "controller", int32(i), int64(r.epoch))
+		}
+		r.pendingJoin[i], r.pendingLeave[i] = false, false
+		active[i] = !h.crashed && !h.detached && !r.dead(i)
+	}
+	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil {
+		if r.faultErr == nil {
+			r.faultErr = err
+		}
+		return
+	}
+	for i, h := range r.hosts {
+		if !active[i] || joined[i] {
+			continue
+		}
+		// Incumbents: install the new generation and reset per-slot
+		// pool versions to match the freshly wiped switch. Nothing is
+		// in flight at a step boundary, so no frontier is needed.
+		h.worker.Resume(r.epoch, h.worker.ChunkCount())
+	}
+	r.traceCtrl(telemetry.EvReconfigure, "controller", -1, int64(r.epoch))
 }
 
 // linksOf returns the access links touched by a link-scoped action:

@@ -168,7 +168,7 @@ func (m *healthMonitor) degrade() {
 	m.degrades++
 	frontier := ^uint64(0)
 	for i, h := range r.hosts {
-		if h.crashed || r.dead(i) {
+		if r.skip(i) {
 			continue
 		}
 		if f := h.worker.FrontierOff(); f < frontier {
@@ -187,7 +187,7 @@ func (m *healthMonitor) stepHosted(updates [][]int32, started []bool, res *Resul
 	empty := true
 	var frontier uint64
 	for i, h := range r.hosts {
-		if h.crashed || r.dead(i) {
+		if r.skip(i) {
 			continue
 		}
 		started[i] = true
@@ -211,8 +211,8 @@ func (m *healthMonitor) stepHosted(updates [][]int32, started []bool, res *Resul
 func (m *healthMonitor) startRing(frontier uint64) {
 	r := m.r
 	m.ringRanks = m.ringRanks[:0]
-	for i, h := range r.hosts {
-		if h.crashed || r.dead(i) {
+	for i := range r.hosts {
+		if r.skip(i) {
 			continue
 		}
 		m.ringRanks = append(m.ringRanks, i)
@@ -330,8 +330,8 @@ func (m *healthMonitor) probeTick() {
 func (m *healthMonitor) sendProbe() {
 	r := m.r
 	w := -1
-	for i, h := range r.hosts {
-		if !h.crashed && !r.dead(i) {
+	for i := range r.hosts {
+		if !r.skip(i) {
 			w = i
 			break
 		}
@@ -393,7 +393,7 @@ func (m *healthMonitor) maybeFailback() {
 		return
 	}
 	for i, h := range r.hosts {
-		if h.crashed || r.dead(i) {
+		if r.skip(i) {
 			continue
 		}
 		h.worker.Resume(r.epoch, h.worker.ChunkCount())

@@ -131,6 +131,19 @@ type Config struct {
 	// that the self-clocking mechanism slows the whole system to the
 	// rate of the slowest worker.
 	WorkerLinkBitsPerSec []float64
+	// Quorum enables straggler mitigation: a slot completes once this
+	// many distinct workers have contributed instead of the full
+	// membership (see core.SwitchConfig.Quorum). Zero keeps full
+	// participation.
+	Quorum int
+	// LatePolicy selects the fate of a straggler's update arriving
+	// after its slot completed at quorum: dropped-and-counted
+	// (core.LateDrop) or folded into the next step (core.LateReconcile).
+	LatePolicy core.LatePolicy
+	// Detached lists workers that exist in the topology but start
+	// outside the job membership; a scripted faults.JoinWorker action
+	// admits them at the next step boundary (elastic join).
+	Detached []int
 }
 
 func (c *Config) fillDefaults() {
@@ -160,8 +173,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Liveness == nil && c.Faults != nil {
 		for _, a := range c.Faults.Actions {
-			if a.Kind == faults.CrashWorker || a.Kind == faults.RestartWorker || a.Kind == faults.RestartSwitch {
+			switch a.Kind {
+			case faults.CrashWorker, faults.RestartWorker, faults.RestartSwitch,
+				faults.JoinWorker, faults.LeaveWorker:
 				c.Liveness = &LivenessConfig{}
+			}
+			if c.Liveness != nil {
 				break
 			}
 		}
@@ -242,6 +259,12 @@ type Result struct {
 	// by the fault script or declared failed by the controller. Their
 	// Done entries are zero and they are excluded from TAT.
 	Failed []int
+	// Left lists the workers that have gracefully departed the job so
+	// far (elastic leave) — retired cleanly, not failed.
+	Left []int
+	// Detached lists the workers outside the membership this step
+	// (never joined, or departed): not failed, not participating.
+	Detached []int
 }
 
 // Rack is a simulated SwitchML deployment.
@@ -267,6 +290,17 @@ type Rack struct {
 	// rejoin marks that a restarted worker is waiting to be re-admitted
 	// at the next step boundary.
 	rejoin bool
+	// streamOff is the global stream offset consumed by completed
+	// steps; an elastic joiner's worker cursor starts here so its
+	// offsets agree with the incumbents'.
+	streamOff uint64
+	// pendingJoin/pendingLeave mark hosts whose graceful membership
+	// change commits at the next step boundary; membershipDirty arms
+	// the commit.
+	pendingJoin, pendingLeave []bool
+	membershipDirty           bool
+	// left records gracefully departed workers, in departure order.
+	left []int
 	// faultErr records an unrecoverable error raised inside the
 	// simulation loop (e.g. a resume frontier no worker can honor).
 	faultErr error
@@ -303,13 +337,25 @@ func NewRack(cfg Config) (*Rack, error) {
 	if cfg.SampleEvery > 0 && cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	for _, w := range cfg.Detached {
+		if w < 0 || w >= cfg.Workers {
+			return nil, fmt.Errorf("rack: detached worker %d out of range [0,%d)", w, cfg.Workers)
+		}
+	}
+	if len(cfg.Detached) >= cfg.Workers {
+		return nil, fmt.Errorf("rack: all %d workers detached; the job needs at least one member", cfg.Workers)
+	}
 	sim := netsim.NewSim(cfg.Seed)
 	sim.SetTracer(cfg.Tracer)
 	sw, err := newSwitchNode(sim, cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := &Rack{cfg: cfg, sim: sim, sw: sw}
+	r := &Rack{
+		cfg: cfg, sim: sim, sw: sw,
+		pendingJoin:  make([]bool, cfg.Workers),
+		pendingLeave: make([]bool, cfg.Workers),
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		h, err := NewWorkerHost(sim, cfg, uint16(i))
 		if err != nil {
@@ -330,6 +376,19 @@ func NewRack(cfg Config) (*Rack, error) {
 		sw.downlinks = append(sw.downlinks, down)
 		r.hosts = append(r.hosts, h)
 		r.uplink = append(r.uplink, up)
+	}
+	if len(cfg.Detached) > 0 {
+		active := make([]bool, cfg.Workers)
+		for i := range active {
+			active[i] = true
+		}
+		for _, w := range cfg.Detached {
+			r.hosts[w].detached = true
+			active[w] = false
+		}
+		if err := sw.sw.Reconfigure(active, r.epoch); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Liveness != nil {
 		r.ctrl = newController(r, *cfg.Liveness)
@@ -417,6 +476,10 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 	if r.rejoin {
 		r.restartJob()
 	}
+	// Graceful membership changes commit at the step boundary: no
+	// tensor is in flight, so the generation bump and pool wipe can
+	// never tear an aggregate.
+	r.commitMembership()
 	if r.health != nil {
 		// Step boundaries are the natural barrier for returning to the
 		// switch: no tensor is in flight.
@@ -438,7 +501,7 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 		r.health.stepHosted(updates, started, &res)
 	} else {
 		for i, h := range r.hosts {
-			if h.crashed || r.dead(i) {
+			if r.skip(i) {
 				continue
 			}
 			started[i] = true
@@ -463,7 +526,14 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 		return Result{}, r.faultErr
 	}
 	unfinished := 0
+	tensorLen := 0
 	for i, h := range r.hosts {
+		if h.detached {
+			// Outside the membership by choice (never joined, or
+			// gracefully departed): not a failure.
+			res.Detached = append(res.Detached, i)
+			continue
+		}
 		if !started[i] || h.crashed || r.dead(i) {
 			res.Failed = append(res.Failed, i)
 			continue
@@ -472,6 +542,7 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 			unfinished++
 			continue
 		}
+		tensorLen = len(updates[i])
 		if d := res.Done[i] - res.Start; d > res.TAT {
 			res.TAT = d
 		}
@@ -481,18 +552,38 @@ func (r *Rack) AllReduce(updates [][]int32) (Result, error) {
 			h.rtts = nil
 		}
 	}
+	res.Left = append([]int(nil), r.left...)
 	if unfinished > 0 {
 		if r.sw.down {
 			return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished: %w", unfinished, ErrSwitchDown)
 		}
 		return Result{}, fmt.Errorf("rack: simulation drained with %d workers unfinished", unfinished)
 	}
+	// The stream advanced by one tensor on every member; an elastic
+	// joiner admitted at the next boundary starts its cursor here.
+	r.streamOff += uint64(tensorLen)
 	return res, nil
 }
 
 // dead reports whether the controller has declared worker i failed.
 func (r *Rack) dead(i int) bool {
 	return r.ctrl != nil && r.ctrl.tracker.Dead(i)
+}
+
+// skip reports whether worker i takes no part in the current step:
+// crashed, declared failed, or outside the membership (detached).
+func (r *Rack) skip(i int) bool {
+	return r.hosts[i].crashed || r.hosts[i].detached || r.dead(i)
+}
+
+// Left returns the workers that have gracefully departed so far, in
+// departure order.
+func (r *Rack) Left() []int { return append([]int(nil), r.left...) }
+
+// Member reports whether worker i is currently inside the job
+// membership (not detached, not crashed, not declared failed).
+func (r *Rack) Member(i int) bool {
+	return i >= 0 && i < len(r.hosts) && !r.skip(i)
 }
 
 // Aggregate returns worker i's aggregation output buffer.
@@ -560,6 +651,8 @@ func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
 		PoolSize:     cfg.PoolSize,
 		SlotElems:    cfg.SlotElems,
 		LossRecovery: cfg.LossRecovery,
+		Quorum:       cfg.Quorum,
+		LatePolicy:   cfg.LatePolicy,
 		Metrics:      cfg.Metrics,
 		Tracer:       cfg.Tracer,
 		Now:          func() int64 { return int64(sim.Now()) },
@@ -658,6 +751,12 @@ type WorkerHost struct {
 	// crashed silences the host entirely: no sends, receives or timer
 	// callbacks, as a process crash or machine failure would.
 	crashed bool
+	// detached marks a host outside the job membership: healthy but
+	// not participating (waiting to join, or gracefully departed).
+	detached bool
+	// draining marks a host that announced a graceful leave and is
+	// finishing its current step before departing at the boundary.
+	draining bool
 	// finished marks that the current tensor's aggregate is complete on
 	// this host; a recovery resume can clear it again.
 	finished bool

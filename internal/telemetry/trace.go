@@ -77,6 +77,18 @@ const (
 	// EvFailback fires when a degraded job returns to the switch path
 	// after the probation window, under a bumped job generation.
 	EvFailback
+	// EvWorkerJoin fires when a graceful join commits: the new worker
+	// is admitted into the membership at a step boundary.
+	EvWorkerJoin
+	// EvWorkerLeave fires when a graceful leave commits: the departing
+	// worker has been retired from the membership.
+	EvWorkerLeave
+	// EvDrainStart fires when a worker's leave announcement is
+	// accepted and it begins draining its in-flight window.
+	EvDrainStart
+	// EvQuorumComplete fires when a slot completes at the quorum
+	// threshold, short of the full membership (straggler mitigation).
+	EvQuorumComplete
 )
 
 var eventNames = [...]string{
@@ -104,6 +116,10 @@ var eventNames = [...]string{
 	EvProbe:           "Probe",
 	EvProbeAck:        "ProbeAck",
 	EvFailback:        "Failback",
+	EvWorkerJoin:      "WorkerJoin",
+	EvWorkerLeave:     "WorkerLeave",
+	EvDrainStart:      "DrainStart",
+	EvQuorumComplete:  "QuorumComplete",
 }
 
 func (t EventType) String() string {

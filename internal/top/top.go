@@ -77,6 +77,20 @@ type AggView struct {
 	Completions uint64  `json:"completions"`
 	AliveCount  int     `json:"alive"`
 	Workers     int     `json:"workers"`
+	// Membership is the elastic-membership roll call: each worker's
+	// status ("member", "draining" or "departed"), with the counts
+	// summarised in Members/DrainingCount/DepartedCount.
+	Membership    []string `json:"membership,omitempty"`
+	Members       int      `json:"members"`
+	DrainingCount int      `json:"draining"`
+	DepartedCount int      `json:"departed"`
+	// QuorumCompletions counts slots completed at the quorum
+	// threshold rather than full participation (0 when quorum is
+	// off); LateDropped/LateReconciled the fate of the stragglers'
+	// late updates.
+	QuorumCompletions uint64 `json:"quorum_completions"`
+	LateDropped       uint64 `json:"late_dropped"`
+	LateReconciled    uint64 `json:"late_reconciled"`
 }
 
 // WorkerView is one worker's row of the cluster view.
@@ -182,17 +196,31 @@ func (p *Poller) Poll() (*ClusterView, error) {
 			answered++
 			agg = &st
 			av := &AggView{
-				Addr:        p.cfg.Agg,
-				Epoch:       st.Epoch,
-				Down:        st.Down,
-				Shards:      st.Shards,
-				Occupancy:   st.Pool.Occupancy,
-				Completions: st.Switch.Completions,
-				Workers:     len(st.Alive),
+				Addr:              p.cfg.Agg,
+				Epoch:             st.Epoch,
+				Down:              st.Down,
+				Shards:            st.Shards,
+				Occupancy:         st.Pool.Occupancy,
+				Completions:       st.Switch.Completions,
+				Workers:           len(st.Alive),
+				Membership:        st.Membership,
+				QuorumCompletions: st.Switch.QuorumCompletions,
+				LateDropped:       st.Switch.LateDropped,
+				LateReconciled:    st.Switch.LateReconciled,
 			}
 			for _, alive := range st.Alive {
 				if alive {
 					av.AliveCount++
+				}
+			}
+			for _, m := range st.Membership {
+				switch m {
+				case "draining":
+					av.DrainingCount++
+				case "departed":
+					av.DepartedCount++
+				default:
+					av.Members++
 				}
 			}
 			if p.prevAgg != nil {
@@ -320,6 +348,19 @@ func Render(w io.Writer, v *ClusterView) {
 			"agg %-24s %-4s epoch %-4d rx %8.0f/s tx %8.0f/s occ %4.0f%% shards %d (imbal %.2f) alive %d/%d\n",
 			a.Addr, up, a.Epoch, a.RxRate, a.TxRate, a.Occupancy*100,
 			a.Shards, a.ShardImbalance, a.AliveCount, a.Workers)
+		if a.DrainingCount > 0 || a.DepartedCount > 0 {
+			// Elastic churn in progress: print the roll call.
+			parts := make([]string, len(a.Membership))
+			for i, m := range a.Membership {
+				parts[i] = fmt.Sprintf("w%d=%s", i, m)
+			}
+			fmt.Fprintf(w, "membership %d member(s), %d draining, %d departed: %s\n",
+				a.Members, a.DrainingCount, a.DepartedCount, strings.Join(parts, " "))
+		}
+		if a.QuorumCompletions > 0 {
+			fmt.Fprintf(w, "quorum %d completion(s), %d late dropped, %d late reconciled\n",
+				a.QuorumCompletions, a.LateDropped, a.LateReconciled)
+		}
 	}
 	if len(v.Workers) > 0 {
 		fmt.Fprintf(w, "%-3s %-9s %-5s %9s %9s %10s %5s %10s %10s %6s %7s %s\n",

@@ -47,8 +47,15 @@ type AggregatorConfig struct {
 	DropResult func(p *packet.Packet) bool
 	// Liveness, when non-nil, enables the failure detector: silent
 	// workers are evicted and the survivors are resumed under a new job
-	// generation (§5.6).
+	// generation (§5.6). It is also the prerequisite for elastic
+	// membership — graceful join and leave need the tracker's
+	// draining/departed bookkeeping.
 	Liveness *LivenessConfig
+	// Absent lists worker ids outside the initial membership: slots
+	// reserved in the worker universe (Switch.Workers) for hosts that
+	// will join later through the graceful-join fence. Requires
+	// Liveness.
+	Absent []int
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing result datagrams — chaos testing on
 	// loopback networks that never misbehave. Control datagrams
@@ -169,13 +176,40 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		closed:  make(chan struct{}),
 	}
 	a.epoch.Store(uint32(cfg.Switch.JobID))
+	if len(cfg.Absent) > 0 && cfg.Liveness == nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: Absent workers need Liveness (elastic membership rides on the failure detector)")
+	}
 	if cfg.Liveness != nil {
 		lc := *cfg.Liveness
 		lc.fillDefaults()
 		a.lv = &liveness{
-			cfg:      lc,
-			tracker:  faults.NewTracker(cfg.Switch.Workers, int64(lc.SilenceAfter)),
-			reported: make([]bool, cfg.Switch.Workers),
+			cfg:       lc,
+			tracker:   faults.NewTracker(cfg.Switch.Workers, int64(lc.SilenceAfter)),
+			reported:  make([]bool, cfg.Switch.Workers),
+			leavePend: make([]bool, cfg.Switch.Workers),
+			leaveOff:  make([]uint64, cfg.Switch.Workers),
+			maxOff:    make([]atomic.Uint64, cfg.Switch.Workers),
+		}
+		if len(cfg.Absent) > 0 {
+			active := make([]bool, cfg.Switch.Workers)
+			for i := range active {
+				active[i] = true
+			}
+			for _, w := range cfg.Absent {
+				if w < 0 || w >= cfg.Switch.Workers {
+					conn.Close()
+					return nil, fmt.Errorf("transport: absent worker %d out of range [0,%d)", w, cfg.Switch.Workers)
+				}
+				// Departed, not dead: the slot is empty by intent, and
+				// the graceful-join fence is how it gets filled.
+				a.lv.tracker.MarkDeparted(w)
+				active[w] = false
+			}
+			if err := a.sw.Reconfigure(active, cfg.Switch.JobID); err != nil {
+				conn.Close()
+				return nil, err
+			}
 		}
 		a.wg.Add(1)
 		go a.sweepLoop()
@@ -256,6 +290,10 @@ func (a *Aggregator) serve(sh *aggShard) {
 			a.handleReport(&sh.pkt, src)
 		case packet.KindProbe:
 			a.handleProbe(sh, src)
+		case packet.KindJoin:
+			a.handleJoin(&sh.pkt, src)
+		case packet.KindLeave:
+			a.handleLeave(&sh.pkt, src)
 		default:
 			// Workers never originate result/reconfig/resume kinds.
 		}
@@ -297,6 +335,11 @@ func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
 			return
 		}
 		a.lv.tracker.Touch(w, time.Now().UnixNano())
+		if a.lv.leaveArmed.Load() {
+			// A drain is pending: this update is the progress evidence
+			// its commit waits on (elastic.go).
+			a.lv.bumpMaxOff(w, p.Off)
+		}
 		if p.JobID != a.epochNow() && a.lv.resumeReady.Load() {
 			sh.ctrl = packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), a.lv.frontier.Load(), nil).AppendMarshal(sh.ctrl[:0])
 			a.conn.WriteToUDPAddrPort(sh.ctrl, src)
@@ -415,7 +458,12 @@ func (a *Aggregator) Reset() {
 		a.lv.tracker.Reset()
 		for i := range a.lv.reported {
 			a.lv.reported[i] = false
+			a.lv.leavePend[i] = false
+			a.lv.leaveOff[i] = 0
+			a.lv.maxOff[i].Store(0)
 		}
+		a.lv.fence = nil
+		a.lv.leaveArmed.Store(false)
 		a.lv.recovering = false
 		a.lv.resumeReady.Store(false)
 		a.lv.frontier.Store(0)

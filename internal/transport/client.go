@@ -115,6 +115,18 @@ type Client struct {
 	epoch uint16
 	// fb is the degraded-mode state; nil unless cfg.Fallback is set.
 	fb *fallback
+	// Elastic-membership state (elastic_client.go): fenceArmed/fenceGen
+	// record a proposed membership change to hold for at the next
+	// tensor boundary; drained means Drain completed and every later
+	// AllReduce fails fast; stateProvider is the model snapshot served
+	// to joiners over the mesh; mbuf/mp are the mesh-serving receive
+	// buffer and decoded packet. All belong to the AllReduce goroutine.
+	fenceArmed    bool
+	fenceGen      uint16
+	drained       bool
+	stateProvider func() []int32
+	mbuf          []byte
+	mp            packet.Packet
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -281,6 +293,9 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 	if len(u) == 0 {
 		return nil, nil
 	}
+	if c.drained {
+		return nil, ErrDrained
+	}
 	if c.cfg.Tracer != nil {
 		e := telemetry.Ev(telemetry.EvTensorStart, telemetry.WallClock())
 		e.Actor = c.actor
@@ -293,6 +308,23 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 		return c.degradedAllReduce(u, deadline)
 	}
 	c.lastProgress = time.Now()
+	if c.fenceArmed {
+		// A membership change is pending and this call sits exactly at
+		// the tensor boundary: hold until the fence commits. A §5.6
+		// recovery superseding the fence may re-open the previous
+		// tensor; drive it back to completion (the re-aggregated result
+		// is the survivors', already superseded for this worker) before
+		// starting the new one.
+		reopened, err := c.holdAtFence(deadline)
+		if err != nil {
+			return nil, err
+		}
+		if reopened {
+			if _, err := c.switchLoop(c.worker.Update(), deadline); err != nil {
+				return nil, err
+			}
+		}
+	}
 	for _, p := range c.worker.Start(u) {
 		err := c.send(p, false)
 		packet.PutPacket(p)
@@ -392,6 +424,11 @@ func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 	switch p.Kind {
 	case packet.KindReconfig:
+		if p.Ver == 1 {
+			// An elastic-membership fence: finish this tensor, then
+			// hold at the boundary (elastic_client.go).
+			return false, c.armFence(p)
+		}
 		// A membership change is in effect. A worker absent from the
 		// survivor vector has been declared failed: its updates will
 		// never be aggregated again, so failing fast beats timing out.

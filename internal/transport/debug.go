@@ -30,6 +30,12 @@ type AggDebugState struct {
 	// Alive the liveness verdicts (all true without a detector).
 	Peers []string `json:"peers"`
 	Alive []bool   `json:"alive"`
+	// Membership is each worker's elastic-membership status:
+	// "member", "draining" (graceful leave announced, finishing its
+	// in-flight window) or "departed" (outside the job: gracefully
+	// left, never admitted, or evicted). Without a failure detector
+	// every worker reads "member".
+	Membership []string `json:"membership"`
 }
 
 // DebugState assembles the aggregator's introspection document.
@@ -53,11 +59,20 @@ func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
 	for i, c := range a.shardCtrs {
 		st.ShardDatagrams[i] = c.Value()
 	}
+	st.Membership = make([]string, len(a.peers))
 	for i := range a.peers {
 		if ap := a.peers[i].Load(); ap != nil {
 			st.Peers[i] = ap.String()
 		}
 		st.Alive[i] = a.Alive(i)
+		switch {
+		case a.Departed(i):
+			st.Membership[i] = "departed"
+		case a.Draining(i):
+			st.Membership[i] = "draining"
+		default:
+			st.Membership[i] = "member"
+		}
 	}
 	return st
 }

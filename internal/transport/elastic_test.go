@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"switchml/internal/core"
+	"switchml/internal/telemetry"
+)
+
+// evCounter is a concurrency-safe tracer that tallies events by type,
+// so tests can assert "zero failure detections" after a graceful
+// membership change.
+type evCounter struct {
+	mu     sync.Mutex
+	counts map[telemetry.EventType]int
+}
+
+func newEvCounter() *evCounter {
+	return &evCounter{counts: make(map[telemetry.EventType]int)}
+}
+
+func (t *evCounter) Emit(e telemetry.Event) {
+	t.mu.Lock()
+	t.counts[e.Type]++
+	t.mu.Unlock()
+}
+
+func (t *evCounter) count(ty telemetry.EventType) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[ty]
+}
+
+// stepUpdate builds worker i's deterministic update for a 1-based
+// step.
+func stepUpdate(i, step, d int) []int32 {
+	u := make([]int32, d)
+	for j := range u {
+		u[j] = int32((i+1)*1000 + step*10 + j%7)
+	}
+	return u
+}
+
+// stepSum is the elementwise sum of stepUpdate over the given member
+// set.
+func stepSum(members []int, step, d int) []int32 {
+	want := make([]int32, d)
+	for _, i := range members {
+		for j, v := range stepUpdate(i, step, d) {
+			want[j] += v
+		}
+	}
+	return want
+}
+
+// TestFaultUDPGracefulDrain runs a live cluster through a mid-job
+// drain: worker 2 announces a graceful leave after step 4 and stops;
+// the survivors keep training. Every step before the drain must carry
+// full-membership sums, every step after survivor-only sums — with
+// zero failure detections: a drain is not a crash.
+func TestFaultUDPGracefulDrain(t *testing.T) {
+	const n, s, k, d, steps, drainAfter = 3, 4, 16, 320, 8, 4
+	tracer := newEvCounter()
+	agg, err := NewAggregator(AggregatorConfig{
+		Addr: "127.0.0.1:0",
+		Switch: core.SwitchConfig{
+			Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+		},
+		Liveness: &LivenessConfig{SilenceAfter: 500 * time.Millisecond},
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	results := make([][][]int32, n) // results[i][step-1]
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		results[i] = make([][]int32, steps)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := NewClient(ClientConfig{
+				Aggregator: agg.Addr().String(),
+				Worker: core.WorkerConfig{
+					ID: uint16(i), Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+				},
+				RTO:     10 * time.Millisecond,
+				Timeout: 20 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			last := steps
+			if i == n-1 {
+				last = drainAfter
+			}
+			for step := 1; step <= last; step++ {
+				out, err := c.AllReduceInt32(stepUpdate(i, step, d))
+				if err != nil {
+					errs[i] = fmt.Errorf("step %d: %w", step, err)
+					return
+				}
+				results[i][step-1] = out
+			}
+			if i == n-1 {
+				if err := c.Drain(); err != nil {
+					errs[i] = err
+					return
+				}
+				// The membership must actually shrink before a drained
+				// worker's AllReduce fails fast.
+				if _, err := c.AllReduceInt32(stepUpdate(i, 99, d)); !errors.Is(err, ErrDrained) {
+					errs[i] = fmt.Errorf("post-drain all-reduce: got %v, want ErrDrained", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+	}
+	full := []int{0, 1, 2}
+	surv := []int{0, 1}
+	for i := 0; i < n-1; i++ {
+		for step := 1; step <= steps; step++ {
+			members := full
+			if step > drainAfter {
+				members = surv
+			}
+			want := stepSum(members, step, d)
+			got := results[i][step-1]
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("worker %d step %d elem %d: got %d want %d (members %v)", i, step, j, got[j], want[j], members)
+				}
+			}
+		}
+	}
+	// Leaver's own steps match the full membership too.
+	for step := 1; step <= drainAfter; step++ {
+		want := stepSum(full, step, d)
+		got := results[n-1][step-1]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("leaver step %d elem %d: got %d want %d", step, j, got[j], want[j])
+			}
+		}
+	}
+	if !agg.Departed(n - 1) {
+		t.Error("leaver is not marked departed")
+	}
+	for i := 0; i < n-1; i++ {
+		if !agg.Alive(i) {
+			t.Errorf("survivor %d is not alive", i)
+		}
+	}
+	if got := tracer.count(telemetry.EvFailureDetected); got != 0 {
+		t.Errorf("graceful drain tripped the failure detector %d times", got)
+	}
+	if got := tracer.count(telemetry.EvDrainStart); got == 0 {
+		t.Error("no drain-start event was traced")
+	}
+	if got := tracer.count(telemetry.EvWorkerLeave); got == 0 {
+		t.Error("no worker-leave event was traced")
+	}
+}
+
+// TestFaultUDPGracefulJoin starts a 2-worker job in a 3-slot universe
+// and admits worker 2 mid-job through the join fence, including the
+// model-state transfer over the fallback mesh from a holding
+// incumbent. Steps before the join must carry incumbent-only sums;
+// from the admission boundary on, every worker — joiner included —
+// must see full-membership sums.
+func TestFaultUDPGracefulJoin(t *testing.T) {
+	const n, s, k, d, steps = 3, 4, 16, 320, 10
+	tracer := newEvCounter()
+	agg, err := NewAggregator(AggregatorConfig{
+		Addr: "127.0.0.1:0",
+		Switch: core.SwitchConfig{
+			Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+		},
+		Liveness: &LivenessConfig{SilenceAfter: 600 * time.Millisecond},
+		Absent:   []int{2},
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	modelState := []int32{7, -3, 42, 0, 1 << 20, -9}
+	clients := make([]*Client, n)
+	meshAddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		c, err := NewClient(ClientConfig{
+			Aggregator: agg.Addr().String(),
+			Worker: core.WorkerConfig{
+				ID: uint16(i), Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
+			},
+			RTO:     10 * time.Millisecond,
+			Timeout: 20 * time.Second,
+			Fallback: &FallbackConfig{
+				Listen: "127.0.0.1:0",
+				// Keep the silence detector far above the fence hold
+				// time so a graceful join never degrades the job.
+				SuspectAfter: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+		meshAddrs[i] = c.MeshAddr().String()
+		if i < n-1 {
+			state := modelState
+			c.SetStateProvider(func() []int32 { return state })
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := clients[i].SetMeshPeers(meshAddrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	results := make([][][]int32, n)
+	errs := make([]error, n)
+	joinStepCh := make(chan int, 1)
+	var fetched []int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		results[i] = make([][]int32, steps)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := clients[i]
+			first := 1
+			if i == n-1 {
+				// Let the incumbents get a few steps in, then join.
+				time.Sleep(100 * time.Millisecond)
+				state, err := c.JoinCluster()
+				if err != nil {
+					errs[i] = err
+					joinStepCh <- steps + 1
+					return
+				}
+				fetched = state
+				first = int(c.Frontier())/d + 1
+				joinStepCh <- first
+			}
+			for step := first; step <= steps; step++ {
+				// Pace the loop so the job is still training when the
+				// joiner solicits — the fence can only be driven by
+				// workers that keep calling AllReduce.
+				time.Sleep(25 * time.Millisecond)
+				out, err := c.AllReduceInt32(stepUpdate(i, step, d))
+				if err != nil {
+					errs[i] = fmt.Errorf("step %d: %w", step, err)
+					return
+				}
+				results[i][step-1] = out
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+	}
+	joinStep := <-joinStepCh
+	if joinStep < 1 || joinStep > steps {
+		t.Fatalf("join landed at step %d, outside the %d-step run", joinStep, steps)
+	}
+	if len(fetched) != len(modelState) {
+		t.Fatalf("state fetch: got %d elements, want %d", len(fetched), len(modelState))
+	}
+	for j := range modelState {
+		if fetched[j] != modelState[j] {
+			t.Fatalf("state fetch elem %d: got %d want %d", j, fetched[j], modelState[j])
+		}
+	}
+	incumbents := []int{0, 1}
+	full := []int{0, 1, 2}
+	for i := 0; i < n; i++ {
+		first := 1
+		if i == n-1 {
+			first = joinStep
+		}
+		for step := first; step <= steps; step++ {
+			members := incumbents
+			if step >= joinStep {
+				members = full
+			}
+			want := stepSum(members, step, d)
+			got := results[i][step-1]
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("worker %d step %d elem %d: got %d want %d (members %v, join at %d)", i, step, j, got[j], want[j], members, joinStep)
+				}
+			}
+		}
+	}
+	if !agg.Alive(2) {
+		t.Error("joiner is not alive after the join")
+	}
+	if got := tracer.count(telemetry.EvFailureDetected); got != 0 {
+		t.Errorf("graceful join tripped the failure detector %d times", got)
+	}
+	if got := tracer.count(telemetry.EvWorkerJoin); got == 0 {
+		t.Error("no worker-join event was traced")
+	}
+}

@@ -226,6 +226,9 @@ func (c *Client) enterFallback(u []int32, deadline time.Time) ([]int32, error) {
 	fb.degraded.Store(true)
 	fb.streak = 0
 	fb.probeAwait = false
+	// A pending membership fence dies with the aggregator that
+	// proposed it; the joiner re-solicits after failback.
+	c.fenceArmed = false
 	fb.degrades.Add(1)
 	c.gDegraded.Set(1)
 	c.trace(telemetry.EvDegrade, -1)

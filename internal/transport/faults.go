@@ -53,6 +53,29 @@ type liveness struct {
 	frontier atomic.Uint64
 	// reported marks workers whose KindReport arrived this generation.
 	reported []bool
+
+	// Elastic membership (elastic.go). fence is the open join fence,
+	// nil when none; leavePend/leaveOff record announced drains and
+	// their boundaries. All three are guarded by the aggregator mutex.
+	fence     *memberFence
+	leavePend []bool
+	leaveOff  []uint64
+	// leaveArmed gates the per-update maxOff bookkeeping so the hot
+	// path pays one atomic load when no drain is pending; maxOff is
+	// each worker's highest seen update offset, the evidence a drain
+	// commit waits on.
+	leaveArmed atomic.Bool
+	maxOff     []atomic.Uint64
+}
+
+// bumpMaxOff raises worker w's proven-progress watermark.
+func (lv *liveness) bumpMaxOff(w int, off uint64) {
+	for {
+		cur := lv.maxOff[w].Load()
+		if off <= cur || lv.maxOff[w].CompareAndSwap(cur, off) {
+			return
+		}
+	}
 }
 
 // sweepLoop is the detector goroutine.
@@ -97,6 +120,7 @@ func (a *Aggregator) sweep(now int64) {
 		// to the workers that have not reported yet.
 		a.sendReconfigLocked()
 	}
+	a.elasticSweepLocked()
 }
 
 // startRecoveryLocked bumps the job generation, installs the shrunken
@@ -113,6 +137,10 @@ func (a *Aggregator) startRecoveryLocked() {
 		return
 	}
 	a.traceCtrl(telemetry.EvReconfigure, -1, int64(a.epochNow()))
+	// Crash recovery cannot wait for a membership fence: abort it (the
+	// joiner retransmits its solicitation and gets a fresh fence once
+	// the survivors have resumed).
+	a.lv.fence = nil
 	a.lv.recovering = true
 	a.lv.resumeReady.Store(false)
 	a.lv.frontier.Store(^uint64(0))
@@ -164,6 +192,12 @@ func (a *Aggregator) sendReconfigLocked() {
 // just gets the directive repeated.
 func (a *Aggregator) handleReport(p *packet.Packet, src netip.AddrPort) {
 	if a.lv == nil {
+		return
+	}
+	if p.Ver == 1 {
+		// A membership-fence boundary confirmation, not a recovery
+		// frontier report (elastic.go).
+		a.handleFenceReport(p, src)
 		return
 	}
 	a.mu.Lock()

@@ -43,6 +43,7 @@ var (
 // calls (not the Waits).
 type Session struct {
 	mu     sync.Mutex
+	c      Collective
 	queue  chan *Future
 	closed bool
 	wg     sync.WaitGroup
@@ -119,7 +120,7 @@ func NewSession(c Collective, buffer int) (*Session, error) {
 	if buffer <= 0 {
 		buffer = 16
 	}
-	s := &Session{queue: make(chan *Future, buffer)}
+	s := &Session{c: c, queue: make(chan *Future, buffer)}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -166,6 +167,37 @@ func (s *Session) submit(f *Future) error {
 	s.queue <- f
 	s.submitted.Add(1)
 	return nil
+}
+
+// Drainer is a Collective that supports a graceful leave: after
+// finishing its in-flight work it departs the job without tripping
+// the failure detector. A UDP Peer implements it.
+type Drainer interface {
+	Drain() error
+}
+
+// Drain gracefully retires this worker from the job: the session
+// stops accepting tensors, every queued tensor is still aggregated
+// (the drain window), and then the endpoint announces its departure —
+// the membership shrinks at a step boundary and the survivors keep
+// training. Returns ErrSessionClosed if the session was already
+// closed, and the endpoint's error if it does not support leaving or
+// the leave fails.
+func (s *Session) Drain() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait() // the queued tensors are the drain window
+	d, ok := s.c.(Drainer)
+	if !ok {
+		return fmt.Errorf("switchml: endpoint %T cannot leave a job gracefully", s.c)
+	}
+	return d.Drain()
 }
 
 // Close drains queued tensors and stops the session. Futures already

@@ -4,10 +4,33 @@ import (
 	"os"
 	"time"
 
+	"switchml/internal/core"
 	"switchml/internal/netsim"
 	"switchml/internal/rack"
 	"switchml/internal/telemetry"
 )
+
+// LatePolicy selects what happens to a straggler's update arriving
+// after its slot already completed at the quorum threshold.
+type LatePolicy int
+
+const (
+	// LateDrop counts and discards late updates; the straggler's
+	// gradient is excluded from that step (it still receives the
+	// retained result, so it keeps pace with the stream).
+	LateDrop LatePolicy = iota
+	// LateReconcile folds a late update into the slot's next
+	// aggregation phase, so the straggler's gradient lands one step
+	// late instead of vanishing.
+	LateReconcile
+)
+
+func (p LatePolicy) internal() core.LatePolicy {
+	if p == LateReconcile {
+		return core.LateReconcile
+	}
+	return core.LateDrop
+}
 
 // SimParams configures a deterministic single-rack simulation, the
 // reproduction stand-in for the paper's testbed.
@@ -70,6 +93,18 @@ type SimParams struct {
 	// (including the health-mode gauge) and histogram interval
 	// quantiles — reported in SimResult.Series.
 	SampleEvery time.Duration
+	// Quorum, when in [1, Workers), enables straggler mitigation: a
+	// slot completes once this many distinct workers contributed, and
+	// late updates are handled per LatePolicy. Zero (or Workers)
+	// selects full participation.
+	Quorum int
+	// LatePolicy selects the fate of a straggler's update arriving
+	// after its slot completed at quorum (LateDrop or LateReconcile).
+	LatePolicy LatePolicy
+	// Detached lists workers that exist in the rack but start outside
+	// the job membership; a scripted FaultJoinWorker action admits
+	// them at a step boundary (elastic join).
+	Detached []int
 	// FlightFile, when non-empty, arms a fault flight recorder: every
 	// protocol event is retained in a ring, and each fault transition
 	// (degrade, failback, reconfigure, crash detection) dumps a
@@ -92,6 +127,12 @@ type SimResult struct {
 	// evicted by the failure detector); their tensors were not
 	// completed.
 	Failed []int
+	// Left lists workers that departed gracefully (FaultLeaveWorker) —
+	// a clean exit, not a failure.
+	Left []int
+	// Detached lists workers outside the membership when the run
+	// ended: never admitted, or gracefully departed.
+	Detached []int
 	// Aggregate is worker 0's result vector.
 	Aggregate []int32
 	// Counters is the run's protocol-counter dump: link traffic
@@ -130,6 +171,9 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		StartDegraded:  params.StartDegraded,
 		NoFallback:     params.NoFallback,
 		SampleEvery:    fromDuration(params.SampleEvery),
+		Quorum:         params.Quorum,
+		LatePolicy:     params.LatePolicy.internal(),
+		Detached:       append([]int(nil), params.Detached...),
 	}
 	if params.BurstLoss != nil {
 		ge := params.BurstLoss.internal()
@@ -180,14 +224,18 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 			return SimResult{}, err
 		}
 	}
-	// Report the first survivor's aggregate: when faults retire
-	// workers mid-run, worker 0 may be among the dead.
+	// Report the first member's aggregate: when faults retire workers
+	// mid-run (or elastic scripts detach them), worker 0 may hold no
+	// completed tensor.
 	survivor := 0
-	failed := make(map[int]bool, len(res.Failed))
+	skip := make(map[int]bool, len(res.Failed)+len(res.Detached))
 	for _, w := range res.Failed {
-		failed[w] = true
+		skip[w] = true
 	}
-	for failed[survivor] && survivor < params.Workers-1 {
+	for _, w := range res.Detached {
+		skip[w] = true
+	}
+	for skip[survivor] && survivor < params.Workers-1 {
 		survivor++
 	}
 	agg := make([]int32, len(tensor))
@@ -197,6 +245,8 @@ func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 		Retransmissions: res.Retransmissions,
 		PoolSize:        r.Config().PoolSize,
 		Failed:          append([]int(nil), res.Failed...),
+		Left:            append([]int(nil), res.Left...),
+		Detached:        append([]int(nil), res.Detached...),
 		Aggregate:       agg,
 		Counters:        r.Counters(),
 		Series:          seriesFrom(r.Series()),

@@ -37,8 +37,22 @@ type AggregatorParams struct {
 	// Liveness, when non-nil, enables the failure detector: silent
 	// workers are evicted and survivors are resumed from the global
 	// progress frontier under a new job generation (§5.6). Idle
-	// workers should send heartbeats (PeerParams.Heartbeat).
+	// workers should send heartbeats (PeerParams.Heartbeat). It is
+	// also the prerequisite for elastic membership (Absent,
+	// Peer.JoinCluster, Peer.Drain).
 	Liveness *LivenessParams
+	// Quorum, when in [1, Workers), enables straggler mitigation: a
+	// slot completes once this many distinct workers contributed;
+	// stragglers' late updates are handled per LatePolicy. Zero (or
+	// Workers) selects full participation.
+	Quorum int
+	// LatePolicy selects the fate of a straggler's update arriving
+	// after its slot completed at quorum (LateDrop or LateReconcile).
+	LatePolicy LatePolicy
+	// Absent lists worker ids outside the initial membership: slots
+	// complete without them, and they enter later through the join
+	// fence (Peer.JoinCluster). Requires Liveness.
+	Absent []int
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing result datagrams (chaos testing).
 	Inject *FaultInjection
@@ -101,8 +115,11 @@ func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error)
 			SlotElems:    params.SlotElems,
 			LossRecovery: true,
 			JobID:        params.JobID,
+			Quorum:       params.Quorum,
+			LatePolicy:   params.LatePolicy.internal(),
 		},
 		Liveness: params.Liveness.transport(),
+		Absent:   append([]int(nil), params.Absent...),
 		Inject:   params.Inject.internal(),
 	}
 	var rec *telemetry.FlightRecorder
@@ -177,6 +194,10 @@ func (a *Aggregator) Stats() AggregatorStats {
 		ResultRetransmissions: st.ResultRetransmissions,
 		StaleUpdates:          st.StaleUpdates,
 		Rejected:              st.Rejected,
+		QuorumCompletions:     st.QuorumCompletions,
+		LateDropped:           st.LateDropped,
+		LateReconciled:        st.LateReconciled,
+		GoneReplies:           st.GoneReplies,
 	}
 }
 
@@ -191,6 +212,14 @@ func (a *Aggregator) Alive(w int) bool { return a.inner.Alive(w) }
 // Epoch returns the current job generation; it starts at JobID and is
 // bumped by every recovery.
 func (a *Aggregator) Epoch() uint16 { return a.inner.Epoch() }
+
+// Departed reports whether worker w left the job gracefully (a drain,
+// not an eviction); monitoring can tell a clean exit from a crash.
+func (a *Aggregator) Departed(w int) bool { return a.inner.Departed(w) }
+
+// Draining reports whether worker w has announced a graceful leave
+// and is finishing its in-flight window.
+func (a *Aggregator) Draining(w int) bool { return a.inner.Draining(w) }
 
 // SetDown "kills" (or revives) the aggregation program while the
 // socket stays bound: every inbound datagram is silently discarded,
@@ -217,6 +246,17 @@ type AggregatorStats struct {
 	StaleUpdates uint64
 	// Rejected counts malformed packets.
 	Rejected uint64
+	// QuorumCompletions counts slots completed at the quorum
+	// threshold before the full membership contributed.
+	QuorumCompletions uint64
+	// LateDropped and LateReconciled count straggler updates arriving
+	// after a quorum completion, per the configured LatePolicy.
+	LateDropped    uint64
+	LateReconciled uint64
+	// GoneReplies counts "gone" replies to stragglers whose phase was
+	// already evicted; those workers self-complete from their local
+	// update.
+	GoneReplies uint64
 }
 
 // Peer is a worker endpoint attached to a remote Aggregator.
@@ -448,6 +488,46 @@ func (p *Peer) SetMeshPeers(addrs []string) error {
 // Degraded reports whether the job currently runs on the host mesh
 // instead of the switch path.
 func (p *Peer) Degraded() bool { return p.inner.Degraded() }
+
+// ErrDrained is returned by all-reduce calls on a peer that has
+// gracefully left the job (Drain). Test with errors.Is.
+var ErrDrained = transport.ErrDrained
+
+// Drain announces a graceful leave: the aggregator marks this worker
+// draining (its coming silence is excused from failure detection),
+// waits for the rest of the membership to pass this worker's stream
+// frontier, and retires it as departed — not dead. After Drain
+// returns, all-reduce calls fail with ErrDrained. The drain needs an
+// aggregator-side failure detector (AggregatorParams.Liveness) and at
+// least one other live worker; it commits only while the survivors
+// keep training (their updates are the evidence the drain boundary
+// was passed).
+func (p *Peer) Drain() error { return p.inner.Drain() }
+
+// JoinCluster admits this worker into a running job through the
+// membership fence: the incumbents hold at their common tensor
+// boundary, the pool is wiped under a bumped generation with this
+// worker in the membership, and everyone resumes at the global
+// frontier. The returned snapshot is the model state fetched from a
+// holding incumbent over the fallback mesh (nil unless both sides
+// armed Fallback and an incumbent installed SetStateProvider). The
+// job must be actively training: only workers inside an all-reduce
+// drive the fence.
+func (p *Peer) JoinCluster() ([]int32, error) { return p.inner.JoinCluster() }
+
+// SetStateProvider installs the snapshot callback served to joiners:
+// while this worker holds at a join fence it answers state-fetch
+// requests over the mesh with the returned vector (taken once per
+// fence, at the hold boundary — so the snapshot is step-aligned).
+func (p *Peer) SetStateProvider(f func() []int32) { p.inner.SetStateProvider(f) }
+
+// Frontier returns the global stream offset this worker has
+// completed through — after JoinCluster, the offset training resumes
+// from.
+func (p *Peer) Frontier() uint64 { return p.inner.Frontier() }
+
+// Drained reports whether this peer has gracefully left the job.
+func (p *Peer) Drained() bool { return p.inner.Drained() }
 
 // FallbackStats snapshots the degradation controller's counters; it
 // is safe to call concurrently with a running all-reduce.
