@@ -11,7 +11,7 @@ GO ?= go
 # Packages whose tests exercise concurrent goroutines against shared
 # state; they must stay clean under the race detector.
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack \
-	./internal/core ./internal/netsim .
+	./internal/core ./internal/netsim ./internal/netio .
 
 .PHONY: check vet lint build test race chaos fuzz bench bench-smoke top-smoke flight-check elastic-smoke examples clean
 
@@ -51,11 +51,12 @@ bench:
 	$(GO) run ./cmd/switchml-bench -scale 100
 
 # Hot-path gate: the zero-allocation assertions (packet codec, switch
-# ingress, sharded dispatch, event scheduling) plus a smoke run of the
-# hotpath micro-benchmarks. Regenerate the committed baseline with:
+# ingress, sharded dispatch, event scheduling, batched socket I/O and
+# the aggregator's stage/flush cycle) plus a smoke run of the hotpath
+# micro-benchmarks. Regenerate the committed baseline with:
 #   $(GO) run ./cmd/switchml-bench -scale 1 -artifacts . hotpath
 bench-smoke:
-	$(GO) test -run 'ZeroAlloc|Hotpath' ./internal/packet ./internal/core ./internal/netsim ./internal/bench
+	$(GO) test -run 'ZeroAlloc|Hotpath' ./internal/packet ./internal/core ./internal/netsim ./internal/netio ./internal/transport ./internal/bench
 
 # Observability smoke: switchml-top boots an in-process cluster over
 # loopback UDP, polls its own debug endpoints and validates the JSON

@@ -59,6 +59,10 @@ func main() {
 		"complete each slot once this many members contributed (0 = full participation); stragglers handled per -late-policy")
 	latePolicy := flag.String("late-policy", "drop",
 		"fate of straggler updates arriving after quorum completion: drop or reconcile")
+	batch := flag.Int("batch", 0,
+		"per-shard I/O burst ceiling: datagrams per recvmmsg/sendmmsg (0 = 32, 1 = legacy per-packet syscalls)")
+	busyPoll := flag.Bool("busy-poll", false,
+		"spin briefly on an empty socket before parking in the poller (lower latency, more CPU)")
 	flag.Parse()
 
 	params := switchml.AggregatorParams{
@@ -66,6 +70,8 @@ func main() {
 		PoolSize:  *pool,
 		SlotElems: *elems,
 		Quorum:    *quorum,
+		Batch:     *batch,
+		BusyPoll:  *busyPoll,
 	}
 	switch *latePolicy {
 	case "drop":

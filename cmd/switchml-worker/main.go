@@ -70,6 +70,10 @@ func main() {
 		"gracefully leave the job after this many iterations (0 = run all -iters); SIGTERM/SIGINT also drain")
 	verify := flag.Bool("verify", true,
 		"check the first aggregated element against the full-membership sum (disable in elastic jobs, where membership churn changes the expected sums)")
+	batch := flag.Int("batch", 0,
+		"I/O burst ceiling: datagrams per batched send/receive syscall (0 = 32, 1 = legacy per-packet syscalls)")
+	busyPoll := flag.Bool("busy-poll", false,
+		"spin briefly on an empty socket before parking in the poller (lower latency, more CPU)")
 	flag.Parse()
 
 	elastic := *join || *drainAfter > 0
@@ -87,6 +91,8 @@ func main() {
 		RTO:         *rto,
 		Heartbeat:   *heartbeat,
 		AdaptiveRTO: *adaptiveRTO,
+		Batch:       *batch,
+		BusyPoll:    *busyPoll,
 	}
 	if *flightDir != "" {
 		params.Flight = &switchml.FlightParams{Dir: *flightDir}

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -156,6 +158,9 @@ func LoadModule(root string) (*Module, error) {
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %w", err)
 			}
+			if !buildIncluded(e.Name(), f) {
+				continue
+			}
 			files = append(files, f)
 		}
 		if len(files) > 0 {
@@ -216,6 +221,90 @@ func LoadModule(root string) (*Module, error) {
 		pending = next
 	}
 	return m, nil
+}
+
+// knownOS and knownArch drive the _GOOS/_GOARCH filename convention,
+// mirroring the toolchain's lists closely enough for this module.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildIncluded reports whether a source file belongs to the package
+// on the platform running the analysis, honoring both the
+// name_GOOS_GOARCH.go filename convention and //go:build lines.
+// Platform-specific packages (internal/netio) would otherwise
+// redeclare their symbols when every variant is loaded at once.
+func buildIncluded(name string, f *ast.File) bool {
+	if !suffixIncluded(name) {
+		return false
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					return true
+				}
+				return expr.Eval(buildTagMatches)
+			}
+		}
+	}
+	return true
+}
+
+// buildTagMatches evaluates one //go:build tag for the current
+// platform.
+func buildTagMatches(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixOS[runtime.GOOS]
+	case tag == "gc":
+		return true
+	case strings.HasPrefix(tag, "go1"):
+		// Release tags accumulate: a module that compiles here has
+		// every tag its go.mod demands.
+		return true
+	}
+	return false
+}
+
+// suffixIncluded applies the _GOOS, _GOARCH and _GOOS_GOARCH filename
+// suffix rules.
+func suffixIncluded(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		parts = parts[:len(parts)-1]
+		last = parts[len(parts)-1]
+	}
+	if knownOS[last] && last != runtime.GOOS {
+		return false
+	}
+	return true
 }
 
 // FindModuleRoot walks upward from dir to the nearest directory

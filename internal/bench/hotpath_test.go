@@ -39,9 +39,29 @@ func TestSmokeHotpath(t *testing.T) {
 	if pooled == 0 {
 		t.Error("no pooled measurements in report")
 	}
-	for _, key := range []string{"cycle_speedup_pooled_vs_legacy", "shard_speedup_4x_vs_1x"} {
+	for _, key := range []string{"cycle_speedup_pooled_vs_legacy", "shard_speedup_4x_vs_1x", "udp_batched_speedup_4shards"} {
 		if rep.Derived[key] <= 0 {
 			t.Errorf("derived %s missing", key)
 		}
+	}
+	// The batched run must record its burst shape: the configured
+	// batch size and a live occupancy histogram.
+	if rep.Derived["udp_batch_size"] < 2 {
+		t.Errorf("udp_batch_size = %v, want the batched default", rep.Derived["udp_batch_size"])
+	}
+	// Under SWITCHML_NO_MMSG=1 every burst is 1 datagram and the
+	// histogram interpolation reads p50 as 0.5, so only demand that
+	// the occupancy histogram recorded at all.
+	if rep.Derived["udp_batch_occupancy_p50"] <= 0 {
+		t.Errorf("udp_batch_occupancy_p50 = %v, want > 0", rep.Derived["udp_batch_occupancy_p50"])
+	}
+	found := 0
+	for _, r := range rep.Results {
+		if r.Name == "udp/agg-batched" || r.Name == "udp/agg-unbatched" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("udp section incomplete: %d rows", found)
 	}
 }

@@ -1,0 +1,32 @@
+//go:build !linux
+
+package netio
+
+import (
+	"net/netip"
+	"syscall"
+)
+
+// Non-Linux targets have no batched syscalls to reach for; every Conn
+// runs ModePortable and these stubs are never invoked (netio.go
+// branches on the mode before calling them).
+
+type platform struct{}
+
+func (c *Conn) initPlatform() error { return nil }
+
+func (c *Conn) sysRecv() (int, error) { return 0, errAddrFamily }
+
+func (c *Conn) sysAppendTo(payload []byte, to netip.AddrPort) {}
+
+func (c *Conn) sysAppendTrain(block []byte, seg int, to netip.AddrPort) {}
+
+func (c *Conn) sysFlush() {}
+
+func (c *Conn) sysPending() int { return 0 }
+
+// ControlReusePort refuses: SO_REUSEPORT load balancing across
+// sockets is a Linux behavior; elsewhere shards share one socket.
+func ControlReusePort(network, address string, rc syscall.RawConn) error {
+	return ErrReusePortUnsupported
+}

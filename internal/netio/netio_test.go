@@ -1,0 +1,346 @@
+package netio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pair binds a loopback listener and dials it, wrapping both ends.
+func pair(t *testing.T, cfg Config) (srv, cli *Conn) {
+	t.Helper()
+	lu, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { lu.Close() })
+	du, err := net.DialUDP("udp", nil, lu.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { du.Close() })
+	srv, err = Wrap(lu, cfg)
+	if err != nil {
+		t.Fatalf("wrap listener: %v", err)
+	}
+	cli, err = Wrap(du, cfg)
+	if err != nil {
+		t.Fatalf("wrap dialer: %v", err)
+	}
+	return srv, cli
+}
+
+// collect drains conn until want datagrams arrived or the deadline
+// passed, appending copies of each payload.
+func collect(t *testing.T, c *Conn, want int) [][]byte {
+	t.Helper()
+	var got [][]byte
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < want {
+		c.SetReadDeadline(deadline)
+		n, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv after %d/%d datagrams: %v", len(got), want, err)
+		}
+		for _, m := range c.Msgs[:n] {
+			got = append(got, bytes.Clone(m.Buf))
+		}
+	}
+	return got
+}
+
+func modeConfigs() map[string]Config {
+	return map[string]Config{
+		"default":  {Batch: 16, MTU: 512},
+		"portable": {Batch: 16, MTU: 512, ForcePortable: true},
+	}
+}
+
+// TestHotpathRoundTrip is the golden exchange: a burst of distinct
+// datagrams staged with AppendTo arrives intact (payloads and
+// ordering within the flow preserved on loopback), in every mode the
+// platform offers.
+func TestHotpathRoundTrip(t *testing.T) {
+	for name, cfg := range modeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			srv, cli := pair(t, cfg)
+			t.Logf("server mode %v, client mode %v", srv.Mode(), cli.Mode())
+			const n = 12
+			var sent [][]byte
+			for i := 0; i < n; i++ {
+				p := []byte(fmt.Sprintf("datagram-%02d-%s", i, name))
+				sent = append(sent, p)
+				cli.AppendTo(p, netip.AddrPort{})
+			}
+			if cli.Pending() == 0 {
+				t.Fatalf("nothing staged")
+			}
+			cli.Flush()
+			if cli.Pending() != 0 {
+				t.Fatalf("flush left %d staged", cli.Pending())
+			}
+			got := collect(t, srv, n)
+			for i := range sent {
+				if !bytes.Equal(got[i], sent[i]) {
+					t.Fatalf("datagram %d: got %q want %q", i, got[i], sent[i])
+				}
+			}
+			if se := cli.SendErrors(); se != 0 {
+				t.Fatalf("send errors: %d", se)
+			}
+		})
+	}
+}
+
+// TestTrainRoundTrip sends equal-size segment trains through
+// AppendTrain — the multicast/window-fill shape — and checks the
+// receiver sees them split back into the original datagrams whatever
+// combination of GSO, mmsg or portable I/O each side picked.
+func TestTrainRoundTrip(t *testing.T) {
+	for name, cfg := range modeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			srv, cli := pair(t, cfg)
+			const seg, nseg = 96, 10
+			block := make([]byte, seg*nseg-32) // ragged tail: last seg short
+			rng := rand.New(rand.NewSource(7))
+			rng.Read(block)
+			cli.AppendTrain(block, seg, netip.AddrPort{})
+			cli.Flush()
+			want := (len(block) + seg - 1) / seg
+			got := collect(t, srv, want)
+			for i := 0; i < want; i++ {
+				lo := i * seg
+				hi := lo + seg
+				if hi > len(block) {
+					hi = len(block)
+				}
+				if !bytes.Equal(got[i], block[lo:hi]) {
+					t.Fatalf("segment %d mismatch (%d bytes, want %d)", i, len(got[i]), hi-lo)
+				}
+			}
+		})
+	}
+}
+
+// TestReplyAddressing checks the unconnected side can answer a burst
+// using the source addresses Recv decoded — the aggregator's reply
+// path.
+func TestReplyAddressing(t *testing.T) {
+	for name, cfg := range modeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			srv, cli := pair(t, cfg)
+			cli.AppendTo([]byte("ping"), netip.AddrPort{})
+			cli.Flush()
+			srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+			n, err := srv.Recv()
+			if err != nil || n != 1 {
+				t.Fatalf("recv: n=%d err=%v", n, err)
+			}
+			src := srv.Msgs[0].Addr
+			if !src.IsValid() || src.Port() == 0 {
+				t.Fatalf("no source address decoded: %v", src)
+			}
+			srv.AppendTo([]byte("pong"), src)
+			srv.Flush()
+			got := collect(t, cli, 1)
+			if string(got[0]) != "pong" {
+				t.Fatalf("reply: %q", got[0])
+			}
+		})
+	}
+}
+
+// TestPortableEquivalence drives an identical seeded workload through
+// the platform's best mode and the forced portable path and asserts
+// byte-identical receipt — the guarantee that lets the transport flip
+// between them without behavioral drift.
+func TestPortableEquivalence(t *testing.T) {
+	run := func(cfg Config) []byte {
+		lu, _ := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		defer lu.Close()
+		du, _ := net.DialUDP("udp", nil, lu.LocalAddr().(*net.UDPAddr))
+		defer du.Close()
+		srv, err := Wrap(lu, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := Wrap(du, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		sum := make([]byte, 0, 4096)
+		for round := 0; round < 8; round++ {
+			block := make([]byte, 128*8)
+			rng.Read(block)
+			cli.AppendTrain(block, 128, netip.AddrPort{})
+			small := make([]byte, 1+rng.Intn(64))
+			rng.Read(small)
+			cli.AppendTo(small, netip.AddrPort{})
+			cli.Flush()
+			want := 8 + 1
+			deadline := time.Now().Add(5 * time.Second)
+			for got := 0; got < want; {
+				srv.SetReadDeadline(deadline)
+				n, err := srv.Recv()
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				for _, m := range srv.Msgs[:n] {
+					sum = append(sum, m.Buf...)
+					got++
+				}
+			}
+		}
+		return sum
+	}
+	fast := run(Config{Batch: 8, MTU: 1024})
+	slow := run(Config{Batch: 8, MTU: 1024, ForcePortable: true})
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("batched and portable paths received different byte streams (%d vs %d bytes)", len(fast), len(slow))
+	}
+}
+
+// TestForcedPortableEnv pins the SWITCHML_NO_MMSG escape hatch.
+func TestForcedPortableEnv(t *testing.T) {
+	t.Setenv(NoMmsgEnv, "1")
+	lu, _ := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	defer lu.Close()
+	c, err := Wrap(lu, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != ModePortable {
+		t.Fatalf("mode %v under %s=1, want portable", c.Mode(), NoMmsgEnv)
+	}
+}
+
+// TestZeroAllocRecvFlush is the AllocsPerRun gate behind the
+// //switchml:hotpath annotations on Recv/AppendTo/AppendTrain/Flush:
+// a steady-state echo cycle must not touch the heap in any mode.
+func TestZeroAllocRecvFlush(t *testing.T) {
+	for name, cfg := range modeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			srv, cli := pair(t, cfg)
+			payload := bytes.Repeat([]byte{0xab}, 256)
+			block := bytes.Repeat([]byte{0xcd}, 256*4)
+			deadline := time.Now().Add(30 * time.Second)
+			srv.SetReadDeadline(deadline)
+			cli.SetReadDeadline(deadline)
+			step := func() {
+				cli.AppendTo(payload, netip.AddrPort{})
+				cli.AppendTrain(block, 256, netip.AddrPort{})
+				cli.Flush()
+				for got := 0; got < 5; {
+					n, err := srv.Recv()
+					if err != nil {
+						t.Fatalf("recv: %v", err)
+					}
+					got += n
+				}
+			}
+			step() // warm both paths
+			if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+				t.Errorf("echo cycle allocates %.2f/op in mode %v, want 0", allocs, cli.Mode())
+			}
+		})
+	}
+}
+
+// TestShardedBurstRace exercises the REUSEPORT sharding layout under
+// the race detector: several shard sockets bound to one address, each
+// owned by a goroutine running recv bursts and staged echoes, against
+// concurrent senders. Skipped where SO_REUSEPORT steering is
+// unavailable.
+func TestShardedBurstRace(t *testing.T) {
+	const shards = 4
+	lc := net.ListenConfig{Control: ControlReusePort}
+	first, err := lc.ListenPacket(t.Context(), "udp", "127.0.0.1:0")
+	if err != nil || os.Getenv(NoMmsgEnv) != "" {
+		t.Skipf("SO_REUSEPORT unavailable: %v", err)
+	}
+	addr := first.LocalAddr().String()
+	conns := []*net.UDPConn{first.(*net.UDPConn)}
+	for i := 1; i < shards; i++ {
+		pc, err := lc.ListenPacket(t.Context(), "udp", addr)
+		if err != nil {
+			t.Skipf("second REUSEPORT bind failed: %v", err)
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+	}
+	var echoed atomic.Int64
+	var wg sync.WaitGroup
+	for _, u := range conns {
+		nc, err := Wrap(u, Config{Batch: 16, MTU: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n, err := nc.Recv()
+				if err != nil {
+					return // closed or deadline: shard done
+				}
+				for _, m := range nc.Msgs[:n] {
+					nc.AppendTo(m.Buf, m.Addr)
+				}
+				nc.Flush()
+				echoed.Add(int64(n))
+			}
+		}()
+	}
+	const senders, perSender = 4, 200
+	var swg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		swg.Add(1)
+		go func(seed int64) {
+			defer swg.Done()
+			du, err := net.Dial("udp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer du.Close()
+			buf := make([]byte, 200)
+			rand.New(rand.NewSource(seed)).Read(buf)
+			go func() { // drain echoes so socket buffers never clog
+				b := make([]byte, 512)
+				for {
+					if _, err := du.Read(b); err != nil {
+						return
+					}
+				}
+			}()
+			for i := 0; i < perSender; i++ {
+				if _, err := du.Write(buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}(int64(s))
+	}
+	swg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for echoed.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, u := range conns {
+		u.SetReadDeadline(time.Now())
+		u.Close()
+	}
+	wg.Wait()
+	if echoed.Load() == 0 {
+		t.Fatalf("no datagrams reached the shard sockets")
+	}
+	t.Logf("shards echoed %d datagrams", echoed.Load())
+}

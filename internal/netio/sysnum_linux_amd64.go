@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package netio
+
+// Raw syscall numbers: sendmmsg postdates the frozen syscall package
+// on some targets, so both are spelled out per architecture.
+const (
+	sysRecvmmsg   = 299
+	sysSendmmsg   = 307
+	mmsgSupported = true
+)

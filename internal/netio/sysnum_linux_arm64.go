@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package netio
+
+const (
+	sysRecvmmsg   = 243
+	sysSendmmsg   = 269
+	mmsgSupported = true
+)

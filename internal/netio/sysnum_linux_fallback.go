@@ -1,0 +1,11 @@
+//go:build linux && !amd64 && !arm64
+
+package netio
+
+// Architectures whose mmsg syscall numbers are not spelled out stay
+// on the portable path; the numbers below are never invoked.
+const (
+	sysRecvmmsg   = 0
+	sysSendmmsg   = 0
+	mmsgSupported = false
+)

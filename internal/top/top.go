@@ -91,6 +91,13 @@ type AggView struct {
 	QuorumCompletions uint64 `json:"quorum_completions"`
 	LateDropped       uint64 `json:"late_dropped"`
 	LateReconciled    uint64 `json:"late_reconciled"`
+	// Batch and NetMode describe the shard loops' I/O strategy
+	// (recvmmsg/sendmmsg burst ceiling and the selected mode);
+	// SendErrors is the cumulative udp_send_errors counter — datagrams
+	// the kernel refused that would previously vanish silently.
+	Batch      int    `json:"batch"`
+	NetMode    string `json:"net_mode,omitempty"`
+	SendErrors uint64 `json:"udp_send_errors"`
 }
 
 // WorkerView is one worker's row of the cluster view.
@@ -113,6 +120,8 @@ type WorkerView struct {
 	Retransmissions uint64  `json:"retransmissions"`
 	Degrades        uint64  `json:"degrades"`
 	Failbacks       uint64  `json:"failbacks"`
+	// SendErrors is the worker's cumulative udp_send_errors counter.
+	SendErrors uint64 `json:"udp_send_errors"`
 }
 
 // ClusterView is one poll's assembled cluster state.
@@ -207,6 +216,9 @@ func (p *Poller) Poll() (*ClusterView, error) {
 				QuorumCompletions: st.Switch.QuorumCompletions,
 				LateDropped:       st.Switch.LateDropped,
 				LateReconciled:    st.Switch.LateReconciled,
+				Batch:             st.Batch,
+				NetMode:           st.NetMode,
+				SendErrors:        st.SendErrors,
 			}
 			for _, alive := range st.Alive {
 				if alive {
@@ -251,6 +263,7 @@ func (p *Poller) Poll() (*ClusterView, error) {
 			Retransmissions: st.Stats.Retransmissions,
 			Degrades:        st.Fallback.Degrades,
 			Failbacks:       st.Fallback.Failbacks,
+			SendErrors:      st.SendErrors,
 		}
 		if st.Degraded {
 			wv.State = "DEGRADED"
@@ -344,10 +357,14 @@ func Render(w io.Writer, v *ClusterView) {
 		if a.Down {
 			up = "DOWN"
 		}
+		io := ""
+		if a.NetMode != "" {
+			io = fmt.Sprintf(" io %s/%d", a.NetMode, a.Batch)
+		}
 		fmt.Fprintf(w,
-			"agg %-24s %-4s epoch %-4d rx %8.0f/s tx %8.0f/s occ %4.0f%% shards %d (imbal %.2f) alive %d/%d\n",
+			"agg %-24s %-4s epoch %-4d rx %8.0f/s tx %8.0f/s occ %4.0f%% shards %d (imbal %.2f) alive %d/%d serr %d%s\n",
 			a.Addr, up, a.Epoch, a.RxRate, a.TxRate, a.Occupancy*100,
-			a.Shards, a.ShardImbalance, a.AliveCount, a.Workers)
+			a.Shards, a.ShardImbalance, a.AliveCount, a.Workers, a.SendErrors, io)
 		if a.DrainingCount > 0 || a.DepartedCount > 0 {
 			// Elastic churn in progress: print the roll call.
 			parts := make([]string, len(a.Membership))
@@ -363,14 +380,14 @@ func Render(w io.Writer, v *ClusterView) {
 		}
 	}
 	if len(v.Workers) > 0 {
-		fmt.Fprintf(w, "%-3s %-9s %-5s %9s %9s %10s %5s %10s %10s %6s %7s %s\n",
+		fmt.Fprintf(w, "%-3s %-9s %-5s %9s %9s %10s %5s %10s %10s %6s %7s %5s %s\n",
 			"wrk", "state", "epoch", "srtt", "rto", "frontier", "pend",
-			"rx/s", "tx/s", "loss", "retx", "deg/fb")
+			"rx/s", "tx/s", "loss", "retx", "serr", "deg/fb")
 		for _, wk := range v.Workers {
-			fmt.Fprintf(w, "%-3d %-9s %-5d %7.2fms %7.2fms %10d %5d %10.0f %10.0f %5.1f%% %7d %d/%d\n",
+			fmt.Fprintf(w, "%-3d %-9s %-5d %7.2fms %7.2fms %10d %5d %10.0f %10.0f %5.1f%% %7d %5d %d/%d\n",
 				wk.Worker, wk.State, wk.Epoch, wk.SRTTMs, wk.RTOMs,
 				wk.FrontierOff, wk.PendingChunks, wk.RxRate, wk.TxRate,
-				wk.LossRate*100, wk.Retransmissions, wk.Degrades, wk.Failbacks)
+				wk.LossRate*100, wk.Retransmissions, wk.SendErrors, wk.Degrades, wk.Failbacks)
 		}
 	}
 	for _, e := range v.Errors {

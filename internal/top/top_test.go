@@ -93,14 +93,18 @@ func TestPollerRatesAndFlags(t *testing.T) {
 		Pool:           core.PoolState{Occupancy: 0.5},
 		Peers:          []string{"a", "b"},
 		Alive:          []bool{true, false},
+		Batch:          32,
+		NetMode:        "mmsg",
+		SendErrors:     7,
 	}))
 	w0Doc.Store(ptrAny(transport.ClientDebugState{
 		Role: "worker", Worker: 0, Epoch: 8, Degraded: true,
 		SRTTNs: 2_000_000, RTONs: 8_000_000,
 		FrontierOff: 8192, PendingChunks: 0,
 		Received: 300, Sent: 350,
-		Stats:    core.WorkerStats{Sent: 310, Retransmissions: 50},
-		Fallback: transport.FallbackStats{Degrades: 2, Failbacks: 1},
+		Stats:      core.WorkerStats{Sent: 310, Retransmissions: 50},
+		Fallback:   transport.FallbackStats{Degrades: 2, Failbacks: 1},
+		SendErrors: 3,
 	}))
 	now = now.Add(2 * time.Second)
 	v2, err := p.Poll()
@@ -123,6 +127,12 @@ func TestPollerRatesAndFlags(t *testing.T) {
 	wk := v2.Workers[0]
 	if wk.State != "DEGRADED" || wk.Epoch != 8 {
 		t.Errorf("worker state = %+v", wk)
+	}
+	if v2.Agg.SendErrors != 7 || v2.Agg.NetMode != "mmsg" || v2.Agg.Batch != 32 {
+		t.Errorf("agg I/O columns = %+v", v2.Agg)
+	}
+	if wk.SendErrors != 3 {
+		t.Errorf("worker send errors = %d, want 3", wk.SendErrors)
 	}
 	if got := wk.RxRate; got != 100 {
 		t.Errorf("worker rx rate = %v, want 100", got)
@@ -147,7 +157,7 @@ func TestPollerRatesAndFlags(t *testing.T) {
 	var buf bytes.Buffer
 	Render(&buf, v2)
 	out := buf.String()
-	for _, want := range []string{"DEGRADED", "loss-spike", "rx/s", "agg "} {
+	for _, want := range []string{"DEGRADED", "loss-spike", "rx/s", "agg ", "serr", "io mmsg/32"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q in:\n%s", want, out)
 		}

@@ -10,6 +10,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -20,9 +21,20 @@ import (
 
 	"switchml/internal/core"
 	"switchml/internal/faults"
+	"switchml/internal/netio"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
 )
+
+// DefaultBatch is the burst ceiling selected when a Batch field is
+// left zero: deep enough to amortize the per-wakeup syscall cost,
+// shallow enough that one burst's replies fit comfortably in socket
+// buffers.
+const DefaultBatch = 32
+
+// BatchOccupancyBuckets bound the batch-occupancy histograms:
+// datagrams drained per receive wakeup.
+var BatchOccupancyBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 // AggregatorConfig configures a software aggregator.
 type AggregatorConfig struct {
@@ -35,11 +47,25 @@ type AggregatorConfig struct {
 	// Shards is the number of receive goroutines draining the socket,
 	// the software analogue of the paper's Flow Director steering
 	// (Appendix B: "every CPU core ... uses a disjoint set of
-	// aggregation slots"). Zero selects 4. The kernel delivers each
-	// datagram to exactly one reader; per-slot locking inside the
-	// sharded switch keeps concurrent handling correct no matter
-	// which goroutine a packet lands on.
+	// aggregation slots"). Zero selects 4. With batching enabled each
+	// shard owns its own SO_REUSEPORT socket where the platform
+	// allows, so the kernel itself steers each worker flow to exactly
+	// one shard; otherwise the shards share one socket. Per-slot
+	// locking inside the sharded switch keeps concurrent handling
+	// correct no matter which goroutine a packet lands on.
 	Shards int
+	// Batch is the per-shard burst ceiling: each shard reads up to
+	// Batch datagrams per wakeup (one recvmmsg on Linux), runs every
+	// packet to completion, and flushes all replies in one sendmmsg —
+	// equal-size result multicasts ride UDP segmentation-offload
+	// trains where the kernel supports them. Zero selects 32; 1
+	// selects the legacy one-datagram-per-syscall loop (the
+	// measurement baseline, and the exact pre-batching behavior).
+	Batch int
+	// BusyPoll makes shard receive loops spin briefly on an empty
+	// socket before parking in the netpoller, trading CPU for latency.
+	// Only meaningful with Batch > 1.
+	BusyPoll bool
 	// DropResult, when non-nil, is consulted before each result send
 	// and drops the packet when it returns true. It exists for loss
 	// testing on loopback networks that never drop. The packet is
@@ -86,13 +112,30 @@ type AggregatorConfig struct {
 type Aggregator struct {
 	cfg  AggregatorConfig
 	conn *net.UDPConn
-	sw   *core.ShardedSwitch
-	reg  *telemetry.Registry
+	// conns are every socket bound to the listen address: just conn,
+	// or one SO_REUSEPORT socket per shard when batching could claim
+	// them. conn == conns[0] always; the control plane sends on it.
+	conns []*net.UDPConn
+	sw    *core.ShardedSwitch
+	reg   *telemetry.Registry
+	// netMode names the I/O strategy the shard loops run
+	// ("per-packet", or the netio mode: portable/mmsg/gso). Written
+	// once before the serving goroutines start.
+	netMode string
 
 	recvd, corrupt, sent *telemetry.Counter
+	// sendErrs counts result/control datagrams whose socket send
+	// failed. UDP stays best-effort — the protocol's loss recovery
+	// owns repair — but a non-zero rate points at dead routes or
+	// misconfiguration, so it is surfaced instead of discarded.
+	sendErrs *telemetry.Counter
 	// shardCtrs[i] counts datagrams drained by shard i, the load view
 	// switchml-top derives shard balance from.
 	shardCtrs []*telemetry.Counter
+	// shardOcc[i] observes shard i's burst occupancy (datagrams per
+	// recv wakeup); its quantiles tell how full the batch pipeline
+	// actually runs.
+	shardOcc []*telemetry.Histogram
 
 	inj *faults.PacketInjector
 
@@ -119,7 +162,7 @@ type Aggregator struct {
 // the datagram-in/datagrams-out cycle touches no shared mutable
 // memory beyond the slot being aggregated.
 type aggShard struct {
-	buf     []byte        // datagram receive buffer
+	buf     []byte        // datagram receive buffer (legacy loop)
 	pkt     packet.Packet // decoded request (vector storage reused)
 	out     packet.Packet // response storage for HandleInto
 	wire    []byte        // marshalled response
@@ -128,12 +171,27 @@ type aggShard struct {
 	// datagrams is this shard's share of the drain load (atomic; one
 	// captured pointer, so counting stays allocation-free).
 	datagrams *telemetry.Counter
+
+	// Batched-loop state. nc is the shard's batched socket view; occ
+	// its burst-occupancy histogram. block accumulates the burst's
+	// equal-size multicast results so one flush sends the same bytes
+	// to every peer as a segment train (the completed results of a
+	// burst are identical for all workers, so the block is built once
+	// and addressed W times).
+	nc       *netio.Conn
+	occ      *telemetry.Histogram
+	block    []byte
+	blockSeg int
 }
 
-// NewAggregator binds the socket and starts the serving goroutines.
+// NewAggregator binds the socket(s) and starts the serving
+// goroutines.
 func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = DefaultBatch
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -155,29 +213,29 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 			return nil, err
 		}
 	}
-	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	conns, err := bindAggSockets(cfg.Addr, cfg.Shards, cfg.Batch > 1)
 	if err != nil {
-		return nil, fmt.Errorf("transport: resolve %q: %w", cfg.Addr, err)
+		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen: %w", err)
-	}
+	conn := conns[0]
 	a := &Aggregator{
-		cfg:     cfg,
-		conn:    conn,
-		sw:      sw,
-		reg:     reg,
-		inj:     inj,
-		recvd:   reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
-		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
-		sent:    reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
-		peers:   make([]atomic.Pointer[netip.AddrPort], cfg.Switch.Workers),
-		closed:  make(chan struct{}),
+		cfg:      cfg,
+		conn:     conn,
+		conns:    conns,
+		sw:       sw,
+		reg:      reg,
+		inj:      inj,
+		netMode:  "per-packet",
+		recvd:    reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
+		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
+		sent:     reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
+		sendErrs: reg.Counter("udp_send_errors_total", "role", "aggregator"),
+		peers:    make([]atomic.Pointer[netip.AddrPort], cfg.Switch.Workers),
+		closed:   make(chan struct{}),
 	}
 	a.epoch.Store(uint32(cfg.Switch.JobID))
 	if len(cfg.Absent) > 0 && cfg.Liveness == nil {
-		conn.Close()
+		closeAll(conns)
 		return nil, fmt.Errorf("transport: Absent workers need Liveness (elastic membership rides on the failure detector)")
 	}
 	if cfg.Liveness != nil {
@@ -198,7 +256,7 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 			}
 			for _, w := range cfg.Absent {
 				if w < 0 || w >= cfg.Switch.Workers {
-					conn.Close()
+					closeAll(conns)
 					return nil, fmt.Errorf("transport: absent worker %d out of range [0,%d)", w, cfg.Switch.Workers)
 				}
 				// Departed, not dead: the slot is empty by intent, and
@@ -207,7 +265,7 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 				active[w] = false
 			}
 			if err := a.sw.Reconfigure(active, cfg.Switch.JobID); err != nil {
-				conn.Close()
+				closeAll(conns)
 				return nil, err
 			}
 		}
@@ -215,12 +273,95 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		go a.sweepLoop()
 	}
 	a.shardCtrs = make([]*telemetry.Counter, cfg.Shards)
+	a.shardOcc = make([]*telemetry.Histogram, cfg.Shards)
+	mtu := aggWireMTU(cfg.Switch.SlotElems)
 	for i := 0; i < cfg.Shards; i++ {
 		a.shardCtrs[i] = reg.Counter("agg_shard_datagrams_total", "shard", fmt.Sprintf("%d", i))
+		sh := &aggShard{datagrams: a.shardCtrs[i]}
+		if cfg.Batch > 1 {
+			nc, werr := netio.Wrap(conns[i%len(conns)], netio.Config{
+				Batch:       cfg.Batch,
+				MTU:         mtu,
+				BusyPoll:    cfg.BusyPoll,
+				OnSendError: func(err error, n int) { a.sendErrs.Add(uint64(n)) },
+			})
+			if werr != nil {
+				// A socket that cannot even expose its fd is broken;
+				// the constructor has only the sweeper running so far.
+				close(a.closed)
+				closeAll(conns)
+				a.wg.Wait()
+				return nil, werr
+			}
+			sh.nc = nc
+			sh.occ = reg.Histogram("agg_batch_occupancy", BatchOccupancyBuckets, "shard", fmt.Sprintf("%d", i))
+			a.shardOcc[i] = sh.occ
+			sh.block = make([]byte, 0, cfg.Batch*mtu)
+			a.netMode = nc.Mode().String()
+			a.wg.Add(1)
+			go a.serveBatched(sh)
+			continue
+		}
+		sh.buf = make([]byte, 65536)
 		a.wg.Add(1)
-		go a.serve(&aggShard{buf: make([]byte, 65536), datagrams: a.shardCtrs[i]})
+		go a.serve(sh)
 	}
 	return a, nil
+}
+
+// aggWireMTU sizes shard arenas from the largest result packet the
+// pool can emit.
+func aggWireMTU(slotElems int) int {
+	probe := packet.Packet{Vector: make([]int32, slotElems)}
+	if m := probe.MarshalledSize() + 16; m > 2048 {
+		return m
+	}
+	return 2048
+}
+
+// closeAll releases every bound socket.
+func closeAll(conns []*net.UDPConn) {
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// bindAggSockets binds the listen address. With batching on and more
+// than one shard it tries one SO_REUSEPORT socket per shard first —
+// the kernel then steers each worker flow to exactly one shard
+// socket, the closest software analogue of NIC receive-side steering —
+// and falls back to a single shared socket where REUSEPORT is
+// unavailable.
+func bindAggSockets(addr string, shards int, batched bool) ([]*net.UDPConn, error) {
+	if batched && shards > 1 {
+		lc := net.ListenConfig{Control: netio.ControlReusePort}
+		if pc, err := lc.ListenPacket(context.Background(), "udp", addr); err == nil {
+			conns := []*net.UDPConn{pc.(*net.UDPConn)}
+			bound := conns[0].LocalAddr().String()
+			ok := true
+			for i := 1; i < shards; i++ {
+				extra, err := lc.ListenPacket(context.Background(), "udp", bound)
+				if err != nil {
+					ok = false
+					break
+				}
+				conns = append(conns, extra.(*net.UDPConn))
+			}
+			if ok {
+				return conns, nil
+			}
+			closeAll(conns)
+		}
+	}
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ra)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return []*net.UDPConn{conn}, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -246,6 +387,9 @@ func (a *Aggregator) Close() error {
 	}
 	close(a.closed)
 	err := a.conn.Close()
+	for _, c := range a.conns[1:] {
+		c.Close()
+	}
 	a.wg.Wait()
 	return err
 }
@@ -300,6 +444,126 @@ func (a *Aggregator) serve(sh *aggShard) {
 	}
 }
 
+// serveBatched is one shard's batched run-to-completion loop: up to
+// cfg.Batch datagrams drained per wakeup (one recvmmsg on Linux, with
+// GRO coalescing where the kernel offers it), every packet run to
+// completion against the shard's private arena with zero channel hops,
+// and all replies flushed in one sendmmsg — the burst's equal-size
+// multicast results riding a single segmentation-offload train per
+// peer. Control handlers (join/leave/report/heartbeat) are shared
+// with the legacy loop and send immediately on the control socket;
+// only the datagram-heavy update/result path is staged.
+func (a *Aggregator) serveBatched(sh *aggShard) {
+	defer a.wg.Done()
+	for {
+		n, err := sh.nc.Recv()
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient error: keep serving
+		}
+		sh.occ.Observe(float64(n))
+		a.recvd.Add(uint64(n))
+		sh.datagrams.Add(uint64(n))
+		if a.down.Load() {
+			continue // the aggregation program is "dead": pure silence
+		}
+		for i := 0; i < n; i++ {
+			m := &sh.nc.Msgs[i]
+			if err := packet.UnmarshalInto(&sh.pkt, m.Buf); err != nil {
+				a.corrupt.Inc()
+				continue // corrupted datagram: drop (§3.4)
+			}
+			if int(sh.pkt.WorkerID) >= len(a.peers) {
+				continue
+			}
+			switch sh.pkt.Kind {
+			case packet.KindUpdate:
+				a.handleUpdate(sh, m.Addr)
+			case packet.KindHeartbeat:
+				a.touch(&sh.pkt, m.Addr)
+			case packet.KindReport:
+				a.handleReport(&sh.pkt, m.Addr)
+			case packet.KindProbe:
+				a.handleProbe(sh, m.Addr)
+			case packet.KindJoin:
+				a.handleJoin(&sh.pkt, m.Addr)
+			case packet.KindLeave:
+				a.handleLeave(&sh.pkt, m.Addr)
+			default:
+				// Workers never originate result/reconfig/resume kinds.
+			}
+		}
+		a.flushShard(sh)
+	}
+}
+
+// stageMulticast accumulates the burst's multicast results. Completed
+// slot results are byte-identical for every worker, so the shard
+// builds the block once and flushShard addresses it to each peer as
+// one segment train. A segment-size change or a full block flushes
+// eagerly — correctness never depends on the burst boundary.
+//
+//switchml:hotpath
+func (a *Aggregator) stageMulticast(sh *aggShard) {
+	if sh.blockSeg != 0 && (sh.blockSeg != len(sh.wire) || len(sh.block)+len(sh.wire) > cap(sh.block)) {
+		a.flushShard(sh)
+	}
+	sh.blockSeg = len(sh.wire)
+	sh.block = append(sh.block, sh.wire...) //switchml:allow hotpath -- append into a fixed-capacity block; the flush above guarantees room
+
+}
+
+// flushShard fans the accumulated multicast block out to every known
+// peer as a segment train and pushes all staged datagrams to the
+// kernel in one batched send.
+//
+//switchml:hotpath
+func (a *Aggregator) flushShard(sh *aggShard) {
+	if len(sh.block) > 0 {
+		segs := uint64((len(sh.block) + sh.blockSeg - 1) / sh.blockSeg)
+		for i := range a.peers {
+			if ap := a.peers[i].Load(); ap != nil {
+				sh.nc.AppendTrain(sh.block, sh.blockSeg, *ap)
+				a.sent.Add(segs)
+			}
+		}
+		sh.block = sh.block[:0]
+		sh.blockSeg = 0
+	}
+	sh.nc.Flush()
+}
+
+// reply sends a control datagram back to a packet's source: staged on
+// the shard's batched socket when it has one (AppendTo copies the
+// payload, so the shard's ctrl scratch can be reused immediately),
+// immediate on the shared socket otherwise.
+func (a *Aggregator) reply(sh *aggShard, wire []byte, to netip.AddrPort) {
+	if sh.nc != nil {
+		sh.nc.AppendTo(wire, to)
+		a.sent.Inc()
+		return
+	}
+	a.writeCtrl(wire, to)
+}
+
+// writeCtrl sends one control datagram on the shared socket. Failures
+// are counted, not retried: UDP control traffic is already protected
+// by the sweep-period rebroadcast and worker retransmission.
+func (a *Aggregator) writeCtrl(wire []byte, to netip.AddrPort) {
+	if _, err := a.conn.WriteToUDPAddrPort(wire, to); err != nil {
+		a.sendErrs.Inc()
+		return
+	}
+	a.sent.Inc()
+}
+
 // epochNow returns the current job generation.
 func (a *Aggregator) epochNow() uint16 { return uint16(a.epoch.Load()) }
 
@@ -330,8 +594,7 @@ func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
 			vec := a.survivorsLocked()
 			a.mu.Unlock()
 			sh.ctrl = packet.NewControl(packet.KindReconfig, p.WorkerID, a.epochNow(), 0, vec).AppendMarshal(sh.ctrl[:0])
-			a.conn.WriteToUDPAddrPort(sh.ctrl, src)
-			a.sent.Inc()
+			a.reply(sh, sh.ctrl, src)
 			return
 		}
 		a.lv.tracker.Touch(w, time.Now().UnixNano())
@@ -342,8 +605,7 @@ func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
 		}
 		if p.JobID != a.epochNow() && a.lv.resumeReady.Load() {
 			sh.ctrl = packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), a.lv.frontier.Load(), nil).AppendMarshal(sh.ctrl[:0])
-			a.conn.WriteToUDPAddrPort(sh.ctrl, src)
-			a.sent.Inc()
+			a.reply(sh, sh.ctrl, src)
 			return
 		}
 	}
@@ -357,6 +619,10 @@ func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
 	}
 	sh.wire = resp.Pkt.AppendMarshal(sh.wire[:0])
 	if resp.Multicast {
+		if sh.nc != nil && a.inj == nil {
+			a.stageMulticast(sh)
+			return
+		}
 		for i := range a.peers {
 			if ap := a.peers[i].Load(); ap != nil {
 				a.write(sh, *ap)
@@ -366,7 +632,12 @@ func (a *Aggregator) handleUpdate(sh *aggShard, src netip.AddrPort) {
 	}
 	if int(resp.Pkt.WorkerID) < len(a.peers) {
 		if ap := a.peers[resp.Pkt.WorkerID].Load(); ap != nil {
-			a.write(sh, *ap)
+			if sh.nc != nil && a.inj == nil {
+				sh.nc.AppendTo(sh.wire, *ap)
+				a.sent.Inc()
+			} else {
+				a.write(sh, *ap)
+			}
 		}
 	}
 }
@@ -403,8 +674,7 @@ func (a *Aggregator) handleProbe(sh *aggShard, src netip.AddrPort) {
 	ack := packet.NewControl(packet.KindProbeAck, p.WorkerID, a.epochNow(), 0, nil)
 	ack.Idx = p.Idx
 	sh.ctrl = ack.AppendMarshal(sh.ctrl[:0])
-	a.conn.WriteToUDPAddrPort(sh.ctrl, src)
-	a.sent.Inc()
+	a.reply(sh, sh.ctrl, src)
 }
 
 // SetDown "kills" (or revives) the aggregation program while the
@@ -435,7 +705,10 @@ func (a *Aggregator) write(sh *aggShard, peer netip.AddrPort) {
 		}
 	}
 	for i := 0; i < writes; i++ {
-		a.conn.WriteToUDPAddrPort(out, peer)
+		if _, err := a.conn.WriteToUDPAddrPort(out, peer); err != nil {
+			a.sendErrs.Inc()
+			continue
+		}
 		a.sent.Inc()
 	}
 }

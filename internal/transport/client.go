@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"syscall"
 	"time"
 
 	"switchml/internal/core"
 	"switchml/internal/faults"
+	"switchml/internal/netio"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
 )
@@ -48,6 +50,18 @@ type ClientConfig struct {
 	// worker idle between tensors for a dead one. Leave zero when the
 	// aggregator has no Liveness configured.
 	Heartbeat time.Duration
+	// Batch is the I/O burst ceiling: update sends accumulate into a
+	// window block flushed as one batched write (one sendmmsg — a
+	// single segmentation-offload train where the kernel supports it),
+	// and each receive wakeup drains up to Batch result datagrams in
+	// one recvmmsg. Zero selects 32; 1 selects the legacy
+	// one-datagram-per-syscall loop (the measurement baseline, and the
+	// exact pre-batching behavior).
+	Batch int
+	// BusyPoll makes the receive path spin briefly on an empty socket
+	// before parking in the netpoller, trading CPU for latency. Only
+	// meaningful with Batch > 1.
+	BusyPoll bool
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing update datagrams — chaos testing on
 	// loopback networks that never misbehave. Control datagrams
@@ -73,6 +87,9 @@ type Client struct {
 	inj    *faults.PacketInjector
 
 	recvd, corrupt, sent *telemetry.Counter
+	// sendErrs counts datagrams whose socket send failed (batched
+	// flushes report per-datagram through netio's OnSendError).
+	sendErrs *telemetry.Counter
 	// chunkRTT observes clean (never-retransmitted) chunk round trips,
 	// the per-chunk latency view of §7's RTT analysis.
 	chunkRTT *telemetry.Histogram
@@ -95,6 +112,20 @@ type Client struct {
 	rp   packet.Packet
 	sbuf []byte
 	cbuf []byte
+	// rlen is the payload length of the datagram in rbuf (legacy
+	// single-read path).
+	rlen int
+	// nc is the batched socket view over conn; nil when cfg.Batch == 1
+	// (legacy per-packet I/O) or the platform refuses the wrap. txb
+	// accumulates marshalled updates of txSeg bytes each — the window
+	// pump — flushed as one segment train by flushTx. stageErr carries
+	// the first send failure out of netio's OnSendError callback (which
+	// fires on the AllReduce goroutine, inside Flush) to the next
+	// flushTx caller.
+	nc       *netio.Conn
+	txb      []byte
+	txSeg    int
+	stageErr error
 	// backoff counts consecutive timeouts per slot; the effective RTO
 	// doubles with each (capped at 64x), preventing retransmission
 	// storms when the configured RTO sits below the path RTT.
@@ -167,30 +198,54 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			return nil, err
 		}
 	}
+	if cfg.Batch == 0 {
+		cfg.Batch = DefaultBatch
+	}
 	id := fmt.Sprintf("%d", cfg.Worker.ID)
 	c := &Client{
-		cfg:      cfg,
-		conn:     conn,
-		worker:   w,
-		reg:      reg,
-		actor:    "w" + id,
-		inj:      inj,
-		recvd:    reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
-		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
-		sent:     reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
-		chunkRTT: reg.Histogram("worker_chunk_rtt_ns", telemetry.LatencyBuckets, "worker", id),
-		gSRTT:    reg.Gauge("worker_srtt_ns", "worker", id),
-		gRTO:     reg.Gauge("worker_rto_ns", "worker", id),
+		cfg:       cfg,
+		conn:      conn,
+		worker:    w,
+		reg:       reg,
+		actor:     "w" + id,
+		inj:       inj,
+		recvd:     reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
+		corrupt:   reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
+		sent:      reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
+		sendErrs:  reg.Counter("udp_send_errors_total", "role", "worker", "worker", id),
+		chunkRTT:  reg.Histogram("worker_chunk_rtt_ns", telemetry.LatencyBuckets, "worker", id),
+		gSRTT:     reg.Gauge("worker_srtt_ns", "worker", id),
+		gRTO:      reg.Gauge("worker_rto_ns", "worker", id),
 		gFrontier: reg.Gauge("worker_frontier_off", "worker", id),
 		gPending:  reg.Gauge("worker_pending_chunks", "worker", id),
 		gEpoch:    reg.Gauge("worker_epoch", "worker", id),
 		gDegraded: reg.Gauge("worker_degraded", "worker", id),
-		lastSend: make([]time.Time, cfg.Worker.PoolSize),
-		rbuf:     make([]byte, 65536),
-		backoff:  make([]uint8, cfg.Worker.PoolSize),
-		retxed:   make([]bool, cfg.Worker.PoolSize),
-		epoch:    cfg.Worker.JobID,
-		closed:   make(chan struct{}),
+		lastSend:  make([]time.Time, cfg.Worker.PoolSize),
+		rbuf:      make([]byte, 65536),
+		backoff:   make([]uint8, cfg.Worker.PoolSize),
+		retxed:    make([]bool, cfg.Worker.PoolSize),
+		epoch:     cfg.Worker.JobID,
+		closed:    make(chan struct{}),
+	}
+	if cfg.Batch > 1 {
+		mtu := aggWireMTU(cfg.Worker.SlotElems)
+		nc, err := netio.Wrap(conn, netio.Config{
+			Batch:    cfg.Batch,
+			MTU:      mtu,
+			BusyPoll: cfg.BusyPoll,
+			OnSendError: func(err error, n int) {
+				c.sendErrs.Add(uint64(n))
+				if c.stageErr == nil {
+					c.stageErr = err
+				}
+			},
+		})
+		if err == nil {
+			c.nc = nc
+			c.txb = make([]byte, 0, cfg.Batch*mtu)
+		}
+		// A wrap failure (a socket that cannot expose its fd) simply
+		// leaves the legacy per-packet path in place.
 	}
 	if cfg.Fallback != nil {
 		fc := *cfg.Fallback
@@ -213,6 +268,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			mesh.Close()
 			conn.Close()
 			return nil, err
+		}
+		if cfg.Batch > 1 {
+			if mnc, err := netio.Wrap(mesh, netio.Config{
+				Batch: cfg.Batch,
+				MTU:   aggWireMTU(fc.SegElems),
+				OnSendError: func(err error, n int) {
+					c.sendErrs.Add(uint64(n))
+				},
+			}); err == nil {
+				c.fb.nc = mnc
+			}
 		}
 	}
 	c.gRTO.Set(int64(cfg.RTO))
@@ -332,6 +398,9 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 			return nil, err
 		}
 	}
+	if err := c.flushTx(); err != nil {
+		return nil, err
+	}
 	out, err := c.switchLoop(u, deadline)
 	if errors.Is(err, errSilence) {
 		return c.enterFallback(u, deadline)
@@ -377,10 +446,15 @@ func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 				readDeadline = d
 			}
 		}
+		// Retransmissions staged by the previous sweep (and any sends a
+		// prior burst generated) must reach the wire before blocking.
+		if err := c.flushTx(); err != nil {
+			return nil, err
+		}
 		if err := c.conn.SetReadDeadline(readDeadline); err != nil {
 			return nil, err
 		}
-		n, err := c.conn.Read(c.rbuf)
+		nm, err := c.recvBurst()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				if err := c.sweepTimeouts(); err != nil {
@@ -397,25 +471,49 @@ func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 			}
 			return nil, err
 		}
-		c.recvd.Inc()
-		if err := packet.UnmarshalInto(&c.rp, c.rbuf[:n]); err != nil {
-			c.corrupt.Inc()
-			continue // corrupted datagram
-		}
-		c.lastProgress = time.Now()
-		done, err := c.handleIncoming(&c.rp)
-		if err != nil {
-			return nil, err
-		}
-		if done {
-			c.trace(telemetry.EvTensorDone, -1)
-			c.gFrontier.Set(int64(c.worker.FrontierOff()))
-			c.gPending.Set(0)
-			out := make([]int32, len(u))
-			copy(out, c.worker.Aggregate())
-			return out, nil
+		c.recvd.Add(uint64(nm))
+		for i := 0; i < nm; i++ {
+			buf := c.rbuf[:c.rlen]
+			if c.nc != nil {
+				buf = c.nc.Msgs[i].Buf
+			}
+			if err := packet.UnmarshalInto(&c.rp, buf); err != nil {
+				c.corrupt.Inc()
+				continue // corrupted datagram
+			}
+			c.lastProgress = time.Now()
+			done, err := c.handleIncoming(&c.rp)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				c.trace(telemetry.EvTensorDone, -1)
+				c.gFrontier.Set(int64(c.worker.FrontierOff()))
+				c.gPending.Set(0)
+				if err := c.flushTx(); err != nil {
+					return nil, err
+				}
+				out := make([]int32, len(u))
+				copy(out, c.worker.Aggregate())
+				return out, nil
+			}
 		}
 	}
+}
+
+// recvBurst blocks for the next burst of result datagrams: up to
+// cfg.Batch through the batched socket view, or exactly one through
+// the legacy read (rbuf/rlen).
+func (c *Client) recvBurst() (int, error) {
+	if c.nc != nil {
+		return c.nc.Recv()
+	}
+	n, err := c.conn.Read(c.rbuf)
+	if err != nil {
+		return 0, err
+	}
+	c.rlen = n
+	return 1, nil
 }
 
 // handleIncoming dispatches one datagram from the aggregator. Results
@@ -509,6 +607,10 @@ func (c *Client) send(p *packet.Packet, retx bool) error {
 		c.retxed[p.Idx] = retx
 	}
 	c.sbuf = p.AppendMarshal(c.sbuf[:0])
+	if c.nc != nil && c.inj == nil {
+		c.stageTx()
+		return nil
+	}
 	out := c.sbuf
 	writes := 1
 	if c.inj != nil {
@@ -529,6 +631,52 @@ func (c *Client) send(p *packet.Packet, retx bool) error {
 			return fmt.Errorf("transport: send: %w", err)
 		}
 		c.sent.Inc()
+	}
+	return nil
+}
+
+// stageTx appends the marshalled update in sbuf to the window block.
+// Updates are equal-size in the steady state (every full chunk
+// marshals to the same wire length), so the block flushes as one
+// segment train; a size change or a full block flushes eagerly first.
+func (c *Client) stageTx() {
+	if c.txSeg != 0 && (len(c.sbuf) != c.txSeg || len(c.txb)+len(c.sbuf) > cap(c.txb)) {
+		c.flushTxBlock()
+	}
+	c.txSeg = len(c.sbuf)
+	c.txb = append(c.txb, c.sbuf...)
+	c.sent.Inc()
+}
+
+// flushTxBlock pushes the staged window block to the kernel. The
+// block is handed to AppendTrain unaliased-safe: netio may reference
+// it until Flush returns, so the reset happens after.
+func (c *Client) flushTxBlock() {
+	if len(c.txb) == 0 {
+		return
+	}
+	c.nc.AppendTrain(c.txb, c.txSeg, netip.AddrPort{})
+	c.nc.Flush()
+	c.txb = c.txb[:0]
+	c.txSeg = 0
+}
+
+// flushTx drains the staged window and surfaces the first send error
+// netio reported since the last flush. With a fallback armed, a
+// provably-dead destination is death evidence for the silence clock
+// rather than a caller error — matching the legacy direct-write path.
+func (c *Client) flushTx() error {
+	if c.nc == nil {
+		return nil
+	}
+	c.flushTxBlock()
+	c.nc.Flush()
+	if err := c.stageErr; err != nil {
+		c.stageErr = nil
+		if c.fb != nil && deadDestination(err) {
+			return nil
+		}
+		return fmt.Errorf("transport: send: %w", err)
 	}
 	return nil
 }

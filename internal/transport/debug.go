@@ -2,6 +2,7 @@ package transport
 
 import (
 	"switchml/internal/core"
+	"switchml/internal/telemetry"
 )
 
 // AggDebugState is the aggregator's deep introspection document,
@@ -18,14 +19,28 @@ type AggDebugState struct {
 	// the socket stays bound.
 	Down   bool `json:"down"`
 	Shards int  `json:"shards"`
+	// Batch is the per-shard burst ceiling (1 = legacy per-packet
+	// loop); NetMode names the I/O strategy the shard loops selected
+	// ("per-packet", "portable", "mmsg" or "gso").
+	Batch   int    `json:"batch"`
+	NetMode string `json:"net_mode"`
 	// ShardDatagrams[i] is shard i's cumulative drain count; their
 	// spread is the shard-balance view.
 	ShardDatagrams []uint64 `json:"shard_datagrams"`
 	Received       uint64   `json:"datagrams_received"`
 	Corrupted      uint64   `json:"datagrams_corrupted"`
 	Sent           uint64   `json:"datagrams_sent"`
-	Switch         core.SwitchStats `json:"switch"`
-	Pool           core.PoolState   `json:"pool"`
+	// SendErrors counts datagrams whose socket send failed (dropped,
+	// surfaced for diagnosis; the protocol's loss recovery repairs
+	// them).
+	SendErrors uint64 `json:"udp_send_errors"`
+	// BatchOccupancyP50/P99 are quantiles of datagrams drained per
+	// receive wakeup, merged across shards (0 on the legacy loop): how
+	// full the batch pipeline actually runs.
+	BatchOccupancyP50 float64          `json:"batch_occupancy_p50"`
+	BatchOccupancyP99 float64          `json:"batch_occupancy_p99"`
+	Switch            core.SwitchStats `json:"switch"`
+	Pool              core.PoolState   `json:"pool"`
 	// Peers are the learned worker addresses ("" while unlearned);
 	// Alive the liveness verdicts (all true without a detector).
 	Peers []string `json:"peers"`
@@ -47,10 +62,13 @@ func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
 		Epoch:          a.epochNow(),
 		Down:           a.down.Load(),
 		Shards:         len(a.shardCtrs),
+		Batch:          a.cfg.Batch,
+		NetMode:        a.netMode,
 		ShardDatagrams: make([]uint64, len(a.shardCtrs)),
 		Received:       a.recvd.Value(),
 		Corrupted:      a.corrupt.Value(),
 		Sent:           a.sent.Value(),
+		SendErrors:     a.sendErrs.Value(),
 		Switch:         a.sw.Stats(),
 		Pool:           a.sw.PoolState(withSlots),
 		Peers:          make([]string, len(a.peers)),
@@ -58,6 +76,10 @@ func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
 	}
 	for i, c := range a.shardCtrs {
 		st.ShardDatagrams[i] = c.Value()
+	}
+	if occ, ok := a.occupancySnapshot(); ok {
+		st.BatchOccupancyP50 = occ.Quantile(0.5)
+		st.BatchOccupancyP99 = occ.Quantile(0.99)
 	}
 	st.Membership = make([]string, len(a.peers))
 	for i := range a.peers {
@@ -75,6 +97,30 @@ func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
 		}
 	}
 	return st
+}
+
+// occupancySnapshot merges the per-shard batch-occupancy histograms
+// into one distribution (the buckets are shared, so counts add).
+func (a *Aggregator) occupancySnapshot() (telemetry.HistogramSnapshot, bool) {
+	var merged telemetry.HistogramSnapshot
+	ok := false
+	for _, h := range a.shardOcc {
+		if h == nil {
+			continue
+		}
+		s := h.Snapshot()
+		if !ok {
+			merged = s
+			ok = true
+			continue
+		}
+		for i := range s.Counts {
+			merged.Counts[i] += s.Counts[i]
+		}
+		merged.Count += s.Count
+		merged.Sum += s.Sum
+	}
+	return merged, ok
 }
 
 // ClientDebugState is one worker's introspection document, served at
@@ -96,11 +142,16 @@ type ClientDebugState struct {
 	// PendingChunks the in-flight count at the last publication point.
 	FrontierOff   int64 `json:"frontier_off"`
 	PendingChunks int64 `json:"pending_chunks"`
-	Received      uint64 `json:"datagrams_received"`
-	Corrupted     uint64 `json:"datagrams_corrupted"`
-	Sent          uint64 `json:"datagrams_sent"`
-	Stats         core.WorkerStats `json:"stats"`
-	Fallback      FallbackStats    `json:"fallback"`
+	// Batch/NetMode mirror the aggregator-side fields: the send/recv
+	// burst ceiling and the selected I/O strategy.
+	Batch      int              `json:"batch"`
+	NetMode    string           `json:"net_mode"`
+	Received   uint64           `json:"datagrams_received"`
+	Corrupted  uint64           `json:"datagrams_corrupted"`
+	Sent       uint64           `json:"datagrams_sent"`
+	SendErrors uint64           `json:"udp_send_errors"`
+	Stats      core.WorkerStats `json:"stats"`
+	Fallback   FallbackStats    `json:"fallback"`
 }
 
 // DebugState assembles the worker's introspection document.
@@ -114,10 +165,21 @@ func (c *Client) DebugState() ClientDebugState {
 		RTONs:         c.gRTO.Value(),
 		FrontierOff:   c.gFrontier.Value(),
 		PendingChunks: c.gPending.Value(),
+		Batch:         c.cfg.Batch,
+		NetMode:       c.netMode(),
 		Received:      c.recvd.Value(),
 		Corrupted:     c.corrupt.Value(),
 		Sent:          c.sent.Value(),
+		SendErrors:    c.sendErrs.Value(),
 		Stats:         c.worker.Stats(),
 		Fallback:      c.FallbackStats(),
 	}
+}
+
+// netMode names the client's I/O strategy for introspection.
+func (c *Client) netMode() string {
+	if c.nc == nil {
+		return "per-packet"
+	}
+	return c.nc.Mode().String()
 }

@@ -70,8 +70,7 @@ func (a *Aggregator) handleJoin(p *packet.Packet, src netip.AddrPort) {
 		// Already a member: the commit's resume directive was lost.
 		if lv.resumeReady.Load() {
 			out := packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), lv.frontier.Load(), nil).Marshal()
-			a.conn.WriteToUDPAddrPort(out, src)
-			a.sent.Inc()
+			a.writeCtrl(out, src)
 		}
 		return
 	}
@@ -119,8 +118,7 @@ func (a *Aggregator) handleLeave(p *packet.Packet, src netip.AddrPort) {
 	}
 	a.setPeer(p.WorkerID, src)
 	ack := packet.NewControl(packet.KindLeave, p.WorkerID, a.epochNow(), p.Off, nil).Marshal()
-	a.conn.WriteToUDPAddrPort(ack, src)
-	a.sent.Inc()
+	a.writeCtrl(ack, src)
 }
 
 // sendFenceLocked (re)broadcasts the fence directive — a Ver=1
@@ -151,8 +149,7 @@ func (a *Aggregator) sendFenceLocked() {
 		} else if err := packet.PatchWorkerID(wire, uint16(w)); err != nil {
 			continue
 		}
-		a.conn.WriteToUDPAddrPort(wire, *ap)
-		a.sent.Inc()
+		a.writeCtrl(wire, *ap)
 	}
 }
 
@@ -171,8 +168,7 @@ func (a *Aggregator) handleFenceReport(p *packet.Packet, src netip.AddrPort) {
 		// generation.
 		if p.JobID == a.epochNow() && lv.resumeReady.Load() && !lv.tracker.Dead(w) {
 			out := packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), lv.frontier.Load(), nil).Marshal()
-			a.conn.WriteToUDPAddrPort(out, src)
-			a.sent.Inc()
+			a.writeCtrl(out, src)
 		}
 		return
 	}
@@ -246,8 +242,7 @@ func (a *Aggregator) commitFenceLocked() {
 		} else if err := packet.PatchWorkerID(wire, uint16(i)); err != nil {
 			continue
 		}
-		a.conn.WriteToUDPAddrPort(wire, *ap)
-		a.sent.Inc()
+		a.writeCtrl(wire, *ap)
 	}
 }
 

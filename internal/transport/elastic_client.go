@@ -212,6 +212,17 @@ func (c *Client) holdAtFence(deadline time.Time) (reopened bool, err error) {
 	}
 }
 
+// meshBuf returns the pooled 64 KiB mesh receive buffer, allocated on
+// first use. It is owned by whichever single goroutine drives the
+// client (the client is documented as not safe for concurrent use);
+// see fetchState for the ownership note versus c.rbuf.
+func (c *Client) meshBuf() []byte {
+	if c.mbuf == nil {
+		c.mbuf = make([]byte, 65536)
+	}
+	return c.mbuf
+}
+
 // adoptEpoch installs a new job generation and resets the
 // retransmission state, as after any resume.
 func (c *Client) adoptEpoch(gen uint16) {
@@ -377,8 +388,16 @@ func (c *Client) fetchState(deadline time.Time) ([]int32, error) {
 	var state []int32
 	total := -1
 	off := 0
-	buf := make([]byte, 65536)
-	var p packet.Packet
+	// The mesh receive buffer and decoded packet are the client's
+	// pooled c.mbuf/c.mp rather than per-call allocations: fetchState
+	// (the joiner, before its first AllReduce) and serveState (an
+	// incumbent, inside its fence hold) are the only users, both on
+	// the single goroutine driving the client — they can never run
+	// concurrently on one client, so sharing the pool is safe. c.rbuf
+	// stays distinct: it belongs to the aggregator-socket read path,
+	// which a fence hold interleaves with mesh serving.
+	buf := c.meshBuf()
+	p := &c.mp
 	for total < 0 || off < total {
 		got := false
 		for try := 0; try < 16 && !got; try++ {
@@ -387,6 +406,7 @@ func (c *Client) fetchState(deadline time.Time) ([]int32, error) {
 			}
 			req := packet.NewControl(packet.KindStateReq, c.cfg.Worker.ID, 0, uint64(off), nil)
 			if _, err := c.fb.mesh.WriteToUDP(req.Marshal(), peer); err != nil {
+				c.sendErrs.Inc()
 				continue
 			}
 			if err := c.fb.mesh.SetReadDeadline(time.Now().Add(c.cfg.RTO)); err != nil {
@@ -397,7 +417,7 @@ func (c *Client) fetchState(deadline time.Time) ([]int32, error) {
 				if err != nil {
 					break
 				}
-				if packet.UnmarshalInto(&p, buf[:n]) != nil {
+				if packet.UnmarshalInto(p, buf[:n]) != nil {
 					continue
 				}
 				if p.Kind != packet.KindStateData || p.Off != uint64(off) {
@@ -430,9 +450,7 @@ func (c *Client) serveState(state []int32) {
 	if err := c.fb.mesh.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
 		return
 	}
-	if c.mbuf == nil {
-		c.mbuf = make([]byte, 65536)
-	}
+	c.meshBuf()
 	for {
 		n, src, err := c.fb.mesh.ReadFromUDP(c.mbuf)
 		if err != nil {
@@ -460,6 +478,8 @@ func (c *Client) serveState(state []int32) {
 			Off:      uint64(off),
 			Vector:   state[off : off+seg],
 		}
-		c.fb.mesh.WriteToUDP(out.Marshal(), src)
+		if _, err := c.fb.mesh.WriteToUDP(out.Marshal(), src); err != nil {
+			c.sendErrs.Inc()
+		}
 	}
 }

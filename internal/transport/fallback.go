@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"switchml/internal/netio"
 	"switchml/internal/packet"
 	"switchml/internal/telemetry"
 )
@@ -128,6 +129,12 @@ type fallback struct {
 	probeSeq   uint32
 	probeAwait bool
 	streak     int
+	// nc is the batched socket view over mesh, staging the ring's
+	// window-fill and go-back-N bursts for single-syscall flushes; nil
+	// when the client runs legacy per-packet I/O. Only sends go
+	// through it — mesh receives stay on the plain socket — so the
+	// single-owner staging contract is the AllReduce goroutine's.
+	nc *netio.Conn
 	// syncWire / prevSyncWire are the marshalled barrier syncs of the
 	// current and previous rounds, replayed whenever a peer shows it
 	// never received them.
@@ -410,7 +417,7 @@ func (c *Client) syncRound(frontier uint64, deadline time.Time) (F uint64, minSt
 	remaining := n - 1
 	for w := range got {
 		if w != self {
-			fb.mesh.WriteToUDP(fb.syncWire, fb.peers[w])
+			c.meshWrite(fb.syncWire, fb.peers[w])
 		}
 	}
 	lastTx := time.Now()
@@ -428,7 +435,7 @@ func (c *Client) syncRound(frontier uint64, deadline time.Time) (F uint64, minSt
 			if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
 				for w := range got {
 					if !got[w] {
-						fb.mesh.WriteToUDP(fb.syncWire, fb.peers[w])
+						c.meshWrite(fb.syncWire, fb.peers[w])
 					}
 				}
 				lastTx = time.Now()
@@ -459,13 +466,13 @@ func (c *Client) syncRound(frontier uint64, deadline time.Time) (F uint64, minSt
 					}
 				} else {
 					// A repeated sync means the peer never saw ours.
-					fb.mesh.WriteToUDP(fb.syncWire, fb.peers[w])
+					c.meshWrite(fb.syncWire, fb.peers[w])
 				}
 			case -1:
 				// The peer is still finishing the previous round's
 				// barrier and is missing our sync from back then.
 				if len(fb.prevSyncWire) > 0 {
-					fb.mesh.WriteToUDP(fb.prevSyncWire, fb.peers[w])
+					c.meshWrite(fb.prevSyncWire, fb.peers[w])
 				}
 			}
 		case packet.KindFallbackData:
@@ -578,6 +585,7 @@ func (c *Client) meshRound(buf []int32, F uint64, deadline time.Time) error {
 			nextSend++
 			lastTx = time.Now()
 		}
+		c.flushMesh()
 		rd := lastTx.Add(c.cfg.RTO)
 		if rd.After(deadline) {
 			rd = deadline
@@ -597,6 +605,7 @@ func (c *Client) meshRound(buf []int32, F uint64, deadline time.Time) error {
 						c.sendSeg(pl, buf, s, nextID)
 						fb.meshRetx.Add(1)
 					}
+					c.flushMesh()
 				}
 				lastTx = time.Now()
 				continue
@@ -657,7 +666,7 @@ func (c *Client) meshRound(buf []int32, F uint64, deadline time.Time) error {
 		case packet.KindFallbackSync:
 			// A peer stuck in this round's barrier never got our sync.
 			if rp.JobID == fb.round && int(rp.WorkerID) < n && int(rp.WorkerID) != rank {
-				fb.mesh.WriteToUDP(fb.syncWire, fb.peers[rp.WorkerID])
+				c.meshWrite(fb.syncWire, fb.peers[rp.WorkerID])
 			}
 		}
 	}
@@ -680,7 +689,29 @@ func (c *Client) sendSeg(pl *ringPlan, buf []int32, seq, nextID int) {
 		Vector:   buf[off : off+length],
 	}
 	fb.sbuf = p.AppendMarshal(fb.sbuf[:0])
-	fb.mesh.WriteToUDP(fb.sbuf, fb.peers[nextID])
+	if fb.nc != nil {
+		// Staged: AppendTo copies, so sbuf is immediately reusable. The
+		// window pump flushes the whole burst in one batched send.
+		fb.nc.AppendTo(fb.sbuf, fb.peers[nextID].AddrPort())
+		return
+	}
+	c.meshWrite(fb.sbuf, fb.peers[nextID])
+}
+
+// flushMesh pushes any mesh datagrams staged by the window pump to
+// the kernel. A no-op on the legacy per-packet path.
+func (c *Client) flushMesh() {
+	if c.fb.nc != nil {
+		c.fb.nc.Flush()
+	}
+}
+
+// meshWrite sends one datagram on the mesh socket, counting (not
+// retrying) failures: the ring's go-back-N recovery owns repair.
+func (c *Client) meshWrite(wire []byte, to *net.UDPAddr) {
+	if _, err := c.fb.mesh.WriteToUDP(wire, to); err != nil {
+		c.sendErrs.Inc()
+	}
 }
 
 // sendMeshAck reports the cumulative receive progress of a round to
@@ -693,5 +724,5 @@ func (c *Client) sendMeshAck(round uint16, cum, peerID int) {
 	p := packet.NewControl(packet.KindFallbackAck, c.cfg.Worker.ID, round, 0, nil)
 	p.Idx = uint32(cum)
 	fb.abuf = p.AppendMarshal(fb.abuf[:0])
-	fb.mesh.WriteToUDP(fb.abuf, fb.peers[peerID])
+	c.meshWrite(fb.abuf, fb.peers[peerID])
 }

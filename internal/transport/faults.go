@@ -181,8 +181,7 @@ func (a *Aggregator) sendReconfigLocked() {
 		} else if err := packet.PatchWorkerID(wire, uint16(w)); err != nil {
 			continue
 		}
-		a.conn.WriteToUDPAddrPort(wire, *ap)
-		a.sent.Inc()
+		a.writeCtrl(wire, *ap)
 	}
 }
 
@@ -214,8 +213,7 @@ func (a *Aggregator) handleReport(p *packet.Packet, src netip.AddrPort) {
 	a.lv.reported[w] = true
 	if a.lv.resumeReady.Load() {
 		out := packet.NewControl(packet.KindResume, p.WorkerID, a.epochNow(), a.lv.frontier.Load(), nil).Marshal()
-		a.conn.WriteToUDPAddrPort(out, src)
-		a.sent.Inc()
+		a.writeCtrl(out, src)
 		return
 	}
 	for i := range a.peers {
@@ -243,8 +241,7 @@ func (a *Aggregator) handleReport(p *packet.Packet, src netip.AddrPort) {
 		} else if err := packet.PatchWorkerID(wire, uint16(i)); err != nil {
 			continue
 		}
-		a.conn.WriteToUDPAddrPort(wire, *ap)
-		a.sent.Inc()
+		a.writeCtrl(wire, *ap)
 	}
 }
 

@@ -22,6 +22,9 @@ type MultiAggregator struct {
 	reg  *telemetry.Registry
 
 	recvd, corrupt, sent *telemetry.Counter
+	// sendErrs counts result datagrams whose socket send failed
+	// (surfaced, not retried — worker RTO repairs the loss).
+	sendErrs *telemetry.Counter
 
 	mu     sync.Mutex
 	ms     *core.MultiSwitch
@@ -43,14 +46,15 @@ func NewMultiAggregator(addr string, memoryBudget int) (*MultiAggregator, error)
 	}
 	reg := telemetry.NewRegistry()
 	m := &MultiAggregator{
-		conn:    conn,
-		reg:     reg,
-		recvd:   reg.Counter("udp_datagrams_received_total", "role", "multiagg"),
-		corrupt: reg.Counter("udp_datagrams_corrupted_total", "role", "multiagg"),
-		sent:    reg.Counter("udp_datagrams_sent_total", "role", "multiagg"),
-		ms:      core.NewMultiSwitch(memoryBudget),
-		peers:   make(map[uint16][]netip.AddrPort),
-		closed:  make(chan struct{}),
+		conn:     conn,
+		reg:      reg,
+		recvd:    reg.Counter("udp_datagrams_received_total", "role", "multiagg"),
+		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "multiagg"),
+		sent:     reg.Counter("udp_datagrams_sent_total", "role", "multiagg"),
+		sendErrs: reg.Counter("udp_send_errors_total", "role", "multiagg"),
+		ms:       core.NewMultiSwitch(memoryBudget),
+		peers:    make(map[uint16][]netip.AddrPort),
+		closed:   make(chan struct{}),
 	}
 	m.wg.Add(1)
 	go m.serve()
@@ -174,7 +178,10 @@ func (m *MultiAggregator) serve() {
 		wire = resp.Pkt.AppendMarshal(wire[:0])
 		for _, t := range targets {
 			if t.IsValid() {
-				m.conn.WriteToUDPAddrPort(wire, t)
+				if _, err := m.conn.WriteToUDPAddrPort(wire, t); err != nil {
+					m.sendErrs.Inc()
+					continue
+				}
 				m.sent.Inc()
 			}
 		}

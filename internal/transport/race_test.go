@@ -36,8 +36,12 @@ func TestConcurrentStats(t *testing.T) {
 			Worker: core.WorkerConfig{
 				ID: uint16(i), Workers: n, PoolSize: s, SlotElems: k, LossRecovery: true,
 			},
-			RTO:     20 * time.Millisecond,
-			Timeout: 10 * time.Second,
+			RTO: 20 * time.Millisecond,
+			// The four spinning monitors own most of a single-core
+			// host under the race detector, so the all-reduce crawls;
+			// the generous deadline keeps this a race test, not a
+			// latency test.
+			Timeout: 60 * time.Second,
 		})
 		if err != nil {
 			t.Fatal(err)

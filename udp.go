@@ -53,6 +53,17 @@ type AggregatorParams struct {
 	// complete without them, and they enter later through the join
 	// fence (Peer.JoinCluster). Requires Liveness.
 	Absent []int
+	// Batch is the per-shard I/O burst ceiling: each receive goroutine
+	// drains up to Batch datagrams per syscall (Linux recvmmsg, with
+	// UDP GRO/GSO segment trains where the kernel supports them), runs
+	// them to completion, and flushes every reply in one batched send.
+	// Zero selects 32; 1 selects the legacy one-datagram-per-syscall
+	// loops. SWITCHML_NO_MMSG=1 in the environment forces the portable
+	// per-packet syscalls regardless.
+	Batch int
+	// BusyPoll makes shard receive loops spin briefly on an empty
+	// socket before parking in the poller, trading CPU for latency.
+	BusyPoll bool
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing result datagrams (chaos testing).
 	Inject *FaultInjection
@@ -118,6 +129,8 @@ func ListenAggregator(addr string, params AggregatorParams) (*Aggregator, error)
 			Quorum:       params.Quorum,
 			LatePolicy:   params.LatePolicy.internal(),
 		},
+		Batch:    params.Batch,
+		BusyPoll: params.BusyPoll,
 		Liveness: params.Liveness.transport(),
 		Absent:   append([]int(nil), params.Absent...),
 		Inject:   params.Inject.internal(),
@@ -296,6 +309,16 @@ type PeerParams struct {
 	// Inject, when non-nil, applies seeded loss, duplication and
 	// corruption to outgoing update datagrams (chaos testing).
 	Inject *FaultInjection
+	// Batch is the I/O burst ceiling: update sends accumulate into a
+	// window block flushed as one batched write, and each receive
+	// wakeup drains up to Batch result datagrams in one syscall. Zero
+	// selects 32; 1 selects the legacy one-datagram-per-syscall path.
+	// Must not be confused with protocol windowing — the slot pool is
+	// unchanged; only the syscall boundary moves.
+	Batch int
+	// BusyPoll makes the receive path spin briefly on an empty socket
+	// before parking in the poller, trading CPU for latency.
+	BusyPoll bool
 	// AdaptiveRTO replaces the fixed RTO with a Jacobson/Karn
 	// estimator (SRTT + 4·RTTVAR, clamped to [RTO, 64×RTO], samples
 	// only from never-retransmitted packets), so the retransmission
@@ -405,6 +428,8 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 		RTO:         params.RTO,
 		Timeout:     params.Timeout,
 		Heartbeat:   params.Heartbeat,
+		Batch:       params.Batch,
+		BusyPoll:    params.BusyPoll,
 		Inject:      params.Inject.internal(),
 		AdaptiveRTO: params.AdaptiveRTO,
 		Fallback:    params.Fallback.transport(),
