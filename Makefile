@@ -13,7 +13,7 @@ GO ?= go
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack \
 	./internal/core ./internal/netsim ./internal/netio .
 
-.PHONY: check vet lint build test race chaos fuzz bench bench-smoke top-smoke flight-check elastic-smoke examples clean
+.PHONY: check vet lint lint-one lint-allows lint-sarif build test race chaos fuzz bench bench-smoke top-smoke flight-check elastic-smoke examples clean
 
 check: vet lint build test race chaos bench-smoke top-smoke flight-check elastic-smoke
 
@@ -21,10 +21,26 @@ vet:
 	$(GO) vet ./...
 
 # Project-invariant static analysis (cmd/switchml-vet): hot-path
-# allocation freedom, simulation determinism, atomics discipline and
-# wire-width checks. Any finding fails the build.
+# allocation freedom, simulation determinism, atomics discipline,
+# wire-width checks, protocol-dispatch exhaustiveness, pooled-buffer
+# ownership, goroutine lifecycles and suppression hygiene. Any finding
+# fails the build.
 lint:
 	$(GO) run ./cmd/switchml-vet
+
+# One analyzer, for CI matrix legs: make lint-one ANALYZER=bufown
+lint-one:
+	$(GO) run ./cmd/switchml-vet -run $(ANALYZER)
+
+# Suppression audit: every //switchml:allow with its justification.
+# (The suppress analyzer separately fails `make lint` on stale ones.)
+lint-allows:
+	$(GO) run ./cmd/switchml-vet -allows
+
+# SARIF artifact for CI annotation. The report is written even when
+# there are findings; `make lint` is the gate that fails on them.
+lint-sarif:
+	$(GO) run ./cmd/switchml-vet -sarif > switchml-vet.sarif || true
 
 build:
 	$(GO) build ./...

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -156,12 +157,16 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(statsFn())
 		})
-		go func() {
-			if err := http.ListenAndServe(*metrics, mux); err != nil {
-				log.Printf("switchml-agg: metrics server: %v", err)
-			}
-		}()
-		fmt.Printf("switchml-agg: stats at http://%s/stats\n", *metrics)
+		// Keep the server value in hand so the goroutine has a
+		// shutdown path: the deferred srv.Close unblocks Serve.
+		srv := &http.Server{Handler: mux}
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("switchml-agg: metrics server: %v", err)
+		}
+		defer srv.Close()
+		go srv.Serve(ln)
+		fmt.Printf("switchml-agg: stats at http://%s/stats\n", ln.Addr())
 	}
 	if *debug != "" {
 		bound, err := debugFn(*debug)

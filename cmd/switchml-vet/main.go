@@ -1,22 +1,35 @@
 // Command switchml-vet runs the project's static-analysis suite
-// (internal/analysis) over the module: four analyzers proving the
+// (internal/analysis) over the module: eight analyzers proving the
 // invariants the compiler cannot — allocation-free hot paths,
-// deterministic simulation packages, atomics discipline, and wire
-// widths that fit the p4sim register model. It is the `make lint`
-// gate; any finding exits non-zero.
+// deterministic simulation packages, atomics discipline, wire widths
+// that fit the p4sim register model, exhaustive protocol dispatch,
+// pooled-buffer ownership, goroutine lifecycles and suppression
+// hygiene. It is the `make lint` gate; any finding exits non-zero.
 //
 // Usage:
 //
-//	switchml-vet [-root dir] [-list] [analyzer ...]
+//	switchml-vet [-root dir] [-list] [-run name[,name...]]
+//	    [-json | -sarif] [-allows] [analyzer ...]
 //
-// With no analyzer names, all four run. -root overrides the module
-// root (default: the nearest go.mod above the working directory).
+// With no analyzer names, all eight run; -run (or positional names)
+// selects a subset, which CI uses to shard the suite across matrix
+// legs. -root overrides the module root (default: the nearest go.mod
+// above the working directory).
+//
+// Output is compiler-style text by default. -json emits a flat
+// finding array with stable IDs for scripting; -sarif emits a SARIF
+// 2.1.0 log for GitHub code-scanning annotations (both still exit
+// non-zero on findings, so redirect and `|| true` when only the
+// artifact is wanted). -allows prints every //switchml:allow with its
+// justification — the `make lint-allows` audit — and exits zero; the
+// suppress analyzer separately fails the build on stale ones.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"switchml/internal/analysis"
 )
@@ -24,6 +37,10 @@ import (
 func main() {
 	root := flag.String("root", "", "module root (default: nearest go.mod above cwd)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzers to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON with stable IDs")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 for CI annotation")
+	allows := flag.Bool("allows", false, "report every //switchml:allow directive and exit")
 	flag.Parse()
 
 	if *list {
@@ -32,14 +49,27 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "switchml-vet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
-	if err := run(*root, flag.Args()); err != nil {
+	names := flag.Args()
+	if *run != "" {
+		for _, n := range strings.Split(*run, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	if err := vet(*root, names, *jsonOut, *sarifOut, *allows); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(root string, names []string) error {
+func vet(root string, names []string, jsonOut, sarifOut, allows bool) error {
 	analyzers, err := analysis.ByName(names)
 	if err != nil {
 		return err
@@ -58,9 +88,28 @@ func run(root string, names []string) error {
 	if err != nil {
 		return err
 	}
+
+	if allows {
+		for _, a := range analysis.Allows(m) {
+			fmt.Printf("%s:%d: allow %s -- %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Why)
+		}
+		return nil
+	}
+
 	diags := analysis.Run(m, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case jsonOut:
+		if err := analysis.WriteJSON(os.Stdout, m.Root, diags); err != nil {
+			return err
+		}
+	case sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, m.Root, diags); err != nil {
+			return err
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		return fmt.Errorf("switchml-vet: %d finding(s)", n)

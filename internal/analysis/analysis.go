@@ -5,9 +5,10 @@
 // replay-based evaluation (§5.5, §5.6), the aggregator's lock-free
 // fast path must never mix atomic and plain access to the same field,
 // and protocol constants must fit the register widths the Tofino
-// model (internal/p4sim) enforces. The four analyzers here — hotpath,
-// determinism, atomicfield and wirewidth — turn those invariants into
-// a build gate (`make lint`, cmd/switchml-vet).
+// model (internal/p4sim) enforces. The eight analyzers here —
+// hotpath, determinism, atomicfield, wirewidth, kinddispatch, bufown,
+// golife and suppress — turn those invariants into a build gate
+// (`make lint`, cmd/switchml-vet).
 //
 // The suite is built purely on the standard library (go/parser,
 // go/ast, go/types, go/token): LoadModule type-checks the whole
@@ -21,6 +22,11 @@
 //	                             global randomness or map order
 //	//switchml:wire bits=N       constants stored in this field must
 //	                             fit N bits
+//	//switchml:dispatch          the adjacent switch must handle every
+//	                             declared kind or count its drops
+//	//switchml:acquire           function hands out a pooled object
+//	//switchml:release           function returns its first argument
+//	                             to the pool
 //	//switchml:allow <analyzer> -- <justification>
 //	                             suppress findings on this line (or the
 //	                             line below, or this declaration)
@@ -59,9 +65,14 @@ type Analyzer struct {
 	Run func(m *Module) []Diagnostic
 }
 
-// All returns the suite's analyzers in report order.
+// All returns the suite's analyzers in report order. Suppress runs
+// last: it re-runs the others internally to decide which
+// //switchml:allow directives still earn their keep.
 func All() []*Analyzer {
-	return []*Analyzer{Hotpath(), Determinism(), AtomicField(), WireWidth()}
+	return []*Analyzer{
+		Hotpath(), Determinism(), AtomicField(), WireWidth(),
+		KindDispatch(), BufOwn(), GoLife(), Suppress(),
+	}
 }
 
 // ByName returns the named analyzers, or an error naming the unknown

@@ -38,24 +38,29 @@ func collectWants(t *testing.T, root string) []*want {
 			return err
 		}
 		for i, line := range strings.Split(string(src), "\n") {
-			m := wantRe.FindStringSubmatchIndex(line)
-			if m == nil {
+			matches := wantRe.FindAllStringSubmatchIndex(line, -1)
+			if matches == nil {
 				continue
 			}
-			quoted := line[m[2]:m[3]]
-			pat, err := strconv.Unquote(quoted)
-			if err != nil {
-				t.Fatalf("%s:%d: bad want %s: %v", p, i+1, quoted, err)
-			}
-			re, err := regexp.Compile(pat)
-			if err != nil {
-				t.Fatalf("%s:%d: want %q does not compile: %v", p, i+1, pat, err)
-			}
+			// A line may carry several wants (one per expected
+			// diagnostic); standalone placement is decided by the
+			// first one.
 			wantLine := i + 1
-			if strings.TrimSpace(line[:m[0]]) == "" {
+			if strings.TrimSpace(line[:matches[0][0]]) == "" {
 				wantLine++ // standalone comment: expectation is for the next line
 			}
-			wants = append(wants, &want{file: p, line: wantLine, re: re, raw: pat})
+			for _, m := range matches {
+				quoted := line[m[2]:m[3]]
+				pat, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want %s: %v", p, i+1, quoted, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: want %q does not compile: %v", p, i+1, pat, err)
+				}
+				wants = append(wants, &want{file: p, line: wantLine, re: re, raw: pat})
+			}
 		}
 		return nil
 	})

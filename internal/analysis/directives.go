@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -20,11 +21,25 @@ import (
 //	    On a struct field: constants stored in (or compared against)
 //	    the field must fit in N bits, the width of the switch register
 //	    that carries it.
+//	//switchml:dispatch
+//	    On (or on the line above) a switch over a protocol kind: the
+//	    switch must handle every declared constant of the tag's type or
+//	    carry a default arm that counts/logs the drop, and every
+//	    constant must appear in the FuzzCodec seed corpus.
+//	//switchml:acquire
+//	    On a function's doc comment: callers receive a pooled object
+//	    from this function (the module's pool getters), subjecting the
+//	    result to the bufown ownership rules.
+//	//switchml:release
+//	    On a function's doc comment: the function's first argument is
+//	    returned to its pool; the caller must not touch it afterwards.
 //	//switchml:allow <analyzer> -- <justification>
 //	    Suppresses the named analyzer's findings on the same line, the
 //	    line below (for a comment on its own line), or — on a function's
 //	    doc comment — the whole function. The justification is
-//	    mandatory: a suppression without one is itself a finding.
+//	    mandatory: a suppression without one is itself a finding, and
+//	    the suppress analyzer reports any allow that no longer
+//	    suppresses anything.
 const dirPrefix = "//switchml:"
 
 // directive is one parsed //switchml: comment.
@@ -103,17 +118,37 @@ func parseWireBits(args string) (int, error) {
 	return n, nil
 }
 
+// allowRecord is one well-formed //switchml:allow directive, tracked
+// so the suppress analyzer can report allows that no longer suppress
+// anything.
+type allowRecord struct {
+	// Analyzer is the suppressed analyzer's name.
+	Analyzer string
+	// Why is the mandatory justification after "--".
+	Why string
+	// Pos locates the directive comment.
+	Pos token.Position
+	// used is set when the record suppresses (or would suppress) a
+	// finding.
+	used bool
+}
+
 // directiveIndex is the module-wide suppression table plus the
 // findings about the directives themselves (unknown verbs, allows
 // with no justification).
 type directiveIndex struct {
-	// allows maps filename -> line -> analyzer names allowed there.
-	allows    map[string]map[int]map[string]bool
+	// allows maps filename -> line -> analyzer name -> its record.
+	allows map[string]map[int]map[string]*allowRecord
+	// records lists every well-formed allow in scan order.
+	records   []*allowRecord
 	malformed []Diagnostic
 }
 
 // knownVerbs are the directives the suite understands.
-var knownVerbs = map[string]bool{"hotpath": true, "deterministic": true, "wire": true, "allow": true}
+var knownVerbs = map[string]bool{
+	"hotpath": true, "deterministic": true, "wire": true, "allow": true,
+	"dispatch": true, "acquire": true, "release": true,
+}
 
 // knownAnalyzers are the valid //switchml:allow targets.
 func knownAnalyzers() map[string]bool {
@@ -127,7 +162,7 @@ func knownAnalyzers() map[string]bool {
 // collectDirectives scans every comment in the module, building the
 // allow table and validating directive syntax.
 func collectDirectives(m *Module) *directiveIndex {
-	idx := &directiveIndex{allows: make(map[string]map[int]map[string]bool)}
+	idx := &directiveIndex{allows: make(map[string]map[int]map[string]*allowRecord)}
 	analyzers := knownAnalyzers()
 	bad := func(pos token.Position, format string, args ...any) {
 		idx.malformed = append(idx.malformed, Diagnostic{
@@ -157,15 +192,17 @@ func collectDirectives(m *Module) *directiveIndex {
 						}
 						byLine := idx.allows[d.pos.Filename]
 						if byLine == nil {
-							byLine = make(map[int]map[string]bool)
+							byLine = make(map[int]map[string]*allowRecord)
 							idx.allows[d.pos.Filename] = byLine
 						}
 						set := byLine[d.pos.Line]
 						if set == nil {
-							set = make(map[string]bool)
+							set = make(map[string]*allowRecord)
 							byLine[d.pos.Line] = set
 						}
-						set[name] = true
+						rec := &allowRecord{Analyzer: name, Why: why, Pos: d.pos}
+						set[name] = rec
+						idx.records = append(idx.records, rec)
 					case d.verb == "wire":
 						if _, err := parseWireBits(d.args); err != nil {
 							bad(d.pos, "bad //switchml:wire directive: %v", err)
@@ -179,12 +216,48 @@ func collectDirectives(m *Module) *directiveIndex {
 }
 
 // suppressed reports whether an //switchml:allow for the analyzer
-// covers the position: same line (trailing comment) or the line
-// above (standalone comment).
+// covers the position — same line (trailing comment) or the line
+// above (standalone comment) — and marks the matching record used so
+// the suppress analyzer can tell live allows from stale ones.
 func (idx *directiveIndex) suppressed(analyzer string, pos token.Position) bool {
 	byLine := idx.allows[pos.Filename]
 	if byLine == nil {
 		return false
 	}
-	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+	hit := false
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if rec := byLine[line][analyzer]; rec != nil {
+			rec.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// AllowDirective is one //switchml:allow suppression, exported for
+// the cmd/switchml-vet -allows report.
+type AllowDirective struct {
+	// Pos locates the directive comment.
+	Pos token.Position
+	// Analyzer is the suppressed analyzer.
+	Analyzer string
+	// Why is the recorded justification.
+	Why string
+}
+
+// Allows lists every well-formed //switchml:allow in the module in
+// scan order (sorted by file, then line).
+func Allows(m *Module) []AllowDirective {
+	idx := collectDirectives(m)
+	out := make([]AllowDirective, 0, len(idx.records))
+	for _, rec := range idx.records {
+		out = append(out, AllowDirective{Pos: rec.Pos, Analyzer: rec.Analyzer, Why: rec.Why})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }

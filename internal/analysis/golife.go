@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GoLife returns the goroutine-lifecycle analyzer. Every go statement
+// in module code must be provably stoppable: the spawned body (or a
+// statically resolvable same-module callee, transitively) must tie
+// itself to a shutdown signal — a channel receive, a select, a range
+// over a channel, or a sync.WaitGroup — and when the goroutine
+// belongs to a type (spawned method, or func literal inside a
+// method), that type must expose Close/Stop/Shutdown so the tie is
+// reachable from the public lifecycle. Two idioms are recognised as
+// anchors in their own right: a method that returns a stop closure
+// (the sampler pattern) and a fork-join that Waits before returning.
+// Goroutines that run an external call hold up only when the callee
+// is a method on a closeable value (go srv.Serve(ln) with srv.Close
+// in hand); a bare external call like http.ListenAndServe can never
+// be shut down and is always a finding.
+func GoLife() *Analyzer {
+	return &Analyzer{
+		Name: "golife",
+		Doc:  "every go statement must tie to a done channel, context or WaitGroup reachable from a Close/Stop",
+		Run:  runGoLife,
+	}
+}
+
+func runGoLife(m *Module) []Diagnostic {
+	funcs := make(map[*types.Func]funcInfo)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					funcs[obj] = funcInfo{pkg, fd}
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if msg := checkGoStmt(m, funcs, pkg, fd, gs); msg != "" {
+						diags = append(diags, Diagnostic{
+							Pos:      m.Fset.Position(gs.Pos()),
+							Analyzer: "golife",
+							Message:  msg,
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// checkGoStmt validates one go statement, returning "" when it
+// passes.
+func checkGoStmt(m *Module, funcs map[*types.Func]funcInfo, pkg *Package, encl *ast.FuncDecl, gs *ast.GoStmt) string {
+	var body *ast.BlockStmt
+	var bodyPkg *Package
+	var spawnedRecv *types.Named
+
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		body, bodyPkg = lit.Body, pkg
+	} else {
+		callee := staticCallee(pkg.Info, gs.Call)
+		if callee == nil {
+			return "goroutine target is dynamic; tie it to a done channel via a func literal so the analyzer can see the shutdown path"
+		}
+		spawnedRecv = receiverNamed(callee)
+		if fi, local := funcs[callee]; local {
+			body, bodyPkg = fi.decl.Body, fi.pkg
+		} else {
+			// External callee: uninspectable. It passes only when the
+			// receiver value is closeable, so closing it unblocks the
+			// goroutine (go srv.Serve(ln) + srv.Close).
+			if spawnedRecv != nil && closeable(spawnedRecv) {
+				return ""
+			}
+			return fmt.Sprintf("goroutine runs external %s with no shutdown handle (no Close/Stop/Shutdown on the callee)", funcDisplayName(callee))
+		}
+	}
+
+	if !hasShutdownTie(m, funcs, bodyPkg, body, make(map[*types.Func]bool)) {
+		return "goroutine has no shutdown tie: no channel receive, select, channel range or WaitGroup in its body or same-module callees"
+	}
+
+	// Anchor: a goroutine owned by a type must be stoppable through
+	// that type's lifecycle.
+	owner := spawnedRecv
+	if owner == nil && encl.Recv != nil {
+		owner = receiverNamedFromDecl(pkg, encl)
+	}
+	if owner == nil || closeable(owner) {
+		return ""
+	}
+	if returnsStopFunc(pkg, encl) || waitsBeforeReturn(encl) {
+		return ""
+	}
+	return fmt.Sprintf("%s spawns a goroutine but has no Close/Stop/Shutdown method (and no stop-closure or fork-join wait)", owner.Obj().Name())
+}
+
+// receiverNamed returns the named receiver type of a method, nil for
+// plain functions.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, _ := rt.(*types.Named)
+	return named
+}
+
+// receiverNamedFromDecl resolves the receiver type of a method
+// declaration.
+func receiverNamedFromDecl(pkg *Package, fd *ast.FuncDecl) *types.Named {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return receiverNamed(obj)
+}
+
+// closeable reports whether *T has a Close, Stop or Shutdown method.
+func closeable(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Close", "Stop", "Shutdown":
+			return true
+		}
+	}
+	return false
+}
+
+// hasShutdownTie walks a body (and same-module static callees) for a
+// shutdown signal: a channel receive, a select statement, a range
+// over a channel, or a WaitGroup Done/Wait.
+func hasShutdownTie(m *Module, funcs map[*types.Func]funcInfo, pkg *Package, body *ast.BlockStmt, visited map[*types.Func]bool) bool {
+	if body == nil {
+		return false
+	}
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				tied = true
+			}
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.RangeStmt:
+			if t := exprType(pkg.Info, n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := staticCallee(pkg.Info, n)
+			if callee == nil {
+				return true
+			}
+			if isWaitGroupMethod(callee) {
+				tied = true
+				return false
+			}
+			if fi, local := funcs[callee]; local && !visited[callee] {
+				visited[callee] = true
+				if hasShutdownTie(m, funcs, fi.pkg, fi.decl.Body, visited) {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isWaitGroupMethod reports a Done or Wait call on sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	if fn.Name() != "Done" && fn.Name() != "Wait" {
+		return false
+	}
+	named := receiverNamed(fn)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// returnsStopFunc reports whether a function's results include a func
+// type — the "Start(...) (stop func())" idiom, where the returned
+// closure is the shutdown handle.
+func returnsStopFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	results := obj.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		if _, ok := results.At(i).Type().Underlying().(*types.Signature); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// waitsBeforeReturn reports whether the function body contains a
+// .Wait() call — the fork-join idiom where the spawner joins its own
+// goroutines.
+func waitsBeforeReturn(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

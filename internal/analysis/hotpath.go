@@ -36,7 +36,12 @@ type funcInfo struct {
 	decl *ast.FuncDecl
 }
 
-func runHotpath(m *Module) []Diagnostic {
+func runHotpath(m *Module) []Diagnostic { return runHotpathOpt(m, true) }
+
+// runHotpathOpt is the hotpath walk with exemption control: the
+// suppress analyzer re-runs it with honorExempt=false to learn which
+// findings a function-scope //switchml:allow hotpath is holding back.
+func runHotpathOpt(m *Module, honorExempt bool) []Diagnostic {
 	funcs := make(map[*types.Func]funcInfo)
 	var roots []*types.Func
 	exempt := make(map[*types.Func]bool)
@@ -66,7 +71,7 @@ func runHotpath(m *Module) []Diagnostic {
 	visited := make(map[*types.Func]bool)
 	var walk func(fn, root *types.Func)
 	walk = func(fn, root *types.Func) {
-		if visited[fn] || exempt[fn] {
+		if visited[fn] || (honorExempt && exempt[fn]) {
 			return
 		}
 		visited[fn] = true

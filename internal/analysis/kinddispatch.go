@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// KindDispatch returns the protocol-dispatch exhaustiveness analyzer.
+// A switch annotated //switchml:dispatch (trailing on the switch line
+// or standalone on the line above) dispatches on a named integer
+// protocol-kind type — packet.Kind in this module. The switch must
+// either name every declared constant of that type in its case arms
+// or carry a default arm that observably counts or logs the drop
+// (§5.1's retransmission logic depends on no kind ever vanishing
+// silently). Each declared constant must also appear in the declaring
+// package's FuzzCodec seed corpus, so a newly added kind cannot skip
+// the codec round-trip fuzz.
+func KindDispatch() *Analyzer {
+	return &Analyzer{
+		Name: "kinddispatch",
+		Doc:  "//switchml:dispatch switches must cover every declared kind or count their drops; every kind needs a FuzzCodec seed",
+		Run:  runKindDispatch,
+	}
+}
+
+// dispatchSite is one //switchml:dispatch directive, by position.
+type dispatchSite struct {
+	pos     token.Position
+	matched bool
+}
+
+func runKindDispatch(m *Module) []Diagnostic {
+	// Index every //switchml:dispatch comment by file and line.
+	sites := make(map[string]map[int]*dispatchSite)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c, m.Fset)
+					if !ok || d.verb != "dispatch" {
+						continue
+					}
+					byLine := sites[d.pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]*dispatchSite)
+						sites[d.pos.Filename] = byLine
+					}
+					byLine[d.pos.Line] = &dispatchSite{pos: d.pos}
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: pos, Analyzer: "kinddispatch", Message: fmt.Sprintf(format, args...)})
+	}
+
+	// kindTypes collects every named type dispatched on, for the
+	// corpus check.
+	kindTypes := make(map[*types.Named]bool)
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				pos := m.Fset.Position(sw.Switch)
+				byLine := sites[pos.Filename]
+				site := byLine[pos.Line]
+				if site == nil {
+					site = byLine[pos.Line-1]
+				}
+				if site == nil {
+					return true
+				}
+				site.matched = true
+				named := dispatchTagType(pkg.Info, sw)
+				if named == nil {
+					report(pos, "//switchml:dispatch switch must dispatch on a named integer kind type")
+					return true
+				}
+				kindTypes[named] = true
+				checkDispatchSwitch(m, pkg, sw, named, pos, report)
+				return true
+			})
+		}
+	}
+
+	// A dispatch directive with no adjacent switch is dead weight.
+	for _, byLine := range sites {
+		for _, site := range byLine {
+			if !site.matched {
+				report(site.pos, "//switchml:dispatch is not attached to a switch statement (same line or line below)")
+			}
+		}
+	}
+
+	// Corpus check: every declared constant of a dispatched type must
+	// appear in a FuzzCodec seed corpus in the declaring package.
+	for named := range kindTypes {
+		diags = append(diags, checkFuzzCorpus(m, named)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// dispatchTagType returns the switch tag's named integer type, nil
+// when the tag is absent or not a named integer.
+func dispatchTagType(info *types.Info, sw *ast.SwitchStmt) *types.Named {
+	if sw.Tag == nil {
+		return nil
+	}
+	t := exprType(info, sw.Tag)
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+// declaredKinds lists the module's package-level constants of the
+// exact named type, sorted by value.
+func declaredKinds(m *Module, named *types.Named) []*types.Const {
+	var out []*types.Const
+	for _, pkg := range m.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if ok && types.Identical(c.Type(), named) {
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Uint64Val(out[i].Val())
+		vj, _ := constant.Uint64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}
+
+// checkDispatchSwitch verifies one annotated switch: full kind
+// coverage, or a default arm that counts/logs what it drops.
+func checkDispatchSwitch(m *Module, pkg *Package, sw *ast.SwitchStmt, named *types.Named, pos token.Position, report func(token.Position, string, ...any)) {
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	typeName := named.Obj().Name()
+	if p := named.Obj().Pkg(); p != nil {
+		typeName = p.Name() + "." + typeName
+	}
+	if defaultClause != nil {
+		if !armCounts(defaultClause) {
+			report(m.Fset.Position(defaultClause.Pos()),
+				"default arm of //switchml:dispatch switch over %s must count or log the dropped kind", typeName)
+		}
+		return
+	}
+	var missing []string
+	for _, c := range declaredKinds(m, named) {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		report(pos, "//switchml:dispatch switch over %s misses %s (add arms or a counting default)",
+			typeName, strings.Join(missing, ", "))
+	}
+}
+
+// armCounts reports whether a case body performs an observable action
+// — a call (counter increment, log), an increment/decrement or an
+// assignment — rather than silently discarding the packet.
+func armCounts(cc *ast.CaseClause) bool {
+	counts := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.CallExpr, *ast.IncDecStmt, *ast.AssignStmt:
+				counts = true
+			}
+			return !counts
+		})
+	}
+	return counts
+}
+
+// checkFuzzCorpus requires every declared constant of the kind type
+// to be named in a FuzzCodec test file of the declaring package (the
+// same textual convention the hotpath analyzer uses for
+// AllocsPerRun). Missing constants anchor at their declarations.
+func checkFuzzCorpus(m *Module, named *types.Named) []Diagnostic {
+	tpkg := named.Obj().Pkg()
+	if tpkg == nil || !m.Local(tpkg.Path()) {
+		return nil
+	}
+	pkg := m.Lookup(tpkg.Path())
+	if pkg == nil {
+		return nil
+	}
+	corpus := fuzzCodecText(pkg.Dir)
+	typeName := tpkg.Name() + "." + named.Obj().Name()
+	if corpus == "" {
+		return []Diagnostic{{
+			Pos:      m.Fset.Position(named.Obj().Pos()),
+			Analyzer: "kinddispatch",
+			Message:  fmt.Sprintf("dispatched type %s has no FuzzCodec seed corpus in %s", typeName, tpkg.Path()),
+		}}
+	}
+	var diags []Diagnostic
+	for _, c := range declaredKinds(m, named) {
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(c.Name()) + `\b`)
+		if !re.MatchString(corpus) {
+			diags = append(diags, Diagnostic{
+				Pos:      m.Fset.Position(c.Pos()),
+				Analyzer: "kinddispatch",
+				Message:  fmt.Sprintf("%s %s has no FuzzCodec seed (name it in the seed corpus)", typeName, c.Name()),
+			})
+		}
+	}
+	return diags
+}
+
+// fuzzCodecText concatenates the dir's test files that define or
+// exercise FuzzCodec, "" when there are none.
+func fuzzCodecText(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err == nil && strings.Contains(string(src), "FuzzCodec") {
+			sb.Write(src)
+		}
+	}
+	return sb.String()
+}
+
+// sortDiagnostics orders findings by position for stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+}

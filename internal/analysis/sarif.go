@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Machine-readable output for cmd/switchml-vet: a flat JSON finding
+// list for scripting, and SARIF 2.1.0 for CI annotation (GitHub's
+// upload-sarif action renders results inline on pull requests). Both
+// carry the same stable finding IDs, so a finding keeps its identity
+// across runs and across output formats as long as the code it points
+// at does not move.
+
+// FindingID returns a stable identifier for one finding:
+// "<analyzer>-<fnv64a hex>" over the analyzer name, the root-relative
+// path, the line and the message. Column changes (gofmt shuffles) do
+// not disturb the ID; moving or rewording the finding does.
+func FindingID(root string, d Diagnostic) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%s", d.Analyzer, relPath(root, d.Pos.Filename), d.Pos.Line, d.Message)
+	return fmt.Sprintf("%s-%016x", d.Analyzer, h.Sum64())
+}
+
+// relPath makes path root-relative with forward slashes — the form
+// SARIF viewers resolve against the repository checkout.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	ID       string `json:"id"`
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits the findings as a JSON array (stable IDs included),
+// root-relative paths, one object per finding.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			ID:       FindingID(root, d),
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 document skeleton — only the fields the spec requires
+// plus what GitHub code scanning consumes.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log with one rule
+// per analyzer (plus the directive validator) and one result per
+// finding, fingerprinted with the stable finding ID.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic) error {
+	var rules []sarifRule
+	ruleIndex := make(map[string]int)
+	for _, a := range All() {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			Name:             a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	ruleIndex["directive"] = len(rules)
+	rules = append(rules, sarifRule{
+		ID:               "directive",
+		Name:             "directive",
+		ShortDescription: sarifMessage{Text: "//switchml: directives must be well-formed and justified"},
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			idx = ruleIndex["directive"]
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       relPath(root, d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{"switchmlVetId/v1": FindingID(root, d)},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "switchml-vet",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/transport/client.go", Line: 523, Column: 2},
+			Analyzer: "kinddispatch",
+			Message:  "default arm of //switchml:dispatch switch over packet.Kind must count or log the dropped kind",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/netio/conn.go", Line: 88, Column: 5},
+			Analyzer: "bufown",
+			Message:  "sh.block reassigned between AppendTrain and Flush; the staged train still references it",
+		},
+	}
+}
+
+// TestFindingIDStable pins the stable-ID contract: identical findings
+// hash identically, any field that identifies the finding perturbs
+// the hash, and a column-only change (gofmt) does not.
+func TestFindingIDStable(t *testing.T) {
+	d := sampleDiags()[0]
+	id1 := FindingID("/mod", d)
+	id2 := FindingID("/mod", d)
+	if id1 != id2 {
+		t.Fatalf("same finding hashed differently: %s vs %s", id1, id2)
+	}
+	if !strings.HasPrefix(id1, "kinddispatch-") {
+		t.Errorf("ID %q does not lead with the analyzer name", id1)
+	}
+
+	moved := d
+	moved.Pos.Line++
+	if FindingID("/mod", moved) == id1 {
+		t.Error("moving the finding one line did not change its ID")
+	}
+	reworded := d
+	reworded.Message += "!"
+	if FindingID("/mod", reworded) == id1 {
+		t.Error("rewording the finding did not change its ID")
+	}
+	shifted := d
+	shifted.Pos.Column += 4
+	if FindingID("/mod", shifted) != id1 {
+		t.Error("a column-only shift changed the ID; gofmt would churn every fingerprint")
+	}
+}
+
+// TestWriteJSON checks the -json shape: an array of findings with
+// stable IDs and root-relative slash paths.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/mod", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		ID       string `json:"id"`
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d findings, want 2", len(out))
+	}
+	if out[0].File != "internal/transport/client.go" {
+		t.Errorf("file = %q, want a root-relative slash path", out[0].File)
+	}
+	if out[0].ID == "" || out[0].Analyzer != "kinddispatch" || out[0].Line != 523 {
+		t.Errorf("finding fields wrong: %+v", out[0])
+	}
+}
+
+// TestWriteSARIF structurally validates the log against SARIF 2.1.0:
+// the version and schema fields, a driver with one rule per analyzer,
+// and results whose ruleId, ruleIndex, message and physical location
+// all resolve.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0.json") {
+		t.Errorf("$schema = %q does not reference the 2.1.0 schema", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "switchml-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer plus the directive validator.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("driver declares %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	for i, res := range run.Results {
+		if res.Message.Text == "" || res.Level != "error" {
+			t.Errorf("result %d: message/level wrong: %+v", i, res)
+		}
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not resolve to ruleId %q", i, res.RuleIndex, res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d: got %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("result %d: uri %q is not a relative slash path", i, loc.ArtifactLocation.URI)
+		}
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("result %d: uriBaseId = %q", i, loc.ArtifactLocation.URIBaseID)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %d: startLine = %d", i, loc.Region.StartLine)
+		}
+		if res.PartialFingerprints["switchmlVetId/v1"] == "" {
+			t.Errorf("result %d: missing stable fingerprint", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Suppress returns the stale-suppression analyzer. Every
+// //switchml:allow narrows the suite's coverage, so each one must
+// still be earning its keep: the analyzer re-runs the rest of the
+// suite unfiltered and reports any allow whose analyzer no longer
+// produces a finding at the covered location. Function-scope hotpath
+// allows are matched against the unexempted hotpath walk over the
+// annotated function's body. Allows targeting suppress itself cannot
+// be self-assessed and are left alone.
+func Suppress() *Analyzer {
+	return &Analyzer{
+		Name: "suppress",
+		Doc:  "//switchml:allow directives that no longer suppress any finding are themselves findings",
+		Run:  runSuppress,
+	}
+}
+
+func runSuppress(m *Module) []Diagnostic {
+	idx := collectDirectives(m)
+	if len(idx.records) == 0 {
+		return nil
+	}
+
+	// Raw, unsuppressed findings from every other analyzer. Matching
+	// them against the allow table marks the records that still hold
+	// a finding back. Hotpath runs with function-scope exemptions
+	// disabled so findings inside exempted functions surface and can
+	// be credited to the function-scope allow below.
+	rawByAnalyzer := make(map[string][]Diagnostic)
+	for _, a := range All() {
+		if a.Name == "suppress" {
+			continue
+		}
+		var raw []Diagnostic
+		if a.Name == "hotpath" {
+			raw = runHotpathOpt(m, false)
+		} else {
+			raw = a.Run(m)
+		}
+		for _, d := range raw {
+			idx.suppressed(d.Analyzer, d.Pos)
+		}
+		rawByAnalyzer[a.Name] = raw
+	}
+
+	// Function-scope allows: a //switchml:allow on a function's doc
+	// comment is live when the analyzer reports anywhere inside that
+	// function's body.
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				for _, d := range groupDirectives(fd.Doc, m.Fset) {
+					if d.verb != "allow" {
+						continue
+					}
+					name, why, cut := parseAllow(d.args)
+					if !cut || why == "" {
+						continue
+					}
+					rec := idx.allows[d.pos.Filename][d.pos.Line][name]
+					if rec == nil || rec.used {
+						continue
+					}
+					start := m.Fset.Position(fd.Pos()).Line
+					end := m.Fset.Position(fd.End()).Line
+					for _, diag := range rawByAnalyzer[name] {
+						if diag.Pos.Filename == d.pos.Filename && diag.Pos.Line >= start && diag.Pos.Line <= end {
+							rec.used = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, rec := range idx.records {
+		if rec.used || rec.Analyzer == "suppress" {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      rec.Pos,
+			Analyzer: "suppress",
+			Message:  fmt.Sprintf("stale //switchml:allow %s: it no longer suppresses any finding (remove it)", rec.Analyzer),
+		})
+	}
+	sortDiagnostics(diags)
+	return diags
+}

@@ -1,0 +1,82 @@
+// Package dispatch seeds kinddispatch-analyzer violations: annotated
+// switches must cover every declared kind or count their drops, and
+// every kind must be named in the package's FuzzCodec seed corpus.
+package dispatch
+
+// Kind is the protocol tag the annotated switches dispatch on.
+type Kind uint8
+
+// The declared kinds. KindC is deliberately missing from the
+// FuzzCodec seed corpus in dispatch_test.go.
+const (
+	KindA Kind = iota
+	KindB
+	KindC // want "dispatch.Kind KindC has no FuzzCodec seed \\(name it in the seed corpus\\)"
+)
+
+var drops int
+
+// Exhaustive names every declared kind: clean.
+func Exhaustive(k Kind) int {
+	//switchml:dispatch
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+// CountingDefault drops unknown kinds observably: clean.
+func CountingDefault(k Kind) int {
+	//switchml:dispatch
+	switch k {
+	case KindA:
+		return 1
+	default:
+		drops++
+	}
+	return 0
+}
+
+// Missing omits two kinds and has no default arm.
+func Missing(k Kind) int {
+	//switchml:dispatch
+	switch k { // want "switch over dispatch.Kind misses KindB, KindC \\(add arms or a counting default\\)"
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// Silent has a default arm that swallows unknown kinds invisibly.
+func Silent(k Kind) int {
+	//switchml:dispatch
+	switch k {
+	case KindA:
+		return 1
+	default: // want "default arm of //switchml:dispatch switch over dispatch.Kind must count or log the dropped kind"
+	}
+	return 0
+}
+
+// Tagless guards the kind with booleans, so the directive cannot
+// verify coverage.
+func Tagless(k Kind) int {
+	//switchml:dispatch
+	switch { // want "must dispatch on a named integer kind type"
+	case k == KindA:
+		return 1
+	}
+	return 0
+}
+
+// The next directive hangs in space: there is no switch on its line
+// or the line below, so it verifies nothing.
+//
+// want "//switchml:dispatch is not attached to a switch statement"
+//switchml:dispatch
+var Orphan = 0

@@ -1,0 +1,14 @@
+package dispatch
+
+import "testing"
+
+// FuzzCodec mirrors the real module's structured codec fuzzer: the
+// seed corpus names KindA and KindB but omits the third kind, which
+// the kinddispatch analyzer reports at that constant's declaration.
+func FuzzCodec(f *testing.F) {
+	f.Add(uint8(KindA))
+	f.Add(uint8(KindB))
+	f.Fuzz(func(t *testing.T, k uint8) {
+		_ = Kind(k)
+	})
+}

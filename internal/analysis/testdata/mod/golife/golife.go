@@ -1,0 +1,92 @@
+// Package golife seeds goroutine-lifecycle violations: every go
+// statement must tie to a shutdown signal reachable from an owning
+// type's Close/Stop, a returned stop closure, or a fork-join wait.
+package golife
+
+import (
+	"sync"
+	"time"
+)
+
+// Server owns a stoppable worker loop: clean.
+type Server struct {
+	done chan struct{}
+}
+
+// Start spawns the loop; Close unblocks it through done.
+func (s *Server) Start() {
+	go s.loop()
+}
+
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+	}
+}
+
+// Close releases the loop.
+func (s *Server) Close() { close(s.done) }
+
+// Leaky ties its goroutine to a channel but exposes no lifecycle
+// method, so nothing outside can ever reach the tie.
+type Leaky struct{ n int }
+
+// Spin spawns a goroutine the owner cannot stop.
+func (l *Leaky) Spin(done chan struct{}) {
+	go func() { // want "Leaky spawns a goroutine but has no Close/Stop/Shutdown method"
+		<-done
+		l.n++
+	}()
+}
+
+// Untied spawns a body with no shutdown signal at all.
+func Untied() {
+	go func() { // want "goroutine has no shutdown tie"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// External hands the goroutine to a callee with no shutdown handle.
+func External() {
+	go time.Sleep(time.Hour) // want "goroutine runs external time.Sleep with no shutdown handle"
+}
+
+// Dynamic spawns through a function value the analyzer cannot see
+// into.
+func Dynamic(f func()) {
+	go f() // want "goroutine target is dynamic"
+}
+
+// Forked is the fork-join idiom: the spawner joins its own goroutines
+// before returning, so no lifecycle method is needed.
+type Forked struct{}
+
+// Run joins its workers before returning: clean.
+func (Forked) Run(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Sampler hands its caller a stop closure instead of a method: clean.
+type Sampler struct{}
+
+// Start returns the shutdown handle.
+func (Sampler) Start() (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	return func() { close(done) }
+}

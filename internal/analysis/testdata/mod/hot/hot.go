@@ -23,7 +23,7 @@ func Root(n int, s string, dst []byte) []byte {
 	fmt.Println(label)              // want "fmt.Println allocates in hot.Root"
 	Table[label] = n                // want "map write may rehash and allocate in hot.Root"
 	p := &point{x: n}               // want "address of composite literal escapes to the heap in hot.Root"
-	go tick(p)                      // want "go statement allocates a goroutine in hot.Root"
+	go tick(p)                      // want "go statement allocates a goroutine in hot.Root" // want "goroutine has no shutdown tie"
 	f := func() int { return n }    // want "closure captures n and allocates in hot.Root"
 	helper()
 	return append(raw, byte(f())) // want "append may grow its backing array in hot.Root"

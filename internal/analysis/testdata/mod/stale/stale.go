@@ -1,0 +1,45 @@
+// Package stale seeds the suppress analyzer: every //switchml:allow
+// must still hold back a finding, and one that no longer does is
+// itself a finding. Live allows — line-scope and function-scope —
+// must stay silent.
+package stale
+
+import "fmt"
+
+// Fixed was optimised after the allow was written: the determinism
+// analyzer no longer fires here, so the directive only narrows
+// coverage.
+func Fixed() int {
+	// want "stale //switchml:allow determinism: it no longer suppresses any finding \\(remove it\\)"
+	//switchml:allow determinism -- rounding loop, reviewed long ago
+	return 42
+}
+
+// Hot is a hot-path root whose single allocation is justified: the
+// line allow below still suppresses a live hotpath finding, so the
+// suppress analyzer leaves it alone.
+//
+//switchml:hotpath
+func Hot(n int) []byte {
+	_ = Trace()
+	//switchml:allow hotpath -- one-time arming buffer, amortised across the job
+	return make([]byte, n)
+}
+
+// Trace is diagnostics-only but still reachable from Hot, so its
+// blanket exemption is live: the unexempted hotpath walk finds the
+// Sprintf inside and credits the function-scope allow.
+//
+//switchml:allow hotpath -- diagnostics-only path, never per packet
+func Trace() string {
+	return fmt.Sprintf("%x", 9)
+}
+
+// Orphaned fell off every hot path; its blanket exemption suppresses
+// nothing now.
+//
+// want "stale //switchml:allow hotpath: it no longer suppresses any finding \\(remove it\\)"
+//switchml:allow hotpath -- legacy formatting path
+func Orphaned() string {
+	return fmt.Sprintf("%d", 7)
+}

@@ -1,0 +1,14 @@
+package stale
+
+import "testing"
+
+// TestHotZeroAlloc backs the hot-path annotation: the analyzer
+// requires a testing.AllocsPerRun pin in every package declaring a
+// root. One allocation is expected — the justified arming buffer.
+func TestHotZeroAlloc(t *testing.T) {
+	if n := testing.AllocsPerRun(10, func() {
+		_ = Hot(32)
+	}); n > 1 {
+		t.Fatalf("Hot allocates %v times per run, want at most 1", n)
+	}
+}

@@ -344,3 +344,35 @@ func TestShardedBurstRace(t *testing.T) {
 	}
 	t.Logf("shards echoed %d datagrams", echoed.Load())
 }
+
+// TestTrainBlockReuseAcrossBursts is the regression test for the
+// aggregator's flushShard ordering: a staged train must stay valid
+// until Flush returns (GSO mode sends directly from the caller's
+// storage), and only then may the caller reset and refill the same
+// backing array for the next burst. Two consecutive bursts through
+// one reused block must both arrive intact.
+func TestTrainBlockReuseAcrossBursts(t *testing.T) {
+	for name, cfg := range modeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			srv, cli := pair(t, cfg)
+			const seg, nseg = 64, 4
+			block := make([]byte, 0, seg*nseg)
+			for burst := 0; burst < 2; burst++ {
+				for i := 0; i < seg*nseg; i++ {
+					block = append(block, byte(burst*31+i))
+				}
+				cli.AppendTrain(block, seg, netip.AddrPort{})
+				cli.Flush()
+				// Reset only after Flush — the flushShard contract the
+				// bufown analyzer enforces statically.
+				got := collect(t, srv, nseg)
+				for i := 0; i < nseg; i++ {
+					if !bytes.Equal(got[i], block[i*seg:(i+1)*seg]) {
+						t.Fatalf("burst %d segment %d mismatch", burst, i)
+					}
+				}
+				block = block[:0]
+			}
+		})
+	}
+}

@@ -137,6 +137,7 @@ const (
 
 // String returns a short human-readable name for the kind.
 func (k Kind) String() string {
+	//switchml:dispatch
 	switch k {
 	case KindUpdate:
 		return "update"
@@ -439,6 +440,8 @@ var (
 
 // GetPacket returns a pooled packet with zeroed protocol fields and
 // an empty vector (capacity retained from prior use).
+//
+//switchml:acquire
 func GetPacket() *Packet {
 	p := pktPool.Get().(*Packet)
 	v := p.Vector[:0]
@@ -448,6 +451,8 @@ func GetPacket() *Packet {
 
 // PutPacket returns a packet to the pool. The caller must not retain
 // any reference to p or its vector.
+//
+//switchml:release
 func PutPacket(p *Packet) {
 	if p == nil {
 		return
@@ -457,6 +462,8 @@ func PutPacket(p *Packet) {
 
 // GetBuf returns a pooled, empty wire buffer with at least one
 // MTU-sized packet of capacity.
+//
+//switchml:acquire
 func GetBuf() *[]byte {
 	b := bufPool.Get().(*[]byte)
 	*b = (*b)[:0]
@@ -464,6 +471,8 @@ func GetBuf() *[]byte {
 }
 
 // PutBuf returns a wire buffer to the pool.
+//
+//switchml:release
 func PutBuf(b *[]byte) {
 	if b == nil {
 		return

@@ -124,6 +124,11 @@ type Aggregator struct {
 	netMode string
 
 	recvd, corrupt, sent *telemetry.Counter
+	// unexpected counts well-formed datagrams whose kind the serve
+	// loops do not dispatch (workers never originate result/reconfig/
+	// resume kinds); a nonzero value means a peer is confused or a new
+	// kind is missing its arm.
+	unexpected *telemetry.Counter
 	// sendErrs counts result/control datagrams whose socket send
 	// failed. UDP stays best-effort — the protocol's loss recovery
 	// owns repair — but a non-zero rate points at dead routes or
@@ -219,19 +224,20 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	}
 	conn := conns[0]
 	a := &Aggregator{
-		cfg:      cfg,
-		conn:     conn,
-		conns:    conns,
-		sw:       sw,
-		reg:      reg,
-		inj:      inj,
-		netMode:  "per-packet",
-		recvd:    reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
-		corrupt:  reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
-		sent:     reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
-		sendErrs: reg.Counter("udp_send_errors_total", "role", "aggregator"),
-		peers:    make([]atomic.Pointer[netip.AddrPort], cfg.Switch.Workers),
-		closed:   make(chan struct{}),
+		cfg:        cfg,
+		conn:       conn,
+		conns:      conns,
+		sw:         sw,
+		reg:        reg,
+		inj:        inj,
+		netMode:    "per-packet",
+		recvd:      reg.Counter("udp_datagrams_received_total", "role", "aggregator"),
+		corrupt:    reg.Counter("udp_datagrams_corrupted_total", "role", "aggregator"),
+		sent:       reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
+		sendErrs:   reg.Counter("udp_send_errors_total", "role", "aggregator"),
+		unexpected: reg.Counter("udp_unexpected_kind_total", "role", "aggregator"),
+		peers:      make([]atomic.Pointer[netip.AddrPort], cfg.Switch.Workers),
+		closed:     make(chan struct{}),
 	}
 	a.epoch.Store(uint32(cfg.Switch.JobID))
 	if len(cfg.Absent) > 0 && cfg.Liveness == nil {
@@ -425,6 +431,7 @@ func (a *Aggregator) serve(sh *aggShard) {
 		if int(sh.pkt.WorkerID) >= len(a.peers) {
 			continue
 		}
+		//switchml:dispatch
 		switch sh.pkt.Kind {
 		case packet.KindUpdate:
 			a.handleUpdate(sh, src)
@@ -439,7 +446,9 @@ func (a *Aggregator) serve(sh *aggShard) {
 		case packet.KindLeave:
 			a.handleLeave(&sh.pkt, src)
 		default:
-			// Workers never originate result/reconfig/resume kinds.
+			// Workers never originate result/reconfig/resume kinds;
+			// count the drop so a confused peer is visible.
+			a.unexpected.Inc()
 		}
 	}
 }
@@ -483,6 +492,7 @@ func (a *Aggregator) serveBatched(sh *aggShard) {
 			if int(sh.pkt.WorkerID) >= len(a.peers) {
 				continue
 			}
+			//switchml:dispatch
 			switch sh.pkt.Kind {
 			case packet.KindUpdate:
 				a.handleUpdate(sh, m.Addr)
@@ -497,7 +507,9 @@ func (a *Aggregator) serveBatched(sh *aggShard) {
 			case packet.KindLeave:
 				a.handleLeave(&sh.pkt, m.Addr)
 			default:
-				// Workers never originate result/reconfig/resume kinds.
+				// Workers never originate result/reconfig/resume kinds;
+				// count the drop so a confused peer is visible.
+				a.unexpected.Inc()
 			}
 		}
 		a.flushShard(sh)
@@ -534,10 +546,13 @@ func (a *Aggregator) flushShard(sh *aggShard) {
 				a.sent.Add(segs)
 			}
 		}
-		sh.block = sh.block[:0]
-		sh.blockSeg = 0
 	}
 	sh.nc.Flush()
+	// Reset only after Flush returns: in GSO mode the staged train
+	// sends directly from sh.block's storage, so the block must stay
+	// untouched until the kernel has copied it out.
+	sh.block = sh.block[:0]
+	sh.blockSeg = 0
 }
 
 // reply sends a control datagram back to a packet's source: staged on

@@ -87,6 +87,10 @@ type Client struct {
 	inj    *faults.PacketInjector
 
 	recvd, corrupt, sent *telemetry.Counter
+	// unexpected counts well-formed datagrams whose kind the worker
+	// never dispatches (aggregators never send update/report/
+	// heartbeat kinds).
+	unexpected *telemetry.Counter
 	// sendErrs counts datagrams whose socket send failed (batched
 	// flushes report per-datagram through netio's OnSendError).
 	sendErrs *telemetry.Counter
@@ -203,29 +207,30 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	id := fmt.Sprintf("%d", cfg.Worker.ID)
 	c := &Client{
-		cfg:       cfg,
-		conn:      conn,
-		worker:    w,
-		reg:       reg,
-		actor:     "w" + id,
-		inj:       inj,
-		recvd:     reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
-		corrupt:   reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
-		sent:      reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
-		sendErrs:  reg.Counter("udp_send_errors_total", "role", "worker", "worker", id),
-		chunkRTT:  reg.Histogram("worker_chunk_rtt_ns", telemetry.LatencyBuckets, "worker", id),
-		gSRTT:     reg.Gauge("worker_srtt_ns", "worker", id),
-		gRTO:      reg.Gauge("worker_rto_ns", "worker", id),
-		gFrontier: reg.Gauge("worker_frontier_off", "worker", id),
-		gPending:  reg.Gauge("worker_pending_chunks", "worker", id),
-		gEpoch:    reg.Gauge("worker_epoch", "worker", id),
-		gDegraded: reg.Gauge("worker_degraded", "worker", id),
-		lastSend:  make([]time.Time, cfg.Worker.PoolSize),
-		rbuf:      make([]byte, 65536),
-		backoff:   make([]uint8, cfg.Worker.PoolSize),
-		retxed:    make([]bool, cfg.Worker.PoolSize),
-		epoch:     cfg.Worker.JobID,
-		closed:    make(chan struct{}),
+		cfg:        cfg,
+		conn:       conn,
+		worker:     w,
+		reg:        reg,
+		actor:      "w" + id,
+		inj:        inj,
+		recvd:      reg.Counter("udp_datagrams_received_total", "role", "worker", "worker", id),
+		corrupt:    reg.Counter("udp_datagrams_corrupted_total", "role", "worker", "worker", id),
+		sent:       reg.Counter("udp_datagrams_sent_total", "role", "worker", "worker", id),
+		sendErrs:   reg.Counter("udp_send_errors_total", "role", "worker", "worker", id),
+		unexpected: reg.Counter("udp_unexpected_kind_total", "role", "worker", "worker", id),
+		chunkRTT:   reg.Histogram("worker_chunk_rtt_ns", telemetry.LatencyBuckets, "worker", id),
+		gSRTT:      reg.Gauge("worker_srtt_ns", "worker", id),
+		gRTO:       reg.Gauge("worker_rto_ns", "worker", id),
+		gFrontier:  reg.Gauge("worker_frontier_off", "worker", id),
+		gPending:   reg.Gauge("worker_pending_chunks", "worker", id),
+		gEpoch:     reg.Gauge("worker_epoch", "worker", id),
+		gDegraded:  reg.Gauge("worker_degraded", "worker", id),
+		lastSend:   make([]time.Time, cfg.Worker.PoolSize),
+		rbuf:       make([]byte, 65536),
+		backoff:    make([]uint8, cfg.Worker.PoolSize),
+		retxed:     make([]bool, cfg.Worker.PoolSize),
+		epoch:      cfg.Worker.JobID,
+		closed:     make(chan struct{}),
 	}
 	if cfg.Batch > 1 {
 		mtu := aggWireMTU(cfg.Worker.SlotElems)
@@ -520,6 +525,7 @@ func (c *Client) recvBurst() (int, error) {
 // feed the protocol state machine; reconfigure and resume directives
 // run the worker's half of the §5.6 recovery handshake.
 func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
+	//switchml:dispatch
 	switch p.Kind {
 	case packet.KindReconfig:
 		if p.Ver == 1 {
@@ -590,7 +596,10 @@ func (c *Client) handleIncoming(p *packet.Packet) (bool, error) {
 		}
 		return done, nil
 	default:
-		return false, nil // aggregators never send update/report/heartbeat
+		// Aggregators never send update/report/heartbeat kinds; count
+		// the drop so a confused aggregator is visible.
+		c.unexpected.Inc()
+		return false, nil
 	}
 }
 

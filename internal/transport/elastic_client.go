@@ -144,6 +144,7 @@ func (c *Client) holdAtFence(deadline time.Time) (reopened bool, err error) {
 			continue
 		}
 		c.lastProgress = time.Now()
+		//switchml:dispatch
 		switch c.rp.Kind {
 		case packet.KindResume:
 			p := &c.rp
@@ -207,7 +208,9 @@ func (c *Client) holdAtFence(deadline time.Time) (reopened bool, err error) {
 				return false, err
 			}
 		default:
-			// Stale results from the finished tensor; drop them.
+			// Stale results from the finished tensor; count the drops
+			// so a wedged fence is diagnosable from the counters.
+			c.unexpected.Inc()
 		}
 	}
 }
@@ -326,6 +329,7 @@ func (c *Client) JoinCluster() ([]int32, error) {
 			c.corrupt.Inc()
 			continue
 		}
+		//switchml:dispatch
 		switch c.rp.Kind {
 		case packet.KindReconfig:
 			p := &c.rp
@@ -361,6 +365,11 @@ func (c *Client) JoinCluster() ([]int32, error) {
 			c.gFrontier.Set(int64(p.Off))
 			c.trace(telemetry.EvWorkerJoin, -1)
 			return state, nil
+		default:
+			// The joiner's socket sees ordinary job traffic (results,
+			// heartbeat acks) until the fence commits; count it rather
+			// than silently spinning.
+			c.unexpected.Inc()
 		}
 	}
 }

@@ -447,6 +447,7 @@ func (c *Client) syncRound(frontier uint64, deadline time.Time) (F uint64, minSt
 			continue
 		}
 		rp := &c.rp
+		//switchml:dispatch
 		switch rp.Kind {
 		case packet.KindFallbackSync:
 			w := int(rp.WorkerID)
@@ -483,6 +484,10 @@ func (c *Client) syncRound(frontier uint64, deadline time.Time) (F uint64, minSt
 			if int16(rp.JobID-fb.round) < 0 {
 				c.sendMeshAck(rp.JobID, fb.prevRecvTotal, int(rp.WorkerID))
 			}
+		default:
+			// Stale or foreign traffic on the mesh socket; count the
+			// drop so a confused peer is visible.
+			c.unexpected.Inc()
 		}
 	}
 	return F, minStreak, nil
@@ -616,6 +621,7 @@ func (c *Client) meshRound(buf []int32, F uint64, deadline time.Time) error {
 			continue
 		}
 		rp := &c.rp
+		//switchml:dispatch
 		switch rp.Kind {
 		case packet.KindFallbackData:
 			if rp.JobID != fb.round {
@@ -668,6 +674,10 @@ func (c *Client) meshRound(buf []int32, F uint64, deadline time.Time) error {
 			if rp.JobID == fb.round && int(rp.WorkerID) < n && int(rp.WorkerID) != rank {
 				c.meshWrite(fb.syncWire, fb.peers[rp.WorkerID])
 			}
+		default:
+			// Stale or foreign traffic on the mesh socket; count the
+			// drop so a confused peer is visible.
+			c.unexpected.Inc()
 		}
 	}
 	fb.prevRecvTotal = totalRecv
