@@ -13,9 +13,9 @@ GO ?= go
 RACE_PKGS = ./internal/transport ./internal/telemetry ./internal/rack \
 	./internal/core ./internal/netsim ./internal/netio .
 
-.PHONY: check vet lint lint-one lint-allows lint-sarif build test race chaos fuzz bench bench-smoke top-smoke flight-check elastic-smoke examples clean
+.PHONY: check vet lint lint-one lint-allows lint-sarif build test race chaos fuzz bench bench-smoke top-smoke flight-check elastic-smoke failover-smoke examples clean
 
-check: vet lint build test race chaos bench-smoke top-smoke flight-check elastic-smoke
+check: vet lint build test race chaos bench-smoke top-smoke flight-check elastic-smoke failover-smoke
 
 vet:
 	$(GO) vet ./...
@@ -94,6 +94,18 @@ elastic-smoke:
 	$(GO) run ./cmd/switchml-sim -workers 4 -mb 0.01 -steps 6 -detached 3 -join-at 3@2 -leave-at 1@4 > /dev/null
 	$(GO) run ./cmd/switchml-sim -workers 4 -mb 0.01 -steps 4 -quorum 3 -straggler-gbps 1 -late-policy reconcile > /dev/null
 	./scripts/elastic_smoke.sh
+
+# Warm-standby failover gate: the three-tier defense ladder in both
+# substrates. The simulator leg kills the primary mid-step — the
+# silence verdict re-homes the job onto the standby rung and the
+# revive climbs it back — and must log the whole cycle ending on the
+# primary. The live leg boots a real UDP cluster (primary + standby
+# aggregators, three workers) and runs the scripted -down-after drill
+# through the adoption roll call and fail-up probation.
+failover-smoke:
+	$(GO) run ./cmd/switchml-sim -workers 4 -mb 1 -steps 12 -standby 1 \
+		-switch-kill 100us -switch-revive 10ms | grep "home rank now 0"
+	./scripts/failover_smoke.sh
 
 # Build every example program.
 examples:

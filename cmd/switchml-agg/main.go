@@ -6,6 +6,13 @@
 //	switchml-agg -listen :5555 -workers 4 [-pool 64] [-elems 32]
 //	    [-jobs 1] [-job-base 0] [-metrics :9100] [-debug :6060]
 //	    [-liveness 500ms] [-absent 3] [-quorum 3] [-late-policy drop]
+//	    [-down-after 2s] [-down-for 2s]
+//
+// -down-after / -down-for script a failover drill: the aggregation
+// program goes silent (datagrams dropped, socket still bound — what a
+// dead switch program looks like under a live crossbar) and
+// optionally revives, driving workers armed with -standby and -mesh
+// down and back up their failover ladder.
 //
 // With -jobs 1 it serves a single pool (switchml.ListenAggregator);
 // with -jobs N it serves N pools with job ids job-base..job-base+N-1,
@@ -37,6 +44,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"switchml"
 )
@@ -64,6 +72,10 @@ func main() {
 		"per-shard I/O burst ceiling: datagrams per recvmmsg/sendmmsg (0 = 32, 1 = legacy per-packet syscalls)")
 	busyPoll := flag.Bool("busy-poll", false,
 		"spin briefly on an empty socket before parking in the poller (lower latency, more CPU)")
+	downAfter := flag.Duration("down-after", 0,
+		"failover drill: this long after startup, silently drop every datagram as a dead switch program would (0 = never; single-pool mode)")
+	downFor := flag.Duration("down-for", 0,
+		"failover drill: revive the program this long after -down-after (0 = stay down)")
 	flag.Parse()
 
 	params := switchml.AggregatorParams{
@@ -118,9 +130,25 @@ func main() {
 		addr = agg.Addr()
 		statsFn = func() any { return agg.Stats() }
 		debugFn = agg.ServeDebug
+		if *downAfter > 0 {
+			agg := agg
+			time.AfterFunc(*downAfter, func() {
+				fmt.Println("switchml-agg: drill: aggregation program down")
+				agg.SetDown(true)
+				if *downFor > 0 {
+					time.AfterFunc(*downFor, func() {
+						fmt.Println("switchml-agg: drill: aggregation program revived")
+						agg.SetDown(false)
+					})
+				}
+			})
+		}
 	} else {
 		if params.Liveness != nil {
 			log.Printf("switchml-agg: -liveness applies only to single-pool mode; ignored with -jobs > 1")
+		}
+		if *downAfter > 0 {
+			log.Printf("switchml-agg: -down-after applies only to single-pool mode; ignored with -jobs > 1")
 		}
 		if len(params.Absent) > 0 || params.Quorum > 0 {
 			log.Printf("switchml-agg: -absent and -quorum apply only to single-pool mode; ignored with -jobs > 1")

@@ -8,6 +8,7 @@
 //	    [-loss 0.001] [-rto 1ms] [-cores 4] [-straggler-gbps 0] [-seed 1]
 //	    [-trace out.json] [-burst pGB,pBG,lossG,lossB] [-crash 2@100us]
 //	    [-switch-restart 500us] [-switch-kill 100us] [-switch-revive 5ms]
+//	    [-standby 1] [-standby-kill 1@5ms] [-standby-revive 1@20ms]
 //	    [-probe 200us] [-degraded-mode] [-no-fallback]
 //	    [-steps 1] [-quorum 0] [-late-policy drop] [-detached 3,4]
 //	    [-join-at 3@2] [-leave-at 1@4]
@@ -69,6 +70,12 @@ func main() {
 		"kill the switch's aggregation program at this virtual time (0 = off); the job degrades to host all-reduce")
 	switchRevive := flag.Duration("switch-revive", 0,
 		"revive a killed aggregation program at this virtual time (0 = never); the job probes and fails back")
+	standbys := flag.Int("standby", 0,
+		"warm-standby aggregation programs behind the same crossbar; a silent serving switch re-homes the job onto the next rung instead of degrading to the host mesh")
+	standbyKill := flag.String("standby-kill", "",
+		"kill a standby's aggregation program as \"rank@time\" (1-based rank, e.g. 1@5ms)")
+	standbyRevive := flag.String("standby-revive", "",
+		"revive a killed standby as \"rank@time\" (1-based rank)")
 	probe := flag.Duration("probe", 0,
 		"probe period while degraded (0 = SuspectAfter/4)")
 	noFallback := flag.Bool("no-fallback", false,
@@ -186,6 +193,25 @@ func main() {
 		scenario.Actions = append(scenario.Actions,
 			faults.Action{Kind: faults.ReviveSwitch, At: netsim.Time(*switchRevive)})
 	}
+	standbyAction := func(name, spec string, kind faults.ActionKind) {
+		if spec == "" {
+			return
+		}
+		var rank int
+		var at string
+		if n, err := fmt.Sscanf(spec, "%d@%s", &rank, &at); n != 2 || err != nil {
+			log.Fatalf("%s: want \"rank@time\" (e.g. 1@5ms), got %q", name, spec)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			log.Fatalf("%s: bad time in %q: %v", name, spec, err)
+		}
+		scenario.Actions = append(scenario.Actions,
+			faults.Action{Kind: kind, Worker: rank, At: netsim.Time(d)})
+	}
+	standbyAction("-standby-kill", *standbyKill, faults.KillStandby)
+	standbyAction("-standby-revive", *standbyRevive, faults.ReviveStandby)
+	cfg.StandbySwitches = *standbys
 	if len(scenario.Actions) > 0 {
 		cfg.Faults = &scenario
 	}
@@ -310,6 +336,10 @@ func main() {
 			*quorum, members, st.QuorumCompletions, st.LateDropped, st.LateReconciled, st.GoneReplies)
 	}
 	fmt.Printf("simulator events  %d\n", r.Sim().Processed())
+	if c := r.Counters(); c["failover_rehomes"] > 0 {
+		fmt.Printf("failover ladder   %d re-homing(s); standbys absorbed %d updates (%d completions); home rank now %d\n",
+			c["failover_rehomes"], c["standby_updates"], c["standby_completions"], r.HomeRank())
+	}
 	if c := r.Counters(); c["health_degrades"] > 0 || c["host_aggregated_elems"] > 0 {
 		fmt.Printf("fabric handoffs   %d degrade(s), %d failback(s), %d/%d probes answered\n",
 			c["health_degrades"], c["health_failbacks"], c["health_probe_acks"], c["health_probes"])

@@ -7,7 +7,8 @@
 //	switchml-worker -agg host:5555 -id 0 -workers 4 [-pool 64]
 //	    [-elems-per-tensor 1000000] [-iters 10] [-job 0] [-debug :6061]
 //	    [-adaptive-rto] [-mesh-listen :7001] [-mesh h0:7001,h1:7001,...]
-//	    [-degraded-mode] [-join] [-drain-after 5]
+//	    [-standby host:5556,host2:5555] [-degraded-mode] [-join]
+//	    [-drain-after 5]
 //
 // Every participating worker must use a distinct -id in [0,workers).
 // -debug starts an HTTP introspection listener serving /metrics,
@@ -16,7 +17,10 @@
 // workers finish their tensors by ring all-reduce over the listed
 // peer addresses (rank order; give every worker the same list, with
 // each binding its own entry via -mesh-listen) and fail back once the
-// aggregator answers probes again.
+// aggregator answers probes again. -standby ranks warm-standby
+// aggregators between those two tiers: a silent primary re-homes the
+// job onto the first answering standby (run one switchml-agg per
+// address), and only a fully silent ladder drops to the mesh.
 //
 // Elastic membership: -join enters a running job through the
 // aggregator's membership fence (the aggregator must list this id in
@@ -55,6 +59,8 @@ func main() {
 		"liveness beacon period (0 = off); set well below the aggregator's -liveness threshold")
 	adaptiveRTO := flag.Bool("adaptive-rto", false,
 		"estimate the retransmission timeout from measured RTTs (Jacobson/Karn) instead of the fixed -rto")
+	standby := flag.String("standby", "",
+		"comma-separated warm-standby aggregator addresses, ladder order; needs -mesh (the silence detector lives there)")
 	mesh := flag.String("mesh", "",
 		"comma-separated mesh addresses of every worker, rank order (arms the host-all-reduce fallback)")
 	meshListen := flag.String("mesh-listen", "",
@@ -74,6 +80,12 @@ func main() {
 		"I/O burst ceiling: datagrams per batched send/receive syscall (0 = 32, 1 = legacy per-packet syscalls)")
 	busyPoll := flag.Bool("busy-poll", false,
 		"spin briefly on an empty socket before parking in the poller (lower latency, more CPU)")
+	injectDrop := flag.Float64("inject-drop", 0,
+		"chaos: per-datagram drop probability applied to outgoing updates (loopback never drops on its own)")
+	injectBurst := flag.String("inject-burst", "",
+		"chaos: Gilbert–Elliott burst loss on outgoing updates as \"pGoodToBad,pBadToGood,lossGood,lossBad\" (replaces -inject-drop)")
+	injectSeed := flag.Int64("inject-seed", 1,
+		"seed for the chaos injector's random stream (runs replay per seed)")
 	flag.Parse()
 
 	elastic := *join || *drainAfter > 0
@@ -97,6 +109,19 @@ func main() {
 	if *flightDir != "" {
 		params.Flight = &switchml.FlightParams{Dir: *flightDir}
 	}
+	if *injectDrop > 0 || *injectBurst != "" {
+		inj := &switchml.FaultInjection{Seed: *injectSeed, DropRate: *injectDrop}
+		if *injectBurst != "" {
+			var b switchml.BurstLossParams
+			if n, err := fmt.Sscanf(*injectBurst, "%g,%g,%g,%g",
+				&b.PGoodToBad, &b.PBadToGood, &b.LossGood, &b.LossBad); n != 4 || err != nil {
+				log.Fatalf("-inject-burst: want \"pGoodToBad,pBadToGood,lossGood,lossBad\", got %q", *injectBurst)
+			}
+			inj.Burst = &b
+			inj.DropRate = 0
+		}
+		params.Inject = inj
+	}
 	if *mesh != "" {
 		fb := &switchml.FallbackParams{Listen: *meshListen, Peers: strings.Split(*mesh, ",")}
 		if *degradedMode {
@@ -105,6 +130,12 @@ func main() {
 		params.Fallback = fb
 	} else if *degradedMode {
 		log.Fatal("-degraded-mode needs -mesh (the host fabric's addresses)")
+	}
+	if *standby != "" {
+		if params.Fallback == nil {
+			log.Fatal("-standby needs -mesh (the silence detector and probation window live in the fallback controller)")
+		}
+		params.Standbys = strings.Split(*standby, ",")
 	}
 	peer, err := switchml.DialAggregator(*aggAddr, params)
 	if err != nil {
@@ -197,6 +228,10 @@ func main() {
 	if completed > 0 {
 		fmt.Printf("done: mean %6.1fM elems/s over %d iteration(s)\n",
 			float64(*elems)*float64(completed)/total.Seconds()/1e6, completed)
+	}
+	if st := peer.FailoverStats(); st.Rehomes > 0 {
+		fmt.Printf("failover ladder: %d re-homing(s), %d adoption request(s), %d climb(s) back to the primary (home rank now %d)\n",
+			st.Rehomes, st.AdoptRequests, st.Failbacks, peer.HomeRank())
 	}
 	if st := peer.FallbackStats(); st.Degrades > 0 {
 		fmt.Printf("fabric handoffs: %d degrade(s), %d failback(s), %d tensors (%d elems) on the host mesh\n",

@@ -60,6 +60,17 @@ const (
 	// without ever tripping the failure detector — the voluntary,
 	// telemetry-distinct counterpart of FaultCrashWorker.
 	FaultLeaveWorker
+	// FaultKillStandby fails a warm-standby aggregation program
+	// (requires SimParams.StandbySwitches). Worker carries the standby
+	// rank, 1-based: rank 1 is the first standby behind the primary. A
+	// job homed on that rung re-enters the failover ladder; a job
+	// homed elsewhere only notices if it later descends onto the dead
+	// rung.
+	FaultKillStandby
+	// FaultReviveStandby brings a killed standby's aggregation program
+	// back with wiped register state. Worker is the standby rank,
+	// 1-based.
+	FaultReviveStandby
 )
 
 // FaultAction is one scripted fault event.
@@ -74,7 +85,9 @@ type FaultAction struct {
 	// Step anchors At to an aggregation step; zero means absolute.
 	Step int
 	// Worker is the target worker id; -1 targets every link for the
-	// link-scoped actions and is ignored by FaultRestartSwitch.
+	// link-scoped actions and is ignored by FaultRestartSwitch. For
+	// FaultKillStandby and FaultReviveStandby it carries the standby
+	// rank instead (1-based).
 	Worker int
 	// Rate is the loss rate for FaultSetLossRate.
 	Rate float64

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"switchml/internal/faults"
+	"switchml/internal/netsim"
+	"switchml/internal/rack"
+)
+
+// FailoverReport is the machine-readable BENCH_failover.json schema:
+// the value of a warm standby over the host mesh. SwitchATEPerSec is
+// the healthy primary, StandbyATEPerSec the post-failover steady
+// state on the standby rung, DegradedATEPerSec the mesh rung of last
+// resort; the ratios show the standby recovering near-line-rate
+// throughput where the mesh gives back most of the paper's speedup.
+// FailoverGap is the one-time hit of the kill step itself (silence
+// detection + re-home + re-aggregating the suffix on the standby).
+type FailoverReport struct {
+	Schema            string            `json:"schema"`
+	Workers           int               `json:"workers"`
+	LinkGbps          float64           `json:"link_gbps"`
+	TensorElems       int               `json:"tensor_elems"`
+	SwitchATEPerSec   float64           `json:"switch_ate_per_sec"`
+	StandbyATEPerSec  float64           `json:"standby_ate_per_sec"`
+	DegradedATEPerSec float64           `json:"degraded_ate_per_sec"`
+	StandbyRatio      float64           `json:"standby_over_switch_ratio"`
+	DegradedRatio     float64           `json:"degraded_over_switch_ratio"`
+	FailoverGapNs     int64             `json:"failover_gap_ns"`
+	HealthyStepNs     int64             `json:"healthy_step_ns"`
+	KillStepNs        int64             `json:"kill_step_ns"`
+	StandbyStepNs     int64             `json:"standby_step_ns"`
+	SuspectAfterNs    int64             `json:"suspect_after_ns"`
+	Counters          map[string]uint64 `json:"counters"`
+}
+
+// RunFailover measures the warm-standby failover ladder: kill the
+// primary mid-step and compare the standby's post-failover steady
+// state against the healthy primary and against the host-mesh rung
+// the job would otherwise live on. The chaos run also revives the
+// primary and runs to failback, so the one artifact covers the whole
+// kill → re-home → fail-up cycle.
+func RunFailover(o Options) (*Table, error) {
+	o.fill()
+	elems := o.mb100() / 5
+	updates := func() [][]int32 {
+		us := make([][]int32, 4)
+		for w := range us {
+			us[w] = make([]int32, elems)
+			for j := range us[w] {
+				us[w][j] = int32(w + j%13)
+			}
+		}
+		return us
+	}
+
+	// Steady state pinned on the mesh: the rung of last resort this
+	// experiment argues the standby beats.
+	degCfg := fallbackConfig(o, nil)
+	degCfg.StartDegraded = true
+	degCfg.Health.Probation = -1
+	degRack, err := rack.NewRack(degCfg)
+	if err != nil {
+		return nil, err
+	}
+	degRes, err := degRack.AllReduce(updates())
+	if err != nil {
+		return nil, err
+	}
+	degradedATE := float64(elems) / (float64(degRes.TAT) / 1e9)
+
+	// The ladder run: step 1 healthy on the primary, the kill lands in
+	// step 2 (which pays detection + re-home), steps 3-5 run on the
+	// standby, the revive during step 6 starts fail-up probation, and
+	// the job is back on the primary before step 10. (Ten steps, not
+	// eight: at smoke scales a step is shorter than the probe period,
+	// so the streak only grows by the one probe each step start sends
+	// — probation needs the extra boundaries.)
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 6, At: 50 * netsim.Microsecond},
+	}}
+	cfg := fallbackConfig(o, sc)
+	cfg.StandbySwitches = 1
+	chaos, err := rack.NewRack(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var healthyStep, killStep, standbyStep netsim.Time
+	for step := 1; step <= 10; step++ {
+		res, err := chaos.AllReduce(updates())
+		if err != nil {
+			return nil, fmt.Errorf("failover: chaos step %d: %w", step, err)
+		}
+		switch step {
+		case 1:
+			healthyStep = res.TAT
+		case 2:
+			killStep = res.TAT
+		case 4:
+			// Step 3 may still carry re-home transients; step 4 is the
+			// standby's steady state.
+			standbyStep = res.TAT
+		}
+	}
+	counters := chaos.Counters()
+	if counters["failover_rehomes"] == 0 || counters["health_failbacks"] == 0 {
+		return nil, fmt.Errorf("failover: chaos run did not re-home and fail back: %v", counters)
+	}
+	if counters["health_degrades"] != 0 {
+		return nil, fmt.Errorf("failover: job fell through the standby to the mesh: %v", counters)
+	}
+	if chaos.HomeRank() != 0 {
+		return nil, fmt.Errorf("failover: job ended on rung %d, want the primary", chaos.HomeRank())
+	}
+
+	switchATE := float64(elems) / (float64(healthyStep) / 1e9)
+	standbyATE := float64(elems) / (float64(standbyStep) / 1e9)
+	gap := killStep - healthyStep
+
+	report := &FailoverReport{
+		Schema:            "switchml-failover-v1",
+		Workers:           4,
+		LinkGbps:          10,
+		TensorElems:       elems,
+		SwitchATEPerSec:   switchATE,
+		StandbyATEPerSec:  standbyATE,
+		DegradedATEPerSec: degradedATE,
+		StandbyRatio:      standbyATE / switchATE,
+		DegradedRatio:     degradedATE / switchATE,
+		FailoverGapNs:     int64(gap),
+		HealthyStepNs:     int64(healthyStep),
+		KillStepNs:        int64(killStep),
+		StandbyStepNs:     int64(standbyStep),
+		SuspectAfterNs:    int64(800 * netsim.Microsecond),
+		Counters:          counters,
+	}
+	artifact, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:       "failover",
+		Title:    fmt.Sprintf("Warm-standby failover: primary vs standby vs host mesh (4 workers, 10 Gbps, %d elems)", elems),
+		Header:   []string{"rung", "TAT", "ATE/s", "vs primary"},
+		Counters: counters,
+		Artifact: artifact,
+		Rows: [][]string{
+			{"primary switch", fmt.Sprint(healthyStep.Duration()), fmt.Sprintf("%.1fM", switchATE/1e6), "1.00x"},
+			{"warm standby (post-failover)", fmt.Sprint(standbyStep.Duration()), fmt.Sprintf("%.1fM", standbyATE/1e6), fmt.Sprintf("%.2fx", standbyATE/switchATE)},
+			{"host mesh (last resort)", fmt.Sprint(degRes.TAT.Duration()), fmt.Sprintf("%.1fM", degradedATE/1e6), fmt.Sprintf("%.2fx", degradedATE/switchATE)},
+		},
+		Notes: []string{
+			fmt.Sprintf("failover transient: kill-step TAT %v vs healthy %v (gap %v, incl. %v silence detection)",
+				killStep.Duration(), healthyStep.Duration(), gap.Duration(), (800 * netsim.Microsecond).Duration()),
+			fmt.Sprintf("ladder run: %d re-homing(s), 0 mesh degrades, %d failback(s), standbys absorbed %d updates (%d completions)",
+				counters["failover_rehomes"], counters["health_failbacks"],
+				counters["standby_updates"], counters["standby_completions"]),
+		},
+	}
+	return t, nil
+}

@@ -25,6 +25,7 @@ var Experiments = map[string]Runner{
 	"ablation-rto":       RunAblationRTO,
 	"ablation-pool":      RunAblationPoolTuning,
 	"elastic":            RunElastic,
+	"failover":           RunFailover,
 	"fallback":           RunFallback,
 	"multitenant":        RunMultiTenant,
 	"straggler":          RunStraggler,

@@ -20,3 +20,9 @@ func (b bitset) set(i int) {
 func (b bitset) clear(i int) {
 	b[i/64] &^= 1 << (i % 64)
 }
+
+func (b bitset) clearAll() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -261,3 +261,37 @@ func TestQuorumDisabledWhenMembershipShrinksToQuorum(t *testing.T) {
 		t.Errorf("QuorumCompletions = %d, want 0 after shrink", got)
 	}
 }
+
+// TestQuorumStaleSeenBitDoesNotWedgeOpenPhase: a seen bit lingering
+// from a quorum completion must not misclassify its owner's genuine
+// contribution to the next phase as a retransmission when a peer
+// opened that phase first — the idle-slot stale-bit guard cannot
+// reach the bit once the phase is open. Before the phase-open roll
+// reset this silently dropped the update and wedged the slot below
+// the quorum (found by the failover chaos suite).
+func TestQuorumStaleSeenBitDoesNotWedgeOpenPhase(t *testing.T) {
+	sw := newQuorumSwitch(t, 3, 2, 2, 2, LateDrop)
+	// Phase one at off 0 on (ver 0, slot 0): workers 0 and 1 complete
+	// at quorum, leaving both seen bits set on the retained slot.
+	sw.Handle(upd(0, 0, 0, 0, 1, 2))
+	if r := sw.Handle(upd(1, 0, 0, 0, 10, 20)); r.Pkt == nil {
+		t.Fatal("no completion at quorum")
+	}
+	// The same (ver, slot) reopens at off 8. Worker 1 opens the new
+	// phase first (its own stale bit clears through the idle guard)...
+	if r := sw.Handle(upd(1, 0, 0, 8, 30, 40)); r.Pkt != nil {
+		t.Fatalf("unexpected reply opening the new phase: %+v", r.Pkt)
+	}
+	// ...and worker 0's genuine contribution must then complete the
+	// quorum, not be dropped as a retransmission on its stale bit.
+	r := sw.Handle(upd(0, 0, 0, 8, 3, 4))
+	if r.Pkt == nil || !r.Multicast {
+		t.Fatalf("worker 0 wedged on its stale seen bit: %+v", r)
+	}
+	if r.Pkt.Vector[0] != 33 || r.Pkt.Vector[1] != 44 {
+		t.Fatalf("aggregate = %v, want [33 44]", r.Pkt.Vector)
+	}
+	if got := sw.Stats().IgnoredDuplicates; got != 0 {
+		t.Errorf("IgnoredDuplicates = %d, want 0", got)
+	}
+}

@@ -638,6 +638,19 @@ func (sw *Switch) handleRecovering(p *packet.Packet, scratch []int32, out *packe
 			sw.ctr.staleUpdates.Inc()
 			return Response{}
 		}
+		if sl.count == 0 && sw.cfg.Quorum > 0 {
+			// Opening a new phase: reset the roll. Under full
+			// participation every lingering seen bit was provably
+			// cleared through the opposite pool's alternation, but
+			// quorum completions reuse slots without the stragglers,
+			// so bits from older phases survive — and the idle-slot
+			// guard above cannot reach them once a peer has opened
+			// the next phase. A survivor's bit would misclassify its
+			// owner's genuine contribution as a retransmission,
+			// silently dropped while the phase is open, wedging the
+			// slot below the quorum.
+			sl.seen.clearAll()
+		}
 		otherHad := other.seen.get(wid)
 		sl.seen.set(wid)
 		other.seen.clear(wid)

@@ -376,6 +376,14 @@ func (w *Worker) ResumeAt(jobID uint16, off uint64) ([]*packet.Packet, error) {
 		if off < base {
 			return nil, fmt.Errorf("core: recovery frontier %d precedes last tensor at %d; earlier tensors are not buffered", off, base)
 		}
+		if off >= base+uint64(len(w.u)) {
+			// The frontier sits at the completed tensor's end: there is
+			// nothing to re-open, only the generation to install. The
+			// floor division below must not see this case — a tensor
+			// whose final chunk is short would floor the end offset
+			// back into that chunk and spuriously re-open it.
+			return w.Resume(jobID, len(w.chunkDone)), nil
+		}
 	}
 	return w.Resume(jobID, int((off-base)/uint64(w.cfg.SlotElems))), nil
 }

@@ -257,3 +257,34 @@ func TestWorkerPendingAccessor(t *testing.T) {
 		t.Error("slot 0 still pending after final result")
 	}
 }
+
+func TestWorkerResumeAtCompletedTensorBoundary(t *testing.T) {
+	// A tensor whose final chunk is short (5 elements over k=2 → 3
+	// chunks of 2, 2, 1). After it completes, a recovery frontier at
+	// the tensor's exact end must re-open nothing: floor division of
+	// the end offset would land inside the short final chunk and
+	// spuriously re-open it, leaving the worker "busy" at the next
+	// Start (the failover ladder resumes at tensor boundaries).
+	w := newTestWorker(t, 0, 1, 4, 2)
+	u := []int32{1, 2, 3, 4, 5}
+	for _, p := range w.Start(u) {
+		w.HandleResult(result(p, p.Vector))
+	}
+	if w.Busy() {
+		t.Fatal("tensor did not complete")
+	}
+	pkts, err := w.ResumeAt(3, w.FrontierOff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Fatalf("boundary resume re-opened %d packets, want 0", len(pkts))
+	}
+	if w.Busy() {
+		t.Fatal("boundary resume left the worker busy")
+	}
+	// The generation must still have been installed.
+	if got := w.Start([]int32{9, 9}); got[0].JobID != 3 {
+		t.Fatalf("post-resume update carries generation %d, want 3", got[0].JobID)
+	}
+}

@@ -68,6 +68,15 @@ const (
 	// without tripping liveness detection — the voluntary counterpart
 	// of CrashWorker.
 	LeaveWorker
+	// KillStandby fails a warm-standby switch's aggregation program
+	// (Worker carries the standby rank, 1-based). A job homed on that
+	// standby descends the failover ladder; one still homed on the
+	// primary notices nothing.
+	KillStandby
+	// ReviveStandby brings a killed standby's aggregation program back
+	// with wiped register state (Worker carries the standby rank,
+	// 1-based); the next adoption fences it under a fresh generation.
+	ReviveStandby
 )
 
 // String returns the action kind's name.
@@ -95,6 +104,10 @@ func (k ActionKind) String() string {
 		return "join-worker"
 	case LeaveWorker:
 		return "leave-worker"
+	case KillStandby:
+		return "kill-standby"
+	case ReviveStandby:
+		return "revive-standby"
 	default:
 		return fmt.Sprintf("action(%d)", int(k))
 	}
@@ -143,6 +156,12 @@ func (s *Scenario) Validate(workers int) error {
 				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)
 			}
 		case RestartSwitch, KillSwitch, ReviveSwitch:
+		case KillStandby, ReviveStandby:
+			// Worker carries the standby rank; the host validates the
+			// upper bound against its own standby count.
+			if a.Worker < 1 {
+				return fmt.Errorf("faults: action %d (%v) targets standby rank %d; ranks are 1-based", i, a.Kind, a.Worker)
+			}
 		case LinkDown, LinkUp, SetLossRate, SetBurstLoss:
 			if a.Worker < -1 || a.Worker >= workers {
 				return fmt.Errorf("faults: action %d (%v) targets worker %d of %d", i, a.Kind, a.Worker, workers)

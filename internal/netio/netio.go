@@ -37,6 +37,7 @@ import (
 	"net/netip"
 	"os"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -166,10 +167,12 @@ type Conn struct {
 	sdst   []netip.AddrPort
 	scount int
 
-	// truncated/sendErrs are written by the owning goroutine but read
-	// by debug introspection from arbitrary goroutines, hence atomic.
-	truncated atomic.Uint64
-	sendErrs  atomic.Uint64
+	// truncated/sendErrs/sendRetries are written by the owning
+	// goroutine but read by debug introspection from arbitrary
+	// goroutines, hence atomic.
+	truncated   atomic.Uint64
+	sendErrs    atomic.Uint64
+	sendRetries atomic.Uint64
 
 	sys platform // per-OS batched state (empty struct off Linux)
 }
@@ -234,6 +237,12 @@ func (c *Conn) Truncated() uint64 { return c.truncated.Load() }
 // SendErrors counts datagrams whose send failed or was dropped at
 // flush time (also reported, one call per datagram, to OnSendError).
 func (c *Conn) SendErrors() uint64 { return c.sendErrs.Load() }
+
+// SendRetries counts transient kernel pushback (ENOBUFS/EAGAIN)
+// absorbed at flush time: each retry of a send that then went through
+// (or was eventually dropped after the bounded backoff) adds one.
+// Retried-and-delivered datagrams never reach SendErrors.
+func (c *Conn) SendRetries() uint64 { return c.sendRetries.Load() }
 
 // Pending reports the number of staged-but-unflushed datagrams.
 func (c *Conn) Pending() int {
@@ -321,17 +330,61 @@ func (c *Conn) Flush() {
 		return
 	}
 	for i := 0; i < c.scount; i++ {
-		var err error
-		if c.connected {
-			_, err = c.udp.Write(c.sbufs[i])
-		} else {
-			_, err = c.udp.WriteToUDPAddrPort(c.sbufs[i], c.sdst[i])
-		}
-		if err != nil {
-			c.dropSend(err)
-		}
+		c.writePortable(c.sbufs[i], c.sdst[i])
 	}
 	c.scount = 0
+}
+
+const (
+	// sendRetryBudget/sendRetryPause bound the transient-send backoff:
+	// a datagram the kernel pushed back (ENOBUFS under burst load,
+	// EAGAIN on an edge the poller cannot arbitrate) is retried up to
+	// the budget with a pause doubling from the base — ~350µs worst
+	// case, short enough that a flush never stalls the shard loop —
+	// before it is declared lost and dropped into SendErrors.
+	sendRetryBudget = 3
+	sendRetryPause  = 50 * time.Microsecond
+)
+
+// Boxed once here so the hot send path compares against ready-made
+// error values instead of boxing a syscall.Errno per failed send.
+var (
+	errNoBufs error = syscall.ENOBUFS
+	errAgain  error = syscall.EAGAIN
+)
+
+// transientSendErr reports errors worth the brief retry: the kernel
+// ran out of socket buffer space or asked to try again. Anything else
+// (unreachable routes, bad addresses, closed sockets) fails the same
+// way on retry and is dropped immediately.
+func transientSendErr(err error) bool {
+	return errors.Is(err, errNoBufs) || errors.Is(err, errAgain)
+}
+
+// writePortable sends one staged datagram, absorbing transient kernel
+// pushback with the bounded backoff before the datagram is declared
+// lost.
+//
+//switchml:hotpath
+func (c *Conn) writePortable(buf []byte, dst netip.AddrPort) {
+	for attempt := 0; ; attempt++ {
+		var err error
+		if c.connected {
+			_, err = c.udp.Write(buf)
+		} else {
+			_, err = c.udp.WriteToUDPAddrPort(buf, dst)
+		}
+		if err == nil {
+			return
+		}
+		if attempt < sendRetryBudget && transientSendErr(err) {
+			c.sendRetries.Add(1)
+			time.Sleep(sendRetryPause << attempt)
+			continue
+		}
+		c.dropSend(err)
+		return
+	}
 }
 
 // errPayloadTooLarge is pre-boxed so the hot path can hand it to

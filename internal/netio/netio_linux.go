@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"syscall"
+	"time"
 	"unsafe"
 )
 
@@ -457,12 +458,17 @@ func (c *Conn) putName(off int, to netip.AddrPort) uint32 {
 }
 
 // sysFlush drains the staged vector with as few sendmmsg calls as the
-// kernel allows, skipping (and counting) entries it rejects.
+// kernel allows. Transient pushback on an entry (ENOBUFS — EAGAIN is
+// already absorbed by the netpoller park inside sendFn) gets the
+// bounded backoff before the entry is skipped and counted, so a burst
+// that momentarily overruns the socket buffer is delivered instead of
+// shedding its tail into the retransmission machinery.
 //
 //switchml:hotpath
 func (c *Conn) sysFlush() {
 	p := &c.sys
 	p.sfrom = 0
+	retries := 0
 	for p.sfrom < p.scnt {
 		p.sn, p.serrno = 0, 0
 		if err := p.rc.Write(p.sendFn); err != nil {
@@ -472,14 +478,22 @@ func (c *Conn) sysFlush() {
 			break
 		}
 		if p.serrno != 0 {
+			if retries < sendRetryBudget && (p.serrno == syscall.ENOBUFS || p.serrno == syscall.EAGAIN) {
+				retries++
+				c.sendRetries.Add(1)
+				time.Sleep(sendRetryPause << (retries - 1))
+				continue // re-issue from the same entry
+			}
 			// sendmmsg failed on the first unsent entry: skip it so the
 			// rest of the burst still goes out.
 			//switchml:allow hotpath -- errno boxing hits the runtime small-integer interface cache; no heap allocation
 			c.dropSendN(p.serrno, int(p.segs[p.sfrom]))
 			p.sfrom++
+			retries = 0
 			continue
 		}
 		p.sfrom += p.sn
+		retries = 0
 		if p.sn == 0 {
 			p.sfrom++ // defensive: never livelock on a 0 return
 		}

@@ -44,7 +44,7 @@ type codecSeed struct {
 	fill        int32
 }
 
-// codecSeeds enumerates KindUpdate..KindStateData with field shapes
+// codecSeeds enumerates KindUpdate..KindAdoptJob with field shapes
 // representative of each kind's real use:
 //   - data plane: updates and results carry dense vectors; the
 //     unicast repair result is a retransmission-path frame.
@@ -80,10 +80,12 @@ var codecSeeds = []codecSeed{
 	{KindLeave, 65535, 65535, 1, 7, 1 << 60, 0, 0},
 	{KindStateReq, 5, 12, 0, 0, 4096, 0, 0},
 	{KindStateData, 0, 12, 0, 1 << 20, 4096, 64, -9},
+	{KindAdoptJob, 2, 13, 0, 0, 1 << 20, 0, 0},
+	{KindAdoptJob, 2, 13, 1, 3, 1 << 20, 0, 0},
 }
 
 // TestCodecSeedCorpus asserts the seed corpus enumerates every
-// declared kind, KindUpdate through KindStateData: the structured
+// declared kind, KindUpdate through KindAdoptJob: the structured
 // fuzzer only mutates from its seeds, so a kind without one starts
 // from zero coverage.
 func TestCodecSeedCorpus(t *testing.T) {
@@ -91,12 +93,12 @@ func TestCodecSeedCorpus(t *testing.T) {
 	for _, s := range codecSeeds {
 		seeded[s.kind] = true
 	}
-	for k := KindUpdate; k <= KindStateData; k++ {
+	for k := KindUpdate; k <= KindAdoptJob; k++ {
 		if !seeded[k] {
 			t.Errorf("kind %v (%d) has no FuzzCodec seed", k, uint8(k))
 		}
 	}
-	if n := KindStateData - KindUpdate + 1; len(seeded) != int(n) {
+	if n := KindAdoptJob - KindUpdate + 1; len(seeded) != int(n) {
 		t.Errorf("corpus seeds %d distinct kinds, the protocol declares %d", len(seeded), n)
 	}
 }
@@ -111,7 +113,7 @@ func FuzzCodec(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, kind uint8, worker, job uint16, ver uint8, idx uint32, off uint64, n int, fill int32) {
-		k := Kind(kind % (uint8(KindStateData) + 1))
+		k := Kind(kind % (uint8(KindAdoptJob) + 1))
 		if n < 0 {
 			n = -n
 		}

@@ -133,6 +133,15 @@ const (
 	// offset, Idx carries the total state length in elements and Vector
 	// the segment payload.
 	KindStateData
+	// KindAdoptJob is the warm-standby failover handshake. A worker
+	// whose aggregator went silent re-homes to the next rung of its
+	// standby ladder by sending KindAdoptJob with JobID carrying the
+	// proposed (bumped) generation and Off its chunk frontier. The
+	// standby echoes the packet with Ver=1 as a collection ack while it
+	// gathers the member roll call; once every member has adopted, it
+	// wipes its pool under the proposed generation and releases the job
+	// with KindResume at the minimum adopted frontier.
+	KindAdoptJob
 )
 
 // String returns a short human-readable name for the kind.
@@ -171,6 +180,8 @@ func (k Kind) String() string {
 		return "state-req"
 	case KindStateData:
 		return "state-data"
+	case KindAdoptJob:
+		return "adopt-job"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -402,7 +413,7 @@ func UnmarshalInto(p *Packet, buf []byte) error {
 		return ErrChecksum
 	}
 	k := Kind(buf[2])
-	if k > KindStateData {
+	if k > KindAdoptJob {
 		return ErrBadKind
 	}
 	p.Kind = k

@@ -1,0 +1,309 @@
+package rack
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"switchml/internal/faults"
+	"switchml/internal/netsim"
+	"switchml/internal/telemetry"
+)
+
+// failoverTestConfig is healthTestConfig plus a warm-standby ladder:
+// the kill → re-home → failback timings all resolve within a few
+// steps.
+func failoverTestConfig(sc *faults.Scenario, standbys int) Config {
+	cfg := healthTestConfig(sc)
+	cfg.StandbySwitches = standbys
+	return cfg
+}
+
+// TestFaultRackStandbyFailoverAndFailback is the simulator twin of the
+// UDP transport's warm-standby tentpole: the primary's aggregation
+// program dies mid-step, the job re-homes onto the standby rung at the
+// chunk frontier — never touching the host mesh — runs there at full
+// switch rate, and climbs back to the primary after the probation
+// window. Every step's aggregate must equal the exact sum.
+func TestFaultRackStandbyFailoverAndFailback(t *testing.T) {
+	const elems, steps = 4096, 8
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 3, At: 100 * netsim.Microsecond},
+	}}
+	cfg := failoverTestConfig(sc, 1)
+	log := &eventLog{}
+	cfg.Tracer = log
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawStandby := false
+	for step := 1; step <= steps; step++ {
+		us, want := stepUpdates(4, elems, step)
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for w := 0; w < 4; w++ {
+			if !reflect.DeepEqual(r.Aggregate(w), want) {
+				t.Fatalf("step %d worker %d aggregate differs from the exact sum", step, w)
+			}
+		}
+		if r.HomeRank() == 1 {
+			sawStandby = true
+		}
+		if r.Degraded() {
+			t.Fatalf("step %d: job fell to the host mesh with a live standby", step)
+		}
+	}
+
+	if !sawStandby {
+		t.Fatal("job never re-homed onto the standby rung")
+	}
+	if r.HomeRank() != 0 {
+		t.Fatalf("HomeRank = %d after probation, want 0 (failed back)", r.HomeRank())
+	}
+	c := r.Counters()
+	if c["failover_rehomes"] == 0 {
+		t.Error("failover_rehomes = 0, want > 0")
+	}
+	if c["health_failbacks"] != 1 {
+		t.Errorf("health_failbacks = %d, want 1", c["health_failbacks"])
+	}
+	if c["health_degrades"] != 0 {
+		t.Errorf("health_degrades = %d, want 0: the standby should keep the job off the mesh", c["health_degrades"])
+	}
+	if c["standby_completions"] == 0 {
+		t.Error("standby aggregated nothing; the re-home never took effect")
+	}
+	if c["health_probes"] == 0 || c["health_probe_acks"] == 0 {
+		t.Errorf("probes/acks = %d/%d, want both nonzero", c["health_probes"], c["health_probe_acks"])
+	}
+
+	suspect := log.firstTS(telemetry.EvSwitchSuspect)
+	rehome := log.firstTS(telemetry.EvRehome)
+	adopt := log.firstTS(telemetry.EvAdopt)
+	failback := log.firstTS(telemetry.EvFailback)
+	if suspect < 0 || rehome < 0 || adopt < 0 || failback < 0 {
+		t.Fatalf("missing ladder events: suspect=%d rehome=%d adopt=%d failback=%d",
+			suspect, rehome, adopt, failback)
+	}
+	if !(suspect <= rehome && rehome <= adopt && adopt < failback) {
+		t.Fatalf("ladder order wrong: suspect=%d rehome=%d adopt=%d failback=%d",
+			suspect, rehome, adopt, failback)
+	}
+	for _, e := range log.evs {
+		if e.Type == telemetry.EvRehome && e.Slot == 1 && e.Off%32 != 0 {
+			t.Fatalf("re-home frontier %d is not a chunk boundary", e.Off)
+		}
+	}
+}
+
+// TestFaultRackLadderDescentToMesh kills the primary and the standby
+// together: the ladder walk must try the standby first and only then
+// hand the job to the host mesh, failing back up to the primary after
+// its revival.
+func TestFaultRackLadderDescentToMesh(t *testing.T) {
+	const elems, steps = 4096, 9
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.KillStandby, Worker: 1, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 5, At: 50 * netsim.Microsecond},
+	}}
+	r, err := NewRack(failoverTestConfig(sc, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawMesh := false
+	for step := 1; step <= steps; step++ {
+		us, want := stepUpdates(4, elems, step)
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for w := 0; w < 4; w++ {
+			if !reflect.DeepEqual(r.Aggregate(w), want) {
+				t.Fatalf("step %d worker %d aggregate differs from the exact sum", step, w)
+			}
+		}
+		if r.Degraded() {
+			sawMesh = true
+		}
+	}
+
+	if !sawMesh {
+		t.Fatal("job never degraded to the host mesh with both rungs dead")
+	}
+	c := r.Counters()
+	if c["failover_rehomes"] == 0 {
+		t.Error("failover_rehomes = 0: the ladder never tried the standby before the mesh")
+	}
+	if c["health_degrades"] != 1 {
+		t.Errorf("health_degrades = %d, want 1", c["health_degrades"])
+	}
+	if r.Degraded() || r.HomeRank() != 0 {
+		t.Errorf("degraded=%v home=%d at end, want primary service restored", r.Degraded(), r.HomeRank())
+	}
+	if c["health_failbacks"] == 0 {
+		t.Error("health_failbacks = 0, want a climb back to the primary")
+	}
+}
+
+// TestFaultRackAllRungsSilentNoFallbackTypedError declines the mesh
+// (NoFallback) with a standby configured: a job whose every rung is
+// dark must walk the whole ladder and then surface the typed,
+// retryable ErrSwitchDown.
+func TestFaultRackAllRungsSilentNoFallbackTypedError(t *testing.T) {
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 1, At: 20 * netsim.Microsecond},
+		{Kind: faults.KillStandby, Worker: 1, Step: 1, At: 20 * netsim.Microsecond},
+	}}
+	cfg := failoverTestConfig(sc, 1)
+	cfg.NoFallback = true
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := stepUpdates(4, 2048, 1)
+	_, err = r.AllReduce(us)
+	if !errors.Is(err, ErrSwitchDown) {
+		t.Fatalf("AllReduce error = %v, want ErrSwitchDown", err)
+	}
+	if c := r.Counters(); c["failover_rehomes"] == 0 {
+		t.Error("failover_rehomes = 0: the verdict fired without walking the ladder")
+	}
+}
+
+// TestFaultRackSecondStandbyRung kills the primary and the first
+// standby: the job must land on the second standby, not the mesh.
+func TestFaultRackSecondStandbyRung(t *testing.T) {
+	const elems, steps = 4096, 6
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.KillSwitch, Step: 2, At: 20 * netsim.Microsecond},
+		{Kind: faults.KillStandby, Worker: 1, Step: 2, At: 20 * netsim.Microsecond},
+	}}
+	r, err := NewRack(failoverTestConfig(sc, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= steps; step++ {
+		us, want := stepUpdates(4, elems, step)
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for w := 0; w < 4; w++ {
+			if !reflect.DeepEqual(r.Aggregate(w), want) {
+				t.Fatalf("step %d worker %d aggregate differs from the exact sum", step, w)
+			}
+		}
+		if r.Degraded() {
+			t.Fatalf("step %d: job fell to the mesh with rung 2 alive", step)
+		}
+	}
+	if r.HomeRank() != 2 {
+		t.Fatalf("HomeRank = %d, want 2 (second standby)", r.HomeRank())
+	}
+	if st := r.Standby(2).Stats(); st.Completions == 0 {
+		t.Error("second standby aggregated nothing")
+	}
+}
+
+// failoverQuorumRun drives the simulator half of the quorum-straggler
+// chaos scenario: three workers with a two-worker quorum, bursty loss
+// on the straggler's links, and a primary kill mid-run that re-homes
+// the job onto the standby. It returns the traced event stream and
+// checks cross-worker agreement every step — under quorum the
+// aggregate depends on arrival order, so the assertable invariant is
+// bitwise identity across workers, not the exact sum.
+func failoverQuorumRun(t *testing.T) []telemetry.Event {
+	t.Helper()
+	// elems = 2·PoolSize·SlotElems: every (version, slot) pair is
+	// unique within a tensor, so no slot is evicted mid-tensor and no
+	// gone-reply can hand the straggler a divergent self-completed
+	// chunk.
+	const elems, steps = 512, 10
+	sc := &faults.Scenario{Actions: []faults.Action{
+		{Kind: faults.SetBurstLoss, Worker: 2, Step: 1,
+			Burst: netsim.GEConfig{PGoodToBad: 0.15, PBadToGood: 0.4, LossBad: 0.9}},
+		{Kind: faults.KillSwitch, Step: 3, At: 20 * netsim.Microsecond},
+		{Kind: faults.ReviveSwitch, Step: 6, At: 50 * netsim.Microsecond},
+	}}
+	cfg := Config{
+		Workers:      3,
+		PoolSize:     8,
+		SlotElems:    32,
+		LossRecovery: true,
+		RTO:          100 * netsim.Microsecond,
+		AdaptiveRTO:  true,
+		Seed:         42,
+		Quorum:       2,
+		Faults:       sc,
+		Health: &HealthConfig{
+			// Wider than the worst straggler result gap: retransmission
+			// backoff caps at 64x the 100us RTO, so the bursty worker
+			// can sit silent for ~6.4ms between deliveries without the
+			// fabric being down. Only the scripted kill may read as
+			// silence, else a false verdict while homed on the standby
+			// would walk the ladder through the dead primary to mesh.
+			SuspectAfter: 8 * netsim.Millisecond,
+			ProbeEvery:   500 * netsim.Microsecond,
+			Probation:    2,
+		},
+		StandbySwitches: 1,
+	}
+	log := &eventLog{}
+	cfg.Tracer = log
+	r, err := NewRack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= steps; step++ {
+		us, _ := stepUpdates(3, elems, step)
+		if _, err := r.AllReduce(us); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		ref := r.Aggregate(0)
+		for w := 1; w < 3; w++ {
+			if !reflect.DeepEqual(r.Aggregate(w), ref) {
+				t.Fatalf("step %d: worker %d aggregate diverged from worker 0", step, w)
+			}
+		}
+	}
+	c := r.Counters()
+	if c["failover_rehomes"] == 0 {
+		t.Error("failover_rehomes = 0: the kill never re-homed the job")
+	}
+	if c["health_degrades"] != 0 {
+		t.Errorf("health_degrades = %d, want 0: the standby should absorb the kill", c["health_degrades"])
+	}
+	q := r.Switch().Stats().QuorumCompletions + r.Standby(1).Stats().QuorumCompletions
+	if q == 0 {
+		t.Error("no quorum completions: the straggler scenario never exercised quorum")
+	}
+	if r.HomeRank() != 0 {
+		t.Errorf("HomeRank = %d at end, want 0", r.HomeRank())
+	}
+	return log.evs
+}
+
+// TestFaultRackFailoverWithQuorumStragglerReplay is the simulator twin
+// of the transport's quorum-straggler failover chaos test, plus the
+// replay gate: the whole kill → re-home → straggler-reconcile →
+// failback timeline must replay bit-identically from the seed.
+func TestFaultRackFailoverWithQuorumStragglerReplay(t *testing.T) {
+	a := failoverQuorumRun(t)
+	b := failoverQuorumRun(t)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at event %d:\n a: %+v\n b: %+v", i, a[i], b[i])
+		}
+	}
+	types := telemetry.CountByType(a)
+	if types[telemetry.EvRehome] == 0 || types[telemetry.EvAdopt] == 0 {
+		t.Fatal("replay runs never re-homed; the scenario is not exercising the ladder")
+	}
+}

@@ -74,7 +74,7 @@ func (c *controller) arm() { c.r.sim.After(c.cfg.CheckEvery, c.sweep) }
 // recovery.
 func (c *controller) sweep() {
 	r := c.r
-	if r.allLiveDone() {
+	if r.allLiveDone() || r.faultErr != nil {
 		c.sweeping = false
 		return
 	}
@@ -108,7 +108,7 @@ func (c *controller) recover() {
 	for i := range active {
 		active[i] = !c.tracker.Dead(i) && !r.hosts[i].detached
 	}
-	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil {
+	if err := r.homeSwitch().Reconfigure(active, r.epoch); err != nil {
 		if r.faultErr == nil {
 			r.faultErr = err
 		}
@@ -218,7 +218,7 @@ func (r *Rack) restartJob() {
 			r.ctrl.tracker.MarkAlive(i, int64(r.sim.Now()))
 		}
 	}
-	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil && r.faultErr == nil {
+	if err := r.homeSwitch().Reconfigure(active, r.epoch); err != nil && r.faultErr == nil {
 		r.faultErr = err
 	}
 	r.traceCtrl(telemetry.EvReconfigure, "controller", -1, int64(r.epoch))
@@ -253,6 +253,18 @@ func (r *Rack) apply(a faults.Action) {
 			// The reinstalled program starts with wiped register state.
 			r.sw.sw.Reset()
 			r.traceCtrl(telemetry.EvSwitchRestart, "switch", -1, -1)
+		}
+	case faults.KillStandby:
+		// Action.Worker carries the standby rank (1-based); range
+		// checked by NewRack against Config.StandbySwitches.
+		r.sw.sbDown[a.Worker-1] = true
+	case faults.ReviveStandby:
+		if r.sw.sbDown[a.Worker-1] {
+			r.sw.sbDown[a.Worker-1] = false
+			// The reinstalled program starts with wiped register state;
+			// the next adoption fences it under a fresh generation.
+			r.sw.standbys[a.Worker-1].Reset()
+			r.traceCtrl(telemetry.EvSwitchRestart, "standby", int32(a.Worker), -1)
 		}
 	case faults.LinkDown:
 		for _, l := range r.linksOf(a.Worker) {
@@ -362,7 +374,7 @@ func (r *Rack) commitMembership() {
 		r.pendingJoin[i], r.pendingLeave[i] = false, false
 		active[i] = !h.crashed && !h.detached && !r.dead(i)
 	}
-	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil {
+	if err := r.homeSwitch().Reconfigure(active, r.epoch); err != nil {
 		if r.faultErr == nil {
 			r.faultErr = err
 		}

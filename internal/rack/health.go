@@ -11,6 +11,8 @@
 package rack
 
 import (
+	"fmt"
+
 	"switchml/internal/allreduce"
 	"switchml/internal/netsim"
 	"switchml/internal/packet"
@@ -66,11 +68,31 @@ const (
 // healthMonitor drives the state machine. It lives entirely inside the
 // rack's single event loop: no locks, no wall clock, no private
 // randomness — fallback runs replay bit-identically from a seed.
+//
+// With Config.StandbySwitches the two-state machine grows into the
+// three-tier defense ladder: on silence the job first re-homes onto a
+// warm-standby rung (full switch rate, a fenced generation bump and a
+// frontier resume — the simulator's deterministic twin of the UDP
+// transport's KindAdoptJob handshake), walking the remaining rungs on
+// repeated silence, and only when every rung is dark does it fall to
+// the host mesh (or, with NoFallback, raise ErrSwitchDown). While
+// homed below rung 0 it probes the primary and climbs back after the
+// probation window, at a step boundary.
 type healthMonitor struct {
 	r   *Rack
 	cfg HealthConfig
 
 	mode int
+	// home is the switch rung the job lives on (0 = primary); while
+	// degraded to the mesh it is the last rung tried.
+	home int
+	// trying is the remaining descent queue of rungs to attempt after
+	// a silence verdict; nil when no descent is in progress. Any
+	// delivered result cancels the descent — the current rung answered.
+	trying []int
+	// meshOK gates the final rung-exhausted step: host mesh fallback,
+	// or (NoFallback with standbys) the typed ErrSwitchDown.
+	meshOK bool
 	// lastActivity is the last virtual time the switch path showed
 	// life: a result delivered to any host, or the start of a step.
 	lastActivity netsim.Time
@@ -92,18 +114,20 @@ type healthMonitor struct {
 	ringBufs  [][]int32
 	ringOff   uint64
 
-	degrades, failbacks, probes, probeAcks, hostElems uint64
+	degrades, failbacks, probes, probeAcks, hostElems, rehomes uint64
 
 	// gMode mirrors the state machine into the registry
 	// (0 = SWITCH, 1 = DEGRADED) so sampled series and snapshots carry
-	// the fabric mode; nil without Config.Metrics.
-	gMode *telemetry.Gauge
+	// the fabric mode; gHome mirrors the ladder rung. Nil without
+	// Config.Metrics.
+	gMode, gHome *telemetry.Gauge
 }
 
 func newHealthMonitor(r *Rack, cfg HealthConfig) *healthMonitor {
-	m := &healthMonitor{r: r, cfg: cfg}
+	m := &healthMonitor{r: r, cfg: cfg, meshOK: !r.cfg.NoFallback}
 	if r.cfg.Metrics != nil {
 		m.gMode = r.cfg.Metrics.Gauge("rack_health_mode")
+		m.gHome = r.cfg.Metrics.Gauge("rack_home_rank")
 	}
 	for _, h := range r.hosts {
 		h.observe = m.touch
@@ -123,14 +147,24 @@ func (m *healthMonitor) setMode(mode int) {
 	}
 }
 
-// touch records switch-path life; every result delivery feeds it.
-func (m *healthMonitor) touch() { m.lastActivity = m.r.sim.Now() }
+// touch records switch-path life; every result delivery feeds it. A
+// result also settles any ladder descent in progress: the rung the job
+// just re-homed to is answering.
+func (m *healthMonitor) touch() {
+	m.lastActivity = m.r.sim.Now()
+	m.trying = nil
+}
 
 // watch (re-)arms the suspicion sweep at the start of a switch-mode
 // step. The chain stops once every live worker is done, so the
-// simulation can drain.
+// simulation can drain. A job homed on a standby also (re-)arms the
+// fail-up probe chain, so the primary gets at least one probe per
+// step and the probation streak can grow.
 func (m *healthMonitor) watch() {
 	m.lastActivity = m.r.sim.Now()
+	if m.home != 0 {
+		m.startProbing()
+	}
 	if m.watching {
 		return
 	}
@@ -142,17 +176,126 @@ func (m *healthMonitor) armWatch() { m.r.sim.After(m.cfg.SuspectAfter/4, m.sweep
 
 func (m *healthMonitor) sweep() {
 	r := m.r
-	if m.mode != modeSwitch || r.allLiveDone() {
+	if m.mode != modeSwitch || r.allLiveDone() || r.faultErr != nil {
 		m.watching = false
 		return
 	}
 	if r.sim.Now()-m.lastActivity >= m.cfg.SuspectAfter {
 		r.traceCtrl(telemetry.EvSwitchSuspect, "health", -1, -1)
-		m.watching = false
-		m.degrade()
+		m.descend()
 		return
 	}
 	m.armWatch()
+}
+
+// descend takes one step down the defense ladder after a silence
+// verdict. The first verdict of a descent builds the attempt queue —
+// every rung except the one that just went silent, in rank order,
+// mirroring the UDP client's ladder walk — and each verdict re-homes
+// the job onto the next candidate; any result delivery cancels the
+// descent (touch). Only with the queue exhausted does the job leave
+// the switch tier: host mesh when allowed, the typed ErrSwitchDown
+// otherwise.
+func (m *healthMonitor) descend() {
+	r := m.r
+	if m.trying == nil {
+		for rung := 0; rung < r.sw.rungs(); rung++ {
+			if rung != m.home {
+				m.trying = append(m.trying, rung)
+			}
+		}
+	}
+	if len(m.trying) == 0 {
+		m.trying = nil
+		m.watching = false
+		if m.meshOK {
+			m.degrade()
+			return
+		}
+		if r.faultErr == nil {
+			r.faultErr = fmt.Errorf("rack: every aggregator rung silent (%d rungs): %w",
+				r.sw.rungs(), ErrSwitchDown)
+		}
+		// Disarm the hosts so the event loop drains and AllReduce can
+		// surface the verdict.
+		for i, h := range r.hosts {
+			if !r.skip(i) {
+				h.cancelTimers()
+			}
+		}
+		return
+	}
+	next := m.trying[0]
+	m.trying = m.trying[1:]
+	m.rehome(next)
+	m.lastActivity = r.sim.Now()
+	m.armWatch()
+}
+
+// rehome moves the job onto another switch rung mid-step: the §5.6
+// recovery fence aimed at a different pool. The membership is fenced
+// into the rung under a bumped generation (wiping its slot pool), and
+// every live worker resumes from the global chunk frontier — the
+// deterministic twin of the UDP transport's adopt handshake, where the
+// standby's roll call reconstructs the same membership from
+// KindAdoptJob votes.
+func (m *healthMonitor) rehome(rank int) {
+	r := m.r
+	r.epoch++
+	active := make([]bool, r.cfg.Workers)
+	for i, h := range r.hosts {
+		active[i] = !h.crashed && !h.detached && !r.dead(i)
+	}
+	if err := r.sw.prog(rank).Reconfigure(active, r.epoch); err != nil {
+		if r.faultErr == nil {
+			r.faultErr = err
+		}
+		return
+	}
+	r.sw.home = rank
+	m.home = rank
+	if m.gHome != nil {
+		m.gHome.Set(int64(rank))
+	}
+	m.rehomes++
+	frontier := ^uint64(0)
+	for i, h := range r.hosts {
+		if r.skip(i) {
+			continue
+		}
+		if f := h.worker.FrontierOff(); f < frontier {
+			frontier = f
+		}
+	}
+	m.emitRung(telemetry.EvRehome, rank, int64(frontier))
+	m.emitRung(telemetry.EvAdopt, rank, int64(frontier))
+	for i, h := range r.hosts {
+		if r.skip(i) {
+			continue
+		}
+		if err := h.Resume(r.epoch, frontier); err != nil && r.faultErr == nil {
+			r.faultErr = err
+		}
+	}
+	if rank != 0 {
+		// Start courting the primary for the climb back up.
+		m.streak, m.awaitAck = 0, false
+		m.startProbing()
+	}
+}
+
+// emitRung traces a ladder transition: Slot carries the rung, Off the
+// resume frontier.
+func (m *healthMonitor) emitRung(t telemetry.EventType, rank int, off int64) {
+	r := m.r
+	if r.cfg.Tracer == nil {
+		return
+	}
+	e := telemetry.Ev(t, int64(r.sim.Now()))
+	e.Actor = "health"
+	e.Slot = int32(rank)
+	e.Off = off
+	r.cfg.Tracer.Emit(e)
 }
 
 // degrade is the SWITCH → DEGRADED transition, mid-step: the barrier
@@ -313,7 +456,11 @@ func (m *healthMonitor) startProbing() {
 func (m *healthMonitor) armProbe() { m.r.sim.After(m.cfg.ProbeEvery, m.probeTick) }
 
 func (m *healthMonitor) probeTick() {
-	if m.mode != modeDegraded || m.r.allLiveDone() {
+	// The chain runs while the job is off the primary: degraded to the
+	// mesh, or homed on a standby rung. An unrecoverable verdict
+	// (NoFallback with every rung dark) must stop it too, or the
+	// self-arming chain would keep the event loop from draining.
+	if (m.mode != modeDegraded && m.home == 0) || m.r.allLiveDone() || m.r.faultErr != nil {
 		m.probing = false
 		return
 	}
@@ -357,7 +504,7 @@ func (m *healthMonitor) sendProbe() {
 // onProbeAck credits the probation window when the outstanding probe
 // is answered.
 func (m *healthMonitor) onProbeAck(p *packet.Packet) {
-	if m.mode != modeDegraded || !m.awaitAck || p.Idx != m.probeSeq {
+	if (m.mode != modeDegraded && m.home == 0) || !m.awaitAck || p.Idx != m.probeSeq {
 		return
 	}
 	m.awaitAck = false
@@ -373,20 +520,29 @@ func (m *healthMonitor) onProbeAck(p *packet.Packet) {
 	}
 }
 
-// maybeFailback is the DEGRADED → SWITCH transition, taken at a step
+// maybeFailback is the climb back to the primary, taken at a step
 // boundary (the natural chunk-frontier barrier: no tensor is in
-// flight) once the probation window is full. The job generation bumps
-// and the switch pool is wiped, so nothing aggregated before the
-// degradation can mix with traffic after it; every worker installs
-// the generation with reset pool versions, mirroring a §5.6 resume
-// with an empty in-flight set.
+// flight) once the probation window is full — from the host mesh
+// (DEGRADED → SWITCH) or from a warm-standby rung (fail-up). The job
+// generation bumps and the primary's pool is wiped under the current
+// membership, so nothing aggregated before the outage can mix with
+// traffic after it; every worker installs the generation with reset
+// pool versions, mirroring a §5.6 resume with an empty in-flight set.
 func (m *healthMonitor) maybeFailback() {
 	r := m.r
-	if m.mode != modeDegraded || m.cfg.Probation < 0 || m.streak < m.cfg.Probation {
+	if m.cfg.Probation < 0 || m.streak < m.cfg.Probation {
 		return
 	}
+	if m.mode != modeDegraded && m.home == 0 {
+		return // already on the primary
+	}
+	fromMesh := m.mode == modeDegraded
 	r.epoch++
-	if err := r.sw.sw.Reconfigure(nil, r.epoch); err != nil {
+	active := make([]bool, r.cfg.Workers)
+	for i, h := range r.hosts {
+		active[i] = !h.crashed && !h.detached && !r.dead(i)
+	}
+	if err := r.sw.sw.Reconfigure(active, r.epoch); err != nil {
 		if r.faultErr == nil {
 			r.faultErr = err
 		}
@@ -400,9 +556,18 @@ func (m *healthMonitor) maybeFailback() {
 		h.cancelTimers()
 	}
 	m.setMode(modeSwitch)
+	r.sw.home = 0
+	m.home = 0
+	if m.gHome != nil {
+		m.gHome.Set(0)
+	}
+	m.trying = nil
 	m.streak = 0
 	m.awaitAck = false
 	m.failbacks++
+	if !fromMesh {
+		m.emitRung(telemetry.EvRehome, 0, int64(r.epoch))
+	}
 	r.traceCtrl(telemetry.EvFailback, "health", -1, int64(r.epoch))
 }
 

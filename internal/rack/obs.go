@@ -28,7 +28,7 @@ func (r *Rack) armSample() { r.sim.After(r.cfg.SampleEvery, r.sampleTick) }
 
 func (r *Rack) sampleTick() {
 	r.sampleNow()
-	if r.allLiveDone() {
+	if r.allLiveDone() || r.faultErr != nil {
 		r.sampling = false
 		return
 	}
@@ -58,9 +58,11 @@ func (r *Rack) Series() map[string]telemetry.SeriesData {
 	return r.sampler.Dump()
 }
 
-// PoolState returns the switch's per-slot introspection document:
-// occupancy, retained results, last-contributor attribution, and (with
-// withSlots) every slot's count, offset and seen bitmap.
+// PoolState returns the serving switch rung's per-slot introspection
+// document: occupancy, retained results, last-contributor attribution,
+// and (with withSlots) every slot's count, offset and seen bitmap.
+// While the job is homed on a warm standby, that rung's pool is the
+// one inspected — the primary's pool is stale by definition.
 func (r *Rack) PoolState(withSlots bool) core.PoolState {
-	return r.sw.sw.PoolState(withSlots)
+	return r.homeSwitch().PoolState(withSlots)
 }

@@ -131,6 +131,20 @@ type Config struct {
 	// that the self-clocking mechanism slows the whole system to the
 	// rate of the slowest worker.
 	WorkerLinkBitsPerSec []float64
+	// StandbySwitches is the number of warm-standby aggregation
+	// programs behind the primary (rungs 1..StandbySwitches of the
+	// failover ladder). They live behind the same crossbar — a
+	// neighbouring ToR or a spare pipeline — and stay idle until the
+	// health monitor re-homes the job onto one after the primary goes
+	// silent; the host mesh is used only when every rung is down.
+	// Requires Health (enabled automatically when Faults kill
+	// switches).
+	StandbySwitches int
+	// StandbyLatency is the extra one-way latency to reach a standby
+	// rung (the detour through the backup switch); zero selects
+	// 200 ns. It is charged on the response path both ways, so a job
+	// homed on a standby sees the primary RTT plus twice this value.
+	StandbyLatency netsim.Time
 	// Quorum enables straggler mitigation: a slot completes once this
 	// many distinct workers have contributed instead of the full
 	// membership (see core.SwitchConfig.Quorum). Zero keeps full
@@ -188,19 +202,30 @@ func (c *Config) fillDefaults() {
 		lv.fillDefaults(c.RTO)
 		c.Liveness = &lv
 	}
-	if c.Health == nil && !c.NoFallback {
+	if c.StandbySwitches > 0 && c.StandbyLatency == 0 {
+		c.StandbyLatency = 200 * netsim.Nanosecond
+	}
+	// NoFallback declines the host mesh, but a standby ladder is still
+	// a switch path: the health monitor runs it and raises the typed
+	// error only once every rung is silent.
+	wantHealth := !c.NoFallback || c.StandbySwitches > 0
+	if c.Health == nil && wantHealth {
 		if c.StartDegraded {
 			c.Health = &HealthConfig{}
 		} else if c.Faults != nil {
 			for _, a := range c.Faults.Actions {
-				if a.Kind == faults.KillSwitch || a.Kind == faults.ReviveSwitch {
+				switch a.Kind {
+				case faults.KillSwitch, faults.ReviveSwitch,
+					faults.KillStandby, faults.ReviveStandby:
 					c.Health = &HealthConfig{}
+				}
+				if c.Health != nil {
 					break
 				}
 			}
 		}
 	}
-	if c.Health != nil && !c.NoFallback {
+	if c.Health != nil && wantHealth {
 		hc := *c.Health
 		hc.fillDefaults(c.RTO)
 		c.Health = &hc
@@ -328,9 +353,19 @@ func NewRack(cfg Config) (*Rack, error) {
 			return nil, err
 		}
 	}
+	if cfg.StandbySwitches < 0 {
+		return nil, fmt.Errorf("rack: standby switch count must be non-negative, got %d", cfg.StandbySwitches)
+	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(cfg.Workers); err != nil {
 			return nil, err
+		}
+		for i, a := range cfg.Faults.Actions {
+			if (a.Kind == faults.KillStandby || a.Kind == faults.ReviveStandby) &&
+				a.Worker > cfg.StandbySwitches {
+				return nil, fmt.Errorf("rack: action %d (%v) targets standby rank %d of %d",
+					i, a.Kind, a.Worker, cfg.StandbySwitches)
+			}
 		}
 	}
 	cfg.fillDefaults()
@@ -403,7 +438,7 @@ func NewRack(cfg Config) (*Rack, error) {
 	if cfg.SampleEvery > 0 {
 		r.sampler = telemetry.NewSampler(cfg.Metrics, telemetry.SamplerConfig{})
 		r.sampler.AddProbe("rack_pool_occupancy", func() float64 {
-			return r.sw.sw.PoolState(false).Occupancy
+			return r.homeSwitch().PoolState(false).Occupancy
 		})
 		r.lastSample = -1
 	}
@@ -447,8 +482,24 @@ func (r *Rack) Config() Config { return r.cfg }
 // scheduling.
 func (r *Rack) Sim() *netsim.Sim { return r.sim }
 
-// Switch exposes the switch state machine for statistics.
+// Switch exposes the primary switch state machine for statistics.
 func (r *Rack) Switch() *core.Switch { return r.sw.sw }
+
+// Standby exposes warm-standby rung i (1-based) for statistics.
+func (r *Rack) Standby(i int) *core.Switch { return r.sw.standbys[i-1] }
+
+// HomeRank reports the failover-ladder rung currently serving the
+// job: 0 is the primary switch, higher ranks are warm standbys. While
+// degraded to the host mesh it reports the last switch rung the job
+// was homed on.
+func (r *Rack) HomeRank() int { return r.sw.home }
+
+// homeSwitch returns the aggregation program currently serving the
+// job — the primary, or the standby rung the health monitor re-homed
+// to. Every membership reconfiguration must target it: fencing a
+// generation into a rung the job does not live on would leave the
+// serving pool admitting stale traffic.
+func (r *Rack) homeSwitch() *core.Switch { return r.sw.prog(r.sw.home) }
 
 // Hosts returns per-worker protocol statistics.
 func (r *Rack) WorkerStats(i int) core.WorkerStats { return r.hosts[i].worker.Stats() }
@@ -623,22 +674,43 @@ func (r *Rack) Counters() map[string]uint64 {
 		m["health_probes"] = h.probes
 		m["health_probe_acks"] = h.probeAcks
 		m["host_aggregated_elems"] = h.hostElems
+		m["failover_rehomes"] = h.rehomes
+	}
+	for _, sb := range r.sw.standbys {
+		st := sb.Stats()
+		m["standby_updates"] += st.Updates
+		m["standby_completions"] += st.Completions
 	}
 	return m
 }
 
-// switchNode adapts core.Switch to netsim.
+// switchNode adapts core.Switch to netsim. It hosts the whole
+// aggregation ladder behind one crossbar: the primary program (rung 0)
+// plus Config.StandbySwitches warm standbys, any of which can be
+// killed and revived independently. Update traffic is served by the
+// rung the health monitor currently homes the job on; stale packets
+// fenced out by the generation bump are rejected by the rung's JobID
+// admission check.
 type switchNode struct {
 	sim       *netsim.Sim
 	cfg       Config
 	sw        *core.Switch
 	downlinks []*netsim.Link
+	// standbys are the warm-standby aggregation programs, rungs
+	// 1..len(standbys) of the failover ladder; sbDown marks the killed
+	// ones (faults.KillStandby).
+	standbys []*core.Switch
+	sbDown   []bool
+	// home is the rung currently serving update traffic; the health
+	// monitor moves it.
+	home int
 	// seen, when set, observes the worker id of every arriving packet;
 	// the failure detector feeds its liveness tracker with it.
 	seen func(worker int)
-	// down marks a failed aggregation program (faults.KillSwitch):
-	// update packets are blackholed and probes go unanswered, but the
-	// crossbar keeps forwarding host-to-host traffic.
+	// down marks a failed primary aggregation program
+	// (faults.KillSwitch): update packets are blackholed and probes go
+	// unanswered, but the crossbar keeps forwarding host-to-host
+	// traffic.
 	down bool
 	// peerDst, when set by the health monitor, maps a fallback ring
 	// rank to its host's downlink for crossbar forwarding.
@@ -646,7 +718,7 @@ type switchNode struct {
 }
 
 func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
-	sw, err := core.NewSwitch(core.SwitchConfig{
+	scfg := core.SwitchConfig{
 		Workers:      cfg.Workers,
 		PoolSize:     cfg.PoolSize,
 		SlotElems:    cfg.SlotElems,
@@ -656,12 +728,46 @@ func newSwitchNode(sim *netsim.Sim, cfg Config) (*switchNode, error) {
 		Metrics:      cfg.Metrics,
 		Tracer:       cfg.Tracer,
 		Now:          func() int64 { return int64(sim.Now()) },
-	})
+	}
+	sw, err := core.NewSwitch(scfg)
 	if err != nil {
 		return nil, err
 	}
-	return &switchNode{sim: sim, cfg: cfg, sw: sw}, nil
+	n := &switchNode{sim: sim, cfg: cfg, sw: sw}
+	for i := 0; i < cfg.StandbySwitches; i++ {
+		// Standbys share the registry-backed counters with the primary
+		// via name, which would double-count; they report through
+		// Rack.Counters' standby_* keys instead.
+		sbcfg := scfg
+		sbcfg.Metrics = nil
+		sb, err := core.NewSwitch(sbcfg)
+		if err != nil {
+			return nil, err
+		}
+		n.standbys = append(n.standbys, sb)
+	}
+	n.sbDown = make([]bool, cfg.StandbySwitches)
+	return n, nil
 }
+
+// prog returns the ladder rung's aggregation program (0 = primary).
+func (s *switchNode) prog(rank int) *core.Switch {
+	if rank == 0 {
+		return s.sw
+	}
+	return s.standbys[rank-1]
+}
+
+// progDown reports whether a rung's aggregation program is killed.
+func (s *switchNode) progDown(rank int) bool {
+	if rank == 0 {
+		return s.down
+	}
+	return s.sbDown[rank-1]
+}
+
+// rungs is the ladder height: the primary plus every standby.
+func (s *switchNode) rungs() int { return 1 + len(s.standbys) }
 
 // Deliver processes an update at line rate and emits responses after
 // the pipeline latency. The traffic manager duplicates multicast
@@ -685,6 +791,8 @@ func (s *switchNode) Deliver(msg netsim.Message) {
 		s.seen(int(p.WorkerID))
 	}
 	if p.Kind == packet.KindProbe {
+		// Probes target the primary: they are the fail-up ladder's
+		// evidence that rung 0 is worth returning to.
 		if s.down {
 			return // a dead aggregation program answers nothing
 		}
@@ -693,14 +801,21 @@ func (s *switchNode) Deliver(msg netsim.Message) {
 		s.sim.After(s.cfg.SwitchLatency, func() { s.downlinks[ack.WorkerID].Send(ack) })
 		return
 	}
-	if s.down {
+	home := s.home
+	if s.progDown(home) {
 		return
 	}
-	resp := s.sw.Handle(p)
+	resp := s.prog(home).Handle(p)
 	if resp.Pkt == nil {
 		return
 	}
-	s.sim.After(s.cfg.SwitchLatency, func() {
+	delay := s.cfg.SwitchLatency
+	if home != 0 {
+		// The detour through the standby rung: extra hops on the way
+		// in and on the way back out.
+		delay += 2 * s.cfg.StandbyLatency
+	}
+	s.sim.After(delay, func() {
 		if resp.Multicast {
 			for _, dl := range s.downlinks {
 				dl.Send(resp.Pkt.Clone())

@@ -14,8 +14,9 @@ import (
 const IncidentSchema = "switchml.incident/v1"
 
 // DefaultTriggers are the fault transitions that auto-dump an
-// incident: the §5.6 control-plane events plus the health state
-// machine's degrade/failback edges.
+// incident: the §5.6 control-plane events, the health state machine's
+// degrade/failback edges, and the warm-standby ladder's re-homing and
+// adoption handshakes.
 var DefaultTriggers = []EventType{
 	EvFailureDetected,
 	EvReconfigure,
@@ -23,6 +24,8 @@ var DefaultTriggers = []EventType{
 	EvSwitchRestart,
 	EvDegrade,
 	EvFailback,
+	EvRehome,
+	EvAdopt,
 }
 
 // FlightConfig tunes a FlightRecorder; the zero value records 4096

@@ -89,6 +89,15 @@ const (
 	// EvQuorumComplete fires when a slot completes at the quorum
 	// threshold, short of the full membership (straggler mitigation).
 	EvQuorumComplete
+	// EvRehome fires when a worker re-homes its job to a warm-standby
+	// aggregator (or back up the ladder): Off carries the chunk
+	// frontier proposed for adoption, Slot the ladder rank moved to.
+	EvRehome
+	// EvAdopt fires when an aggregator commits a warm-standby adoption:
+	// the member roll call is complete, the pool is wiped under the
+	// bumped generation and the job resumes at the minimum adopted
+	// frontier (Off).
+	EvAdopt
 )
 
 var eventNames = [...]string{
@@ -120,6 +129,8 @@ var eventNames = [...]string{
 	EvWorkerLeave:     "WorkerLeave",
 	EvDrainStart:      "DrainStart",
 	EvQuorumComplete:  "QuorumComplete",
+	EvRehome:          "Rehome",
+	EvAdopt:           "Adopt",
 }
 
 func (t EventType) String() string {

@@ -75,8 +75,12 @@ type AggView struct {
 	// Occupancy is the slot pool's busy fraction.
 	Occupancy   float64 `json:"occupancy"`
 	Completions uint64  `json:"completions"`
-	AliveCount  int     `json:"alive"`
-	Workers     int     `json:"workers"`
+	// Adoptions counts warm-standby adoption roll calls this
+	// aggregator has committed — non-zero marks a standby that took
+	// over a job whose primary went silent.
+	Adoptions  uint64 `json:"adoptions"`
+	AliveCount int    `json:"alive"`
+	Workers    int    `json:"workers"`
 	// Membership is the elastic-membership roll call: each worker's
 	// status ("member", "draining" or "departed"), with the counts
 	// summarised in Members/DrainingCount/DepartedCount.
@@ -104,11 +108,18 @@ type AggView struct {
 type WorkerView struct {
 	Addr   string `json:"addr"`
 	Worker int    `json:"worker"`
-	// State is "SWITCH" or "DEGRADED".
-	State  string  `json:"state"`
-	Epoch  uint16  `json:"epoch"`
-	SRTTMs float64 `json:"srtt_ms"`
-	RTOMs  float64 `json:"rto_ms"`
+	// State is "SWITCH", "STANDBY" (homed on a warm-standby rung of
+	// the failover ladder) or "DEGRADED" (on the host mesh).
+	State string `json:"state"`
+	// HomeRank is the failover-ladder rung serving the job: 0 the
+	// primary aggregator, higher ranks the configured standbys.
+	HomeRank int `json:"home_rank"`
+	// Rehomes counts re-homings between ladder rungs (descents and
+	// fail-up climbs alike).
+	Rehomes uint64  `json:"rehomes"`
+	Epoch   uint16  `json:"epoch"`
+	SRTTMs  float64 `json:"srtt_ms"`
+	RTOMs   float64 `json:"rto_ms"`
 	// FrontierOff is the contiguous-progress stream offset;
 	// PendingChunks the in-flight count at the last safe publication.
 	FrontierOff   int64   `json:"frontier_off"`
@@ -211,6 +222,7 @@ func (p *Poller) Poll() (*ClusterView, error) {
 				Shards:            st.Shards,
 				Occupancy:         st.Pool.Occupancy,
 				Completions:       st.Switch.Completions,
+				Adoptions:         st.Adoptions,
 				Workers:           len(st.Alive),
 				Membership:        st.Membership,
 				QuorumCompletions: st.Switch.QuorumCompletions,
@@ -256,6 +268,8 @@ func (p *Poller) Poll() (*ClusterView, error) {
 			Worker:          st.Worker,
 			State:           "SWITCH",
 			Epoch:           st.Epoch,
+			HomeRank:        st.HomeRank,
+			Rehomes:         st.Failover.Rehomes,
 			SRTTMs:          float64(st.SRTTNs) / 1e6,
 			RTOMs:           float64(st.RTONs) / 1e6,
 			FrontierOff:     st.FrontierOff,
@@ -267,6 +281,8 @@ func (p *Poller) Poll() (*ClusterView, error) {
 		}
 		if st.Degraded {
 			wv.State = "DEGRADED"
+		} else if st.HomeRank > 0 {
+			wv.State = "STANDBY"
 		}
 		var flapDelta uint64
 		if prev, ok := p.prevWorkers[url]; ok {
@@ -361,10 +377,14 @@ func Render(w io.Writer, v *ClusterView) {
 		if a.NetMode != "" {
 			io = fmt.Sprintf(" io %s/%d", a.NetMode, a.Batch)
 		}
+		adopt := ""
+		if a.Adoptions > 0 {
+			adopt = fmt.Sprintf(" adoptions %d", a.Adoptions)
+		}
 		fmt.Fprintf(w,
-			"agg %-24s %-4s epoch %-4d rx %8.0f/s tx %8.0f/s occ %4.0f%% shards %d (imbal %.2f) alive %d/%d serr %d%s\n",
+			"agg %-24s %-4s epoch %-4d rx %8.0f/s tx %8.0f/s occ %4.0f%% shards %d (imbal %.2f) alive %d/%d serr %d%s%s\n",
 			a.Addr, up, a.Epoch, a.RxRate, a.TxRate, a.Occupancy*100,
-			a.Shards, a.ShardImbalance, a.AliveCount, a.Workers, a.SendErrors, io)
+			a.Shards, a.ShardImbalance, a.AliveCount, a.Workers, a.SendErrors, io, adopt)
 		if a.DrainingCount > 0 || a.DepartedCount > 0 {
 			// Elastic churn in progress: print the roll call.
 			parts := make([]string, len(a.Membership))
@@ -380,14 +400,14 @@ func Render(w io.Writer, v *ClusterView) {
 		}
 	}
 	if len(v.Workers) > 0 {
-		fmt.Fprintf(w, "%-3s %-9s %-5s %9s %9s %10s %5s %10s %10s %6s %7s %5s %s\n",
-			"wrk", "state", "epoch", "srtt", "rto", "frontier", "pend",
-			"rx/s", "tx/s", "loss", "retx", "serr", "deg/fb")
+		fmt.Fprintf(w, "%-3s %-9s %-4s %-5s %9s %9s %10s %5s %10s %10s %6s %7s %5s %s\n",
+			"wrk", "state", "home", "epoch", "srtt", "rto", "frontier", "pend",
+			"rx/s", "tx/s", "loss", "retx", "serr", "deg/fb/rh")
 		for _, wk := range v.Workers {
-			fmt.Fprintf(w, "%-3d %-9s %-5d %7.2fms %7.2fms %10d %5d %10.0f %10.0f %5.1f%% %7d %5d %d/%d\n",
-				wk.Worker, wk.State, wk.Epoch, wk.SRTTMs, wk.RTOMs,
+			fmt.Fprintf(w, "%-3d %-9s %-4d %-5d %7.2fms %7.2fms %10d %5d %10.0f %10.0f %5.1f%% %7d %5d %d/%d/%d\n",
+				wk.Worker, wk.State, wk.HomeRank, wk.Epoch, wk.SRTTMs, wk.RTOMs,
 				wk.FrontierOff, wk.PendingChunks, wk.RxRate, wk.TxRate,
-				wk.LossRate*100, wk.Retransmissions, wk.SendErrors, wk.Degrades, wk.Failbacks)
+				wk.LossRate*100, wk.Retransmissions, wk.SendErrors, wk.Degrades, wk.Failbacks, wk.Rehomes)
 		}
 	}
 	for _, e := range v.Errors {

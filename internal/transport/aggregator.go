@@ -159,6 +159,20 @@ type Aggregator struct {
 	mu sync.Mutex // guards the recovery state machine (lv)
 	lv *liveness  // nil unless cfg.Liveness is set
 
+	// Warm-standby adoption state (failover.go), guarded by mu: adopt
+	// is the open roll call; adoptGen/adoptFrontier/adoptDone record
+	// the last committed adoption so a lost release is re-sent on a
+	// duplicate request. adoptions counts committed adoptions.
+	adopt         *adoptFence
+	adoptGen      uint16
+	adoptFrontier uint64
+	adoptDone     bool
+	adoptions     *telemetry.Counter
+
+	// sncs collects the shard batched socket views for introspection
+	// (transient-send retry totals); empty on the legacy loop.
+	sncs []*netio.Conn
+
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
@@ -236,6 +250,7 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		sent:       reg.Counter("udp_datagrams_sent_total", "role", "aggregator"),
 		sendErrs:   reg.Counter("udp_send_errors_total", "role", "aggregator"),
 		unexpected: reg.Counter("udp_unexpected_kind_total", "role", "aggregator"),
+		adoptions:  reg.Counter("failover_adoptions_total", "role", "aggregator"),
 		peers:      make([]atomic.Pointer[netip.AddrPort], cfg.Switch.Workers),
 		closed:     make(chan struct{}),
 	}
@@ -300,6 +315,7 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 				return nil, werr
 			}
 			sh.nc = nc
+			a.sncs = append(a.sncs, nc)
 			sh.occ = reg.Histogram("agg_batch_occupancy", BatchOccupancyBuckets, "shard", fmt.Sprintf("%d", i))
 			a.shardOcc[i] = sh.occ
 			sh.block = make([]byte, 0, cfg.Batch*mtu)
@@ -445,6 +461,8 @@ func (a *Aggregator) serve(sh *aggShard) {
 			a.handleJoin(&sh.pkt, src)
 		case packet.KindLeave:
 			a.handleLeave(&sh.pkt, src)
+		case packet.KindAdoptJob:
+			a.handleAdopt(sh, src)
 		default:
 			// Workers never originate result/reconfig/resume kinds;
 			// count the drop so a confused peer is visible.
@@ -506,6 +524,8 @@ func (a *Aggregator) serveBatched(sh *aggShard) {
 				a.handleJoin(&sh.pkt, m.Addr)
 			case packet.KindLeave:
 				a.handleLeave(&sh.pkt, m.Addr)
+			case packet.KindAdoptJob:
+				a.handleAdopt(sh, m.Addr)
 			default:
 				// Workers never originate result/reconfig/resume kinds;
 				// count the drop so a confused peer is visible.
@@ -739,6 +759,8 @@ func (a *Aggregator) Reset() {
 	for i := range a.peers {
 		a.peers[i].Store(nil)
 	}
+	a.adopt = nil
+	a.adoptGen, a.adoptFrontier, a.adoptDone = 0, 0, false
 	if a.lv != nil {
 		// Back to "never seen" for every worker, so a host that does
 		// not rejoin the restarted job is simply ignored rather than

@@ -3,9 +3,11 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -21,6 +23,20 @@ type ClientConfig struct {
 	// Aggregator is the UDP address of the software aggregator (or a
 	// SwitchML-speaking switch).
 	Aggregator string
+	// Standbys ranks warm-standby aggregators behind the primary: the
+	// failover ladder's middle rungs. When the silence detector trips,
+	// the job is re-homed to the first answering rung through the
+	// KindAdoptJob handshake (failover.go) instead of degrading
+	// straight to the host mesh; the mesh remains the rung of last
+	// resort (and needs Fallback configured). Every standby must run
+	// the same SwitchConfig as the primary.
+	Standbys []string
+	// JitterSeed seeds the ±10% spread applied to the heartbeat, probe
+	// and adoption-retransmission timers, so a fleet of workers does
+	// not synchronize its control traffic against a recovering
+	// aggregator. Zero derives a deterministic seed from the worker id;
+	// replay harnesses set it explicitly.
+	JitterSeed int64
 	// Worker is the protocol configuration; it must agree with the
 	// aggregator's SwitchConfig on Workers, PoolSize, SlotElems and
 	// LossRecovery.
@@ -103,6 +119,11 @@ type Client struct {
 	// the underlying state (srtt, frontier, pending set) belongs to
 	// the AllReduce goroutine and must not be read directly.
 	gSRTT, gRTO, gFrontier, gPending, gEpoch, gDegraded *telemetry.Gauge
+	// gHome publishes the failover-ladder rung serving the job (0 =
+	// primary); the failover counters track re-homes, adoption
+	// solicitations, fail-up probes/acks and completed failbacks.
+	gHome                                                             *telemetry.Gauge
+	failRehomes, failAdopts, failProbes, failProbeAcks, failFailbacks *telemetry.Counter
 
 	// lastSend tracks per-slot transmission times for timeout
 	// sweeps.
@@ -163,6 +184,29 @@ type Client struct {
 	mbuf          []byte
 	mp            packet.Packet
 
+	// Warm-standby failover state (failover.go). ladder holds the
+	// resolved aggregator addresses in preference order (rank 0 is the
+	// primary, then cfg.Standbys); homeRank is the rung currently
+	// serving the job. upSeq/upAwait/upStreak run the fail-up
+	// probation against rank 0 while the job lives on a standby, over
+	// the dedicated upConn socket. frng jitters the AllReduce
+	// goroutine's control timers (the heartbeat goroutine seeds its
+	// own stream). All belong to the AllReduce goroutine except the
+	// atomics: hbConn is the heartbeat goroutine's view of the main
+	// connection, swapped on re-home; upConn and ncDbg are also read
+	// by Close and DebugState; retiredRetries accumulates the send
+	// retries of batched views retired by re-homes.
+	ladder         []*net.UDPAddr
+	homeRank       int
+	upSeq          uint32
+	upAwait        bool
+	upStreak       int
+	frng           *rand.Rand
+	hbConn         atomic.Pointer[net.UDPConn]
+	upConn         atomic.Pointer[net.UDPConn]
+	ncDbg          atomic.Pointer[netio.Conn]
+	retiredRetries atomic.Uint64
+
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -193,6 +237,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	conn, err := net.DialUDP("udp", nil, raddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	ladder := []*net.UDPAddr{raddr}
+	for i, s := range cfg.Standbys {
+		sa, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve standby %d %q: %w", i, s, err)
+		}
+		ladder = append(ladder, sa)
 	}
 	var inj *faults.PacketInjector
 	if cfg.Inject != nil {
@@ -225,33 +278,23 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		gPending:   reg.Gauge("worker_pending_chunks", "worker", id),
 		gEpoch:     reg.Gauge("worker_epoch", "worker", id),
 		gDegraded:  reg.Gauge("worker_degraded", "worker", id),
+		gHome:      reg.Gauge("worker_home_rank", "worker", id),
 		lastSend:   make([]time.Time, cfg.Worker.PoolSize),
 		rbuf:       make([]byte, 65536),
 		backoff:    make([]uint8, cfg.Worker.PoolSize),
 		retxed:     make([]bool, cfg.Worker.PoolSize),
 		epoch:      cfg.Worker.JobID,
+		ladder:     ladder,
+		frng:       rand.New(rand.NewSource(jitterSeed(&cfg, 1))),
 		closed:     make(chan struct{}),
 	}
-	if cfg.Batch > 1 {
-		mtu := aggWireMTU(cfg.Worker.SlotElems)
-		nc, err := netio.Wrap(conn, netio.Config{
-			Batch:    cfg.Batch,
-			MTU:      mtu,
-			BusyPoll: cfg.BusyPoll,
-			OnSendError: func(err error, n int) {
-				c.sendErrs.Add(uint64(n))
-				if c.stageErr == nil {
-					c.stageErr = err
-				}
-			},
-		})
-		if err == nil {
-			c.nc = nc
-			c.txb = make([]byte, 0, cfg.Batch*mtu)
-		}
-		// A wrap failure (a socket that cannot expose its fd) simply
-		// leaves the legacy per-packet path in place.
-	}
+	c.failRehomes = reg.Counter("failover_rehomes_total", "worker", id)
+	c.failAdopts = reg.Counter("failover_adopt_requests_total", "worker", id)
+	c.failProbes = reg.Counter("failover_probes_total", "worker", id)
+	c.failProbeAcks = reg.Counter("failover_probe_acks_total", "worker", id)
+	c.failFailbacks = reg.Counter("failover_failbacks_total", "worker", id)
+	c.hbConn.Store(conn)
+	c.wrapMain(conn)
 	if cfg.Fallback != nil {
 		fc := *cfg.Fallback
 		fc.fillDefaults(cfg.RTO)
@@ -295,12 +338,19 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
-// Close stops the heartbeat beacon and releases the sockets.
+// Close stops the heartbeat beacon and releases the sockets. The
+// main connection is reached through the atomic pointer because a
+// re-home may have replaced it since construction.
 func (c *Client) Close() error {
 	var err error
 	c.closeOnce.Do(func() {
 		close(c.closed)
-		err = c.conn.Close()
+		if conn := c.hbConn.Load(); conn != nil {
+			err = conn.Close()
+		}
+		if uc := c.upConn.Load(); uc != nil {
+			uc.Close()
+		}
 		if c.fb != nil {
 			c.fb.mesh.Close()
 		}
@@ -310,13 +360,17 @@ func (c *Client) Close() error {
 }
 
 // heartbeatLoop is the liveness beacon: a tiny control datagram at
-// the configured period, so silence between tensors is never mistaken
-// for death. It deliberately reads only immutable config (the worker
-// state machine belongs to the AllReduce goroutine); the aggregator's
-// tracker ignores the possibly-stale generation stamp.
+// the configured period — jittered ±10% from its own seeded stream so
+// a fleet's beacons decohere — so silence between tensors is never
+// mistaken for death. It deliberately reads only immutable config and
+// the atomic connection pointer (the worker state machine belongs to
+// the AllReduce goroutine, and a re-home may swap the socket under
+// it); the aggregator's tracker ignores the possibly-stale generation
+// stamp.
 func (c *Client) heartbeatLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.cfg.Heartbeat)
+	rng := rand.New(rand.NewSource(jitterSeed(&c.cfg, 2)))
+	t := time.NewTimer(jitterDur(rng, c.cfg.Heartbeat))
 	defer t.Stop()
 	hb := packet.NewControl(packet.KindHeartbeat, c.cfg.Worker.ID, c.cfg.Worker.JobID, 0, nil).Marshal()
 	for {
@@ -324,9 +378,12 @@ func (c *Client) heartbeatLoop() {
 		case <-c.closed:
 			return
 		case <-t.C:
-			if _, err := c.conn.Write(hb); err == nil {
-				c.sent.Inc()
+			if conn := c.hbConn.Load(); conn != nil {
+				if _, err := conn.Write(hb); err == nil {
+					c.sent.Inc()
+				}
 			}
+			t.Reset(jitterDur(rng, c.cfg.Heartbeat))
 		}
 	}
 }
@@ -379,6 +436,14 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 		return c.degradedAllReduce(u, deadline)
 	}
 	c.lastProgress = time.Now()
+	if c.homeRank > 0 {
+		// The job lives on a standby: run one round of the fail-up
+		// probation before starting the tensor (failover.go).
+		if err := c.failUpTick(deadline); err != nil {
+			return nil, err
+		}
+		c.lastProgress = time.Now()
+	}
 	if c.fenceArmed {
 		// A membership change is pending and this call sits exactly at
 		// the tensor boundary: hold until the fence commits. A §5.6
@@ -408,10 +473,16 @@ func (c *Client) AllReduceInt32(u []int32) ([]int32, error) {
 	}
 	out, err := c.switchLoop(u, deadline)
 	if errors.Is(err, errSilence) {
-		return c.enterFallback(u, deadline)
+		return c.degradeLadder(u, deadline)
 	}
 	return out, err
 }
+
+// canDegrade reports whether someone can take over for a dead
+// aggregator — a standby ladder, a host mesh, or both — which makes a
+// provably-dead destination evidence for the silence clock rather
+// than a caller error.
+func (c *Client) canDegrade() bool { return c.fb != nil || len(c.ladder) > 1 }
 
 // silenceAfter is the no-progress threshold that separates "switch
 // gone" from an ordinarily slow aggregation.
@@ -428,7 +499,10 @@ func (c *Client) silenceAfter() time.Duration {
 func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 	for {
 		if silence := time.Since(c.lastProgress); silence >= c.silenceAfter() {
-			if c.fb != nil {
+			if c.fb != nil || len(c.ladder) > 1 {
+				// Someone can take over: a host mesh, a standby ladder,
+				// or both. Deliver the silence verdict and let
+				// degradeLadder pick the next rung.
 				c.trace(telemetry.EvSwitchSuspect, -1)
 				return nil, errSilence
 			}
@@ -467,7 +541,7 @@ func (c *Client) switchLoop(u []int32, deadline time.Time) ([]int32, error) {
 				}
 				continue
 			}
-			if c.fb != nil {
+			if c.canDegrade() {
 				// A refused or unreachable destination is death
 				// evidence, not a caller error: let the silence clock
 				// decide, pacing the retry loop meanwhile.
@@ -634,7 +708,7 @@ func (c *Client) send(p *packet.Packet, retx bool) error {
 	}
 	for i := 0; i < writes; i++ {
 		if _, err := c.conn.Write(out); err != nil {
-			if c.fb != nil && deadDestination(err) {
+			if c.canDegrade() && deadDestination(err) {
 				return nil
 			}
 			return fmt.Errorf("transport: send: %w", err)
@@ -682,7 +756,7 @@ func (c *Client) flushTx() error {
 	c.nc.Flush()
 	if err := c.stageErr; err != nil {
 		c.stageErr = nil
-		if c.fb != nil && deadDestination(err) {
+		if c.canDegrade() && deadDestination(err) {
 			return nil
 		}
 		return fmt.Errorf("transport: send: %w", err)
@@ -709,7 +783,7 @@ func deadDestination(err error) bool {
 func (c *Client) sendControl(kind packet.Kind, job uint16, off uint64, vec []int32) error {
 	c.cbuf = packet.NewControl(kind, c.cfg.Worker.ID, job, off, vec).AppendMarshal(c.cbuf[:0])
 	if _, err := c.conn.Write(c.cbuf); err != nil {
-		if c.fb != nil && deadDestination(err) {
+		if c.canDegrade() && deadDestination(err) {
 			return nil
 		}
 		return fmt.Errorf("transport: send: %w", err)

@@ -32,8 +32,15 @@ type AggDebugState struct {
 	Sent           uint64   `json:"datagrams_sent"`
 	// SendErrors counts datagrams whose socket send failed (dropped,
 	// surfaced for diagnosis; the protocol's loss recovery repairs
-	// them).
-	SendErrors uint64 `json:"udp_send_errors"`
+	// them). SendRetries counts transient kernel pushback
+	// (ENOBUFS/EAGAIN) absorbed by netio's bounded backoff instead of
+	// dropping, summed across the shard socket views.
+	SendErrors  uint64 `json:"udp_send_errors"`
+	SendRetries uint64 `json:"udp_send_retries"`
+	// Adoptions counts warm-standby adoption roll calls this
+	// aggregator has committed: jobs it inherited from a dead rung
+	// through the KindAdoptJob handshake.
+	Adoptions uint64 `json:"adoptions"`
 	// BatchOccupancyP50/P99 are quantiles of datagrams drained per
 	// receive wakeup, merged across shards (0 on the legacy loop): how
 	// full the batch pipeline actually runs.
@@ -69,6 +76,7 @@ func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
 		Corrupted:      a.corrupt.Value(),
 		Sent:           a.sent.Value(),
 		SendErrors:     a.sendErrs.Value(),
+		Adoptions:      a.adoptions.Value(),
 		Switch:         a.sw.Stats(),
 		Pool:           a.sw.PoolState(withSlots),
 		Peers:          make([]string, len(a.peers)),
@@ -76,6 +84,9 @@ func (a *Aggregator) DebugState(withSlots bool) AggDebugState {
 	}
 	for i, c := range a.shardCtrs {
 		st.ShardDatagrams[i] = c.Value()
+	}
+	for _, nc := range a.sncs {
+		st.SendRetries += nc.SendRetries()
 	}
 	if occ, ok := a.occupancySnapshot(); ok {
 		st.BatchOccupancyP50 = occ.Quantile(0.5)
@@ -144,14 +155,22 @@ type ClientDebugState struct {
 	PendingChunks int64 `json:"pending_chunks"`
 	// Batch/NetMode mirror the aggregator-side fields: the send/recv
 	// burst ceiling and the selected I/O strategy.
-	Batch      int              `json:"batch"`
-	NetMode    string           `json:"net_mode"`
-	Received   uint64           `json:"datagrams_received"`
-	Corrupted  uint64           `json:"datagrams_corrupted"`
-	Sent       uint64           `json:"datagrams_sent"`
-	SendErrors uint64           `json:"udp_send_errors"`
-	Stats      core.WorkerStats `json:"stats"`
-	Fallback   FallbackStats    `json:"fallback"`
+	Batch      int    `json:"batch"`
+	NetMode    string `json:"net_mode"`
+	Received   uint64 `json:"datagrams_received"`
+	Corrupted  uint64 `json:"datagrams_corrupted"`
+	Sent       uint64 `json:"datagrams_sent"`
+	SendErrors uint64 `json:"udp_send_errors"`
+	// SendRetries counts transient kernel pushback (ENOBUFS/EAGAIN)
+	// absorbed by netio's bounded backoff instead of dropping, summed
+	// across socket views retired by re-homes.
+	SendRetries uint64           `json:"udp_send_retries"`
+	Stats       core.WorkerStats `json:"stats"`
+	Fallback    FallbackStats    `json:"fallback"`
+	// HomeRank is the failover-ladder rung serving the job (0 = the
+	// primary aggregator); Failover the ladder counters.
+	HomeRank int           `json:"home_rank"`
+	Failover FailoverStats `json:"failover"`
 }
 
 // DebugState assembles the worker's introspection document.
@@ -171,15 +190,21 @@ func (c *Client) DebugState() ClientDebugState {
 		Corrupted:     c.corrupt.Value(),
 		Sent:          c.sent.Value(),
 		SendErrors:    c.sendErrs.Value(),
+		SendRetries:   c.sendRetryTotal(),
 		Stats:         c.worker.Stats(),
 		Fallback:      c.FallbackStats(),
+		HomeRank:      c.HomeRank(),
+		Failover:      c.FailoverStats(),
 	}
 }
 
-// netMode names the client's I/O strategy for introspection.
+// netMode names the client's I/O strategy for introspection. It reads
+// the atomic view pointer: a re-home may swap the batched view under
+// a concurrent monitoring read.
 func (c *Client) netMode() string {
-	if c.nc == nil {
+	nc := c.ncDbg.Load()
+	if nc == nil {
 		return "per-packet"
 	}
-	return c.nc.Mode().String()
+	return nc.Mode().String()
 }

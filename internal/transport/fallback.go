@@ -334,7 +334,9 @@ func (c *Client) failback(u []int32, deadline time.Time) ([]int32, error) {
 	}
 	out, err := c.switchLoop(u, deadline)
 	if errors.Is(err, errSilence) {
-		return c.enterFallback(u, deadline)
+		// Flapped again: walk the whole ladder before settling back on
+		// the mesh.
+		return c.degradeLadder(u, deadline)
 	}
 	return out, err
 }

@@ -73,9 +73,24 @@ type SimParams struct {
 	// pair it with Health.Probation < 0 to pin it there (the host
 	// baseline the BENCH_fallback experiment measures).
 	StartDegraded bool
+	// StandbySwitches provisions warm-standby aggregation programs
+	// behind the same crossbar: when the health monitor declares the
+	// serving switch silent, the job is re-homed onto the next standby
+	// rung (pool wiped under a bumped generation, resumed at the chunk
+	// frontier) instead of degrading straight to host all-reduce. The
+	// mesh remains the rung of last resort, and fail-up probation
+	// returns the job to the primary once it answers probes again.
+	// FaultKillStandby / FaultReviveStandby script standby outages.
+	StandbySwitches int
+	// StandbyLatency is the extra one-way latency charged on responses
+	// served by a standby rung (it sits one hop deeper than the ToR);
+	// zero selects 200 ns.
+	StandbyLatency time.Duration
 	// NoFallback opts out of degraded mode even when Faults kills the
 	// switch: a dead switch then surfaces as ErrSwitchUnavailable
-	// instead of a fabric handoff.
+	// instead of a fabric handoff. With StandbySwitches set, the ladder
+	// still runs — only the final mesh rung is removed, so a job whose
+	// every rung is dead fails with ErrSwitchUnavailable.
 	NoFallback bool
 	// RTO is the retransmission timeout (default 1 ms, §5.5).
 	RTO time.Duration
@@ -141,7 +156,11 @@ type SimResult struct {
 	// switch behaviour (switch_updates, switch_completions,
 	// switch_shadow_reads, ...) and, when a health monitor ran, the
 	// degradation controller (health_degrades, health_failbacks,
-	// health_probes, health_probe_acks, host_aggregated_elems).
+	// health_probes, health_probe_acks, host_aggregated_elems). With
+	// StandbySwitches it also reports the failover ladder:
+	// failover_rehomes (re-homings between rungs, descents and
+	// fail-ups alike) and standby_updates / standby_completions (work
+	// absorbed by standby rungs while the primary was down).
 	Counters map[string]uint64
 	// Series holds the sampled time series when SimParams.SampleEvery
 	// is set, keyed by series name ("<counter>:rate", "<gauge>",
@@ -154,26 +173,28 @@ type SimResult struct {
 // bit-reproducible for a given seed.
 func SimulateRack(params SimParams, tensor []int32) (SimResult, error) {
 	cfg := rack.Config{
-		Workers:        params.Workers,
-		PoolSize:       params.PoolSize,
-		SlotElems:      params.SlotElems,
-		LinkBitsPerSec: params.LinkGbps * 1e9,
-		LossRate:       params.LossRate,
-		DupRate:        params.DupRate,
-		CorruptRate:    params.CorruptRate,
-		RTO:            fromDuration(params.RTO),
-		Cores:          params.Cores,
-		LossRecovery:   true,
-		Seed:           params.Seed,
-		Faults:         params.Faults.internal(),
-		Liveness:       params.Liveness.rack(),
-		Health:         params.Health.rack(),
-		StartDegraded:  params.StartDegraded,
-		NoFallback:     params.NoFallback,
-		SampleEvery:    fromDuration(params.SampleEvery),
-		Quorum:         params.Quorum,
-		LatePolicy:     params.LatePolicy.internal(),
-		Detached:       append([]int(nil), params.Detached...),
+		Workers:         params.Workers,
+		PoolSize:        params.PoolSize,
+		SlotElems:       params.SlotElems,
+		LinkBitsPerSec:  params.LinkGbps * 1e9,
+		LossRate:        params.LossRate,
+		DupRate:         params.DupRate,
+		CorruptRate:     params.CorruptRate,
+		RTO:             fromDuration(params.RTO),
+		Cores:           params.Cores,
+		LossRecovery:    true,
+		Seed:            params.Seed,
+		Faults:          params.Faults.internal(),
+		Liveness:        params.Liveness.rack(),
+		Health:          params.Health.rack(),
+		StartDegraded:   params.StartDegraded,
+		NoFallback:      params.NoFallback,
+		StandbySwitches: params.StandbySwitches,
+		StandbyLatency:  fromDuration(params.StandbyLatency),
+		SampleEvery:     fromDuration(params.SampleEvery),
+		Quorum:          params.Quorum,
+		LatePolicy:      params.LatePolicy.internal(),
+		Detached:        append([]int(nil), params.Detached...),
 	}
 	if params.BurstLoss != nil {
 		ge := params.BurstLoss.internal()

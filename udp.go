@@ -324,6 +324,18 @@ type PeerParams struct {
 	// only from never-retransmitted packets), so the retransmission
 	// timer tracks the deployment's real latency instead of a guess.
 	AdaptiveRTO bool
+	// Standbys ranks warm-standby aggregator addresses behind the
+	// primary: when the silence detector trips, the worker walks this
+	// ladder in order — re-homing the job onto the first rung that
+	// answers the adoption roll call (pool wiped under a bumped
+	// generation, resumed at the collective chunk frontier) — and only
+	// drops to the Fallback mesh when every rung is silent. While homed
+	// on a standby, per-tensor probes of the primary run the Fallback
+	// probation window, so the job climbs back to rank 0 once the
+	// primary recovers. Every worker of a job must rank the same
+	// standbys in the same order. Requires Fallback (the silence
+	// detector and probation knobs live there).
+	Standbys []string
 	// Fallback, when non-nil, arms the degradation controller: if the
 	// aggregator goes silent mid-tensor the worker finishes the tensor
 	// by ring all-reduce over a peer-to-peer UDP mesh, keeps the job
@@ -383,6 +395,21 @@ func (f *FallbackParams) transport() *transport.FallbackConfig {
 	}
 }
 
+// FailoverStats counts the warm-standby ladder's activity (see
+// PeerParams.Standbys). All zero when no standbys are configured.
+type FailoverStats struct {
+	// Rehomes counts re-homings of the job between ladder rungs,
+	// descents and fail-up climbs alike.
+	Rehomes uint64
+	// AdoptRequests counts adoption roll-call solicitations sent.
+	AdoptRequests uint64
+	// Probes and ProbeAcks count fail-up probes of the primary sent
+	// and answered while the job lives on a standby.
+	Probes, ProbeAcks uint64
+	// Failbacks counts successful climbs back to the primary (rank 0).
+	Failbacks uint64
+}
+
 // FallbackStats counts the degradation controller's activity.
 type FallbackStats struct {
 	// Degrades counts SWITCH → DEGRADED transitions.
@@ -432,6 +459,7 @@ func DialAggregator(addr string, params PeerParams) (*Peer, error) {
 		BusyPoll:    params.BusyPoll,
 		Inject:      params.Inject.internal(),
 		AdaptiveRTO: params.AdaptiveRTO,
+		Standbys:    append([]string(nil), params.Standbys...),
 		Fallback:    params.Fallback.transport(),
 	}
 	var rec *telemetry.FlightRecorder
@@ -553,6 +581,24 @@ func (p *Peer) Frontier() uint64 { return p.inner.Frontier() }
 
 // Drained reports whether this peer has gracefully left the job.
 func (p *Peer) Drained() bool { return p.inner.Drained() }
+
+// HomeRank reports the failover-ladder rung currently serving this
+// worker's job: 0 is the primary aggregator, higher ranks index
+// PeerParams.Standbys (1-based). Safe for monitoring goroutines.
+func (p *Peer) HomeRank() int { return p.inner.HomeRank() }
+
+// FailoverStats snapshots the warm-standby ladder counters; safe to
+// call concurrently with a running all-reduce.
+func (p *Peer) FailoverStats() FailoverStats {
+	st := p.inner.FailoverStats()
+	return FailoverStats{
+		Rehomes:       st.Rehomes,
+		AdoptRequests: st.AdoptRequests,
+		Probes:        st.Probes,
+		ProbeAcks:     st.ProbeAcks,
+		Failbacks:     st.Failbacks,
+	}
+}
 
 // FallbackStats snapshots the degradation controller's counters; it
 // is safe to call concurrently with a running all-reduce.
